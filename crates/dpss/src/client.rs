@@ -1,0 +1,367 @@
+//! The DPSS client API library.
+//!
+//! §3.5: "The application interface to the DPSS cache supports a variety of
+//! I/O semantics, including Unix-like I/O semantics, through an easy-to-use
+//! client API library (e.g., dpssOpen(), dpssRead(), dpssWrite(),
+//! dpssLSeek(), dpssClose()).  The DPSS client library is multi-threaded,
+//! where the number of client threads is equal to the number of DPSS
+//! servers."
+//!
+//! [`DpssClient`] reproduces that interface against an in-process
+//! [`DpssCluster`].  Reads and writes are resolved by the master into
+//! per-server physical block requests and serviced by one worker thread per
+//! server; an optional token-bucket shaper paces each server stream so that
+//! real-mode runs see WAN-like bandwidth.
+
+use crate::dataset::DatasetDescriptor;
+use crate::error::DpssError;
+use crate::master::PhysicalBlockRequest;
+use crate::server::DpssCluster;
+use netlogger::NetLogger;
+use netsim::{Bandwidth, TokenBucket};
+use parking_lot::Mutex;
+
+/// An open dataset handle with Unix-like position semantics.
+#[derive(Debug, Clone)]
+pub struct DpssFile {
+    descriptor: DatasetDescriptor,
+    position: u64,
+    open: bool,
+}
+
+impl DpssFile {
+    /// The dataset this handle refers to.
+    pub fn descriptor(&self) -> &DatasetDescriptor {
+        &self.descriptor
+    }
+
+    /// Current file position.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Whether the handle is still open.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+}
+
+/// Seek origin for [`DpssClient::dpss_lseek`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeekFrom {
+    /// Absolute offset from the start of the dataset.
+    Start(u64),
+    /// Relative to the current position.
+    Current(i64),
+}
+
+/// The multi-threaded DPSS client.
+pub struct DpssClient {
+    cluster: DpssCluster,
+    client_name: String,
+    /// Optional per-server-stream pacing (emulates a WAN between client and cache).
+    stream_rate: Option<Bandwidth>,
+    /// Optional instrumentation.
+    logger: Option<NetLogger>,
+}
+
+impl DpssClient {
+    /// A client named `client_name` (the name checked against the master's
+    /// access-control list) talking to `cluster`.
+    pub fn new(cluster: DpssCluster, client_name: impl Into<String>) -> Self {
+        DpssClient {
+            cluster,
+            client_name: client_name.into(),
+            stream_rate: None,
+            logger: None,
+        }
+    }
+
+    /// Builder: pace each per-server stream at `rate` (token-bucket shaping),
+    /// emulating a WAN path between the client and the cache.
+    pub fn with_stream_rate(mut self, rate: Bandwidth) -> Self {
+        self.stream_rate = Some(rate);
+        self
+    }
+
+    /// Builder: attach NetLogger instrumentation.
+    pub fn with_logger(mut self, logger: NetLogger) -> Self {
+        self.logger = Some(logger);
+        self
+    }
+
+    /// The cluster this client talks to.
+    pub fn cluster(&self) -> &DpssCluster {
+        &self.cluster
+    }
+
+    /// Number of worker threads used per request (= number of servers).
+    pub fn threads_per_request(&self) -> usize {
+        self.cluster.server_count()
+    }
+
+    /// `dpssOpen()`: open a registered dataset.
+    pub fn dpss_open(&self, dataset: &str) -> Result<DpssFile, DpssError> {
+        let master = self.cluster.master();
+        let guard = master.read();
+        guard.check_access(&self.client_name)?;
+        let descriptor = guard.dataset(dataset)?.clone();
+        Ok(DpssFile {
+            descriptor,
+            position: 0,
+            open: true,
+        })
+    }
+
+    /// `dpssLSeek()`: move the file position.
+    pub fn dpss_lseek(&self, file: &mut DpssFile, from: SeekFrom) -> Result<u64, DpssError> {
+        if !file.open {
+            return Err(DpssError::Closed);
+        }
+        let size = file.descriptor.total_size().bytes();
+        let new = match from {
+            SeekFrom::Start(o) => o,
+            SeekFrom::Current(delta) => {
+                let cur = file.position as i64 + delta;
+                if cur < 0 {
+                    return Err(DpssError::OutOfBounds { offset: 0, size });
+                }
+                cur as u64
+            }
+        };
+        if new > size {
+            return Err(DpssError::OutOfBounds { offset: new, size });
+        }
+        file.position = new;
+        Ok(new)
+    }
+
+    /// `dpssRead()`: read `buf.len()` bytes at the current position, advancing
+    /// it.  The read is resolved into physical block requests and serviced by
+    /// one thread per server.
+    pub fn dpss_read(&self, file: &mut DpssFile, buf: &mut [u8]) -> Result<usize, DpssError> {
+        if !file.open {
+            return Err(DpssError::Closed);
+        }
+        let len = buf.len() as u64;
+        self.read_at(&file.descriptor.name.clone(), file.position, buf)?;
+        file.position += len;
+        Ok(buf.len())
+    }
+
+    /// `dpssWrite()`: write `data` at the current position, advancing it.
+    pub fn dpss_write(&self, file: &mut DpssFile, data: &[u8]) -> Result<usize, DpssError> {
+        if !file.open {
+            return Err(DpssError::Closed);
+        }
+        self.write_at(&file.descriptor.name.clone(), file.position, data)?;
+        file.position += data.len() as u64;
+        Ok(data.len())
+    }
+
+    /// `dpssClose()`: close the handle.
+    pub fn dpss_close(&self, file: &mut DpssFile) {
+        file.open = false;
+    }
+
+    /// Positioned read without a handle (block-level access is the DPSS's
+    /// defining feature: "provides block level access, eliminating the need
+    /// to transfer the entire file across the network").
+    pub fn read_at(&self, dataset: &str, offset: u64, buf: &mut [u8]) -> Result<(), DpssError> {
+        if let Some(log) = &self.logger {
+            log.log_with("DPSS_READ_START", [("NL.bytes", buf.len() as u64)]);
+        }
+        let requests = {
+            let master = self.cluster.master();
+            let guard = master.read();
+            guard.resolve(&self.client_name, dataset, offset, buf.len() as u64)?
+        };
+        let groups = {
+            let master = self.cluster.master();
+            let guard = master.read();
+            guard.group_by_server(&requests)
+        };
+        self.parallel_fetch(&groups, buf)?;
+        if let Some(log) = &self.logger {
+            log.log_with("DPSS_READ_END", [("NL.bytes", buf.len() as u64)]);
+        }
+        Ok(())
+    }
+
+    /// Positioned write without a handle (used when staging data into the cache).
+    pub fn write_at(&self, dataset: &str, offset: u64, data: &[u8]) -> Result<(), DpssError> {
+        let requests = {
+            let master = self.cluster.master();
+            let guard = master.read();
+            guard.resolve(&self.client_name, dataset, offset, data.len() as u64)?
+        };
+        for r in &requests {
+            let piece = &data[r.buffer_offset as usize..(r.buffer_offset + r.len) as usize];
+            self.cluster.service_write(r, piece)?;
+        }
+        Ok(())
+    }
+
+    /// One worker thread per server, each fetching its server's blocks and
+    /// writing them into the caller's buffer (disjoint ranges, gathered after
+    /// the scoped threads join).
+    fn parallel_fetch(&self, groups: &[Vec<PhysicalBlockRequest>], buf: &mut [u8]) -> Result<(), DpssError> {
+        let results: Mutex<Vec<(u64, Vec<u8>)>> = Mutex::new(Vec::new());
+        let error: Mutex<Option<DpssError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for group in groups.iter().filter(|g| !g.is_empty()) {
+                let cluster = &self.cluster;
+                let results = &results;
+                let error = &error;
+                let stream_rate = self.stream_rate;
+                scope.spawn(move || {
+                    let mut shaper = stream_rate.map(TokenBucket::with_default_burst);
+                    for req in group {
+                        match cluster.service_read(req) {
+                            Ok(data) => {
+                                if let Some(tb) = shaper.as_mut() {
+                                    tb.throttle(data.len() as u64);
+                                }
+                                results.lock().push((req.buffer_offset, data));
+                            }
+                            Err(e) => {
+                                *error.lock() = Some(e);
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        for (offset, data) in results.into_inner() {
+            buf[offset as usize..offset as usize + data.len()].copy_from_slice(&data);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::StripeLayout;
+
+    fn small_cluster_with_data() -> (DpssCluster, DatasetDescriptor, Vec<u8>) {
+        let cluster = DpssCluster::new(StripeLayout::new(4096, 4, 2));
+        let desc = DatasetDescriptor::new("demo", (32, 32, 16), 4, 3);
+        cluster.register_dataset(desc.clone());
+        let client = DpssClient::new(cluster.clone(), "loader");
+        let total = desc.total_size().bytes() as usize;
+        let data: Vec<u8> = (0..total).map(|i| (i % 253) as u8).collect();
+        client.write_at("demo", 0, &data).unwrap();
+        (cluster, desc, data)
+    }
+
+    #[test]
+    fn unix_like_open_read_seek_close() {
+        let (cluster, desc, data) = small_cluster_with_data();
+        let client = DpssClient::new(cluster, "viz");
+        let mut file = client.dpss_open("demo").unwrap();
+        assert!(file.is_open());
+        assert_eq!(file.descriptor().name, "demo");
+
+        let mut buf = vec![0u8; 1000];
+        client.dpss_read(&mut file, &mut buf).unwrap();
+        assert_eq!(buf, &data[..1000]);
+        assert_eq!(file.position(), 1000);
+
+        client.dpss_lseek(&mut file, SeekFrom::Current(-500)).unwrap();
+        assert_eq!(file.position(), 500);
+        client.dpss_read(&mut file, &mut buf).unwrap();
+        assert_eq!(buf, &data[500..1500]);
+
+        let ts1 = desc.timestep_offset(1);
+        client.dpss_lseek(&mut file, SeekFrom::Start(ts1)).unwrap();
+        let mut step = vec![0u8; 2048];
+        client.dpss_read(&mut file, &mut step).unwrap();
+        assert_eq!(step, &data[ts1 as usize..ts1 as usize + 2048]);
+
+        client.dpss_close(&mut file);
+        assert!(!file.is_open());
+        assert!(matches!(client.dpss_read(&mut file, &mut buf), Err(DpssError::Closed)));
+    }
+
+    #[test]
+    fn block_level_access_reads_arbitrary_ranges() {
+        let (cluster, desc, data) = small_cluster_with_data();
+        let client = DpssClient::new(cluster, "viz");
+        // Read a slab of timestep 2 without touching anything else.
+        let (off, len) = desc.z_slab_range(2, 3, 8);
+        let mut buf = vec![0u8; len as usize];
+        client.read_at("demo", off, &mut buf).unwrap();
+        assert_eq!(buf, &data[off as usize..(off + len) as usize]);
+    }
+
+    #[test]
+    fn seek_and_bounds_errors() {
+        let (cluster, desc, _) = small_cluster_with_data();
+        let client = DpssClient::new(cluster, "viz");
+        let mut file = client.dpss_open("demo").unwrap();
+        let size = desc.total_size().bytes();
+        assert!(client.dpss_lseek(&mut file, SeekFrom::Start(size)).is_ok());
+        assert!(client.dpss_lseek(&mut file, SeekFrom::Start(size + 1)).is_err());
+        assert!(client.dpss_lseek(&mut file, SeekFrom::Current(-1_000_000_000)).is_err());
+        assert!(client.dpss_open("missing").is_err());
+    }
+
+    #[test]
+    fn access_control_applies_to_clients() {
+        let (cluster, ..) = small_cluster_with_data();
+        cluster.master().write().set_access_list(["visapult-backend"]);
+        let denied = DpssClient::new(cluster.clone(), "stranger");
+        assert!(matches!(denied.dpss_open("demo"), Err(DpssError::AccessDenied(_))));
+        let allowed = DpssClient::new(cluster, "visapult-backend");
+        assert!(allowed.dpss_open("demo").is_ok());
+    }
+
+    #[test]
+    fn client_uses_one_thread_per_server() {
+        let (cluster, ..) = small_cluster_with_data();
+        let client = DpssClient::new(cluster, "viz");
+        assert_eq!(client.threads_per_request(), 4);
+    }
+
+    #[test]
+    fn shaped_reads_are_slower_than_unshaped() {
+        let (cluster, desc, _) = small_cluster_with_data();
+        // Read the whole dataset (3 timesteps) so each of the 4 server
+        // streams moves well beyond its token-bucket burst.
+        let len = desc.total_size().bytes() as usize;
+
+        let fast = DpssClient::new(cluster.clone(), "viz");
+        let mut buf = vec![0u8; len];
+        let t0 = std::time::Instant::now();
+        fast.read_at("demo", 0, &mut buf).unwrap();
+        let fast_time = t0.elapsed();
+
+        // Pace each of the 4 server streams to ~0.5 MB/s; ~49 KB per stream
+        // should take on the order of 100 ms.
+        let slow = DpssClient::new(cluster, "viz").with_stream_rate(Bandwidth::from_mbytes_per_sec(0.5));
+        let t1 = std::time::Instant::now();
+        slow.read_at("demo", 0, &mut buf).unwrap();
+        let slow_time = t1.elapsed();
+        assert!(
+            slow_time > fast_time * 3 && slow_time > std::time::Duration::from_millis(30),
+            "shaping had no effect: fast={fast_time:?} slow={slow_time:?}"
+        );
+    }
+
+    #[test]
+    fn logger_records_read_events() {
+        let (cluster, ..) = small_cluster_with_data();
+        let collector = netlogger::Collector::wall();
+        let client = DpssClient::new(cluster, "viz").with_logger(collector.logger("client-host", "dpss-client"));
+        let mut buf = vec![0u8; 8192];
+        client.read_at("demo", 0, &mut buf).unwrap();
+        let log = collector.finish();
+        assert_eq!(log.with_tag("DPSS_READ_START").count(), 1);
+        assert_eq!(log.with_tag("DPSS_READ_END").count(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! DPSS error type.
+
+use std::fmt;
+
+/// Errors returned by DPSS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DpssError {
+    /// The named dataset is not registered with the master.
+    UnknownDataset(String),
+    /// The client is not on the master's access-control list.
+    AccessDenied(String),
+    /// A read or seek went past the end of the dataset.
+    OutOfBounds {
+        /// Requested offset.
+        offset: u64,
+        /// Dataset size.
+        size: u64,
+    },
+    /// The referenced server does not exist in the cluster.
+    UnknownServer(usize),
+    /// A network-level failure (real-socket mode).
+    Network(String),
+    /// The file handle was already closed.
+    Closed,
+}
+
+impl fmt::Display for DpssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpssError::UnknownDataset(name) => write!(f, "unknown dataset: {name}"),
+            DpssError::AccessDenied(client) => write!(f, "access denied for client: {client}"),
+            DpssError::OutOfBounds { offset, size } => {
+                write!(f, "offset {offset} out of bounds for dataset of {size} bytes")
+            }
+            DpssError::UnknownServer(id) => write!(f, "unknown DPSS server {id}"),
+            DpssError::Network(msg) => write!(f, "network error: {msg}"),
+            DpssError::Closed => write!(f, "file handle is closed"),
+        }
+    }
+}
+
+impl std::error::Error for DpssError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(DpssError::UnknownDataset("x".into()).to_string().contains('x'));
+        assert!(DpssError::OutOfBounds { offset: 10, size: 5 }.to_string().contains("10"));
+        assert!(DpssError::AccessDenied("viz".into()).to_string().contains("viz"));
+    }
+}

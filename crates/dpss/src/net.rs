@@ -1,0 +1,371 @@
+//! TCP block service and striped-socket client.
+//!
+//! The paper's DPSS serves physical block requests to clients over TCP, and
+//! the client opens one connection per server (the "striped sockets" that let
+//! the aggregate transfer ride above per-connection TCP window limits).  This
+//! module provides both halves over real sockets so that integration tests
+//! and examples exercise genuine network I/O on loopback, optionally paced by
+//! a token bucket to emulate WAN bandwidth.
+//!
+//! The wire protocol is deliberately small:
+//!
+//! ```text
+//! request  = op:u8 (1=read)  disk:u32  offset:u64  len:u64
+//! response = len:u64  payload bytes
+//! ```
+//!
+//! Logical-to-physical resolution stays on the client side (it asks the
+//! in-process master), matching Figure 7 where the master returns the mapping
+//! and the servers only ever see physical block requests.
+
+use crate::error::DpssError;
+use crate::master::PhysicalBlockRequest;
+use crate::server::DpssCluster;
+use netsim::{Bandwidth, TokenBucket};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const OP_READ: u8 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_be_bytes())
+}
+fn write_u64(w: &mut impl Write, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_be_bytes())
+}
+fn read_u32(r: &mut impl Read) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_be_bytes(b))
+}
+fn read_u64(r: &mut impl Read) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_be_bytes(b))
+}
+
+/// A running TCP block service for one DPSS block server.
+pub struct DpssTcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl DpssTcpServer {
+    /// Serve physical block reads for server `server_id` of `cluster` on an
+    /// ephemeral loopback port.  Each accepted connection is handled on its
+    /// own thread and processes requests until the peer closes.
+    pub fn serve(cluster: DpssCluster, server_id: usize, send_rate: Option<Bandwidth>) -> Result<Self, DpssError> {
+        // Validate the server id up front.
+        cluster.server(server_id)?;
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| DpssError::Network(format!("bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| DpssError::Network(format!("local_addr failed: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| DpssError::Network(format!("nonblocking failed: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name(format!("dpss-server-{server_id}"))
+            .spawn(move || {
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                while !shutdown2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let cluster = cluster.clone();
+                            let rate = send_rate;
+                            workers.push(
+                                std::thread::Builder::new()
+                                    .name(format!("dpss-conn-{server_id}"))
+                                    .spawn(move || {
+                                        let _ = handle_connection(stream, &cluster, server_id, rate);
+                                    })
+                                    .expect("spawn connection handler"),
+                            );
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for w in workers {
+                    let _ = w.join();
+                }
+            })
+            .expect("spawn dpss server thread");
+        Ok(DpssTcpServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread.  Connections
+    /// already open are drained by their own threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DpssTcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    cluster: &DpssCluster,
+    server_id: usize,
+    send_rate: Option<Bandwidth>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut shaper = send_rate.map(TokenBucket::with_default_burst);
+    loop {
+        let mut op = [0u8; 1];
+        match stream.read_exact(&mut op) {
+            Ok(()) => {}
+            Err(_) => return Ok(()), // peer closed
+        }
+        if op[0] != OP_READ {
+            return Ok(());
+        }
+        let disk = read_u32(&mut stream)? as usize;
+        let offset = read_u64(&mut stream)?;
+        let len = read_u64(&mut stream)?;
+        let data = {
+            let server = cluster
+                .server(server_id)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let guard = server.read();
+            guard
+                .read(disk, offset, len)
+                .map_err(|e| std::io::Error::other(e.to_string()))?
+        };
+        if let Some(tb) = shaper.as_mut() {
+            tb.throttle(data.len() as u64);
+        }
+        write_u64(&mut stream, data.len() as u64)?;
+        stream.write_all(&data)?;
+    }
+}
+
+/// A striped-socket client: one TCP connection per DPSS server.
+pub struct DpssTcpClient {
+    cluster: DpssCluster,
+    client_name: String,
+    addrs: Vec<SocketAddr>,
+}
+
+impl DpssTcpClient {
+    /// A client that resolves against `cluster`'s master and fetches blocks
+    /// from the TCP services at `addrs` (index = server id).
+    pub fn new(cluster: DpssCluster, client_name: impl Into<String>, addrs: Vec<SocketAddr>) -> Self {
+        DpssTcpClient {
+            cluster,
+            client_name: client_name.into(),
+            addrs,
+        }
+    }
+
+    /// Number of striped connections a read will use.
+    pub fn stripe_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Read a byte range of a dataset over the striped TCP connections:
+    /// resolve at the master, group by server, fetch each server's blocks on
+    /// its own connection in its own thread, and assemble the buffer.
+    pub fn read_at(&self, dataset: &str, offset: u64, buf: &mut [u8]) -> Result<(), DpssError> {
+        let (requests, groups) = {
+            let master = self.cluster.master();
+            let guard = master.read();
+            let requests = guard.resolve(&self.client_name, dataset, offset, buf.len() as u64)?;
+            let groups = guard.group_by_server(&requests);
+            (requests, groups)
+        };
+        drop(requests);
+
+        let results: Mutex<Vec<(u64, Vec<u8>)>> = Mutex::new(Vec::new());
+        let error: Mutex<Option<DpssError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for (server_id, group) in groups.iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let addr = match self.addrs.get(server_id) {
+                    Some(a) => *a,
+                    None => {
+                        *error.lock() = Some(DpssError::UnknownServer(server_id));
+                        continue;
+                    }
+                };
+                let results = &results;
+                let error = &error;
+                scope.spawn(move || match fetch_group(addr, group) {
+                    Ok(mut pieces) => results.lock().append(&mut pieces),
+                    Err(e) => *error.lock() = Some(e),
+                });
+            }
+        });
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        for (offset, data) in results.into_inner() {
+            buf[offset as usize..offset as usize + data.len()].copy_from_slice(&data);
+        }
+        Ok(())
+    }
+}
+
+fn fetch_group(addr: SocketAddr, group: &[PhysicalBlockRequest]) -> Result<Vec<(u64, Vec<u8>)>, DpssError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| DpssError::Network(format!("connect {addr}: {e}")))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| DpssError::Network(e.to_string()))?;
+    let mut out = Vec::with_capacity(group.len());
+    for req in group {
+        (|| -> std::io::Result<()> {
+            stream.write_all(&[OP_READ])?;
+            write_u32(&mut stream, req.disk as u32)?;
+            write_u64(&mut stream, req.disk_offset + req.in_block_offset)?;
+            write_u64(&mut stream, req.len)?;
+            Ok(())
+        })()
+        .map_err(|e| DpssError::Network(format!("send request: {e}")))?;
+        let len = read_u64(&mut stream).map_err(|e| DpssError::Network(format!("read length: {e}")))?;
+        let mut data = vec![0u8; len as usize];
+        stream
+            .read_exact(&mut data)
+            .map_err(|e| DpssError::Network(format!("read payload: {e}")))?;
+        out.push((req.buffer_offset, data));
+    }
+    Ok(out)
+}
+
+/// Convenience: start one TCP service per server of `cluster` and return the
+/// servers plus a ready-to-use striped client.
+pub fn serve_cluster(
+    cluster: &DpssCluster,
+    client_name: &str,
+    send_rate: Option<Bandwidth>,
+) -> Result<(Vec<DpssTcpServer>, DpssTcpClient), DpssError> {
+    let mut servers = Vec::with_capacity(cluster.server_count());
+    let mut addrs = Vec::with_capacity(cluster.server_count());
+    for id in 0..cluster.server_count() {
+        let s = DpssTcpServer::serve(cluster.clone(), id, send_rate)?;
+        addrs.push(s.addr());
+        servers.push(s);
+    }
+    Ok((servers, DpssTcpClient::new(cluster.clone(), client_name, addrs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::StripeLayout;
+    use crate::client::DpssClient;
+    use crate::dataset::DatasetDescriptor;
+
+    fn cluster_with_data() -> (DpssCluster, DatasetDescriptor, Vec<u8>) {
+        let cluster = DpssCluster::new(StripeLayout::new(2048, 3, 2));
+        let desc = DatasetDescriptor::new("net-demo", (64, 32, 16), 4, 2);
+        cluster.register_dataset(desc.clone());
+        let loader = DpssClient::new(cluster.clone(), "loader");
+        let data: Vec<u8> = (0..desc.total_size().bytes() as usize).map(|i| (i * 7 % 251) as u8).collect();
+        loader.write_at("net-demo", 0, &data).unwrap();
+        (cluster, desc, data)
+    }
+
+    #[test]
+    fn striped_tcp_read_returns_correct_bytes() {
+        let (cluster, desc, data) = cluster_with_data();
+        let (servers, client) = serve_cluster(&cluster, "viz", None).unwrap();
+        assert_eq!(client.stripe_count(), 3);
+        let mut buf = vec![0u8; desc.bytes_per_timestep().bytes() as usize];
+        client.read_at("net-demo", desc.timestep_offset(1), &mut buf).unwrap();
+        assert_eq!(buf, &data[desc.timestep_offset(1) as usize..]);
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn partial_and_unaligned_reads_work() {
+        let (cluster, _desc, data) = cluster_with_data();
+        let (_servers, client) = serve_cluster(&cluster, "viz", None).unwrap();
+        let mut buf = vec![0u8; 5000];
+        client.read_at("net-demo", 1234, &mut buf).unwrap();
+        assert_eq!(buf, &data[1234..1234 + 5000]);
+    }
+
+    #[test]
+    fn access_control_applies_over_tcp_too() {
+        let (cluster, ..) = cluster_with_data();
+        cluster.master().write().set_access_list(["trusted"]);
+        let (_servers, client) = serve_cluster(&cluster, "untrusted", None).unwrap();
+        let mut buf = vec![0u8; 64];
+        assert!(matches!(
+            client.read_at("net-demo", 0, &mut buf),
+            Err(DpssError::AccessDenied(_))
+        ));
+    }
+
+    #[test]
+    fn shaped_service_paces_transfers() {
+        let (cluster, ..) = cluster_with_data();
+        // ~1 MB/s per server stream.
+        let (_servers, slow) =
+            serve_cluster(&cluster, "viz", Some(Bandwidth::from_mbytes_per_sec(1.0))).unwrap();
+        let (_servers2, fast) = serve_cluster(&cluster, "viz", None).unwrap();
+        let mut buf = vec![0u8; 200_000];
+        let t0 = std::time::Instant::now();
+        fast.read_at("net-demo", 0, &mut buf).unwrap();
+        let fast_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        slow.read_at("net-demo", 0, &mut buf).unwrap();
+        let slow_time = t1.elapsed();
+        assert!(
+            slow_time > fast_time * 2,
+            "pacing had no effect: fast={fast_time:?} slow={slow_time:?}"
+        );
+    }
+
+    #[test]
+    fn server_shutdown_is_clean() {
+        let (cluster, ..) = cluster_with_data();
+        let server = DpssTcpServer::serve(cluster, 0, None).unwrap();
+        let addr = server.addr();
+        assert!(addr.port() > 0);
+        server.shutdown();
+        // Connecting after shutdown should eventually fail or be refused; we
+        // only require that shutdown itself returns promptly (join worked).
+    }
+
+    #[test]
+    fn unknown_server_id_is_rejected() {
+        let (cluster, ..) = cluster_with_data();
+        assert!(DpssTcpServer::serve(cluster, 99, None).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! The [`NetLogger`] handle placed inside instrumented components.
+//!
+//! Mirrors the paper's procedural interface: "subroutine calls to generate
+//! NetLogger events are placed inside the source code of the application",
+//! and the events are forwarded to a daemon (our [`crate::Collector`]) over a
+//! channel.  Handles are cheap to clone and safe to share across threads, so
+//! every back-end PE, reader thread and viewer I/O thread can carry one.
+
+use crate::clock::Clock;
+use crate::event::{Event, FieldValue};
+use crossbeam::channel::Sender;
+
+/// A cloneable logging handle bound to a host name, a program name and a
+/// clock, forwarding events to a collector.
+#[derive(Debug, Clone)]
+pub struct NetLogger {
+    host: String,
+    program: String,
+    clock: Clock,
+    sink: Sender<Event>,
+}
+
+impl NetLogger {
+    /// Create a handle.  Usually obtained from [`crate::Collector::logger`].
+    pub fn new(host: impl Into<String>, program: impl Into<String>, clock: Clock, sink: Sender<Event>) -> Self {
+        NetLogger {
+            host: host.into(),
+            program: program.into(),
+            clock,
+            sink,
+        }
+    }
+
+    /// The host name this handle stamps on events.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The program name this handle stamps on events.
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// The clock used for timestamps.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// A derived handle with a different program name (e.g. the back end
+    /// master creating `backend-worker` handles for its PEs).
+    pub fn for_program(&self, program: impl Into<String>) -> NetLogger {
+        NetLogger {
+            host: self.host.clone(),
+            program: program.into(),
+            clock: self.clock.clone(),
+            sink: self.sink.clone(),
+        }
+    }
+
+    /// A derived handle with a different host name (e.g. per cluster node).
+    pub fn for_host(&self, host: impl Into<String>) -> NetLogger {
+        NetLogger {
+            host: host.into(),
+            program: self.program.clone(),
+            clock: self.clock.clone(),
+            sink: self.sink.clone(),
+        }
+    }
+
+    /// Emit an event with no extra fields.
+    pub fn log(&self, tag: &str) {
+        self.log_event(Event::new(self.clock.now(), &self.host, &self.program, tag));
+    }
+
+    /// Emit an event with extra fields.
+    pub fn log_with<I, K, V>(&self, tag: &str, fields: I)
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<FieldValue>,
+    {
+        let mut e = Event::new(self.clock.now(), &self.host, &self.program, tag);
+        for (k, v) in fields {
+            e.fields.insert(k.into(), v.into());
+        }
+        self.log_event(e);
+    }
+
+    /// Emit an event at an explicit timestamp (used by the virtual-time
+    /// campaign driver, which computes event times before advancing the
+    /// shared clock).
+    pub fn log_at(&self, timestamp: f64, tag: &str, fields: Vec<(String, FieldValue)>) {
+        let mut e = Event::new(timestamp, &self.host, &self.program, tag);
+        for (k, v) in fields {
+            e.fields.insert(k, v);
+        }
+        self.log_event(e);
+    }
+
+    /// Emit a fully formed event.
+    pub fn log_event(&self, event: Event) {
+        // The collector may have been dropped at shutdown; losing trailing
+        // events then is acceptable (and matches UDP-style NetLogger use).
+        let _ = self.sink.send(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn events_carry_identity_and_fields() {
+        let (tx, rx) = unbounded();
+        let clock = Clock::virtual_clock();
+        clock.set(2.5);
+        let log = NetLogger::new("cplant-0", "backend-worker", clock, tx);
+        log.log(tags::BE_FRAME_START);
+        log.log_with(tags::BE_LOAD_END, [(tags::FIELD_FRAME, 3u64), (tags::FIELD_BYTES, 100u64)]);
+        let e1 = rx.recv().unwrap();
+        let e2 = rx.recv().unwrap();
+        assert_eq!(e1.tag, tags::BE_FRAME_START);
+        assert_eq!(e1.host, "cplant-0");
+        assert_eq!(e1.timestamp, 2.5);
+        assert_eq!(e2.frame(), Some(3));
+        assert_eq!(e2.bytes(), Some(100));
+    }
+
+    #[test]
+    fn derived_handles_share_clock_and_sink() {
+        let (tx, rx) = unbounded();
+        let clock = Clock::virtual_clock();
+        let log = NetLogger::new("lbl", "viewer-master", clock.clone(), tx);
+        let worker = log.for_program("viewer-worker").for_host("lbl-viewer");
+        clock.set(1.0);
+        worker.log(tags::V_FRAME_START);
+        let e = rx.recv().unwrap();
+        assert_eq!(e.program, "viewer-worker");
+        assert_eq!(e.host, "lbl-viewer");
+        assert_eq!(e.timestamp, 1.0);
+    }
+
+    #[test]
+    fn dropped_collector_does_not_panic() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        let log = NetLogger::new("h", "p", Clock::wall(), tx);
+        log.log("TAG"); // must not panic
+    }
+
+    #[test]
+    fn log_at_uses_explicit_timestamp() {
+        let (tx, rx) = unbounded();
+        let log = NetLogger::new("h", "p", Clock::virtual_clock(), tx);
+        log.log_at(42.0, tags::BE_RENDER_END, vec![("x".to_string(), FieldValue::Int(1))]);
+        let e = rx.recv().unwrap();
+        assert_eq!(e.timestamp, 42.0);
+        assert_eq!(e.field("x").unwrap().as_int(), Some(1));
+    }
+}

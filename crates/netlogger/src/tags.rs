@@ -1,0 +1,104 @@
+//! The standard Visapult NetLogger tags (paper Appendix A, Tables 1 and 2).
+//!
+//! Tag strings are kept byte-identical to the paper so that lifeline plots
+//! read the same way as the published figures.
+
+/// Back end: top of the per-timestep loop.
+pub const BE_FRAME_START: &str = "BE_FRAME_START";
+/// Back end: a PE is about to load its subset of volume data.
+pub const BE_LOAD_START: &str = "BE_LOAD_START";
+/// Back end: volume data load and format conversion completed.
+pub const BE_LOAD_END: &str = "BE_LOAD_END";
+/// Back end: start transmitting visualization metadata to the viewer.
+pub const BE_LIGHT_SEND: &str = "BE_LIGHT_SEND";
+/// Back end: metadata transmission complete.
+pub const BE_LIGHT_END: &str = "BE_LIGHT_END";
+/// Back end: start of the parallel volume rendering process.
+pub const BE_RENDER_START: &str = "BE_RENDER_START";
+/// Back end: all rendering complete.
+pub const BE_RENDER_END: &str = "BE_RENDER_END";
+/// Back end: start transmitting visualization (texture) data.
+pub const BE_HEAVY_SEND: &str = "BE_HEAVY_SEND";
+/// Back end: end of visualization data transmission.
+pub const BE_HEAVY_END: &str = "BE_HEAVY_END";
+/// Back end: end of processing for this timestep.
+pub const BE_FRAME_END: &str = "BE_FRAME_END";
+
+/// Viewer: top of the loop in each thread servicing a back-end connection.
+pub const V_FRAME_START: &str = "V_FRAME_START";
+/// Viewer: beginning of receipt of visualization metadata (~256 bytes).
+pub const V_LIGHTPAYLOAD_START: &str = "V_LIGHTPAYLOAD_START";
+/// Viewer: visualization metadata received.
+pub const V_LIGHTPAYLOAD_END: &str = "V_LIGHTPAYLOAD_END";
+/// Viewer: beginning of receipt of visualization data (textures + geometry).
+pub const V_HEAVYPAYLOAD_START: &str = "V_HEAVYPAYLOAD_START";
+/// Viewer: all visualization data received.
+pub const V_HEAVYPAYLOAD_END: &str = "V_HEAVYPAYLOAD_END";
+/// Viewer: end of processing of this timestep's worth of data.
+pub const V_FRAME_END: &str = "V_FRAME_END";
+
+/// The back-end tags in the vertical order used by the paper's NLV figures
+/// (bottom to top).
+pub const BACKEND_TAG_ORDER: &[&str] = &[
+    BE_FRAME_START,
+    BE_LOAD_START,
+    BE_LOAD_END,
+    BE_LIGHT_SEND,
+    BE_LIGHT_END,
+    BE_RENDER_START,
+    BE_RENDER_END,
+    BE_HEAVY_SEND,
+    BE_HEAVY_END,
+    BE_FRAME_END,
+];
+
+/// The viewer tags in the vertical order used by the paper's NLV figures.
+pub const VIEWER_TAG_ORDER: &[&str] = &[
+    V_FRAME_START,
+    V_LIGHTPAYLOAD_START,
+    V_LIGHTPAYLOAD_END,
+    V_HEAVYPAYLOAD_START,
+    V_HEAVYPAYLOAD_END,
+    V_FRAME_END,
+];
+
+/// The combined lifeline order used in Figures 12–17: back-end traces on the
+/// bottom, viewer traces on top.
+pub fn combined_tag_order() -> Vec<&'static str> {
+    let mut v = Vec::with_capacity(BACKEND_TAG_ORDER.len() + VIEWER_TAG_ORDER.len());
+    v.extend_from_slice(BACKEND_TAG_ORDER);
+    v.extend_from_slice(VIEWER_TAG_ORDER);
+    v
+}
+
+/// Standard field name: frame (timestep) number.
+pub const FIELD_FRAME: &str = "NL.frame";
+/// Standard field name: payload bytes associated with the event span.
+pub const FIELD_BYTES: &str = "NL.bytes";
+/// Standard field name: back-end PE rank.
+pub const FIELD_RANK: &str = "NL.rank";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_cover_all_tags_without_duplicates() {
+        let combined = combined_tag_order();
+        assert_eq!(combined.len(), 16);
+        let unique: std::collections::HashSet<_> = combined.iter().collect();
+        assert_eq!(unique.len(), combined.len());
+        assert_eq!(combined[0], BE_FRAME_START);
+        assert_eq!(*combined.last().unwrap(), V_FRAME_END);
+    }
+
+    #[test]
+    fn tag_strings_match_paper_prefixes() {
+        for t in BACKEND_TAG_ORDER {
+            assert!(t.starts_with("BE_"));
+        }
+        for t in VIEWER_TAG_ORDER {
+            assert!(t.starts_with("V_"));
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Fluid-flow simulation of concurrent transfers with max–min fair sharing.
+//!
+//! The Visapult back end runs one data-loading stream per processing element,
+//! all fetching from the same DPSS over the same WAN path at the same time.
+//! Whether adding PEs speeds up the aggregate load is purely a question of
+//! whether the shared path is already saturated — the paper observes exactly
+//! this in Figure 14 ("the time required to load 160 MB of data using eight
+//! nodes is approximately equal to the time required when using four nodes").
+//!
+//! [`FlowSim`] models each transfer as a fluid flow along a route through a
+//! [`Topology`].  Whenever the set of active flows changes (a flow starts or
+//! finishes), per-flow rates are recomputed with progressive-filling max–min
+//! fairness subject to per-link capacities and optional per-flow rate caps
+//! (modelling TCP window limits or a host NIC).  Between events every flow
+//! progresses linearly at its assigned rate, so completion times are exact
+//! for the fluid model and fully deterministic.
+
+use crate::link::LinkId;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{Route, Topology};
+use crate::units::{Bandwidth, DataSize};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a flow within a [`FlowSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(pub usize);
+
+/// One transfer to be simulated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Flow {
+    /// Identifier assigned at submission.
+    pub id: FlowId,
+    /// Human-readable label (e.g. `"PE3 load frame 7"`).
+    pub label: String,
+    /// Route the flow takes.
+    pub route: Route,
+    /// Total payload.
+    pub size: DataSize,
+    /// Time the flow becomes active.
+    pub start: SimTime,
+    /// Optional per-flow rate cap (TCP window limit, host NIC share, …).
+    pub rate_cap: Option<Bandwidth>,
+}
+
+/// Completion record for one flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowCompletion {
+    /// The flow id.
+    pub id: FlowId,
+    /// Label copied from the flow.
+    pub label: String,
+    /// Submission/start time.
+    pub start: SimTime,
+    /// Time the last byte was delivered.
+    pub end: SimTime,
+    /// Payload size.
+    pub size: DataSize,
+}
+
+impl FlowCompletion {
+    /// Transfer duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Average throughput achieved.
+    pub fn throughput(&self) -> Bandwidth {
+        self.size.rate_over(self.duration())
+    }
+}
+
+/// Result of running a [`FlowSim`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowSimReport {
+    /// Per-flow completion records, in completion order.
+    pub completions: Vec<FlowCompletion>,
+    /// The time the last flow completed.
+    pub makespan: SimTime,
+    /// Peak number of simultaneously active flows observed.
+    pub peak_concurrency: usize,
+}
+
+impl FlowSimReport {
+    /// Completion record for a given flow.
+    pub fn completion(&self, id: FlowId) -> Option<&FlowCompletion> {
+        self.completions.iter().find(|c| c.id == id)
+    }
+
+    /// Aggregate throughput: total bytes over the makespan.
+    pub fn aggregate_throughput(&self) -> Bandwidth {
+        let total: DataSize = self.completions.iter().map(|c| c.size).sum();
+        let earliest = self
+            .completions
+            .iter()
+            .map(|c| c.start)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        total.rate_over(self.makespan - earliest)
+    }
+}
+
+struct ActiveFlow {
+    idx: usize,
+    remaining: f64, // bytes
+}
+
+/// Fluid-flow simulator over a shared topology.
+pub struct FlowSim {
+    topology: Topology,
+    flows: Vec<Flow>,
+}
+
+impl FlowSim {
+    /// Create a simulator over the given topology.
+    pub fn new(topology: Topology) -> Self {
+        FlowSim {
+            topology,
+            flows: Vec::new(),
+        }
+    }
+
+    /// Access the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Submit a flow; returns its id.  Flows may be submitted in any order.
+    pub fn submit(
+        &mut self,
+        label: impl Into<String>,
+        route: Route,
+        size: DataSize,
+        start: SimTime,
+        rate_cap: Option<Bandwidth>,
+    ) -> FlowId {
+        let id = FlowId(self.flows.len());
+        self.flows.push(Flow {
+            id,
+            label: label.into(),
+            route,
+            size,
+            start,
+            rate_cap,
+        });
+        id
+    }
+
+    /// Number of submitted flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Max–min fair allocation for the currently active flows.
+    ///
+    /// Returns per-active-flow rates in bytes/sec, indexed like `active`.
+    fn allocate(&self, active: &[ActiveFlow]) -> Vec<f64> {
+        let n = active.len();
+        let mut rates = vec![0.0_f64; n];
+        if n == 0 {
+            return rates;
+        }
+        // Remaining capacity per link in bytes/sec.
+        let mut link_capacity: HashMap<LinkId, f64> = HashMap::new();
+        // Which active flows cross each link.
+        let mut link_members: HashMap<LinkId, Vec<usize>> = HashMap::new();
+        for (i, af) in active.iter().enumerate() {
+            for lid in &self.flows[af.idx].route.links {
+                link_capacity
+                    .entry(*lid)
+                    .or_insert_with(|| self.topology.link(*lid).available_bandwidth().bps() / 8.0);
+                link_members.entry(*lid).or_default().push(i);
+            }
+        }
+        let mut frozen = vec![false; n];
+        let mut remaining_cap = link_capacity.clone();
+
+        loop {
+            let unfrozen: Vec<usize> = (0..n).filter(|i| !frozen[*i]).collect();
+            if unfrozen.is_empty() {
+                break;
+            }
+            // Candidate increment: the smallest of (a) each link's equal share
+            // among its unfrozen members, (b) each unfrozen flow's cap.
+            let mut limit = f64::INFINITY;
+            let mut limiting_link: Option<LinkId> = None;
+            for (lid, members) in &link_members {
+                let unfrozen_members = members.iter().filter(|m| !frozen[**m]).count();
+                if unfrozen_members == 0 {
+                    continue;
+                }
+                let share = remaining_cap[lid] / unfrozen_members as f64;
+                if share < limit {
+                    limit = share;
+                    limiting_link = Some(*lid);
+                }
+            }
+            let mut cap_limited: Vec<usize> = Vec::new();
+            for &i in &unfrozen {
+                if let Some(cap) = self.flows[active[i].idx].rate_cap {
+                    let cap_bytes = cap.bps() / 8.0;
+                    if cap_bytes < limit {
+                        limit = cap_bytes;
+                        limiting_link = None;
+                        cap_limited.clear();
+                        cap_limited.push(i);
+                    } else if (cap_bytes - limit).abs() < 1e-9 && limiting_link.is_none() {
+                        cap_limited.push(i);
+                    }
+                }
+            }
+            if !limit.is_finite() {
+                // No link constrains these flows (empty routes): give them an
+                // effectively unlimited local-memory rate.
+                for &i in &unfrozen {
+                    let cap = self.flows[active[i].idx]
+                        .rate_cap
+                        .map(|c| c.bps() / 8.0)
+                        .unwrap_or(10e9 / 8.0 * 8.0);
+                    rates[i] = cap;
+                    frozen[i] = true;
+                }
+                continue;
+            }
+
+            // Assign the limit to the flows being frozen this round and
+            // subtract their usage from every link they cross.
+            let to_freeze: Vec<usize> = if let Some(lid) = limiting_link {
+                link_members[&lid]
+                    .iter()
+                    .copied()
+                    .filter(|m| !frozen[*m])
+                    .collect()
+            } else {
+                cap_limited
+            };
+            debug_assert!(!to_freeze.is_empty(), "progressive filling must freeze at least one flow");
+            for &i in &to_freeze {
+                rates[i] = limit;
+                frozen[i] = true;
+                for lid in &self.flows[active[i].idx].route.links {
+                    if let Some(c) = remaining_cap.get_mut(lid) {
+                        *c = (*c - limit).max(0.0);
+                    }
+                }
+            }
+        }
+        rates
+    }
+
+    /// Run the simulation to completion and report per-flow completion times.
+    pub fn run(&mut self) -> FlowSimReport {
+        let mut arrivals: Vec<usize> = (0..self.flows.len()).collect();
+        arrivals.sort_by_key(|&i| self.flows[i].start);
+        let mut arrival_cursor = 0usize;
+
+        let mut active: Vec<ActiveFlow> = Vec::new();
+        let mut completions: Vec<FlowCompletion> = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut peak = 0usize;
+
+        while arrival_cursor < arrivals.len() || !active.is_empty() {
+            // Admit any flows whose start time has been reached.
+            while arrival_cursor < arrivals.len() && self.flows[arrivals[arrival_cursor]].start <= now {
+                let idx = arrivals[arrival_cursor];
+                active.push(ActiveFlow {
+                    idx,
+                    remaining: self.flows[idx].size.bytes() as f64,
+                });
+                arrival_cursor += 1;
+            }
+            if active.is_empty() {
+                // Jump to the next arrival.
+                now = self.flows[arrivals[arrival_cursor]].start;
+                continue;
+            }
+            peak = peak.max(active.len());
+
+            let rates = self.allocate(&active);
+
+            // Time to next completion at these rates.
+            let mut dt_complete = f64::INFINITY;
+            for (i, af) in active.iter().enumerate() {
+                if rates[i] > 0.0 {
+                    dt_complete = dt_complete.min(af.remaining / rates[i]);
+                } else if af.remaining <= 0.0 {
+                    dt_complete = 0.0;
+                }
+            }
+            // Time to next arrival.
+            let dt_arrival = if arrival_cursor < arrivals.len() {
+                (self.flows[arrivals[arrival_cursor]].start - now).as_secs_f64()
+            } else {
+                f64::INFINITY
+            };
+            let dt = dt_complete.min(dt_arrival);
+            assert!(
+                dt.is_finite(),
+                "flow simulation cannot make progress: a flow has zero rate and no pending arrivals"
+            );
+
+            // Advance.
+            let step = SimDuration::from_secs_f64(dt.max(0.0));
+            now += step;
+            for (i, af) in active.iter_mut().enumerate() {
+                af.remaining -= rates[i] * dt;
+            }
+
+            // Retire completed flows (with a small epsilon for float error).
+            let mut still_active = Vec::with_capacity(active.len());
+            for af in active.drain(..) {
+                if af.remaining <= 1e-6 {
+                    let flow = &self.flows[af.idx];
+                    completions.push(FlowCompletion {
+                        id: flow.id,
+                        label: flow.label.clone(),
+                        start: flow.start,
+                        end: now,
+                        size: flow.size,
+                    });
+                } else {
+                    still_active.push(af);
+                }
+            }
+            active = still_active;
+        }
+
+        let makespan = completions.iter().map(|c| c.end).max().unwrap_or(SimTime::ZERO);
+        FlowSimReport {
+            completions,
+            makespan,
+            peak_concurrency: peak,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{Link, LinkKind};
+
+    /// One WAN hop from a DPSS host to a cluster of client nodes.
+    fn wan_topology(clients: usize) -> (Topology, Vec<Route>) {
+        let mut t = Topology::new();
+        let dpss = t.add_node("dpss");
+        let pop = t.add_node("pop");
+        t.add_link(
+            dpss,
+            pop,
+            Link::new("wan", LinkKind::DedicatedWan, Bandwidth::oc12(), SimDuration::from_millis(2)),
+        );
+        let mut routes = Vec::new();
+        for i in 0..clients {
+            let c = t.add_node(format!("client{i}"));
+            t.add_link(
+                pop,
+                c,
+                Link::new(format!("nic{i}"), LinkKind::Lan, Bandwidth::gige(), SimDuration::from_micros(100)),
+            );
+            routes.push(t.route(dpss, c).unwrap());
+        }
+        (t, routes)
+    }
+
+    #[test]
+    fn single_flow_gets_full_bottleneck() {
+        let (t, routes) = wan_topology(1);
+        let mut sim = FlowSim::new(t);
+        let id = sim.submit("load", routes[0].clone(), DataSize::from_mb(160), SimTime::ZERO, None);
+        let report = sim.run();
+        let c = report.completion(id).unwrap();
+        // ~603 Mbps available -> ~2.1s
+        let secs = c.duration().as_secs_f64();
+        assert!(secs > 1.9 && secs < 2.4, "got {secs}");
+    }
+
+    #[test]
+    fn shared_wan_divides_fairly() {
+        let (t, routes) = wan_topology(4);
+        let mut sim = FlowSim::new(t);
+        for (i, r) in routes.iter().enumerate() {
+            sim.submit(format!("pe{i}"), r.clone(), DataSize::from_mb(40), SimTime::ZERO, None);
+        }
+        let report = sim.run();
+        // All four flows share the OC-12 equally and finish together; the
+        // aggregate time equals one 160 MB transfer at the bottleneck.
+        let times: Vec<f64> = report.completions.iter().map(|c| c.duration().as_secs_f64()).collect();
+        let spread = times.iter().cloned().fold(f64::MIN, f64::max) - times.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1e-6, "fair share should equalize completion, spread={spread}");
+        assert!(times[0] > 1.9 && times[0] < 2.4);
+    }
+
+    #[test]
+    fn adding_clients_does_not_speed_up_saturated_wan() {
+        // Paper Fig. 14: 8-node load time ~= 4-node load time once the WAN is
+        // the bottleneck.  Total data is fixed; each client loads size/n.
+        let total = DataSize::from_mb(160);
+        let mut makespans = Vec::new();
+        for n in [4usize, 8] {
+            let (t, routes) = wan_topology(n);
+            let mut sim = FlowSim::new(t);
+            let per = DataSize::from_bytes(total.bytes() / n as u64);
+            for (i, r) in routes.iter().enumerate() {
+                sim.submit(format!("pe{i}"), r.clone(), per, SimTime::ZERO, None);
+            }
+            makespans.push(sim.run().makespan.as_secs_f64());
+        }
+        let ratio = makespans[1] / makespans[0];
+        assert!((ratio - 1.0).abs() < 0.05, "8-node vs 4-node load should be ~equal, ratio={ratio}");
+    }
+
+    #[test]
+    fn rate_caps_are_respected() {
+        let (t, routes) = wan_topology(1);
+        let mut sim = FlowSim::new(t);
+        let id = sim.submit(
+            "capped",
+            routes[0].clone(),
+            DataSize::from_mb(10),
+            SimTime::ZERO,
+            Some(Bandwidth::from_mbps(80.0)),
+        );
+        let report = sim.run();
+        let tput = report.completion(id).unwrap().throughput().mbps();
+        assert!(tput <= 80.5, "cap exceeded: {tput}");
+        assert!(tput > 70.0, "cap should nearly be reached: {tput}");
+    }
+
+    #[test]
+    fn staggered_arrivals_shift_shares() {
+        let (t, routes) = wan_topology(2);
+        let mut sim = FlowSim::new(t);
+        let a = sim.submit("first", routes[0].clone(), DataSize::from_mb(80), SimTime::ZERO, None);
+        let b = sim.submit(
+            "second",
+            routes[1].clone(),
+            DataSize::from_mb(80),
+            SimTime::from_secs_f64(1.0),
+            None,
+        );
+        let report = sim.run();
+        let ca = report.completion(a).unwrap();
+        let cb = report.completion(b).unwrap();
+        // The early flow finishes before the late one.
+        assert!(ca.end < cb.end);
+        assert_eq!(report.peak_concurrency, 2);
+    }
+
+    #[test]
+    fn empty_route_flow_completes_immediately_fast() {
+        let mut t = Topology::new();
+        let n = t.add_node("local");
+        let route = t.route(n, n).unwrap();
+        let mut sim = FlowSim::new(t);
+        let id = sim.submit("local copy", route, DataSize::from_mb(100), SimTime::ZERO, None);
+        let report = sim.run();
+        assert!(report.completion(id).unwrap().duration().as_secs_f64() < 1.0);
+    }
+
+    #[test]
+    fn aggregate_throughput_reported() {
+        let (t, routes) = wan_topology(4);
+        let mut sim = FlowSim::new(t);
+        for (i, r) in routes.iter().enumerate() {
+            sim.submit(format!("pe{i}"), r.clone(), DataSize::from_mb(40), SimTime::ZERO, None);
+        }
+        let report = sim.run();
+        let agg = report.aggregate_throughput().mbps();
+        assert!(agg > 500.0 && agg < 625.0, "aggregate should approach OC-12: {agg}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Small statistics helpers shared by the measurement harnesses.
+
+use crate::time::{SimDuration, SimTime};
+use crate::units::{Bandwidth, DataSize};
+use serde::{Deserialize, Serialize};
+
+/// Accumulates byte counts against the virtual clock and reports throughput,
+/// mirroring what the paper derives from NetLogger timestamps.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    total: DataSize,
+    first: Option<SimTime>,
+    last: Option<SimTime>,
+    samples: usize,
+}
+
+impl ThroughputMeter {
+    /// An empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `size` bytes finished transferring at `at`.
+    pub fn record(&mut self, at: SimTime, size: DataSize) {
+        self.total += size;
+        self.samples += 1;
+        self.first = Some(self.first.map_or(at, |f| f.min(at)));
+        self.last = Some(self.last.map_or(at, |l| l.max(at)));
+    }
+
+    /// Total bytes recorded.
+    pub fn total(&self) -> DataSize {
+        self.total
+    }
+
+    /// Number of recorded samples.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Time span between the first and last sample.
+    pub fn span(&self) -> SimDuration {
+        match (self.first, self.last) {
+            (Some(f), Some(l)) => l - f,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Average throughput over the observed span (zero if the span is empty).
+    pub fn average(&self) -> Bandwidth {
+        self.total.rate_over(self.span())
+    }
+}
+
+/// Running scalar statistics (mean / min / max / population standard deviation).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Mean of the observations (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Minimum observation (zero when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (zero when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Population standard deviation (zero for fewer than two observations).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation (std dev over mean), a convenient measure of
+    /// the load-time variability the paper observes in overlapped mode.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let m = self.mean();
+        if m.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_meter_basic() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_secs_f64(1.0), DataSize::from_mb(40));
+        m.record(SimTime::from_secs_f64(3.0), DataSize::from_mb(40));
+        assert_eq!(m.total(), DataSize::from_mb(80));
+        assert_eq!(m.samples(), 2);
+        assert!((m.span().as_secs_f64() - 2.0).abs() < 1e-9);
+        assert!((m.average().mbps() - 320.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_meter_is_zero() {
+        let m = ThroughputMeter::new();
+        assert_eq!(m.average(), Bandwidth::ZERO);
+        assert_eq!(m.span(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn running_stats_match_hand_values() {
+        let s: RunningStats = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.coefficient_of_variation() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_degenerate_cases() {
+        let empty = RunningStats::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.std_dev(), 0.0);
+        let single: RunningStats = std::iter::once(3.0).collect();
+        assert_eq!(single.mean(), 3.0);
+        assert_eq!(single.std_dev(), 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Scene node types.
+//!
+//! The scene graph "supports storage and rendering of surface-based
+//! primitives ..., vector-based primitives (lines, line strips), image-based
+//! data (volumes, textures, sprites and bitmaps), and text" (§3.1).  The
+//! node set here covers what Visapult actually puts in the graph: textured
+//! quads (one per back-end PE), line sets for the AMR grids, quad meshes for
+//! the IBRAVR depth extension, and text annotations.
+
+use serde::{Deserialize, Serialize};
+use volren::RgbaImage;
+
+/// A quadrilateral in 3-D given by its centre and two half-extent vectors.
+/// The quad's corners are `center ± u ± v`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quad3 {
+    /// Quad centre.
+    pub center: [f32; 3],
+    /// Half-extent along the texture's U direction.
+    pub u: [f32; 3],
+    /// Half-extent along the texture's V direction.
+    pub v: [f32; 3],
+}
+
+impl Quad3 {
+    /// An axis-aligned quad perpendicular to the given axis index (0=X, 1=Y,
+    /// 2=Z), centred at `center`, with half extents `half_u`/`half_v` along
+    /// the remaining two axes in X→Y→Z order.
+    pub fn axis_aligned(axis: usize, center: [f32; 3], half_u: f32, half_v: f32) -> Self {
+        let (u_axis, v_axis) = match axis {
+            0 => (1, 2),
+            1 => (0, 2),
+            _ => (0, 1),
+        };
+        let mut u = [0.0; 3];
+        let mut v = [0.0; 3];
+        u[u_axis] = half_u;
+        v[v_axis] = half_v;
+        Quad3 { center, u, v }
+    }
+
+    /// The four corners (−u−v, +u−v, +u+v, −u+v).
+    pub fn corners(&self) -> [[f32; 3]; 4] {
+        let c = self.center;
+        let add = |s_u: f32, s_v: f32| {
+            [
+                c[0] + s_u * self.u[0] + s_v * self.v[0],
+                c[1] + s_u * self.u[1] + s_v * self.v[1],
+                c[2] + s_u * self.u[2] + s_v * self.v[2],
+            ]
+        };
+        [add(-1.0, -1.0), add(1.0, -1.0), add(1.0, 1.0), add(-1.0, 1.0)]
+    }
+}
+
+/// One displayable node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SceneNode {
+    /// A 2-D texture mapped onto a quad in 3-D — the fundamental IBRAVR
+    /// primitive (one per back-end PE slab).
+    TextureQuad {
+        /// The texture image.
+        image: RgbaImage,
+        /// Where the quad sits in model space.
+        quad: Quad3,
+    },
+    /// A quad mesh with per-vertex offsets along the quad normal: the IBRAVR
+    /// depth-extension of reference [14], "replace the single quadrilateral
+    /// with a quadrilateral mesh using offsets from the base plane".
+    QuadMesh {
+        /// The texture image.
+        image: RgbaImage,
+        /// The base quad.
+        quad: Quad3,
+        /// Offsets along the quad normal, row-major `mesh_dims.1 × mesh_dims.0`.
+        offsets: Vec<f32>,
+        /// Mesh resolution (columns, rows).
+        mesh_dims: (usize, usize),
+    },
+    /// A set of line segments with one colour — the AMR grid geometry.
+    Lines {
+        /// Segment endpoints.
+        segments: Vec<([f32; 3], [f32; 3])>,
+        /// RGBA colour.
+        color: [f32; 4],
+    },
+    /// A text annotation anchored at a 3-D position.
+    Text {
+        /// Anchor position.
+        position: [f32; 3],
+        /// The text content.
+        content: String,
+    },
+}
+
+impl SceneNode {
+    /// Approximate GPU/wire footprint of the node in bytes — used to verify
+    /// the paper's claim that viewer-side data is `O(n^2)` while the raw
+    /// volume is `O(n^3)`.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            SceneNode::TextureQuad { image, .. } => image.byte_len() as u64,
+            SceneNode::QuadMesh { image, offsets, .. } => image.byte_len() as u64 + (offsets.len() * 4) as u64,
+            SceneNode::Lines { segments, .. } => (segments.len() * 24) as u64,
+            SceneNode::Text { content, .. } => content.len() as u64,
+        }
+    }
+
+    /// A depth key for back-to-front sorting: the distance of the node's
+    /// reference point along the given view direction.
+    pub fn depth_along(&self, dir: [f32; 3]) -> f32 {
+        let p = match self {
+            SceneNode::TextureQuad { quad, .. } | SceneNode::QuadMesh { quad, .. } => quad.center,
+            SceneNode::Lines { segments, .. } => segments
+                .first()
+                .map(|(a, b)| [(a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0, (a[2] + b[2]) / 2.0])
+                .unwrap_or([0.0; 3]),
+            SceneNode::Text { position, .. } => *position,
+        };
+        p[0] * dir[0] + p[1] * dir[1] + p[2] * dir[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_aligned_quads_lie_in_the_right_plane() {
+        let q = Quad3::axis_aligned(2, [5.0, 6.0, 7.0], 2.0, 3.0);
+        for c in q.corners() {
+            assert_eq!(c[2], 7.0, "Z-aligned quad must be flat in Z");
+        }
+        let qx = Quad3::axis_aligned(0, [1.0, 2.0, 3.0], 1.0, 1.0);
+        for c in qx.corners() {
+            assert_eq!(c[0], 1.0);
+        }
+    }
+
+    #[test]
+    fn corners_span_the_extents() {
+        let q = Quad3::axis_aligned(2, [0.0, 0.0, 0.0], 2.0, 3.0);
+        let corners = q.corners();
+        let xs: Vec<f32> = corners.iter().map(|c| c[0]).collect();
+        let ys: Vec<f32> = corners.iter().map(|c| c[1]).collect();
+        assert_eq!(xs.iter().cloned().fold(f32::MIN, f32::max), 2.0);
+        assert_eq!(xs.iter().cloned().fold(f32::MAX, f32::min), -2.0);
+        assert_eq!(ys.iter().cloned().fold(f32::MIN, f32::max), 3.0);
+    }
+
+    #[test]
+    fn payload_bytes_reflect_texture_size() {
+        let img = RgbaImage::new(64, 64);
+        let node = SceneNode::TextureQuad {
+            image: img.clone(),
+            quad: Quad3::axis_aligned(2, [0.0; 3], 1.0, 1.0),
+        };
+        assert_eq!(node.payload_bytes(), 64 * 64 * 4);
+        let lines = SceneNode::Lines {
+            segments: vec![([0.0; 3], [1.0; 3]); 10],
+            color: [1.0, 1.0, 1.0, 1.0],
+        };
+        assert_eq!(lines.payload_bytes(), 240);
+        let text = SceneNode::Text {
+            position: [0.0; 3],
+            content: "frame 7".to_string(),
+        };
+        assert_eq!(text.payload_bytes(), 7);
+    }
+
+    #[test]
+    fn depth_ordering_follows_view_direction() {
+        let near = SceneNode::TextureQuad {
+            image: RgbaImage::new(2, 2),
+            quad: Quad3::axis_aligned(2, [0.0, 0.0, 1.0], 1.0, 1.0),
+        };
+        let far = SceneNode::TextureQuad {
+            image: RgbaImage::new(2, 2),
+            quad: Quad3::axis_aligned(2, [0.0, 0.0, 10.0], 1.0, 1.0),
+        };
+        let dir = [0.0, 0.0, 1.0];
+        assert!(far.depth_along(dir) > near.depth_along(dir));
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion bench: DPSS client read path (E1/E11 microbenchmark).
+//!
+//! Measures block-level reads through the multi-threaded client API as a
+//! function of request size and of the number of servers in the cluster —
+//! the mechanism behind the paper's "the speed of the client scales with the
+//! speed of the server" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpss::{DatasetDescriptor, DpssClient, DpssCluster, StripeLayout};
+use std::hint::black_box;
+
+fn populated_cluster(servers: usize) -> (DpssCluster, DatasetDescriptor) {
+    let cluster = DpssCluster::new(StripeLayout::new(64 * 1024, servers, 4));
+    let descriptor = DatasetDescriptor::new("bench", (64, 64, 32), 4, 2);
+    cluster.register_dataset(descriptor.clone());
+    let loader = DpssClient::new(cluster.clone(), "loader");
+    let data = vec![0x5au8; descriptor.total_size().bytes() as usize];
+    loader.write_at("bench", 0, &data).unwrap();
+    (cluster, descriptor)
+}
+
+fn bench_read_sizes(c: &mut Criterion) {
+    let (cluster, descriptor) = populated_cluster(4);
+    let client = DpssClient::new(cluster, "viz");
+    let mut group = c.benchmark_group("dpss_read_size");
+    for &kb in &[64u64, 256, 1024] {
+        let len = (kb * 1024).min(descriptor.total_size().bytes());
+        group.throughput(Throughput::Bytes(len));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KB")), &len, |b, &len| {
+            let mut buf = vec![0u8; len as usize];
+            b.iter(|| {
+                client.read_at("bench", 0, &mut buf).unwrap();
+                black_box(buf[0]);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_server_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpss_read_vs_servers");
+    for &servers in &[1usize, 2, 4, 8] {
+        let (cluster, descriptor) = populated_cluster(servers);
+        let client = DpssClient::new(cluster, "viz");
+        let len = descriptor.bytes_per_timestep().bytes();
+        group.throughput(Throughput::Bytes(len));
+        group.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, _| {
+            let mut buf = vec![0u8; len as usize];
+            b.iter(|| {
+                client.read_at("bench", 0, &mut buf).unwrap();
+                black_box(buf[0]);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_sizes, bench_server_scaling);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: IBRAVR compositing vs full volume rendering (E8 ablation).
+//!
+//! The whole point of IBR-assisted volume rendering is that re-displaying the
+//! model from a new view costs a texture composite, not a volume render; this
+//! bench quantifies that gap for the software implementation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scenegraph::IbravrModel;
+use std::hint::black_box;
+use volren::{combustion_jet, render_view, Axis, RenderSettings, TransferFunction, ViewOrientation};
+
+fn bench_composite_vs_volume_render(c: &mut Criterion) {
+    let volume = combustion_jet((48, 40, 40), 0.6, 33);
+    let tf = TransferFunction::combustion_default();
+    let settings = RenderSettings::with_size(96, 96);
+    let model = IbravrModel::from_volume(&volume, Axis::Z, 8, &tf, &settings);
+    let view = ViewOrientation::new(12.0, 6.0);
+
+    let mut group = c.benchmark_group("ibravr_vs_volume_render");
+    group.sample_size(20);
+    group.bench_function("ibravr_composite", |b| {
+        b.iter(|| black_box(model.composite(&view, 96, 96)));
+    });
+    group.sample_size(10);
+    group.bench_function("full_volume_render", |b| {
+        b.iter(|| black_box(render_view(&volume, &view, &tf, &settings)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_composite_vs_volume_render);
+criterion_main!(benches);

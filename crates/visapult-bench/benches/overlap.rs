@@ -1,0 +1,42 @@
+//! Criterion bench: serial vs overlapped back end (E3/E7 ablation).
+//!
+//! Runs the real pipeline (synthetic source, in-process viewer links) in both
+//! execution modes on a laptop-scale dataset; the overlapped mode should show
+//! the §4.3 pipelining win whenever load and render costs are comparable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossbeam::channel::unbounded;
+use dpss::DatasetDescriptor;
+use std::hint::black_box;
+use std::sync::Arc;
+use visapult_core::backend::run_backend;
+use visapult_core::{DataSource, ExecutionMode, PipelineConfig, SyntheticSource};
+
+fn run_mode(mode: ExecutionMode) -> u64 {
+    let config = PipelineConfig::small(2, 3, mode);
+    let source: Arc<dyn DataSource> = Arc::new(SyntheticSource::new(DatasetDescriptor::small_combustion(3), 3));
+    let mut senders = Vec::new();
+    let mut receivers = Vec::new();
+    for _ in 0..config.pes {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let report = run_backend(&config, source, senders, None).unwrap();
+    // Drain so senders do not block (they are unbounded, but keep it tidy).
+    for rx in receivers {
+        while rx.try_recv().is_ok() {}
+    }
+    report.total_wire_bytes()
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_mode");
+    group.sample_size(10);
+    group.bench_function("serial", |b| b.iter(|| black_box(run_mode(ExecutionMode::Serial))));
+    group.bench_function("overlapped", |b| b.iter(|| black_box(run_mode(ExecutionMode::Overlapped))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: the striped-socket TCP model (E1/E5 ablation).
+//!
+//! Evaluates the per-round TCP model for 1–16 parallel streams over the NTON
+//! and ESnet path parameters; the modelled transfer time for a 160 MB frame
+//! drops sharply with striping on high bandwidth-delay-product paths, which
+//! is the DPSS design argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::{Bandwidth, DataSize, Link, LinkKind, SimDuration, TcpConfig, TcpModel};
+use std::hint::black_box;
+
+fn wan_link(latency_ms: u64, background: f64) -> Vec<Link> {
+    vec![Link::new("wan", LinkKind::SharedWan, Bandwidth::oc12(), SimDuration::from_millis(latency_ms))
+        .with_background_load(background)]
+}
+
+fn bench_stream_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcp_transfer_model");
+    let size = DataSize::from_mb(160);
+    for &(name, latency, bg) in &[("nton", 2u64, 0.0f64), ("esnet", 25, 0.72)] {
+        for &streams in &[1u32, 4, 16] {
+            let links = wan_link(latency, bg);
+            let model = TcpModel::from_path(&links, TcpConfig::wan_tuned(), streams);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{streams}streams")),
+                &model,
+                |b, model| {
+                    b.iter(|| black_box(model.transfer(size).duration));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_counts);
+criterion_main!(benches);

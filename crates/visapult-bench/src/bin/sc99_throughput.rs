@@ -1,0 +1,54 @@
+//! E6 / §4.1 — the SC99 research-exhibit data rates.
+//!
+//! Paper: 250 Mbps sustained between the LBL DPSS and CPlant over NTON with
+//! the early (pre-streamlining) Visapult implementation, and 150 Mbps between
+//! the LBL DPSS and the LBL booth cluster across the shared SciNet show-floor
+//! network; the April 2000 campaign later reached 433 Mbps over the same NTON
+//! path after the data staging was streamlined.
+
+use visapult_bench::{ComparisonRow, ExperimentReport};
+use visapult_core::{run_sim_campaign, ExecutionMode, SimCampaignConfig};
+
+fn main() {
+    let sc99_nton = run_sim_campaign(&SimCampaignConfig::sc99_cplant(4, 6)).unwrap();
+    let sc99_scinet = run_sim_campaign(&SimCampaignConfig::sc99_booth(8, 6)).unwrap();
+    let april2000 = run_sim_campaign(&SimCampaignConfig::nton_cplant(4, 6, ExecutionMode::Serial)).unwrap();
+
+    let mut out = ExperimentReport::new("E6 / §4.1", "SC99 exhibit throughputs and the post-SC99 improvement");
+    out.line(format!("{:<44}  {:>18}", "configuration", "DPSS->back-end Mbps"));
+    for (label, r) in [
+        ("SC99: DPSS -> CPlant over NTON", &sc99_nton),
+        ("SC99: DPSS -> LBL booth over SciNet", &sc99_scinet),
+        ("April 2000: DPSS -> CPlant over NTON", &april2000),
+    ] {
+        out.line(format!("{:<44}  {:>18.1}", label, r.mean_load_throughput_mbps));
+    }
+
+    out.compare(ComparisonRow::numeric("SC99 NTON throughput", 250.0, sc99_nton.mean_load_throughput_mbps, "Mbps", 0.15));
+    out.compare(ComparisonRow::numeric(
+        "SC99 SciNet throughput",
+        150.0,
+        sc99_scinet.mean_load_throughput_mbps,
+        "Mbps",
+        0.2,
+    ));
+    out.compare(ComparisonRow::claim(
+        "NTON path beats the shared SciNet path",
+        "250 vs 150 Mbps",
+        &format!(
+            "{:.0} vs {:.0} Mbps",
+            sc99_nton.mean_load_throughput_mbps, sc99_scinet.mean_load_throughput_mbps
+        ),
+        sc99_nton.mean_load_throughput_mbps > sc99_scinet.mean_load_throughput_mbps,
+    ));
+    out.compare(ComparisonRow::claim(
+        "post-SC99 streamlining improves the NTON rate",
+        "250 -> 433 Mbps",
+        &format!(
+            "{:.0} -> {:.0} Mbps",
+            sc99_nton.mean_load_throughput_mbps, april2000.mean_load_throughput_mbps
+        ),
+        april2000.mean_load_throughput_mbps > sc99_nton.mean_load_throughput_mbps * 1.4,
+    ));
+    println!("{}", out.render());
+}

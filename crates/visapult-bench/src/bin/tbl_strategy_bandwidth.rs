@@ -1,0 +1,68 @@
+//! E10 / §2 & footnote 3 — bandwidth demands of the three visualization
+//! strategies: render-remote, render-local, and Visapult.
+//!
+//! Paper: render-remote interactivity needs 960 Mbps for 1K×1K RGBA at 30
+//! fps; render-local must move the raw O(n³) data to the desktop; Visapult
+//! moves only O(n²) of texture to the viewer and keeps interaction local.
+
+use dpss::DatasetDescriptor;
+use visapult_bench::{ComparisonRow, ExperimentReport};
+use visapult_core::baseline::{compare_strategies, image_stream_bandwidth, VisualizationStrategy};
+
+fn main() {
+    let dataset = DatasetDescriptor::paper_combustion();
+    let rows = compare_strategies(&dataset, 1.0, 1000, 1000, 30.0, 8, 512);
+
+    let mut out = ExperimentReport::new("E10 / §2", "Bandwidth demand per visualization strategy (1 timestep/s playback, 1K x 1K @ 30 fps display)");
+    out.line(format!(
+        "{:<16}  {:>20}  {:>20}  {:>26}",
+        "strategy", "desktop link Mbps", "data link Mbps", "interactivity needs WAN?"
+    ));
+    for r in &rows {
+        out.line(format!(
+            "{:<16}  {:>20.1}  {:>20.1}  {:>26}",
+            match r.strategy {
+                VisualizationStrategy::RenderRemote => "render remote",
+                VisualizationStrategy::RenderLocal => "render local",
+                VisualizationStrategy::Visapult => "Visapult",
+            },
+            r.desktop_link.mbps(),
+            r.data_link.mbps(),
+            if r.interactivity_depends_on_wan { "yes" } else { "no" }
+        ));
+    }
+
+    let remote = rows.iter().find(|r| r.strategy == VisualizationStrategy::RenderRemote).unwrap();
+    let local = rows.iter().find(|r| r.strategy == VisualizationStrategy::RenderLocal).unwrap();
+    let visapult = rows.iter().find(|r| r.strategy == VisualizationStrategy::Visapult).unwrap();
+
+    out.compare(ComparisonRow::numeric(
+        "render-remote display stream (footnote 3)",
+        960.0,
+        image_stream_bandwidth(1000, 1000, 30.0).mbps(),
+        "Mbps",
+        0.01,
+    ));
+    out.compare(ComparisonRow::claim(
+        "render-local ships O(n^3) to the desktop",
+        "raw data over the WAN",
+        &format!("{:.0} Mbps per timestep/s", local.desktop_link.mbps()),
+        local.desktop_link.mbps() > visapult.desktop_link.mbps() * 10.0,
+    ));
+    out.compare(ComparisonRow::claim(
+        "Visapult viewer link is O(n^2)",
+        "textures only",
+        &format!("{:.0} Mbps vs {:.0} Mbps raw", visapult.desktop_link.mbps(), local.desktop_link.mbps()),
+        visapult.desktop_link.mbps() < local.desktop_link.mbps() / 10.0,
+    ));
+    out.compare(ComparisonRow::claim(
+        "only Visapult decouples interactivity from the WAN",
+        "graphics interactivity decoupled from network latency",
+        &format!(
+            "remote: {}, local: {}, visapult: {}",
+            remote.interactivity_depends_on_wan, local.interactivity_depends_on_wan, visapult.interactivity_depends_on_wan
+        ),
+        !visapult.interactivity_depends_on_wan && remote.interactivity_depends_on_wan,
+    ));
+    println!("{}", out.render());
+}

@@ -1,0 +1,163 @@
+//! # visapult-bench — the experiment harness
+//!
+//! One binary per figure/table of the paper's evaluation (see `src/bin/`) and
+//! Criterion micro-benchmarks for the performance-critical building blocks
+//! (see `benches/`).  This library holds the shared report formatting and the
+//! paper's reference values so every binary prints a "paper vs. reproduced"
+//! comparison that EXPERIMENTS.md records.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of a paper-vs-measured comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// What is being compared (e.g. "NTON aggregate load throughput").
+    pub quantity: String,
+    /// The value reported in the paper (unit included in the string).
+    pub paper: String,
+    /// The value this reproduction measured.
+    pub measured: String,
+    /// Whether the reproduction preserves the paper's qualitative claim.
+    pub shape_holds: bool,
+}
+
+impl ComparisonRow {
+    /// Build a row from numeric values with a unit and a tolerance expressed
+    /// as a relative band (e.g. 0.25 = within ±25 %).
+    pub fn numeric(quantity: &str, paper: f64, measured: f64, unit: &str, rel_band: f64) -> Self {
+        let shape_holds = if paper.abs() < f64::EPSILON {
+            measured.abs() < f64::EPSILON
+        } else {
+            ((measured - paper) / paper).abs() <= rel_band
+        };
+        ComparisonRow {
+            quantity: quantity.to_string(),
+            paper: format!("{paper:.1} {unit}"),
+            measured: format!("{measured:.1} {unit}"),
+            shape_holds,
+        }
+    }
+
+    /// Build a row for a qualitative claim.
+    pub fn claim(quantity: &str, paper: &str, measured: &str, holds: bool) -> Self {
+        ComparisonRow {
+            quantity: quantity.to_string(),
+            paper: paper.to_string(),
+            measured: measured.to_string(),
+            shape_holds: holds,
+        }
+    }
+}
+
+/// A full experiment report: header, free-form table body, and the
+/// paper-vs-measured rows.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id (e.g. "E2 / Figure 10").
+    pub id: String,
+    /// One-line description.
+    pub title: String,
+    /// Pre-formatted table body (the regenerated figure/table content).
+    pub body: String,
+    /// Paper-vs-measured rows.
+    pub comparisons: Vec<ComparisonRow>,
+}
+
+impl ExperimentReport {
+    /// A new empty report.
+    pub fn new(id: &str, title: &str) -> Self {
+        ExperimentReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Append a body line.
+    pub fn line(&mut self, line: impl AsRef<str>) {
+        self.body.push_str(line.as_ref());
+        self.body.push('\n');
+    }
+
+    /// Append a comparison row.
+    pub fn compare(&mut self, row: ComparisonRow) {
+        self.comparisons.push(row);
+    }
+
+    /// True when every recorded comparison preserves the paper's shape.
+    pub fn all_shapes_hold(&self) -> bool {
+        self.comparisons.iter().all(|c| c.shape_holds)
+    }
+
+    /// Render the report as text (what the figure binaries print).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("==== {} — {} ====\n\n", self.id, self.title));
+        out.push_str(&self.body);
+        if !self.comparisons.is_empty() {
+            out.push_str("\npaper vs. reproduction:\n");
+            let width = self
+                .comparisons
+                .iter()
+                .map(|c| c.quantity.len())
+                .max()
+                .unwrap_or(10)
+                .max(10);
+            for c in &self.comparisons {
+                out.push_str(&format!(
+                    "  {:width$}  paper: {:>16}   measured: {:>16}   shape holds: {}\n",
+                    c.quantity,
+                    c.paper,
+                    c.measured,
+                    if c.shape_holds { "yes" } else { "NO" },
+                    width = width
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\noverall: {}\n",
+            if self.all_shapes_hold() {
+                "reproduction preserves the paper's result shape"
+            } else {
+                "MISMATCH — see rows marked NO"
+            }
+        ));
+        out
+    }
+
+    /// Serialize to JSON (appended to bench output records).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_rows_apply_the_band() {
+        let ok = ComparisonRow::numeric("throughput", 433.0, 440.0, "Mbps", 0.1);
+        assert!(ok.shape_holds);
+        let off = ComparisonRow::numeric("throughput", 433.0, 200.0, "Mbps", 0.1);
+        assert!(!off.shape_holds);
+        let zero = ComparisonRow::numeric("x", 0.0, 0.0, "s", 0.1);
+        assert!(zero.shape_holds);
+    }
+
+    #[test]
+    fn report_renders_and_tracks_overall_status() {
+        let mut r = ExperimentReport::new("E2 / Figure 10", "NTON profile");
+        r.line("frame  load  render");
+        r.line("0      3.0   8.5");
+        r.compare(ComparisonRow::numeric("load time", 3.0, 2.9, "s", 0.2));
+        assert!(r.all_shapes_hold());
+        let text = r.render();
+        assert!(text.contains("Figure 10"));
+        assert!(text.contains("shape holds: yes"));
+        r.compare(ComparisonRow::claim("loser", "x", "y", false));
+        assert!(!r.all_shapes_hold());
+        assert!(r.render().contains("MISMATCH"));
+        assert!(r.to_json().contains("\"id\""));
+    }
+}

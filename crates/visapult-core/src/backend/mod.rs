@@ -1,0 +1,453 @@
+//! The Visapult back end: the parallel, optionally overlapped, render farm.
+//!
+//! "The Visapult back end reads raw scientific data from one of a number of
+//! different data sources, and each back end process performs volume
+//! rendering on some subset of the data, regardless of the viewpoint.  The
+//! resulting images are transmitted to the Visapult viewer for final assembly
+//! into a model (scene graph), then rendered to the user." (§3.4)
+//!
+//! [`run_backend`] executes that loop for real: one [`parcomm`] rank per
+//! processing element, each loading its Z-slab from a [`DataSource`],
+//! software-rendering it with [`volren`], and shipping light + heavy payloads
+//! to the viewer.  In [`ExecutionMode::Overlapped`] each rank runs the
+//! Appendix B process group: a detached reader thread loads timestep N+1 into
+//! the other half of a double buffer while the rank renders timestep N.
+
+use crate::config::{ExecutionMode, PipelineConfig};
+use crate::data_source::{slab_origin, DataSource};
+use crate::error::VisapultError;
+use crate::protocol::{FramePayload, HeavyPayload, LightPayload};
+use crossbeam::channel::Sender;
+use netlogger::{tags, NetLogger};
+use parcomm::{ProcessGroup, Rank, World};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use volren::{render_region, AmrHierarchy, Axis, Volume};
+
+/// Per-PE execution summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeReport {
+    /// PE rank.
+    pub rank: usize,
+    /// Frames processed.
+    pub frames: usize,
+    /// Raw bytes loaded from the data source.
+    pub bytes_loaded: u64,
+    /// Bytes shipped to the viewer (light + heavy payloads).
+    pub wire_bytes: u64,
+}
+
+/// Whole-back-end execution summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendReport {
+    /// Frames processed (same for every PE).
+    pub frames_rendered: usize,
+    /// Per-PE summaries, in rank order.
+    pub per_pe: Vec<PeReport>,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+}
+
+impl BackendReport {
+    /// Total raw bytes loaded across all PEs.
+    pub fn total_bytes_loaded(&self) -> u64 {
+        self.per_pe.iter().map(|p| p.bytes_loaded).sum()
+    }
+
+    /// Total bytes shipped to the viewer across all PEs.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.per_pe.iter().map(|p| p.wire_bytes).sum()
+    }
+}
+
+/// The quad (centre + half extents) slab `pe` of `total` maps onto, matching
+/// `scenegraph::IbravrModel::slab_quad` for a Z decomposition.
+fn slab_quad_vectors(
+    dims: (usize, usize, usize),
+    pe: usize,
+    total: usize,
+) -> ([f32; 3], [f32; 3], [f32; 3]) {
+    let (nx, ny, _) = (dims.0 as f32, dims.1 as f32, dims.2 as f32);
+    let origin_z = pe * dims.2 / total;
+    let size_z = (pe + 1) * dims.2 / total - origin_z;
+    let center = [
+        (nx - 1.0) / 2.0,
+        (ny - 1.0) / 2.0,
+        origin_z as f32 + size_z as f32 / 2.0 - 0.5,
+    ];
+    let u = [nx / 2.0, 0.0, 0.0];
+    let v = [0.0, ny / 2.0, 0.0];
+    (center, u, v)
+}
+
+/// Render one loaded slab and package the light + heavy payloads.
+fn render_and_package(
+    config: &PipelineConfig,
+    rank: usize,
+    frame: usize,
+    volume: &Volume,
+) -> FramePayload {
+    let image = render_region(volume, Axis::Z, &config.transfer, config.value_range, &config.render);
+    // AMR grid geometry for this slab, shifted into whole-volume coordinates.
+    let origin = slab_origin(&config.dataset, rank, config.pes);
+    let amr = AmrHierarchy::from_volume(volume, 16, 0.3, 2);
+    let geometry: Vec<([f32; 3], [f32; 3])> = amr
+        .to_line_segments()
+        .into_iter()
+        .map(|(a, b)| {
+            (
+                [a[0], a[1], a[2] + origin.2 as f32],
+                [b[0], b[1], b[2] + origin.2 as f32],
+            )
+        })
+        .collect();
+    let (center, u, v) = slab_quad_vectors(config.dataset.dims, rank, config.pes);
+    let light = LightPayload {
+        frame: frame as u32,
+        rank: rank as u32,
+        texture_width: config.render.image_width as u32,
+        texture_height: config.render.image_height as u32,
+        bytes_per_pixel: 4,
+        quad_center: center,
+        quad_u: u,
+        quad_v: v,
+        geometry_segments: geometry.len() as u32,
+    };
+    let heavy = HeavyPayload {
+        frame: frame as u32,
+        rank: rank as u32,
+        texture_rgba8: image.to_rgba8(),
+        geometry,
+    };
+    FramePayload { light, heavy }
+}
+
+fn send_frame(
+    link: &Sender<FramePayload>,
+    payload: FramePayload,
+    log: Option<&NetLogger>,
+    frame: usize,
+) -> Result<u64, VisapultError> {
+    let wire = payload.wire_bytes();
+    if let Some(l) = log {
+        l.log_with(tags::BE_LIGHT_SEND, [(tags::FIELD_FRAME, frame as u64)]);
+        l.log_with(tags::BE_LIGHT_END, [(tags::FIELD_FRAME, frame as u64)]);
+        l.log_with(
+            tags::BE_HEAVY_SEND,
+            [(tags::FIELD_FRAME, frame as u64), (tags::FIELD_BYTES, wire)],
+        );
+    }
+    link.send(payload)
+        .map_err(|_| VisapultError::Protocol("viewer link closed".to_string()))?;
+    if let Some(l) = log {
+        l.log_with(tags::BE_HEAVY_END, [(tags::FIELD_FRAME, frame as u64)]);
+    }
+    Ok(wire)
+}
+
+/// Run one PE in serial (load, then render, then send, per frame).
+fn run_pe_serial(
+    config: &PipelineConfig,
+    source: &Arc<dyn DataSource>,
+    rank: &Rank<()>,
+    link: &Sender<FramePayload>,
+    log: Option<&NetLogger>,
+) -> Result<PeReport, VisapultError> {
+    let r = rank.rank();
+    let mut bytes_loaded = 0u64;
+    let mut wire_bytes = 0u64;
+    for frame in 0..config.timesteps {
+        if let Some(l) = log {
+            l.log_with(tags::BE_FRAME_START, [(tags::FIELD_FRAME, frame as u64), (tags::FIELD_RANK, r as u64)]);
+            l.log_with(tags::BE_LOAD_START, [(tags::FIELD_FRAME, frame as u64)]);
+        }
+        let volume = source.load_slab(frame, r, config.pes)?;
+        let loaded = source.slab_bytes(frame, r, config.pes);
+        bytes_loaded += loaded;
+        if let Some(l) = log {
+            l.log_with(
+                tags::BE_LOAD_END,
+                [(tags::FIELD_FRAME, frame as u64), (tags::FIELD_BYTES, loaded)],
+            );
+            l.log_with(tags::BE_RENDER_START, [(tags::FIELD_FRAME, frame as u64)]);
+        }
+        let payload = render_and_package(config, r, frame, &volume);
+        if let Some(l) = log {
+            l.log_with(tags::BE_RENDER_END, [(tags::FIELD_FRAME, frame as u64)]);
+        }
+        wire_bytes += send_frame(link, payload, log, frame)?;
+        if let Some(l) = log {
+            l.log_with(tags::BE_FRAME_END, [(tags::FIELD_FRAME, frame as u64)]);
+        }
+        rank.barrier();
+    }
+    Ok(PeReport {
+        rank: r,
+        frames: config.timesteps,
+        bytes_loaded,
+        wire_bytes,
+    })
+}
+
+/// Run one PE with overlapped loading and rendering (Appendix B).
+fn run_pe_overlapped(
+    config: &PipelineConfig,
+    source: &Arc<dyn DataSource>,
+    rank: &Rank<()>,
+    link: &Sender<FramePayload>,
+    log: Option<&NetLogger>,
+) -> Result<PeReport, VisapultError> {
+    let r = rank.rank();
+    let pes = config.pes;
+    let reader_source = Arc::clone(source);
+    let reader_log = log.cloned();
+    // The double-buffered reader thread: loads the requested timestep's slab
+    // into its half of the buffer and emits the load-phase NetLogger events.
+    let mut group: ProcessGroup<Option<Volume>> = ProcessGroup::spawn(
+        || None,
+        move |timestep, slot| {
+            if let Some(l) = &reader_log {
+                l.log_with(tags::BE_LOAD_START, [(tags::FIELD_FRAME, timestep as u64)]);
+            }
+            let volume = reader_source
+                .load_slab(timestep, r, pes)
+                .expect("reader thread failed to load a slab");
+            let bytes = reader_source.slab_bytes(timestep, r, pes);
+            *slot = Some(volume);
+            if let Some(l) = &reader_log {
+                l.log_with(
+                    tags::BE_LOAD_END,
+                    [(tags::FIELD_FRAME, timestep as u64), (tags::FIELD_BYTES, bytes)],
+                );
+            }
+        },
+    );
+
+    let mut bytes_loaded = 0u64;
+    let mut wire_bytes = 0u64;
+    if config.timesteps > 0 {
+        group.request(0);
+        group.wait_ready();
+    }
+    for frame in 0..config.timesteps {
+        if let Some(l) = log {
+            l.log_with(tags::BE_FRAME_START, [(tags::FIELD_FRAME, frame as u64), (tags::FIELD_RANK, r as u64)]);
+        }
+        // Request the next timestep before rendering this one ("while the
+        // data for frame N is being rendered, data for frame N+1 is being
+        // loaded").
+        if frame + 1 < config.timesteps {
+            group.request(frame + 1);
+        }
+        let payload = {
+            let slot = group.buffer(frame);
+            let volume = slot.as_ref().expect("requested slab must be resident");
+            if let Some(l) = log {
+                l.log_with(tags::BE_RENDER_START, [(tags::FIELD_FRAME, frame as u64)]);
+            }
+            let payload = render_and_package(config, r, frame, volume);
+            if let Some(l) = log {
+                l.log_with(tags::BE_RENDER_END, [(tags::FIELD_FRAME, frame as u64)]);
+            }
+            payload
+        };
+        bytes_loaded += source.slab_bytes(frame, r, pes);
+        wire_bytes += send_frame(link, payload, log, frame)?;
+        if let Some(l) = log {
+            l.log_with(tags::BE_FRAME_END, [(tags::FIELD_FRAME, frame as u64)]);
+        }
+        if frame + 1 < config.timesteps {
+            group.wait_ready();
+        }
+        rank.barrier();
+    }
+    let reads = group.terminate();
+    debug_assert_eq!(reads, config.timesteps);
+    Ok(PeReport {
+        rank: r,
+        frames: config.timesteps,
+        bytes_loaded,
+        wire_bytes,
+    })
+}
+
+/// Run the full back end: one rank per PE, each shipping its payloads down
+/// its own viewer link.
+///
+/// `viewer_links` must contain exactly `config.pes` senders (one per PE).
+/// `logger`, when provided, is specialized per PE into
+/// `backend-worker-<rank>` program names on `pe-<rank>` hosts.
+pub fn run_backend(
+    config: &PipelineConfig,
+    source: Arc<dyn DataSource>,
+    viewer_links: Vec<Sender<FramePayload>>,
+    logger: Option<NetLogger>,
+) -> Result<BackendReport, VisapultError> {
+    config.validate().map_err(VisapultError::Config)?;
+    if config.axis != Axis::Z {
+        return Err(VisapultError::Config(
+            "the real-mode back end decomposes along Z; use the virtual-time campaign for other axes".to_string(),
+        ));
+    }
+    if viewer_links.len() != config.pes {
+        return Err(VisapultError::Config(format!(
+            "expected {} viewer links, got {}",
+            config.pes,
+            viewer_links.len()
+        )));
+    }
+    let start = Instant::now();
+    let results: Vec<Result<PeReport, VisapultError>> = World::run::<(), _, _>(config.pes, |rank| {
+        let r = rank.rank();
+        let pe_log = logger
+            .as_ref()
+            .map(|l| l.for_program(format!("backend-worker-{r}")).for_host(format!("pe-{r}")));
+        let link = &viewer_links[r];
+        match config.mode {
+            ExecutionMode::Serial => run_pe_serial(config, &source, &rank, link, pe_log.as_ref()),
+            ExecutionMode::Overlapped => run_pe_overlapped(config, &source, &rank, link, pe_log.as_ref()),
+        }
+    });
+    let mut per_pe = Vec::with_capacity(results.len());
+    for r in results {
+        per_pe.push(r?);
+    }
+    Ok(BackendReport {
+        frames_rendered: config.timesteps,
+        per_pe,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_source::SyntheticSource;
+    use crossbeam::channel::unbounded;
+    use dpss::DatasetDescriptor;
+
+    fn setup(pes: usize, timesteps: usize, mode: ExecutionMode) -> (PipelineConfig, Arc<dyn DataSource>) {
+        let config = PipelineConfig::small(pes, timesteps, mode);
+        let source: Arc<dyn DataSource> =
+            Arc::new(SyntheticSource::new(DatasetDescriptor::small_combustion(timesteps), 7));
+        (config, source)
+    }
+
+    fn run(pes: usize, timesteps: usize, mode: ExecutionMode) -> (BackendReport, Vec<FramePayload>) {
+        let (config, source) = setup(pes, timesteps, mode);
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..pes {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let report = run_backend(&config, source, senders, None).unwrap();
+        let mut payloads = Vec::new();
+        for rx in receivers {
+            while let Ok(p) = rx.try_recv() {
+                payloads.push(p);
+            }
+        }
+        (report, payloads)
+    }
+
+    #[test]
+    fn serial_backend_ships_one_payload_per_pe_per_frame() {
+        let (report, payloads) = run(4, 3, ExecutionMode::Serial);
+        assert_eq!(report.frames_rendered, 3);
+        assert_eq!(report.per_pe.len(), 4);
+        assert_eq!(payloads.len(), 12);
+        assert!(report.total_bytes_loaded() > 0);
+        assert_eq!(
+            report.total_bytes_loaded(),
+            DatasetDescriptor::small_combustion(3).total_size().bytes()
+        );
+    }
+
+    #[test]
+    fn overlapped_backend_produces_identical_payload_structure() {
+        let (serial_report, mut serial_payloads) = run(2, 4, ExecutionMode::Serial);
+        let (overlap_report, mut overlap_payloads) = run(2, 4, ExecutionMode::Overlapped);
+        assert_eq!(serial_report.frames_rendered, overlap_report.frames_rendered);
+        assert_eq!(serial_payloads.len(), overlap_payloads.len());
+        // Same (rank, frame) set and identical texture content: overlap is a
+        // performance optimization, not a semantic change.
+        let key = |p: &FramePayload| (p.light.rank, p.light.frame);
+        serial_payloads.sort_by_key(key);
+        overlap_payloads.sort_by_key(key);
+        for (s, o) in serial_payloads.iter().zip(&overlap_payloads) {
+            assert_eq!(key(s), key(o));
+            assert_eq!(s.heavy.texture_rgba8, o.heavy.texture_rgba8);
+        }
+    }
+
+    #[test]
+    fn payload_metadata_is_consistent() {
+        let (_, payloads) = run(4, 2, ExecutionMode::Serial);
+        for p in &payloads {
+            assert_eq!(p.light.bytes_per_pixel, 4);
+            assert_eq!(
+                p.heavy.texture_rgba8.len(),
+                (p.light.texture_width * p.light.texture_height * 4) as usize
+            );
+            assert_eq!(p.light.geometry_segments as usize, p.heavy.geometry.len());
+            // Quads are Z-aligned and stacked along Z in rank order.
+            assert_eq!(p.light.quad_u[2], 0.0);
+            assert_eq!(p.light.quad_v[2], 0.0);
+        }
+        let mut by_rank: Vec<&FramePayload> = payloads.iter().filter(|p| p.light.frame == 0).collect();
+        by_rank.sort_by_key(|p| p.light.rank);
+        for w in by_rank.windows(2) {
+            assert!(w[1].light.quad_center[2] > w[0].light.quad_center[2]);
+        }
+    }
+
+    #[test]
+    fn backend_rejects_bad_configs() {
+        let (config, source) = setup(2, 2, ExecutionMode::Serial);
+        // Wrong number of viewer links.
+        let (tx, _rx) = unbounded();
+        let err = run_backend(&config, source, vec![tx], None);
+        assert!(matches!(err, Err(VisapultError::Config(_))));
+    }
+
+    #[test]
+    fn netlogger_instrumentation_covers_every_phase() {
+        let (config, source) = setup(2, 2, ExecutionMode::Overlapped);
+        let collector = netlogger::Collector::wall();
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..2 {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        run_backend(&config, source, senders, Some(collector.logger("backend", "backend-master"))).unwrap();
+        let log = collector.finish();
+        // 2 PEs x 2 frames = 4 of each back-end event.
+        for tag in [
+            tags::BE_LOAD_START,
+            tags::BE_LOAD_END,
+            tags::BE_RENDER_START,
+            tags::BE_RENDER_END,
+            tags::BE_HEAVY_SEND,
+            tags::BE_HEAVY_END,
+            tags::BE_FRAME_START,
+            tags::BE_FRAME_END,
+        ] {
+            assert_eq!(log.with_tag(tag).count(), 4, "tag {tag}");
+        }
+        let analysis = netlogger::ProfileAnalysis::from_log(&log);
+        assert_eq!(analysis.frames.len(), 2);
+        assert!(analysis.frames.iter().all(|f| f.bytes_loaded > 0));
+    }
+
+    #[test]
+    fn single_pe_single_frame_works() {
+        let (report, payloads) = run(1, 1, ExecutionMode::Overlapped);
+        assert_eq!(report.frames_rendered, 1);
+        assert_eq!(payloads.len(), 1);
+    }
+}

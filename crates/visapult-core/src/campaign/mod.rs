@@ -1,0 +1,13 @@
+//! Campaign drivers: end-to-end runs of the Visapult pipeline.
+//!
+//! The paper calls its end-to-end field tests "campaigns" (§4.2).  Two
+//! drivers are provided:
+//!
+//! * [`real`] — runs the actual pipeline (DPSS, back end, viewer) on OS
+//!   threads with wall-clock NetLogger instrumentation.
+//! * [`sim`] — replays the same pipeline control flow against calibrated
+//!   network/platform models on a virtual clock, reproducing the paper's
+//!   timing figures without the original testbeds.
+
+pub mod real;
+pub mod sim;

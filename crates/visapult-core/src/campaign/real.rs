@@ -1,0 +1,201 @@
+//! Real-mode campaigns: the full pipeline on OS threads.
+//!
+//! A real campaign wires together everything the paper's Figure 2 shows:
+//! synthetic combustion data is staged onto an in-process DPSS cluster
+//! (optionally bandwidth-shaped to emulate the WAN between the cache and the
+//! back end), the parallel back end loads slabs through the DPSS client API
+//! and volume renders them, per-PE payloads stream to the multi-threaded
+//! viewer, and NetLogger instrumentation records the whole run so the same
+//! analysis used on the paper's NLV plots applies.
+
+use crate::backend::{run_backend, BackendReport};
+use crate::config::PipelineConfig;
+use crate::data_source::{DataSource, DpssDataSource, SyntheticSource};
+use crate::error::VisapultError;
+use crate::viewer::{Viewer, ViewerConfig, ViewerReport};
+use crossbeam::channel::unbounded;
+use dpss::{DpssClient, DpssCluster, StripeLayout};
+use netlogger::{Collector, EventLog, ProfileAnalysis};
+use netsim::Bandwidth;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use volren::combustion_series_bytes;
+
+/// Where the back end reads its data from in a real campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RealDataPath {
+    /// Stage synthetic data onto an in-process DPSS and read it back through
+    /// the multi-threaded client API (the paper's architecture).
+    Dpss {
+        /// Optional per-server-stream shaping emulating a WAN between the
+        /// cache and the back end.
+        stream_rate_mbps: Option<f64>,
+    },
+    /// Generate slabs directly in the back end (no cache); the "render local
+    /// data source" configuration used for quick tests.
+    Synthetic,
+}
+
+/// Configuration of a real-mode campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealCampaignConfig {
+    /// The pipeline to run.
+    pub pipeline: PipelineConfig,
+    /// Data path between cache and back end.
+    pub data_path: RealDataPath,
+    /// Viewer window size.
+    pub viewer_image: (usize, usize),
+    /// Random seed for the synthetic dataset.
+    pub seed: u64,
+}
+
+impl RealCampaignConfig {
+    /// A laptop-scale campaign reading from an in-process DPSS.
+    pub fn small(pipeline: PipelineConfig) -> Self {
+        RealCampaignConfig {
+            pipeline,
+            data_path: RealDataPath::Dpss { stream_rate_mbps: None },
+            viewer_image: (192, 192),
+            seed: 42,
+        }
+    }
+}
+
+/// Everything a real campaign produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RealCampaignReport {
+    /// Back-end execution summary.
+    pub backend: BackendReport,
+    /// Viewer execution summary.
+    pub viewer: ViewerReport,
+    /// The full NetLogger event log.
+    pub log: EventLog,
+    /// Phase analysis derived from the log.
+    pub analysis: ProfileAnalysis,
+}
+
+impl RealCampaignReport {
+    /// Data-reduction factor: raw bytes moved from the cache to the back end
+    /// versus bytes shipped to the viewer — the O(n³) → O(n²) claim of §3.4.
+    pub fn data_reduction_factor(&self) -> f64 {
+        let raw = self.backend.total_bytes_loaded() as f64;
+        let wire = self.backend.total_wire_bytes() as f64;
+        if wire <= 0.0 {
+            0.0
+        } else {
+            raw / wire
+        }
+    }
+}
+
+/// Run a real campaign to completion.
+pub fn run_real_campaign(config: &RealCampaignConfig) -> Result<RealCampaignReport, VisapultError> {
+    config.pipeline.validate().map_err(VisapultError::Config)?;
+    let collector = Collector::wall();
+
+    // Build the data source.
+    let source: Arc<dyn DataSource> = match config.data_path {
+        RealDataPath::Synthetic => Arc::new(SyntheticSource::new(config.pipeline.dataset.clone(), config.seed)),
+        RealDataPath::Dpss { stream_rate_mbps } => {
+            let cluster = DpssCluster::new(StripeLayout::new(64 * 1024, 4, 5));
+            cluster.register_dataset(config.pipeline.dataset.clone());
+            // Stage the synthetic dataset onto the cache (the HPSS→DPSS
+            // migration of §3.5, with the generator standing in for HPSS).
+            let stager = DpssClient::new(cluster.clone(), "stager");
+            let bytes = combustion_series_bytes(
+                config.pipeline.dataset.dims,
+                config.pipeline.dataset.timesteps,
+                config.seed,
+            );
+            stager.write_at(&config.pipeline.dataset.name, 0, &bytes)?;
+            let mut client = DpssClient::new(cluster, "visapult-backend")
+                .with_logger(collector.logger("dpss-client", "dpss-client"));
+            if let Some(mbps) = stream_rate_mbps {
+                client = client.with_stream_rate(Bandwidth::from_mbps(mbps));
+            }
+            Arc::new(DpssDataSource::new(client, config.pipeline.dataset.clone()))
+        }
+    };
+
+    // One channel per PE between back end and viewer.
+    let mut senders = Vec::with_capacity(config.pipeline.pes);
+    let mut receivers = Vec::with_capacity(config.pipeline.pes);
+    for _ in 0..config.pipeline.pes {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let viewer_config = ViewerConfig {
+        volume_dims: config.pipeline.dataset.dims,
+        image_size: config.viewer_image,
+        view: volren::ViewOrientation::new(8.0, 4.0),
+        expected_frames: config.pipeline.timesteps,
+    };
+    let viewer = Viewer::new(viewer_config);
+    let viewer_logger = collector.logger("desktop", "viewer-master");
+    let backend_logger = collector.logger("backend-host", "backend-master");
+
+    // The viewer runs on its own thread while the back end runs here.
+    let viewer_handle = std::thread::Builder::new()
+        .name("visapult-viewer".to_string())
+        .spawn(move || viewer.run(receivers, Some(viewer_logger)))
+        .expect("spawn viewer thread");
+
+    let backend = run_backend(&config.pipeline, source, senders, Some(backend_logger))?;
+    let viewer_report = viewer_handle.join().expect("viewer thread panicked");
+
+    let log = collector.finish();
+    let analysis = ProfileAnalysis::from_log(&log);
+    Ok(RealCampaignReport {
+        backend,
+        viewer: viewer_report,
+        log,
+        analysis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecutionMode;
+    use netlogger::tags;
+
+    fn small_config(pes: usize, timesteps: usize, mode: ExecutionMode, path: RealDataPath) -> RealCampaignConfig {
+        let mut c = RealCampaignConfig::small(PipelineConfig::small(pes, timesteps, mode));
+        c.data_path = path;
+        c
+    }
+
+    #[test]
+    fn end_to_end_dpss_campaign_produces_frames_and_a_picture() {
+        let config = small_config(4, 2, ExecutionMode::Serial, RealDataPath::Dpss { stream_rate_mbps: None });
+        let report = run_real_campaign(&config).unwrap();
+        assert_eq!(report.backend.frames_rendered, 2);
+        assert_eq!(report.viewer.frames_received, 4 * 2);
+        assert!(report.viewer.final_image.coverage() > 0.01);
+        assert!(report.data_reduction_factor() > 1.0, "viewer payload should be smaller than raw data");
+        // The log covers both ends of the pipeline.
+        assert!(report.log.with_tag(tags::BE_LOAD_END).count() >= 8);
+        assert!(report.log.with_tag(tags::V_HEAVYPAYLOAD_END).count() >= 8);
+        assert_eq!(report.analysis.frames.len(), 2);
+    }
+
+    #[test]
+    fn overlapped_campaign_matches_serial_results() {
+        let serial = run_real_campaign(&small_config(2, 3, ExecutionMode::Serial, RealDataPath::Synthetic)).unwrap();
+        let overlapped =
+            run_real_campaign(&small_config(2, 3, ExecutionMode::Overlapped, RealDataPath::Synthetic)).unwrap();
+        assert_eq!(serial.viewer.frames_received, overlapped.viewer.frames_received);
+        // Same final image regardless of execution mode.
+        let diff = serial.viewer.final_image.mean_abs_diff(&overlapped.viewer.final_image);
+        assert!(diff < 1e-4, "serial and overlapped campaigns diverged: {diff}");
+    }
+
+    #[test]
+    fn invalid_pipeline_is_rejected_before_running() {
+        let mut config = small_config(4, 2, ExecutionMode::Serial, RealDataPath::Synthetic);
+        config.pipeline.timesteps = 999;
+        assert!(matches!(run_real_campaign(&config), Err(VisapultError::Config(_))));
+    }
+}

@@ -1,0 +1,67 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// Errors raised while running a Visapult pipeline.
+#[derive(Debug)]
+pub enum VisapultError {
+    /// A storage-cache operation failed.
+    Dpss(dpss::DpssError),
+    /// A communicator operation failed.
+    Comm(parcomm::CommError),
+    /// A wire-protocol decode failed.
+    Protocol(String),
+    /// An I/O error (sockets, files).
+    Io(std::io::Error),
+    /// A configuration error detected before running.
+    Config(String),
+}
+
+impl fmt::Display for VisapultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VisapultError::Dpss(e) => write!(f, "DPSS error: {e}"),
+            VisapultError::Comm(e) => write!(f, "communicator error: {e}"),
+            VisapultError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            VisapultError::Io(e) => write!(f, "I/O error: {e}"),
+            VisapultError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VisapultError {}
+
+impl From<dpss::DpssError> for VisapultError {
+    fn from(e: dpss::DpssError) -> Self {
+        VisapultError::Dpss(e)
+    }
+}
+
+impl From<parcomm::CommError> for VisapultError {
+    fn from(e: parcomm::CommError) -> Self {
+        VisapultError::Comm(e)
+    }
+}
+
+impl From<std::io::Error> for VisapultError {
+    fn from(e: std::io::Error) -> Self {
+        VisapultError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: VisapultError = dpss::DpssError::Closed.into();
+        assert!(e.to_string().contains("DPSS"));
+        let e: VisapultError = parcomm::CommError::UnknownRank(3).into();
+        assert!(e.to_string().contains("communicator"));
+        let e: VisapultError = std::io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+        assert!(VisapultError::Config("bad".into()).to_string().contains("bad"));
+        assert!(VisapultError::Protocol("short".into()).to_string().contains("short"));
+    }
+}

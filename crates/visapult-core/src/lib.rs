@@ -1,0 +1,47 @@
+//! # visapult-core — the Visapult remote/distributed visualization framework
+//!
+//! This crate assembles the substrates ([`dpss`], [`netsim`], [`netlogger`],
+//! [`parcomm`], [`volren`], [`scenegraph`]) into the system the paper
+//! describes: a parallel, pipelined back end that loads slab-decomposed
+//! scientific data from a network data cache, volume renders it, and streams
+//! per-slab textures to a multi-threaded viewer whose IBR-assisted display is
+//! decoupled from network latency.
+//!
+//! Two execution paths are provided:
+//!
+//! * **Real mode** ([`campaign::real`]) — actual OS threads, an in-process
+//!   DPSS (optionally behind real TCP sockets), genuine software volume
+//!   rendering of synthetic combustion data, and a live viewer with a scene
+//!   graph; bandwidth shaping emulates the WAN.  This is what the examples
+//!   and integration tests run.
+//! * **Virtual-time mode** ([`campaign::sim`]) — the same pipeline control
+//!   flow driven against calibrated network/compute models on a virtual
+//!   clock, producing NetLogger event logs equivalent to the paper's NLV
+//!   figures in milliseconds of wall time.  This is what the benchmark
+//!   harness uses to regenerate every figure.
+//!
+//! Supporting modules: the light/heavy payload wire [`protocol`], the
+//! per-platform compute [`platform`] models, the analytic overlap [`model`]
+//! of §4.3, and the render-remote / render-local [`baseline`]s of §2.
+
+pub mod backend;
+pub mod baseline;
+pub mod campaign;
+pub mod config;
+pub mod data_source;
+pub mod error;
+pub mod model;
+pub mod platform;
+pub mod protocol;
+pub mod viewer;
+
+pub use baseline::{StrategyBandwidth, VisualizationStrategy};
+pub use campaign::real::{run_real_campaign, RealCampaignConfig, RealCampaignReport};
+pub use campaign::sim::{run_sim_campaign, SimCampaignConfig, SimCampaignReport};
+pub use config::{ExecutionMode, PipelineConfig};
+pub use data_source::{DataSource, DpssDataSource, SyntheticSource};
+pub use error::VisapultError;
+pub use model::OverlapModel;
+pub use platform::ComputePlatform;
+pub use protocol::{FramePayload, HeavyPayload, LightPayload};
+pub use viewer::{Viewer, ViewerReport};

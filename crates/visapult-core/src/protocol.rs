@@ -1,0 +1,354 @@
+//! The Visapult wire protocol: light and heavy payloads over striped sockets.
+//!
+//! Appendix A: per timestep each back-end PE sends the viewer a *light
+//! payload* — "visualization metadata [that] consists of texture size, bytes
+//! per pixel, and geometric information used to place the texture in a 3D
+//! scene ... on the order of 256 bytes" — followed by a *heavy payload* of
+//! "raw pixel data, as well as any geometric data", typically 0.25–1 MB of
+//! texture plus tens of kilobytes of AMR grid lines.
+//!
+//! Messages are length-prefixed and carry a magic word and type byte so the
+//! same encoding works over in-process channels (as `FramePayload` structs)
+//! and over real TCP sockets (via [`write_frame`]/[`read_frame`]).
+
+use crate::error::VisapultError;
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Protocol magic word ("VSPL").
+pub const MAGIC: u32 = 0x5653_504c;
+/// Message type byte for a light payload.
+pub const TYPE_LIGHT: u8 = 1;
+/// Message type byte for a heavy payload.
+pub const TYPE_HEAVY: u8 = 2;
+
+/// Visualization metadata for one (PE, timestep): everything the viewer needs
+/// to place the incoming texture in its scene graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LightPayload {
+    /// Timestep number.
+    pub frame: u32,
+    /// Sending PE rank.
+    pub rank: u32,
+    /// Texture width in pixels.
+    pub texture_width: u32,
+    /// Texture height in pixels.
+    pub texture_height: u32,
+    /// Bytes per pixel of the heavy payload's texture (4 for RGBA8).
+    pub bytes_per_pixel: u32,
+    /// Centre of the quad the texture maps onto, in model coordinates.
+    pub quad_center: [f32; 3],
+    /// Half-extent vector along the texture's U direction.
+    pub quad_u: [f32; 3],
+    /// Half-extent vector along the texture's V direction.
+    pub quad_v: [f32; 3],
+    /// Number of line segments in the heavy payload's geometry block.
+    pub geometry_segments: u32,
+}
+
+impl LightPayload {
+    /// Encoded size in bytes (fixed): six `u32` fields plus three 3-vectors
+    /// of `f32`.
+    pub const ENCODED_LEN: usize = 6 * 4 + 9 * 4;
+}
+
+/// The visualization data itself: the rendered slab texture and any geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeavyPayload {
+    /// Timestep number.
+    pub frame: u32,
+    /// Sending PE rank.
+    pub rank: u32,
+    /// RGBA8 texture bytes (`texture_width × texture_height × 4`).
+    pub texture_rgba8: Vec<u8>,
+    /// AMR grid line segments in model coordinates.
+    pub geometry: Vec<([f32; 3], [f32; 3])>,
+}
+
+impl HeavyPayload {
+    /// Total payload size in bytes (texture plus geometry).
+    pub fn payload_bytes(&self) -> u64 {
+        self.texture_rgba8.len() as u64 + (self.geometry.len() * 24) as u64
+    }
+}
+
+/// One timestep's complete transmission from one PE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FramePayload {
+    /// The metadata (sent first).
+    pub light: LightPayload,
+    /// The data (sent second).
+    pub heavy: HeavyPayload,
+}
+
+impl FramePayload {
+    /// Total bytes this frame contributes to the back-end → viewer link.
+    pub fn wire_bytes(&self) -> u64 {
+        LightPayload::ENCODED_LEN as u64 + self.heavy.payload_bytes()
+    }
+}
+
+fn put_vec3(buf: &mut BytesMut, v: [f32; 3]) {
+    for c in v {
+        buf.put_f32(c);
+    }
+}
+
+fn get_vec3(buf: &mut impl Buf) -> [f32; 3] {
+    [buf.get_f32(), buf.get_f32(), buf.get_f32()]
+}
+
+/// Encode a light payload (including the message header).
+pub fn encode_light(p: &LightPayload) -> Vec<u8> {
+    let mut body = BytesMut::with_capacity(LightPayload::ENCODED_LEN);
+    body.put_u32(p.frame);
+    body.put_u32(p.rank);
+    body.put_u32(p.texture_width);
+    body.put_u32(p.texture_height);
+    body.put_u32(p.bytes_per_pixel);
+    put_vec3(&mut body, p.quad_center);
+    put_vec3(&mut body, p.quad_u);
+    put_vec3(&mut body, p.quad_v);
+    body.put_u32(p.geometry_segments);
+    frame_message(TYPE_LIGHT, &body)
+}
+
+/// Encode a heavy payload (including the message header).
+pub fn encode_heavy(p: &HeavyPayload) -> Vec<u8> {
+    let mut body = BytesMut::with_capacity(16 + p.texture_rgba8.len() + p.geometry.len() * 24);
+    body.put_u32(p.frame);
+    body.put_u32(p.rank);
+    body.put_u32(p.texture_rgba8.len() as u32);
+    body.put_slice(&p.texture_rgba8);
+    body.put_u32(p.geometry.len() as u32);
+    for (a, b) in &p.geometry {
+        put_vec3(&mut body, *a);
+        put_vec3(&mut body, *b);
+    }
+    frame_message(TYPE_HEAVY, &body)
+}
+
+fn frame_message(msg_type: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(9 + body.len());
+    out.put_u32(MAGIC);
+    out.put_u8(msg_type);
+    out.put_u32(body.len() as u32);
+    out.put_slice(body);
+    out.to_vec()
+}
+
+/// Decode a light payload from a full message (header included).
+pub fn decode_light(msg: &[u8]) -> Result<LightPayload, VisapultError> {
+    let (msg_type, mut body) = split_message(msg)?;
+    if msg_type != TYPE_LIGHT {
+        return Err(VisapultError::Protocol(format!("expected light payload, got type {msg_type}")));
+    }
+    if body.remaining() < LightPayload::ENCODED_LEN {
+        return Err(VisapultError::Protocol("light payload truncated".to_string()));
+    }
+    Ok(LightPayload {
+        frame: body.get_u32(),
+        rank: body.get_u32(),
+        texture_width: body.get_u32(),
+        texture_height: body.get_u32(),
+        bytes_per_pixel: body.get_u32(),
+        quad_center: get_vec3(&mut body),
+        quad_u: get_vec3(&mut body),
+        quad_v: get_vec3(&mut body),
+        geometry_segments: body.get_u32(),
+    })
+}
+
+/// Decode a heavy payload from a full message (header included).
+pub fn decode_heavy(msg: &[u8]) -> Result<HeavyPayload, VisapultError> {
+    let (msg_type, mut body) = split_message(msg)?;
+    if msg_type != TYPE_HEAVY {
+        return Err(VisapultError::Protocol(format!("expected heavy payload, got type {msg_type}")));
+    }
+    if body.remaining() < 12 {
+        return Err(VisapultError::Protocol("heavy payload truncated".to_string()));
+    }
+    let frame = body.get_u32();
+    let rank = body.get_u32();
+    let tex_len = body.get_u32() as usize;
+    if body.remaining() < tex_len {
+        return Err(VisapultError::Protocol("heavy payload texture truncated".to_string()));
+    }
+    let texture_rgba8 = body.copy_to_bytes(tex_len).to_vec();
+    if body.remaining() < 4 {
+        return Err(VisapultError::Protocol("heavy payload geometry count missing".to_string()));
+    }
+    let seg_count = body.get_u32() as usize;
+    if body.remaining() < seg_count * 24 {
+        return Err(VisapultError::Protocol("heavy payload geometry truncated".to_string()));
+    }
+    let mut geometry = Vec::with_capacity(seg_count);
+    for _ in 0..seg_count {
+        geometry.push((get_vec3(&mut body), get_vec3(&mut body)));
+    }
+    Ok(HeavyPayload {
+        frame,
+        rank,
+        texture_rgba8,
+        geometry,
+    })
+}
+
+fn split_message(msg: &[u8]) -> Result<(u8, &[u8]), VisapultError> {
+    if msg.len() < 9 {
+        return Err(VisapultError::Protocol("message shorter than header".to_string()));
+    }
+    let mut header = &msg[..9];
+    let magic = header.get_u32();
+    if magic != MAGIC {
+        return Err(VisapultError::Protocol(format!("bad magic {magic:#x}")));
+    }
+    let msg_type = header.get_u8();
+    let len = header.get_u32() as usize;
+    if msg.len() < 9 + len {
+        return Err(VisapultError::Protocol(format!(
+            "message body truncated: expected {len} bytes, have {}",
+            msg.len() - 9
+        )));
+    }
+    Ok((msg_type, &msg[9..9 + len]))
+}
+
+/// Write one frame (light then heavy, the order the paper prescribes) to a
+/// byte stream — used when the back-end → viewer link is a real TCP socket.
+pub fn write_frame<W: Write>(w: &mut W, frame: &FramePayload) -> Result<(), VisapultError> {
+    w.write_all(&encode_light(&frame.light))?;
+    w.write_all(&encode_heavy(&frame.heavy))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one complete message (header + body) from a byte stream.
+fn read_message<R: Read>(r: &mut R) -> Result<Vec<u8>, VisapultError> {
+    let mut header = [0u8; 9];
+    r.read_exact(&mut header)?;
+    let mut h = &header[4..];
+    let _type = h.get_u8();
+    let len = h.get_u32() as usize;
+    let mut msg = Vec::with_capacity(9 + len);
+    msg.extend_from_slice(&header);
+    msg.resize(9 + len, 0);
+    r.read_exact(&mut msg[9..])?;
+    Ok(msg)
+}
+
+/// Read one frame (light then heavy) from a byte stream.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<FramePayload, VisapultError> {
+    let light_msg = read_message(r)?;
+    let light = decode_light(&light_msg)?;
+    let heavy_msg = read_message(r)?;
+    let heavy = decode_heavy(&heavy_msg)?;
+    Ok(FramePayload { light, heavy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> FramePayload {
+        FramePayload {
+            light: LightPayload {
+                frame: 7,
+                rank: 3,
+                texture_width: 8,
+                texture_height: 8,
+                bytes_per_pixel: 4,
+                quad_center: [1.0, 2.0, 3.0],
+                quad_u: [4.0, 0.0, 0.0],
+                quad_v: [0.0, 5.0, 0.0],
+                geometry_segments: 2,
+            },
+            heavy: HeavyPayload {
+                frame: 7,
+                rank: 3,
+                texture_rgba8: (0..8 * 8 * 4).map(|i| (i % 255) as u8).collect(),
+                geometry: vec![([0.0; 3], [1.0, 1.0, 1.0]), ([2.0, 2.0, 2.0], [3.0, 3.0, 3.0])],
+            },
+        }
+    }
+
+    #[test]
+    fn light_payload_roundtrip_and_size() {
+        let f = sample_frame();
+        let enc = encode_light(&f.light);
+        // The paper: metadata "is on the order of 256 bytes".
+        assert!(enc.len() < 256, "light payload is {} bytes", enc.len());
+        let dec = decode_light(&enc).unwrap();
+        assert_eq!(dec, f.light);
+    }
+
+    #[test]
+    fn heavy_payload_roundtrip() {
+        let f = sample_frame();
+        let enc = encode_heavy(&f.heavy);
+        let dec = decode_heavy(&enc).unwrap();
+        assert_eq!(dec, f.heavy);
+        assert_eq!(f.heavy.payload_bytes(), (8 * 8 * 4 + 2 * 24) as u64);
+    }
+
+    #[test]
+    fn type_confusion_is_rejected() {
+        let f = sample_frame();
+        assert!(decode_light(&encode_heavy(&f.heavy)).is_err());
+        assert!(decode_heavy(&encode_light(&f.light)).is_err());
+    }
+
+    #[test]
+    fn corrupt_messages_are_rejected() {
+        let f = sample_frame();
+        let mut enc = encode_light(&f.light);
+        enc[0] ^= 0xff; // break the magic
+        assert!(decode_light(&enc).is_err());
+
+        let enc = encode_heavy(&f.heavy);
+        assert!(decode_heavy(&enc[..enc.len() - 10]).is_err());
+        assert!(decode_light(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn stream_roundtrip_over_a_cursor() {
+        let f = sample_frame();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &f).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let back = read_frame(&mut cursor).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn stream_roundtrip_over_real_tcp() {
+        let f = sample_frame();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn({
+            let f = f.clone();
+            move || {
+                let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                for _ in 0..3 {
+                    write_frame(&mut stream, &f).unwrap();
+                }
+            }
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        for _ in 0..3 {
+            let got = read_frame(&mut conn).unwrap();
+            assert_eq!(got, f);
+        }
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn wire_bytes_counts_light_and_heavy() {
+        let f = sample_frame();
+        assert_eq!(
+            f.wire_bytes(),
+            LightPayload::ENCODED_LEN as u64 + f.heavy.payload_bytes()
+        );
+    }
+}

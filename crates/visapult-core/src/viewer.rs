@@ -1,0 +1,346 @@
+//! The Visapult viewer: multi-threaded payload receipt decoupled from rendering.
+//!
+//! "the viewer itself is a multi-threaded application, with one thread
+//! dedicated to interactive rendering, and other threads dedicated to
+//! receiving data from the Visapult back end visualization processes over
+//! multiple simultaneous network connections" (§3.4).
+//!
+//! [`Viewer::run`] spawns one I/O thread per back-end PE link.  Each thread
+//! receives light + heavy payloads, converts them into textured-quad (and
+//! line) scene-graph nodes, and updates the shared [`SceneGraph`].  The
+//! render thread snapshots the graph and rasterizes the IBRAVR composite at
+//! its own rate for as long as the pipeline runs — its frame rate depends on
+//! local compositing cost, not on the WAN.
+
+use crate::protocol::FramePayload;
+use crossbeam::channel::Receiver;
+use netlogger::{tags, NetLogger};
+use scenegraph::{NodeId, Quad3, RasterSettings, Rasterizer, SceneGraph, SceneGraphStats, SceneNode};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use volren::{RgbaImage, ViewOrientation};
+
+/// Viewer configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewerConfig {
+    /// Dimensions of the source volume (for framing the composite).
+    pub volume_dims: (usize, usize, usize),
+    /// Output framebuffer size.
+    pub image_size: (usize, usize),
+    /// The (fixed) view orientation used while the pipeline runs.
+    pub view: ViewOrientation,
+    /// Number of timesteps each PE link is expected to deliver.
+    pub expected_frames: usize,
+}
+
+impl ViewerConfig {
+    /// A viewer framing the given volume at a default window size.
+    pub fn new(volume_dims: (usize, usize, usize), expected_frames: usize) -> Self {
+        ViewerConfig {
+            volume_dims,
+            image_size: (256, 256),
+            view: ViewOrientation::new(8.0, 4.0),
+            expected_frames,
+        }
+    }
+}
+
+/// What the viewer observed during a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ViewerReport {
+    /// Total frame payloads received across all PE links.
+    pub frames_received: usize,
+    /// Number of composites the render thread produced while the pipeline ran.
+    pub renders_performed: u64,
+    /// Bytes received over all PE links.
+    pub received_wire_bytes: u64,
+    /// Scene-graph activity counters.
+    pub scene_stats: SceneGraphStats,
+    /// The final composited image.
+    pub final_image: RgbaImage,
+}
+
+/// The viewer application.
+pub struct Viewer {
+    config: ViewerConfig,
+    scene: SceneGraph,
+}
+
+impl Viewer {
+    /// A viewer with an empty scene graph.
+    pub fn new(config: ViewerConfig) -> Self {
+        Viewer {
+            config,
+            scene: SceneGraph::new(),
+        }
+    }
+
+    /// The shared scene graph (for inspection in tests).
+    pub fn scene(&self) -> &SceneGraph {
+        &self.scene
+    }
+
+    /// Receive payloads from one back-end link until it delivers
+    /// `expected_frames` frames or closes; update the scene graph for each.
+    #[allow(clippy::too_many_arguments)]
+    fn io_thread(
+        scene: &SceneGraph,
+        rx: &Receiver<FramePayload>,
+        texture_node: NodeId,
+        grid_node: NodeId,
+        expected_frames: usize,
+        log: Option<&NetLogger>,
+        frames_received: &AtomicU64,
+        bytes_received: &AtomicU64,
+    ) {
+        for _ in 0..expected_frames {
+            let payload = match rx.recv() {
+                Ok(p) => p,
+                Err(_) => break, // back end went away
+            };
+            let frame = payload.light.frame as u64;
+            if let Some(l) = log {
+                l.log_with(tags::V_FRAME_START, [(tags::FIELD_FRAME, frame)]);
+                l.log_with(tags::V_LIGHTPAYLOAD_START, [(tags::FIELD_FRAME, frame)]);
+                l.log_with(tags::V_LIGHTPAYLOAD_END, [(tags::FIELD_FRAME, frame)]);
+                l.log_with(
+                    tags::V_HEAVYPAYLOAD_START,
+                    [(tags::FIELD_FRAME, frame), (tags::FIELD_BYTES, payload.heavy.payload_bytes())],
+                );
+            }
+            let image = RgbaImage::from_rgba8(
+                payload.light.texture_width as usize,
+                payload.light.texture_height as usize,
+                &payload.heavy.texture_rgba8,
+            );
+            let quad = Quad3 {
+                center: payload.light.quad_center,
+                u: payload.light.quad_u,
+                v: payload.light.quad_v,
+            };
+            scene.update(texture_node, SceneNode::TextureQuad { image, quad });
+            scene.update(
+                grid_node,
+                SceneNode::Lines {
+                    segments: payload.heavy.geometry.clone(),
+                    color: [0.4, 0.9, 0.4, 0.8],
+                },
+            );
+            bytes_received.fetch_add(payload.wire_bytes(), Ordering::Relaxed);
+            frames_received.fetch_add(1, Ordering::Relaxed);
+            if let Some(l) = log {
+                l.log_with(tags::V_HEAVYPAYLOAD_END, [(tags::FIELD_FRAME, frame)]);
+                l.log_with(tags::V_FRAME_END, [(tags::FIELD_FRAME, frame)]);
+            }
+        }
+    }
+
+    /// Run the viewer against one receiver per back-end PE.  Blocks until
+    /// every link has delivered its expected frames (or closed), then returns
+    /// the report with the final composite.
+    pub fn run(self, links: Vec<Receiver<FramePayload>>, logger: Option<NetLogger>) -> ViewerReport {
+        let frames_received = AtomicU64::new(0);
+        let bytes_received = AtomicU64::new(0);
+        let renders = AtomicU64::new(0);
+        let done = Arc::new(AtomicBool::new(false));
+        let raster_settings = RasterSettings::framing_volume(
+            self.config.volume_dims,
+            self.config.image_size.0,
+            self.config.image_size.1,
+        );
+        let rasterizer = Rasterizer::new(&self.config.view, raster_settings);
+
+        // Pre-create the per-PE nodes so I/O threads only ever update.
+        let node_ids: Vec<(NodeId, NodeId)> = (0..links.len())
+            .map(|_| {
+                (
+                    self.scene.insert(SceneNode::Text {
+                        position: [0.0; 3],
+                        content: "awaiting texture".to_string(),
+                    }),
+                    self.scene.insert(SceneNode::Text {
+                        position: [0.0; 3],
+                        content: "awaiting grid".to_string(),
+                    }),
+                )
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            // I/O service threads, one per back-end PE.
+            let io_handles: Vec<_> = links
+                .iter()
+                .enumerate()
+                .map(|(pe, rx)| {
+                    let scene = &self.scene;
+                    let (texture_node, grid_node) = node_ids[pe];
+                    let log = logger
+                        .as_ref()
+                        .map(|l| l.for_program(format!("viewer-worker-{pe}")));
+                    let frames_received = &frames_received;
+                    let bytes_received = &bytes_received;
+                    let expected = self.config.expected_frames;
+                    scope.spawn(move || {
+                        Self::io_thread(
+                            scene,
+                            rx,
+                            texture_node,
+                            grid_node,
+                            expected,
+                            log.as_ref(),
+                            frames_received,
+                            bytes_received,
+                        );
+                    })
+                })
+                .collect();
+            // The render thread: composites snapshots at its own rate until
+            // the I/O threads are done.
+            let scene = &self.scene;
+            let renders = &renders;
+            let done_flag = Arc::clone(&done);
+            let raster_ref = &rasterizer;
+            scope.spawn(move || {
+                let mut last_generation = u64::MAX;
+                while !done_flag.load(Ordering::Relaxed) {
+                    let generation = scene.generation();
+                    if generation != last_generation {
+                        let snapshot_nodes: Vec<SceneNode> = scene.snapshot().into_iter().map(|(_, n)| n).collect();
+                        let _ = raster_ref.render(&snapshot_nodes);
+                        renders.fetch_add(1, Ordering::Relaxed);
+                        last_generation = generation;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            });
+            // Join the I/O threads (they exit once every expected frame has
+            // arrived or their sender hangs up), then stop the render thread.
+            for handle in io_handles {
+                let _ = handle.join();
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+
+        // Final composite of whatever arrived.
+        let snapshot_nodes: Vec<SceneNode> = self.scene.snapshot().into_iter().map(|(_, n)| n).collect();
+        let final_image = rasterizer.render(&snapshot_nodes);
+        ViewerReport {
+            frames_received: frames_received.load(Ordering::Relaxed) as usize,
+            renders_performed: renders.load(Ordering::Relaxed),
+            received_wire_bytes: bytes_received.load(Ordering::Relaxed),
+            scene_stats: self.scene.stats(),
+            final_image,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{HeavyPayload, LightPayload};
+    use crossbeam::channel::unbounded;
+
+    fn payload(rank: u32, frame: u32, size: usize) -> FramePayload {
+        let mut img = RgbaImage::new(size, size);
+        for y in 0..size {
+            for x in 0..size {
+                img.set(x, y, [1.0, 0.3, 0.1, 0.9]);
+            }
+        }
+        FramePayload {
+            light: LightPayload {
+                frame,
+                rank,
+                texture_width: size as u32,
+                texture_height: size as u32,
+                bytes_per_pixel: 4,
+                quad_center: [15.5, 15.5, 4.0 + rank as f32 * 8.0],
+                quad_u: [16.0, 0.0, 0.0],
+                quad_v: [0.0, 16.0, 0.0],
+                geometry_segments: 1,
+            },
+            heavy: HeavyPayload {
+                frame,
+                rank,
+                texture_rgba8: img.to_rgba8(),
+                geometry: vec![([0.0; 3], [31.0, 31.0, 31.0])],
+            },
+        }
+    }
+
+    #[test]
+    fn viewer_receives_frames_and_composites() {
+        let pes = 3;
+        let frames = 4;
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..pes {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), frames));
+        let producer = std::thread::spawn(move || {
+            for f in 0..frames {
+                for (r, tx) in senders.iter().enumerate() {
+                    tx.send(payload(r as u32, f as u32, 16)).unwrap();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        let report = viewer.run(receivers, None);
+        producer.join().unwrap();
+        assert_eq!(report.frames_received, pes * frames);
+        assert!(report.renders_performed >= 1);
+        assert!(report.received_wire_bytes > 0);
+        assert!(report.final_image.coverage() > 0.05, "final image should show the slabs");
+        // Scene graph saw one texture + one grid update per payload plus the
+        // initial placeholder inserts.
+        assert!(report.scene_stats.updates >= (pes * frames * 2) as u64);
+    }
+
+    #[test]
+    fn viewer_handles_early_disconnect() {
+        let (tx, rx) = unbounded();
+        let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), 10));
+        tx.send(payload(0, 0, 8)).unwrap();
+        drop(tx); // back end dies after one frame
+        let report = viewer.run(vec![rx], None);
+        assert_eq!(report.frames_received, 1);
+    }
+
+    #[test]
+    fn viewer_logs_receipt_events() {
+        let (tx, rx) = unbounded();
+        let collector = netlogger::Collector::wall();
+        let logger = collector.logger("desktop", "viewer-master");
+        let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), 2));
+        tx.send(payload(0, 0, 8)).unwrap();
+        tx.send(payload(0, 1, 8)).unwrap();
+        drop(tx);
+        let report = viewer.run(vec![rx], Some(logger));
+        assert_eq!(report.frames_received, 2);
+        let log = collector.finish();
+        assert_eq!(log.with_tag(tags::V_FRAME_START).count(), 2);
+        assert_eq!(log.with_tag(tags::V_HEAVYPAYLOAD_END).count(), 2);
+    }
+
+    #[test]
+    fn render_rate_is_independent_of_slow_payload_arrival() {
+        // Send payloads slowly; the render thread should still have run at
+        // least once per scene change without waiting on the network.
+        let (tx, rx) = unbounded();
+        let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), 3));
+        let producer = std::thread::spawn(move || {
+            for f in 0..3 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                tx.send(payload(0, f, 8)).unwrap();
+            }
+        });
+        let report = viewer.run(vec![rx], None);
+        producer.join().unwrap();
+        assert_eq!(report.frames_received, 3);
+        assert!(report.scene_stats.snapshots >= 3);
+    }
+}

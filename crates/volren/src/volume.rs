@@ -1,0 +1,244 @@
+//! Dense scalar volumes.
+//!
+//! A [`Volume`] is a dense 3-D grid of `f32` samples in X-fastest (C) order —
+//! the same layout the combustion simulation writes and the DPSS caches, so a
+//! slab read from the cache can be reinterpreted in place.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense scalar field on a regular grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Volume {
+    dims: (usize, usize, usize),
+    data: Vec<f32>,
+}
+
+impl Volume {
+    /// A zero-filled volume.
+    pub fn zeros(dims: (usize, usize, usize)) -> Self {
+        assert!(dims.0 > 0 && dims.1 > 0 && dims.2 > 0, "dimensions must be positive");
+        Volume {
+            dims,
+            data: vec![0.0; dims.0 * dims.1 * dims.2],
+        }
+    }
+
+    /// Wrap existing samples (must match `dims`).
+    pub fn from_data(dims: (usize, usize, usize), data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), dims.0 * dims.1 * dims.2, "data length must match dimensions");
+        Volume { dims, data }
+    }
+
+    /// Reconstruct from little-endian IEEE-754 bytes (the DPSS wire format).
+    pub fn from_le_bytes(dims: (usize, usize, usize), bytes: &[u8]) -> Self {
+        assert_eq!(
+            bytes.len(),
+            dims.0 * dims.1 * dims.2 * 4,
+            "byte length must match dimensions"
+        );
+        let data = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Volume { dims, data }
+    }
+
+    /// Serialize to little-endian IEEE-754 bytes.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 4);
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Grid dimensions (x, y, z).
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.dims
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the volume has no samples (never true for a constructed volume).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw samples.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw samples.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.dims.0 && y < self.dims.1 && z < self.dims.2);
+        (z * self.dims.1 + y) * self.dims.0 + x
+    }
+
+    /// Sample at (x, y, z).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> f32 {
+        self.data[self.index(x, y, z)]
+    }
+
+    /// Set the sample at (x, y, z).
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: f32) {
+        let i = self.index(x, y, z);
+        self.data[i] = v;
+    }
+
+    /// Minimum and maximum sample values.
+    pub fn value_range(&self) -> (f32, f32) {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in &self.data {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if min > max {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        }
+    }
+
+    /// Extract the sub-volume covering `[x0, x0+nx) × [y0, y0+ny) × [z0, z0+nz)`.
+    pub fn subvolume(&self, origin: (usize, usize, usize), dims: (usize, usize, usize)) -> Volume {
+        let (x0, y0, z0) = origin;
+        let (nx, ny, nz) = dims;
+        assert!(x0 + nx <= self.dims.0 && y0 + ny <= self.dims.1 && z0 + nz <= self.dims.2, "subvolume out of bounds");
+        let mut out = Volume::zeros(dims);
+        for z in 0..nz {
+            for y in 0..ny {
+                let src_start = self.index(x0, y0 + y, z0 + z);
+                let dst_start = (z * ny + y) * nx;
+                out.data[dst_start..dst_start + nx].copy_from_slice(&self.data[src_start..src_start + nx]);
+            }
+        }
+        out
+    }
+
+    /// Extract the Z-axis slab covering planes `[z0, z0+nz)` — the unit of
+    /// data each back-end PE loads under the slab decomposition.
+    pub fn z_slab(&self, z0: usize, nz: usize) -> Volume {
+        self.subvolume((0, 0, z0), (self.dims.0, self.dims.1, nz))
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Normalize samples into `[0, 1]` (no-op for a constant volume).
+    pub fn normalized(&self) -> Volume {
+        let (min, max) = self.value_range();
+        let span = max - min;
+        if span <= f32::EPSILON {
+            return self.clone();
+        }
+        Volume {
+            dims: self.dims,
+            data: self.data.iter().map(|v| (v - min) / span).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_volume(dims: (usize, usize, usize)) -> Volume {
+        let mut v = Volume::zeros(dims);
+        for z in 0..dims.2 {
+            for y in 0..dims.1 {
+                for x in 0..dims.0 {
+                    v.set(x, y, z, (x + 10 * y + 100 * z) as f32);
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn indexing_is_x_fastest() {
+        let v = ramp_volume((4, 3, 2));
+        assert_eq!(v.get(0, 0, 0), 0.0);
+        assert_eq!(v.get(1, 0, 0), 1.0);
+        assert_eq!(v.get(0, 1, 0), 10.0);
+        assert_eq!(v.get(0, 0, 1), 100.0);
+        // Raw layout: x fastest.
+        assert_eq!(v.data()[1], 1.0);
+        assert_eq!(v.data()[4], 10.0);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let v = ramp_volume((5, 4, 3));
+        let bytes = v.to_le_bytes();
+        assert_eq!(bytes.len(), 5 * 4 * 3 * 4);
+        let back = Volume::from_le_bytes(v.dims(), &bytes);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn z_slab_extraction_matches_manual_indexing() {
+        let v = ramp_volume((4, 4, 8));
+        let slab = v.z_slab(2, 3);
+        assert_eq!(slab.dims(), (4, 4, 3));
+        for z in 0..3 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    assert_eq!(slab.get(x, y, z), v.get(x, y, z + 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subvolume_in_the_middle() {
+        let v = ramp_volume((6, 6, 6));
+        let s = v.subvolume((1, 2, 3), (2, 3, 2));
+        assert_eq!(s.dims(), (2, 3, 2));
+        assert_eq!(s.get(0, 0, 0), v.get(1, 2, 3));
+        assert_eq!(s.get(1, 2, 1), v.get(2, 4, 4));
+    }
+
+    #[test]
+    fn value_range_and_normalization() {
+        let v = ramp_volume((3, 3, 3));
+        let (min, max) = v.value_range();
+        assert_eq!(min, 0.0);
+        assert_eq!(max, 2.0 + 20.0 + 200.0);
+        let n = v.normalized();
+        let (nmin, nmax) = n.value_range();
+        assert!((nmin - 0.0).abs() < 1e-6 && (nmax - 1.0).abs() < 1e-6);
+        // Constant volume normalizes to itself.
+        let c = Volume::from_data((2, 2, 2), vec![3.0; 8]);
+        assert_eq!(c.normalized(), c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_subvolume_panics() {
+        ramp_volume((4, 4, 4)).subvolume((2, 2, 2), (3, 3, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_data_length_panics() {
+        Volume::from_data((2, 2, 2), vec![0.0; 7]);
+    }
+}

@@ -1,0 +1,57 @@
+//! The Combustion Corridor campaigns (§4 of the paper), replayed in
+//! virtual time.
+//!
+//! Reconstructs the paper's three field-test configurations — LBL→CPlant over
+//! NTON, LBL→ANL Onyx2 over ESnet, and the local E4500 over gigabit LAN — and
+//! runs each with the serial and overlapped back ends, printing the per-frame
+//! load/render times, aggregate throughput and total campaign times that
+//! correspond to Figures 10 and 12–17.
+//!
+//! Run with: `cargo run --release --example combustion_corridor`
+
+use visapult::core::{run_sim_campaign, ExecutionMode, OverlapModel, SimCampaignConfig};
+
+fn show(config: SimCampaignConfig) {
+    let report = run_sim_campaign(&config).expect("campaign failed");
+    println!(
+        "{:<42} L={:6.2}s  R={:6.2}s  send={:5.2}s  agg load={:6.1} Mbps  total={:7.1}s  ({:.2} s/step)",
+        report.name,
+        report.mean_load_time,
+        report.mean_render_time,
+        report.mean_send_time,
+        report.mean_load_throughput_mbps,
+        report.total_time,
+        report.seconds_per_timestep(),
+    );
+}
+
+fn main() {
+    let timesteps = 10;
+    println!("== Combustion Corridor campaigns (virtual time, {timesteps} timesteps of 640x256x256 floats) ==\n");
+
+    println!("-- April 2000 campaign: LBL DPSS -> CPlant over NTON (Figures 10, 14, 15) --");
+    show(SimCampaignConfig::nton_cplant(4, timesteps, ExecutionMode::Serial));
+    show(SimCampaignConfig::nton_cplant(8, timesteps, ExecutionMode::Serial));
+    show(SimCampaignConfig::nton_cplant(8, timesteps, ExecutionMode::Overlapped));
+
+    println!("\n-- LBL DPSS -> ANL Onyx2 SMP over ESnet (Figures 16, 17) --");
+    show(SimCampaignConfig::esnet_anl(8, timesteps, ExecutionMode::Serial));
+    show(SimCampaignConfig::esnet_anl(8, timesteps, ExecutionMode::Overlapped));
+
+    println!("\n-- LBL DPSS -> Sun E4500 over gigabit LAN (Figures 12, 13) --");
+    show(SimCampaignConfig::lan_e4500(8, timesteps, ExecutionMode::Serial));
+    show(SimCampaignConfig::lan_e4500(8, timesteps, ExecutionMode::Overlapped));
+
+    println!("\n-- The analytic model of section 4.3 --");
+    let model = OverlapModel::paper_e4500();
+    println!(
+        "L=15s R=12s, N=10:  Ts = {:.0}s (paper measured ~265s),  To = {:.0}s (paper measured ~169s),  speedup {:.2} (ceiling {:.2})",
+        model.serial_time(10),
+        model.overlapped_time(10),
+        model.speedup(10),
+        OverlapModel::ideal_speedup(10),
+    );
+
+    println!("\n-- Future work (section 5): dedicated OC-192 --");
+    show(SimCampaignConfig::future_oc192(16, timesteps, ExecutionMode::Overlapped));
+}

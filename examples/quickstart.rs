@@ -1,0 +1,55 @@
+//! Quickstart: run the whole Visapult pipeline, end to end, on your laptop.
+//!
+//! Synthetic combustion data is staged onto an in-process DPSS network cache,
+//! a four-PE overlapped back end loads Z-slabs through the multi-threaded
+//! DPSS client, volume renders them, and streams textures to the viewer,
+//! whose IBR-assisted compositor produces the final image.  NetLogger
+//! instrumentation records the run and an NLV-style lifeline plot is printed
+//! at the end.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use visapult::core::{
+    run_real_campaign, ExecutionMode, PipelineConfig, RealCampaignConfig,
+};
+use visapult::netlogger::{LifelinePlot, NlvOptions};
+
+fn main() {
+    let pipeline = PipelineConfig::small(4, 3, ExecutionMode::Overlapped);
+    let config = RealCampaignConfig::small(pipeline);
+
+    println!("== Visapult quickstart ==");
+    println!(
+        "dataset {} ({}x{}x{}, {} timesteps), {} PEs, {} mode\n",
+        config.pipeline.dataset.name,
+        config.pipeline.dataset.dims.0,
+        config.pipeline.dataset.dims.1,
+        config.pipeline.dataset.dims.2,
+        config.pipeline.timesteps,
+        config.pipeline.pes,
+        config.pipeline.mode.label(),
+    );
+
+    let report = run_real_campaign(&config).expect("campaign failed");
+
+    println!("back end : {} frames in {:?}", report.backend.frames_rendered, report.backend.elapsed);
+    println!(
+        "           {:.1} MB loaded from the DPSS, {:.2} MB shipped to the viewer ({}x data reduction)",
+        report.backend.total_bytes_loaded() as f64 / 1e6,
+        report.backend.total_wire_bytes() as f64 / 1e6,
+        report.data_reduction_factor().round(),
+    );
+    println!(
+        "viewer   : {} payloads received, {} composites rendered, final image coverage {:.1}%",
+        report.viewer.frames_received,
+        report.viewer.renders_performed,
+        report.viewer.final_image.coverage() * 100.0
+    );
+
+    println!("\nPer-frame phase analysis (from NetLogger events):");
+    println!("{}", report.analysis.to_table());
+
+    println!("NLV lifeline plot of the run:");
+    let plot = LifelinePlot::new(&report.log, NlvOptions::default().with_width(90));
+    println!("{}", plot.render());
+}

@@ -1,0 +1,61 @@
+//! # visapult — remote and distributed visualization over high-speed WANs
+//!
+//! A Rust reproduction of *"Using High-Speed WANs and Network Data Caches to
+//! Enable Remote and Distributed Visualization"* (Bethel, Tierney, Lee,
+//! Gunter, Lau — LBNL, SC 2000): the **Visapult** remote visualization
+//! framework and the **DPSS** network data cache it stands on.
+//!
+//! This facade crate re-exports the workspace's crates under one roof:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`netsim`]      | WAN testbed models, TCP dynamics, fair-share flow simulation, token-bucket shaping |
+//! | [`netlogger`]   | NetLogger-style event logging, NLV lifeline plots, phase analysis |
+//! | [`parcomm`]     | MPI-like rank communicator and the Appendix B reader/render process groups |
+//! | [`dpss`]        | the Distributed Parallel Storage System: master, block servers, client API, HPSS staging |
+//! | [`volren`]      | parallel software volume rendering, domain decomposition, synthetic combustion/cosmology data |
+//! | [`scenegraph`]  | retained-mode scene graph, software rasterizer, IBR-assisted volume rendering |
+//! | [`core`]        | the Visapult back end, viewer, wire protocol, campaign drivers and baselines |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use visapult::core::{run_real_campaign, ExecutionMode, PipelineConfig, RealCampaignConfig};
+//!
+//! // A laptop-scale end-to-end run: synthetic combustion data staged onto an
+//! // in-process DPSS, a 2-PE overlapped back end, and the IBRAVR viewer.
+//! let pipeline = PipelineConfig::small(2, 2, ExecutionMode::Overlapped);
+//! let report = run_real_campaign(&RealCampaignConfig::small(pipeline)).unwrap();
+//! assert_eq!(report.viewer.frames_received, 4);
+//! assert!(report.data_reduction_factor() > 1.0);
+//! ```
+//!
+//! See `examples/` for the quickstart, the Combustion Corridor campaign
+//! reproduction, the SC99 exhibit reconstruction and a DPSS tour, and
+//! `crates/visapult-bench` for the binaries that regenerate every figure and
+//! table in the paper's evaluation (documented in `EXPERIMENTS.md`).
+
+pub use dpss;
+pub use netlogger;
+pub use netsim;
+pub use parcomm;
+pub use scenegraph;
+pub use volren;
+
+/// The Visapult framework itself (back end, viewer, protocol, campaigns).
+pub use visapult_core as core;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_exposes_all_subsystems() {
+        // Touch one symbol from each re-exported crate.
+        let _ = crate::netsim::Bandwidth::oc12();
+        let _ = crate::netlogger::Collector::virtual_time();
+        let _ = crate::parcomm::Semaphore::new(1);
+        let _ = crate::dpss::StripeLayout::four_server();
+        let _ = crate::volren::TransferFunction::combustion_default();
+        let _ = crate::scenegraph::SceneGraph::new();
+        let _ = crate::core::PipelineConfig::small(1, 1, crate::core::ExecutionMode::Serial);
+    }
+}

@@ -1,0 +1,91 @@
+//! Cross-crate integration tests: the full pipeline from the DPSS cache
+//! through the parallel back end to the viewer's composited image.
+
+use visapult::core::{
+    run_real_campaign, ExecutionMode, PipelineConfig, RealCampaignConfig,
+};
+use visapult::core::campaign::real::RealDataPath;
+use visapult::netlogger::{tags, LifelinePlot, NlvOptions, ProfileAnalysis};
+
+fn campaign(pes: usize, timesteps: usize, mode: ExecutionMode, path: RealDataPath) -> RealCampaignConfig {
+    let mut config = RealCampaignConfig::small(PipelineConfig::small(pes, timesteps, mode));
+    config.data_path = path;
+    config
+}
+
+#[test]
+fn dpss_backed_campaign_end_to_end() {
+    let config = campaign(4, 3, ExecutionMode::Serial, RealDataPath::Dpss { stream_rate_mbps: None });
+    let report = run_real_campaign(&config).unwrap();
+
+    // Every PE delivered every frame to the viewer.
+    assert_eq!(report.viewer.frames_received, 4 * 3);
+    // The viewer actually drew something.
+    assert!(report.viewer.final_image.coverage() > 0.01);
+    // The amount of data crossing the viewer link is much smaller than the
+    // raw data moved out of the cache (the O(n^3) -> O(n^2) reduction).
+    assert!(report.data_reduction_factor() > 1.5);
+    // The whole dataset was read exactly once.
+    assert_eq!(
+        report.backend.total_bytes_loaded(),
+        config.pipeline.dataset.total_size().bytes()
+    );
+}
+
+#[test]
+fn overlapped_and_serial_campaigns_produce_identical_images() {
+    let serial = run_real_campaign(&campaign(2, 3, ExecutionMode::Serial, RealDataPath::Synthetic)).unwrap();
+    let overlapped = run_real_campaign(&campaign(2, 3, ExecutionMode::Overlapped, RealDataPath::Synthetic)).unwrap();
+    assert_eq!(serial.viewer.frames_received, overlapped.viewer.frames_received);
+    let diff = serial.viewer.final_image.mean_abs_diff(&overlapped.viewer.final_image);
+    assert!(diff < 1e-4, "pipelining must not change the rendered result (diff={diff})");
+}
+
+#[test]
+fn shaped_dpss_link_slows_loading_but_not_correctness() {
+    // Shape each DPSS server stream to ~1 MB/s so the load phase visibly
+    // dominates, the way a WAN-limited campaign behaves.
+    let fast = run_real_campaign(&campaign(2, 2, ExecutionMode::Serial, RealDataPath::Dpss { stream_rate_mbps: None }))
+        .unwrap();
+    let slow = run_real_campaign(&campaign(
+        2,
+        2,
+        ExecutionMode::Serial,
+        RealDataPath::Dpss { stream_rate_mbps: Some(8.0) },
+    ))
+    .unwrap();
+    assert_eq!(fast.viewer.frames_received, slow.viewer.frames_received);
+    let fast_load = fast.analysis.load_stats().mean;
+    let slow_load = slow.analysis.load_stats().mean;
+    assert!(
+        slow_load > fast_load && slow_load > 0.01,
+        "shaping should slow the load phase (fast {fast_load:.4}s, slow {slow_load:.4}s)"
+    );
+    let diff = fast.viewer.final_image.mean_abs_diff(&slow.viewer.final_image);
+    assert!(diff < 1e-4);
+}
+
+#[test]
+fn netlogger_profile_covers_both_ends_and_renders_a_lifeline() {
+    let report = run_real_campaign(&campaign(3, 2, ExecutionMode::Overlapped, RealDataPath::Synthetic)).unwrap();
+    // Backend and viewer events for every (PE, frame).
+    assert_eq!(report.log.with_tag(tags::BE_LOAD_END).count(), 6);
+    assert_eq!(report.log.with_tag(tags::BE_RENDER_END).count(), 6);
+    assert_eq!(report.log.with_tag(tags::V_HEAVYPAYLOAD_END).count(), 6);
+    // The standard analysis reconstructs per-frame phases.
+    let analysis = ProfileAnalysis::from_log(&report.log);
+    assert_eq!(analysis.frames.len(), 2);
+    assert!(analysis.frames.iter().all(|f| f.load_time >= 0.0 && f.render_time > 0.0));
+    // The NLV lifeline plot renders with data on the expected rows.
+    let plot = LifelinePlot::new(&report.log, NlvOptions::default());
+    let counts = plot.row_counts();
+    let loads = counts.iter().find(|(t, _)| t == tags::BE_LOAD_END).unwrap();
+    assert_eq!(loads.1, 6);
+}
+
+#[test]
+fn single_pe_campaign_works() {
+    let report = run_real_campaign(&campaign(1, 2, ExecutionMode::Overlapped, RealDataPath::Synthetic)).unwrap();
+    assert_eq!(report.viewer.frames_received, 2);
+    assert!(report.viewer.final_image.coverage() > 0.0);
+}
