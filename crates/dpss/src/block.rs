@@ -158,7 +158,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for b in 0..(l.total_disks() as u64) {
             let loc = l.locate(BlockId(b));
-            assert!(seen.insert((loc.server, loc.disk)), "disk visited twice within a stripe");
+            assert!(
+                seen.insert((loc.server, loc.disk)),
+                "disk visited twice within a stripe"
+            );
         }
         assert_eq!(seen.len(), 20);
     }

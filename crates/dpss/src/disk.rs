@@ -75,15 +75,21 @@ mod tests {
     #[test]
     fn commodity_disk_sustains_most_of_its_rate_on_large_blocks() {
         let d = DiskModel::commodity_2000();
-        let eff = d.effective_throughput(DataSize::from_bytes(64 * 1024), true).mbytes_per_sec();
+        let eff = d
+            .effective_throughput(DataSize::from_bytes(64 * 1024), true)
+            .mbytes_per_sec();
         assert!(eff > 8.0 && eff <= 10.0, "got {eff}");
     }
 
     #[test]
     fn random_small_reads_are_much_slower() {
         let d = DiskModel::commodity_2000();
-        let seq = d.effective_throughput(DataSize::from_bytes(4096), true).mbytes_per_sec();
-        let rand = d.effective_throughput(DataSize::from_bytes(4096), false).mbytes_per_sec();
+        let seq = d
+            .effective_throughput(DataSize::from_bytes(4096), true)
+            .mbytes_per_sec();
+        let rand = d
+            .effective_throughput(DataSize::from_bytes(4096), false)
+            .mbytes_per_sec();
         assert!(rand < seq / 3.0, "random {rand} vs sequential {seq}");
     }
 
@@ -91,7 +97,9 @@ mod tests {
     fn twenty_disks_deliver_the_papers_150_mb_per_sec() {
         // §3.5: a four-server system with 15-20 disks -> over 150 MB/s aggregate.
         let d = DiskModel::commodity_2000();
-        let per_disk = d.effective_throughput(DataSize::from_bytes(64 * 1024), true).mbytes_per_sec();
+        let per_disk = d
+            .effective_throughput(DataSize::from_bytes(64 * 1024), true)
+            .mbytes_per_sec();
         assert!(per_disk * 20.0 > 150.0, "20 disks give {}", per_disk * 20.0);
         assert!(per_disk * 15.0 > 120.0, "15 disks give {}", per_disk * 15.0);
     }

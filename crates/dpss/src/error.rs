@@ -48,7 +48,9 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(DpssError::UnknownDataset("x".into()).to_string().contains('x'));
-        assert!(DpssError::OutOfBounds { offset: 10, size: 5 }.to_string().contains("10"));
+        assert!(DpssError::OutOfBounds { offset: 10, size: 5 }
+            .to_string()
+            .contains("10"));
         assert!(DpssError::AccessDenied("viz".into()).to_string().contains("viz"));
     }
 }

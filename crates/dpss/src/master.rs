@@ -141,7 +141,10 @@ impl DpssMaster {
             .ok_or_else(|| DpssError::UnknownDataset(dataset.to_string()))?;
         let size = entry.descriptor.total_size().bytes();
         if offset + len > size {
-            return Err(DpssError::OutOfBounds { offset: offset + len, size });
+            return Err(DpssError::OutOfBounds {
+                offset: offset + len,
+                size,
+            });
         }
         let mut requests = Vec::new();
         let mut buffer_offset = 0u64;
@@ -248,7 +251,10 @@ mod tests {
         let start_b = m.register_dataset(b.clone());
         assert_eq!(start_a, 0);
         assert_eq!(start_b, m.layout().blocks_for(a.total_size().bytes()));
-        assert_eq!(m.dataset_names(), vec!["combustion-small".to_string(), "other".to_string()]);
+        assert_eq!(
+            m.dataset_names(),
+            vec!["combustion-small".to_string(), "other".to_string()]
+        );
         // Physical locations of the two datasets' first blocks differ.
         let ra = m.resolve("c", &a.name, 0, 64).unwrap();
         let rb = m.resolve("c", &b.name, 0, 64).unwrap();

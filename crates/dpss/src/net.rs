@@ -63,8 +63,7 @@ impl DpssTcpServer {
     pub fn serve(cluster: DpssCluster, server_id: usize, send_rate: Option<Bandwidth>) -> Result<Self, DpssError> {
         // Validate the server id up front.
         cluster.server(server_id)?;
-        let listener =
-            TcpListener::bind("127.0.0.1:0").map_err(|e| DpssError::Network(format!("bind failed: {e}")))?;
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| DpssError::Network(format!("bind failed: {e}")))?;
         let addr = listener
             .local_addr()
             .map_err(|e| DpssError::Network(format!("local_addr failed: {e}")))?;
@@ -293,7 +292,9 @@ mod tests {
         let desc = DatasetDescriptor::new("net-demo", (64, 32, 16), 4, 2);
         cluster.register_dataset(desc.clone());
         let loader = DpssClient::new(cluster.clone(), "loader");
-        let data: Vec<u8> = (0..desc.total_size().bytes() as usize).map(|i| (i * 7 % 251) as u8).collect();
+        let data: Vec<u8> = (0..desc.total_size().bytes() as usize)
+            .map(|i| (i * 7 % 251) as u8)
+            .collect();
         loader.write_at("net-demo", 0, &data).unwrap();
         (cluster, desc, data)
     }
@@ -336,8 +337,7 @@ mod tests {
     fn shaped_service_paces_transfers() {
         let (cluster, ..) = cluster_with_data();
         // ~1 MB/s per server stream.
-        let (_servers, slow) =
-            serve_cluster(&cluster, "viz", Some(Bandwidth::from_mbytes_per_sec(1.0))).unwrap();
+        let (_servers, slow) = serve_cluster(&cluster, "viz", Some(Bandwidth::from_mbytes_per_sec(1.0))).unwrap();
         let (_servers2, fast) = serve_cluster(&cluster, "viz", None).unwrap();
         let mut buf = vec![0u8; 200_000];
         let t0 = std::time::Instant::now();

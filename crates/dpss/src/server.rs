@@ -46,10 +46,7 @@ impl BlockServer {
 
     /// Write `data` at `offset` on `disk`, growing the disk as needed.
     pub fn write(&mut self, disk: usize, offset: u64, data: &[u8]) -> Result<(), DpssError> {
-        let d = self
-            .disks
-            .get_mut(disk)
-            .ok_or(DpssError::UnknownServer(disk))?;
+        let d = self.disks.get_mut(disk).ok_or(DpssError::UnknownServer(disk))?;
         let end = offset as usize + data.len();
         if d.len() < end {
             d.resize(end, 0);
@@ -119,10 +116,7 @@ impl DpssCluster {
 
     /// Shared handle to one server.
     pub fn server(&self, id: usize) -> Result<Arc<RwLock<BlockServer>>, DpssError> {
-        self.servers
-            .get(id)
-            .cloned()
-            .ok_or(DpssError::UnknownServer(id))
+        self.servers.get(id).cloned().ok_or(DpssError::UnknownServer(id))
     }
 
     /// Register a dataset with the master.
@@ -140,7 +134,11 @@ impl DpssCluster {
 
     /// Service one physical write request.
     pub fn service_write(&self, req: &PhysicalBlockRequest, data: &[u8]) -> Result<(), DpssError> {
-        assert_eq!(data.len() as u64, req.len, "write payload must match the request length");
+        assert_eq!(
+            data.len() as u64,
+            req.len,
+            "write payload must match the request length"
+        );
         let server = self.server(req.server)?;
         let mut guard = server.write();
         guard.write(req.disk, req.disk_offset + req.in_block_offset, data)

@@ -121,9 +121,7 @@ impl ProfileAnalysis {
                         .iter()
                         .find(|e| e.host == host && e.program == program && e.frame() == Some(frame) && e.tag == tag)
                 };
-                let span = |a: &str, b: &str| -> Option<f64> {
-                    Some(find(b)?.timestamp - find(a)?.timestamp)
-                };
+                let span = |a: &str, b: &str| -> Option<f64> { Some(find(b)?.timestamp - find(a)?.timestamp) };
                 if let Some(s) = span(tags::BE_LOAD_START, tags::BE_LOAD_END) {
                     load_times.push(s);
                 }
@@ -145,8 +143,10 @@ impl ProfileAnalysis {
                         .map(|e| e.timestamp)
                         .collect();
                     if evs.len() >= 2 {
-                        frame_times.push(evs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-                            - evs.iter().cloned().fold(f64::INFINITY, f64::min));
+                        frame_times.push(
+                            evs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                                - evs.iter().cloned().fold(f64::INFINITY, f64::min),
+                        );
                     }
                 }
                 if let Some(e) = find(tags::BE_LOAD_END) {
@@ -154,9 +154,11 @@ impl ProfileAnalysis {
                         bytes += b.max(0) as u64;
                     }
                 }
-                for e in log.events().iter().filter(|e| {
-                    e.host == host && e.program == program && e.frame() == Some(frame)
-                }) {
+                for e in log
+                    .events()
+                    .iter()
+                    .filter(|e| e.host == host && e.program == program && e.frame() == Some(frame))
+                {
                     start = start.min(e.timestamp);
                 }
             }
@@ -225,9 +227,7 @@ impl ProfileAnalysis {
 
     /// A compact text table of the per-frame summaries.
     pub fn to_table(&self) -> String {
-        let mut out = String::from(
-            "frame  start(s)  load(s)  render(s)  send(s)  frame(s)  MB_loaded  load_Mbps\n",
-        );
+        let mut out = String::from("frame  start(s)  load(s)  render(s)  send(s)  frame(s)  MB_loaded  load_Mbps\n");
         for f in &self.frames {
             out.push_str(&format!(
                 "{:5}  {:8.2}  {:7.2}  {:9.2}  {:7.2}  {:8.2}  {:9.1}  {:9.1}\n",
@@ -332,11 +332,17 @@ mod tests {
         clock.set(0.0);
         log0.log_with(tags::BE_LOAD_START, [(tags::FIELD_FRAME, 0u64)]);
         clock.set(6.0);
-        log0.log_with(tags::BE_LOAD_END, [(tags::FIELD_FRAME, 0u64), (tags::FIELD_BYTES, 160_000_000u64)]);
+        log0.log_with(
+            tags::BE_LOAD_END,
+            [(tags::FIELD_FRAME, 0u64), (tags::FIELD_BYTES, 160_000_000u64)],
+        );
         clock.set(6.5);
         log0.log_with(tags::BE_LOAD_START, [(tags::FIELD_FRAME, 1u64)]);
         clock.set(9.5);
-        log0.log_with(tags::BE_LOAD_END, [(tags::FIELD_FRAME, 1u64), (tags::FIELD_BYTES, 160_000_000u64)]);
+        log0.log_with(
+            tags::BE_LOAD_END,
+            [(tags::FIELD_FRAME, 1u64), (tags::FIELD_BYTES, 160_000_000u64)],
+        );
         let log = c.finish();
         let a = ProfileAnalysis::from_log(&log);
         assert!(a.warm_load_throughput_mbps() > a.mean_load_throughput_mbps());

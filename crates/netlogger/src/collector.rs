@@ -36,9 +36,7 @@ impl EventLog {
 
     /// Append one event, keeping timestamp order.
     pub fn push(&mut self, event: Event) {
-        let pos = self
-            .events
-            .partition_point(|e| e.timestamp <= event.timestamp);
+        let pos = self.events.partition_point(|e| e.timestamp <= event.timestamp);
         self.events.insert(pos, event);
     }
 
@@ -105,9 +103,9 @@ impl EventLog {
 
     /// For a (host, program, frame), find the first event with `tag`.
     pub fn find(&self, host: &str, program: &str, frame: Option<i64>, tag: &str) -> Option<&Event> {
-        self.events.iter().find(|e| {
-            e.host == host && e.program == program && e.tag == tag && (frame.is_none() || e.frame() == frame)
-        })
+        self.events
+            .iter()
+            .find(|e| e.host == host && e.program == program && e.tag == tag && (frame.is_none() || e.frame() == frame))
     }
 
     /// Duration between a start tag and an end tag for a given program and
@@ -247,7 +245,10 @@ mod tests {
         clock.set(1.0);
         be.log_with(tags::BE_LOAD_START, [(tags::FIELD_FRAME, 0u64)]);
         clock.set(4.0);
-        be.log_with(tags::BE_LOAD_END, [(tags::FIELD_FRAME, 0u64), (tags::FIELD_BYTES, 160_000_000u64)]);
+        be.log_with(
+            tags::BE_LOAD_END,
+            [(tags::FIELD_FRAME, 0u64), (tags::FIELD_BYTES, 160_000_000u64)],
+        );
         clock.set(4.5);
         v.log_with(tags::V_FRAME_START, [(tags::FIELD_FRAME, 0u64)]);
         clock.set(12.0);

@@ -118,7 +118,10 @@ mod tests {
         clock.set(2.5);
         let log = NetLogger::new("cplant-0", "backend-worker", clock, tx);
         log.log(tags::BE_FRAME_START);
-        log.log_with(tags::BE_LOAD_END, [(tags::FIELD_FRAME, 3u64), (tags::FIELD_BYTES, 100u64)]);
+        log.log_with(
+            tags::BE_LOAD_END,
+            [(tags::FIELD_FRAME, 3u64), (tags::FIELD_BYTES, 100u64)],
+        );
         let e1 = rx.recv().unwrap();
         let e2 = rx.recv().unwrap();
         assert_eq!(e1.tag, tags::BE_FRAME_START);

@@ -106,14 +106,7 @@ impl LifelinePlot {
     /// tag in `tag_order`, matching the paper's layout), markers at event
     /// times, and a time axis at the bottom.
     pub fn render(&self) -> String {
-        let label_width = self
-            .options
-            .tag_order
-            .iter()
-            .map(|t| t.len())
-            .max()
-            .unwrap_or(8)
-            .max(8);
+        let label_width = self.options.tag_order.iter().map(|t| t.len()).max().unwrap_or(8).max(8);
         let mut out = String::new();
         for (tag, events) in self.options.tag_order.iter().zip(&self.rows).rev() {
             let mut line: Vec<char> = vec!['.'; self.options.width];

@@ -90,12 +90,7 @@ impl FlowSimReport {
     /// Aggregate throughput: total bytes over the makespan.
     pub fn aggregate_throughput(&self) -> Bandwidth {
         let total: DataSize = self.completions.iter().map(|c| c.size).sum();
-        let earliest = self
-            .completions
-            .iter()
-            .map(|c| c.start)
-            .min()
-            .unwrap_or(SimTime::ZERO);
+        let earliest = self.completions.iter().map(|c| c.start).min().unwrap_or(SimTime::ZERO);
         total.rate_over(self.makespan - earliest)
     }
 }
@@ -226,15 +221,14 @@ impl FlowSim {
             // Assign the limit to the flows being frozen this round and
             // subtract their usage from every link they cross.
             let to_freeze: Vec<usize> = if let Some(lid) = limiting_link {
-                link_members[&lid]
-                    .iter()
-                    .copied()
-                    .filter(|m| !frozen[*m])
-                    .collect()
+                link_members[&lid].iter().copied().filter(|m| !frozen[*m]).collect()
             } else {
                 cap_limited
             };
-            debug_assert!(!to_freeze.is_empty(), "progressive filling must freeze at least one flow");
+            debug_assert!(
+                !to_freeze.is_empty(),
+                "progressive filling must freeze at least one flow"
+            );
             for &i in &to_freeze {
                 rates[i] = limit;
                 frozen[i] = true;
@@ -347,7 +341,12 @@ mod tests {
         t.add_link(
             dpss,
             pop,
-            Link::new("wan", LinkKind::DedicatedWan, Bandwidth::oc12(), SimDuration::from_millis(2)),
+            Link::new(
+                "wan",
+                LinkKind::DedicatedWan,
+                Bandwidth::oc12(),
+                SimDuration::from_millis(2),
+            ),
         );
         let mut routes = Vec::new();
         for i in 0..clients {
@@ -355,7 +354,12 @@ mod tests {
             t.add_link(
                 pop,
                 c,
-                Link::new(format!("nic{i}"), LinkKind::Lan, Bandwidth::gige(), SimDuration::from_micros(100)),
+                Link::new(
+                    format!("nic{i}"),
+                    LinkKind::Lan,
+                    Bandwidth::gige(),
+                    SimDuration::from_micros(100),
+                ),
             );
             routes.push(t.route(dpss, c).unwrap());
         }
@@ -406,7 +410,10 @@ mod tests {
             makespans.push(sim.run().makespan.as_secs_f64());
         }
         let ratio = makespans[1] / makespans[0];
-        assert!((ratio - 1.0).abs() < 0.05, "8-node vs 4-node load should be ~equal, ratio={ratio}");
+        assert!(
+            (ratio - 1.0).abs() < 0.05,
+            "8-node vs 4-node load should be ~equal, ratio={ratio}"
+        );
     }
 
     #[test]

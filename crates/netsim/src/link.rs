@@ -118,7 +118,12 @@ mod tests {
     use super::*;
 
     fn nton() -> Link {
-        Link::new("NTON OC-12", LinkKind::DedicatedWan, Bandwidth::oc12(), SimDuration::from_millis(2))
+        Link::new(
+            "NTON OC-12",
+            LinkKind::DedicatedWan,
+            Bandwidth::oc12(),
+            SimDuration::from_millis(2),
+        )
     }
 
     #[test]

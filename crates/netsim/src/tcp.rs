@@ -148,7 +148,11 @@ impl TcpModel {
     /// Construct directly from RTT and bottleneck bandwidth.
     pub fn new(rtt: SimDuration, bottleneck: Bandwidth, config: TcpConfig, streams: u32) -> Self {
         TcpModel {
-            rtt: if rtt.is_zero() { SimDuration::from_micros(100) } else { rtt },
+            rtt: if rtt.is_zero() {
+                SimDuration::from_micros(100)
+            } else {
+                rtt
+            },
             bottleneck,
             config,
             streams: streams.max(1),

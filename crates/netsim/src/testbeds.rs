@@ -117,23 +117,43 @@ impl Testbed {
         t.add_link(
             dpss,
             lbl_edge,
-            Link::new("LBL DPSS gigE uplink", LinkKind::Lan, Bandwidth::gige(), SimDuration::from_micros(150)),
+            Link::new(
+                "LBL DPSS gigE uplink",
+                LinkKind::Lan,
+                Bandwidth::gige(),
+                SimDuration::from_micros(150),
+            ),
         );
         t.add_link(
             lbl_edge,
             nton_pop,
-            Link::new("LBL OC-12 to NTON POP", LinkKind::DedicatedWan, Bandwidth::oc12(), SimDuration::from_micros(600)),
+            Link::new(
+                "LBL OC-12 to NTON POP",
+                LinkKind::DedicatedWan,
+                Bandwidth::oc12(),
+                SimDuration::from_micros(600),
+            ),
         );
         t.add_link(
             nton_pop,
             snl_edge,
-            Link::new("NTON OC-48 Oakland-Livermore", LinkKind::DedicatedWan, Bandwidth::oc48(), SimDuration::from_micros(900)),
+            Link::new(
+                "NTON OC-48 Oakland-Livermore",
+                LinkKind::DedicatedWan,
+                Bandwidth::oc48(),
+                SimDuration::from_micros(900),
+            ),
         );
         // The viewer sits next to the cluster at SNL-CA in the April 2000 campaign.
         t.add_link(
             snl_edge,
             viewer,
-            Link::new("SNL viewer 100BT", LinkKind::Lan, Bandwidth::fast_ethernet(), SimDuration::from_micros(200)),
+            Link::new(
+                "SNL viewer 100BT",
+                LinkKind::Lan,
+                Bandwidth::fast_ethernet(),
+                SimDuration::from_micros(200),
+            ),
         );
 
         let mut backend_hosts = Vec::with_capacity(nodes);
@@ -177,7 +197,12 @@ impl Testbed {
         t.add_link(
             dpss,
             lbl_edge,
-            Link::new("LBL DPSS gigE uplink", LinkKind::Lan, Bandwidth::gige(), SimDuration::from_micros(150)),
+            Link::new(
+                "LBL DPSS gigE uplink",
+                LinkKind::Lan,
+                Bandwidth::gige(),
+                SimDuration::from_micros(150),
+            ),
         );
         // Shared production OC-12: only ~27% of the line rate is left for any
         // one application (≈170 Mbps raw share).  After circa-2000 WAN TCP
@@ -186,24 +211,44 @@ impl Testbed {
         t.add_link(
             lbl_edge,
             esnet,
-            Link::new("ESnet OC-12 LBL segment (shared)", LinkKind::SharedWan, Bandwidth::oc12(), SimDuration::from_millis(12))
-                .with_background_load(0.72),
+            Link::new(
+                "ESnet OC-12 LBL segment (shared)",
+                LinkKind::SharedWan,
+                Bandwidth::oc12(),
+                SimDuration::from_millis(12),
+            )
+            .with_background_load(0.72),
         );
         t.add_link(
             esnet,
             anl_edge,
-            Link::new("ESnet OC-12 ANL segment (shared)", LinkKind::SharedWan, Bandwidth::oc12(), SimDuration::from_millis(13))
-                .with_background_load(0.65),
+            Link::new(
+                "ESnet OC-12 ANL segment (shared)",
+                LinkKind::SharedWan,
+                Bandwidth::oc12(),
+                SimDuration::from_millis(13),
+            )
+            .with_background_load(0.65),
         );
         t.add_link(
             anl_edge,
             smp,
-            Link::new("Onyx2 shared gigE NIC", LinkKind::Lan, Bandwidth::gige(), SimDuration::from_micros(200)),
+            Link::new(
+                "Onyx2 shared gigE NIC",
+                LinkKind::Lan,
+                Bandwidth::gige(),
+                SimDuration::from_micros(200),
+            ),
         );
         t.add_link(
             lbl_edge,
             viewer,
-            Link::new("LBL viewer 100BT", LinkKind::Lan, Bandwidth::fast_ethernet(), SimDuration::from_micros(200)),
+            Link::new(
+                "LBL viewer 100BT",
+                LinkKind::Lan,
+                Bandwidth::fast_ethernet(),
+                SimDuration::from_micros(200),
+            ),
         );
 
         Testbed {
@@ -231,17 +276,32 @@ impl Testbed {
         t.add_link(
             dpss,
             lan,
-            Link::new("DPSS gigE", LinkKind::Lan, Bandwidth::gige(), SimDuration::from_micros(100)),
+            Link::new(
+                "DPSS gigE",
+                LinkKind::Lan,
+                Bandwidth::gige(),
+                SimDuration::from_micros(100),
+            ),
         );
         t.add_link(
             lan,
             smp,
-            Link::new("E4500 gigE (host CPU-limited)", LinkKind::Lan, Bandwidth::from_mbps(92.0), SimDuration::from_micros(100)),
+            Link::new(
+                "E4500 gigE (host CPU-limited)",
+                LinkKind::Lan,
+                Bandwidth::from_mbps(92.0),
+                SimDuration::from_micros(100),
+            ),
         );
         t.add_link(
             lan,
             viewer,
-            Link::new("viewer 100BT", LinkKind::Lan, Bandwidth::fast_ethernet(), SimDuration::from_micros(100)),
+            Link::new(
+                "viewer 100BT",
+                LinkKind::Lan,
+                Bandwidth::fast_ethernet(),
+                SimDuration::from_micros(100),
+            ),
         );
 
         Testbed {
@@ -281,12 +341,22 @@ impl Testbed {
         t.add_link(
             dpss,
             lbl_edge,
-            Link::new("LBL DPSS gigE uplink", LinkKind::Lan, Bandwidth::gige(), SimDuration::from_micros(150)),
+            Link::new(
+                "LBL DPSS gigE uplink",
+                LinkKind::Lan,
+                Bandwidth::gige(),
+                SimDuration::from_micros(150),
+            ),
         );
         t.add_link(
             lbl_edge,
             nton_pop,
-            Link::new("LBL OC-12 to NTON POP", LinkKind::DedicatedWan, Bandwidth::oc12(), SimDuration::from_micros(600)),
+            Link::new(
+                "LBL OC-12 to NTON POP",
+                LinkKind::DedicatedWan,
+                Bandwidth::oc12(),
+                SimDuration::from_micros(600),
+            ),
         );
         // Portland show floor reached over OC-48 NTON then the shared SciNet
         // 1000BT fabric; sharing with the rest of the exhibition leaves
@@ -294,18 +364,33 @@ impl Testbed {
         t.add_link(
             nton_pop,
             scinet,
-            Link::new("NTON OC-48 Oakland-Portland", LinkKind::DedicatedWan, Bandwidth::oc48(), SimDuration::from_millis(5)),
+            Link::new(
+                "NTON OC-48 Oakland-Portland",
+                LinkKind::DedicatedWan,
+                Bandwidth::oc48(),
+                SimDuration::from_millis(5),
+            ),
         );
         t.add_link(
             scinet,
             booth_sw,
-            Link::new("SciNet 1000BT (shared show floor)", LinkKind::SharedWan, Bandwidth::gige(), SimDuration::from_micros(400))
-                .with_background_load(0.83),
+            Link::new(
+                "SciNet 1000BT (shared show floor)",
+                LinkKind::SharedWan,
+                Bandwidth::gige(),
+                SimDuration::from_micros(400),
+            )
+            .with_background_load(0.83),
         );
         t.add_link(
             booth_sw,
             viewer,
-            Link::new("booth ImmersaDesk 100BT", LinkKind::Lan, Bandwidth::fast_ethernet(), SimDuration::from_micros(150)),
+            Link::new(
+                "booth ImmersaDesk 100BT",
+                LinkKind::Lan,
+                Bandwidth::fast_ethernet(),
+                SimDuration::from_micros(150),
+            ),
         );
 
         let mut backend_hosts = Vec::new();
@@ -325,7 +410,10 @@ impl Testbed {
         }
 
         Testbed {
-            name: format!("SC99: LBL DPSS -> LBL booth cluster over SciNet ({} nodes)", nodes.max(1)),
+            name: format!(
+                "SC99: LBL DPSS -> LBL booth cluster over SciNet ({} nodes)",
+                nodes.max(1)
+            ),
             kind: TestbedKind::Sc99Booth,
             topology: t,
             dpss_host: dpss,
@@ -347,17 +435,32 @@ impl Testbed {
         t.add_link(
             dpss,
             edge,
-            Link::new("DPSS 10gigE uplink", LinkKind::Lan, Bandwidth::from_gbps(10.0), SimDuration::from_micros(100)),
+            Link::new(
+                "DPSS 10gigE uplink",
+                LinkKind::Lan,
+                Bandwidth::from_gbps(10.0),
+                SimDuration::from_micros(100),
+            ),
         );
         t.add_link(
             edge,
             remote,
-            Link::new("dedicated OC-192", LinkKind::DedicatedWan, Bandwidth::oc192(), SimDuration::from_millis(2)),
+            Link::new(
+                "dedicated OC-192",
+                LinkKind::DedicatedWan,
+                Bandwidth::oc192(),
+                SimDuration::from_millis(2),
+            ),
         );
         t.add_link(
             remote,
             viewer,
-            Link::new("viewer gigE", LinkKind::Lan, Bandwidth::gige(), SimDuration::from_micros(150)),
+            Link::new(
+                "viewer gigE",
+                LinkKind::Lan,
+                Bandwidth::gige(),
+                SimDuration::from_micros(150),
+            ),
         );
 
         let mut backend_hosts = Vec::new();
@@ -444,7 +547,12 @@ mod tests {
         ] {
             for pe in 0..tb.backend_count() {
                 assert!(!tb.data_route(pe).links.is_empty(), "{}: pe{} data route", tb.name, pe);
-                assert!(!tb.viewer_route(pe).links.is_empty(), "{}: pe{} viewer route", tb.name, pe);
+                assert!(
+                    !tb.viewer_route(pe).links.is_empty(),
+                    "{}: pe{} viewer route",
+                    tb.name,
+                    pe
+                );
             }
             // TCP models can be built for every PE.
             let m = tb.data_tcp_model(0, 4);

@@ -107,7 +107,11 @@ impl Topology {
     /// Shortest path (fewest hops) between two hosts, if one exists.
     pub fn route(&self, from: NodeId, to: NodeId) -> Option<Route> {
         if from == to {
-            return Some(Route { from, to, links: Vec::new() });
+            return Some(Route {
+                from,
+                to,
+                links: Vec::new(),
+            });
         }
         let mut visited = vec![false; self.node_names.len()];
         let mut prev: Vec<Option<(usize, usize)>> = vec![None; self.node_names.len()];
@@ -175,12 +179,22 @@ mod tests {
         t.add_link(
             lbl,
             pop,
-            Link::new("LBL->POP gigE", LinkKind::Lan, Bandwidth::gige(), SimDuration::from_micros(200)),
+            Link::new(
+                "LBL->POP gigE",
+                LinkKind::Lan,
+                Bandwidth::gige(),
+                SimDuration::from_micros(200),
+            ),
         );
         t.add_link(
             pop,
             snl,
-            Link::new("NTON OC-12", LinkKind::DedicatedWan, Bandwidth::oc12(), SimDuration::from_millis(2)),
+            Link::new(
+                "NTON OC-12",
+                LinkKind::DedicatedWan,
+                Bandwidth::oc12(),
+                SimDuration::from_millis(2),
+            ),
         );
         (t, lbl, pop, snl)
     }
@@ -220,7 +234,10 @@ mod tests {
     fn rtt_sums_hops() {
         let (t, lbl, _pop, snl) = tiny();
         let r = t.route(lbl, snl).unwrap();
-        assert_eq!(t.route_rtt(&r), SimDuration::from_micros(400) + SimDuration::from_millis(4));
+        assert_eq!(
+            t.route_rtt(&r),
+            SimDuration::from_micros(400) + SimDuration::from_millis(4)
+        );
     }
 
     #[test]

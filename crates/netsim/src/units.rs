@@ -19,7 +19,10 @@ impl Bandwidth {
 
     /// From bits per second.
     pub fn from_bps(bps: f64) -> Self {
-        assert!(bps.is_finite() && bps >= 0.0, "bandwidth must be finite and non-negative");
+        assert!(
+            bps.is_finite() && bps >= 0.0,
+            "bandwidth must be finite and non-negative"
+        );
         Bandwidth(bps)
     }
 

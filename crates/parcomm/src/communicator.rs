@@ -114,12 +114,14 @@ impl<M: Send + Clone + 'static> Rank<M> {
         if self.rank == root {
             let mut all: Vec<Option<M>> = (0..self.size).map(|_| None).collect();
             all[root] = Some(value);
-            for r in 0..self.size {
+            for (r, slot) in all.iter_mut().enumerate() {
                 if r != root {
-                    all[r] = Some(self.recv_from(r)?);
+                    *slot = Some(self.recv_from(r)?);
                 }
             }
-            Ok(Some(all.into_iter().map(|v| v.expect("gather fills every slot")).collect()))
+            Ok(Some(
+                all.into_iter().map(|v| v.expect("gather fills every slot")).collect(),
+            ))
         } else {
             self.send(root, value)?;
             Ok(None)
@@ -189,15 +191,12 @@ impl World {
         let mut senders: Vec<Vec<Sender<M>>> = (0..size).map(|_| Vec::with_capacity(size)).collect();
         let mut receivers: Vec<Vec<Receiver<M>>> = (0..size).map(|_| Vec::with_capacity(size)).collect();
         // Build so that receivers[to][from] pairs with senders[from][to].
-        let mut channels: Vec<Vec<(Sender<M>, Receiver<M>)>> = (0..size)
-            .map(|_| (0..size).map(|_| unbounded()).collect())
-            .collect();
+        let mut channels: Vec<Vec<(Sender<M>, Receiver<M>)>> =
+            (0..size).map(|_| (0..size).map(|_| unbounded()).collect()).collect();
         for (from, sends) in senders.iter_mut().enumerate() {
-            for to in 0..size {
-                let (tx, _) = &channels[from][to];
+            for (tx, _) in &channels[from] {
                 sends.push(tx.clone());
             }
-            let _ = from;
         }
         for to in 0..size {
             for from_channels in channels.iter_mut() {
@@ -220,10 +219,7 @@ impl World {
 
         let f = &f;
         crossbeam::thread::scope(|scope| {
-            let joins: Vec<_> = handles
-                .into_iter()
-                .map(|h| scope.spawn(move |_| f(h)))
-                .collect();
+            let joins: Vec<_> = handles.into_iter().map(|h| scope.spawn(move |_| f(h))).collect();
             joins.into_iter().map(|j| j.join().expect("rank panicked")).collect()
         })
         .expect("communicator scope")
@@ -282,9 +278,8 @@ mod tests {
 
     #[test]
     fn gather_collects_in_rank_order() {
-        let results: Vec<Option<Vec<usize>>> = World::run::<usize, _, _>(4, |rank| {
-            rank.gather(0, rank.rank() * 10).unwrap()
-        });
+        let results: Vec<Option<Vec<usize>>> =
+            World::run::<usize, _, _>(4, |rank| rank.gather(0, rank.rank() * 10).unwrap());
         assert_eq!(results[0], Some(vec![0, 10, 20, 30]));
         assert!(results[1..].iter().all(|r| r.is_none()));
     }
@@ -317,9 +312,8 @@ mod tests {
 
     #[test]
     fn unknown_rank_is_an_error() {
-        let results: Vec<bool> = World::run::<(), _, _>(2, |rank| {
-            matches!(rank.send(5, ()), Err(CommError::UnknownRank(5)))
-        });
+        let results: Vec<bool> =
+            World::run::<(), _, _>(2, |rank| matches!(rank.send(5, ()), Err(CommError::UnknownRank(5))));
         assert!(results.iter().all(|&ok| ok));
     }
 

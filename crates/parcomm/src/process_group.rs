@@ -232,11 +232,10 @@ mod tests {
 
     #[test]
     fn reader_loads_requested_timesteps() {
-        let mut pg: ProcessGroup<Vec<usize>> =
-            ProcessGroup::spawn(Vec::new, |t, buf| {
-                buf.clear();
-                buf.extend(std::iter::repeat(t).take(4));
-            });
+        let mut pg: ProcessGroup<Vec<usize>> = ProcessGroup::spawn(Vec::new, |t, buf| {
+            buf.clear();
+            buf.extend(std::iter::repeat_n(t, 4));
+        });
         pg.request(0);
         pg.wait_ready();
         assert_eq!(*pg.buffer(0), vec![0, 0, 0, 0]);
@@ -334,9 +333,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn double_request_without_wait_panics() {
-        let mut pg: ProcessGroup<u8> = ProcessGroup::spawn(|| 0, |_t, _b| {
-            std::thread::sleep(Duration::from_millis(50));
-        });
+        let mut pg: ProcessGroup<u8> = ProcessGroup::spawn(
+            || 0,
+            |_t, _b| {
+                std::thread::sleep(Duration::from_millis(50));
+            },
+        );
         pg.request(0);
         pg.request(1); // protocol violation
     }

@@ -288,7 +288,10 @@ mod tests {
             let _ = render_view(&volume, &view, &tf, &settings);
         }
         let full = t1.elapsed();
-        assert!(full > ibr, "IBR compositing ({ibr:?}) should beat volume rendering ({full:?})");
+        assert!(
+            full > ibr,
+            "IBR compositing ({ibr:?}) should beat volume rendering ({full:?})"
+        );
     }
 
     #[test]

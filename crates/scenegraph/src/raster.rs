@@ -103,7 +103,11 @@ impl Rasterizer {
     pub fn new(view: &ViewOrientation, settings: RasterSettings) -> Self {
         let d64 = view.view_direction();
         let dir = normalize([d64[0] as f32, d64[1] as f32, d64[2] as f32]);
-        let up_hint = if dir[1].abs() > 0.9 { [1.0, 0.0, 0.0] } else { [0.0, 1.0, 0.0] };
+        let up_hint = if dir[1].abs() > 0.9 {
+            [1.0, 0.0, 0.0]
+        } else {
+            [0.0, 1.0, 0.0]
+        };
         let right = normalize(cross(up_hint, dir));
         let up = normalize(cross(dir, right));
         Rasterizer {
@@ -313,7 +317,10 @@ mod tests {
         let r = Rasterizer::new(&ViewOrientation::axis_aligned(), framing());
         let ab = r.render(&[far.clone(), near.clone()]);
         let ba = r.render(&[near, far]);
-        assert!(ab.rms_diff(&ba) < 1e-6, "draw order must be determined by depth sorting");
+        assert!(
+            ab.rms_diff(&ba) < 1e-6,
+            "draw order must be determined by depth sorting"
+        );
         // And the centre is fully opaque, one of the two colours.
         let c = ab.get(32, 32);
         assert!(c[3] > 0.99);

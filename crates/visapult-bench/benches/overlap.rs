@@ -34,7 +34,9 @@ fn bench_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend_mode");
     group.sample_size(10);
     group.bench_function("serial", |b| b.iter(|| black_box(run_mode(ExecutionMode::Serial))));
-    group.bench_function("overlapped", |b| b.iter(|| black_box(run_mode(ExecutionMode::Overlapped))));
+    group.bench_function("overlapped", |b| {
+        b.iter(|| black_box(run_mode(ExecutionMode::Overlapped)))
+    });
     group.finish();
 }
 

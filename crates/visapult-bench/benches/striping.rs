@@ -10,8 +10,13 @@ use netsim::{Bandwidth, DataSize, Link, LinkKind, SimDuration, TcpConfig, TcpMod
 use std::hint::black_box;
 
 fn wan_link(latency_ms: u64, background: f64) -> Vec<Link> {
-    vec![Link::new("wan", LinkKind::SharedWan, Bandwidth::oc12(), SimDuration::from_millis(latency_ms))
-        .with_background_load(background)]
+    vec![Link::new(
+        "wan",
+        LinkKind::SharedWan,
+        Bandwidth::oc12(),
+        SimDuration::from_millis(latency_ms),
+    )
+    .with_background_load(background)]
 }
 
 fn bench_stream_counts(c: &mut Criterion) {

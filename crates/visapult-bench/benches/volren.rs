@@ -16,9 +16,13 @@ fn bench_slab_sizes(c: &mut Criterion) {
     for &depth in &[8usize, 16, 32] {
         let slab = combustion_jet((64, 64, depth), 0.5, 9);
         group.throughput(Throughput::Elements(slab.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("64x64x{depth}")), &slab, |b, slab| {
-            b.iter(|| black_box(render_region(slab, Axis::Z, &tf, slab.value_range(), &settings)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("64x64x{depth}")),
+            &slab,
+            |b, slab| {
+                b.iter(|| black_box(render_region(slab, Axis::Z, &tf, slab.value_range(), &settings)));
+            },
+        );
     }
     group.finish();
 }
@@ -31,9 +35,13 @@ fn bench_image_sizes(c: &mut Criterion) {
     group.sample_size(20);
     for &px in &[64usize, 128, 256] {
         let settings = RenderSettings::with_size(px, px);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{px}px")), &settings, |b, settings| {
-            b.iter(|| black_box(render_region(&slab, Axis::Z, &tf, range, settings)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{px}px")),
+            &settings,
+            |b, settings| {
+                b.iter(|| black_box(render_region(&slab, Axis::Z, &tf, range, settings)));
+            },
+        );
     }
     group.finish();
 }

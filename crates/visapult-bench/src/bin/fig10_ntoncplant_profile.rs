@@ -12,8 +12,11 @@ fn main() {
     let report = run_sim_campaign(&config).expect("campaign failed");
 
     let mut out = ExperimentReport::new("E2 / Figure 10", "LBL DPSS -> CPlant over NTON, serial back end, 4 PEs");
-    out.line(format!("{}", report.name));
-    out.line(format!("{:>5}  {:>8}  {:>8}  {:>8}  {:>10}", "frame", "load(s)", "render(s)", "send(s)", "load Mbps"));
+    out.line(&report.name);
+    out.line(format!(
+        "{:>5}  {:>8}  {:>8}  {:>8}  {:>10}",
+        "frame", "load(s)", "render(s)", "send(s)", "load Mbps"
+    ));
     for f in &report.frames {
         out.line(format!(
             "{:>5}  {:>8.2}  {:>8.2}  {:>8.2}  {:>10.1}",
@@ -28,7 +31,13 @@ fn main() {
     out.line("NLV lifeline of the run:");
     out.line(netlogger::LifelinePlot::new(&report.log, netlogger::NlvOptions::backend_only().with_width(100)).render());
 
-    out.compare(ComparisonRow::numeric("per-frame load time", 3.0, report.mean_load_time, "s", 0.25));
+    out.compare(ComparisonRow::numeric(
+        "per-frame load time",
+        3.0,
+        report.mean_load_time,
+        "s",
+        0.25,
+    ));
     out.compare(ComparisonRow::numeric(
         "aggregate load throughput",
         433.0,
@@ -43,6 +52,12 @@ fn main() {
         "%",
         0.15,
     ));
-    out.compare(ComparisonRow::numeric("per-frame render time (4 PEs)", 8.5, report.mean_render_time, "s", 0.2));
+    out.compare(ComparisonRow::numeric(
+        "per-frame render time (4 PEs)",
+        8.5,
+        report.mean_render_time,
+        "s",
+        0.2,
+    ));
     println!("{}", out.render());
 }

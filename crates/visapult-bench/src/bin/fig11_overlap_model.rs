@@ -26,10 +26,16 @@ fn measure_real_pipeline(load_ms: u64, render_ms: u64, n: usize) -> f64 {
 }
 
 fn main() {
-    let mut out = ExperimentReport::new("E7 / Figure 11 & §4.3", "Serial vs overlapped pipeline model and measured speedup");
+    let mut out = ExperimentReport::new(
+        "E7 / Figure 11 & §4.3",
+        "Serial vs overlapped pipeline model and measured speedup",
+    );
 
     out.line("Model sweep (N = 10 timesteps):");
-    out.line(format!("{:>6}  {:>6}  {:>9}  {:>9}  {:>8}", "L(s)", "R(s)", "Ts(s)", "To(s)", "speedup"));
+    out.line(format!(
+        "{:>6}  {:>6}  {:>9}  {:>9}  {:>8}",
+        "L(s)", "R(s)", "Ts(s)", "To(s)", "speedup"
+    ));
     for (l, r) in [(15.0, 12.0), (10.0, 10.0), (18.0, 2.0), (2.0, 18.0), (19.9, 0.1)] {
         let m = OverlapModel::new(l, r);
         out.line(format!(
@@ -63,7 +69,13 @@ fn main() {
         "Real process-group pipeline (L=30ms, R=24ms, N={n}): measured {measured_overlap:.3}s, model To {predicted_overlap:.3}s, model Ts {predicted_serial:.3}s"
     ));
 
-    out.compare(ComparisonRow::numeric("E4500 serial prediction", 265.0, OverlapModel::paper_e4500().serial_time(10), "s", 0.05));
+    out.compare(ComparisonRow::numeric(
+        "E4500 serial prediction",
+        265.0,
+        OverlapModel::paper_e4500().serial_time(10),
+        "s",
+        0.05,
+    ));
     out.compare(ComparisonRow::numeric(
         "E4500 overlapped prediction",
         169.0,

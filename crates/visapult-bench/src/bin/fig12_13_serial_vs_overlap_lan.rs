@@ -1,45 +1,88 @@
 //! E3 / Figures 12 & 13 — serial vs overlapped back end on the Sun E4500
-//! over the LBL gigabit LAN.
+//! over the LBL gigabit LAN, driven through the declarative scenario engine.
 //!
 //! Paper: ten timesteps; serial ≈265 s, overlapped ≈169 s; per-frame L ≈ 15 s
 //! and R ≈ 12 s.
+//!
+//! One paper-scale scenario with a 50/50 staged mix (serial stage, then
+//! overlapped stage, ten timesteps each) reproduces both figures from a
+//! single `run_scenario` call.
 
 use visapult_bench::{ComparisonRow, ExperimentReport};
-use visapult_core::{run_sim_campaign, ExecutionMode, SimCampaignConfig};
+use visapult_core::{run_scenario, ExecutionMode, ScenarioSpec, StageSpec};
 
 fn main() {
-    let serial = run_sim_campaign(&SimCampaignConfig::lan_e4500(8, 10, ExecutionMode::Serial)).expect("serial");
-    let overlapped =
-        run_sim_campaign(&SimCampaignConfig::lan_e4500(8, 10, ExecutionMode::Overlapped)).expect("overlapped");
+    let spec = ScenarioSpec::paper_virtual(
+        netsim::TestbedKind::LanSmp,
+        8,
+        20,
+        vec![
+            StageSpec {
+                name: "serial".to_string(),
+                share: 50.0,
+                execution: Some(ExecutionMode::Serial),
+            },
+            StageSpec {
+                name: "overlapped".to_string(),
+                share: 50.0,
+                execution: Some(ExecutionMode::Overlapped),
+            },
+        ],
+    );
+    let report = run_scenario(&spec).expect("scenario failed");
+    let serial = &report.stages[0].metrics;
+    let overlapped = &report.stages[1].metrics;
 
     let mut out = ExperimentReport::new(
         "E3 / Figures 12 & 13",
-        "Serial vs overlapped load+render on the E4500 over gigabit LAN (10 timesteps)",
+        "Serial vs overlapped load+render on the E4500 over gigabit LAN (10 timesteps each, one staged scenario)",
     );
     out.line(format!(
         "{:<12}  {:>9}  {:>9}  {:>9}  {:>10}",
         "mode", "L mean(s)", "R mean(s)", "total(s)", "s/timestep"
     ));
-    for r in [&serial, &overlapped] {
+    for s in &report.stages {
         out.line(format!(
             "{:<12}  {:>9.2}  {:>9.2}  {:>9.1}  {:>10.2}",
-            r.mode.label(),
-            r.mean_load_time,
-            r.mean_render_time,
-            r.total_time,
-            r.seconds_per_timestep()
+            s.mode.label(),
+            s.metrics.mean_load_time,
+            s.metrics.mean_render_time,
+            s.metrics.total_time,
+            s.metrics.seconds_per_timestep
         ));
     }
     out.line("");
-    out.line("Overlapped-run lifeline (even frames 'o', odd frames 'x'):");
-    out.line(
-        netlogger::LifelinePlot::new(&overlapped.log, netlogger::NlvOptions::backend_only().with_width(100)).render(),
-    );
+    out.line("Campaign lifeline (serial stage, then the overlapped stage on the same axis):");
+    out.line(netlogger::LifelinePlot::new(&report.log, netlogger::NlvOptions::backend_only().with_width(100)).render());
 
-    out.compare(ComparisonRow::numeric("serial total", 265.0, serial.total_time, "s", 0.12));
-    out.compare(ComparisonRow::numeric("overlapped total", 169.0, overlapped.total_time, "s", 0.12));
-    out.compare(ComparisonRow::numeric("per-frame load L", 15.0, serial.mean_load_time, "s", 0.15));
-    out.compare(ComparisonRow::numeric("per-frame render R", 12.0, serial.mean_render_time, "s", 0.15));
+    out.compare(ComparisonRow::numeric(
+        "serial total",
+        265.0,
+        serial.total_time,
+        "s",
+        0.12,
+    ));
+    out.compare(ComparisonRow::numeric(
+        "overlapped total",
+        169.0,
+        overlapped.total_time,
+        "s",
+        0.12,
+    ));
+    out.compare(ComparisonRow::numeric(
+        "per-frame load L",
+        15.0,
+        serial.mean_load_time,
+        "s",
+        0.15,
+    ));
+    out.compare(ComparisonRow::numeric(
+        "per-frame render R",
+        12.0,
+        serial.mean_render_time,
+        "s",
+        0.15,
+    ));
     out.compare(ComparisonRow::claim(
         "overlapping wins",
         "overlapped ≈ 1.57x faster",

@@ -46,17 +46,17 @@ fn main() {
     out.line("");
     out.line("Overlapped lifeline on 8 nodes:");
     out.line(
-        netlogger::LifelinePlot::new(&eight_overlap.log, netlogger::NlvOptions::backend_only().with_width(100))
-            .render(),
+        netlogger::LifelinePlot::new(
+            &eight_overlap.log,
+            netlogger::NlvOptions::backend_only().with_width(100),
+        )
+        .render(),
     );
 
     out.compare(ComparisonRow::claim(
         "8-node load ≈ 4-node load (WAN saturated)",
         "approximately equal",
-        &format!(
-            "ratio {:.2}",
-            eight_serial.mean_load_time / four_serial.mean_load_time
-        ),
+        &format!("ratio {:.2}", eight_serial.mean_load_time / four_serial.mean_load_time),
         (eight_serial.mean_load_time / four_serial.mean_load_time - 1.0).abs() < 0.15,
     ));
     out.compare(ComparisonRow::numeric(

@@ -35,7 +35,13 @@ fn main() {
     out.line("Serial lifeline:");
     out.line(netlogger::LifelinePlot::new(&serial.log, netlogger::NlvOptions::backend_only().with_width(100)).render());
 
-    out.compare(ComparisonRow::numeric("warm per-frame load time", 10.0, serial.mean_load_time, "s", 0.2));
+    out.compare(ComparisonRow::numeric(
+        "warm per-frame load time",
+        10.0,
+        serial.mean_load_time,
+        "s",
+        0.2,
+    ));
     out.compare(ComparisonRow::numeric(
         "aggregate load throughput",
         128.0,
@@ -63,8 +69,7 @@ fn main() {
         "overlapped load only slightly above serial on the SMP",
         "slightly higher",
         &format!("{:.2}s vs {:.2}s", overlapped.mean_load_time, serial.mean_load_time),
-        overlapped.mean_load_time >= serial.mean_load_time
-            && overlapped.mean_load_time < serial.mean_load_time * 1.12,
+        overlapped.mean_load_time >= serial.mean_load_time && overlapped.mean_load_time < serial.mean_load_time * 1.12,
     ));
     println!("{}", out.render());
 }

@@ -18,7 +18,10 @@ fn main() {
     let model = IbravrModel::from_volume(&volume, Axis::Z, 8, &tf, &settings);
 
     let mut out = ExperimentReport::new("E8 / Figure 6", "IBRAVR artifact error vs off-axis viewing angle");
-    out.line(format!("{:>10}  {:>14}  {:>12}  {:>12}", "yaw (deg)", "off-axis (deg)", "error", "axis switch?"));
+    out.line(format!(
+        "{:>10}  {:>14}  {:>12}  {:>12}",
+        "yaw (deg)", "off-axis (deg)", "error", "axis switch?"
+    ));
     let mut errors = Vec::new();
     for yaw in [0.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 40.0, 50.0, 60.0] {
         let view = ViewOrientation::new(yaw, 0.0);

@@ -12,7 +12,12 @@ use visapult_bench::{ComparisonRow, ExperimentReport};
 
 fn lan_path(streams: u32) -> TcpModel {
     TcpModel::from_path(
-        &[Link::new("client gigE", LinkKind::Lan, Bandwidth::gige(), SimDuration::from_micros(150))],
+        &[Link::new(
+            "client gigE",
+            LinkKind::Lan,
+            Bandwidth::gige(),
+            SimDuration::from_micros(150),
+        )],
         TcpConfig::wan_tuned(),
         streams,
     )
@@ -20,14 +25,22 @@ fn lan_path(streams: u32) -> TcpModel {
 
 fn wan_path(streams: u32) -> TcpModel {
     TcpModel::from_path(
-        &[Link::new("NTON OC-12", LinkKind::DedicatedWan, Bandwidth::oc12(), SimDuration::from_millis(2))],
+        &[Link::new(
+            "NTON OC-12",
+            LinkKind::DedicatedWan,
+            Bandwidth::oc12(),
+            SimDuration::from_millis(2),
+        )],
         TcpConfig::wan_tuned(),
         streams,
     )
 }
 
 fn main() {
-    let mut out = ExperimentReport::new("E1 & E11 / §2, §3.5", "DPSS serve rate and LAN/WAN delivered throughput vs cluster size");
+    let mut out = ExperimentReport::new(
+        "E1 & E11 / §2, §3.5",
+        "DPSS serve rate and LAN/WAN delivered throughput vs cluster size",
+    );
     out.line(format!(
         "{:>7}  {:>6}  {:>14}  {:>14}  {:>14}",
         "servers", "disks", "serve MB/s", "LAN Mbps", "WAN Mbps"
@@ -54,9 +67,27 @@ fn main() {
     }
     let four = four_server_row.expect("four-server row present");
 
-    out.compare(ComparisonRow::numeric("four-server serve rate", 150.0, four.serve_rate.mbytes_per_sec(), "MB/s", 0.25));
-    out.compare(ComparisonRow::numeric("LAN delivered", 980.0, four.lan_delivered.mbps(), "Mbps", 0.1));
-    out.compare(ComparisonRow::numeric("WAN delivered", 570.0, four.wan_delivered.mbps(), "Mbps", 0.12));
+    out.compare(ComparisonRow::numeric(
+        "four-server serve rate",
+        150.0,
+        four.serve_rate.mbytes_per_sec(),
+        "MB/s",
+        0.25,
+    ));
+    out.compare(ComparisonRow::numeric(
+        "LAN delivered",
+        980.0,
+        four.lan_delivered.mbps(),
+        "Mbps",
+        0.1,
+    ));
+    out.compare(ComparisonRow::numeric(
+        "WAN delivered",
+        570.0,
+        four.wan_delivered.mbps(),
+        "Mbps",
+        0.12,
+    ));
     out.compare(ComparisonRow::claim(
         "throughput scales with servers until the path saturates",
         "client speed scales with server count",

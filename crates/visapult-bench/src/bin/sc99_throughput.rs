@@ -1,4 +1,5 @@
-//! E6 / §4.1 — the SC99 research-exhibit data rates.
+//! E6 / §4.1 — the SC99 research-exhibit data rates, driven through the
+//! declarative scenario engine.
 //!
 //! Paper: 250 Mbps sustained between the LBL DPSS and CPlant over NTON with
 //! the early (pre-streamlining) Visapult implementation, and 150 Mbps between
@@ -6,49 +7,58 @@
 //! network; the April 2000 campaign later reached 433 Mbps over the same NTON
 //! path after the data staging was streamlined.
 
+use netsim::TestbedKind;
 use visapult_bench::{ComparisonRow, ExperimentReport};
-use visapult_core::{run_sim_campaign, ExecutionMode, SimCampaignConfig};
+use visapult_core::{run_scenario, CampaignReport, ScenarioSpec};
+
+fn run(kind: TestbedKind, pes: usize) -> CampaignReport {
+    run_scenario(&ScenarioSpec::paper_virtual(kind, pes, 6, Vec::new())).expect("scenario failed")
+}
 
 fn main() {
-    let sc99_nton = run_sim_campaign(&SimCampaignConfig::sc99_cplant(4, 6)).unwrap();
-    let sc99_scinet = run_sim_campaign(&SimCampaignConfig::sc99_booth(8, 6)).unwrap();
-    let april2000 = run_sim_campaign(&SimCampaignConfig::nton_cplant(4, 6, ExecutionMode::Serial)).unwrap();
+    let sc99_nton = run(TestbedKind::Sc99Cplant, 4);
+    let sc99_scinet = run(TestbedKind::Sc99Booth, 8);
+    let april2000 = run(TestbedKind::NtonCplant, 4);
+
+    let nton_mbps = sc99_nton.stages[0].metrics.mean_load_throughput_mbps;
+    let scinet_mbps = sc99_scinet.stages[0].metrics.mean_load_throughput_mbps;
+    let april_mbps = april2000.stages[0].metrics.mean_load_throughput_mbps;
 
     let mut out = ExperimentReport::new("E6 / §4.1", "SC99 exhibit throughputs and the post-SC99 improvement");
     out.line(format!("{:<44}  {:>18}", "configuration", "DPSS->back-end Mbps"));
-    for (label, r) in [
-        ("SC99: DPSS -> CPlant over NTON", &sc99_nton),
-        ("SC99: DPSS -> LBL booth over SciNet", &sc99_scinet),
-        ("April 2000: DPSS -> CPlant over NTON", &april2000),
+    for (label, mbps) in [
+        ("SC99: DPSS -> CPlant over NTON", nton_mbps),
+        ("SC99: DPSS -> LBL booth over SciNet", scinet_mbps),
+        ("April 2000: DPSS -> CPlant over NTON", april_mbps),
     ] {
-        out.line(format!("{:<44}  {:>18.1}", label, r.mean_load_throughput_mbps));
+        out.line(format!("{:<44}  {:>18.1}", label, mbps));
     }
 
-    out.compare(ComparisonRow::numeric("SC99 NTON throughput", 250.0, sc99_nton.mean_load_throughput_mbps, "Mbps", 0.15));
+    out.compare(ComparisonRow::numeric(
+        "SC99 NTON throughput",
+        250.0,
+        nton_mbps,
+        "Mbps",
+        0.15,
+    ));
     out.compare(ComparisonRow::numeric(
         "SC99 SciNet throughput",
         150.0,
-        sc99_scinet.mean_load_throughput_mbps,
+        scinet_mbps,
         "Mbps",
         0.2,
     ));
     out.compare(ComparisonRow::claim(
         "NTON path beats the shared SciNet path",
         "250 vs 150 Mbps",
-        &format!(
-            "{:.0} vs {:.0} Mbps",
-            sc99_nton.mean_load_throughput_mbps, sc99_scinet.mean_load_throughput_mbps
-        ),
-        sc99_nton.mean_load_throughput_mbps > sc99_scinet.mean_load_throughput_mbps,
+        &format!("{nton_mbps:.0} vs {scinet_mbps:.0} Mbps"),
+        nton_mbps > scinet_mbps,
     ));
     out.compare(ComparisonRow::claim(
         "post-SC99 streamlining improves the NTON rate",
         "250 -> 433 Mbps",
-        &format!(
-            "{:.0} -> {:.0} Mbps",
-            sc99_nton.mean_load_throughput_mbps, april2000.mean_load_throughput_mbps
-        ),
-        april2000.mean_load_throughput_mbps > sc99_nton.mean_load_throughput_mbps * 1.4,
+        &format!("{nton_mbps:.0} -> {april_mbps:.0} Mbps"),
+        april_mbps > nton_mbps * 1.4,
     ));
     println!("{}", out.render());
 }

@@ -23,7 +23,10 @@ fn main() {
     let oc192 = run_sim_campaign(&SimCampaignConfig::future_oc192(16, 10, ExecutionMode::Overlapped)).unwrap();
 
     let total_steps = dataset.timesteps as f64;
-    let mut out = ExperimentReport::new("E9 / §5", "Playback time of the 265-timestep (41.4 GB) dataset per network");
+    let mut out = ExperimentReport::new(
+        "E9 / §5",
+        "Playback time of the 265-timestep (41.4 GB) dataset per network",
+    );
     out.line("The §5 figures are data-movement times: how fast timesteps can be pulled across each network");
     out.line("(the overlapped pipeline hides rendering behind the next load, so the load cadence is the floor).");
     out.line("");
@@ -31,7 +34,11 @@ fn main() {
         "{:<28}  {:>16}  {:>18}  {:>22}",
         "network", "s/step (data)", "265-step playback", "s/step (full pipeline)"
     ));
-    for (label, r) in [("NTON (OC-12, dedicated)", &nton), ("ESnet (shared)", &esnet), ("dedicated OC-192", &oc192)] {
+    for (label, r) in [
+        ("NTON (OC-12, dedicated)", &nton),
+        ("ESnet (shared)", &esnet),
+        ("dedicated OC-192", &oc192),
+    ] {
         let cadence = r.mean_load_time;
         out.line(format!(
             "{:<28}  {:>16.2}  {:>15.1} min  {:>22.2}",
@@ -50,8 +57,20 @@ fn main() {
         Bandwidth::oc192().bps() / 1e9
     ));
 
-    out.compare(ComparisonRow::numeric("NTON seconds per timestep (data)", 3.0, nton.mean_load_time, "s", 0.25));
-    out.compare(ComparisonRow::numeric("ESnet seconds per timestep (data)", 10.0, esnet.mean_load_time, "s", 0.25));
+    out.compare(ComparisonRow::numeric(
+        "NTON seconds per timestep (data)",
+        3.0,
+        nton.mean_load_time,
+        "s",
+        0.25,
+    ));
+    out.compare(ComparisonRow::numeric(
+        "ESnet seconds per timestep (data)",
+        10.0,
+        esnet.mean_load_time,
+        "s",
+        0.25,
+    ));
     out.compare(ComparisonRow::numeric(
         "NTON full playback",
         13.2,
@@ -76,7 +95,11 @@ fn main() {
     out.compare(ComparisonRow::claim(
         "an OC-192 would carry 5 steps/s",
         "approximately a dedicated OC-192 link",
-        &format!("needed {:.1} Gbps vs OC-192 {:.1} Gbps", needed_for_5hz.bps() / 1e9, Bandwidth::oc192().bps() / 1e9),
+        &format!(
+            "needed {:.1} Gbps vs OC-192 {:.1} Gbps",
+            needed_for_5hz.bps() / 1e9,
+            Bandwidth::oc192().bps() / 1e9
+        ),
         needed_for_5hz.bps() < Bandwidth::oc192().bps(),
     ));
     println!("{}", out.render());

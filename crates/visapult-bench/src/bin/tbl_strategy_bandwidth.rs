@@ -13,7 +13,10 @@ fn main() {
     let dataset = DatasetDescriptor::paper_combustion();
     let rows = compare_strategies(&dataset, 1.0, 1000, 1000, 30.0, 8, 512);
 
-    let mut out = ExperimentReport::new("E10 / §2", "Bandwidth demand per visualization strategy (1 timestep/s playback, 1K x 1K @ 30 fps display)");
+    let mut out = ExperimentReport::new(
+        "E10 / §2",
+        "Bandwidth demand per visualization strategy (1 timestep/s playback, 1K x 1K @ 30 fps display)",
+    );
     out.line(format!(
         "{:<16}  {:>20}  {:>20}  {:>26}",
         "strategy", "desktop link Mbps", "data link Mbps", "interactivity needs WAN?"
@@ -32,9 +35,18 @@ fn main() {
         ));
     }
 
-    let remote = rows.iter().find(|r| r.strategy == VisualizationStrategy::RenderRemote).unwrap();
-    let local = rows.iter().find(|r| r.strategy == VisualizationStrategy::RenderLocal).unwrap();
-    let visapult = rows.iter().find(|r| r.strategy == VisualizationStrategy::Visapult).unwrap();
+    let remote = rows
+        .iter()
+        .find(|r| r.strategy == VisualizationStrategy::RenderRemote)
+        .unwrap();
+    let local = rows
+        .iter()
+        .find(|r| r.strategy == VisualizationStrategy::RenderLocal)
+        .unwrap();
+    let visapult = rows
+        .iter()
+        .find(|r| r.strategy == VisualizationStrategy::Visapult)
+        .unwrap();
 
     out.compare(ComparisonRow::numeric(
         "render-remote display stream (footnote 3)",
@@ -52,7 +64,11 @@ fn main() {
     out.compare(ComparisonRow::claim(
         "Visapult viewer link is O(n^2)",
         "textures only",
-        &format!("{:.0} Mbps vs {:.0} Mbps raw", visapult.desktop_link.mbps(), local.desktop_link.mbps()),
+        &format!(
+            "{:.0} Mbps vs {:.0} Mbps raw",
+            visapult.desktop_link.mbps(),
+            local.desktop_link.mbps()
+        ),
         visapult.desktop_link.mbps() < local.desktop_link.mbps() / 10.0,
     ));
     out.compare(ComparisonRow::claim(
@@ -60,7 +76,9 @@ fn main() {
         "graphics interactivity decoupled from network latency",
         &format!(
             "remote: {}, local: {}, visapult: {}",
-            remote.interactivity_depends_on_wan, local.interactivity_depends_on_wan, visapult.interactivity_depends_on_wan
+            remote.interactivity_depends_on_wan,
+            local.interactivity_depends_on_wan,
+            visapult.interactivity_depends_on_wan
         ),
         !visapult.interactivity_depends_on_wan && remote.interactivity_depends_on_wan,
     ));

@@ -63,11 +63,7 @@ impl BackendReport {
 
 /// The quad (centre + half extents) slab `pe` of `total` maps onto, matching
 /// `scenegraph::IbravrModel::slab_quad` for a Z decomposition.
-fn slab_quad_vectors(
-    dims: (usize, usize, usize),
-    pe: usize,
-    total: usize,
-) -> ([f32; 3], [f32; 3], [f32; 3]) {
+fn slab_quad_vectors(dims: (usize, usize, usize), pe: usize, total: usize) -> ([f32; 3], [f32; 3], [f32; 3]) {
     let (nx, ny, _) = (dims.0 as f32, dims.1 as f32, dims.2 as f32);
     let origin_z = pe * dims.2 / total;
     let size_z = (pe + 1) * dims.2 / total - origin_z;
@@ -82,12 +78,7 @@ fn slab_quad_vectors(
 }
 
 /// Render one loaded slab and package the light + heavy payloads.
-fn render_and_package(
-    config: &PipelineConfig,
-    rank: usize,
-    frame: usize,
-    volume: &Volume,
-) -> FramePayload {
+fn render_and_package(config: &PipelineConfig, rank: usize, frame: usize, volume: &Volume) -> FramePayload {
     let image = render_region(volume, Axis::Z, &config.transfer, config.value_range, &config.render);
     // AMR grid geometry for this slab, shifted into whole-volume coordinates.
     let origin = slab_origin(&config.dataset, rank, config.pes);
@@ -159,7 +150,10 @@ fn run_pe_serial(
     let mut wire_bytes = 0u64;
     for frame in 0..config.timesteps {
         if let Some(l) = log {
-            l.log_with(tags::BE_FRAME_START, [(tags::FIELD_FRAME, frame as u64), (tags::FIELD_RANK, r as u64)]);
+            l.log_with(
+                tags::BE_FRAME_START,
+                [(tags::FIELD_FRAME, frame as u64), (tags::FIELD_RANK, r as u64)],
+            );
             l.log_with(tags::BE_LOAD_START, [(tags::FIELD_FRAME, frame as u64)]);
         }
         let volume = source.load_slab(frame, r, config.pes)?;
@@ -232,7 +226,10 @@ fn run_pe_overlapped(
     }
     for frame in 0..config.timesteps {
         if let Some(l) = log {
-            l.log_with(tags::BE_FRAME_START, [(tags::FIELD_FRAME, frame as u64), (tags::FIELD_RANK, r as u64)]);
+            l.log_with(
+                tags::BE_FRAME_START,
+                [(tags::FIELD_FRAME, frame as u64), (tags::FIELD_RANK, r as u64)],
+            );
         }
         // Request the next timestep before rendering this one ("while the
         // data for frame N is being rendered, data for frame N+1 is being
@@ -424,7 +421,13 @@ mod tests {
             senders.push(tx);
             receivers.push(rx);
         }
-        run_backend(&config, source, senders, Some(collector.logger("backend", "backend-master"))).unwrap();
+        run_backend(
+            &config,
+            source,
+            senders,
+            Some(collector.logger("backend", "backend-master")),
+        )
+        .unwrap();
         let log = collector.finish();
         // 2 PEs x 2 frames = 4 of each back-end event.
         for tag in [

@@ -118,8 +118,11 @@ mod tests {
         // "1K by 1K, RGBA images at 30fps requires a sustained transfer rate
         // of 960Mbps."
         let bw = image_stream_bandwidth(1024, 1024, 30.0);
-        assert!((bw.mbps() - 1006.6).abs() < 1.0 || (bw.mbps() - 960.0).abs() < 50.0,
-            "got {} Mbps", bw.mbps());
+        assert!(
+            (bw.mbps() - 1006.6).abs() < 1.0 || (bw.mbps() - 960.0).abs() < 50.0,
+            "got {} Mbps",
+            bw.mbps()
+        );
         // With the paper's looser "1K = 1000" arithmetic it is exactly 960.
         let loose = image_stream_bandwidth(1000, 1000, 30.0);
         assert!((loose.mbps() - 960.0).abs() < 1e-6);

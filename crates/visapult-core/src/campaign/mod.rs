@@ -1,13 +1,21 @@
 //! Campaign drivers: end-to-end runs of the Visapult pipeline.
 //!
-//! The paper calls its end-to-end field tests "campaigns" (§4.2).  Two
-//! drivers are provided:
+//! The paper calls its end-to-end field tests "campaigns" (§4.2).  The
+//! declarative [`scenario`] engine is the front door: a TOML
+//! [`scenario::ScenarioSpec`] (testbed, decomposition, staged workload mix,
+//! seed) compiles through [`scenario::run_scenario`] to one of two execution
+//! backends:
 //!
 //! * [`real`] — runs the actual pipeline (DPSS, back end, viewer) on OS
 //!   threads with wall-clock NetLogger instrumentation.
 //! * [`sim`] — replays the same pipeline control flow against calibrated
 //!   network/platform models on a virtual clock, reproducing the paper's
 //!   timing figures without the original testbeds.
+//!
+//! Both backends remain callable directly, but examples, integration tests
+//! and the figure binaries route through [`scenario::run_scenario`] so one
+//! spec serves both paths.
 
 pub mod real;
+pub mod scenario;
 pub mod sim;

@@ -169,12 +169,20 @@ mod tests {
 
     #[test]
     fn end_to_end_dpss_campaign_produces_frames_and_a_picture() {
-        let config = small_config(4, 2, ExecutionMode::Serial, RealDataPath::Dpss { stream_rate_mbps: None });
+        let config = small_config(
+            4,
+            2,
+            ExecutionMode::Serial,
+            RealDataPath::Dpss { stream_rate_mbps: None },
+        );
         let report = run_real_campaign(&config).unwrap();
         assert_eq!(report.backend.frames_rendered, 2);
         assert_eq!(report.viewer.frames_received, 4 * 2);
         assert!(report.viewer.final_image.coverage() > 0.01);
-        assert!(report.data_reduction_factor() > 1.0, "viewer payload should be smaller than raw data");
+        assert!(
+            report.data_reduction_factor() > 1.0,
+            "viewer payload should be smaller than raw data"
+        );
         // The log covers both ends of the pipeline.
         assert!(report.log.with_tag(tags::BE_LOAD_END).count() >= 8);
         assert!(report.log.with_tag(tags::V_HEAVYPAYLOAD_END).count() >= 8);

@@ -1,0 +1,1142 @@
+//! The declarative scenario engine: one TOML spec, two execution paths.
+//!
+//! The seed's campaign layer grew two parallel drivers — [`super::real`] with
+//! `RealCampaignConfig` and [`super::sim`] with `SimCampaignConfig` — each
+//! with its own configuration surface and its own pipeline-driving control
+//! flow.  A [`ScenarioSpec`] replaces both entry points with a single
+//! declarative description (in the style of contender campaign files and
+//! deterministic scenario-replay harnesses): the reconstructed testbed, the
+//! pipeline decomposition, the dataset scale, and a *staged workload mix* —
+//! sequential stages that split the timestep budget by percentage share and
+//! may override the execution mode per stage (e.g. a serial probe stage
+//! followed by an overlapped sustained stage).
+//!
+//! [`run_scenario`] compiles the spec to whichever execution path it names —
+//! `path = "real"` drives the actual pipeline on OS threads through
+//! [`super::real::run_real_campaign`]; `path = "virtual-time"` replays the
+//! same control flow against calibrated models through
+//! [`super::sim::run_sim_campaign`] — and merges the per-stage results into
+//! one [`CampaignReport`] whose NetLogger log spans the whole campaign on a
+//! single time axis.
+//!
+//! Scenarios are deterministic: the spec's seed feeds the synthetic dataset,
+//! the virtual-time jitter, and each stage (offset by its index), so two runs
+//! of the same spec produce identical reports — bit-identical in virtual
+//! time, and identical up to wall-clock timing in real mode, which
+//! [`CampaignReport::replay_fingerprint`] checks by hashing only the
+//! deterministic content.
+//!
+//! Three specs ship in the repository's `scenarios/` directory (also
+//! compiled in via [`ScenarioSpec::bundled`]): `quickstart_lan`,
+//! `combustion_corridor_oc12`, and `sc99_exhibit`.
+
+use crate::campaign::real::{run_real_campaign, RealCampaignConfig, RealDataPath};
+use crate::campaign::sim::{run_sim_campaign, SimCampaignConfig, DEFAULT_WAN_EFFICIENCY};
+use crate::config::{ExecutionMode, PipelineConfig};
+use crate::error::VisapultError;
+use crate::platform::ComputePlatform;
+use dpss::{DatasetDescriptor, DpssSimModel};
+use netlogger::{Event, EventLog};
+use netsim::{Testbed, TestbedKind};
+use serde::{Deserialize, Serialize};
+use volren::{Axis, RenderSettings, TransferFunction};
+
+/// Which execution path a scenario compiles to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionPath {
+    /// The actual pipeline on OS threads (DPSS, back end, viewer).
+    Real,
+    /// The same control flow replayed against calibrated models.
+    VirtualTime,
+}
+
+impl ExecutionPath {
+    /// Both paths, for parity sweeps.
+    pub const ALL: [ExecutionPath; 2] = [ExecutionPath::Real, ExecutionPath::VirtualTime];
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutionPath::Real => "real",
+            ExecutionPath::VirtualTime => "virtual-time",
+        }
+    }
+}
+
+/// The compute-platform model backing a virtual-time run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlatformSpec {
+    /// SNL-CA CPlant Linux/Alpha cluster.
+    Cplant,
+    /// Sixteen-way SGI Onyx2 SMP at ANL.
+    Onyx2Smp,
+    /// Eight-way Sun E4500 ("diesel").
+    E4500,
+    /// Cray T3E at NERSC.
+    T3e,
+    /// Eight-node Alpha Linux "Babel" booth cluster.
+    BabelCluster,
+}
+
+impl PlatformSpec {
+    /// Build the corresponding calibrated platform model.
+    pub fn to_platform(self) -> ComputePlatform {
+        match self {
+            PlatformSpec::Cplant => ComputePlatform::cplant(),
+            PlatformSpec::Onyx2Smp => ComputePlatform::onyx2_smp(),
+            PlatformSpec::E4500 => ComputePlatform::e4500(),
+            PlatformSpec::T3e => ComputePlatform::t3e(),
+            PlatformSpec::BabelCluster => ComputePlatform::babel_cluster(),
+        }
+    }
+
+    /// The platform each testbed reconstruction used in the paper.
+    pub fn default_for(kind: TestbedKind) -> PlatformSpec {
+        match kind {
+            TestbedKind::NtonCplant | TestbedKind::FutureOc192 => PlatformSpec::Cplant,
+            TestbedKind::EsnetAnlSmp => PlatformSpec::Onyx2Smp,
+            TestbedKind::LanSmp => PlatformSpec::E4500,
+            TestbedKind::Sc99Cplant => PlatformSpec::Cplant,
+            TestbedKind::Sc99Booth => PlatformSpec::BabelCluster,
+        }
+    }
+}
+
+/// Build the named testbed reconstruction for a PE count.
+pub fn build_testbed(kind: TestbedKind, pes: usize) -> Testbed {
+    match kind {
+        TestbedKind::NtonCplant => Testbed::nton_cplant(pes),
+        TestbedKind::EsnetAnlSmp => Testbed::esnet_anl_smp(pes),
+        TestbedKind::LanSmp => Testbed::lan_smp(pes),
+        TestbedKind::Sc99Cplant => Testbed::sc99_cplant(pes),
+        TestbedKind::Sc99Booth => Testbed::sc99_booth(pes),
+        TestbedKind::FutureOc192 => Testbed::future_oc192(pes),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The spec (what the TOML files deserialize into)
+// ---------------------------------------------------------------------------
+
+/// `[scenario]` — identity, seed, and execution path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMeta {
+    /// Scenario name (used in reports and logs).
+    pub name: String,
+    /// Optional human description.
+    pub description: Option<String>,
+    /// Master seed: feeds the synthetic dataset and per-stage jitter.
+    pub seed: u64,
+    /// Which execution path `run_scenario` compiles to.
+    pub path: ExecutionPath,
+}
+
+/// `[testbed]` — the reconstructed network (and platform) to run against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestbedSpec {
+    /// Which of the paper's network configurations to reconstruct.
+    pub kind: TestbedKind,
+    /// Compute-platform override (defaults to the paper's pairing).
+    pub platform: Option<PlatformSpec>,
+}
+
+/// `[pipeline]` — PEs, timestep budget, decomposition, default mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Number of back-end processing elements (= slabs).
+    pub pes: usize,
+    /// Total timestep budget, split across stages by share.
+    pub timesteps: usize,
+    /// Default execution mode (stages may override).
+    pub execution: ExecutionMode,
+    /// Slab-decomposition axis (defaults to Z, the paper's choice).
+    pub axis: Option<Axis>,
+    /// Striped DPSS client streams per PE (defaults to 4).
+    pub streams_per_pe: Option<u32>,
+}
+
+/// `[dataset]` — synthetic combustion dataset scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Grid dimensions (x, y, z).  Defaults to the laptop-scale 32³.
+    pub dims: Option<(usize, usize, usize)>,
+    /// Dataset name (defaults to a name derived from the dims).
+    pub name: Option<String>,
+}
+
+/// `[render]` — per-PE texture rendering settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RenderSpec {
+    /// Texture size (width, height).  Defaults to 64×64.
+    pub image: Option<(usize, usize)>,
+}
+
+/// `[real]` — tuning that only applies on the real execution path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealPathSpec {
+    /// Read slabs through an in-process DPSS (true, the default) or generate
+    /// them directly in the back end (false).
+    pub use_dpss: Option<bool>,
+    /// Explicit per-server-stream shaping in Mbps.
+    pub stream_rate_mbps: Option<f64>,
+    /// Derive stream shaping from the testbed's bottleneck bandwidth, so the
+    /// real pipeline *feels* like the reconstructed WAN (ignored when
+    /// `stream_rate_mbps` is set).
+    pub emulate_wan: Option<bool>,
+    /// Viewer window size (defaults to 192×192).
+    pub viewer_image: Option<(usize, usize)>,
+}
+
+/// `[sim]` — tuning that only applies on the virtual-time path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimPathSpec {
+    /// Application-level efficiency on the achieved load rate (1.0 after the
+    /// §4.2 streamlining, ≈0.56 for the SC99-era staging).
+    pub app_efficiency: Option<f64>,
+    /// WAN protocol efficiency (defaults to the calibrated 0.75).
+    pub wan_efficiency: Option<f64>,
+}
+
+/// `[[stages]]` — one entry in the staged workload mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Stage name (used in reports).
+    pub name: String,
+    /// Percentage share of the pipeline's timestep budget.  Shares must sum
+    /// to 100; the last stage absorbs rounding drift.
+    pub share: f64,
+    /// Execution-mode override for this stage.
+    pub execution: Option<ExecutionMode>,
+}
+
+/// A complete declarative scenario, the unit both execution paths consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Identity, seed, path.
+    pub scenario: ScenarioMeta,
+    /// Network/platform reconstruction.
+    pub testbed: TestbedSpec,
+    /// Pipeline shape.
+    pub pipeline: PipelineSpec,
+    /// Dataset scale (optional; laptop-scale default).
+    pub dataset: Option<DatasetSpec>,
+    /// Render settings (optional).
+    pub render: Option<RenderSpec>,
+    /// Real-path tuning (optional).
+    pub real: Option<RealPathSpec>,
+    /// Virtual-time tuning (optional).
+    pub sim: Option<SimPathSpec>,
+    /// Staged workload mix (optional; one full-budget stage by default).
+    pub stages: Option<Vec<StageSpec>>,
+}
+
+/// The bundled scenario specs shipped in `scenarios/` at the repo root,
+/// compiled into the crate so binaries need no working directory.
+const BUNDLED: [(&str, &str); 3] = [
+    (
+        "quickstart_lan",
+        include_str!("../../../../scenarios/quickstart_lan.toml"),
+    ),
+    (
+        "combustion_corridor_oc12",
+        include_str!("../../../../scenarios/combustion_corridor_oc12.toml"),
+    ),
+    ("sc99_exhibit", include_str!("../../../../scenarios/sc99_exhibit.toml")),
+];
+
+impl ScenarioSpec {
+    /// Parse a spec from TOML text.
+    pub fn from_toml_str(text: &str) -> Result<ScenarioSpec, VisapultError> {
+        toml::from_str(text).map_err(|e| VisapultError::Config(format!("scenario spec: {e}")))
+    }
+
+    /// Render the spec back to TOML.
+    pub fn to_toml_string(&self) -> Result<String, VisapultError> {
+        toml::to_string(self).map_err(|e| VisapultError::Config(format!("scenario spec: {e}")))
+    }
+
+    /// Load a spec from a `.toml` file on disk.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<ScenarioSpec, VisapultError> {
+        let text = std::fs::read_to_string(path.as_ref())?;
+        Self::from_toml_str(&text)
+    }
+
+    /// Names of the bundled scenarios (the files under `scenarios/`).
+    pub fn bundled_names() -> Vec<&'static str> {
+        BUNDLED.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Load a bundled scenario by name.
+    pub fn bundled(name: &str) -> Result<ScenarioSpec, VisapultError> {
+        BUNDLED
+            .iter()
+            .find(|(n, _)| *n == name)
+            .ok_or_else(|| {
+                VisapultError::Config(format!(
+                    "unknown bundled scenario `{name}`; available: {:?}",
+                    Self::bundled_names()
+                ))
+            })
+            .and_then(|(_, text)| Self::from_toml_str(text))
+    }
+
+    /// Builder: switch the execution path.
+    pub fn with_path(mut self, path: ExecutionPath) -> Self {
+        self.scenario.path = path;
+        self
+    }
+
+    /// Builder: switch the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// A paper-scale virtual-time scenario for one of the reconstructed
+    /// testbeds: 640×256×256 floats, 512×512 textures, the platform pairing
+    /// the paper used.  This is what the figure binaries route through
+    /// [`run_scenario`].
+    pub fn paper_virtual(kind: TestbedKind, pes: usize, timesteps: usize, stages: Vec<StageSpec>) -> ScenarioSpec {
+        ScenarioSpec {
+            scenario: ScenarioMeta {
+                name: format!("paper-{:?}-{pes}pe", kind).to_lowercase(),
+                description: None,
+                seed: 2000,
+                path: ExecutionPath::VirtualTime,
+            },
+            testbed: TestbedSpec { kind, platform: None },
+            pipeline: PipelineSpec {
+                pes,
+                timesteps,
+                execution: ExecutionMode::Serial,
+                axis: None,
+                streams_per_pe: None,
+            },
+            dataset: Some(DatasetSpec {
+                dims: Some((640, 256, 256)),
+                name: Some("combustion-640x256x256".to_string()),
+            }),
+            render: Some(RenderSpec {
+                image: Some((512, 512)),
+            }),
+            real: None,
+            sim: Some(SimPathSpec {
+                app_efficiency: Some(if kind == TestbedKind::Sc99Cplant { 0.56 } else { 1.0 }),
+                wan_efficiency: None,
+            }),
+            stages: if stages.is_empty() { None } else { Some(stages) },
+        }
+    }
+
+    /// Validate the spec and resolve every default.
+    pub fn resolve(&self) -> Result<ResolvedScenario, VisapultError> {
+        let bad = |msg: String| VisapultError::Config(format!("scenario `{}`: {msg}", self.scenario.name));
+        if self.scenario.name.trim().is_empty() {
+            return Err(VisapultError::Config("scenario name must not be empty".to_string()));
+        }
+        if self.pipeline.pes == 0 {
+            return Err(bad("pipeline needs at least one PE".to_string()));
+        }
+        if self.pipeline.timesteps == 0 {
+            return Err(bad("pipeline needs at least one timestep".to_string()));
+        }
+
+        let dims = self.dataset.as_ref().and_then(|d| d.dims).unwrap_or((32, 32, 32));
+        let dataset_name = self
+            .dataset
+            .as_ref()
+            .and_then(|d| d.name.clone())
+            .unwrap_or_else(|| format!("combustion-{}x{}x{}", dims.0, dims.1, dims.2));
+        let axis = self.pipeline.axis.unwrap_or(Axis::Z);
+        let axis_extent = [dims.0, dims.1, dims.2][axis.index()];
+        if self.pipeline.pes > axis_extent {
+            return Err(bad(format!(
+                "cannot cut {axis_extent} planes into {} slabs along {axis:?}",
+                self.pipeline.pes
+            )));
+        }
+        if self.scenario.path == ExecutionPath::Real && axis != Axis::Z {
+            return Err(bad("the real back end decomposes along Z".to_string()));
+        }
+
+        let image = self.render.as_ref().and_then(|r| r.image).unwrap_or((64, 64));
+        if image.0 == 0 || image.1 == 0 {
+            return Err(bad("render image must be non-empty".to_string()));
+        }
+
+        // Resolve the staged mix: explicit stages must cover exactly 100%.
+        let stage_specs: Vec<StageSpec> = match &self.stages {
+            None => vec![StageSpec {
+                name: "full".to_string(),
+                share: 100.0,
+                execution: None,
+            }],
+            Some(s) if s.is_empty() => return Err(bad("stages table must not be empty when present".to_string())),
+            Some(s) => s.clone(),
+        };
+        for stage in &stage_specs {
+            if stage.share <= 0.0 || stage.share.is_nan() {
+                return Err(bad(format!(
+                    "stage `{}` has non-positive share {}",
+                    stage.name, stage.share
+                )));
+            }
+        }
+        let total_share: f64 = stage_specs.iter().map(|s| s.share).sum();
+        if (total_share - 100.0).abs() > 1e-6 {
+            return Err(bad(format!("stage shares must sum to 100, got {total_share}")));
+        }
+
+        // Split the timestep budget; the last stage absorbs rounding drift.
+        let total = self.pipeline.timesteps;
+        let mut stages = Vec::with_capacity(stage_specs.len());
+        let mut cumulative = 0.0;
+        let mut allocated = 0usize;
+        for (i, stage) in stage_specs.iter().enumerate() {
+            cumulative += stage.share;
+            let end = if i + 1 == stage_specs.len() {
+                total
+            } else {
+                ((total as f64) * cumulative / 100.0).round() as usize
+            };
+            let steps = end.saturating_sub(allocated);
+            if steps == 0 {
+                return Err(bad(format!(
+                    "stage `{}` resolves to zero timesteps ({}% of {total})",
+                    stage.name, stage.share
+                )));
+            }
+            allocated = end;
+            stages.push(ResolvedStage {
+                name: stage.name.clone(),
+                timesteps: steps,
+                mode: stage.execution.unwrap_or(self.pipeline.execution),
+            });
+        }
+        debug_assert_eq!(allocated, total);
+
+        // The efficiency knobs divide/scale modelled rates; zero or negative
+        // values would turn the report into inf/NaN garbage rather than fail.
+        if let Some(sim) = &self.sim {
+            for (name, value) in [
+                ("app_efficiency", sim.app_efficiency),
+                ("wan_efficiency", sim.wan_efficiency),
+            ] {
+                if let Some(v) = value {
+                    if !(v > 0.0 && v <= 1.0) {
+                        return Err(bad(format!("{name} must be in (0, 1], got {v}")));
+                    }
+                }
+            }
+        }
+        if let Some(real) = &self.real {
+            if let Some(rate) = real.stream_rate_mbps {
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return Err(bad(format!("stream_rate_mbps must be positive and finite, got {rate}")));
+                }
+            }
+        }
+
+        let platform = self
+            .testbed
+            .platform
+            .unwrap_or_else(|| PlatformSpec::default_for(self.testbed.kind));
+
+        Ok(ResolvedScenario {
+            name: self.scenario.name.clone(),
+            seed: self.scenario.seed,
+            path: self.scenario.path,
+            testbed_kind: self.testbed.kind,
+            platform,
+            pes: self.pipeline.pes,
+            streams_per_pe: self.pipeline.streams_per_pe.unwrap_or(4),
+            axis,
+            dims,
+            dataset_name,
+            image,
+            stages,
+            real: self.real.clone().unwrap_or(RealPathSpec {
+                use_dpss: None,
+                stream_rate_mbps: None,
+                emulate_wan: None,
+                viewer_image: None,
+            }),
+            sim: self.sim.clone().unwrap_or(SimPathSpec {
+                app_efficiency: None,
+                wan_efficiency: None,
+            }),
+        })
+    }
+}
+
+/// One stage after share resolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedStage {
+    /// Stage name.
+    pub name: String,
+    /// Timesteps this stage runs.
+    pub timesteps: usize,
+    /// Execution mode for this stage.
+    pub mode: ExecutionMode,
+}
+
+/// A validated scenario with every default filled in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedScenario {
+    /// Scenario name.
+    pub name: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Execution path.
+    pub path: ExecutionPath,
+    /// Testbed reconstruction.
+    pub testbed_kind: TestbedKind,
+    /// Platform model for virtual time.
+    pub platform: PlatformSpec,
+    /// Back-end PEs.
+    pub pes: usize,
+    /// DPSS client streams per PE.
+    pub streams_per_pe: u32,
+    /// Slab axis.
+    pub axis: Axis,
+    /// Dataset dims.
+    pub dims: (usize, usize, usize),
+    /// Dataset name.
+    pub dataset_name: String,
+    /// Render texture size.
+    pub image: (usize, usize),
+    /// Resolved stages.
+    pub stages: Vec<ResolvedStage>,
+    /// Real-path tuning.
+    pub real: RealPathSpec,
+    /// Virtual-time tuning.
+    pub sim: SimPathSpec,
+}
+
+impl ResolvedScenario {
+    /// The shared pipeline configuration for one stage — the single builder
+    /// both execution paths consume (this is the de-duplication the seed's
+    /// twin config structs lacked).
+    pub fn stage_pipeline(&self, stage: &ResolvedStage) -> PipelineConfig {
+        PipelineConfig {
+            dataset: DatasetDescriptor::new(self.dataset_name.clone(), self.dims, 4, stage.timesteps),
+            pes: self.pes,
+            timesteps: stage.timesteps,
+            mode: stage.mode,
+            axis: self.axis,
+            render: RenderSettings::with_size(self.image.0, self.image.1),
+            transfer: TransferFunction::combustion_default(),
+            streams_per_pe: self.streams_per_pe,
+            value_range: (0.0, 1.5),
+        }
+    }
+
+    /// Per-stage seed: deterministic, distinct per stage.
+    pub fn stage_seed(&self, stage_index: usize) -> u64 {
+        self.seed.wrapping_add(stage_index as u64)
+    }
+
+    /// The real-path data configuration for this scenario.
+    pub fn real_data_path(&self) -> RealDataPath {
+        if !self.real.use_dpss.unwrap_or(true) {
+            return RealDataPath::Synthetic;
+        }
+        let rate = self.real.stream_rate_mbps.or_else(|| {
+            if self.real.emulate_wan.unwrap_or(false) {
+                // Spread the testbed's bottleneck across every concurrent
+                // server stream the back end opens (a deliberate roughness:
+                // enough to make a WAN-limited scenario *feel* load-bound).
+                let bottleneck = build_testbed(self.testbed_kind, self.pes).data_bottleneck().mbps();
+                Some(bottleneck / (self.pes as f64 * self.streams_per_pe as f64))
+            } else {
+                None
+            }
+        });
+        RealDataPath::Dpss { stream_rate_mbps: rate }
+    }
+
+    /// The virtual-time configuration for one stage.
+    pub fn stage_sim_config(&self, stage: &ResolvedStage, stage_index: usize) -> SimCampaignConfig {
+        SimCampaignConfig {
+            name: format!("{} / {}", self.name, stage.name),
+            testbed: build_testbed(self.testbed_kind, self.pes),
+            platform: self.platform.to_platform(),
+            pipeline: self.stage_pipeline(stage),
+            dpss: DpssSimModel::four_server_2000(),
+            app_efficiency: self.sim.app_efficiency.unwrap_or(1.0),
+            wan_efficiency: self.sim.wan_efficiency.unwrap_or(DEFAULT_WAN_EFFICIENCY),
+            jitter_seed: self.stage_seed(stage_index),
+        }
+    }
+
+    /// The real-path configuration for one stage.
+    pub fn stage_real_config(&self, stage: &ResolvedStage, stage_index: usize) -> RealCampaignConfig {
+        RealCampaignConfig {
+            pipeline: self.stage_pipeline(stage),
+            data_path: self.real_data_path(),
+            viewer_image: self.real.viewer_image.unwrap_or((192, 192)),
+            seed: self.stage_seed(stage_index),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The unified report
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-stage metrics shared by both execution paths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// End-to-end stage time in seconds (virtual time, or wall clock).
+    pub total_time: f64,
+    /// Mean per-frame load time.
+    pub mean_load_time: f64,
+    /// Mean per-frame render time.
+    pub mean_render_time: f64,
+    /// Mean per-frame send time.
+    pub mean_send_time: f64,
+    /// Mean aggregate load throughput, Mbps.
+    pub mean_load_throughput_mbps: f64,
+    /// Steady-state playback cadence, seconds per timestep.
+    pub seconds_per_timestep: f64,
+    /// Frames rendered by the back end.
+    pub frames_rendered: usize,
+    /// Frame payloads received by the viewer (PEs × frames).
+    pub frames_received: usize,
+    /// Raw bytes loaded from the cache/model.
+    pub bytes_loaded: u64,
+    /// Bytes shipped across the back-end → viewer link.
+    pub wire_bytes: u64,
+    /// FNV-1a hash of the viewer's final composite (real path; 0 in virtual
+    /// time, which renders no pixels).
+    pub image_hash: u64,
+}
+
+/// One stage's outcome inside a [`CampaignReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Stage name from the spec.
+    pub name: String,
+    /// Execution mode the stage ran with.
+    pub mode: ExecutionMode,
+    /// Timesteps the stage ran.
+    pub timesteps: usize,
+    /// Back-end PEs.
+    pub pes: usize,
+    /// Deterministic metrics.
+    pub metrics: StageMetrics,
+}
+
+/// Everything a scenario run produced, whichever path executed it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Which path ran.
+    pub path: ExecutionPath,
+    /// The master seed the run used.
+    pub seed: u64,
+    /// Per-stage results, in execution order.
+    pub stages: Vec<StageReport>,
+    /// The merged NetLogger log across all stages, on one time axis.
+    pub log: EventLog,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *hash ^= u64::from(*b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+impl CampaignReport {
+    /// Total campaign time across stages.
+    pub fn total_time(&self) -> f64 {
+        self.stages.iter().map(|s| s.metrics.total_time).sum()
+    }
+
+    /// Total frames the viewer received across stages.
+    pub fn frames_received(&self) -> usize {
+        self.stages.iter().map(|s| s.metrics.frames_received).sum()
+    }
+
+    /// Total raw bytes loaded across stages.
+    pub fn bytes_loaded(&self) -> u64 {
+        self.stages.iter().map(|s| s.metrics.bytes_loaded).sum()
+    }
+
+    /// Total viewer-link bytes across stages.
+    pub fn wire_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.metrics.wire_bytes).sum()
+    }
+
+    /// Cache-to-viewer data reduction across the whole campaign (the
+    /// O(n³) → O(n²) claim of §3.4).
+    pub fn data_reduction_factor(&self) -> f64 {
+        let wire = self.wire_bytes() as f64;
+        if wire <= 0.0 {
+            0.0
+        } else {
+            self.bytes_loaded() as f64 / wire
+        }
+    }
+
+    /// Serialize the whole report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports serialize")
+    }
+
+    /// Hash of the *deterministic* content of this report: same spec + same
+    /// seed ⇒ same fingerprint on every run.  On the virtual-time path this
+    /// covers every event timestamp bit; on the real path, wall-clock values
+    /// are excluded and the event multiset, byte counts, frame counts and
+    /// final-image hash are covered instead.
+    pub fn replay_fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv1a(&mut h, self.scenario.as_bytes());
+        fnv1a(&mut h, self.path.label().as_bytes());
+        fnv1a(&mut h, &self.seed.to_le_bytes());
+        for s in &self.stages {
+            fnv1a(&mut h, s.name.as_bytes());
+            fnv1a(&mut h, s.mode.label().as_bytes());
+            fnv1a(&mut h, &(s.timesteps as u64).to_le_bytes());
+            fnv1a(&mut h, &(s.pes as u64).to_le_bytes());
+            fnv1a(&mut h, &(s.metrics.frames_rendered as u64).to_le_bytes());
+            fnv1a(&mut h, &(s.metrics.frames_received as u64).to_le_bytes());
+            fnv1a(&mut h, &s.metrics.bytes_loaded.to_le_bytes());
+            fnv1a(&mut h, &s.metrics.wire_bytes.to_le_bytes());
+            fnv1a(&mut h, &s.metrics.image_hash.to_le_bytes());
+        }
+        // Event multiset, order-independent: sort rendered lines first.
+        let deterministic_times = self.path == ExecutionPath::VirtualTime;
+        let mut lines: Vec<String> = self
+            .log
+            .events()
+            .iter()
+            .map(|e| {
+                let mut line = String::new();
+                if deterministic_times {
+                    line.push_str(&format!("{:016x} ", e.timestamp.to_bits()));
+                }
+                line.push_str(&format!(
+                    "{} {} {} f={:?} b={:?}",
+                    e.host,
+                    e.program,
+                    e.tag,
+                    e.frame(),
+                    e.bytes()
+                ));
+                line
+            })
+            .collect();
+        lines.sort_unstable();
+        for line in lines {
+            fnv1a(&mut h, line.as_bytes());
+            fnv1a(&mut h, b"\n");
+        }
+        h
+    }
+
+    /// One-line-per-stage text summary.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "scenario {} [{}] seed {} — {} stage(s), {:.2}s total, {:.1}x data reduction\n",
+            self.scenario,
+            self.path.label(),
+            self.seed,
+            self.stages.len(),
+            self.total_time(),
+            self.data_reduction_factor(),
+        );
+        out.push_str(&format!(
+            "{:<22} {:>11} {:>6} {:>9} {:>9} {:>9} {:>11} {:>10}\n",
+            "stage", "mode", "steps", "L mean(s)", "R mean(s)", "total(s)", "load Mbps", "s/step"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<22} {:>11} {:>6} {:>9.3} {:>9.3} {:>9.2} {:>11.1} {:>10.2}\n",
+                s.name,
+                s.mode.label(),
+                s.timesteps,
+                s.metrics.mean_load_time,
+                s.metrics.mean_render_time,
+                s.metrics.total_time,
+                s.metrics.mean_load_throughput_mbps,
+                s.metrics.seconds_per_timestep,
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Shift every event in a log by a time offset (merging stages onto one axis).
+fn shift_log(log: &EventLog, offset: f64) -> EventLog {
+    EventLog::from_events(
+        log.events()
+            .iter()
+            .map(|e| {
+                let mut e: Event = e.clone();
+                e.timestamp += offset;
+                e
+            })
+            .collect(),
+    )
+}
+
+fn hash_image(rgba8: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv1a(&mut h, rgba8);
+    h
+}
+
+/// Run a scenario to completion on whichever execution path it names.
+///
+/// This is the single entry point the examples, integration tests and bench
+/// binaries drive; `path = "real"` and `path = "virtual-time"` differ only in
+/// which campaign backend each stage is compiled to.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError> {
+    let resolved = spec.resolve()?;
+    let mut stages = Vec::with_capacity(resolved.stages.len());
+    let mut merged = EventLog::new();
+    let mut offset = 0.0;
+
+    for (i, stage) in resolved.stages.iter().enumerate() {
+        let (metrics, log) = match resolved.path {
+            ExecutionPath::Real => {
+                let config = resolved.stage_real_config(stage, i);
+                let report = run_real_campaign(&config)?;
+                let analysis = &report.analysis;
+                let elapsed = report.backend.elapsed.as_secs_f64();
+                let frame_bytes = config.pipeline.dataset.bytes_per_timestep().bytes();
+                let metrics = StageMetrics {
+                    total_time: elapsed,
+                    mean_load_time: analysis.load_stats().mean,
+                    mean_render_time: analysis.render_stats().mean,
+                    mean_send_time: analysis.send_stats().mean,
+                    mean_load_throughput_mbps: if analysis.load_stats().mean > 0.0 {
+                        frame_bytes as f64 * 8.0 / analysis.load_stats().mean / 1e6
+                    } else {
+                        0.0
+                    },
+                    seconds_per_timestep: elapsed / stage.timesteps as f64,
+                    frames_rendered: report.backend.frames_rendered,
+                    frames_received: report.viewer.frames_received,
+                    bytes_loaded: report.backend.total_bytes_loaded(),
+                    wire_bytes: report.backend.total_wire_bytes(),
+                    image_hash: hash_image(&report.viewer.final_image.to_rgba8()),
+                };
+                (metrics, report.log)
+            }
+            ExecutionPath::VirtualTime => {
+                let config = resolved.stage_sim_config(stage, i);
+                let report = run_sim_campaign(&config)?;
+                let frame_bytes = config.pipeline.dataset.bytes_per_timestep().bytes();
+                // The sizing the virtual-time send-time model itself uses.
+                let wire_per_frame = config.pipeline.viewer_payload_bytes_per_pe() * resolved.pes as u64;
+                let metrics = StageMetrics {
+                    total_time: report.total_time,
+                    mean_load_time: report.mean_load_time,
+                    mean_render_time: report.mean_render_time,
+                    mean_send_time: report.mean_send_time,
+                    mean_load_throughput_mbps: report.mean_load_throughput_mbps,
+                    seconds_per_timestep: report.seconds_per_timestep(),
+                    frames_rendered: stage.timesteps,
+                    frames_received: stage.timesteps * resolved.pes,
+                    bytes_loaded: frame_bytes * stage.timesteps as u64,
+                    wire_bytes: wire_per_frame * stage.timesteps as u64,
+                    image_hash: 0,
+                };
+                (metrics, report.log)
+            }
+        };
+        merged.merge(shift_log(&log, offset));
+        offset += metrics.total_time;
+        stages.push(StageReport {
+            name: stage.name.clone(),
+            mode: stage.mode,
+            timesteps: stage.timesteps,
+            pes: resolved.pes,
+            metrics,
+        });
+    }
+
+    Ok(CampaignReport {
+        scenario: resolved.name,
+        path: resolved.path,
+        seed: resolved.seed,
+        stages,
+        log: merged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_spec(path: ExecutionPath) -> ScenarioSpec {
+        ScenarioSpec {
+            scenario: ScenarioMeta {
+                name: "unit".to_string(),
+                description: None,
+                seed: 11,
+                path,
+            },
+            testbed: TestbedSpec {
+                kind: TestbedKind::LanSmp,
+                platform: None,
+            },
+            pipeline: PipelineSpec {
+                pes: 2,
+                timesteps: 2,
+                execution: ExecutionMode::Serial,
+                axis: None,
+                streams_per_pe: None,
+            },
+            dataset: None,
+            render: None,
+            real: None,
+            sim: None,
+            stages: None,
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_toml() {
+        let mut spec = minimal_spec(ExecutionPath::VirtualTime);
+        spec.scenario.description = Some("round trip".to_string());
+        spec.dataset = Some(DatasetSpec {
+            dims: Some((48, 32, 32)),
+            name: None,
+        });
+        spec.stages = Some(vec![
+            StageSpec {
+                name: "a".to_string(),
+                share: 50.0,
+                execution: Some(ExecutionMode::Serial),
+            },
+            StageSpec {
+                name: "b".to_string(),
+                share: 50.0,
+                execution: Some(ExecutionMode::Overlapped),
+            },
+        ]);
+        let text = spec.to_toml_string().unwrap();
+        let back = ScenarioSpec::from_toml_str(&text).unwrap();
+        assert_eq!(back, spec, "TOML:\n{text}");
+    }
+
+    #[test]
+    fn kebab_case_enums_parse() {
+        let doc = r#"
+[scenario]
+name = "kebab"
+seed = 1
+path = "virtual-time"
+
+[testbed]
+kind = "nton-cplant"
+
+[pipeline]
+pes = 4
+timesteps = 3
+execution = "overlapped"
+"#;
+        let spec = ScenarioSpec::from_toml_str(doc).unwrap();
+        assert_eq!(spec.scenario.path, ExecutionPath::VirtualTime);
+        assert_eq!(spec.testbed.kind, TestbedKind::NtonCplant);
+        assert_eq!(spec.pipeline.execution, ExecutionMode::Overlapped);
+    }
+
+    #[test]
+    fn unknown_testbed_is_rejected() {
+        let doc = r#"
+[scenario]
+name = "bad"
+seed = 1
+path = "virtual-time"
+
+[testbed]
+kind = "carrier-pigeon"
+
+[pipeline]
+pes = 4
+timesteps = 3
+execution = "serial"
+"#;
+        let err = ScenarioSpec::from_toml_str(doc).unwrap_err();
+        assert!(err.to_string().contains("carrier-pigeon"), "{err}");
+    }
+
+    #[test]
+    fn zero_pes_is_rejected() {
+        let mut spec = minimal_spec(ExecutionPath::VirtualTime);
+        spec.pipeline.pes = 0;
+        assert!(matches!(spec.resolve(), Err(VisapultError::Config(_))));
+    }
+
+    #[test]
+    fn out_of_range_efficiencies_are_rejected() {
+        for eff in [0.0, -0.5, 1.5, f64::NAN] {
+            let mut spec = minimal_spec(ExecutionPath::VirtualTime);
+            spec.sim = Some(SimPathSpec {
+                app_efficiency: Some(eff),
+                wan_efficiency: None,
+            });
+            let err = spec.resolve().unwrap_err();
+            assert!(err.to_string().contains("app_efficiency"), "eff {eff}: {err}");
+        }
+        let mut spec = minimal_spec(ExecutionPath::Real);
+        spec.real = Some(RealPathSpec {
+            use_dpss: None,
+            stream_rate_mbps: Some(0.0),
+            emulate_wan: None,
+            viewer_image: None,
+        });
+        assert!(spec.resolve().unwrap_err().to_string().contains("stream_rate_mbps"));
+    }
+
+    #[test]
+    fn stage_shares_must_sum_to_100() {
+        let mut spec = minimal_spec(ExecutionPath::VirtualTime);
+        spec.pipeline.timesteps = 10;
+        spec.stages = Some(vec![
+            StageSpec {
+                name: "a".to_string(),
+                share: 60.0,
+                execution: None,
+            },
+            StageSpec {
+                name: "b".to_string(),
+                share: 60.0,
+                execution: None,
+            },
+        ]);
+        let err = spec.resolve().unwrap_err();
+        assert!(err.to_string().contains("sum to 100"), "{err}");
+    }
+
+    #[test]
+    fn stage_split_is_exact_with_last_stage_absorbing_drift() {
+        let mut spec = minimal_spec(ExecutionPath::VirtualTime);
+        spec.pipeline.timesteps = 7;
+        spec.stages = Some(vec![
+            StageSpec {
+                name: "a".to_string(),
+                share: 33.0,
+                execution: None,
+            },
+            StageSpec {
+                name: "b".to_string(),
+                share: 33.0,
+                execution: None,
+            },
+            StageSpec {
+                name: "c".to_string(),
+                share: 34.0,
+                execution: None,
+            },
+        ]);
+        let resolved = spec.resolve().unwrap();
+        let steps: Vec<usize> = resolved.stages.iter().map(|s| s.timesteps).collect();
+        assert_eq!(steps.iter().sum::<usize>(), 7);
+        assert_eq!(steps, vec![2, 3, 2]);
+    }
+
+    #[test]
+    fn virtual_time_runs_are_bit_identical() {
+        let spec = minimal_spec(ExecutionPath::VirtualTime);
+        let a = run_scenario(&spec).unwrap();
+        let b = run_scenario(&spec).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.replay_fingerprint(), b.replay_fingerprint());
+        let c = run_scenario(&spec.clone().with_seed(99)).unwrap();
+        assert_ne!(a.replay_fingerprint(), c.replay_fingerprint());
+    }
+
+    #[test]
+    fn real_and_virtual_paths_agree_on_shape() {
+        let spec = minimal_spec(ExecutionPath::Real);
+        let real = run_scenario(&spec).unwrap();
+        let sim = run_scenario(&spec.clone().with_path(ExecutionPath::VirtualTime)).unwrap();
+        assert_eq!(real.frames_received(), sim.frames_received());
+        assert_eq!(real.stages.len(), sim.stages.len());
+        assert_eq!(real.bytes_loaded(), sim.bytes_loaded());
+        assert!(real.data_reduction_factor() > 1.0);
+        // Both logs cover the same backend phases for the same frames.
+        use netlogger::tags;
+        for tag in [tags::BE_LOAD_END, tags::BE_RENDER_END] {
+            assert_eq!(
+                real.log.with_tag(tag).count(),
+                sim.log.with_tag(tag).count(),
+                "tag {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn staged_mix_merges_logs_on_one_axis() {
+        let mut spec = minimal_spec(ExecutionPath::VirtualTime);
+        spec.pipeline.timesteps = 4;
+        spec.stages = Some(vec![
+            StageSpec {
+                name: "serial-probe".to_string(),
+                share: 50.0,
+                execution: Some(ExecutionMode::Serial),
+            },
+            StageSpec {
+                name: "overlapped-sustained".to_string(),
+                share: 50.0,
+                execution: Some(ExecutionMode::Overlapped),
+            },
+        ]);
+        let report = run_scenario(&spec).unwrap();
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.stages[0].mode, ExecutionMode::Serial);
+        assert_eq!(report.stages[1].mode, ExecutionMode::Overlapped);
+        // The merged log is monotone and spans both stages.
+        let times: Vec<f64> = report.log.events().iter().map(|e| e.timestamp).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let stage0_end = report.stages[0].metrics.total_time;
+        assert!(
+            report.log.end_time() > stage0_end,
+            "second stage events must land after the first"
+        );
+        assert!(report.to_table().contains("overlapped-sustained"));
+    }
+
+    #[test]
+    fn bundled_scenarios_parse_and_resolve() {
+        for name in ScenarioSpec::bundled_names() {
+            let spec = ScenarioSpec::bundled(name).unwrap();
+            let resolved = spec.resolve().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!resolved.stages.is_empty(), "{name}");
+        }
+        assert!(ScenarioSpec::bundled("missing").is_err());
+    }
+
+    #[test]
+    fn paper_preset_matches_the_legacy_sim_config() {
+        // The unified builder must reproduce what SimCampaignConfig::lan_e4500
+        // produced, so the figure binaries keep matching the paper.
+        let spec = ScenarioSpec::paper_virtual(TestbedKind::LanSmp, 8, 10, Vec::new());
+        let report = run_scenario(&spec).unwrap();
+        let m = &report.stages[0].metrics;
+        assert!(
+            m.mean_load_time > 13.0 && m.mean_load_time < 17.0,
+            "L {}",
+            m.mean_load_time
+        );
+        assert!(
+            m.mean_render_time > 10.5 && m.mean_render_time < 13.5,
+            "R {}",
+            m.mean_render_time
+        );
+    }
+}

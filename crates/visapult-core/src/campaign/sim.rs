@@ -130,12 +130,7 @@ impl SimCampaignReport {
 }
 
 impl SimCampaignConfig {
-    fn base(
-        name: impl Into<String>,
-        testbed: Testbed,
-        platform: ComputePlatform,
-        pipeline: PipelineConfig,
-    ) -> Self {
+    fn base(name: impl Into<String>, testbed: Testbed, platform: ComputePlatform, pipeline: PipelineConfig) -> Self {
         SimCampaignConfig {
             name: name.into(),
             testbed,
@@ -252,12 +247,13 @@ impl SimCampaignConfig {
 
     /// Per-frame render time from the platform model.
     fn render_time(&self) -> f64 {
-        self.platform.render_time(self.pipeline.cells_per_pe(), &self.pipeline.render)
+        self.platform
+            .render_time(self.pipeline.cells_per_pe(), &self.pipeline.render)
     }
 
     /// Per-frame heavy-payload send time over the back-end → viewer path.
     fn send_time(&self) -> f64 {
-        let per_pe = (self.pipeline.render.image_width * self.pipeline.render.image_height * 4 + 50_000) as u64;
+        let per_pe = self.pipeline.viewer_payload_bytes_per_pe();
         let total = DataSize::from_bytes(per_pe * self.pipeline.pes as u64);
         let route = self.testbed.viewer_route(0);
         let bottleneck = self.testbed.topology.route_bottleneck(&route);
@@ -278,11 +274,15 @@ pub fn run_sim_campaign(config: &SimCampaignConfig) -> Result<SimCampaignReport,
     let warm = config.warm_load_time();
     let cold_factor = config.cold_start_factor();
     let overlap_mult = config.platform.overlap_multiplier(overlapped);
-    let jitter = if overlapped { config.platform.overlap_load_jitter } else { 0.01 };
+    let jitter = if overlapped {
+        config.platform.overlap_load_jitter
+    } else {
+        0.01
+    };
     let load_times: Vec<f64> = (0..n)
         .map(|f| {
             let base = if f == 0 { warm * cold_factor } else { warm };
-            let wobble = 1.0 + rng.gen_range(-1.0..1.0) * jitter;
+            let wobble = 1.0 + rng.gen_range(-1.0f64..1.0) * jitter;
             base * overlap_mult * wobble.max(0.2)
         })
         .collect();
@@ -373,7 +373,11 @@ pub fn run_sim_campaign(config: &SimCampaignConfig) -> Result<SimCampaignReport,
             };
             be.log_at(ft.load_start, tags::BE_FRAME_START, fields(None));
             be.log_at(ft.load_start, tags::BE_LOAD_START, fields(None));
-            be.log_at((ft.load_end - stagger).max(ft.load_start), tags::BE_LOAD_END, fields(Some(slab_bytes)));
+            be.log_at(
+                (ft.load_end - stagger).max(ft.load_start),
+                tags::BE_LOAD_END,
+                fields(Some(slab_bytes)),
+            );
             be.log_at(ft.render_start, tags::BE_RENDER_START, fields(None));
             be.log_at(ft.render_end, tags::BE_RENDER_END, fields(None));
             be.log_at(ft.render_end, tags::BE_HEAVY_SEND, fields(None));

@@ -118,6 +118,14 @@ impl PipelineConfig {
     pub fn cells_per_pe(&self) -> usize {
         self.dataset.values_per_timestep() / self.pes
     }
+
+    /// Modelled bytes one PE ships to the viewer per timestep: the RGBA8
+    /// texture plus a fixed allowance for the light payload and AMR grid
+    /// geometry.  Shared by the virtual-time send-time model and the
+    /// scenario report so the two can never diverge.
+    pub fn viewer_payload_bytes_per_pe(&self) -> u64 {
+        (self.render.image_width * self.render.image_height * 4 + 50_000) as u64
+    }
 }
 
 #[cfg(test)]
@@ -129,7 +137,10 @@ mod tests {
         let c = PipelineConfig::small(4, 3, ExecutionMode::Serial);
         assert!(c.validate().is_ok());
         assert_eq!(c.mode.label(), "serial");
-        assert_eq!(c.bytes_per_pe_per_step() * c.pes as u64, c.dataset.bytes_per_timestep().bytes());
+        assert_eq!(
+            c.bytes_per_pe_per_step() * c.pes as u64,
+            c.dataset.bytes_per_timestep().bytes()
+        );
     }
 
     #[test]

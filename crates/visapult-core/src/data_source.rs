@@ -175,9 +175,7 @@ mod tests {
         let (dpss_src, _) = dpss_source();
         // timestep 5 does not exist (descriptor has 3); z_slab_range panics on
         // invalid timesteps, so guard with catch_unwind to document behaviour.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dpss_src.load_slab(5, 0, 4)
-        }));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dpss_src.load_slab(5, 0, 4)));
         assert!(result.is_err());
     }
 }

@@ -7,7 +7,10 @@
 //! per-slab textures to a multi-threaded viewer whose IBR-assisted display is
 //! decoupled from network latency.
 //!
-//! Two execution paths are provided:
+//! The front door is the declarative scenario engine
+//! ([`campaign::scenario`]): a TOML [`ScenarioSpec`] names a testbed, a
+//! pipeline decomposition, a seed and a staged workload mix, and
+//! [`run_scenario`] compiles it to either execution path:
 //!
 //! * **Real mode** ([`campaign::real`]) — actual OS threads, an in-process
 //!   DPSS (optionally behind real TCP sockets), genuine software volume
@@ -37,6 +40,9 @@ pub mod viewer;
 
 pub use baseline::{StrategyBandwidth, VisualizationStrategy};
 pub use campaign::real::{run_real_campaign, RealCampaignConfig, RealCampaignReport};
+pub use campaign::scenario::{
+    run_scenario, CampaignReport, ExecutionPath, PlatformSpec, ScenarioSpec, StageReport, StageSpec,
+};
 pub use campaign::sim::{run_sim_campaign, SimCampaignConfig, SimCampaignReport};
 pub use config::{ExecutionMode, PipelineConfig};
 pub use data_source::{DataSource, DpssDataSource, SyntheticSource};

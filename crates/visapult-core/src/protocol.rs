@@ -142,7 +142,9 @@ fn frame_message(msg_type: u8, body: &[u8]) -> Vec<u8> {
 pub fn decode_light(msg: &[u8]) -> Result<LightPayload, VisapultError> {
     let (msg_type, mut body) = split_message(msg)?;
     if msg_type != TYPE_LIGHT {
-        return Err(VisapultError::Protocol(format!("expected light payload, got type {msg_type}")));
+        return Err(VisapultError::Protocol(format!(
+            "expected light payload, got type {msg_type}"
+        )));
     }
     if body.remaining() < LightPayload::ENCODED_LEN {
         return Err(VisapultError::Protocol("light payload truncated".to_string()));
@@ -164,7 +166,9 @@ pub fn decode_light(msg: &[u8]) -> Result<LightPayload, VisapultError> {
 pub fn decode_heavy(msg: &[u8]) -> Result<HeavyPayload, VisapultError> {
     let (msg_type, mut body) = split_message(msg)?;
     if msg_type != TYPE_HEAVY {
-        return Err(VisapultError::Protocol(format!("expected heavy payload, got type {msg_type}")));
+        return Err(VisapultError::Protocol(format!(
+            "expected heavy payload, got type {msg_type}"
+        )));
     }
     if body.remaining() < 12 {
         return Err(VisapultError::Protocol("heavy payload truncated".to_string()));
@@ -177,7 +181,9 @@ pub fn decode_heavy(msg: &[u8]) -> Result<HeavyPayload, VisapultError> {
     }
     let texture_rgba8 = body.copy_to_bytes(tex_len).to_vec();
     if body.remaining() < 4 {
-        return Err(VisapultError::Protocol("heavy payload geometry count missing".to_string()));
+        return Err(VisapultError::Protocol(
+            "heavy payload geometry count missing".to_string(),
+        ));
     }
     let seg_count = body.get_u32() as usize;
     if body.remaining() < seg_count * 24 {

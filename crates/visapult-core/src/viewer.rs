@@ -106,7 +106,10 @@ impl Viewer {
                 l.log_with(tags::V_LIGHTPAYLOAD_END, [(tags::FIELD_FRAME, frame)]);
                 l.log_with(
                     tags::V_HEAVYPAYLOAD_START,
-                    [(tags::FIELD_FRAME, frame), (tags::FIELD_BYTES, payload.heavy.payload_bytes())],
+                    [
+                        (tags::FIELD_FRAME, frame),
+                        (tags::FIELD_BYTES, payload.heavy.payload_bytes()),
+                    ],
                 );
             }
             let image = RgbaImage::from_rgba8(
@@ -175,9 +178,7 @@ impl Viewer {
                 .map(|(pe, rx)| {
                     let scene = &self.scene;
                     let (texture_node, grid_node) = node_ids[pe];
-                    let log = logger
-                        .as_ref()
-                        .map(|l| l.for_program(format!("viewer-worker-{pe}")));
+                    let log = logger.as_ref().map(|l| l.for_program(format!("viewer-worker-{pe}")));
                     let frames_received = &frames_received;
                     let bytes_received = &bytes_received;
                     let expected = self.config.expected_frames;
@@ -294,7 +295,10 @@ mod tests {
         assert_eq!(report.frames_received, pes * frames);
         assert!(report.renders_performed >= 1);
         assert!(report.received_wire_bytes > 0);
-        assert!(report.final_image.coverage() > 0.05, "final image should show the slabs");
+        assert!(
+            report.final_image.coverage() > 0.05,
+            "final image should show the slabs"
+        );
         // Scene graph saw one texture + one grid update per payload plus the
         // initial placeholder inserts.
         assert!(report.scene_stats.updates >= (pes * frames * 2) as u64);

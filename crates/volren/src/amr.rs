@@ -132,6 +132,7 @@ impl AmrHierarchy {
         }
 
         // Refine.
+        #[allow(clippy::needless_range_loop)]
         for level in 1..max_levels {
             let mut next = Vec::new();
             for parent in &frontier {
@@ -209,7 +210,11 @@ mod tests {
     fn jet_volume_refines_near_the_jet() {
         let v = combustion_jet((32, 32, 32), 0.5, 3);
         let h = AmrHierarchy::from_volume(&v, 16, 0.25, 3);
-        assert!(h.populated_levels() >= 2, "expected refinement, got {:?}", h.populated_levels());
+        assert!(
+            h.populated_levels() >= 2,
+            "expected refinement, got {:?}",
+            h.populated_levels()
+        );
         // Finer levels should be concentrated where the jet is (centre in Y/Z).
         let fine_boxes = &h.levels[1];
         assert!(!fine_boxes.is_empty());

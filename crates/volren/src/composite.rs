@@ -133,24 +133,14 @@ impl RgbaImage {
         if self.data.is_empty() {
             return 0.0;
         }
-        let sum: f32 = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let sum: f32 = self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).sum();
         sum / self.data.len() as f32
     }
 
     /// Root-mean-square difference with another image.
     pub fn rms_diff(&self, other: &RgbaImage) -> f32 {
         assert_eq!((self.width, self.height), (other.width, other.height));
-        let sum: f32 = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
+        let sum: f32 = self.data.iter().zip(&other.data).map(|(a, b)| (a - b) * (a - b)).sum();
         (sum / self.data.len() as f32).sqrt()
     }
 

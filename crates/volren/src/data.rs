@@ -27,11 +27,11 @@ pub fn combustion_jet(dims: (usize, usize, usize), time: f32, seed: u64) -> Volu
     let modes: Vec<(f32, f32, f32, f32, f32)> = (0..6)
         .map(|_| {
             (
-                rng.gen_range(1.0..5.0),  // k_x
-                rng.gen_range(1.0..6.0),  // k_r
+                rng.gen_range(1.0..5.0),                   // k_x
+                rng.gen_range(1.0..6.0),                   // k_r
                 rng.gen_range(0.0..std::f32::consts::TAU), // phase
-                rng.gen_range(0.04..0.14), // amplitude
-                rng.gen_range(0.5..3.0),  // time frequency
+                rng.gen_range(0.04..0.14),                 // amplitude
+                rng.gen_range(0.5..3.0),                   // time frequency
             )
         })
         .collect();
@@ -78,9 +78,13 @@ pub fn cosmology_density(dims: (usize, usize, usize), seed: u64) -> Volume {
     let halos: Vec<([f32; 3], f32, f32)> = (0..halo_count)
         .map(|_| {
             (
-                [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)],
-                rng.gen_range(0.02f32..0.08),  // core radius
-                rng.gen_range(0.3f32..1.0),    // mass scale
+                [
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ],
+                rng.gen_range(0.02f32..0.08), // core radius
+                rng.gen_range(0.3f32..1.0),   // mass scale
             )
         })
         .collect();
@@ -113,7 +117,11 @@ pub fn cosmology_density(dims: (usize, usize, usize), seed: u64) -> Volume {
 pub fn combustion_series_bytes(dims: (usize, usize, usize), timesteps: usize, seed: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(dims.0 * dims.1 * dims.2 * 4 * timesteps);
     for t in 0..timesteps {
-        let time = if timesteps <= 1 { 0.0 } else { t as f32 / (timesteps - 1) as f32 };
+        let time = if timesteps <= 1 {
+            0.0
+        } else {
+            t as f32 / (timesteps - 1) as f32
+        };
         out.extend(combustion_jet(dims, time, seed).to_le_bytes());
     }
     out
@@ -138,7 +146,10 @@ mod tests {
         // Centre of the Y/Z cross-section has more mass than the corner.
         let axis_mean: f32 = (0..32).map(|x| v.get(x, 8, 8)).sum::<f32>() / 32.0;
         let corner_mean: f32 = (0..32).map(|x| v.get(x, 0, 0)).sum::<f32>() / 32.0;
-        assert!(axis_mean > corner_mean * 3.0, "axis {axis_mean} vs corner {corner_mean}");
+        assert!(
+            axis_mean > corner_mean * 3.0,
+            "axis {axis_mean} vs corner {corner_mean}"
+        );
     }
 
     #[test]
@@ -147,9 +158,18 @@ mod tests {
         let late = combustion_jet((64, 12, 12), 0.9, 5);
         // At a station downstream (x = 48), the late timestep has burned
         // through (higher values) compared to the early one.
-        let early_downstream: f32 = (0..12).flat_map(|y| (0..12).map(move |z| (y, z))).map(|(y, z)| early.get(48, y, z)).sum();
-        let late_downstream: f32 = (0..12).flat_map(|y| (0..12).map(move |z| (y, z))).map(|(y, z)| late.get(48, y, z)).sum();
-        assert!(late_downstream > early_downstream, "late {late_downstream} vs early {early_downstream}");
+        let early_downstream: f32 = (0..12)
+            .flat_map(|y| (0..12).map(move |z| (y, z)))
+            .map(|(y, z)| early.get(48, y, z))
+            .sum();
+        let late_downstream: f32 = (0..12)
+            .flat_map(|y| (0..12).map(move |z| (y, z)))
+            .map(|(y, z)| late.get(48, y, z))
+            .sum();
+        assert!(
+            late_downstream > early_downstream,
+            "late {late_downstream} vs early {early_downstream}"
+        );
     }
 
     #[test]

@@ -79,7 +79,7 @@ fn factor2(n: usize) -> (usize, usize) {
     let mut best = (1, n);
     let mut i = 1;
     while i * i <= n {
-        if n % i == 0 {
+        if n.is_multiple_of(i) {
             best = (i, n / i);
         }
         i += 1;
@@ -93,7 +93,7 @@ fn factor3(n: usize) -> (usize, usize, usize) {
     let mut best_score = usize::MAX;
     let mut a = 1;
     while a * a * a <= n {
-        if n % a == 0 {
+        if n.is_multiple_of(a) {
             let (b, c) = factor2(n / a);
             let dims = [a, b, c];
             let score = dims.iter().max().unwrap() - dims.iter().min().unwrap();

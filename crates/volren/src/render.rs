@@ -177,7 +177,11 @@ pub fn render_view(
     let dir64 = view.view_direction();
     let dir = [dir64[0] as f32, dir64[1] as f32, dir64[2] as f32];
     // Build an orthonormal basis (right, up, dir).
-    let up_hint = if dir[1].abs() > 0.9 { [1.0, 0.0, 0.0] } else { [0.0, 1.0, 0.0] };
+    let up_hint = if dir[1].abs() > 0.9 {
+        [1.0, 0.0, 0.0]
+    } else {
+        [0.0, 1.0, 0.0]
+    };
     let right = normalize(cross(up_hint, dir));
     let up = normalize(cross(dir, right));
 
@@ -202,11 +206,7 @@ pub fn render_view(
             let mut acc = [0.0f32; 4];
             let mut t = 0.0f32;
             while t < ray_length {
-                let pos = [
-                    origin[0] + dir[0] * t,
-                    origin[1] + dir[1] * t,
-                    origin[2] + dir[2] * t,
-                ];
+                let pos = [origin[0] + dir[0] * t, origin[1] + dir[1] * t, origin[2] + dir[2] * t];
                 if let Some(raw) = sample_trilinear(volume, pos) {
                     let norm = (raw - vmin) / span;
                     let sample = transfer.evaluate_corrected(norm, spacing);

@@ -25,7 +25,11 @@ impl Volume {
 
     /// Wrap existing samples (must match `dims`).
     pub fn from_data(dims: (usize, usize, usize), data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), dims.0 * dims.1 * dims.2, "data length must match dimensions");
+        assert_eq!(
+            data.len(),
+            dims.0 * dims.1 * dims.2,
+            "data length must match dimensions"
+        );
         Volume { dims, data }
     }
 
@@ -115,7 +119,10 @@ impl Volume {
     pub fn subvolume(&self, origin: (usize, usize, usize), dims: (usize, usize, usize)) -> Volume {
         let (x0, y0, z0) = origin;
         let (nx, ny, nz) = dims;
-        assert!(x0 + nx <= self.dims.0 && y0 + ny <= self.dims.1 && z0 + nz <= self.dims.2, "subvolume out of bounds");
+        assert!(
+            x0 + nx <= self.dims.0 && y0 + ny <= self.dims.1 && z0 + nz <= self.dims.2,
+            "subvolume out of bounds"
+        );
         let mut out = Volume::zeros(dims);
         for z in 0..nz {
             for y in 0..ny {

@@ -1,46 +1,72 @@
-//! The Combustion Corridor campaigns (§4 of the paper), replayed in
-//! virtual time.
+//! The Combustion Corridor campaigns (§4 of the paper), replayed through the
+//! declarative scenario engine.
 //!
-//! Reconstructs the paper's three field-test configurations — LBL→CPlant over
-//! NTON, LBL→ANL Onyx2 over ESnet, and the local E4500 over gigabit LAN — and
-//! runs each with the serial and overlapped back ends, printing the per-frame
-//! load/render times, aggregate throughput and total campaign times that
-//! correspond to Figures 10 and 12–17.
+//! First the bundled `scenarios/combustion_corridor_oc12.toml` spec — a
+//! staged workload mix (serial probe, then overlapped sustained) over the
+//! NTON OC-12 — is executed on *both* paths: for real on OS threads, and in
+//! virtual time against the calibrated models, from the very same spec.
+//!
+//! Then the paper-scale reconstructions (640×256×256 floats) of the three
+//! field-test configurations — NTON/CPlant, ESnet/Onyx2 and the LAN E4500 —
+//! are swept through the same `run_scenario` entry point, reproducing the
+//! per-frame load/render times, aggregate throughputs and campaign totals of
+//! Figures 10 and 12–17.
 //!
 //! Run with: `cargo run --release --example combustion_corridor`
 
-use visapult::core::{run_sim_campaign, ExecutionMode, OverlapModel, SimCampaignConfig};
+use visapult::core::{run_scenario, ExecutionMode, ExecutionPath, OverlapModel, ScenarioSpec, StageSpec};
+use visapult::netsim::TestbedKind;
 
-fn show(config: SimCampaignConfig) {
-    let report = run_sim_campaign(&config).expect("campaign failed");
+fn stage(name: &str, share: f64, mode: ExecutionMode) -> StageSpec {
+    StageSpec {
+        name: name.to_string(),
+        share,
+        execution: Some(mode),
+    }
+}
+
+fn show_paper(kind: TestbedKind, pes: usize, timesteps: usize, mode: ExecutionMode) {
+    let spec = ScenarioSpec::paper_virtual(kind, pes, timesteps, vec![stage(mode.label(), 100.0, mode)]);
+    let report = run_scenario(&spec).expect("campaign failed");
+    let m = &report.stages[0].metrics;
     println!(
-        "{:<42} L={:6.2}s  R={:6.2}s  send={:5.2}s  agg load={:6.1} Mbps  total={:7.1}s  ({:.2} s/step)",
-        report.name,
-        report.mean_load_time,
-        report.mean_render_time,
-        report.mean_send_time,
-        report.mean_load_throughput_mbps,
-        report.total_time,
-        report.seconds_per_timestep(),
+        "{:<34} {:>4} PEs {:<10} L={:6.2}s  R={:6.2}s  send={:5.2}s  agg load={:6.1} Mbps  total={:7.1}s  ({:.2} s/step)",
+        format!("{kind:?}"),
+        report.stages[0].pes,
+        report.stages[0].mode.label(),
+        m.mean_load_time,
+        m.mean_render_time,
+        m.mean_send_time,
+        m.mean_load_throughput_mbps,
+        m.total_time,
+        m.seconds_per_timestep,
     );
 }
 
 fn main() {
+    println!("== Combustion Corridor campaigns via the scenario engine ==\n");
+
+    println!("-- The bundled staged scenario, on both execution paths --");
+    let spec = ScenarioSpec::bundled("combustion_corridor_oc12").expect("bundled scenario parses");
+    for path in ExecutionPath::ALL {
+        let report = run_scenario(&spec.clone().with_path(path)).expect("scenario failed");
+        println!("[{} path]", path.label());
+        println!("{}", report.to_table());
+    }
+
     let timesteps = 10;
-    println!("== Combustion Corridor campaigns (virtual time, {timesteps} timesteps of 640x256x256 floats) ==\n");
+    println!("-- Paper scale: LBL DPSS -> CPlant over NTON (Figures 10, 14, 15) --");
+    show_paper(TestbedKind::NtonCplant, 4, timesteps, ExecutionMode::Serial);
+    show_paper(TestbedKind::NtonCplant, 8, timesteps, ExecutionMode::Serial);
+    show_paper(TestbedKind::NtonCplant, 8, timesteps, ExecutionMode::Overlapped);
 
-    println!("-- April 2000 campaign: LBL DPSS -> CPlant over NTON (Figures 10, 14, 15) --");
-    show(SimCampaignConfig::nton_cplant(4, timesteps, ExecutionMode::Serial));
-    show(SimCampaignConfig::nton_cplant(8, timesteps, ExecutionMode::Serial));
-    show(SimCampaignConfig::nton_cplant(8, timesteps, ExecutionMode::Overlapped));
+    println!("\n-- Paper scale: LBL DPSS -> ANL Onyx2 SMP over ESnet (Figures 16, 17) --");
+    show_paper(TestbedKind::EsnetAnlSmp, 8, timesteps, ExecutionMode::Serial);
+    show_paper(TestbedKind::EsnetAnlSmp, 8, timesteps, ExecutionMode::Overlapped);
 
-    println!("\n-- LBL DPSS -> ANL Onyx2 SMP over ESnet (Figures 16, 17) --");
-    show(SimCampaignConfig::esnet_anl(8, timesteps, ExecutionMode::Serial));
-    show(SimCampaignConfig::esnet_anl(8, timesteps, ExecutionMode::Overlapped));
-
-    println!("\n-- LBL DPSS -> Sun E4500 over gigabit LAN (Figures 12, 13) --");
-    show(SimCampaignConfig::lan_e4500(8, timesteps, ExecutionMode::Serial));
-    show(SimCampaignConfig::lan_e4500(8, timesteps, ExecutionMode::Overlapped));
+    println!("\n-- Paper scale: LBL DPSS -> Sun E4500 over gigabit LAN (Figures 12, 13) --");
+    show_paper(TestbedKind::LanSmp, 8, timesteps, ExecutionMode::Serial);
+    show_paper(TestbedKind::LanSmp, 8, timesteps, ExecutionMode::Overlapped);
 
     println!("\n-- The analytic model of section 4.3 --");
     let model = OverlapModel::paper_e4500();
@@ -53,5 +79,5 @@ fn main() {
     );
 
     println!("\n-- Future work (section 5): dedicated OC-192 --");
-    show(SimCampaignConfig::future_oc192(16, timesteps, ExecutionMode::Overlapped));
+    show_paper(TestbedKind::FutureOc192, 16, timesteps, ExecutionMode::Overlapped);
 }

@@ -26,7 +26,10 @@ fn main() {
         "HPSS holds {} ({:.1} MB); full-file retrieval from tape would take {:.1} s",
         descriptor.name,
         descriptor.total_size().megabytes(),
-        archive.full_file_retrieval_time(&descriptor.name).unwrap().as_secs_f64()
+        archive
+            .full_file_retrieval_time(&descriptor.name)
+            .unwrap()
+            .as_secs_f64()
     );
 
     // 2. Stage it onto a four-server DPSS.
@@ -66,19 +69,38 @@ fn main() {
     // 5. Capacity model: the paper's headline numbers.
     let model = DpssSimModel::four_server_2000();
     let lan = TcpModel::from_path(
-        &[Link::new("client gigE", LinkKind::Lan, Bandwidth::gige(), SimDuration::from_micros(150))],
+        &[Link::new(
+            "client gigE",
+            LinkKind::Lan,
+            Bandwidth::gige(),
+            SimDuration::from_micros(150),
+        )],
         TcpConfig::wan_tuned(),
         4,
     );
     let wan = TcpModel::from_path(
-        &[Link::new("NTON OC-12", LinkKind::DedicatedWan, Bandwidth::oc12(), SimDuration::from_millis(2))],
+        &[Link::new(
+            "NTON OC-12",
+            LinkKind::DedicatedWan,
+            Bandwidth::oc12(),
+            SimDuration::from_millis(2),
+        )],
         TcpConfig::wan_tuned(),
         4,
     );
     println!("capacity model for the 4-server / 20-disk DPSS of section 3.5:");
-    println!("  cache serve rate          : {:6.1} MB/s  (paper: 'over 150 MB/s')", model.serve_rate().mbytes_per_sec());
-    println!("  delivered to a LAN client : {:6.1} Mbps   (paper: 980 Mbps)", model.delivered_throughput(&lan).mbps());
-    println!("  delivered to a WAN client : {:6.1} Mbps   (paper: 570 Mbps)", model.delivered_throughput(&wan).mbps());
+    println!(
+        "  cache serve rate          : {:6.1} MB/s  (paper: 'over 150 MB/s')",
+        model.serve_rate().mbytes_per_sec()
+    );
+    println!(
+        "  delivered to a LAN client : {:6.1} Mbps   (paper: 980 Mbps)",
+        model.delivered_throughput(&lan).mbps()
+    );
+    println!(
+        "  delivered to a WAN client : {:6.1} Mbps   (paper: 570 Mbps)",
+        model.delivered_throughput(&wan).mbps()
+    );
     println!(
         "  160 MB timestep over the WAN: {:.2} s cold, {:.2} s warm",
         model.read_time(DataSize::from_mb(160), &wan).as_secs_f64(),

@@ -1,53 +1,56 @@
-//! Quickstart: run the whole Visapult pipeline, end to end, on your laptop.
+//! Quickstart: run the whole Visapult pipeline, end to end, on your laptop —
+//! driven by a declarative scenario file.
 //!
-//! Synthetic combustion data is staged onto an in-process DPSS network cache,
-//! a four-PE overlapped back end loads Z-slabs through the multi-threaded
-//! DPSS client, volume renders them, and streams textures to the viewer,
-//! whose IBR-assisted compositor produces the final image.  NetLogger
-//! instrumentation records the run and an NLV-style lifeline plot is printed
-//! at the end.
+//! The bundled `scenarios/quickstart_lan.toml` spec stages synthetic
+//! combustion data onto an in-process DPSS network cache, runs a four-PE
+//! overlapped back end loading Z-slabs through the multi-threaded DPSS
+//! client, and streams textures to the viewer, whose IBR-assisted compositor
+//! produces the final image.  NetLogger instrumentation records the run and
+//! an NLV-style lifeline plot is printed at the end.
+//!
+//! Flip `path = "real"` to `"virtual-time"` in the scenario file (or call
+//! `.with_path(ExecutionPath::VirtualTime)`) to replay the same scenario
+//! against the calibrated testbed models in milliseconds.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use visapult::core::{
-    run_real_campaign, ExecutionMode, PipelineConfig, RealCampaignConfig,
-};
-use visapult::netlogger::{LifelinePlot, NlvOptions};
+use visapult::core::{run_scenario, ScenarioSpec};
+use visapult::netlogger::{LifelinePlot, NlvOptions, ProfileAnalysis};
 
 fn main() {
-    let pipeline = PipelineConfig::small(4, 3, ExecutionMode::Overlapped);
-    let config = RealCampaignConfig::small(pipeline);
+    let spec = ScenarioSpec::bundled("quickstart_lan").expect("bundled scenario parses");
 
     println!("== Visapult quickstart ==");
     println!(
-        "dataset {} ({}x{}x{}, {} timesteps), {} PEs, {} mode\n",
-        config.pipeline.dataset.name,
-        config.pipeline.dataset.dims.0,
-        config.pipeline.dataset.dims.1,
-        config.pipeline.dataset.dims.2,
-        config.pipeline.timesteps,
-        config.pipeline.pes,
-        config.pipeline.mode.label(),
+        "scenario {} [{} path], {} PEs, {} timesteps, seed {}\n",
+        spec.scenario.name,
+        spec.scenario.path.label(),
+        spec.pipeline.pes,
+        spec.pipeline.timesteps,
+        spec.scenario.seed,
     );
 
-    let report = run_real_campaign(&config).expect("campaign failed");
+    let report = run_scenario(&spec).expect("scenario failed");
 
-    println!("back end : {} frames in {:?}", report.backend.frames_rendered, report.backend.elapsed);
+    println!("{}", report.to_table());
     println!(
-        "           {:.1} MB loaded from the DPSS, {:.2} MB shipped to the viewer ({}x data reduction)",
-        report.backend.total_bytes_loaded() as f64 / 1e6,
-        report.backend.total_wire_bytes() as f64 / 1e6,
+        "data movement: {:.1} MB loaded from the DPSS, {:.2} MB shipped to the viewer ({}x data reduction)",
+        report.bytes_loaded() as f64 / 1e6,
+        report.wire_bytes() as f64 / 1e6,
         report.data_reduction_factor().round(),
     );
     println!(
-        "viewer   : {} payloads received, {} composites rendered, final image coverage {:.1}%",
-        report.viewer.frames_received,
-        report.viewer.renders_performed,
-        report.viewer.final_image.coverage() * 100.0
+        "viewer       : {} payloads received across {} stage(s)",
+        report.frames_received(),
+        report.stages.len()
+    );
+    println!(
+        "replay fingerprint: {:016x} (same spec + seed => same fingerprint)\n",
+        report.replay_fingerprint()
     );
 
-    println!("\nPer-frame phase analysis (from NetLogger events):");
-    println!("{}", report.analysis.to_table());
+    println!("Per-frame phase analysis (from NetLogger events):");
+    println!("{}", ProfileAnalysis::from_log(&report.log).to_table());
 
     println!("NLV lifeline plot of the run:");
     let plot = LifelinePlot::new(&report.log, NlvOptions::default().with_width(90));

@@ -1,29 +1,40 @@
-//! The SC99 research exhibit (§4.1), reconstructed.
+//! The SC99 research exhibit (§4.1), reconstructed through the scenario
+//! engine.
 //!
 //! Two data paths ran on the show floor: cosmology data from the LBL DPSS to
 //! the CPlant cluster over NTON (250 Mbps achieved with the early Visapult
 //! implementation) and to the 8-node Babel cluster in the LBL booth over the
-//! shared SciNet fabric (150 Mbps).  This example replays both in virtual
-//! time, and also renders an actual frame of the synthetic cosmology dataset
-//! through the IBRAVR path to produce the kind of image shown in Figure 9.
+//! shared SciNet fabric (150 Mbps).  Both are replayed here at paper scale
+//! through `run_scenario`, the bundled `scenarios/sc99_exhibit.toml` spec is
+//! run as shipped, and an actual frame of the synthetic cosmology dataset is
+//! rendered through the IBRAVR path to produce the kind of image shown in
+//! Figure 9.
 //!
 //! Run with: `cargo run --release --example sc99_exhibit`
 
-use visapult::core::{run_sim_campaign, SimCampaignConfig};
+use visapult::core::{run_scenario, ScenarioSpec};
+use visapult::netsim::TestbedKind;
 use visapult::scenegraph::IbravrModel;
 use visapult::volren::{cosmology_density, Axis, RenderSettings, TransferFunction, ViewOrientation};
 
 fn main() {
     println!("== SC99 research exhibit reconstruction ==\n");
 
-    println!("-- Wide-area data paths (virtual time) --");
-    for config in [SimCampaignConfig::sc99_cplant(4, 6), SimCampaignConfig::sc99_booth(8, 6)] {
-        let report = run_sim_campaign(&config).expect("campaign failed");
+    println!("-- The bundled scenario, as shipped --");
+    let bundled = ScenarioSpec::bundled("sc99_exhibit").expect("bundled scenario parses");
+    let report = run_scenario(&bundled).expect("scenario failed");
+    println!("{}", report.to_table());
+
+    println!("-- Wide-area data paths at paper scale (virtual time) --");
+    for (kind, pes) in [(TestbedKind::Sc99Cplant, 4), (TestbedKind::Sc99Booth, 8)] {
+        let spec = ScenarioSpec::paper_virtual(kind, pes, 6, Vec::new());
+        let report = run_scenario(&spec).expect("campaign failed");
+        let m = &report.stages[0].metrics;
         println!(
             "{:<38} aggregate DPSS->back-end throughput {:6.1} Mbps, {:.2} s per timestep",
-            report.name,
-            report.mean_load_throughput_mbps,
-            report.seconds_per_timestep(),
+            format!("{kind:?} x{pes} PEs"),
+            m.mean_load_throughput_mbps,
+            m.seconds_per_timestep,
         );
     }
     println!("(paper: 250 Mbps over NTON to CPlant, 150 Mbps over SciNet to the booth cluster)\n");

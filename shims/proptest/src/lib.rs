@@ -1,0 +1,341 @@
+//! Offline stand-in for `proptest`, vendored so the workspace builds with no
+//! registry access.
+//!
+//! Supports the subset the workspace's property tests use: the [`proptest!`]
+//! macro (with an optional `#![proptest_config(...)]` header), numeric range
+//! strategies, `any::<T>()`, tuple strategies, `proptest::collection::vec`,
+//! `prop_assert*`, and `prop_assume!`.  Sampling is purely random (seeded
+//! deterministically from the test name) — there is no shrinking; a failing
+//! case panics with the standard assertion message, and determinism makes it
+//! reproducible.
+
+use std::ops::Range;
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config overriding only the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic sampling source (SplitMix64 seeded from the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test's fully qualified name.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name keeps streams distinct and stable.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+}
+
+/// Something a test case value can be drawn from.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+/// The `any::<T>()` strategy: arbitrary values of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Draw arbitrary values of a type (bit-pattern based for floats, so NaN and
+/// infinities do occur, as with real proptest).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types `any::<T>()` can produce.
+pub trait Arbitrary {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element_strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the tests `use ... ::prelude::*` for.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property test (no shrinking in the shim, so this is a
+/// plain panic with the sampled inputs visible in the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skip the current case when a precondition fails (moves to the next case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// The test-defining macro.  Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written inside the block, as with
+/// real proptest) running `body` over deterministically sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_variables)]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    let ($($arg,)*) = ($($crate::Strategy::sample(&($strategy), &mut rng),)*);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_hold(x in 1usize..10, f in 0.0f64..1.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn assume_skips(a in 0u64..4, b in 0u64..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn vectors_and_tuples(
+            xs in crate::collection::vec(any::<u8>(), 0..16),
+            t in (any::<u8>(), 0u32..5),
+        ) {
+            prop_assert!(xs.len() < 16);
+            prop_assert!(t.1 < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_applies(_x in 0u8..2) {
+            // Runs exactly 7 cases; nothing to assert beyond not panicking.
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::TestRng::for_test("t");
+        let mut b = crate::TestRng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

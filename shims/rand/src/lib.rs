@@ -1,0 +1,217 @@
+//! Offline stand-in for `rand`, vendored so the workspace builds without
+//! registry access.
+//!
+//! Provides the slice of the rand 0.8 API this workspace uses:
+//! `StdRng::seed_from_u64`, and `Rng::gen_range` over numeric `Range`s.  The
+//! generator is xoshiro256++ seeded through SplitMix64 — deterministic across
+//! runs and platforms, which is all the synthetic-data generators and the
+//! virtual-time campaign jitter require.  The stream differs from the real
+//! `StdRng` (ChaCha12); everything in this workspace that consumes it is
+//! calibrated against this shim.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, as in rand's `SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from a range (`low..high`, half-open).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Uniform in `[0, 1)` (not in rand's `Rng`, but handy for shims/tests).
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        u64_to_unit_f64(self.next_u64())
+    }
+
+    /// A random boolean that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen_f64() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range a value can be sampled from.
+pub trait SampleRange<T> {
+    /// Sample uniformly from `self`.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+fn u64_to_unit_f64(x: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! float_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range requires start < end");
+                let unit = u64_to_unit_f64(rng.next_u64()) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    };
+}
+float_range!(f32);
+float_range!(f64);
+
+macro_rules! uint_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range requires start < end");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift reduction; bias is < 2^-64 * span, irrelevant
+                // for the workspace's small spans.
+                let r = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + r as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range requires start <= end");
+                if end < <$t>::MAX {
+                    (start..end + 1).sample_from(rng)
+                } else if start > <$t>::MIN {
+                    (start - 1..end).sample_from(rng) + 1
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    };
+}
+uint_range!(u8);
+uint_range!(u16);
+uint_range!(u32);
+uint_range!(u64);
+uint_range!(usize);
+
+macro_rules! int_range {
+    ($t:ty, $u:ty) => {
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range requires start < end");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let r = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+    };
+}
+int_range!(i32, u32);
+int_range!(i64, u64);
+int_range!(isize, usize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the standard way to seed xoshiro.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let g = rng.gen_range(0.04f32..0.14);
+            assert!((0.04..0.14).contains(&g));
+            let u = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&u));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..2000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+        assert!(samples.iter().any(|x| *x < 0.1));
+        assert!(samples.iter().any(|x| *x > 0.9));
+    }
+}

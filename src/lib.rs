@@ -15,19 +15,29 @@
 //! | [`dpss`]        | the Distributed Parallel Storage System: master, block servers, client API, HPSS staging |
 //! | [`volren`]      | parallel software volume rendering, domain decomposition, synthetic combustion/cosmology data |
 //! | [`scenegraph`]  | retained-mode scene graph, software rasterizer, IBR-assisted volume rendering |
-//! | [`core`]        | the Visapult back end, viewer, wire protocol, campaign drivers and baselines |
+//! | [`core`]        | the Visapult back end, viewer, wire protocol, the declarative scenario engine, and baselines |
 //!
 //! ## Quick start
 //!
-//! ```
-//! use visapult::core::{run_real_campaign, ExecutionMode, PipelineConfig, RealCampaignConfig};
+//! Campaigns are declarative: a TOML scenario (see `scenarios/`) names a
+//! testbed, a pipeline decomposition, a seed and a staged workload mix, and
+//! compiles to either the real pipeline or its virtual-time replay through
+//! one entry point:
 //!
-//! // A laptop-scale end-to-end run: synthetic combustion data staged onto an
-//! // in-process DPSS, a 2-PE overlapped back end, and the IBRAVR viewer.
-//! let pipeline = PipelineConfig::small(2, 2, ExecutionMode::Overlapped);
-//! let report = run_real_campaign(&RealCampaignConfig::small(pipeline)).unwrap();
-//! assert_eq!(report.viewer.frames_received, 4);
+//! ```
+//! use visapult::core::{run_scenario, ScenarioSpec};
+//!
+//! // The bundled laptop-scale scenario: synthetic combustion data staged
+//! // onto an in-process DPSS, a 4-PE overlapped back end, the IBRAVR viewer.
+//! let spec = ScenarioSpec::bundled("quickstart_lan").unwrap();
+//! let report = run_scenario(&spec).unwrap();
+//! assert_eq!(report.frames_received(), 4 * 3);
 //! assert!(report.data_reduction_factor() > 1.0);
+//!
+//! // The same spec replayed in virtual time against the testbed models.
+//! use visapult::core::ExecutionPath;
+//! let replay = run_scenario(&spec.with_path(ExecutionPath::VirtualTime)).unwrap();
+//! assert_eq!(replay.frames_received(), 4 * 3);
 //! ```
 //!
 //! See `examples/` for the quickstart, the Combustion Corridor campaign

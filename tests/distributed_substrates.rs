@@ -32,10 +32,7 @@ fn striped_tcp_dpss_feeds_the_volume_renderer() {
     let (x, y, _) = descriptor.dims;
     let nz = len as usize / (x * y * 4);
     let from_cache = Volume::from_le_bytes((x, y, nz), &slab_bytes);
-    let direct = Volume::from_le_bytes(
-        (x, y, nz),
-        &bytes[offset as usize..(offset + len) as usize],
-    );
+    let direct = Volume::from_le_bytes((x, y, nz), &bytes[offset as usize..(offset + len) as usize]);
     assert_eq!(from_cache, direct);
 
     let tf = TransferFunction::combustion_default();
@@ -112,7 +109,10 @@ fn overlap_speedup_shrinks_when_loading_dominates() {
     };
     let lan = speedup(SimCampaignConfig::lan_e4500);
     let esnet = speedup(SimCampaignConfig::esnet_anl);
-    assert!(lan > esnet, "LAN speedup {lan:.2} should exceed ESnet speedup {esnet:.2}");
+    assert!(
+        lan > esnet,
+        "LAN speedup {lan:.2} should exceed ESnet speedup {esnet:.2}"
+    );
     assert!(lan > 1.3 && lan < 2.0);
     assert!(esnet > 1.0);
 }

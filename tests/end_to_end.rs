@@ -1,10 +1,8 @@
 //! Cross-crate integration tests: the full pipeline from the DPSS cache
 //! through the parallel back end to the viewer's composited image.
 
-use visapult::core::{
-    run_real_campaign, ExecutionMode, PipelineConfig, RealCampaignConfig,
-};
 use visapult::core::campaign::real::RealDataPath;
+use visapult::core::{run_real_campaign, ExecutionMode, PipelineConfig, RealCampaignConfig};
 use visapult::netlogger::{tags, LifelinePlot, NlvOptions, ProfileAnalysis};
 
 fn campaign(pes: usize, timesteps: usize, mode: ExecutionMode, path: RealDataPath) -> RealCampaignConfig {
@@ -15,7 +13,12 @@ fn campaign(pes: usize, timesteps: usize, mode: ExecutionMode, path: RealDataPat
 
 #[test]
 fn dpss_backed_campaign_end_to_end() {
-    let config = campaign(4, 3, ExecutionMode::Serial, RealDataPath::Dpss { stream_rate_mbps: None });
+    let config = campaign(
+        4,
+        3,
+        ExecutionMode::Serial,
+        RealDataPath::Dpss { stream_rate_mbps: None },
+    );
     let report = run_real_campaign(&config).unwrap();
 
     // Every PE delivered every frame to the viewer.
@@ -38,20 +41,30 @@ fn overlapped_and_serial_campaigns_produce_identical_images() {
     let overlapped = run_real_campaign(&campaign(2, 3, ExecutionMode::Overlapped, RealDataPath::Synthetic)).unwrap();
     assert_eq!(serial.viewer.frames_received, overlapped.viewer.frames_received);
     let diff = serial.viewer.final_image.mean_abs_diff(&overlapped.viewer.final_image);
-    assert!(diff < 1e-4, "pipelining must not change the rendered result (diff={diff})");
+    assert!(
+        diff < 1e-4,
+        "pipelining must not change the rendered result (diff={diff})"
+    );
 }
 
 #[test]
 fn shaped_dpss_link_slows_loading_but_not_correctness() {
     // Shape each DPSS server stream to ~1 MB/s so the load phase visibly
     // dominates, the way a WAN-limited campaign behaves.
-    let fast = run_real_campaign(&campaign(2, 2, ExecutionMode::Serial, RealDataPath::Dpss { stream_rate_mbps: None }))
-        .unwrap();
+    let fast = run_real_campaign(&campaign(
+        2,
+        2,
+        ExecutionMode::Serial,
+        RealDataPath::Dpss { stream_rate_mbps: None },
+    ))
+    .unwrap();
     let slow = run_real_campaign(&campaign(
         2,
         2,
         ExecutionMode::Serial,
-        RealDataPath::Dpss { stream_rate_mbps: Some(8.0) },
+        RealDataPath::Dpss {
+            stream_rate_mbps: Some(8.0),
+        },
     ))
     .unwrap();
     assert_eq!(fast.viewer.frames_received, slow.viewer.frames_received);
@@ -75,7 +88,10 @@ fn netlogger_profile_covers_both_ends_and_renders_a_lifeline() {
     // The standard analysis reconstructs per-frame phases.
     let analysis = ProfileAnalysis::from_log(&report.log);
     assert_eq!(analysis.frames.len(), 2);
-    assert!(analysis.frames.iter().all(|f| f.load_time >= 0.0 && f.render_time > 0.0));
+    assert!(analysis
+        .frames
+        .iter()
+        .all(|f| f.load_time >= 0.0 && f.render_time > 0.0));
     // The NLV lifeline plot renders with data on the expected rows.
     let plot = LifelinePlot::new(&report.log, NlvOptions::default());
     let counts = plot.row_counts();

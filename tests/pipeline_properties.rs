@@ -2,8 +2,8 @@
 //! spanning crates.
 
 use proptest::prelude::*;
-use visapult::core::{HeavyPayload, LightPayload, OverlapModel};
 use visapult::core::protocol::{decode_heavy, decode_light, encode_heavy, encode_light};
+use visapult::core::{HeavyPayload, LightPayload, OverlapModel};
 use visapult::dpss::StripeLayout;
 use visapult::volren::{decompose, Axis, Decomposition, RgbaImage};
 
