@@ -8,6 +8,14 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A shared, immutable view of block data — the unit the zero-copy data
+/// plane moves around.  Backed by the reference-counted [`bytes::Bytes`], so
+/// reads hand out O(1) slices of the per-disk arenas instead of fresh
+/// `Vec<u8>` allocations, and the same bytes can sit in the block cache, in a
+/// caller's assembled range and on a wire buffer simultaneously without ever
+/// being memcpy'd.
+pub type Block = bytes::Bytes;
+
 /// Index of a logical block within a dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BlockId(pub u64);

@@ -12,14 +12,29 @@
 //! per-server physical block requests and serviced by one worker thread per
 //! server; an optional token-bucket shaper paces each server stream so that
 //! real-mode runs see WAN-like bandwidth.
+//!
+//! The primary read path is zero-copy: [`DpssClient::read_range`] returns a
+//! shared [`Block`] assembled from arena slices (a read inside one block
+//! moves no bytes at all; a multi-block read performs exactly one gather
+//! copy), and [`DpssClient::read_block`] hands back a whole logical block
+//! with no copy ever.  A [`BlockCache`] can be mounted between the client
+//! and the cluster with [`DpssClient::with_cache`]; misses then pull whole
+//! blocks (so overlapping reads hit), hits bypass the server locks *and* the
+//! WAN shaper, and per-read hit/miss telemetry lands on the NetLogger event
+//! stream.  The copying `dpss_read`/`read_at` survive as thin compatibility
+//! wrappers over `read_range`.
 
+use crate::block::{Block, BlockId};
+use crate::cache::BlockCache;
 use crate::dataset::DatasetDescriptor;
 use crate::error::DpssError;
 use crate::master::PhysicalBlockRequest;
 use crate::server::DpssCluster;
+use bytes::Bytes;
 use netlogger::NetLogger;
 use netsim::{Bandwidth, TokenBucket};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// An open dataset handle with Unix-like position semantics.
 #[derive(Debug, Clone)]
@@ -55,6 +70,13 @@ pub enum SeekFrom {
     Current(i64),
 }
 
+/// Hit/miss accounting for one read, reported on the NetLogger stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReadTally {
+    hits: u64,
+    misses: u64,
+}
+
 /// The multi-threaded DPSS client.
 pub struct DpssClient {
     cluster: DpssCluster,
@@ -63,6 +85,8 @@ pub struct DpssClient {
     stream_rate: Option<Bandwidth>,
     /// Optional instrumentation.
     logger: Option<NetLogger>,
+    /// Optional sharded block cache between this client and the cluster.
+    cache: Option<Arc<BlockCache>>,
 }
 
 impl DpssClient {
@@ -74,6 +98,7 @@ impl DpssClient {
             client_name: client_name.into(),
             stream_rate: None,
             logger: None,
+            cache: None,
         }
     }
 
@@ -88,6 +113,19 @@ impl DpssClient {
     pub fn with_logger(mut self, logger: NetLogger) -> Self {
         self.logger = Some(logger);
         self
+    }
+
+    /// Builder: mount a block cache between this client and the cluster.
+    /// Misses fetch whole logical blocks; hits are O(1) shared slices that
+    /// bypass both the server locks and the stream shaper.
+    pub fn with_cache(mut self, cache: Arc<BlockCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The mounted block cache, if any.
+    pub fn cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
     }
 
     /// The cluster this client talks to.
@@ -137,8 +175,7 @@ impl DpssClient {
     }
 
     /// `dpssRead()`: read `buf.len()` bytes at the current position, advancing
-    /// it.  The read is resolved into physical block requests and serviced by
-    /// one thread per server.
+    /// it.  Compatibility wrapper over the zero-copy [`Self::read_range`].
     pub fn dpss_read(&self, file: &mut DpssFile, buf: &mut [u8]) -> Result<usize, DpssError> {
         if !file.open {
             return Err(DpssError::Closed);
@@ -164,28 +201,206 @@ impl DpssClient {
         file.open = false;
     }
 
-    /// Positioned read without a handle (block-level access is the DPSS's
-    /// defining feature: "provides block level access, eliminating the need
-    /// to transfer the entire file across the network").
+    /// Positioned read into a caller buffer.  Compatibility wrapper: the data
+    /// plane runs zero-copy through [`Self::read_range`] and this copies the
+    /// assembled range out once at the end.
     pub fn read_at(&self, dataset: &str, offset: u64, buf: &mut [u8]) -> Result<(), DpssError> {
+        let bytes = self.read_range(dataset, offset, buf.len() as u64)?;
+        buf.copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// Read one whole logical block of a dataset (by dataset-relative block
+    /// index), zero-copy.  "Block level access" is the DPSS's defining
+    /// feature; this is its most direct form — the returned [`Block`] shares
+    /// the server arena (or the cache entry) with no memcpy anywhere.
+    pub fn read_block(&self, dataset: &str, block_index: u64) -> Result<Block, DpssError> {
+        let request = {
+            let master = self.cluster.master();
+            let guard = master.read();
+            let start = guard.dataset_start_block(dataset)?;
+            guard.resolve_block(&self.client_name, dataset, BlockId(start + block_index))?
+        };
         if let Some(log) = &self.logger {
-            log.log_with("DPSS_READ_START", [("NL.bytes", buf.len() as u64)]);
+            log.log_with("DPSS_READ_START", [("NL.bytes", request.len)]);
+        }
+        // Same accounting as read_range: misses (and uncached fetches) cross
+        // the emulated WAN and are shaped; cache hits are free.
+        let mut shaper = self.stream_rate.map(TokenBucket::with_default_burst);
+        let mut tally = ReadTally::default();
+        let block = match &self.cache {
+            None => {
+                let data = self.cluster.service_read(&request)?;
+                if let Some(tb) = shaper.as_mut() {
+                    tb.throttle(data.len() as u64);
+                }
+                data
+            }
+            Some(cache) => {
+                let (block, hit) = cache.get_or_fetch(request.block, || self.cluster.service_read(&request))?;
+                if hit {
+                    tally.hits += 1;
+                } else {
+                    tally.misses += 1;
+                    if let Some(tb) = shaper.as_mut() {
+                        tb.throttle(block.len() as u64);
+                    }
+                }
+                block
+            }
+        };
+        self.log_read_end(request.len, &tally);
+        Ok(block)
+    }
+
+    /// Read a byte range of a dataset as one shared [`Block`].
+    ///
+    /// This is the primary read path.  The range is resolved into per-block
+    /// physical requests and fetched by one worker thread per server; each
+    /// piece is a zero-copy arena (or cache) slice, and the pieces are
+    /// assembled with at most one gather copy (none when the range lies
+    /// inside a single block).
+    pub fn read_range(&self, dataset: &str, offset: u64, len: u64) -> Result<Block, DpssError> {
+        if let Some(log) = &self.logger {
+            log.log_with("DPSS_READ_START", [("NL.bytes", len)]);
         }
         let requests = {
             let master = self.cluster.master();
             let guard = master.read();
-            guard.resolve(&self.client_name, dataset, offset, buf.len() as u64)?
+            guard.resolve(&self.client_name, dataset, offset, len)?
         };
-        let groups = {
-            let master = self.cluster.master();
-            let guard = master.read();
-            guard.group_by_server(&requests)
-        };
-        self.parallel_fetch(&groups, buf)?;
-        if let Some(log) = &self.logger {
-            log.log_with("DPSS_READ_END", [("NL.bytes", buf.len() as u64)]);
+        let mut pieces: Vec<Option<Bytes>> = vec![None; requests.len()];
+        let mut total = ReadTally::default();
+
+        // Fast path: pieces already resident in the cache are served under
+        // the shard locks alone — no worker threads, no server locks, no
+        // shaper.  A fully warm range never leaves this loop.
+        if let Some(cache) = &self.cache {
+            for (i, req) in requests.iter().enumerate() {
+                if let Some(block) = cache.try_get(req.block) {
+                    let start = req.in_block_offset as usize;
+                    pieces[i] = Some(block.slice(start..start + req.len as usize));
+                    total.hits += 1;
+                }
+            }
         }
-        Ok(())
+
+        // Whatever is left goes to one worker thread per server, exactly as
+        // §3.5 describes the multi-threaded client library.
+        let mut groups: Vec<Vec<(usize, PhysicalBlockRequest)>> = vec![Vec::new(); self.cluster.server_count()];
+        for (i, req) in requests.iter().enumerate() {
+            if pieces[i].is_none() {
+                groups[req.server].push((i, *req));
+            }
+        }
+        if groups.iter().any(|g| !g.is_empty()) {
+            let results: Mutex<Vec<(usize, Bytes)>> = Mutex::new(Vec::new());
+            let error: Mutex<Option<DpssError>> = Mutex::new(None);
+            let tally: Mutex<ReadTally> = Mutex::new(ReadTally::default());
+            std::thread::scope(|scope| {
+                for group in groups.iter().filter(|g| !g.is_empty()) {
+                    let results = &results;
+                    let error = &error;
+                    let tally = &tally;
+                    let stream_rate = self.stream_rate;
+                    scope.spawn(move || {
+                        let mut shaper = stream_rate.map(TokenBucket::with_default_burst);
+                        let mut local = ReadTally::default();
+                        for (i, req) in group {
+                            match self.fetch_piece(dataset, req, shaper.as_mut(), &mut local) {
+                                Ok(piece) => results.lock().push((*i, piece)),
+                                Err(e) => {
+                                    *error.lock() = Some(e);
+                                    return;
+                                }
+                            }
+                        }
+                        let mut t = tally.lock();
+                        t.hits += local.hits;
+                        t.misses += local.misses;
+                    });
+                }
+            });
+            if let Some(e) = error.into_inner() {
+                return Err(e);
+            }
+            for (i, piece) in results.into_inner() {
+                pieces[i] = Some(piece);
+            }
+            let t = tally.into_inner();
+            total.hits += t.hits;
+            total.misses += t.misses;
+        }
+
+        let pieces: Vec<Bytes> = pieces.into_iter().map(|p| p.expect("every piece fetched")).collect();
+        let assembled = Bytes::gather(&pieces);
+        debug_assert_eq!(assembled.len() as u64, len);
+        self.log_read_end(len, &total);
+        Ok(assembled)
+    }
+
+    /// Emit `DPSS_READ_END`.  Cache fields are attached only when a cache is
+    /// mounted — an uncached read reporting `hits=0, misses=0` would be
+    /// indistinguishable from a fully warm one in downstream analysis.
+    fn log_read_end(&self, len: u64, tally: &ReadTally) {
+        let Some(log) = &self.logger else { return };
+        if self.cache.is_some() {
+            log.log_with(
+                "DPSS_READ_END",
+                [
+                    ("NL.bytes", len),
+                    (netlogger::tags::FIELD_CACHE_HITS, tally.hits),
+                    (netlogger::tags::FIELD_CACHE_MISSES, tally.misses),
+                ],
+            );
+        } else {
+            log.log_with("DPSS_READ_END", [("NL.bytes", len)]);
+        }
+    }
+
+    /// Fetch the bytes one piece-request covers: straight from the server
+    /// arena when uncached, or via a whole-block cache fill (sliced down to
+    /// the piece) when a cache is mounted.  The shaper only ever sees bytes
+    /// that actually crossed the emulated WAN — cache hits are free.
+    fn fetch_piece(
+        &self,
+        dataset: &str,
+        req: &PhysicalBlockRequest,
+        shaper: Option<&mut TokenBucket>,
+        tally: &mut ReadTally,
+    ) -> Result<Bytes, DpssError> {
+        match &self.cache {
+            None => {
+                let piece = self.cluster.service_read(req)?;
+                if let Some(tb) = shaper {
+                    tb.throttle(piece.len() as u64);
+                }
+                Ok(piece)
+            }
+            Some(cache) => {
+                let mut fetched = 0u64;
+                let (block, hit) = cache.get_or_fetch(req.block, || {
+                    let full = {
+                        let master = self.cluster.master();
+                        let guard = master.read();
+                        guard.resolve_block(&self.client_name, dataset, req.block)?
+                    };
+                    let data = self.cluster.service_read(&full)?;
+                    fetched = data.len() as u64;
+                    Ok::<_, DpssError>(data)
+                })?;
+                if hit {
+                    tally.hits += 1;
+                } else {
+                    tally.misses += 1;
+                    if let Some(tb) = shaper {
+                        tb.throttle(fetched);
+                    }
+                }
+                let start = req.in_block_offset as usize;
+                Ok(block.slice(start..start + req.len as usize))
+            }
+        }
     }
 
     /// Positioned write without a handle (used when staging data into the cache).
@@ -201,52 +416,13 @@ impl DpssClient {
         }
         Ok(())
     }
-
-    /// One worker thread per server, each fetching its server's blocks and
-    /// writing them into the caller's buffer (disjoint ranges, gathered after
-    /// the scoped threads join).
-    fn parallel_fetch(&self, groups: &[Vec<PhysicalBlockRequest>], buf: &mut [u8]) -> Result<(), DpssError> {
-        let results: Mutex<Vec<(u64, Vec<u8>)>> = Mutex::new(Vec::new());
-        let error: Mutex<Option<DpssError>> = Mutex::new(None);
-        std::thread::scope(|scope| {
-            for group in groups.iter().filter(|g| !g.is_empty()) {
-                let cluster = &self.cluster;
-                let results = &results;
-                let error = &error;
-                let stream_rate = self.stream_rate;
-                scope.spawn(move || {
-                    let mut shaper = stream_rate.map(TokenBucket::with_default_burst);
-                    for req in group {
-                        match cluster.service_read(req) {
-                            Ok(data) => {
-                                if let Some(tb) = shaper.as_mut() {
-                                    tb.throttle(data.len() as u64);
-                                }
-                                results.lock().push((req.buffer_offset, data));
-                            }
-                            Err(e) => {
-                                *error.lock() = Some(e);
-                                return;
-                            }
-                        }
-                    }
-                });
-            }
-        });
-        if let Some(e) = error.into_inner() {
-            return Err(e);
-        }
-        for (offset, data) in results.into_inner() {
-            buf[offset as usize..offset as usize + data.len()].copy_from_slice(&data);
-        }
-        Ok(())
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::block::StripeLayout;
+    use crate::cache::CacheConfig;
 
     fn small_cluster_with_data() -> (DpssCluster, DatasetDescriptor, Vec<u8>) {
         let cluster = DpssCluster::new(StripeLayout::new(4096, 4, 2));
@@ -300,6 +476,82 @@ mod tests {
     }
 
     #[test]
+    fn read_range_matches_legacy_read_at() {
+        let (cluster, desc, data) = small_cluster_with_data();
+        let client = DpssClient::new(cluster, "viz");
+        for (off, len) in [(0u64, 4096u64), (100, 9000), (desc.timestep_offset(1), 2048)] {
+            let range = client.read_range("demo", off, len).unwrap();
+            assert_eq!(range, &data[off as usize..(off + len) as usize]);
+        }
+        // Bounds still enforced.
+        let size = desc.total_size().bytes();
+        assert!(matches!(
+            client.read_range("demo", size - 10, 20),
+            Err(DpssError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn single_block_read_range_is_zero_copy() {
+        let (cluster, ..) = small_cluster_with_data();
+        let client = DpssClient::new(cluster, "viz");
+        let before = bytes::deep_copy_count();
+        // 4096-byte blocks: a 1000-byte read at offset 4096 sits in block 1.
+        let a = client.read_range("demo", 4096, 1000).unwrap();
+        let b = client.read_range("demo", 4096, 1000).unwrap();
+        assert!(a.ptr_eq(&b), "in-block reads must share the disk arena");
+        assert_eq!(bytes::deep_copy_count(), before, "no bytes may move");
+    }
+
+    #[test]
+    fn read_block_returns_whole_blocks_zero_copy() {
+        let (cluster, desc, data) = small_cluster_with_data();
+        let client = DpssClient::new(cluster.clone(), "viz");
+        let block_size = cluster.layout().block_size as usize;
+        let before = bytes::deep_copy_count();
+        let block = client.read_block("demo", 2).unwrap();
+        assert_eq!(block, &data[2 * block_size..3 * block_size]);
+        assert_eq!(bytes::deep_copy_count(), before);
+        // The tail block is clipped to the dataset size.
+        let blocks = cluster.layout().blocks_for(desc.total_size().bytes());
+        let tail = client.read_block("demo", blocks - 1).unwrap();
+        assert_eq!(
+            tail.len() as u64,
+            desc.total_size().bytes() - (blocks - 1) * cluster.layout().block_size
+        );
+        assert!(client.read_block("demo", blocks).is_err());
+    }
+
+    #[test]
+    fn cached_reads_hit_and_match_uncached() {
+        let (cluster, desc, data) = small_cluster_with_data();
+        let cache = Arc::new(BlockCache::new(CacheConfig::new(256, 4)));
+        let client = DpssClient::new(cluster, "viz").with_cache(Arc::clone(&cache));
+        let (off, len) = desc.z_slab_range(1, 0, 4);
+        let first = client.read_range("demo", off, len).unwrap();
+        assert_eq!(first, &data[off as usize..(off + len) as usize]);
+        let cold = cache.stats();
+        assert!(cold.misses > 0 && cold.hits == 0);
+        // Re-read: every block is resident, no server fetch.
+        let second = client.read_range("demo", off, len).unwrap();
+        assert_eq!(second, first);
+        let warm = cache.stats();
+        assert_eq!(warm.misses, cold.misses, "warm read must not refetch");
+        assert_eq!(warm.hits, cold.misses, "one hit per block on replay");
+    }
+
+    #[test]
+    fn access_control_applies_to_clients() {
+        let (cluster, ..) = small_cluster_with_data();
+        cluster.master().write().set_access_list(["visapult-backend"]);
+        let denied = DpssClient::new(cluster.clone(), "stranger");
+        assert!(matches!(denied.dpss_open("demo"), Err(DpssError::AccessDenied(_))));
+        assert!(matches!(denied.read_block("demo", 0), Err(DpssError::AccessDenied(_))));
+        let allowed = DpssClient::new(cluster, "visapult-backend");
+        assert!(allowed.dpss_open("demo").is_ok());
+    }
+
+    #[test]
     fn seek_and_bounds_errors() {
         let (cluster, desc, _) = small_cluster_with_data();
         let client = DpssClient::new(cluster, "viz");
@@ -309,16 +561,6 @@ mod tests {
         assert!(client.dpss_lseek(&mut file, SeekFrom::Start(size + 1)).is_err());
         assert!(client.dpss_lseek(&mut file, SeekFrom::Current(-1_000_000_000)).is_err());
         assert!(client.dpss_open("missing").is_err());
-    }
-
-    #[test]
-    fn access_control_applies_to_clients() {
-        let (cluster, ..) = small_cluster_with_data();
-        cluster.master().write().set_access_list(["visapult-backend"]);
-        let denied = DpssClient::new(cluster.clone(), "stranger");
-        assert!(matches!(denied.dpss_open("demo"), Err(DpssError::AccessDenied(_))));
-        let allowed = DpssClient::new(cluster, "visapult-backend");
-        assert!(allowed.dpss_open("demo").is_ok());
     }
 
     #[test]
@@ -354,14 +596,72 @@ mod tests {
     }
 
     #[test]
-    fn logger_records_read_events() {
+    fn cache_hits_bypass_the_shaper() {
+        let (cluster, desc, _) = small_cluster_with_data();
+        let cache = Arc::new(BlockCache::new(CacheConfig::new(256, 4)));
+        let client = DpssClient::new(cluster, "viz")
+            .with_stream_rate(Bandwidth::from_mbytes_per_sec(0.5))
+            .with_cache(Arc::clone(&cache));
+        let len = desc.total_size().bytes();
+        let t0 = std::time::Instant::now();
+        client.read_range("demo", 0, len).unwrap();
+        let cold = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        client.read_range("demo", 0, len).unwrap();
+        let warm = t1.elapsed();
+        assert!(
+            warm * 3 < cold,
+            "warm reads should skip the WAN shaper: cold={cold:?} warm={warm:?}"
+        );
+    }
+
+    #[test]
+    fn logger_records_read_events_with_cache_fields() {
+        let (cluster, ..) = small_cluster_with_data();
+        let collector = netlogger::Collector::wall();
+        let cache = Arc::new(BlockCache::new(CacheConfig::new(64, 2)));
+        let client = DpssClient::new(cluster, "viz")
+            .with_logger(collector.logger("client-host", "dpss-client"))
+            .with_cache(cache);
+        let mut buf = vec![0u8; 8192];
+        client.read_at("demo", 0, &mut buf).unwrap();
+        client.read_at("demo", 0, &mut buf).unwrap();
+        let log = collector.finish();
+        assert_eq!(log.with_tag("DPSS_READ_START").count(), 2);
+        let ends: Vec<_> = log.with_tag("DPSS_READ_END").collect();
+        assert_eq!(ends.len(), 2);
+        let hits = |e: &netlogger::Event| {
+            e.field(netlogger::tags::FIELD_CACHE_HITS)
+                .and_then(|f| f.as_int())
+                .unwrap()
+        };
+        let misses = |e: &netlogger::Event| {
+            e.field(netlogger::tags::FIELD_CACHE_MISSES)
+                .and_then(|f| f.as_int())
+                .unwrap()
+        };
+        assert_eq!(hits(ends[0]), 0);
+        assert!(misses(ends[0]) > 0);
+        assert_eq!(hits(ends[1]), misses(ends[0]), "second read hits every block");
+        assert_eq!(misses(ends[1]), 0);
+    }
+
+    #[test]
+    fn uncached_read_events_omit_cache_fields() {
         let (cluster, ..) = small_cluster_with_data();
         let collector = netlogger::Collector::wall();
         let client = DpssClient::new(cluster, "viz").with_logger(collector.logger("client-host", "dpss-client"));
-        let mut buf = vec![0u8; 8192];
-        client.read_at("demo", 0, &mut buf).unwrap();
+        client.read_range("demo", 0, 4096).unwrap();
+        client.read_block("demo", 0).unwrap();
         let log = collector.finish();
-        assert_eq!(log.with_tag("DPSS_READ_START").count(), 1);
-        assert_eq!(log.with_tag("DPSS_READ_END").count(), 1);
+        // read_block is instrumented like read_range, and neither reports
+        // cache counters when no cache is mounted (an uncached read looks
+        // nothing like a 100%-warm one).
+        assert_eq!(log.with_tag("DPSS_READ_START").count(), 2);
+        for end in log.with_tag("DPSS_READ_END") {
+            assert!(end.bytes().unwrap() > 0);
+            assert!(end.field(netlogger::tags::FIELD_CACHE_HITS).is_none());
+            assert!(end.field(netlogger::tags::FIELD_CACHE_MISSES).is_none());
+        }
     }
 }

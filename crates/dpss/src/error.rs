@@ -18,6 +18,25 @@ pub enum DpssError {
     },
     /// The referenced server does not exist in the cluster.
     UnknownServer(usize),
+    /// A write payload did not match the physical request it claimed to
+    /// service (previously an `assert!`, now a typed error).
+    WriteSizeMismatch {
+        /// Bytes the physical request covers.
+        expected: u64,
+        /// Bytes the caller supplied.
+        actual: u64,
+    },
+    /// A physical request addressed bytes outside its block's stripe slot —
+    /// servicing it would silently corrupt (or truncate into) a neighbouring
+    /// block, so it is rejected up front.
+    StripeViolation {
+        /// Offset within the block where the request starts.
+        in_block_offset: u64,
+        /// Requested length.
+        len: u64,
+        /// The layout's block size.
+        block_size: u64,
+    },
     /// A network-level failure (real-socket mode).
     Network(String),
     /// The file handle was already closed.
@@ -33,6 +52,17 @@ impl fmt::Display for DpssError {
                 write!(f, "offset {offset} out of bounds for dataset of {size} bytes")
             }
             DpssError::UnknownServer(id) => write!(f, "unknown DPSS server {id}"),
+            DpssError::WriteSizeMismatch { expected, actual } => {
+                write!(f, "write payload of {actual} bytes does not match the {expected}-byte physical request")
+            }
+            DpssError::StripeViolation {
+                in_block_offset,
+                len,
+                block_size,
+            } => write!(
+                f,
+                "request for {len} bytes at in-block offset {in_block_offset} overruns the {block_size}-byte stripe slot"
+            ),
             DpssError::Network(msg) => write!(f, "network error: {msg}"),
             DpssError::Closed => write!(f, "file handle is closed"),
         }

@@ -7,8 +7,11 @@
 //!
 //! The crate provides:
 //!
-//! * [`block`] — the logical block space and the striping layout that maps
-//!   logical blocks onto (server, disk, offset) triples.
+//! * [`block`] — the logical block space, the striping layout that maps
+//!   logical blocks onto (server, disk, offset) triples, and the shared
+//!   zero-copy [`Block`] buffer the data plane moves.
+//! * [`cache`] — the sharded LRU block cache between the client and the
+//!   cluster, with per-shard hit/miss/eviction telemetry.
 //! * [`disk`] — a circa-2000 commodity disk model (seek + rotation + sustained
 //!   transfer rate) used for capacity planning and virtual-time simulation.
 //! * [`dataset`] — descriptors for the large time-varying scientific datasets
@@ -29,6 +32,7 @@
 //!   harness (LAN/WAN aggregate throughput, scaling with servers and disks).
 
 pub mod block;
+pub mod cache;
 pub mod client;
 pub mod dataset;
 pub mod disk;
@@ -39,8 +43,9 @@ pub mod net;
 pub mod server;
 pub mod sim;
 
-pub use block::{BlockId, PhysicalLocation, StripeLayout};
-pub use client::{DpssClient, DpssFile};
+pub use block::{Block, BlockId, PhysicalLocation, StripeLayout};
+pub use cache::{BlockCache, CacheConfig, CacheStats};
+pub use client::{DpssClient, DpssFile, SeekFrom};
 pub use dataset::DatasetDescriptor;
 pub use disk::DiskModel;
 pub use error::DpssError;

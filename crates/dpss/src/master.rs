@@ -140,11 +140,11 @@ impl DpssMaster {
             .get(dataset)
             .ok_or_else(|| DpssError::UnknownDataset(dataset.to_string()))?;
         let size = entry.descriptor.total_size().bytes();
-        if offset + len > size {
-            return Err(DpssError::OutOfBounds {
-                offset: offset + len,
-                size,
-            });
+        let end = offset
+            .checked_add(len)
+            .ok_or(DpssError::OutOfBounds { offset: u64::MAX, size })?;
+        if end > size {
+            return Err(DpssError::OutOfBounds { offset: end, size });
         }
         let mut requests = Vec::new();
         let mut buffer_offset = 0u64;
@@ -163,6 +163,52 @@ impl DpssMaster {
             buffer_offset += piece_len;
         }
         Ok(requests)
+    }
+
+    /// First logical block assigned to a dataset (the base the client uses to
+    /// convert a dataset-relative block index into a global [`BlockId`]).
+    pub fn dataset_start_block(&self, dataset: &str) -> Result<u64, DpssError> {
+        self.datasets
+            .get(dataset)
+            .map(|e| e.start_block)
+            .ok_or_else(|| DpssError::UnknownDataset(dataset.to_string()))
+    }
+
+    /// Resolve one whole logical block of a dataset (by global [`BlockId`])
+    /// into its physical request, with the length clipped at the dataset's
+    /// end for the tail block.  This is the fetch unit of the block cache:
+    /// a miss pulls the entire block so later overlapping reads hit.
+    pub fn resolve_block(
+        &self,
+        client: &str,
+        dataset: &str,
+        block: BlockId,
+    ) -> Result<PhysicalBlockRequest, DpssError> {
+        self.check_access(client)?;
+        let entry = self
+            .datasets
+            .get(dataset)
+            .ok_or_else(|| DpssError::UnknownDataset(dataset.to_string()))?;
+        let size = entry.descriptor.total_size().bytes();
+        let blocks = self.layout.blocks_for(size);
+        if block.0 < entry.start_block || block.0 >= entry.start_block + blocks {
+            return Err(DpssError::OutOfBounds {
+                offset: block.0.saturating_sub(entry.start_block) * self.layout.block_size,
+                size,
+            });
+        }
+        let rel = block.0 - entry.start_block;
+        let len = (size - rel * self.layout.block_size).min(self.layout.block_size);
+        let loc = self.layout.locate(block);
+        Ok(PhysicalBlockRequest {
+            block,
+            server: loc.server,
+            disk: loc.disk,
+            disk_offset: loc.disk_offset,
+            in_block_offset: 0,
+            len,
+            buffer_offset: 0,
+        })
     }
 
     /// Group physical block requests by server — the unit of work handed to
@@ -240,6 +286,11 @@ mod tests {
             m.resolve("viz", &d.name, size - 10, 20),
             Err(DpssError::OutOfBounds { .. })
         ));
+        // A range whose end overflows u64 must not wrap past the check.
+        assert!(matches!(
+            m.resolve("viz", &d.name, u64::MAX - 4, 100),
+            Err(DpssError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -262,6 +313,23 @@ mod tests {
             (ra[0].server, ra[0].disk, ra[0].disk_offset),
             (rb[0].server, rb[0].disk, rb[0].disk_offset)
         );
+    }
+
+    #[test]
+    fn resolve_block_covers_whole_blocks_and_clips_the_tail() {
+        let (m, d) = master_with_dataset();
+        let size = d.total_size().bytes();
+        let block_size = m.layout().block_size;
+        let blocks = m.layout().blocks_for(size);
+        let start = m.dataset_start_block(&d.name).unwrap();
+        let first = m.resolve_block("viz", &d.name, BlockId(start)).unwrap();
+        assert_eq!((first.in_block_offset, first.buffer_offset), (0, 0));
+        assert_eq!(first.len, block_size.min(size));
+        let tail = m.resolve_block("viz", &d.name, BlockId(start + blocks - 1)).unwrap();
+        assert_eq!(tail.len, size - (blocks - 1) * block_size);
+        assert!(m.resolve_block("viz", &d.name, BlockId(start + blocks)).is_err());
+        assert!(m.resolve_block("viz", "missing", BlockId(0)).is_err());
+        assert!(m.dataset_start_block("missing").is_err());
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!
 //! Logical-to-physical resolution stays on the client side (it asks the
 //! in-process master), matching Figure 7 where the master returns the mapping
-//! and the servers only ever see physical block requests.
+//! and the servers only ever see physical block requests.  Serving a request
+//! reads a zero-copy arena slice; the only copy on the service side is the
+//! kernel socket write itself.
 
 use crate::error::DpssError;
 use crate::master::PhysicalBlockRequest;

@@ -71,12 +71,23 @@ pub fn combined_tag_order() -> Vec<&'static str> {
     v
 }
 
+/// DPSS block cache: per-stage (or per-scenario) counter summary.  Emitted
+/// identically by the real pipeline and the virtual-time replay, so the same
+/// analysis reads cache behaviour off either log.
+pub const DPSS_CACHE_STATS: &str = "DPSS_CACHE_STATS";
+
 /// Standard field name: frame (timestep) number.
 pub const FIELD_FRAME: &str = "NL.frame";
 /// Standard field name: payload bytes associated with the event span.
 pub const FIELD_BYTES: &str = "NL.bytes";
 /// Standard field name: back-end PE rank.
 pub const FIELD_RANK: &str = "NL.rank";
+/// Standard field name: block-cache lookups served from the cache.
+pub const FIELD_CACHE_HITS: &str = "NL.cache.hits";
+/// Standard field name: block-cache lookups that fetched from the servers.
+pub const FIELD_CACHE_MISSES: &str = "NL.cache.misses";
+/// Standard field name: block-cache entries evicted to make room.
+pub const FIELD_CACHE_EVICTIONS: &str = "NL.cache.evictions";
 
 #[cfg(test)]
 mod tests {

@@ -79,8 +79,10 @@ pub enum SceneNode {
     },
     /// A set of line segments with one colour — the AMR grid geometry.
     Lines {
-        /// Segment endpoints.
-        segments: Vec<([f32; 3], [f32; 3])>,
+        /// Segment endpoints, shared with the payload that delivered them
+        /// (updating the scene graph bumps a refcount instead of copying the
+        /// geometry every frame).
+        segments: std::sync::Arc<Vec<([f32; 3], [f32; 3])>>,
         /// RGBA colour.
         color: [f32; 4],
     },
@@ -157,7 +159,7 @@ mod tests {
         };
         assert_eq!(node.payload_bytes(), 64 * 64 * 4);
         let lines = SceneNode::Lines {
-            segments: vec![([0.0; 3], [1.0; 3]); 10],
+            segments: std::sync::Arc::new(vec![([0.0; 3], [1.0; 3]); 10]),
             color: [1.0, 1.0, 1.0, 1.0],
         };
         assert_eq!(lines.payload_bytes(), 240);

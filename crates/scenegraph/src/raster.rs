@@ -348,7 +348,7 @@ mod tests {
     #[test]
     fn lines_are_drawn() {
         let node = SceneNode::Lines {
-            segments: vec![([0.0, 0.0, 31.5], [63.0, 63.0, 31.5])],
+            segments: std::sync::Arc::new(vec![([0.0, 0.0, 31.5], [63.0, 63.0, 31.5])]),
             color: [0.0, 1.0, 0.0, 1.0],
         };
         let r = Rasterizer::new(&ViewOrientation::axis_aligned(), framing());

@@ -1,0 +1,128 @@
+//! Criterion bench: the zero-copy data plane and the sharded block cache.
+//!
+//! Measures `read_range` cold (every block fetched from the servers) against
+//! `read_range` warm (every block served from the sharded LRU cache), plus
+//! the legacy copying `read_at` path for reference — the microbenchmark
+//! behind the PR's "cache hits are refcount bumps, not transfers" claim.
+//!
+//! Besides the criterion output, a custom `main` writes a
+//! `target/BENCH_cache.json` baseline (median seconds per op and derived
+//! MB/s for each case) so successive runs can be diffed mechanically.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use dpss::{BlockCache, CacheConfig, DatasetDescriptor, DpssClient, DpssCluster, StripeLayout};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn populated_cluster() -> (DpssCluster, DatasetDescriptor) {
+    let cluster = DpssCluster::new(StripeLayout::four_server());
+    let descriptor = DatasetDescriptor::new("bench-cache", (64, 64, 32), 4, 4);
+    cluster.register_dataset(descriptor.clone());
+    let loader = DpssClient::new(cluster.clone(), "loader");
+    let data: Vec<u8> = (0..descriptor.total_size().bytes()).map(|i| (i % 251) as u8).collect();
+    loader.write_at("bench-cache", 0, &data).unwrap();
+    (cluster, descriptor)
+}
+
+fn cached_client(cluster: &DpssCluster) -> DpssClient {
+    DpssClient::new(cluster.clone(), "viz").with_cache(Arc::new(BlockCache::new(CacheConfig::new(256, 8))))
+}
+
+fn bench_cached_vs_uncached(c: &mut Criterion) {
+    let (cluster, descriptor) = populated_cluster();
+    let len = descriptor.bytes_per_timestep().bytes();
+    let mut group = c.benchmark_group("cache_read_range");
+    group.throughput(Throughput::Bytes(len));
+
+    let uncached = DpssClient::new(cluster.clone(), "viz");
+    group.bench_with_input(BenchmarkId::from_parameter("uncached"), &len, |b, &len| {
+        b.iter(|| black_box(uncached.read_range("bench-cache", 0, len).unwrap()));
+    });
+
+    let warm = cached_client(&cluster);
+    warm.read_range("bench-cache", 0, len).unwrap(); // fill
+    group.bench_with_input(BenchmarkId::from_parameter("cached-warm"), &len, |b, &len| {
+        b.iter(|| black_box(warm.read_range("bench-cache", 0, len).unwrap()));
+    });
+
+    let legacy = DpssClient::new(cluster, "viz");
+    group.bench_with_input(BenchmarkId::from_parameter("legacy-read-at"), &len, |b, &len| {
+        let mut buf = vec![0u8; len as usize];
+        b.iter(|| {
+            legacy.read_at("bench-cache", 0, &mut buf).unwrap();
+            black_box(buf[0]);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cached_vs_uncached);
+
+/// Median seconds per call of `f` over `samples` timed calls.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn write_baseline() {
+    let (cluster, descriptor) = populated_cluster();
+    let len = descriptor.bytes_per_timestep().bytes();
+    let samples = 30;
+
+    let uncached = DpssClient::new(cluster.clone(), "viz");
+    let uncached_s = median_secs(samples, || {
+        black_box(uncached.read_range("bench-cache", 0, len).unwrap());
+    });
+    let warm = cached_client(&cluster);
+    warm.read_range("bench-cache", 0, len).unwrap();
+    let warm_s = median_secs(samples, || {
+        black_box(warm.read_range("bench-cache", 0, len).unwrap());
+    });
+    let legacy = DpssClient::new(cluster, "viz");
+    let mut buf = vec![0u8; len as usize];
+    let legacy_s = median_secs(samples, || {
+        legacy.read_at("bench-cache", 0, &mut buf).unwrap();
+        black_box(buf[0]);
+    });
+
+    let mbps = |s: f64| len as f64 / s / 1e6;
+    let json = format!(
+        "{{\n  \"bench\": \"cache_read_range\",\n  \"bytes_per_op\": {len},\n  \"samples\": {samples},\n  \"cases\": {{\n    \"uncached\": {{ \"median_s\": {uncached_s:.9}, \"mbytes_per_s\": {:.1} }},\n    \"cached_warm\": {{ \"median_s\": {warm_s:.9}, \"mbytes_per_s\": {:.1} }},\n    \"legacy_read_at\": {{ \"median_s\": {legacy_s:.9}, \"mbytes_per_s\": {:.1} }}\n  }},\n  \"warm_speedup_vs_uncached\": {:.2}\n}}\n",
+        mbps(uncached_s),
+        mbps(warm_s),
+        mbps(legacy_s),
+        uncached_s / warm_s,
+    );
+    // Benches run with the package as cwd; resolve the workspace target dir
+    // so the baseline lands next to every other build artifact.
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        });
+    let path = target.join("BENCH_cache.json");
+    if std::fs::create_dir_all(&target).is_ok() && std::fs::write(&path, &json).is_ok() {
+        println!("\nwrote baseline {}:\n{json}", path.display());
+    } else {
+        println!("\nbaseline (target/ not writable):\n{json}");
+    }
+}
+
+fn main() {
+    // `cargo test` runs bench targets with `--test`; do nothing there.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    benches();
+    write_baseline();
+}

@@ -108,8 +108,10 @@ fn render_and_package(config: &PipelineConfig, rank: usize, frame: usize, volume
     let heavy = HeavyPayload {
         frame: frame as u32,
         rank: rank as u32,
-        texture_rgba8: image.to_rgba8(),
-        geometry,
+        // The render output is wrapped into a shared buffer here and never
+        // copied again on its way to the viewer's scene graph.
+        texture_rgba8: image.to_rgba8().into(),
+        geometry: Arc::new(geometry),
     };
     FramePayload { light, heavy }
 }

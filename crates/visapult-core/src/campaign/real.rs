@@ -14,8 +14,8 @@ use crate::data_source::{DataSource, DpssDataSource, SyntheticSource};
 use crate::error::VisapultError;
 use crate::viewer::{Viewer, ViewerConfig, ViewerReport};
 use crossbeam::channel::unbounded;
-use dpss::{DpssClient, DpssCluster, StripeLayout};
-use netlogger::{Collector, EventLog, ProfileAnalysis};
+use dpss::{BlockCache, CacheConfig, CacheStats, DatasetDescriptor, DpssClient, DpssCluster, StripeLayout};
+use netlogger::{tags, Collector, EventLog, ProfileAnalysis};
 use netsim::Bandwidth;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -61,6 +61,58 @@ impl RealCampaignConfig {
     }
 }
 
+/// A persistent DPSS deployment — cluster, staged dataset, optional block
+/// cache — that outlives a single campaign.  The paper's cache holds a
+/// dataset across an entire session while the scientist replays timesteps;
+/// the scenario engine builds one of these per scenario so every stage reads
+/// the same deployment and re-read stages actually hit the cache.
+pub struct RealDpssEnv {
+    cluster: DpssCluster,
+    cache: Option<Arc<BlockCache>>,
+}
+
+impl RealDpssEnv {
+    /// Build a four-server DPSS (the §3.5 deployment), register `dataset`,
+    /// and stage the seeded synthetic combustion series onto it — the
+    /// HPSS→DPSS migration of §3.5, with the generator standing in for HPSS.
+    /// `cache` mounts a sharded block cache in front of the cluster.
+    pub fn stage(dataset: &DatasetDescriptor, seed: u64, cache: Option<CacheConfig>) -> Result<Self, VisapultError> {
+        let cluster = DpssCluster::new(StripeLayout::four_server());
+        cluster.register_dataset(dataset.clone());
+        let stager = DpssClient::new(cluster.clone(), "stager");
+        let bytes = combustion_series_bytes(dataset.dims, dataset.timesteps, seed);
+        stager.write_at(&dataset.name, 0, &bytes)?;
+        Ok(RealDpssEnv {
+            cluster,
+            cache: cache.map(|c| Arc::new(BlockCache::new(c))),
+        })
+    }
+
+    /// The block cache, if one is mounted.
+    pub fn cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Current cache counters (zeros when no cache is mounted).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// A back-end client onto this deployment, instrumented and optionally
+    /// WAN-shaped, with the block cache (if any) mounted.
+    fn client(&self, collector: &Collector, stream_rate_mbps: Option<f64>) -> DpssClient {
+        let mut client = DpssClient::new(self.cluster.clone(), "visapult-backend")
+            .with_logger(collector.logger("dpss-client", "dpss-client"));
+        if let Some(mbps) = stream_rate_mbps {
+            client = client.with_stream_rate(Bandwidth::from_mbps(mbps));
+        }
+        if let Some(cache) = &self.cache {
+            client = client.with_cache(Arc::clone(cache));
+        }
+        client
+    }
+}
+
 /// Everything a real campaign produced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RealCampaignReport {
@@ -68,6 +120,9 @@ pub struct RealCampaignReport {
     pub backend: BackendReport,
     /// Viewer execution summary.
     pub viewer: ViewerReport,
+    /// Block-cache activity during this campaign (zeros when no cache was
+    /// mounted on the data path).
+    pub cache: CacheStats,
     /// The full NetLogger event log.
     pub log: EventLog,
     /// Phase analysis derived from the log.
@@ -88,32 +143,41 @@ impl RealCampaignReport {
     }
 }
 
-/// Run a real campaign to completion.
+/// Run a real campaign to completion, staging a fresh DPSS deployment for
+/// the run (when the data path wants one).
 pub fn run_real_campaign(config: &RealCampaignConfig) -> Result<RealCampaignReport, VisapultError> {
+    let env = match config.data_path {
+        RealDataPath::Dpss { .. } => Some(RealDpssEnv::stage(&config.pipeline.dataset, config.seed, None)?),
+        RealDataPath::Synthetic => None,
+    };
+    run_real_campaign_in_env(config, env.as_ref())
+}
+
+/// Run a real campaign against an existing [`RealDpssEnv`] (required when
+/// the data path is [`RealDataPath::Dpss`]).  The scenario engine stages one
+/// environment per scenario and runs every stage here, so the block cache —
+/// and its hit/miss telemetry — persists across the staged workload mix.
+pub fn run_real_campaign_in_env(
+    config: &RealCampaignConfig,
+    env: Option<&RealDpssEnv>,
+) -> Result<RealCampaignReport, VisapultError> {
     config.pipeline.validate().map_err(VisapultError::Config)?;
     let collector = Collector::wall();
 
     // Build the data source.
-    let source: Arc<dyn DataSource> = match config.data_path {
-        RealDataPath::Synthetic => Arc::new(SyntheticSource::new(config.pipeline.dataset.clone(), config.seed)),
+    let (source, cache_before): (Arc<dyn DataSource>, CacheStats) = match config.data_path {
+        RealDataPath::Synthetic => (
+            Arc::new(SyntheticSource::new(config.pipeline.dataset.clone(), config.seed)),
+            CacheStats::default(),
+        ),
         RealDataPath::Dpss { stream_rate_mbps } => {
-            let cluster = DpssCluster::new(StripeLayout::new(64 * 1024, 4, 5));
-            cluster.register_dataset(config.pipeline.dataset.clone());
-            // Stage the synthetic dataset onto the cache (the HPSS→DPSS
-            // migration of §3.5, with the generator standing in for HPSS).
-            let stager = DpssClient::new(cluster.clone(), "stager");
-            let bytes = combustion_series_bytes(
-                config.pipeline.dataset.dims,
-                config.pipeline.dataset.timesteps,
-                config.seed,
-            );
-            stager.write_at(&config.pipeline.dataset.name, 0, &bytes)?;
-            let mut client = DpssClient::new(cluster, "visapult-backend")
-                .with_logger(collector.logger("dpss-client", "dpss-client"));
-            if let Some(mbps) = stream_rate_mbps {
-                client = client.with_stream_rate(Bandwidth::from_mbps(mbps));
-            }
-            Arc::new(DpssDataSource::new(client, config.pipeline.dataset.clone()))
+            let env =
+                env.ok_or_else(|| VisapultError::Config("a DPSS data path needs a staged RealDpssEnv".to_string()))?;
+            let client = env.client(&collector, stream_rate_mbps);
+            (
+                Arc::new(DpssDataSource::new(client, config.pipeline.dataset.clone())),
+                env.cache_stats(),
+            )
         }
     };
 
@@ -145,11 +209,31 @@ pub fn run_real_campaign(config: &RealCampaignConfig) -> Result<RealCampaignRepo
     let backend = run_backend(&config.pipeline, source, senders, Some(backend_logger))?;
     let viewer_report = viewer_handle.join().expect("viewer thread panicked");
 
+    // Cache activity attributable to this campaign (the env may be shared
+    // across stages, so report the delta).
+    let cache_mounted =
+        matches!(config.data_path, RealDataPath::Dpss { .. }) && env.map(|e| e.cache().is_some()).unwrap_or(false);
+    let cache = match (config.data_path, env) {
+        (RealDataPath::Dpss { .. }, Some(env)) => env.cache_stats().since(&cache_before),
+        _ => CacheStats::default(),
+    };
+    if cache_mounted {
+        collector.logger("dpss-cache", "block-cache").log_with(
+            tags::DPSS_CACHE_STATS,
+            [
+                (tags::FIELD_CACHE_HITS, cache.hits),
+                (tags::FIELD_CACHE_MISSES, cache.misses),
+                (tags::FIELD_CACHE_EVICTIONS, cache.evictions),
+            ],
+        );
+    }
+
     let log = collector.finish();
     let analysis = ProfileAnalysis::from_log(&log);
     Ok(RealCampaignReport {
         backend,
         viewer: viewer_report,
+        cache,
         log,
         analysis,
     })
@@ -198,6 +282,51 @@ mod tests {
         // Same final image regardless of execution mode.
         let diff = serial.viewer.final_image.mean_abs_diff(&overlapped.viewer.final_image);
         assert!(diff < 1e-4, "serial and overlapped campaigns diverged: {diff}");
+    }
+
+    #[test]
+    fn shared_env_keeps_the_cache_warm_across_campaigns() {
+        let config = small_config(
+            2,
+            2,
+            ExecutionMode::Serial,
+            RealDataPath::Dpss { stream_rate_mbps: None },
+        );
+        let env = RealDpssEnv::stage(&config.pipeline.dataset, 42, Some(dpss::CacheConfig::new(512, 4))).unwrap();
+        let first = run_real_campaign_in_env(&config, Some(&env)).unwrap();
+        assert!(first.cache.misses > 0, "cold run fills the cache");
+        // The 80×32×32 slabs straddle block boundaries, so adjacent PEs race
+        // for the shared boundary block; single-flight turns the loser's
+        // fetch into a hit even on the cold run.
+        assert!(first.cache.hits < first.cache.misses);
+        // Replaying the same stage against the same env is all hits.
+        let second = run_real_campaign_in_env(&config, Some(&env)).unwrap();
+        assert_eq!(second.cache.misses, 0, "warm run must not refetch");
+        assert_eq!(
+            second.cache.hits,
+            first.cache.hits + first.cache.misses,
+            "every access of the replay hits"
+        );
+        assert_eq!(second.log.with_tag(tags::DPSS_CACHE_STATS).count(), 1);
+        // Same pixels either way: the cache is transparent.
+        assert_eq!(
+            first.viewer.final_image.to_rgba8(),
+            second.viewer.final_image.to_rgba8()
+        );
+    }
+
+    #[test]
+    fn dpss_path_without_an_env_is_rejected() {
+        let config = small_config(
+            2,
+            2,
+            ExecutionMode::Serial,
+            RealDataPath::Dpss { stream_rate_mbps: None },
+        );
+        assert!(matches!(
+            run_real_campaign_in_env(&config, None),
+            Err(VisapultError::Config(_))
+        ));
     }
 
     #[test]

@@ -30,13 +30,13 @@
 //! compiled in via [`ScenarioSpec::bundled`]): `quickstart_lan`,
 //! `combustion_corridor_oc12`, and `sc99_exhibit`.
 
-use crate::campaign::real::{run_real_campaign, RealCampaignConfig, RealDataPath};
+use crate::campaign::real::{run_real_campaign_in_env, RealCampaignConfig, RealDataPath, RealDpssEnv};
 use crate::campaign::sim::{run_sim_campaign, SimCampaignConfig, DEFAULT_WAN_EFFICIENCY};
 use crate::config::{ExecutionMode, PipelineConfig};
 use crate::error::VisapultError;
 use crate::platform::ComputePlatform;
-use dpss::{DatasetDescriptor, DpssSimModel};
-use netlogger::{Event, EventLog};
+use dpss::{BlockCache, CacheConfig, CacheStats, DatasetDescriptor, DpssSimModel, StripeLayout};
+use netlogger::{tags, Event, EventLog, FieldValue};
 use netsim::{Testbed, TestbedKind};
 use serde::{Deserialize, Serialize};
 use volren::{Axis, RenderSettings, TransferFunction};
@@ -187,6 +187,19 @@ pub struct RealPathSpec {
     pub viewer_image: Option<(usize, usize)>,
 }
 
+/// `[cache]` — the sharded DPSS block cache between the client and the
+/// cluster.  Present means enabled; both execution paths then report the
+/// same cache telemetry (the real path from the live cache, the virtual-time
+/// path by replaying the identical block access sequence against the same
+/// eviction logic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSpec {
+    /// Capacity in 64 KB logical blocks (defaults to 4096 ≈ 256 MB).
+    pub capacity_blocks: Option<usize>,
+    /// Number of independently locked shards (defaults to 8).
+    pub shards: Option<usize>,
+}
+
 /// `[sim]` — tuning that only applies on the virtual-time path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimPathSpec {
@@ -226,13 +239,16 @@ pub struct ScenarioSpec {
     pub real: Option<RealPathSpec>,
     /// Virtual-time tuning (optional).
     pub sim: Option<SimPathSpec>,
+    /// Block cache between the DPSS client and the cluster (optional;
+    /// omitted means no cache, matching the seed's behaviour).
+    pub cache: Option<CacheSpec>,
     /// Staged workload mix (optional; one full-budget stage by default).
     pub stages: Option<Vec<StageSpec>>,
 }
 
 /// The bundled scenario specs shipped in `scenarios/` at the repo root,
 /// compiled into the crate so binaries need no working directory.
-const BUNDLED: [(&str, &str); 3] = [
+const BUNDLED: [(&str, &str); 4] = [
     (
         "quickstart_lan",
         include_str!("../../../../scenarios/quickstart_lan.toml"),
@@ -242,6 +258,7 @@ const BUNDLED: [(&str, &str); 3] = [
         include_str!("../../../../scenarios/combustion_corridor_oc12.toml"),
     ),
     ("sc99_exhibit", include_str!("../../../../scenarios/sc99_exhibit.toml")),
+    ("cache_stress", include_str!("../../../../scenarios/cache_stress.toml")),
 ];
 
 impl ScenarioSpec {
@@ -324,6 +341,7 @@ impl ScenarioSpec {
                 app_efficiency: Some(if kind == TestbedKind::Sc99Cplant { 0.56 } else { 1.0 }),
                 wan_efficiency: None,
             }),
+            cache: None,
             stages: if stages.is_empty() { None } else { Some(stages) },
         }
     }
@@ -437,6 +455,26 @@ impl ScenarioSpec {
             }
         }
 
+        let cache = match &self.cache {
+            None => None,
+            Some(spec) => {
+                if self.real.as_ref().and_then(|r| r.use_dpss) == Some(false) {
+                    return Err(bad(
+                        "a [cache] table requires the DPSS data path (real.use_dpss = true)".to_string(),
+                    ));
+                }
+                let capacity = spec.capacity_blocks.unwrap_or(4096);
+                let shards = spec.shards.unwrap_or(8);
+                if capacity == 0 {
+                    return Err(bad("cache capacity_blocks must be positive".to_string()));
+                }
+                if shards == 0 {
+                    return Err(bad("cache shards must be positive".to_string()));
+                }
+                Some(CacheConfig::new(capacity, shards))
+            }
+        };
+
         let platform = self
             .testbed
             .platform
@@ -465,6 +503,7 @@ impl ScenarioSpec {
                 app_efficiency: None,
                 wan_efficiency: None,
             }),
+            cache,
         })
     }
 }
@@ -511,6 +550,8 @@ pub struct ResolvedScenario {
     pub real: RealPathSpec,
     /// Virtual-time tuning.
     pub sim: SimPathSpec,
+    /// Block-cache configuration (None = no cache).
+    pub cache: Option<CacheConfig>,
 }
 
 impl ResolvedScenario {
@@ -578,6 +619,46 @@ impl ResolvedScenario {
             seed: self.stage_seed(stage_index),
         }
     }
+
+    /// The dataset the persistent DPSS deployment stages: named and sized so
+    /// that every stage's reads (frames `0..stage.timesteps`) land inside it.
+    pub fn staged_dataset(&self) -> DatasetDescriptor {
+        let max_steps = self.stages.iter().map(|s| s.timesteps).max().unwrap_or(1);
+        DatasetDescriptor::new(self.dataset_name.clone(), self.dims, 4, max_steps)
+    }
+
+    /// Build the scenario's persistent DPSS environment (cluster + staged
+    /// data + block cache), shared by every real-path stage.  `None` when the
+    /// scenario reads synthetic data directly.
+    pub fn build_real_env(&self) -> Result<Option<RealDpssEnv>, VisapultError> {
+        match self.real_data_path() {
+            RealDataPath::Synthetic => Ok(None),
+            RealDataPath::Dpss { .. } => RealDpssEnv::stage(&self.staged_dataset(), self.seed, self.cache).map(Some),
+        }
+    }
+
+    /// Replay one stage's exact block access sequence — every PE's Z-slab
+    /// range of every frame, split by the four-server striping layout —
+    /// against `cache`, returning the per-stage counter delta.  This is how
+    /// the virtual-time path reports cache telemetry identical to the real
+    /// pipeline: same layout, same ranges, same LRU, no bytes.
+    pub fn replay_stage_cache(&self, stage: &ResolvedStage, cache: Option<&BlockCache>) -> CacheStats {
+        let Some(cache) = cache else {
+            return CacheStats::default();
+        };
+        let before = cache.stats();
+        let layout = StripeLayout::four_server();
+        let dataset = self.staged_dataset();
+        for frame in 0..stage.timesteps {
+            for pe in 0..self.pes {
+                let (offset, len) = dataset.z_slab_range(frame, pe, self.pes);
+                for (block, _, _) in layout.split_range(offset, len) {
+                    cache.record(block);
+                }
+            }
+        }
+        cache.stats().since(&before)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -610,6 +691,10 @@ pub struct StageMetrics {
     /// FNV-1a hash of the viewer's final composite (real path; 0 in virtual
     /// time, which renders no pixels).
     pub image_hash: u64,
+    /// Block-cache activity during this stage (zeros when no cache is
+    /// configured).  Identical between the real and virtual-time paths for
+    /// the same spec whenever the capacity holds the working set.
+    pub cache: CacheStats,
 }
 
 /// One stage's outcome inside a [`CampaignReport`].
@@ -627,6 +712,24 @@ pub struct StageReport {
     pub metrics: StageMetrics,
 }
 
+/// Summary of the block cache across a whole campaign: the configuration it
+/// ran with and the summed per-stage counters.  Covered by the replay
+/// fingerprint, so a cache-config change is a fingerprint change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// The cache configuration the scenario resolved to.
+    pub config: CacheConfig,
+    /// Counters summed across every stage.
+    pub totals: CacheStats,
+}
+
+impl CacheReport {
+    /// Campaign-wide hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        self.totals.hit_rate()
+    }
+}
+
 /// Everything a scenario run produced, whichever path executed it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignReport {
@@ -638,6 +741,8 @@ pub struct CampaignReport {
     pub seed: u64,
     /// Per-stage results, in execution order.
     pub stages: Vec<StageReport>,
+    /// Block-cache configuration and totals (None when no cache configured).
+    pub cache: Option<CacheReport>,
     /// The merged NetLogger log across all stages, on one time axis.
     pub log: EventLog,
 }
@@ -671,6 +776,11 @@ impl CampaignReport {
     /// Total viewer-link bytes across stages.
     pub fn wire_bytes(&self) -> u64 {
         self.stages.iter().map(|s| s.metrics.wire_bytes).sum()
+    }
+
+    /// Campaign-wide cache hit rate (0 when no cache is configured).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.map(|c| c.hit_rate()).unwrap_or(0.0)
     }
 
     /// Cache-to-viewer data reduction across the whole campaign (the
@@ -709,6 +819,24 @@ impl CampaignReport {
             fnv1a(&mut h, &s.metrics.bytes_loaded.to_le_bytes());
             fnv1a(&mut h, &s.metrics.wire_bytes.to_le_bytes());
             fnv1a(&mut h, &s.metrics.image_hash.to_le_bytes());
+            fnv1a(&mut h, &s.metrics.cache.hits.to_le_bytes());
+            fnv1a(&mut h, &s.metrics.cache.misses.to_le_bytes());
+            fnv1a(&mut h, &s.metrics.cache.evictions.to_le_bytes());
+        }
+        // The cache configuration and totals are part of the replayable
+        // identity of a run: changing the capacity or sharding must change
+        // the fingerprint even if frame counts happen to coincide.
+        if let Some(c) = &self.cache {
+            fnv1a(&mut h, b"cache");
+            for v in [
+                c.config.capacity_blocks as u64,
+                c.config.shards as u64,
+                c.totals.hits,
+                c.totals.misses,
+                c.totals.evictions,
+            ] {
+                fnv1a(&mut h, &v.to_le_bytes());
+            }
         }
         // Event multiset, order-independent: sort rendered lines first.
         let deterministic_times = self.path == ExecutionPath::VirtualTime;
@@ -768,6 +896,17 @@ impl CampaignReport {
                 s.metrics.seconds_per_timestep,
             ));
         }
+        if let Some(c) = &self.cache {
+            out.push_str(&format!(
+                "cache: {} blocks x {} shards — {} hits / {} misses / {} evictions ({:.1}% hit rate)\n",
+                c.config.capacity_blocks,
+                c.config.shards,
+                c.totals.hits,
+                c.totals.misses,
+                c.totals.evictions,
+                c.hit_rate() * 100.0,
+            ));
+        }
         out
     }
 }
@@ -807,11 +946,30 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
     let mut merged = EventLog::new();
     let mut offset = 0.0;
 
+    // The persistent data plane: one DPSS deployment (and one block cache)
+    // per scenario, not per stage — re-read stages hit the cache exactly as
+    // the paper's replayed-timestep sessions would.  The virtual-time path
+    // mirrors it with a telemetry-only cache fed the same access sequence.
+    let real_env = match resolved.path {
+        ExecutionPath::Real => resolved.build_real_env()?,
+        ExecutionPath::VirtualTime => None,
+    };
+    let sim_cache = match resolved.path {
+        // Only replay cache telemetry for scenarios whose real counterpart
+        // would actually mount the cache (a DPSS data path), so the two
+        // paths always report the same numbers.
+        ExecutionPath::VirtualTime if matches!(resolved.real_data_path(), RealDataPath::Dpss { .. }) => {
+            resolved.cache.map(BlockCache::new)
+        }
+        _ => None,
+    };
+    let mut cache_totals = CacheStats::default();
+
     for (i, stage) in resolved.stages.iter().enumerate() {
         let (metrics, log) = match resolved.path {
             ExecutionPath::Real => {
                 let config = resolved.stage_real_config(stage, i);
-                let report = run_real_campaign(&config)?;
+                let report = run_real_campaign_in_env(&config, real_env.as_ref())?;
                 let analysis = &report.analysis;
                 let elapsed = report.backend.elapsed.as_secs_f64();
                 let frame_bytes = config.pipeline.dataset.bytes_per_timestep().bytes();
@@ -831,12 +989,14 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
                     bytes_loaded: report.backend.total_bytes_loaded(),
                     wire_bytes: report.backend.total_wire_bytes(),
                     image_hash: hash_image(&report.viewer.final_image.to_rgba8()),
+                    cache: report.cache,
                 };
                 (metrics, report.log)
             }
             ExecutionPath::VirtualTime => {
                 let config = resolved.stage_sim_config(stage, i);
                 let report = run_sim_campaign(&config)?;
+                let cache_delta = resolved.replay_stage_cache(stage, sim_cache.as_ref());
                 let frame_bytes = config.pipeline.dataset.bytes_per_timestep().bytes();
                 // The sizing the virtual-time send-time model itself uses.
                 let wire_per_frame = config.pipeline.viewer_payload_bytes_per_pe() * resolved.pes as u64;
@@ -852,10 +1012,32 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
                     bytes_loaded: frame_bytes * stage.timesteps as u64,
                     wire_bytes: wire_per_frame * stage.timesteps as u64,
                     image_hash: 0,
+                    cache: cache_delta,
                 };
-                (metrics, report.log)
+                let mut log = report.log;
+                if sim_cache.is_some() {
+                    // Mirror the real path's per-stage cache summary event so
+                    // the same NetLogger analysis reads either log.
+                    log.merge(EventLog::from_events(vec![Event::new(
+                        report.total_time,
+                        "dpss-cache",
+                        "block-cache",
+                        tags::DPSS_CACHE_STATS,
+                    )
+                    .with_field(tags::FIELD_CACHE_HITS, FieldValue::Int(cache_delta.hits as i64))
+                    .with_field(tags::FIELD_CACHE_MISSES, FieldValue::Int(cache_delta.misses as i64))
+                    .with_field(
+                        tags::FIELD_CACHE_EVICTIONS,
+                        FieldValue::Int(cache_delta.evictions as i64),
+                    )]));
+                }
+                (metrics, log)
             }
         };
+        cache_totals.hits += metrics.cache.hits;
+        cache_totals.misses += metrics.cache.misses;
+        cache_totals.evictions += metrics.cache.evictions;
+        cache_totals.entries = metrics.cache.entries;
         merged.merge(shift_log(&log, offset));
         offset += metrics.total_time;
         stages.push(StageReport {
@@ -867,11 +1049,16 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
         });
     }
 
+    let cache = resolved.cache.map(|config| CacheReport {
+        config,
+        totals: cache_totals,
+    });
     Ok(CampaignReport {
         scenario: resolved.name,
         path: resolved.path,
         seed: resolved.seed,
         stages,
+        cache,
         log: merged,
     })
 }
@@ -903,6 +1090,7 @@ mod tests {
             render: None,
             real: None,
             sim: None,
+            cache: None,
             stages: None,
         }
     }
@@ -1109,6 +1297,122 @@ execution = "serial"
             "second stage events must land after the first"
         );
         assert!(report.to_table().contains("overlapped-sustained"));
+    }
+
+    fn cached_spec(path: ExecutionPath) -> ScenarioSpec {
+        let mut spec = minimal_spec(path);
+        // Block-aligned slabs: 64×64×32 floats = 8 blocks/timestep, 2 blocks
+        // per slab at 4 PEs, so hit/miss counts are exact in both paths.
+        spec.dataset = Some(DatasetSpec {
+            dims: Some((64, 64, 32)),
+            name: None,
+        });
+        spec.pipeline.pes = 4;
+        spec.pipeline.timesteps = 6;
+        spec.cache = Some(CacheSpec {
+            capacity_blocks: Some(64),
+            shards: Some(4),
+        });
+        spec.stages = Some(vec![
+            StageSpec {
+                name: "first-pass".to_string(),
+                share: 50.0,
+                execution: None,
+            },
+            StageSpec {
+                name: "replay".to_string(),
+                share: 50.0,
+                execution: None,
+            },
+        ]);
+        spec
+    }
+
+    #[test]
+    fn real_and_sim_report_identical_cache_telemetry() {
+        let real = run_scenario(&cached_spec(ExecutionPath::Real)).unwrap();
+        let sim = run_scenario(&cached_spec(ExecutionPath::VirtualTime)).unwrap();
+        let (rc, sc) = (real.cache.unwrap(), sim.cache.unwrap());
+        assert_eq!(rc, sc, "cache telemetry must match across paths");
+        // Stage 1 is all misses (cold), stage 2 all hits (same frames replayed
+        // against the persistent environment): 3 steps × 8 blocks each way.
+        assert_eq!(rc.totals.misses, 24);
+        assert_eq!(rc.totals.hits, 24);
+        assert_eq!(rc.totals.evictions, 0);
+        assert!(real.cache_hit_rate() > 0.49 && real.cache_hit_rate() < 0.51);
+        for (r, s) in real.stages.iter().zip(&sim.stages) {
+            assert_eq!(r.metrics.cache, s.metrics.cache, "stage {}", r.name);
+        }
+        // Both logs carry the per-stage cache summary events.
+        assert_eq!(real.log.with_tag(tags::DPSS_CACHE_STATS).count(), 2);
+        assert_eq!(sim.log.with_tag(tags::DPSS_CACHE_STATS).count(), 2);
+    }
+
+    #[test]
+    fn fingerprint_covers_cache_config_and_telemetry() {
+        let base = run_scenario(&cached_spec(ExecutionPath::VirtualTime)).unwrap();
+        // Same spec, same fingerprint.
+        let again = run_scenario(&cached_spec(ExecutionPath::VirtualTime)).unwrap();
+        assert_eq!(base.replay_fingerprint(), again.replay_fingerprint());
+        // Shrinking the cache (evictions appear) changes the fingerprint.
+        let mut small = cached_spec(ExecutionPath::VirtualTime);
+        small.cache = Some(CacheSpec {
+            capacity_blocks: Some(4),
+            shards: Some(1),
+        });
+        let evicting = run_scenario(&small).unwrap();
+        assert_ne!(base.replay_fingerprint(), evicting.replay_fingerprint());
+        assert!(evicting.cache.unwrap().totals.evictions > 0);
+        // Even a capacity change that leaves the counters identical is a
+        // fingerprint change (the config itself is covered).
+        let mut bigger = cached_spec(ExecutionPath::VirtualTime);
+        bigger.cache = Some(CacheSpec {
+            capacity_blocks: Some(128),
+            shards: Some(4),
+        });
+        let bigger_report = run_scenario(&bigger).unwrap();
+        assert_eq!(
+            bigger_report.cache.unwrap().totals,
+            base.cache.unwrap().totals,
+            "64 blocks already hold the working set"
+        );
+        assert_ne!(base.replay_fingerprint(), bigger_report.replay_fingerprint());
+    }
+
+    #[test]
+    fn uncached_scenarios_report_no_cache_section() {
+        let report = run_scenario(&minimal_spec(ExecutionPath::VirtualTime)).unwrap();
+        assert!(report.cache.is_none());
+        assert_eq!(report.cache_hit_rate(), 0.0);
+        assert!(report.stages.iter().all(|s| s.metrics.cache == CacheStats::default()));
+    }
+
+    #[test]
+    fn invalid_cache_specs_are_rejected() {
+        for (cap, shards) in [(Some(0), None), (None, Some(0))] {
+            let mut spec = minimal_spec(ExecutionPath::VirtualTime);
+            spec.cache = Some(CacheSpec {
+                capacity_blocks: cap,
+                shards,
+            });
+            let err = spec.resolve().unwrap_err();
+            assert!(err.to_string().contains("cache"), "{err}");
+        }
+        // A cache on a synthetic (no-DPSS) data path would silently never
+        // take effect; reject it up front.
+        let mut spec = minimal_spec(ExecutionPath::Real);
+        spec.real = Some(RealPathSpec {
+            use_dpss: Some(false),
+            stream_rate_mbps: None,
+            emulate_wan: None,
+            viewer_image: None,
+        });
+        spec.cache = Some(CacheSpec {
+            capacity_blocks: None,
+            shards: None,
+        });
+        let err = spec.resolve().unwrap_err();
+        assert!(err.to_string().contains("use_dpss"), "{err}");
     }
 
     #[test]

@@ -39,8 +39,12 @@ pub fn slab_origin(descriptor: &DatasetDescriptor, pe: usize, total_pes: usize) 
 }
 
 /// A data source backed by the DPSS client API: each slab load is a
-/// block-level `read_at` of exactly the slab's byte range, which is the
-/// access pattern the cache exists to serve.
+/// block-level `read_range` of exactly the slab's byte range, which is the
+/// access pattern the cache exists to serve.  The range comes back as a
+/// shared `Block` — zero-copy straight out of the server arenas (or the
+/// block cache) when the slab doesn't straddle block boundaries — and the
+/// only transformation after that is the little-endian float decode into the
+/// render volume.
 pub struct DpssDataSource {
     client: DpssClient,
     descriptor: DatasetDescriptor,
@@ -52,6 +56,19 @@ impl DpssDataSource {
     pub fn new(client: DpssClient, descriptor: DatasetDescriptor) -> Self {
         DpssDataSource { client, descriptor }
     }
+
+    /// The raw bytes of one slab, as the shared buffer the zero-copy plane
+    /// produced (exposed for tests and tooling that want the bytes without
+    /// the float decode).
+    pub fn slab_bytes_shared(
+        &self,
+        timestep: usize,
+        pe: usize,
+        total_pes: usize,
+    ) -> Result<dpss::Block, VisapultError> {
+        let (offset, len) = self.descriptor.z_slab_range(timestep, pe, total_pes);
+        Ok(self.client.read_range(&self.descriptor.name, offset, len)?)
+    }
 }
 
 impl DataSource for DpssDataSource {
@@ -60,11 +77,9 @@ impl DataSource for DpssDataSource {
     }
 
     fn load_slab(&self, timestep: usize, pe: usize, total_pes: usize) -> Result<Volume, VisapultError> {
-        let (offset, len) = self.descriptor.z_slab_range(timestep, pe, total_pes);
-        let mut buf = vec![0u8; len as usize];
-        self.client.read_at(&self.descriptor.name, offset, &mut buf)?;
+        let bytes = self.slab_bytes_shared(timestep, pe, total_pes)?;
         let dims = slab_dims(&self.descriptor, pe, total_pes);
-        Ok(Volume::from_le_bytes(dims, &buf))
+        Ok(Volume::from_le_bytes(dims, &bytes))
     }
 }
 

@@ -39,9 +39,12 @@ pub mod protocol;
 pub mod viewer;
 
 pub use baseline::{StrategyBandwidth, VisualizationStrategy};
-pub use campaign::real::{run_real_campaign, RealCampaignConfig, RealCampaignReport};
+pub use campaign::real::{
+    run_real_campaign, run_real_campaign_in_env, RealCampaignConfig, RealCampaignReport, RealDpssEnv,
+};
 pub use campaign::scenario::{
-    run_scenario, CampaignReport, ExecutionPath, PlatformSpec, ScenarioSpec, StageReport, StageSpec,
+    run_scenario, CacheReport, CacheSpec, CampaignReport, ExecutionPath, PlatformSpec, ScenarioSpec, StageReport,
+    StageSpec,
 };
 pub use campaign::sim::{run_sim_campaign, SimCampaignConfig, SimCampaignReport};
 pub use config::{ExecutionMode, PipelineConfig};

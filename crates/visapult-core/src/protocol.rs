@@ -12,9 +12,10 @@
 //! and over real TCP sockets (via [`write_frame`]/[`read_frame`]).
 
 use crate::error::VisapultError;
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// Protocol magic word ("VSPL").
 pub const MAGIC: u32 = 0x5653_504c;
@@ -54,16 +55,21 @@ impl LightPayload {
 }
 
 /// The visualization data itself: the rendered slab texture and any geometry.
+///
+/// Both members are shared: the texture is a refcounted [`Bytes`] buffer and
+/// the geometry an `Arc`'d segment list, so a frame payload moves from the
+/// back-end render loop through the per-PE channel into the viewer's scene
+/// graph without its bytes ever being memcpy'd.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HeavyPayload {
     /// Timestep number.
     pub frame: u32,
     /// Sending PE rank.
     pub rank: u32,
-    /// RGBA8 texture bytes (`texture_width × texture_height × 4`).
-    pub texture_rgba8: Vec<u8>,
-    /// AMR grid line segments in model coordinates.
-    pub geometry: Vec<([f32; 3], [f32; 3])>,
+    /// RGBA8 texture bytes (`texture_width × texture_height × 4`), shared.
+    pub texture_rgba8: Bytes,
+    /// AMR grid line segments in model coordinates, shared.
+    pub geometry: Arc<Vec<([f32; 3], [f32; 3])>>,
 }
 
 impl HeavyPayload {
@@ -122,7 +128,7 @@ pub fn encode_heavy(p: &HeavyPayload) -> Vec<u8> {
     body.put_u32(p.texture_rgba8.len() as u32);
     body.put_slice(&p.texture_rgba8);
     body.put_u32(p.geometry.len() as u32);
-    for (a, b) in &p.geometry {
+    for (a, b) in p.geometry.iter() {
         put_vec3(&mut body, *a);
         put_vec3(&mut body, *b);
     }
@@ -162,8 +168,22 @@ pub fn decode_light(msg: &[u8]) -> Result<LightPayload, VisapultError> {
     })
 }
 
-/// Decode a heavy payload from a full message (header included).
+/// Decode a heavy payload from a full message (header included), copying the
+/// texture out of the message buffer.  When the message already lives in a
+/// shared [`Bytes`] buffer, prefer [`decode_heavy_shared`], which slices the
+/// texture zero-copy instead.
 pub fn decode_heavy(msg: &[u8]) -> Result<HeavyPayload, VisapultError> {
+    decode_heavy_inner(msg, |start, len| Bytes::from(msg[start..start + len].to_vec()))
+}
+
+/// Decode a heavy payload from a shared message buffer.  The returned
+/// payload's texture is an O(1) slice of `msg` — the raw pixel data read off
+/// the socket is never copied again.
+pub fn decode_heavy_shared(msg: &Bytes) -> Result<HeavyPayload, VisapultError> {
+    decode_heavy_inner(msg, |start, len| msg.slice(start..start + len))
+}
+
+fn decode_heavy_inner(msg: &[u8], texture: impl FnOnce(usize, usize) -> Bytes) -> Result<HeavyPayload, VisapultError> {
     let (msg_type, mut body) = split_message(msg)?;
     if msg_type != TYPE_HEAVY {
         return Err(VisapultError::Protocol(format!(
@@ -179,7 +199,13 @@ pub fn decode_heavy(msg: &[u8]) -> Result<HeavyPayload, VisapultError> {
     if body.remaining() < tex_len {
         return Err(VisapultError::Protocol("heavy payload texture truncated".to_string()));
     }
-    let texture_rgba8 = body.copy_to_bytes(tex_len).to_vec();
+    // Hand the extractor the texture's absolute position in `msg` (derived
+    // from how far the body cursor has advanced, so there is exactly one
+    // source of truth for the layout) and a shared message buffer can be
+    // sliced in place.
+    let tex_start = body.as_ptr() as usize - msg.as_ptr() as usize;
+    let texture_rgba8 = texture(tex_start, tex_len);
+    let mut body = &body[tex_len..];
     if body.remaining() < 4 {
         return Err(VisapultError::Protocol(
             "heavy payload geometry count missing".to_string(),
@@ -197,7 +223,7 @@ pub fn decode_heavy(msg: &[u8]) -> Result<HeavyPayload, VisapultError> {
         frame,
         rank,
         texture_rgba8,
-        geometry,
+        geometry: Arc::new(geometry),
     })
 }
 
@@ -230,8 +256,9 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &FramePayload) -> Result<(), Visa
     Ok(())
 }
 
-/// Read one complete message (header + body) from a byte stream.
-fn read_message<R: Read>(r: &mut R) -> Result<Vec<u8>, VisapultError> {
+/// Read one complete message (header + body) from a byte stream into a
+/// shared buffer, so decoders can slice it zero-copy.
+fn read_message<R: Read>(r: &mut R) -> Result<Bytes, VisapultError> {
     let mut header = [0u8; 9];
     r.read_exact(&mut header)?;
     let mut h = &header[4..];
@@ -241,15 +268,16 @@ fn read_message<R: Read>(r: &mut R) -> Result<Vec<u8>, VisapultError> {
     msg.extend_from_slice(&header);
     msg.resize(9 + len, 0);
     r.read_exact(&mut msg[9..])?;
-    Ok(msg)
+    Ok(Bytes::from(msg))
 }
 
-/// Read one frame (light then heavy) from a byte stream.
+/// Read one frame (light then heavy) from a byte stream.  The heavy texture
+/// is decoded as a zero-copy slice of the received message buffer.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<FramePayload, VisapultError> {
     let light_msg = read_message(r)?;
     let light = decode_light(&light_msg)?;
     let heavy_msg = read_message(r)?;
-    let heavy = decode_heavy(&heavy_msg)?;
+    let heavy = decode_heavy_shared(&heavy_msg)?;
     Ok(FramePayload { light, heavy })
 }
 
@@ -273,8 +301,8 @@ mod tests {
             heavy: HeavyPayload {
                 frame: 7,
                 rank: 3,
-                texture_rgba8: (0..8 * 8 * 4).map(|i| (i % 255) as u8).collect(),
-                geometry: vec![([0.0; 3], [1.0, 1.0, 1.0]), ([2.0, 2.0, 2.0], [3.0, 3.0, 3.0])],
+                texture_rgba8: (0..8 * 8 * 4).map(|i| (i % 255) as u8).collect::<Vec<u8>>().into(),
+                geometry: Arc::new(vec![([0.0; 3], [1.0, 1.0, 1.0]), ([2.0, 2.0, 2.0], [3.0, 3.0, 3.0])]),
             },
         }
     }
@@ -296,6 +324,24 @@ mod tests {
         let dec = decode_heavy(&enc).unwrap();
         assert_eq!(dec, f.heavy);
         assert_eq!(f.heavy.payload_bytes(), (8 * 8 * 4 + 2 * 24) as u64);
+    }
+
+    #[test]
+    fn shared_decode_slices_the_texture_zero_copy() {
+        let f = sample_frame();
+        let msg = Bytes::from(encode_heavy(&f.heavy));
+        let before = bytes::deep_copy_count();
+        let dec = decode_heavy_shared(&msg).unwrap();
+        assert_eq!(dec, f.heavy);
+        assert_eq!(
+            bytes::deep_copy_count(),
+            before,
+            "shared decode must not copy the texture"
+        );
+        // The decoded texture literally is a window into the message buffer.
+        assert!(dec.texture_rgba8.ptr_eq(&msg.slice(21..21 + dec.texture_rgba8.len())));
+        // Truncation errors still apply.
+        assert!(decode_heavy_shared(&msg.slice(..msg.len() - 10)).is_err());
     }
 
     #[test]

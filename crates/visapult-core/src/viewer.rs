@@ -126,7 +126,9 @@ impl Viewer {
             scene.update(
                 grid_node,
                 SceneNode::Lines {
-                    segments: payload.heavy.geometry.clone(),
+                    // Refcount bump, not a copy: the scene graph shares the
+                    // payload's segment list.
+                    segments: Arc::clone(&payload.heavy.geometry),
                     color: [0.4, 0.9, 0.4, 0.8],
                 },
             );
@@ -264,8 +266,8 @@ mod tests {
             heavy: HeavyPayload {
                 frame,
                 rank,
-                texture_rgba8: img.to_rgba8(),
-                geometry: vec![([0.0; 3], [31.0, 31.0, 31.0])],
+                texture_rgba8: img.to_rgba8().into(),
+                geometry: Arc::new(vec![([0.0; 3], [31.0, 31.0, 31.0])]),
             },
         }
     }

@@ -9,8 +9,10 @@
 //!
 //! Run with: `cargo run --release --example dpss_cache_tour`
 
+use std::sync::Arc;
 use visapult::dpss::{
-    net::serve_cluster, DatasetDescriptor, DpssClient, DpssCluster, DpssSimModel, HpssArchive, StripeLayout,
+    net::serve_cluster, BlockCache, CacheConfig, DatasetDescriptor, DpssClient, DpssCluster, DpssSimModel, HpssArchive,
+    StripeLayout,
 };
 use visapult::netsim::{Bandwidth, DataSize, Link, LinkKind, SimDuration, TcpConfig, TcpModel};
 use visapult::volren::combustion_series_bytes;
@@ -66,7 +68,38 @@ fn main() {
         tcp_client.stripe_count()
     );
 
-    // 5. Capacity model: the paper's headline numbers.
+    // 5. The zero-copy data plane and the sharded block cache.
+    let (slab_offset, slab_len) = descriptor.z_slab_range(2, 3, 8);
+    let copies_before = bytes::deep_copy_count();
+    let shared = client.read_range(&descriptor.name, slab_offset, slab_len).unwrap();
+    let again = client.read_range(&descriptor.name, slab_offset, slab_len).unwrap();
+    println!(
+        "zero-copy plane: two {} KB read_range calls performed {} deep byte copies{}",
+        shared.len() / 1000,
+        bytes::deep_copy_count() - copies_before,
+        if again.ptr_eq(&shared) {
+            " and share one arena allocation"
+        } else {
+            " (multi-block range: one gather each)"
+        }
+    );
+    let cache = Arc::new(BlockCache::new(CacheConfig::new(256, 4)));
+    let cached = DpssClient::new(cluster.clone(), "visapult-backend").with_cache(Arc::clone(&cache));
+    for _playback in 0..3 {
+        cached
+            .read_range(&descriptor.name, 0, descriptor.bytes_per_timestep().bytes())
+            .unwrap();
+    }
+    let stats = cache.stats();
+    println!(
+        "block cache: 3 playback passes -> {} hits / {} misses / {} evictions ({:.0}% hit rate)\n",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.hit_rate() * 100.0
+    );
+
+    // 6. Capacity model: the paper's headline numbers.
     let model = DpssSimModel::four_server_2000();
     let lan = TcpModel::from_path(
         &[Link::new(

@@ -1,0 +1,103 @@
+//! Property tests over the zero-copy data plane: the new shared-buffer
+//! `read_range` path must be byte-identical to the legacy copying
+//! `dpss_read`/`read_at` API on arbitrary datasets, layouts and offsets —
+//! with and without the sharded block cache mounted.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use visapult::dpss::{BlockCache, CacheConfig, DatasetDescriptor, DpssClient, DpssCluster, SeekFrom, StripeLayout};
+
+/// Build a cluster with the given layout, register a dataset of `dims` ×
+/// `timesteps`, and fill it with a seeded byte pattern.
+fn populated(
+    block_size: u64,
+    servers: usize,
+    disks: usize,
+    dims: (usize, usize, usize),
+    timesteps: usize,
+    seed: u64,
+) -> (DpssCluster, DatasetDescriptor, Vec<u8>) {
+    let cluster = DpssCluster::new(StripeLayout::new(block_size, servers, disks));
+    let descriptor = DatasetDescriptor::new("prop", dims, 4, timesteps);
+    cluster.register_dataset(descriptor.clone());
+    let data: Vec<u8> = (0..descriptor.total_size().bytes())
+        .map(|i| (i.wrapping_mul(31).wrapping_add(seed) % 251) as u8)
+        .collect();
+    DpssClient::new(cluster.clone(), "stager")
+        .write_at("prop", 0, &data)
+        .unwrap();
+    (cluster, descriptor, data)
+}
+
+proptest! {
+    /// `read_range` (zero-copy) returns exactly the bytes the legacy copying
+    /// `dpss_read` returns, for random layouts, dataset sizes and offsets.
+    #[test]
+    fn read_range_is_byte_identical_to_legacy_dpss_read(
+        block_size in 64u64..9_000,
+        servers in 1usize..6,
+        disks in 1usize..4,
+        nx in 2usize..24,
+        ny in 2usize..24,
+        nz in 2usize..24,
+        timesteps in 1usize..4,
+        offset_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let (cluster, descriptor, data) = populated(block_size, servers, disks, (nx, ny, nz), timesteps, seed);
+        let size = descriptor.total_size().bytes();
+        let offset = ((size - 1) as f64 * offset_frac) as u64;
+        let len = 1 + ((size - offset - 1) as f64 * len_frac) as u64;
+
+        // Legacy path: seek + dpss_read into a caller buffer.
+        let legacy = DpssClient::new(cluster.clone(), "legacy");
+        let mut file = legacy.dpss_open("prop").unwrap();
+        legacy.dpss_lseek(&mut file, SeekFrom::Start(offset)).unwrap();
+        let mut buf = vec![0u8; len as usize];
+        legacy.dpss_read(&mut file, &mut buf).unwrap();
+
+        // Zero-copy path.
+        let plane = DpssClient::new(cluster.clone(), "plane");
+        let range = plane.read_range("prop", offset, len).unwrap();
+
+        prop_assert_eq!(&range[..], &buf[..]);
+        prop_assert_eq!(&buf[..], &data[offset as usize..(offset + len) as usize]);
+
+        // And through the sharded cache, cold then warm.
+        let cache = Arc::new(BlockCache::new(CacheConfig::new(64, 4)));
+        let pieces = cluster.layout().split_range(offset, len).len() as u64;
+        let cached = DpssClient::new(cluster, "cached").with_cache(Arc::clone(&cache));
+        let cold = cached.read_range("prop", offset, len).unwrap();
+        let warm = cached.read_range("prop", offset, len).unwrap();
+        prop_assert_eq!(&cold[..], &buf[..]);
+        prop_assert_eq!(&warm[..], &buf[..]);
+        let stats = cache.stats();
+        prop_assert!(stats.misses > 0);
+        prop_assert_eq!(stats.hits + stats.misses, 2 * pieces, "every piece access is a hit or a miss");
+    }
+
+    /// Whole-block reads agree with the equivalent byte-range reads,
+    /// including the clipped tail block.
+    #[test]
+    fn read_block_agrees_with_read_range(
+        block_size in 64u64..4_096,
+        servers in 1usize..5,
+        nx in 2usize..16,
+        ny in 2usize..16,
+        nz in 2usize..16,
+        seed in 0u64..1_000,
+    ) {
+        let (cluster, descriptor, data) = populated(block_size, servers, 2, (nx, ny, nz), 2, seed);
+        let client = DpssClient::new(cluster.clone(), "viz");
+        let size = descriptor.total_size().bytes();
+        let blocks = cluster.layout().blocks_for(size);
+        for index in [0, blocks / 2, blocks - 1] {
+            let block = client.read_block("prop", index).unwrap();
+            let start = index * block_size;
+            let expect_len = (size - start).min(block_size);
+            prop_assert_eq!(block.len() as u64, expect_len);
+            prop_assert_eq!(&block[..], &data[start as usize..(start + expect_len) as usize]);
+        }
+    }
+}

@@ -137,14 +137,19 @@ proptest! {
             .iter()
             .map(|(a, b, c)| ([*a, *b, *c], [*c, *b, *a]))
             .collect();
-        let p = HeavyPayload { frame, rank, texture_rgba8: texture, geometry };
+        let p = HeavyPayload {
+            frame,
+            rank,
+            texture_rgba8: texture.into(),
+            geometry: std::sync::Arc::new(geometry),
+        };
         let decoded = decode_heavy(&encode_heavy(&p)).unwrap();
         // NaNs break PartialEq; compare field by field with bitwise floats.
         prop_assert_eq!(decoded.frame, p.frame);
         prop_assert_eq!(decoded.rank, p.rank);
-        prop_assert_eq!(decoded.texture_rgba8, p.texture_rgba8);
+        prop_assert_eq!(&decoded.texture_rgba8, &p.texture_rgba8);
         prop_assert_eq!(decoded.geometry.len(), p.geometry.len());
-        for (d, o) in decoded.geometry.iter().zip(&p.geometry) {
+        for (d, o) in decoded.geometry.iter().zip(p.geometry.iter()) {
             for k in 0..3 {
                 prop_assert_eq!(d.0[k].to_bits(), o.0[k].to_bits());
                 prop_assert_eq!(d.1[k].to_bits(), o.1[k].to_bits());

@@ -23,9 +23,9 @@ fn scenario_files() -> Vec<(String, ScenarioSpec)> {
 }
 
 #[test]
-fn the_three_bundled_scenarios_are_on_disk_and_compiled_in() {
+fn the_four_bundled_scenarios_are_on_disk_and_compiled_in() {
     let files = scenario_files();
-    assert_eq!(files.len(), 3, "expected exactly the 3 bundled scenarios");
+    assert_eq!(files.len(), 4, "expected exactly the 4 bundled scenarios");
     let mut bundled = ScenarioSpec::bundled_names();
     bundled.sort_unstable();
     let from_disk: Vec<&str> = files.iter().map(|(n, _)| n.as_str()).collect();
@@ -93,6 +93,43 @@ fn real_and_virtual_reports_for_one_scenario_are_structurally_interchangeable() 
         real.log.with_tag(tags::BE_LOAD_END).count(),
         sim.log.with_tag(tags::BE_LOAD_END).count()
     );
+}
+
+#[test]
+fn cache_stress_reports_identical_nonzero_hit_rates_on_both_paths() {
+    let spec = ScenarioSpec::bundled("cache_stress").unwrap();
+    let real = run_scenario(&spec.clone().with_path(ExecutionPath::Real)).unwrap();
+    let sim = run_scenario(&spec.clone().with_path(ExecutionPath::VirtualTime)).unwrap();
+
+    // The cold-fill stage misses, the two playback stages hit: a strictly
+    // positive hit rate, identical between the live sharded cache and the
+    // virtual-time replay of the same block access sequence.
+    let (rc, sc) = (real.cache.expect("real cache"), sim.cache.expect("sim cache"));
+    assert!(real.cache_hit_rate() > 0.0, "playback must hit the cache");
+    assert_eq!(rc, sc, "real and sim cache telemetry diverged");
+    assert_eq!(rc.totals.misses, 24, "cold-fill pulls 3 steps x 8 blocks");
+    assert_eq!(rc.totals.hits, 48, "two playback passes re-read them");
+    assert!((real.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    for (r, s) in real.stages.iter().zip(&sim.stages) {
+        assert_eq!(r.metrics.cache, s.metrics.cache, "stage {}", r.name);
+    }
+
+    // The cache telemetry is covered by each path's replay fingerprint:
+    // rerunning reproduces it, and changing only the cache capacity (which
+    // leaves every frame count untouched) changes it.
+    for path in ExecutionPath::ALL {
+        let fp = |s: &ScenarioSpec| run_scenario(s).unwrap().replay_fingerprint();
+        let base = spec.clone().with_path(path);
+        assert_eq!(fp(&base), fp(&base), "{} fingerprint unstable", path.label());
+        let mut resized = base.clone();
+        resized.cache.as_mut().unwrap().capacity_blocks = Some(32);
+        assert_ne!(
+            fp(&base),
+            fp(&resized),
+            "{} fingerprint misses cache config",
+            path.label()
+        );
+    }
 }
 
 #[test]
