@@ -76,6 +76,14 @@ pub fn combined_tag_order() -> Vec<&'static str> {
 /// analysis reads cache behaviour off either log.
 pub const DPSS_CACHE_STATS: &str = "DPSS_CACHE_STATS";
 
+/// Striped transport: per-stage summary across every stripe of the
+/// back-end → viewer link.  Emitted by both execution paths.
+pub const TRANSPORT_STATS: &str = "TRANSPORT_STATS";
+/// Striped transport: one event per stripe with that stripe's chunk and byte
+/// counters (the per-stripe throughput telemetry of the paper's striped
+/// sockets).
+pub const TRANSPORT_STRIPE: &str = "TRANSPORT_STRIPE";
+
 /// Standard field name: frame (timestep) number.
 pub const FIELD_FRAME: &str = "NL.frame";
 /// Standard field name: payload bytes associated with the event span.
@@ -88,6 +96,16 @@ pub const FIELD_CACHE_HITS: &str = "NL.cache.hits";
 pub const FIELD_CACHE_MISSES: &str = "NL.cache.misses";
 /// Standard field name: block-cache entries evicted to make room.
 pub const FIELD_CACHE_EVICTIONS: &str = "NL.cache.evictions";
+/// Standard field name: number of stripes in a striped transport link.
+pub const FIELD_TRANSPORT_STRIPES: &str = "NL.transport.stripes";
+/// Standard field name: index of one stripe within a striped link.
+pub const FIELD_TRANSPORT_STRIPE: &str = "NL.transport.stripe";
+/// Standard field name: chunks carried (by a stripe, or in aggregate).
+pub const FIELD_TRANSPORT_CHUNKS: &str = "NL.transport.chunks";
+/// Standard field name: chunks that arrived out of sequence order.
+pub const FIELD_TRANSPORT_OUT_OF_ORDER: &str = "NL.transport.out_of_order";
+/// Standard field name: frames fully reassembled from stripes.
+pub const FIELD_TRANSPORT_FRAMES: &str = "NL.transport.frames";
 
 #[cfg(test)]
 mod tests {

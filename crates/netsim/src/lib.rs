@@ -41,7 +41,7 @@ pub mod units;
 pub use event::EventQueue;
 pub use flow::{Flow, FlowId, FlowSim, FlowSimReport};
 pub use link::{Link, LinkId, LinkKind};
-pub use shaper::TokenBucket;
+pub use shaper::{StripePacer, TokenBucket};
 pub use stats::ThroughputMeter;
 pub use tcp::{TcpConfig, TcpModel, TransferTimeline};
 pub use testbeds::{Testbed, TestbedKind};

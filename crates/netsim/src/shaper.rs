@@ -5,7 +5,15 @@
 //! of magnitude higher than any circa-2000 WAN.  A [`TokenBucket`] inserted
 //! in the send path paces traffic down to a configured rate so that real-mode
 //! runs exhibit WAN-like behaviour without needing an actual testbed.
+//!
+//! [`StripePacer`] extends the same idea to a striped link: each of the N
+//! parallel stripes gets its own bucket refilled at its share of a
+//! [`TcpModel`]'s steady-state goodput, so a real in-process striped link
+//! experiences the modeled WAN — including the receiver-window limit that
+//! makes a single untuned stripe slow and parallel striping fast, the effect
+//! the paper's DPSS client relies on.
 
+use crate::tcp::TcpModel;
 use crate::units::Bandwidth;
 use std::time::{Duration, Instant};
 
@@ -73,6 +81,60 @@ impl TokenBucket {
     }
 }
 
+/// Per-stripe pacing for a striped link: one [`TokenBucket`] per stripe, each
+/// refilled at its share of the whole link's modeled goodput.
+#[derive(Debug)]
+pub struct StripePacer {
+    buckets: Vec<TokenBucket>,
+    per_stripe: Bandwidth,
+}
+
+impl StripePacer {
+    /// Pace `stripes` parallel stripes to an aggregate `rate` (each stripe
+    /// gets `rate / stripes`).
+    pub fn from_rate(rate: Bandwidth, stripes: u32) -> StripePacer {
+        let stripes = stripes.max(1);
+        let per_stripe = rate.scale(1.0 / f64::from(stripes));
+        StripePacer {
+            buckets: (0..stripes)
+                .map(|_| TokenBucket::with_default_burst(per_stripe))
+                .collect(),
+            per_stripe,
+        }
+    }
+
+    /// Derive pacing from a TCP throughput model whose `streams` count is the
+    /// stripe count: the aggregate rate is the model's steady-state goodput,
+    /// so an untuned single-stripe link is window-limited and a tuned striped
+    /// link approaches the bottleneck — the modeled WAN, felt for real.
+    pub fn from_model(model: &TcpModel) -> StripePacer {
+        Self::from_rate(model.steady_throughput(), model.streams)
+    }
+
+    /// Number of stripes being paced.
+    pub fn stripes(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The rate each stripe is paced to.
+    pub fn per_stripe_rate(&self) -> Bandwidth {
+        self.per_stripe
+    }
+
+    /// Account for `bytes` on `stripe` and return the pacing delay the caller
+    /// should sleep before the send.
+    pub fn consume(&mut self, stripe: usize, bytes: u64) -> Duration {
+        let n = self.buckets.len();
+        self.buckets[stripe % n].consume(bytes)
+    }
+
+    /// Consume and actually sleep for the computed pacing delay.
+    pub fn throttle(&mut self, stripe: usize, bytes: u64) {
+        let n = self.buckets.len();
+        self.buckets[stripe % n].throttle(bytes);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +175,39 @@ mod tests {
     fn rate_accessor_roundtrips() {
         let tb = TokenBucket::with_default_burst(Bandwidth::from_mbps(622.0));
         assert!((tb.rate().mbps() - 622.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stripe_pacer_splits_the_rate_across_stripes() {
+        let mut pacer = StripePacer::from_rate(Bandwidth::from_mbps(80.0), 8);
+        assert_eq!(pacer.stripes(), 8);
+        assert!((pacer.per_stripe_rate().mbps() - 10.0).abs() < 1e-6);
+        // Draining one stripe's burst does not charge the others.
+        let burst = (10e6 / 8.0 * 0.010) as u64; // with_default_burst at 10 Mbps
+        let _ = pacer.consume(0, burst);
+        let wait0 = pacer.consume(0, 1_000_000);
+        let wait1 = pacer.consume(1, 1_000);
+        assert!(
+            wait0.as_secs_f64() > 0.5,
+            "overdrawn stripe must be paced, got {wait0:?}"
+        );
+        assert_eq!(wait1, Duration::ZERO, "untouched stripe still has its burst");
+    }
+
+    #[test]
+    fn pacer_from_model_reflects_window_limits_and_striping() {
+        use crate::tcp::TcpConfig;
+        use crate::time::SimDuration;
+        // 64 KB untuned windows over a 50 ms WAN: one stripe crawls, eight
+        // stripes multiply the ceiling — the paper's striping effect, turned
+        // into real pacing rates.
+        let rtt = SimDuration::from_millis(50);
+        let bottleneck = Bandwidth::oc12().scale(0.97);
+        let single = StripePacer::from_model(&TcpModel::new(rtt, bottleneck, TcpConfig::untuned(), 1));
+        let striped = StripePacer::from_model(&TcpModel::new(rtt, bottleneck, TcpConfig::untuned(), 8));
+        let single_total = single.per_stripe_rate().bps() * single.stripes() as f64;
+        let striped_total = striped.per_stripe_rate().bps() * striped.stripes() as f64;
+        assert!(single_total < 12e6, "got {single_total}");
+        assert!(striped_total > 6.0 * single_total, "striping should lift the ceiling");
     }
 }

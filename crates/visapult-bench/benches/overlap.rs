@@ -5,27 +5,28 @@
 //! the §4.3 pipelining win whenever load and render costs are comparable.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use crossbeam::channel::unbounded;
 use dpss::DatasetDescriptor;
 use std::hint::black_box;
 use std::sync::Arc;
 use visapult_core::backend::run_backend;
+use visapult_core::transport::{drain_frames, striped_link, TransportConfig};
 use visapult_core::{DataSource, ExecutionMode, PipelineConfig, SyntheticSource};
 
 fn run_mode(mode: ExecutionMode) -> u64 {
     let config = PipelineConfig::small(2, 3, mode);
     let source: Arc<dyn DataSource> = Arc::new(SyntheticSource::new(DatasetDescriptor::small_combustion(3), 3));
     let mut senders = Vec::new();
-    let mut receivers = Vec::new();
+    let mut drains = Vec::new();
     for _ in 0..config.pes {
-        let (tx, rx) = unbounded();
+        let (tx, mut rx) = striped_link(&TransportConfig::default());
         senders.push(tx);
-        receivers.push(rx);
+        // Drain concurrently: the stripe queues are bounded, so an unread
+        // link would backpressure the back end.
+        drains.push(std::thread::spawn(move || drain_frames(&mut rx).unwrap()));
     }
     let report = run_backend(&config, source, senders, None).unwrap();
-    // Drain so senders do not block (they are unbounded, but keep it tidy).
-    for rx in receivers {
-        while rx.try_recv().is_ok() {}
+    for d in drains {
+        d.join().unwrap();
     }
     report.total_wire_bytes()
 }

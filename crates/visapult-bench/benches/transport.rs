@@ -1,0 +1,154 @@
+//! Criterion bench: the striped zero-copy transport.
+//!
+//! Measures one frame's trip across the striped link — zero-copy segment
+//! encode, chunking, stripe fan-out, out-of-order reassembly, decode — at
+//! stripe counts 1/4/8 (unshaped, so the numbers are the transport's own
+//! overhead, not the pacing), plus the legacy copying `encode_heavy` path
+//! for reference.
+//!
+//! Besides the criterion output, a custom `main` writes a
+//! `target/BENCH_transport.json` baseline (median seconds per frame and
+//! derived MB/s for each case, same schema as `BENCH_cache.json`) so
+//! successive runs can be diffed mechanically.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use visapult_core::protocol::{encode_heavy, encode_light, FramePayload, HeavyPayload, LightPayload};
+use visapult_core::transport::{striped_link, TransportConfig};
+
+const TEX: usize = 256; // 256x256 RGBA8 = 256 KB per frame
+
+fn sample_frame() -> FramePayload {
+    let texture: Vec<u8> = (0..TEX * TEX * 4).map(|i| (i % 251) as u8).collect();
+    let geometry: Vec<([f32; 3], [f32; 3])> = (0..256).map(|i| ([i as f32, 0.0, 0.0], [i as f32, 1.0, 1.0])).collect();
+    FramePayload {
+        light: LightPayload {
+            frame: 0,
+            rank: 0,
+            texture_width: TEX as u32,
+            texture_height: TEX as u32,
+            bytes_per_pixel: 4,
+            quad_center: [0.5; 3],
+            quad_u: [1.0, 0.0, 0.0],
+            quad_v: [0.0, 1.0, 0.0],
+            geometry_segments: 256,
+        },
+        heavy: HeavyPayload {
+            frame: 0,
+            rank: 0,
+            texture_rgba8: texture.into(),
+            geometry: Arc::new(geometry),
+        },
+    }
+}
+
+fn link_config(stripes: u32) -> TransportConfig {
+    let mut c = TransportConfig::default()
+        .with_stripes(stripes)
+        .with_chunk_bytes(16 * 1024);
+    c.queue_depth = 256; // deep enough that a round trip never backpressures
+    c
+}
+
+/// One frame across the link and back out of the reassembler.
+fn roundtrip(frame: &FramePayload, stripes: u32) -> usize {
+    let (tx, mut rx) = striped_link(&link_config(stripes));
+    tx.send_frame(frame).unwrap();
+    drop(tx);
+    let got = visapult_core::transport::drain_frames(&mut rx).unwrap();
+    got.len()
+}
+
+fn bench_striped_roundtrip(c: &mut Criterion) {
+    let frame = sample_frame();
+    let bytes = frame.wire_bytes();
+    let mut group = c.benchmark_group("transport_frame_roundtrip");
+    group.throughput(Throughput::Bytes(bytes));
+    for stripes in [1u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(stripes), &stripes, |b, &s| {
+            b.iter(|| black_box(roundtrip(&frame, s)));
+        });
+    }
+    group.bench_with_input(BenchmarkId::from_parameter("legacy-copy-encode"), &0, |b, _| {
+        b.iter(|| {
+            let light = encode_light(&frame.light);
+            let heavy = encode_heavy(&frame.heavy);
+            black_box(light.len() + heavy.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_striped_roundtrip);
+
+/// Median seconds per call of `f` over `samples` timed calls.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn write_baseline() {
+    let frame = sample_frame();
+    let bytes = frame.wire_bytes();
+    let samples = 30;
+
+    let stripe_s: Vec<f64> = [1u32, 4, 8]
+        .iter()
+        .map(|&s| {
+            median_secs(samples, || {
+                black_box(roundtrip(&frame, s));
+            })
+        })
+        .collect();
+    let legacy_s = median_secs(samples, || {
+        let light = encode_light(&frame.light);
+        let heavy = encode_heavy(&frame.heavy);
+        black_box(light.len() + heavy.len());
+    });
+
+    let mbps = |s: f64| bytes as f64 / s / 1e6;
+    let json = format!(
+        "{{\n  \"bench\": \"transport_frame_roundtrip\",\n  \"bytes_per_op\": {bytes},\n  \"samples\": {samples},\n  \"cases\": {{\n    \"stripes_1\": {{ \"median_s\": {:.9}, \"mbytes_per_s\": {:.1} }},\n    \"stripes_4\": {{ \"median_s\": {:.9}, \"mbytes_per_s\": {:.1} }},\n    \"stripes_8\": {{ \"median_s\": {:.9}, \"mbytes_per_s\": {:.1} }},\n    \"legacy_copy_encode\": {{ \"median_s\": {legacy_s:.9}, \"mbytes_per_s\": {:.1} }}\n  }},\n  \"zero_copy_roundtrip_vs_legacy_encode\": {:.2}\n}}\n",
+        stripe_s[0],
+        mbps(stripe_s[0]),
+        stripe_s[1],
+        mbps(stripe_s[1]),
+        stripe_s[2],
+        mbps(stripe_s[2]),
+        mbps(legacy_s),
+        legacy_s / stripe_s[1],
+    );
+    // Benches run with the package as cwd; resolve the workspace target dir
+    // so the baseline lands next to every other build artifact.
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        });
+    let path = target.join("BENCH_transport.json");
+    if std::fs::create_dir_all(&target).is_ok() && std::fs::write(&path, &json).is_ok() {
+        println!("\nwrote baseline {}:\n{json}", path.display());
+    } else {
+        println!("\nbaseline (target/ not writable):\n{json}");
+    }
+}
+
+fn main() {
+    // `cargo test` runs bench targets with `--test`; do nothing there.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    benches();
+    write_baseline();
+}

@@ -21,11 +21,13 @@ fn main() {
                 name: "serial".to_string(),
                 share: 50.0,
                 execution: Some(ExecutionMode::Serial),
+                stripes: None,
             },
             StageSpec {
                 name: "overlapped".to_string(),
                 share: 50.0,
                 execution: Some(ExecutionMode::Overlapped),
+                stripes: None,
             },
         ],
     );

@@ -17,7 +17,7 @@ use crate::config::{ExecutionMode, PipelineConfig};
 use crate::data_source::{slab_origin, DataSource};
 use crate::error::VisapultError;
 use crate::protocol::{FramePayload, HeavyPayload, LightPayload};
-use crossbeam::channel::Sender;
+use crate::transport::StripeSender;
 use netlogger::{tags, NetLogger};
 use parcomm::{ProcessGroup, Rank, World};
 use serde::{Deserialize, Serialize};
@@ -117,22 +117,32 @@ fn render_and_package(config: &PipelineConfig, rank: usize, frame: usize, volume
 }
 
 fn send_frame(
-    link: &Sender<FramePayload>,
+    link: &StripeSender,
     payload: FramePayload,
     log: Option<&NetLogger>,
     frame: usize,
 ) -> Result<u64, VisapultError> {
-    let wire = payload.wire_bytes();
     if let Some(l) = log {
         l.log_with(tags::BE_LIGHT_SEND, [(tags::FIELD_FRAME, frame as u64)]);
         l.log_with(tags::BE_LIGHT_END, [(tags::FIELD_FRAME, frame as u64)]);
         l.log_with(
             tags::BE_HEAVY_SEND,
-            [(tags::FIELD_FRAME, frame as u64), (tags::FIELD_BYTES, wire)],
+            [
+                (tags::FIELD_FRAME, frame as u64),
+                // Framed bytes, so summing NL.bytes over these events equals
+                // BackendReport::total_wire_bytes and the TRANSPORT_STATS
+                // counters.
+                (tags::FIELD_BYTES, payload.framed_wire_bytes()),
+            ],
         );
     }
-    link.send(payload)
+    // Chunked onto the striped link: backpressure (a full stripe queue) and
+    // WAN pacing are both felt right here, in the send phase — exactly where
+    // the paper's lifelines show them.
+    let wire = link
+        .send_frame(&payload)
         .map_err(|_| VisapultError::Protocol("viewer link closed".to_string()))?;
+    debug_assert_eq!(wire, payload.framed_wire_bytes());
     if let Some(l) = log {
         l.log_with(tags::BE_HEAVY_END, [(tags::FIELD_FRAME, frame as u64)]);
     }
@@ -144,7 +154,7 @@ fn run_pe_serial(
     config: &PipelineConfig,
     source: &Arc<dyn DataSource>,
     rank: &Rank<()>,
-    link: &Sender<FramePayload>,
+    link: &StripeSender,
     log: Option<&NetLogger>,
 ) -> Result<PeReport, VisapultError> {
     let r = rank.rank();
@@ -191,7 +201,7 @@ fn run_pe_overlapped(
     config: &PipelineConfig,
     source: &Arc<dyn DataSource>,
     rank: &Rank<()>,
-    link: &Sender<FramePayload>,
+    link: &StripeSender,
     log: Option<&NetLogger>,
 ) -> Result<PeReport, VisapultError> {
     let r = rank.rank();
@@ -274,13 +284,13 @@ fn run_pe_overlapped(
 /// Run the full back end: one rank per PE, each shipping its payloads down
 /// its own viewer link.
 ///
-/// `viewer_links` must contain exactly `config.pes` senders (one per PE).
-/// `logger`, when provided, is specialized per PE into
+/// `viewer_links` must contain exactly `config.pes` striped senders (one per
+/// PE).  `logger`, when provided, is specialized per PE into
 /// `backend-worker-<rank>` program names on `pe-<rank>` hosts.
 pub fn run_backend(
     config: &PipelineConfig,
     source: Arc<dyn DataSource>,
-    viewer_links: Vec<Sender<FramePayload>>,
+    viewer_links: Vec<StripeSender>,
     logger: Option<NetLogger>,
 ) -> Result<BackendReport, VisapultError> {
     config.validate().map_err(VisapultError::Config)?;
@@ -323,7 +333,7 @@ pub fn run_backend(
 mod tests {
     use super::*;
     use crate::data_source::SyntheticSource;
-    use crossbeam::channel::unbounded;
+    use crate::transport::{drain_frames, striped_link, TransportConfig};
     use dpss::DatasetDescriptor;
 
     fn setup(pes: usize, timesteps: usize, mode: ExecutionMode) -> (PipelineConfig, Arc<dyn DataSource>) {
@@ -338,16 +348,21 @@ mod tests {
         let mut senders = Vec::new();
         let mut receivers = Vec::new();
         for _ in 0..pes {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = striped_link(&TransportConfig::default());
             senders.push(tx);
             receivers.push(rx);
         }
+        // Drain each link concurrently: the stripe queues are bounded, so the
+        // back end would block on a full queue with no reader (that is the
+        // backpressure working as designed).
+        let drains: Vec<_> = receivers
+            .into_iter()
+            .map(|mut rx| std::thread::spawn(move || drain_frames(&mut rx).unwrap()))
+            .collect();
         let report = run_backend(&config, source, senders, None).unwrap();
         let mut payloads = Vec::new();
-        for rx in receivers {
-            while let Ok(p) = rx.try_recv() {
-                payloads.push(p);
-            }
+        for d in drains {
+            payloads.extend(d.join().unwrap());
         }
         (report, payloads)
     }
@@ -407,7 +422,7 @@ mod tests {
     fn backend_rejects_bad_configs() {
         let (config, source) = setup(2, 2, ExecutionMode::Serial);
         // Wrong number of viewer links.
-        let (tx, _rx) = unbounded();
+        let (tx, _rx) = striped_link(&TransportConfig::default());
         let err = run_backend(&config, source, vec![tx], None);
         assert!(matches!(err, Err(VisapultError::Config(_))));
     }
@@ -417,11 +432,11 @@ mod tests {
         let (config, source) = setup(2, 2, ExecutionMode::Overlapped);
         let collector = netlogger::Collector::wall();
         let mut senders = Vec::new();
-        let mut receivers = Vec::new();
+        let mut drains = Vec::new();
         for _ in 0..2 {
-            let (tx, rx) = unbounded();
+            let (tx, mut rx) = striped_link(&TransportConfig::default());
             senders.push(tx);
-            receivers.push(rx);
+            drains.push(std::thread::spawn(move || drain_frames(&mut rx).unwrap()));
         }
         run_backend(
             &config,
@@ -430,6 +445,9 @@ mod tests {
             Some(collector.logger("backend", "backend-master")),
         )
         .unwrap();
+        for d in drains {
+            d.join().unwrap();
+        }
         let log = collector.finish();
         // 2 PEs x 2 frames = 4 of each back-end event.
         for tag in [

@@ -12,10 +12,10 @@ use crate::backend::{run_backend, BackendReport};
 use crate::config::PipelineConfig;
 use crate::data_source::{DataSource, DpssDataSource, SyntheticSource};
 use crate::error::VisapultError;
+use crate::transport::{striped_link, TransportConfig, TransportStats};
 use crate::viewer::{Viewer, ViewerConfig, ViewerReport};
-use crossbeam::channel::unbounded;
 use dpss::{BlockCache, CacheConfig, CacheStats, DatasetDescriptor, DpssClient, DpssCluster, StripeLayout};
-use netlogger::{tags, Collector, EventLog, ProfileAnalysis};
+use netlogger::{tags, Collector, EventLog, FieldValue, NetLogger, ProfileAnalysis};
 use netsim::Bandwidth;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -43,6 +43,8 @@ pub struct RealCampaignConfig {
     pub pipeline: PipelineConfig,
     /// Data path between cache and back end.
     pub data_path: RealDataPath,
+    /// The striped back-end -> viewer transport.
+    pub transport: TransportConfig,
     /// Viewer window size.
     pub viewer_image: (usize, usize),
     /// Random seed for the synthetic dataset.
@@ -55,6 +57,7 @@ impl RealCampaignConfig {
         RealCampaignConfig {
             pipeline,
             data_path: RealDataPath::Dpss { stream_rate_mbps: None },
+            transport: TransportConfig::default(),
             viewer_image: (192, 192),
             seed: 42,
         }
@@ -120,6 +123,10 @@ pub struct RealCampaignReport {
     pub backend: BackendReport,
     /// Viewer execution summary.
     pub viewer: ViewerReport,
+    /// Striped-transport telemetry: sender-side chunk/byte counters per
+    /// stripe (deterministic), with the viewer's out-of-order, partial-update
+    /// and reassembly counters merged in.
+    pub transport: TransportStats,
     /// Block-cache activity during this campaign (zeros when no cache was
     /// mounted on the data path).
     pub cache: CacheStats,
@@ -181,11 +188,14 @@ pub fn run_real_campaign_in_env(
         }
     };
 
-    // One channel per PE between back end and viewer.
+    // One striped link per PE between back end and viewer: chunked framing,
+    // per-stripe sequence numbers, bounded queues, optional WAN pacing.
     let mut senders = Vec::with_capacity(config.pipeline.pes);
     let mut receivers = Vec::with_capacity(config.pipeline.pes);
+    let mut sender_stats = Vec::with_capacity(config.pipeline.pes);
     for _ in 0..config.pipeline.pes {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = striped_link(&config.transport);
+        sender_stats.push(tx.stats_handle());
         senders.push(tx);
         receivers.push(rx);
     }
@@ -208,6 +218,17 @@ pub fn run_real_campaign_in_env(
 
     let backend = run_backend(&config.pipeline, source, senders, Some(backend_logger))?;
     let viewer_report = viewer_handle.join().expect("viewer thread panicked");
+
+    // Transport telemetry: the deterministic sender-side striping counters
+    // summed over every PE link, plus the viewer's receiver-side observations.
+    let mut transport = TransportStats::default();
+    for handle in &sender_stats {
+        transport.merge(&handle.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+    transport.out_of_order_chunks = viewer_report.transport.out_of_order_chunks;
+    transport.partial_updates = viewer_report.transport.partial_updates;
+    transport.reassembly_copies = viewer_report.transport.reassembly_copies;
+    log_transport_stats(&collector.logger("transport", "striped-link"), None, &transport);
 
     // Cache activity attributable to this campaign (the env may be shared
     // across stages, so report the delta).
@@ -233,10 +254,58 @@ pub fn run_real_campaign_in_env(
     Ok(RealCampaignReport {
         backend,
         viewer: viewer_report,
+        transport,
         cache,
         log,
         analysis,
     })
+}
+
+/// Emit the per-link and per-stripe NetLogger telemetry (`NL.transport.*`
+/// fields) for one campaign's transport.  This is the *only* place the event
+/// schema lives: the real path logs at the collector's clock (`at = None`),
+/// the virtual-time path replays the same emitter at an explicit virtual
+/// timestamp — so either log reads identically by construction.
+pub(crate) fn log_transport_stats(logger: &NetLogger, at: Option<f64>, stats: &TransportStats) {
+    let emit = |tag: &str, fields: Vec<(String, FieldValue)>| match at {
+        Some(t) => logger.log_at(t, tag, fields),
+        None => logger.log_with(tag, fields),
+    };
+    emit(
+        tags::TRANSPORT_STATS,
+        vec![
+            (
+                tags::FIELD_TRANSPORT_STRIPES.to_string(),
+                FieldValue::Int(stats.stripe_count() as i64),
+            ),
+            (
+                tags::FIELD_TRANSPORT_FRAMES.to_string(),
+                FieldValue::Int(stats.frames as i64),
+            ),
+            (
+                tags::FIELD_TRANSPORT_CHUNKS.to_string(),
+                FieldValue::Int(stats.chunks as i64),
+            ),
+            (
+                tags::FIELD_TRANSPORT_OUT_OF_ORDER.to_string(),
+                FieldValue::Int(stats.out_of_order_chunks as i64),
+            ),
+            (tags::FIELD_BYTES.to_string(), FieldValue::Int(stats.bytes as i64)),
+        ],
+    );
+    for (stripe, s) in stats.per_stripe.iter().enumerate() {
+        emit(
+            tags::TRANSPORT_STRIPE,
+            vec![
+                (tags::FIELD_TRANSPORT_STRIPE.to_string(), FieldValue::Int(stripe as i64)),
+                (
+                    tags::FIELD_TRANSPORT_CHUNKS.to_string(),
+                    FieldValue::Int(s.chunks as i64),
+                ),
+                (tags::FIELD_BYTES.to_string(), FieldValue::Int(s.bytes as i64)),
+            ],
+        );
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +340,15 @@ mod tests {
         assert!(report.log.with_tag(tags::BE_LOAD_END).count() >= 8);
         assert!(report.log.with_tag(tags::V_HEAVYPAYLOAD_END).count() >= 8);
         assert_eq!(report.analysis.frames.len(), 2);
+        // The striped transport carried every frame and reported per-stripe
+        // telemetry into the same log.
+        assert_eq!(report.transport.frames, 4 * 2);
+        assert_eq!(report.transport.stripe_count(), 4);
+        assert!(report.transport.per_stripe.iter().all(|s| s.chunks > 0));
+        assert_eq!(report.transport.bytes, report.backend.total_wire_bytes());
+        assert_eq!(report.log.with_tag(tags::TRANSPORT_STATS).count(), 1);
+        assert_eq!(report.log.with_tag(tags::TRANSPORT_STRIPE).count(), 4);
+        assert!(report.viewer.errors.is_empty(), "{:?}", report.viewer.errors);
     }
 
     #[test]

@@ -31,13 +31,15 @@
 //! `combustion_corridor_oc12`, and `sc99_exhibit`.
 
 use crate::campaign::real::{run_real_campaign_in_env, RealCampaignConfig, RealDataPath, RealDpssEnv};
-use crate::campaign::sim::{run_sim_campaign, SimCampaignConfig, DEFAULT_WAN_EFFICIENCY};
+use crate::campaign::sim::{run_sim_campaign, SimCampaignConfig, SimTransportModel, DEFAULT_WAN_EFFICIENCY};
 use crate::config::{ExecutionMode, PipelineConfig};
 use crate::error::VisapultError;
 use crate::platform::ComputePlatform;
+use crate::protocol::{LightPayload, HEAVY_HEADER_LEN};
+use crate::transport::{plan_chunks, TcpTuning, TransportConfig, TransportStats};
 use dpss::{BlockCache, CacheConfig, CacheStats, DatasetDescriptor, DpssSimModel, StripeLayout};
 use netlogger::{tags, Event, EventLog, FieldValue};
-use netsim::{Testbed, TestbedKind};
+use netsim::{TcpModel, Testbed, TestbedKind};
 use serde::{Deserialize, Serialize};
 use volren::{Axis, RenderSettings, TransferFunction};
 
@@ -200,6 +202,27 @@ pub struct CacheSpec {
     pub shards: Option<usize>,
 }
 
+/// `[transport]` — the striped back-end → viewer transport shared by both
+/// execution paths: the real pipeline runs its frames over striped, chunked,
+/// sequence-numbered links shaped by the modeled TCP session, and the
+/// virtual-time path replays the identical chunking and models the same TCP
+/// session in its send phase.  Omitted, the link still runs (4 unshaped
+/// wan-tuned stripes) — the table is how a scenario makes the WAN *felt*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransportSpec {
+    /// Stripes per PE link (defaults to 4; stages may override).
+    pub stripes: Option<u32>,
+    /// Chunk size in KB (defaults to 8).
+    pub chunk_kb: Option<usize>,
+    /// Bounded per-stripe queue depth in chunks (defaults to 32).
+    pub queue_depth: Option<usize>,
+    /// TCP stack the stripes model (defaults to wan-tuned).
+    pub tcp: Option<TcpTuning>,
+    /// Pace the real link to the striped TCP session's modeled goodput over
+    /// the testbed's viewer route (defaults to false).
+    pub emulate_wan: Option<bool>,
+}
+
 /// `[sim]` — tuning that only applies on the virtual-time path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimPathSpec {
@@ -220,6 +243,9 @@ pub struct StageSpec {
     pub share: f64,
     /// Execution-mode override for this stage.
     pub execution: Option<ExecutionMode>,
+    /// Transport stripe-count override for this stage (how
+    /// `wan_stripes.toml` sweeps 1/4/8 inside one scenario).
+    pub stripes: Option<u32>,
 }
 
 /// A complete declarative scenario, the unit both execution paths consume.
@@ -239,6 +265,9 @@ pub struct ScenarioSpec {
     pub real: Option<RealPathSpec>,
     /// Virtual-time tuning (optional).
     pub sim: Option<SimPathSpec>,
+    /// Striped viewer-link transport (optional; defaults to 4 unshaped
+    /// wan-tuned stripes).
+    pub transport: Option<TransportSpec>,
     /// Block cache between the DPSS client and the cluster (optional;
     /// omitted means no cache, matching the seed's behaviour).
     pub cache: Option<CacheSpec>,
@@ -248,7 +277,7 @@ pub struct ScenarioSpec {
 
 /// The bundled scenario specs shipped in `scenarios/` at the repo root,
 /// compiled into the crate so binaries need no working directory.
-const BUNDLED: [(&str, &str); 4] = [
+const BUNDLED: [(&str, &str); 5] = [
     (
         "quickstart_lan",
         include_str!("../../../../scenarios/quickstart_lan.toml"),
@@ -259,6 +288,7 @@ const BUNDLED: [(&str, &str); 4] = [
     ),
     ("sc99_exhibit", include_str!("../../../../scenarios/sc99_exhibit.toml")),
     ("cache_stress", include_str!("../../../../scenarios/cache_stress.toml")),
+    ("wan_stripes", include_str!("../../../../scenarios/wan_stripes.toml")),
 ];
 
 impl ScenarioSpec {
@@ -341,6 +371,7 @@ impl ScenarioSpec {
                 app_efficiency: Some(if kind == TestbedKind::Sc99Cplant { 0.56 } else { 1.0 }),
                 wan_efficiency: None,
             }),
+            transport: None,
             cache: None,
             stages: if stages.is_empty() { None } else { Some(stages) },
         }
@@ -388,6 +419,7 @@ impl ScenarioSpec {
                 name: "full".to_string(),
                 share: 100.0,
                 execution: None,
+                stripes: None,
             }],
             Some(s) if s.is_empty() => return Err(bad("stages table must not be empty when present".to_string())),
             Some(s) => s.clone(),
@@ -398,6 +430,9 @@ impl ScenarioSpec {
                     "stage `{}` has non-positive share {}",
                     stage.name, stage.share
                 )));
+            }
+            if stage.stripes == Some(0) {
+                return Err(bad(format!("stage `{}` asks for zero stripes", stage.name)));
             }
         }
         let total_share: f64 = stage_specs.iter().map(|s| s.share).sum();
@@ -429,6 +464,7 @@ impl ScenarioSpec {
                 name: stage.name.clone(),
                 timesteps: steps,
                 mode: stage.execution.unwrap_or(self.pipeline.execution),
+                stripes: stage.stripes,
             });
         }
         debug_assert_eq!(allocated, total);
@@ -454,6 +490,35 @@ impl ScenarioSpec {
                 }
             }
         }
+
+        // The striped transport: always on (the real pipeline has no other
+        // link), with the `[transport]` table customizing it.
+        let tspec = self.transport.clone().unwrap_or(TransportSpec {
+            stripes: None,
+            chunk_kb: None,
+            queue_depth: None,
+            tcp: None,
+            emulate_wan: None,
+        });
+        let base_stripes = tspec.stripes.unwrap_or(4);
+        let chunk_kb = tspec.chunk_kb.unwrap_or(8);
+        let queue_depth = tspec.queue_depth.unwrap_or(32);
+        if base_stripes == 0 || base_stripes > 64 {
+            return Err(bad(format!("transport stripes must be in 1..=64, got {base_stripes}")));
+        }
+        if chunk_kb == 0 {
+            return Err(bad("transport chunk_kb must be positive".to_string()));
+        }
+        if queue_depth == 0 {
+            return Err(bad("transport queue_depth must be positive".to_string()));
+        }
+        let transport = TransportConfig {
+            stripes: base_stripes,
+            chunk_bytes: chunk_kb * 1024,
+            queue_depth,
+            tuning: tspec.tcp.unwrap_or(TcpTuning::WanTuned),
+            pace_rate_mbps: None,
+        };
 
         let cache = match &self.cache {
             None => None,
@@ -503,6 +568,9 @@ impl ScenarioSpec {
                 app_efficiency: None,
                 wan_efficiency: None,
             }),
+            transport,
+            transport_explicit: self.transport.is_some(),
+            transport_emulate_wan: tspec.emulate_wan.unwrap_or(false),
             cache,
         })
     }
@@ -517,6 +585,8 @@ pub struct ResolvedStage {
     pub timesteps: usize,
     /// Execution mode for this stage.
     pub mode: ExecutionMode,
+    /// Transport stripe override for this stage.
+    pub stripes: Option<u32>,
 }
 
 /// A validated scenario with every default filled in.
@@ -550,6 +620,13 @@ pub struct ResolvedScenario {
     pub real: RealPathSpec,
     /// Virtual-time tuning.
     pub sim: SimPathSpec,
+    /// Base striped-transport configuration (stages may override stripes).
+    pub transport: TransportConfig,
+    /// Whether the spec carried an explicit `[transport]` table (which also
+    /// switches the virtual-time send phase onto the striped TCP model).
+    pub transport_explicit: bool,
+    /// Whether the real link is paced to the modeled WAN.
+    pub transport_emulate_wan: bool,
     /// Block-cache configuration (None = no cache).
     pub cache: Option<CacheConfig>,
 }
@@ -596,7 +673,9 @@ impl ResolvedScenario {
         RealDataPath::Dpss { stream_rate_mbps: rate }
     }
 
-    /// The virtual-time configuration for one stage.
+    /// The virtual-time configuration for one stage.  An explicit
+    /// `[transport]` table switches the send phase onto the striped TCP
+    /// model, mirroring the pacing the real link runs under.
     pub fn stage_sim_config(&self, stage: &ResolvedStage, stage_index: usize) -> SimCampaignConfig {
         SimCampaignConfig {
             name: format!("{} / {}", self.name, stage.name),
@@ -604,10 +683,39 @@ impl ResolvedScenario {
             platform: self.platform.to_platform(),
             pipeline: self.stage_pipeline(stage),
             dpss: DpssSimModel::four_server_2000(),
+            transport: self.transport_explicit.then(|| SimTransportModel {
+                stripes: stage.stripes.unwrap_or(self.transport.stripes),
+                tuning: self.transport.tuning,
+            }),
             app_efficiency: self.sim.app_efficiency.unwrap_or(1.0),
             wan_efficiency: self.sim.wan_efficiency.unwrap_or(DEFAULT_WAN_EFFICIENCY),
             jitter_seed: self.stage_seed(stage_index),
         }
+    }
+
+    /// The striped-transport configuration for one stage: the scenario's base
+    /// config with the stage's stripe override applied and — when the spec
+    /// asks to emulate the WAN — pacing derived from the modeled striped TCP
+    /// session over the testbed's viewer route, split across the PEs that
+    /// share it.
+    pub fn stage_transport_config(&self, stage: &ResolvedStage) -> TransportConfig {
+        let mut config = self.transport.clone();
+        config.stripes = stage.stripes.unwrap_or(config.stripes);
+        if self.transport_emulate_wan {
+            let model = self.viewer_tcp_model(config.stripes);
+            config.pace_rate_mbps = Some(model.steady_throughput().mbps() / self.pes as f64);
+        }
+        config
+    }
+
+    /// The striped TCP session model over the testbed's back-end → viewer
+    /// route, with this scenario's tuning — what paces the real link and
+    /// times the virtual send phase.
+    pub fn viewer_tcp_model(&self, stripes: u32) -> TcpModel {
+        let testbed = build_testbed(self.testbed_kind, self.pes);
+        let route = testbed.viewer_route(0);
+        let links: Vec<_> = testbed.topology.route_links(&route).collect();
+        TcpModel::from_path(links, self.transport.tuning.tcp_config(), stripes)
     }
 
     /// The real-path configuration for one stage.
@@ -615,6 +723,7 @@ impl ResolvedScenario {
         RealCampaignConfig {
             pipeline: self.stage_pipeline(stage),
             data_path: self.real_data_path(),
+            transport: self.stage_transport_config(stage),
             viewer_image: self.real.viewer_image.unwrap_or((192, 192)),
             seed: self.stage_seed(stage_index),
         }
@@ -659,6 +768,34 @@ impl ResolvedScenario {
         }
         cache.stats().since(&before)
     }
+
+    /// Replay one stage's transport striping without moving a byte: the same
+    /// [`plan_chunks`] the real sender runs, applied to the modeled wire
+    /// segment sizes (texture plus the geometry/metadata allowance of
+    /// [`PipelineConfig::viewer_payload_bytes_per_pe`]), per PE per frame.
+    /// This is how the virtual-time path reports per-stripe telemetry
+    /// structurally identical to the real link's.
+    pub fn replay_stage_transport(&self, stage: &ResolvedStage) -> TransportStats {
+        let config = self.stage_transport_config(stage);
+        let pipeline = self.stage_pipeline(stage);
+        let light_len = LightPayload::ENCODED_LEN + 9;
+        let texture_len = self.image.0 * self.image.1 * 4;
+        let geometry_len = (pipeline.viewer_payload_bytes_per_pe() as usize)
+            .saturating_sub(light_len + HEAVY_HEADER_LEN + texture_len)
+            .max(4);
+        let lens = [light_len, HEAVY_HEADER_LEN, texture_len, geometry_len];
+        let mut stats = TransportStats::with_stripes(config.stripes as usize);
+        let plans = plan_chunks(lens, config.chunk_bytes, config.stripes);
+        for _frame in 0..stage.timesteps {
+            for _pe in 0..self.pes {
+                stats.frames += 1;
+                for plan in &plans {
+                    stats.record_chunk(plan.stripe, plan.len);
+                }
+            }
+        }
+        stats
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -695,6 +832,11 @@ pub struct StageMetrics {
     /// configured).  Identical between the real and virtual-time paths for
     /// the same spec whenever the capacity holds the working set.
     pub cache: CacheStats,
+    /// Striped-transport telemetry for this stage: per-stripe chunk/byte
+    /// counters (deterministic, fingerprinted) plus the receiver's
+    /// out-of-order/partial observations (timing-dependent, not
+    /// fingerprinted).  Structurally identical between the two paths.
+    pub transport: TransportStats,
 }
 
 /// One stage's outcome inside a [`CampaignReport`].
@@ -730,6 +872,28 @@ impl CacheReport {
     }
 }
 
+/// Summary of the striped transport across a whole campaign: the base
+/// configuration it resolved to and the counters summed over every stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransportReport {
+    /// The base transport configuration (stages may have overridden stripes).
+    pub config: TransportConfig,
+    /// Counters summed across every stage (stripe vectors padded to the
+    /// widest stage).
+    pub totals: TransportStats,
+}
+
+impl TransportReport {
+    /// Mean framed bytes per carried frame.
+    pub fn mean_frame_bytes(&self) -> f64 {
+        if self.totals.frames == 0 {
+            0.0
+        } else {
+            self.totals.bytes as f64 / self.totals.frames as f64
+        }
+    }
+}
+
 /// Everything a scenario run produced, whichever path executed it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignReport {
@@ -743,6 +907,8 @@ pub struct CampaignReport {
     pub stages: Vec<StageReport>,
     /// Block-cache configuration and totals (None when no cache configured).
     pub cache: Option<CacheReport>,
+    /// Striped-transport configuration and totals.
+    pub transport: TransportReport,
     /// The merged NetLogger log across all stages, on one time axis.
     pub log: EventLog,
 }
@@ -822,7 +988,31 @@ impl CampaignReport {
             fnv1a(&mut h, &s.metrics.cache.hits.to_le_bytes());
             fnv1a(&mut h, &s.metrics.cache.misses.to_le_bytes());
             fnv1a(&mut h, &s.metrics.cache.evictions.to_le_bytes());
+            // Transport striping is deterministic (chunking and stripe
+            // assignment are pure functions of the payload), so the carried
+            // counters are part of the replayable identity; the receiver's
+            // timing-dependent observations (out-of-order, partials,
+            // fallback copies) are excluded like wall-clock values.
+            fnv1a(&mut h, &(s.metrics.transport.stripe_count() as u64).to_le_bytes());
+            fnv1a(&mut h, &s.metrics.transport.frames.to_le_bytes());
+            fnv1a(&mut h, &s.metrics.transport.chunks.to_le_bytes());
+            fnv1a(&mut h, &s.metrics.transport.bytes.to_le_bytes());
+            for stripe in &s.metrics.transport.per_stripe {
+                fnv1a(&mut h, &stripe.chunks.to_le_bytes());
+                fnv1a(&mut h, &stripe.bytes.to_le_bytes());
+            }
         }
+        // The transport configuration is replayable identity too: a stripe
+        // count or chunk-size change must change the fingerprint.
+        fnv1a(&mut h, b"transport");
+        for v in [
+            self.transport.config.stripes as u64,
+            self.transport.config.chunk_bytes as u64,
+            self.transport.config.queue_depth as u64,
+        ] {
+            fnv1a(&mut h, &v.to_le_bytes());
+        }
+        fnv1a(&mut h, self.transport.config.tuning.label().as_bytes());
         // The cache configuration and totals are part of the replayable
         // identity of a run: changing the capacity or sharding must change
         // the fingerprint even if frame counts happen to coincide.
@@ -896,6 +1086,15 @@ impl CampaignReport {
                 s.metrics.seconds_per_timestep,
             ));
         }
+        out.push_str(&format!(
+            "transport: {} base stripes x {} KB chunks [{}] — {} frames / {} chunks / {:.1} KB mean frame\n",
+            self.transport.config.stripes,
+            self.transport.config.chunk_bytes / 1024,
+            self.transport.config.tuning.label(),
+            self.transport.totals.frames,
+            self.transport.totals.chunks,
+            self.transport.mean_frame_bytes() / 1024.0,
+        ));
         if let Some(c) = &self.cache {
             out.push_str(&format!(
                 "cache: {} blocks x {} shards — {} hits / {} misses / {} evictions ({:.1}% hit rate)\n",
@@ -964,6 +1163,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
         _ => None,
     };
     let mut cache_totals = CacheStats::default();
+    let mut transport_totals = TransportStats::default();
 
     for (i, stage) in resolved.stages.iter().enumerate() {
         let (metrics, log) = match resolved.path {
@@ -990,6 +1190,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
                     wire_bytes: report.backend.total_wire_bytes(),
                     image_hash: hash_image(&report.viewer.final_image.to_rgba8()),
                     cache: report.cache,
+                    transport: report.transport.clone(),
                 };
                 (metrics, report.log)
             }
@@ -997,6 +1198,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
                 let config = resolved.stage_sim_config(stage, i);
                 let report = run_sim_campaign(&config)?;
                 let cache_delta = resolved.replay_stage_cache(stage, sim_cache.as_ref());
+                let transport_replay = resolved.replay_stage_transport(stage);
                 let frame_bytes = config.pipeline.dataset.bytes_per_timestep().bytes();
                 // The sizing the virtual-time send-time model itself uses.
                 let wire_per_frame = config.pipeline.viewer_payload_bytes_per_pe() * resolved.pes as u64;
@@ -1013,8 +1215,19 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
                     wire_bytes: wire_per_frame * stage.timesteps as u64,
                     image_hash: 0,
                     cache: cache_delta,
+                    transport: transport_replay.clone(),
                 };
                 let mut log = report.log;
+                // Replay the real path's transport telemetry through the one
+                // shared emitter, at a deterministic virtual timestamp — the
+                // two logs read identically by construction.
+                let mut transport_collector = netlogger::Collector::virtual_time();
+                crate::campaign::real::log_transport_stats(
+                    &transport_collector.logger("transport", "striped-link"),
+                    Some(report.total_time),
+                    &transport_replay,
+                );
+                log.merge(transport_collector.snapshot());
                 if sim_cache.is_some() {
                     // Mirror the real path's per-stage cache summary event so
                     // the same NetLogger analysis reads either log.
@@ -1038,6 +1251,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
         cache_totals.misses += metrics.cache.misses;
         cache_totals.evictions += metrics.cache.evictions;
         cache_totals.entries = metrics.cache.entries;
+        transport_totals.merge(&metrics.transport);
         merged.merge(shift_log(&log, offset));
         offset += metrics.total_time;
         stages.push(StageReport {
@@ -1059,6 +1273,10 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
         seed: resolved.seed,
         stages,
         cache,
+        transport: TransportReport {
+            config: resolved.transport.clone(),
+            totals: transport_totals,
+        },
         log: merged,
     })
 }
@@ -1090,6 +1308,7 @@ mod tests {
             render: None,
             real: None,
             sim: None,
+            transport: None,
             cache: None,
             stages: None,
         }
@@ -1108,11 +1327,13 @@ mod tests {
                 name: "a".to_string(),
                 share: 50.0,
                 execution: Some(ExecutionMode::Serial),
+                stripes: None,
             },
             StageSpec {
                 name: "b".to_string(),
                 share: 50.0,
                 execution: Some(ExecutionMode::Overlapped),
+                stripes: None,
             },
         ]);
         let text = spec.to_toml_string().unwrap();
@@ -1199,11 +1420,13 @@ execution = "serial"
                 name: "a".to_string(),
                 share: 60.0,
                 execution: None,
+                stripes: None,
             },
             StageSpec {
                 name: "b".to_string(),
                 share: 60.0,
                 execution: None,
+                stripes: None,
             },
         ]);
         let err = spec.resolve().unwrap_err();
@@ -1219,16 +1442,19 @@ execution = "serial"
                 name: "a".to_string(),
                 share: 33.0,
                 execution: None,
+                stripes: None,
             },
             StageSpec {
                 name: "b".to_string(),
                 share: 33.0,
                 execution: None,
+                stripes: None,
             },
             StageSpec {
                 name: "c".to_string(),
                 share: 34.0,
                 execution: None,
+                stripes: None,
             },
         ]);
         let resolved = spec.resolve().unwrap();
@@ -1277,11 +1503,13 @@ execution = "serial"
                 name: "serial-probe".to_string(),
                 share: 50.0,
                 execution: Some(ExecutionMode::Serial),
+                stripes: None,
             },
             StageSpec {
                 name: "overlapped-sustained".to_string(),
                 share: 50.0,
                 execution: Some(ExecutionMode::Overlapped),
+                stripes: None,
             },
         ]);
         let report = run_scenario(&spec).unwrap();
@@ -1318,11 +1546,13 @@ execution = "serial"
                 name: "first-pass".to_string(),
                 share: 50.0,
                 execution: None,
+                stripes: None,
             },
             StageSpec {
                 name: "replay".to_string(),
                 share: 50.0,
                 execution: None,
+                stripes: None,
             },
         ]);
         spec
@@ -1413,6 +1643,185 @@ execution = "serial"
         });
         let err = spec.resolve().unwrap_err();
         assert!(err.to_string().contains("use_dpss"), "{err}");
+    }
+
+    #[test]
+    fn transport_table_parses_resolves_and_paces() {
+        let doc = r#"
+[scenario]
+name = "striped"
+seed = 3
+path = "real"
+
+[testbed]
+kind = "esnet-anl-smp"
+
+[pipeline]
+pes = 2
+timesteps = 2
+execution = "serial"
+
+[transport]
+stripes = 8
+chunk_kb = 4
+queue_depth = 16
+tcp = "untuned"
+emulate_wan = true
+"#;
+        let spec = ScenarioSpec::from_toml_str(doc).unwrap();
+        let resolved = spec.resolve().unwrap();
+        assert_eq!(resolved.transport.stripes, 8);
+        assert_eq!(resolved.transport.chunk_bytes, 4 * 1024);
+        assert_eq!(resolved.transport.queue_depth, 16);
+        assert_eq!(resolved.transport.tuning, TcpTuning::Untuned);
+        assert!(resolved.transport_explicit);
+        let config = resolved.stage_transport_config(&resolved.stages[0]);
+        assert!(config.is_paced(), "emulate_wan derives a pacing rate");
+        // The pacing rate comes from the striped TCP session model: untuned
+        // single-stripe is an order of magnitude slower than 8 stripes.
+        let single = resolved.viewer_tcp_model(1).steady_throughput().mbps();
+        let striped = resolved.viewer_tcp_model(8).steady_throughput().mbps();
+        assert!(
+            striped > 5.0 * single,
+            "striping must lift the ceiling: {single} vs {striped}"
+        );
+        // The sim path inherits the same model.
+        let sim = resolved.stage_sim_config(&resolved.stages[0], 0);
+        assert_eq!(
+            sim.transport,
+            Some(SimTransportModel {
+                stripes: 8,
+                tuning: TcpTuning::Untuned
+            })
+        );
+    }
+
+    #[test]
+    fn default_transport_is_four_unshaped_wan_tuned_stripes() {
+        let resolved = minimal_spec(ExecutionPath::Real).resolve().unwrap();
+        assert_eq!(resolved.transport.stripes, 4);
+        assert!(!resolved.transport_explicit);
+        let config = resolved.stage_transport_config(&resolved.stages[0]);
+        assert!(!config.is_paced());
+        // Without an explicit table the sim send phase keeps the calibrated
+        // legacy model.
+        assert!(resolved.stage_sim_config(&resolved.stages[0], 0).transport.is_none());
+    }
+
+    #[test]
+    fn invalid_transport_specs_are_rejected() {
+        for (stripes, chunk_kb, queue_depth) in [
+            (Some(0u32), None, None),
+            (Some(65), None, None),
+            (None, Some(0usize), None),
+            (None, None, Some(0usize)),
+        ] {
+            let mut spec = minimal_spec(ExecutionPath::VirtualTime);
+            spec.transport = Some(TransportSpec {
+                stripes,
+                chunk_kb,
+                queue_depth,
+                tcp: None,
+                emulate_wan: None,
+            });
+            let err = spec.resolve().unwrap_err();
+            assert!(err.to_string().contains("transport"), "{err}");
+        }
+        // A stage asking for zero stripes is rejected too.
+        let mut spec = minimal_spec(ExecutionPath::VirtualTime);
+        spec.stages = Some(vec![StageSpec {
+            name: "zero".to_string(),
+            share: 100.0,
+            execution: None,
+            stripes: Some(0),
+        }]);
+        assert!(spec.resolve().unwrap_err().to_string().contains("stripes"));
+    }
+
+    fn striped_spec(path: ExecutionPath) -> ScenarioSpec {
+        let mut spec = minimal_spec(path);
+        spec.pipeline.timesteps = 4;
+        spec.transport = Some(TransportSpec {
+            stripes: Some(8),
+            chunk_kb: Some(1),
+            queue_depth: None,
+            tcp: None,
+            emulate_wan: None,
+        });
+        spec.stages = Some(vec![
+            StageSpec {
+                name: "stripe-1".to_string(),
+                share: 50.0,
+                execution: None,
+                stripes: Some(1),
+            },
+            StageSpec {
+                name: "stripe-8".to_string(),
+                share: 50.0,
+                execution: None,
+                stripes: None, // inherits the table's 8
+            },
+        ]);
+        spec
+    }
+
+    #[test]
+    fn stage_stripe_overrides_sweep_the_link_on_both_paths() {
+        let real = run_scenario(&striped_spec(ExecutionPath::Real)).unwrap();
+        let sim = run_scenario(&striped_spec(ExecutionPath::VirtualTime)).unwrap();
+        for report in [&real, &sim] {
+            assert_eq!(report.stages[0].metrics.transport.stripe_count(), 1);
+            assert_eq!(report.stages[1].metrics.transport.stripe_count(), 8);
+            // Every stripe of the 8-stripe stage carried chunks (1 KB chunks
+            // against a 16 KB texture guarantee > 8 chunks per frame).
+            assert!(report.stages[1]
+                .metrics
+                .transport
+                .per_stripe
+                .iter()
+                .all(|s| s.chunks > 0));
+            assert_eq!(report.transport.config.stripes, 8);
+            assert_eq!(
+                report.transport.totals.frames,
+                report.stages.iter().map(|s| s.metrics.transport.frames).sum::<u64>()
+            );
+            // Both logs carry per-link and per-stripe telemetry events.
+            assert_eq!(report.log.with_tag(tags::TRANSPORT_STATS).count(), 2);
+            assert_eq!(report.log.with_tag(tags::TRANSPORT_STRIPE).count(), 1 + 8);
+        }
+        // Structurally identical per-stage telemetry across the paths.
+        for (r, s) in real.stages.iter().zip(&sim.stages) {
+            assert_eq!(
+                r.metrics.transport.stripe_count(),
+                s.metrics.transport.stripe_count(),
+                "stage {}",
+                r.name
+            );
+            assert_eq!(r.metrics.transport.frames, s.metrics.transport.frames);
+        }
+    }
+
+    #[test]
+    fn fingerprint_covers_transport_config_and_striping() {
+        for path in ExecutionPath::ALL {
+            let fp = |s: &ScenarioSpec| run_scenario(s).unwrap().replay_fingerprint();
+            let base = striped_spec(path);
+            assert_eq!(fp(&base), fp(&base), "{} fingerprint unstable", path.label());
+            // A different stage stripe count restripes the same bytes.
+            let mut restriped = base.clone();
+            restriped.stages.as_mut().unwrap()[0].stripes = Some(2);
+            assert_ne!(
+                fp(&base),
+                fp(&restriped),
+                "{} fingerprint misses striping",
+                path.label()
+            );
+            // A queue-depth change moves no bytes and changes no counters —
+            // the config itself is covered.
+            let mut deeper = base.clone();
+            deeper.transport.as_mut().unwrap().queue_depth = Some(64);
+            assert_ne!(fp(&base), fp(&deeper), "{} fingerprint misses the config", path.label());
+        }
     }
 
     #[test]

@@ -19,9 +19,10 @@
 use crate::config::{ExecutionMode, PipelineConfig};
 use crate::error::VisapultError;
 use crate::platform::ComputePlatform;
+use crate::transport::TcpTuning;
 use dpss::DpssSimModel;
 use netlogger::{tags, Collector, EventLog, FieldValue, ProfileAnalysis};
-use netsim::{Bandwidth, DataSize, LinkKind, Testbed};
+use netsim::{Bandwidth, DataSize, LinkKind, TcpModel, Testbed};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -31,6 +32,16 @@ use serde::{Deserialize, Serialize};
 /// and per-block request overheads folded together).  Calibrated against the
 /// paper's "433 Mbps ≈ 70 % of the OC-12" observation in §4.2.
 pub const DEFAULT_WAN_EFFICIENCY: f64 = 0.75;
+
+/// The striped back-end -> viewer transport, as the virtual-time path models
+/// it: the same stripe count and TCP tuning the real link paces itself by.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTransportModel {
+    /// Parallel stripes per PE link.
+    pub stripes: u32,
+    /// TCP stack the stripes model.
+    pub tuning: TcpTuning,
+}
 
 /// Configuration of one virtual-time campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,6 +56,9 @@ pub struct SimCampaignConfig {
     pub pipeline: PipelineConfig,
     /// The DPSS deployment serving the data.
     pub dpss: DpssSimModel,
+    /// Striped viewer-link transport model (`None` keeps the legacy
+    /// raw-bottleneck send model, preserving the calibrated figure numbers).
+    pub transport: Option<SimTransportModel>,
     /// Application-level efficiency multiplier on the achieved load rate
     /// (1.0 after the §4.2 streamlining, ≈0.56 for the SC99-era staging).
     pub app_efficiency: f64,
@@ -137,6 +151,7 @@ impl SimCampaignConfig {
             platform,
             pipeline,
             dpss: DpssSimModel::four_server_2000(),
+            transport: None,
             app_efficiency: 1.0,
             wan_efficiency: DEFAULT_WAN_EFFICIENCY,
             jitter_seed: 2000,
@@ -252,12 +267,22 @@ impl SimCampaignConfig {
     }
 
     /// Per-frame heavy-payload send time over the back-end → viewer path.
+    /// With a striped transport model the achievable rate is the striped TCP
+    /// session's steady goodput (untuned single stripes are window-limited,
+    /// striping lifts the ceiling); without one, the raw path bottleneck.
     fn send_time(&self) -> f64 {
         let per_pe = self.pipeline.viewer_payload_bytes_per_pe();
         let total = DataSize::from_bytes(per_pe * self.pipeline.pes as u64);
         let route = self.testbed.viewer_route(0);
-        let bottleneck = self.testbed.topology.route_bottleneck(&route);
-        total.bits() as f64 / bottleneck.bps() + self.testbed.topology.route_rtt(&route).as_secs_f64()
+        let rtt = self.testbed.topology.route_rtt(&route).as_secs_f64();
+        let rate = match &self.transport {
+            None => self.testbed.topology.route_bottleneck(&route),
+            Some(t) => {
+                let links: Vec<_> = self.testbed.topology.route_links(&route).collect();
+                TcpModel::from_path(links, t.tuning.tcp_config(), t.stripes).steady_throughput()
+            }
+        };
+        total.bits() as f64 / rate.bps() + rtt
     }
 }
 
@@ -602,6 +627,36 @@ mod tests {
         // Lifeline plot renders.
         let plot = netlogger::LifelinePlot::new(&report.log, netlogger::NlvOptions::default());
         assert!(plot.render().contains("BE_LOAD_END"));
+    }
+
+    #[test]
+    fn striped_transport_model_shapes_the_send_phase() {
+        // With the transport modeled, an untuned single-stripe viewer link is
+        // window-limited over the ESnet RTT; eight stripes lift the ceiling —
+        // the striping effect, visible in virtual time.
+        let base = SimCampaignConfig::esnet_anl(4, 3, ExecutionMode::Serial);
+        let mut single = base.clone();
+        single.transport = Some(SimTransportModel {
+            stripes: 1,
+            tuning: TcpTuning::Untuned,
+        });
+        let mut striped = base.clone();
+        striped.transport = Some(SimTransportModel {
+            stripes: 8,
+            tuning: TcpTuning::Untuned,
+        });
+        let s1 = run_sim_campaign(&single).unwrap();
+        let s8 = run_sim_campaign(&striped).unwrap();
+        assert!(
+            s1.mean_send_time > 2.0 * s8.mean_send_time,
+            "1 stripe {} vs 8 stripes {}",
+            s1.mean_send_time,
+            s8.mean_send_time
+        );
+        // No transport model keeps the legacy raw-bottleneck send model (the
+        // calibrated figure numbers depend on it).
+        let legacy = run_sim_campaign(&base).unwrap();
+        assert!(legacy.mean_send_time <= s8.mean_send_time);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod error;
 pub mod model;
 pub mod platform;
 pub mod protocol;
+pub mod transport;
 pub mod viewer;
 
 pub use baseline::{StrategyBandwidth, VisualizationStrategy};
@@ -44,13 +45,17 @@ pub use campaign::real::{
 };
 pub use campaign::scenario::{
     run_scenario, CacheReport, CacheSpec, CampaignReport, ExecutionPath, PlatformSpec, ScenarioSpec, StageReport,
-    StageSpec,
+    StageSpec, TransportReport, TransportSpec,
 };
-pub use campaign::sim::{run_sim_campaign, SimCampaignConfig, SimCampaignReport};
+pub use campaign::sim::{run_sim_campaign, SimCampaignConfig, SimCampaignReport, SimTransportModel};
 pub use config::{ExecutionMode, PipelineConfig};
 pub use data_source::{DataSource, DpssDataSource, SyntheticSource};
 pub use error::VisapultError;
 pub use model::OverlapModel;
 pub use platform::ComputePlatform;
-pub use protocol::{FramePayload, HeavyPayload, LightPayload};
-pub use viewer::{Viewer, ViewerReport};
+pub use protocol::{FramePayload, FrameSegments, HeavyPayload, LightPayload};
+pub use transport::{
+    drain_frames, plan_chunks, striped_link, FrameAssembler, FrameChunk, StripeReceiver, StripeSender, TcpTuning,
+    TransportConfig, TransportError, TransportStats,
+};
+pub use viewer::{Viewer, ViewerError, ViewerReport};

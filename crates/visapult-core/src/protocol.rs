@@ -93,6 +93,16 @@ impl FramePayload {
     pub fn wire_bytes(&self) -> u64 {
         LightPayload::ENCODED_LEN as u64 + self.heavy.payload_bytes()
     }
+
+    /// Total *framed* bytes (message headers included) this frame occupies
+    /// on the striped transport — always equal to what
+    /// `StripeSender::send_frame` returns, so telemetry that logs before the
+    /// send and counters summed after it agree.
+    pub fn framed_wire_bytes(&self) -> u64 {
+        // + the light message header (9), the heavy header segment, and the
+        // geometry count word (4); the payload bytes are already counted.
+        self.wire_bytes() + 9 + HEAVY_HEADER_LEN as u64 + 4
+    }
 }
 
 fn put_vec3(buf: &mut BytesMut, v: [f32; 3]) {
@@ -247,6 +257,150 @@ fn split_message(msg: &[u8]) -> Result<(u8, &[u8]), VisapultError> {
     Ok((msg_type, &msg[9..9 + len]))
 }
 
+/// One frame split into its wire segments, each a shared [`Bytes`] buffer —
+/// the zero-copy encoding the striped transport ships.
+///
+/// Concatenated in order the four segments are byte-identical to
+/// `encode_light(..) ‖ encode_heavy(..)`, but the texture segment is an O(1)
+/// refcount bump of the payload's own buffer rather than a copy, so a frame
+/// can be chunked onto stripes and reassembled on the far side without its
+/// pixel data ever being memcpy'd.
+#[derive(Debug, Clone)]
+pub struct FrameSegments {
+    /// The complete light-payload message (header + body).
+    pub light: Bytes,
+    /// The heavy message's header + fixed body prefix (magic, type, length,
+    /// frame, rank, texture length): [`HEAVY_HEADER_LEN`] bytes.
+    pub heavy_header: Bytes,
+    /// The raw texture, shared with the payload (no copy).
+    pub texture: Bytes,
+    /// The geometry block: segment count + packed endpoints.
+    pub geometry: Bytes,
+}
+
+/// Encoded size of [`FrameSegments::heavy_header`]: the 9-byte message header
+/// plus frame, rank and texture length.
+pub const HEAVY_HEADER_LEN: usize = 9 + 12;
+
+impl FrameSegments {
+    /// Encode a frame into its wire segments without copying the texture.
+    pub fn encode(frame: &FramePayload) -> FrameSegments {
+        let light = Bytes::from(encode_light(&frame.light));
+        let heavy = &frame.heavy;
+        let body_len = 12 + heavy.texture_rgba8.len() + 4 + heavy.geometry.len() * 24;
+        let mut header = BytesMut::with_capacity(HEAVY_HEADER_LEN);
+        header.put_u32(MAGIC);
+        header.put_u8(TYPE_HEAVY);
+        header.put_u32(body_len as u32);
+        header.put_u32(heavy.frame);
+        header.put_u32(heavy.rank);
+        header.put_u32(heavy.texture_rgba8.len() as u32);
+        let mut geometry = BytesMut::with_capacity(4 + heavy.geometry.len() * 24);
+        geometry.put_u32(heavy.geometry.len() as u32);
+        for (a, b) in heavy.geometry.iter() {
+            put_vec3(&mut geometry, *a);
+            put_vec3(&mut geometry, *b);
+        }
+        FrameSegments {
+            light,
+            heavy_header: header.freeze(),
+            texture: heavy.texture_rgba8.clone(),
+            geometry: geometry.freeze(),
+        }
+    }
+
+    /// Segment lengths in wire order.
+    pub fn lens(&self) -> [usize; 4] {
+        [
+            self.light.len(),
+            self.heavy_header.len(),
+            self.texture.len(),
+            self.geometry.len(),
+        ]
+    }
+
+    /// Total framed bytes this frame puts on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        self.lens().iter().map(|l| *l as u64).sum()
+    }
+
+    /// Decode reassembled segments back into a frame, validating every length
+    /// and the light/heavy identity fields against each other.  The texture
+    /// passes through as-is — when the segments are rejoined slices of the
+    /// sender's buffers this is a fully zero-copy decode.
+    pub fn decode(self) -> Result<FramePayload, VisapultError> {
+        let light = decode_light(&self.light)?;
+        let mut h: &[u8] = &self.heavy_header;
+        if h.remaining() < HEAVY_HEADER_LEN {
+            return Err(VisapultError::Protocol("heavy header truncated".to_string()));
+        }
+        let magic = h.get_u32();
+        if magic != MAGIC {
+            return Err(VisapultError::Protocol(format!("bad magic {magic:#x}")));
+        }
+        let msg_type = h.get_u8();
+        if msg_type != TYPE_HEAVY {
+            return Err(VisapultError::Protocol(format!(
+                "expected heavy payload, got type {msg_type}"
+            )));
+        }
+        let body_len = h.get_u32() as usize;
+        let frame = h.get_u32();
+        let rank = h.get_u32();
+        let tex_len = h.get_u32() as usize;
+        if tex_len != self.texture.len() {
+            return Err(VisapultError::Protocol(format!(
+                "texture segment is {} bytes but the header says {tex_len}",
+                self.texture.len()
+            )));
+        }
+        if body_len != 12 + tex_len + self.geometry.len() {
+            return Err(VisapultError::Protocol("heavy body length mismatch".to_string()));
+        }
+        if frame != light.frame || rank != light.rank {
+            return Err(VisapultError::Protocol(format!(
+                "light ({}, {}) and heavy ({frame}, {rank}) payloads disagree on identity",
+                light.frame, light.rank
+            )));
+        }
+        if tex_len != light.texture_width as usize * light.texture_height as usize * light.bytes_per_pixel as usize {
+            return Err(VisapultError::Protocol(format!(
+                "texture is {tex_len} bytes but the metadata promises {}x{}x{}",
+                light.texture_width, light.texture_height, light.bytes_per_pixel
+            )));
+        }
+        let mut g: &[u8] = &self.geometry;
+        if g.remaining() < 4 {
+            return Err(VisapultError::Protocol(
+                "heavy payload geometry count missing".to_string(),
+            ));
+        }
+        let seg_count = g.get_u32() as usize;
+        if g.remaining() != seg_count * 24 {
+            return Err(VisapultError::Protocol("heavy payload geometry truncated".to_string()));
+        }
+        if seg_count != light.geometry_segments as usize {
+            return Err(VisapultError::Protocol(format!(
+                "geometry has {seg_count} segments but the metadata promises {}",
+                light.geometry_segments
+            )));
+        }
+        let mut geometry = Vec::with_capacity(seg_count);
+        for _ in 0..seg_count {
+            geometry.push((get_vec3(&mut g), get_vec3(&mut g)));
+        }
+        Ok(FramePayload {
+            heavy: HeavyPayload {
+                frame,
+                rank,
+                texture_rgba8: self.texture,
+                geometry: Arc::new(geometry),
+            },
+            light,
+        })
+    }
+}
+
 /// Write one frame (light then heavy, the order the paper prescribes) to a
 /// byte stream — used when the back-end → viewer link is a real TCP socket.
 pub fn write_frame<W: Write>(w: &mut W, frame: &FramePayload) -> Result<(), VisapultError> {
@@ -342,6 +496,70 @@ mod tests {
         assert!(dec.texture_rgba8.ptr_eq(&msg.slice(21..21 + dec.texture_rgba8.len())));
         // Truncation errors still apply.
         assert!(decode_heavy_shared(&msg.slice(..msg.len() - 10)).is_err());
+    }
+
+    #[test]
+    fn segment_encode_matches_the_legacy_wire_format() {
+        let f = sample_frame();
+        let segments = FrameSegments::encode(&f);
+        let mut legacy = encode_light(&f.light);
+        legacy.extend_from_slice(&encode_heavy(&f.heavy));
+        let mut concat = Vec::new();
+        for seg in [
+            &segments.light,
+            &segments.heavy_header,
+            &segments.texture,
+            &segments.geometry,
+        ] {
+            concat.extend_from_slice(seg);
+        }
+        assert_eq!(concat, legacy, "segments concatenate to the legacy encoding");
+        assert_eq!(segments.wire_bytes(), legacy.len() as u64);
+        assert_eq!(segments.heavy_header.len(), HEAVY_HEADER_LEN);
+        // The payload-side accessor agrees with the encoded reality, so
+        // telemetry logged before a send matches the counters summed after.
+        assert_eq!(f.framed_wire_bytes(), segments.wire_bytes());
+    }
+
+    #[test]
+    fn segment_encode_shares_the_texture_and_decode_round_trips() {
+        let f = sample_frame();
+        let before = bytes::deep_copy_count();
+        let segments = FrameSegments::encode(&f);
+        assert!(
+            segments.texture.ptr_eq(&f.heavy.texture_rgba8),
+            "the texture segment must be the payload's own buffer"
+        );
+        let texture = segments.texture.clone();
+        let back = segments.decode().unwrap();
+        assert_eq!(back, f);
+        assert!(back.heavy.texture_rgba8.ptr_eq(&texture), "decode passes it through");
+        assert_eq!(
+            bytes::deep_copy_count(),
+            before,
+            "segment encode/decode must never deep-copy"
+        );
+    }
+
+    #[test]
+    fn segment_decode_rejects_inconsistent_frames() {
+        let f = sample_frame();
+        // Texture shorter than the header promises.
+        let mut s = FrameSegments::encode(&f);
+        s.texture = s.texture.slice(..s.texture.len() - 4);
+        assert!(s.decode().is_err());
+        // Light and heavy disagreeing on identity.
+        let mut wrong = f.clone();
+        wrong.light.frame += 1;
+        assert!(FrameSegments::encode(&wrong).decode().is_err());
+        // Geometry truncated.
+        let mut s = FrameSegments::encode(&f);
+        s.geometry = s.geometry.slice(..s.geometry.len() - 1);
+        assert!(s.decode().is_err());
+        // Metadata promising a different texture size.
+        let mut wrong = f.clone();
+        wrong.light.texture_width += 1;
+        assert!(FrameSegments::encode(&wrong).decode().is_err());
     }
 
     #[test]

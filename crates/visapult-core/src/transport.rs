@@ -1,0 +1,1019 @@
+//! The striped WAN transport: chunked, sequence-numbered, shaped frame links.
+//!
+//! "the Visapult viewer and back end use multiple TCP streams between each
+//! back end PE and the viewer" (§3.4) — striping is what let the paper drive
+//! an OC-12 at line rate when a single circa-2000 TCP window could not.  This
+//! module gives the real pipeline that link for real: a [`StripedLink`]
+//! carries each frame as [`FrameChunk`]s fanned round-robin across N stripes,
+//! each stripe a bounded in-process channel (backpressure) optionally paced
+//! by a [`netsim::StripePacer`] derived from [`netsim::TcpModel`] — so the
+//! real path *feels* the modeled WAN: untuned windows crawl, striping flies.
+//!
+//! Frames are encoded zero-copy ([`crate::protocol::FrameSegments`]): chunks
+//! are O(1) [`Bytes`] slices of the payload's own buffers, and the receiving
+//! [`FrameAssembler`] rejoins contiguous slices (`Bytes::try_join`) so a
+//! texture crosses the link without a single memcpy.  Chunks carry global and
+//! per-stripe sequence numbers; reassembly tolerates arbitrary arrival
+//! interleavings and surfaces out-of-order and late-chunk telemetry.
+//!
+//! Both campaign paths consume the same configuration: the real pipeline runs
+//! the link, the virtual-time path replays [`plan_chunks`] over the modeled
+//! payload sizes, so the two report structurally identical
+//! [`TransportStats`].
+
+use crate::error::VisapultError;
+use crate::protocol::{FramePayload, FrameSegments, LightPayload};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use netsim::{Bandwidth, StripePacer, TcpConfig, TcpModel};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Which circa-2000 TCP stack the link's stripes model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TcpTuning {
+    /// 64 KB receiver windows: a single stream is window-limited on any WAN.
+    Untuned,
+    /// Large tuned buffers, as the DPSS and Visapult striped sockets used.
+    WanTuned,
+}
+
+impl TcpTuning {
+    /// The corresponding TCP model parameters.
+    pub fn tcp_config(&self) -> TcpConfig {
+        match self {
+            TcpTuning::Untuned => TcpConfig::untuned(),
+            TcpTuning::WanTuned => TcpConfig::wan_tuned(),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TcpTuning::Untuned => "untuned",
+            TcpTuning::WanTuned => "wan-tuned",
+        }
+    }
+}
+
+/// Configuration of one striped back-end → viewer link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// Parallel stripes per PE link.
+    pub stripes: u32,
+    /// Maximum chunk payload size in bytes.
+    pub chunk_bytes: usize,
+    /// Bounded per-stripe queue depth, in chunks (backpressure).
+    pub queue_depth: usize,
+    /// TCP stack the stripes model (drives pacing and the virtual-time path).
+    pub tuning: TcpTuning,
+    /// Aggregate pacing rate in Mbps (`None` = unshaped, full speed).
+    pub pace_rate_mbps: Option<f64>,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            stripes: 4,
+            chunk_bytes: 8 * 1024,
+            queue_depth: 32,
+            tuning: TcpTuning::WanTuned,
+            pace_rate_mbps: None,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Builder: set the stripe count.
+    pub fn with_stripes(mut self, stripes: u32) -> Self {
+        self.stripes = stripes.max(1);
+        self
+    }
+
+    /// Builder: set the chunk size.
+    pub fn with_chunk_bytes(mut self, chunk_bytes: usize) -> Self {
+        self.chunk_bytes = chunk_bytes.max(1);
+        self
+    }
+
+    /// Builder: pace the link to the steady-state goodput of a TCP model
+    /// (its `streams` should be this config's stripe count) — the real link
+    /// then experiences the modeled WAN behaviour.
+    pub fn paced_by(mut self, model: &TcpModel) -> Self {
+        self.pace_rate_mbps = Some(model.steady_throughput().mbps());
+        self
+    }
+
+    /// True when the link is bandwidth-shaped.
+    pub fn is_paced(&self) -> bool {
+        self.pace_rate_mbps.is_some()
+    }
+}
+
+/// Transport-layer failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// Every stripe of the link has disconnected.
+    Closed,
+    /// A chunk or reassembled frame failed validation.
+    Corrupt(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "striped link closed"),
+            TransportError::Corrupt(msg) => write!(f, "corrupt transport chunk: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<TransportError> for VisapultError {
+    fn from(e: TransportError) -> Self {
+        VisapultError::Protocol(e.to_string())
+    }
+}
+
+/// One chunk of one frame, as carried by one stripe.
+#[derive(Debug, Clone)]
+pub struct FrameChunk {
+    /// Timestep number.
+    pub frame: u32,
+    /// Sending PE rank.
+    pub rank: u32,
+    /// Global chunk index within the frame (reassembly order).
+    pub seq: u32,
+    /// Total chunks in the frame.
+    pub total: u32,
+    /// Stripe that carried this chunk.
+    pub stripe: u32,
+    /// Per-stripe FIFO sequence number.
+    pub stripe_seq: u64,
+    /// Which wire segment (0 light, 1 heavy header, 2 texture, 3 geometry)
+    /// this chunk slices.
+    pub segment: u8,
+    /// The chunk bytes — an O(1) slice of the sender's segment buffer.
+    pub payload: Bytes,
+}
+
+/// One planned chunk: where it falls in the wire segments and which stripe
+/// carries it.  [`plan_chunks`] is a pure function shared by the real sender
+/// and the virtual-time replay, so both paths stripe identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Global chunk index within the frame.
+    pub seq: u32,
+    /// Stripe assignment (round-robin by `seq`).
+    pub stripe: u32,
+    /// Wire segment index (0..4).
+    pub segment: u8,
+    /// Byte offset within the segment.
+    pub start: usize,
+    /// Chunk length in bytes.
+    pub len: usize,
+}
+
+/// Split a frame's wire segments into chunks of at most `chunk_bytes`,
+/// assigned round-robin across `stripes`.  Chunks never span a segment
+/// boundary, so every chunk is a pure slice of one shared buffer.
+pub fn plan_chunks(segment_lens: [usize; 4], chunk_bytes: usize, stripes: u32) -> Vec<ChunkPlan> {
+    let chunk_bytes = chunk_bytes.max(1);
+    let stripes = stripes.max(1);
+    let mut plans = Vec::new();
+    let mut seq = 0u32;
+    for (segment, &len) in segment_lens.iter().enumerate() {
+        let mut start = 0usize;
+        while start < len {
+            let take = chunk_bytes.min(len - start);
+            plans.push(ChunkPlan {
+                seq,
+                stripe: seq % stripes,
+                segment: segment as u8,
+                start,
+                len: take,
+            });
+            seq += 1;
+            start += take;
+        }
+    }
+    plans
+}
+
+/// Per-stripe counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeStats {
+    /// Chunks this stripe carried.
+    pub chunks: u64,
+    /// Payload bytes this stripe carried.
+    pub bytes: u64,
+}
+
+/// Telemetry of one striped link (or the sum of several).
+///
+/// `frames`, `chunks`, `bytes` and `per_stripe` are deterministic for a given
+/// scenario seed (chunking and stripe assignment are pure functions of the
+/// payload); `out_of_order_chunks`, `partial_updates` and `reassembly_copies`
+/// depend on thread timing and are excluded from replay fingerprints, exactly
+/// as wall-clock timestamps are.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Frames fully carried (sender) or reassembled (receiver).
+    pub frames: u64,
+    /// Total chunks.
+    pub chunks: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Per-stripe breakdown, indexed by stripe.
+    pub per_stripe: Vec<StripeStats>,
+    /// Chunks that arrived out of global sequence order (receiver side).
+    pub out_of_order_chunks: u64,
+    /// Progressive scene updates emitted from incomplete frames (viewer).
+    pub partial_updates: u64,
+    /// Reassemblies that fell back to a gather copy because a segment's
+    /// slices were not rejoinable in place (0 on the in-process link).
+    pub reassembly_copies: u64,
+}
+
+impl TransportStats {
+    /// Zeroed stats sized for `stripes`.
+    pub fn with_stripes(stripes: usize) -> Self {
+        TransportStats {
+            per_stripe: vec![StripeStats::default(); stripes.max(1)],
+            ..Default::default()
+        }
+    }
+
+    /// Record one chunk on `stripe`.
+    pub fn record_chunk(&mut self, stripe: u32, bytes: usize) {
+        let idx = stripe as usize;
+        if idx >= self.per_stripe.len() {
+            self.per_stripe.resize(idx + 1, StripeStats::default());
+        }
+        self.per_stripe[idx].chunks += 1;
+        self.per_stripe[idx].bytes += bytes as u64;
+        self.chunks += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Number of stripes these stats cover.
+    pub fn stripe_count(&self) -> usize {
+        self.per_stripe.len()
+    }
+
+    /// Element-wise accumulate `other` into `self` (stripe vectors are padded
+    /// to the longer of the two).
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.frames += other.frames;
+        self.chunks += other.chunks;
+        self.bytes += other.bytes;
+        self.out_of_order_chunks += other.out_of_order_chunks;
+        self.partial_updates += other.partial_updates;
+        self.reassembly_copies += other.reassembly_copies;
+        if self.per_stripe.len() < other.per_stripe.len() {
+            self.per_stripe.resize(other.per_stripe.len(), StripeStats::default());
+        }
+        for (mine, theirs) in self.per_stripe.iter_mut().zip(&other.per_stripe) {
+            mine.chunks += theirs.chunks;
+            mine.bytes += theirs.bytes;
+        }
+    }
+
+    /// Mean payload bytes per stripe (how evenly the fan-out spread).
+    pub fn mean_stripe_bytes(&self) -> f64 {
+        if self.per_stripe.is_empty() {
+            0.0
+        } else {
+            self.bytes as f64 / self.per_stripe.len() as f64
+        }
+    }
+}
+
+struct SenderState {
+    pacer: Option<StripePacer>,
+    stripe_seq: Vec<u64>,
+}
+
+/// The sending half of a striped link (one per back-end PE).
+pub struct StripeSender {
+    config: TransportConfig,
+    txs: Vec<Sender<FrameChunk>>,
+    state: Mutex<SenderState>,
+    stats: Arc<Mutex<TransportStats>>,
+}
+
+impl StripeSender {
+    /// The link configuration.
+    pub fn config(&self) -> &TransportConfig {
+        &self.config
+    }
+
+    /// Snapshot of the sender-side telemetry.
+    pub fn stats(&self) -> TransportStats {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// A shared handle onto the telemetry, usable after the sender has been
+    /// moved into the back end.
+    pub fn stats_handle(&self) -> Arc<Mutex<TransportStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Encode `frame` zero-copy, chunk it across the stripes (pacing each
+    /// chunk when the link is shaped) and return the framed wire bytes.
+    /// Blocks when a stripe queue is full — that is the backpressure.
+    pub fn send_frame(&self, frame: &FramePayload) -> Result<u64, TransportError> {
+        let segments = FrameSegments::encode(frame);
+        let plans = plan_chunks(segments.lens(), self.config.chunk_bytes, self.config.stripes);
+        let seg_bufs = [
+            segments.light,
+            segments.heavy_header,
+            segments.texture,
+            segments.geometry,
+        ];
+        let total = plans.len() as u32;
+        let mut wire = 0u64;
+        for plan in &plans {
+            let payload = seg_bufs[plan.segment as usize].slice(plan.start..plan.start + plan.len);
+            let (stripe_seq, delay) = {
+                let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                let s = state.stripe_seq[plan.stripe as usize];
+                state.stripe_seq[plan.stripe as usize] += 1;
+                let delay = state
+                    .pacer
+                    .as_mut()
+                    .map(|p| p.consume(plan.stripe as usize, plan.len as u64))
+                    .unwrap_or(Duration::ZERO);
+                (s, delay)
+            };
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            wire += plan.len as u64;
+            self.txs[plan.stripe as usize]
+                .send(FrameChunk {
+                    frame: frame.light.frame,
+                    rank: frame.light.rank,
+                    seq: plan.seq,
+                    total,
+                    stripe: plan.stripe,
+                    stripe_seq,
+                    segment: plan.segment,
+                    payload,
+                })
+                .map_err(|_| TransportError::Closed)?;
+        }
+        let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.frames += 1;
+        for plan in &plans {
+            stats.record_chunk(plan.stripe, plan.len);
+        }
+        Ok(wire)
+    }
+
+    /// Inject a raw chunk onto its stripe, bypassing framing — the fault
+    /// hook tests use to exercise duplicate, late and corrupt arrivals.
+    pub fn send_raw_chunk(&self, chunk: FrameChunk) -> Result<(), TransportError> {
+        let stripe = chunk.stripe as usize % self.txs.len();
+        self.txs[stripe].send(chunk).map_err(|_| TransportError::Closed)
+    }
+}
+
+/// The receiving half of a striped link: services every stripe and hands out
+/// chunks in arrival order (which is *not* sequence order — that is the
+/// reassembler's problem, as it is for striped sockets).
+pub struct StripeReceiver {
+    rxs: Vec<Receiver<FrameChunk>>,
+    open: Vec<bool>,
+    rotation: usize,
+}
+
+impl StripeReceiver {
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.rxs.len()
+    }
+
+    /// Next chunk from any stripe; `Err(Closed)` once every stripe has
+    /// disconnected and drained.
+    pub fn recv_chunk(&mut self) -> Result<FrameChunk, TransportError> {
+        let n = self.rxs.len();
+        let mut idle_passes = 0u32;
+        loop {
+            let mut any_open = false;
+            for i in 0..n {
+                let idx = (self.rotation + i) % n;
+                if !self.open[idx] {
+                    continue;
+                }
+                match self.rxs[idx].try_recv() {
+                    Ok(chunk) => {
+                        self.rotation = (idx + 1) % n;
+                        return Ok(chunk);
+                    }
+                    Err(TryRecvError::Empty) => any_open = true,
+                    Err(TryRecvError::Disconnected) => self.open[idx] = false,
+                }
+            }
+            if !any_open {
+                return Err(TransportError::Closed);
+            }
+            // Park on one open stripe instead of spinning; the next pass
+            // polls the others again.  Back the park off (0.5 → 4 ms) while
+            // the link stays idle — a WAN-paced link can go tens of
+            // milliseconds between chunks, and an idle I/O thread should not
+            // wake two thousand times a second waiting for it.
+            let idx = (0..n)
+                .map(|i| (self.rotation + i) % n)
+                .find(|&i| self.open[i])
+                .expect("an open stripe exists");
+            let park = Duration::from_micros(500 << idle_passes.min(3));
+            match self.rxs[idx].recv_timeout(park) {
+                Ok(chunk) => {
+                    self.rotation = (idx + 1) % n;
+                    return Ok(chunk);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    idle_passes += 1;
+                    self.rotation = (self.rotation + 1) % n;
+                }
+                Err(RecvTimeoutError::Disconnected) => self.open[idx] = false,
+            }
+        }
+    }
+
+    /// Non-blocking poll: the next already-queued chunk, if any.  Used to
+    /// drain stragglers (late stripes) after the expected frames are in.
+    pub fn try_recv_chunk(&mut self) -> Option<FrameChunk> {
+        let n = self.rxs.len();
+        for i in 0..n {
+            let idx = (self.rotation + i) % n;
+            if !self.open[idx] {
+                continue;
+            }
+            match self.rxs[idx].try_recv() {
+                Ok(chunk) => {
+                    self.rotation = (idx + 1) % n;
+                    return Some(chunk);
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => self.open[idx] = false,
+            }
+        }
+        None
+    }
+
+    /// Convenience: pump chunks through `assembler` until the next complete
+    /// frame.
+    pub fn recv_frame(&mut self, assembler: &mut FrameAssembler) -> Result<FramePayload, TransportError> {
+        loop {
+            if let AssemblyEvent::Complete { payload, .. } = assembler.accept(self.recv_chunk()?)? {
+                return Ok(payload);
+            }
+        }
+    }
+}
+
+/// Build one striped link: `stripes` bounded chunk queues between a sender
+/// and a receiver, paced when the config says so.
+pub fn striped_link(config: &TransportConfig) -> (StripeSender, StripeReceiver) {
+    let stripes = config.stripes.max(1) as usize;
+    let mut txs = Vec::with_capacity(stripes);
+    let mut rxs = Vec::with_capacity(stripes);
+    for _ in 0..stripes {
+        let (tx, rx) = bounded(config.queue_depth.max(1));
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let pacer = config
+        .pace_rate_mbps
+        .map(|mbps| StripePacer::from_rate(Bandwidth::from_mbps(mbps), config.stripes));
+    (
+        StripeSender {
+            config: config.clone(),
+            txs,
+            state: Mutex::new(SenderState {
+                pacer,
+                stripe_seq: vec![0; stripes],
+            }),
+            stats: Arc::new(Mutex::new(TransportStats::with_stripes(stripes))),
+        },
+        StripeReceiver {
+            rxs,
+            open: vec![true; stripes],
+            rotation: 0,
+        },
+    )
+}
+
+/// What [`FrameAssembler::accept`] observed about one chunk.
+#[derive(Debug)]
+pub enum AssemblyEvent {
+    /// Chunk stored; its frame is still incomplete.
+    Progress {
+        /// Sending PE rank.
+        rank: u32,
+        /// Timestep number.
+        frame: u32,
+        /// Chunks received so far for this frame.
+        received: u32,
+        /// Total chunks in the frame.
+        total: u32,
+    },
+    /// The chunk completed its frame; here is the reassembled payload.
+    Complete {
+        /// The frame, reassembled and validated.
+        payload: FramePayload,
+        /// Framed bytes the frame occupied on the wire.
+        wire_bytes: u64,
+    },
+    /// A stripe delivered a chunk for a frame that already completed.
+    Late {
+        /// Sending PE rank.
+        rank: u32,
+        /// Timestep number.
+        frame: u32,
+        /// Stripe the late chunk arrived on.
+        stripe: u32,
+    },
+}
+
+struct FrameAssembly {
+    total: u32,
+    received: u32,
+    slots: Vec<Option<(u8, Bytes)>>,
+}
+
+/// Reassembles out-of-order chunks into complete frames, one instance per PE
+/// link.  Late and duplicate chunks are surfaced, never silently dropped.
+#[derive(Default)]
+pub struct FrameAssembler {
+    pending: HashMap<(u32, u32), FrameAssembly>,
+    completed: HashSet<(u32, u32)>,
+    /// Receiver-side telemetry (chunks/bytes by stripe, out-of-order count,
+    /// reassembly fallback copies, frames completed).
+    pub stats: TransportStats,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one chunk in; returns what happened.
+    pub fn accept(&mut self, chunk: FrameChunk) -> Result<AssemblyEvent, TransportError> {
+        let key = (chunk.rank, chunk.frame);
+        if self.completed.contains(&key) {
+            return Ok(AssemblyEvent::Late {
+                rank: chunk.rank,
+                frame: chunk.frame,
+                stripe: chunk.stripe,
+            });
+        }
+        if chunk.total == 0 || chunk.seq >= chunk.total {
+            return Err(TransportError::Corrupt(format!(
+                "chunk seq {}/{} out of range (rank {}, frame {})",
+                chunk.seq, chunk.total, chunk.rank, chunk.frame
+            )));
+        }
+        let assembly = self.pending.entry(key).or_insert_with(|| FrameAssembly {
+            total: chunk.total,
+            received: 0,
+            slots: vec![None; chunk.total as usize],
+        });
+        if assembly.total != chunk.total {
+            return Err(TransportError::Corrupt(format!(
+                "frame {} chunk totals disagree: {} vs {}",
+                chunk.frame, assembly.total, chunk.total
+            )));
+        }
+        if assembly.slots[chunk.seq as usize].is_some() {
+            return Err(TransportError::Corrupt(format!(
+                "duplicate chunk {} for frame {} (rank {})",
+                chunk.seq, chunk.frame, chunk.rank
+            )));
+        }
+        if chunk.seq != assembly.received {
+            self.stats.out_of_order_chunks += 1;
+        }
+        self.stats.record_chunk(chunk.stripe, chunk.payload.len());
+        assembly.slots[chunk.seq as usize] = Some((chunk.segment, chunk.payload));
+        assembly.received += 1;
+        if assembly.received < assembly.total {
+            return Ok(AssemblyEvent::Progress {
+                rank: chunk.rank,
+                frame: chunk.frame,
+                received: assembly.received,
+                total: assembly.total,
+            });
+        }
+        let assembly = self.pending.remove(&key).expect("assembly present");
+        self.completed.insert(key);
+        let (segments, copies) = assemble_segments(assembly.slots);
+        self.stats.reassembly_copies += copies;
+        let wire_bytes = segments.wire_bytes();
+        let payload = segments.decode().map_err(|e| TransportError::Corrupt(e.to_string()))?;
+        self.stats.frames += 1;
+        Ok(AssemblyEvent::Complete { payload, wire_bytes })
+    }
+
+    /// Frames currently mid-assembly, as `(rank, frame, received, total)` —
+    /// what a closing link leaves behind.
+    pub fn pending_frames(&self) -> Vec<(u32, u32, u32, u32)> {
+        let mut v: Vec<(u32, u32, u32, u32)> = self
+            .pending
+            .iter()
+            .map(|(&(rank, frame), a)| (rank, frame, a.received, a.total))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// True once `(rank, frame)` has fully assembled.
+    pub fn is_complete(&self, rank: u32, frame: u32) -> bool {
+        self.completed.contains(&(rank, frame))
+    }
+
+    /// The light payload of a pending frame, as soon as its chunks are in —
+    /// the viewer uses this to place the quad before any pixels arrive.
+    pub fn partial_light(&self, rank: u32, frame: u32) -> Option<LightPayload> {
+        let assembly = self.pending.get(&(rank, frame))?;
+        let mut light: Option<Bytes> = None;
+        for slot in &assembly.slots {
+            match slot {
+                Some((0, part)) => {
+                    light = Some(match light {
+                        None => part.clone(),
+                        Some(prev) => prev.try_join(part)?,
+                    });
+                }
+                Some((_, _)) => break, // past the light segment: it is complete
+                None => break,         // gap: decode below fails if light is truncated
+            }
+        }
+        crate::protocol::decode_light(&light?).ok()
+    }
+
+    /// The contiguous texture prefix of a pending frame: joined zero-copy
+    /// from the received chunks, stopping at the first gap.  Returns the
+    /// prefix bytes (empty before any texture chunk lands).
+    pub fn partial_texture(&self, rank: u32, frame: u32) -> Option<Bytes> {
+        let assembly = self.pending.get(&(rank, frame))?;
+        let mut texture: Option<Bytes> = None;
+        for slot in &assembly.slots {
+            match slot {
+                Some((2, part)) => {
+                    texture = Some(match texture {
+                        None => part.clone(),
+                        Some(prev) => match prev.try_join(part) {
+                            Some(joined) => joined,
+                            None => return Some(prev), // non-adjacent: stop at the prefix
+                        },
+                    });
+                }
+                Some((s, _)) if *s > 2 => break,
+                Some(_) => {}
+                None => break, // gap: everything after is not a prefix
+            }
+        }
+        Some(texture.unwrap_or_default())
+    }
+}
+
+/// Join each segment's slices back into one buffer (zero-copy when the
+/// slices are contiguous windows of one allocation, which they are on the
+/// in-process link) and count any gather fallbacks.
+fn assemble_segments(slots: Vec<Option<(u8, Bytes)>>) -> (FrameSegments, u64) {
+    let mut copies = 0u64;
+    let mut segments: [Vec<Bytes>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for slot in slots {
+        let (segment, part) = slot.expect("assembly is complete");
+        segments[(segment as usize).min(3)].push(part);
+    }
+    let mut join = |parts: Vec<Bytes>| -> Bytes {
+        let mut merged: Vec<Bytes> = Vec::with_capacity(parts.len());
+        for part in parts {
+            match merged.last_mut() {
+                Some(prev) => match prev.try_join(&part) {
+                    Some(joined) => *prev = joined,
+                    None => merged.push(part),
+                },
+                None => merged.push(part),
+            }
+        }
+        if merged.len() > 1 {
+            copies += 1;
+            Bytes::gather(&merged)
+        } else {
+            merged.pop().unwrap_or_default()
+        }
+    };
+    let [light, header, texture, geometry] = segments;
+    let segs = FrameSegments {
+        light: join(light),
+        heavy_header: join(header),
+        texture: join(texture),
+        geometry: join(geometry),
+    };
+    (segs, copies)
+}
+
+/// Pump a receiver until its link closes, returning every frame completed in
+/// arrival order — the whole-frame convenience the tests and benches use.
+pub fn drain_frames(rx: &mut StripeReceiver) -> Result<Vec<FramePayload>, TransportError> {
+    let mut assembler = FrameAssembler::new();
+    let mut out = Vec::new();
+    loop {
+        match rx.recv_chunk() {
+            Err(TransportError::Closed) => return Ok(out),
+            Err(e) => return Err(e),
+            Ok(chunk) => {
+                if let AssemblyEvent::Complete { payload, .. } = assembler.accept(chunk)? {
+                    out.push(payload);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::HeavyPayload;
+    use std::time::Instant;
+
+    fn sample_frame(frame: u32, rank: u32, tex_size: usize) -> FramePayload {
+        let texture: Bytes = (0..tex_size * tex_size * 4)
+            .map(|i| (i % 251) as u8)
+            .collect::<Vec<u8>>()
+            .into();
+        FramePayload {
+            light: LightPayload {
+                frame,
+                rank,
+                texture_width: tex_size as u32,
+                texture_height: tex_size as u32,
+                bytes_per_pixel: 4,
+                quad_center: [1.0, 2.0, 3.0],
+                quad_u: [4.0, 0.0, 0.0],
+                quad_v: [0.0, 5.0, 0.0],
+                geometry_segments: 3,
+            },
+            heavy: HeavyPayload {
+                frame,
+                rank,
+                texture_rgba8: texture,
+                geometry: Arc::new(vec![([0.0; 3], [1.0; 3]), ([2.0; 3], [3.0; 3]), ([4.0; 3], [5.0; 3])]),
+            },
+        }
+    }
+
+    #[test]
+    fn chunk_plan_covers_every_byte_round_robin() {
+        let lens = [78, 21, 16_384, 76];
+        let plans = plan_chunks(lens, 4096, 3);
+        // Coverage: per segment the chunks tile [0, len).
+        for (segment, &len) in lens.iter().enumerate() {
+            let mut cursor = 0usize;
+            for p in plans.iter().filter(|p| p.segment == segment as u8) {
+                assert_eq!(p.start, cursor);
+                assert!(p.len <= 4096 && p.len > 0);
+                cursor += p.len;
+            }
+            assert_eq!(cursor, len, "segment {segment} fully covered");
+        }
+        // Sequence numbers dense, stripes round-robin.
+        for (i, p) in plans.iter().enumerate() {
+            assert_eq!(p.seq as usize, i);
+            assert_eq!(p.stripe, p.seq % 3);
+        }
+        assert_eq!(plans.iter().map(|p| p.len).sum::<usize>(), lens.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn striped_roundtrip_is_zero_copy() {
+        let config = TransportConfig::default().with_stripes(4).with_chunk_bytes(1000);
+        let (tx, mut rx) = striped_link(&config);
+        let frames: Vec<FramePayload> = (0..3).map(|f| sample_frame(f, 7, 16)).collect();
+        let before = bytes::deep_copy_count();
+        let mut wire = 0;
+        for f in &frames {
+            wire += tx.send_frame(f).unwrap();
+        }
+        let sender_stats = tx.stats();
+        drop(tx);
+        let got = drain_frames(&mut rx).unwrap();
+        assert_eq!(bytes::deep_copy_count() - before, 0, "striping must not copy");
+        assert_eq!(got.len(), 3);
+        for (a, b) in got.iter().zip(&frames) {
+            assert_eq!(a, b);
+            assert!(
+                a.heavy.texture_rgba8.ptr_eq(&b.heavy.texture_rgba8),
+                "the texture must arrive as the sender's own buffer"
+            );
+        }
+        assert_eq!(sender_stats.frames, 3);
+        assert_eq!(sender_stats.bytes, wire);
+        assert_eq!(sender_stats.stripe_count(), 4);
+        assert!(sender_stats.per_stripe.iter().all(|s| s.chunks > 0));
+    }
+
+    #[test]
+    fn chunking_is_deterministic_across_sends() {
+        let config = TransportConfig::default().with_stripes(5).with_chunk_bytes(777);
+        let (tx1, mut rx1) = striped_link(&config);
+        let (tx2, mut rx2) = striped_link(&config);
+        let f = sample_frame(0, 1, 24);
+        tx1.send_frame(&f).unwrap();
+        tx2.send_frame(&f).unwrap();
+        assert_eq!(tx1.stats(), tx2.stats(), "same payload, same striping");
+        drop(tx1);
+        drop(tx2);
+        drain_frames(&mut rx1).unwrap();
+        drain_frames(&mut rx2).unwrap();
+    }
+
+    #[test]
+    fn reassembly_survives_arbitrary_reordering() {
+        // Hand-shuffle a frame's chunks (violating even per-stripe FIFO) and
+        // feed them to a bare assembler: the payload must still be exact.
+        let f = sample_frame(4, 2, 16);
+        let segments = FrameSegments::encode(&f);
+        let seg_bufs = [
+            segments.light.clone(),
+            segments.heavy_header.clone(),
+            segments.texture.clone(),
+            segments.geometry.clone(),
+        ];
+        let plans = plan_chunks(segments.lens(), 512, 3);
+        let total = plans.len() as u32;
+        assert!(total >= 4, "need several chunks to reorder");
+        let mut chunks: Vec<FrameChunk> = plans
+            .iter()
+            .map(|p| FrameChunk {
+                frame: 4,
+                rank: 2,
+                seq: p.seq,
+                total,
+                stripe: p.stripe,
+                stripe_seq: 0,
+                segment: p.segment,
+                payload: seg_bufs[p.segment as usize].slice(p.start..p.start + p.len),
+            })
+            .collect();
+        // Deterministic "random" permutation.
+        let n = chunks.len();
+        for i in 0..n {
+            let j = (i * 7 + 3) % n;
+            chunks.swap(i, j);
+        }
+        let mut asm = FrameAssembler::new();
+        let mut completed = None;
+        for c in chunks {
+            if let AssemblyEvent::Complete { payload, .. } = asm.accept(c).unwrap() {
+                completed = Some(payload);
+            }
+        }
+        let got = completed.expect("frame completes");
+        assert_eq!(got, f);
+        assert!(got.heavy.texture_rgba8.ptr_eq(&f.heavy.texture_rgba8));
+        assert!(asm.stats.out_of_order_chunks > 0, "the shuffle was observed");
+        assert_eq!(asm.stats.reassembly_copies, 0, "rejoin is in-place");
+    }
+
+    #[test]
+    fn late_and_duplicate_chunks_are_surfaced() {
+        let config = TransportConfig::default().with_stripes(2).with_chunk_bytes(256);
+        let (tx, mut rx) = striped_link(&config);
+        let f = sample_frame(0, 0, 8);
+        tx.send_frame(&f).unwrap();
+        let mut asm = FrameAssembler::new();
+        let payload = rx.recv_frame(&mut asm).unwrap();
+        assert_eq!(payload, f);
+        // A stripe delivers a stale chunk after the frame completed.
+        tx.send_raw_chunk(FrameChunk {
+            frame: 0,
+            rank: 0,
+            seq: 0,
+            total: 4,
+            stripe: 1,
+            stripe_seq: 99,
+            segment: 0,
+            payload: Bytes::from(vec![0u8; 16]),
+        })
+        .unwrap();
+        drop(tx);
+        let chunk = rx.recv_chunk().unwrap();
+        match asm.accept(chunk).unwrap() {
+            AssemblyEvent::Late {
+                frame: 0,
+                rank: 0,
+                stripe: 1,
+            } => {}
+            other => panic!("expected Late, got {other:?}"),
+        }
+        assert!(matches!(rx.recv_chunk(), Err(TransportError::Closed)));
+        // Duplicates within a pending frame are corrupt, not silent.
+        let mut asm = FrameAssembler::new();
+        let chunk = FrameChunk {
+            frame: 9,
+            rank: 0,
+            seq: 0,
+            total: 2,
+            stripe: 0,
+            stripe_seq: 0,
+            segment: 0,
+            payload: Bytes::from(vec![1u8; 4]),
+        };
+        asm.accept(chunk.clone()).unwrap();
+        assert!(matches!(asm.accept(chunk), Err(TransportError::Corrupt(_))));
+    }
+
+    #[test]
+    fn partial_light_and_texture_grow_with_chunks() {
+        let f = sample_frame(1, 3, 16);
+        let segments = FrameSegments::encode(&f);
+        let seg_bufs = [
+            segments.light.clone(),
+            segments.heavy_header.clone(),
+            segments.texture.clone(),
+            segments.geometry.clone(),
+        ];
+        let plans = plan_chunks(segments.lens(), 256, 2);
+        let total = plans.len() as u32;
+        let mut asm = FrameAssembler::new();
+        assert!(asm.partial_light(3, 1).is_none());
+        let mut seen_partial_texture = false;
+        for p in &plans[..plans.len() - 1] {
+            asm.accept(FrameChunk {
+                frame: 1,
+                rank: 3,
+                seq: p.seq,
+                total,
+                stripe: p.stripe,
+                stripe_seq: 0,
+                segment: p.segment,
+                payload: seg_bufs[p.segment as usize].slice(p.start..p.start + p.len),
+            })
+            .unwrap();
+            if p.segment == 0 {
+                let light = asm.partial_light(3, 1).expect("light decodes as soon as it lands");
+                assert_eq!(light, f.light);
+            }
+            if p.segment == 2 {
+                let prefix = asm.partial_texture(3, 1).unwrap();
+                assert_eq!(prefix.len(), p.start + p.len);
+                assert_eq!(&prefix[..], &f.heavy.texture_rgba8[..prefix.len()]);
+                seen_partial_texture = true;
+            }
+        }
+        assert!(seen_partial_texture);
+        assert_eq!(asm.pending_frames(), vec![(3, 1, total - 1, total)]);
+    }
+
+    #[test]
+    fn pacing_throttles_the_link() {
+        // 1 MB of texture over a 8 Mbps (1 MB/s) paced link must take close
+        // to a second; unpaced it is effectively instant.
+        let unpaced = TransportConfig::default().with_stripes(4).with_chunk_bytes(64 * 1024);
+        let mut paced = unpaced.clone();
+        paced.pace_rate_mbps = Some(8.0);
+        let f = sample_frame(0, 0, 512); // 512*512*4 = 1 MB texture
+        for (config, min_s, max_s) in [(&unpaced, 0.0, 0.4), (&paced, 0.6, 30.0)] {
+            let (tx, mut rx) = striped_link(config);
+            let drain = std::thread::spawn(move || drain_frames(&mut rx).unwrap().len());
+            let t = Instant::now();
+            tx.send_frame(&f).unwrap();
+            drop(tx);
+            assert_eq!(drain.join().unwrap(), 1);
+            let elapsed = t.elapsed().as_secs_f64();
+            assert!(
+                elapsed >= min_s && elapsed <= max_s,
+                "paced={} took {elapsed}s",
+                config.is_paced()
+            );
+        }
+    }
+
+    #[test]
+    fn stats_merge_pads_stripe_vectors() {
+        let mut a = TransportStats::with_stripes(2);
+        a.record_chunk(0, 10);
+        a.frames = 1;
+        let mut b = TransportStats::with_stripes(4);
+        b.record_chunk(3, 40);
+        b.out_of_order_chunks = 2;
+        a.merge(&b);
+        assert_eq!(a.stripe_count(), 4);
+        assert_eq!(a.frames, 1);
+        assert_eq!(a.chunks, 2);
+        assert_eq!(a.bytes, 50);
+        assert_eq!(a.per_stripe[3].bytes, 40);
+        assert_eq!(a.out_of_order_chunks, 2);
+    }
+}

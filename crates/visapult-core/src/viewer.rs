@@ -1,4 +1,4 @@
-//! The Visapult viewer: multi-threaded payload receipt decoupled from rendering.
+//! The Visapult viewer: a progressive stripe compositor.
 //!
 //! "the viewer itself is a multi-threaded application, with one thread
 //! dedicated to interactive rendering, and other threads dedicated to
@@ -6,17 +6,21 @@
 //! multiple simultaneous network connections" (§3.4).
 //!
 //! [`Viewer::run`] spawns one I/O thread per back-end PE link.  Each thread
-//! receives light + heavy payloads, converts them into textured-quad (and
-//! line) scene-graph nodes, and updates the shared [`SceneGraph`].  The
-//! render thread snapshots the graph and rasterizes the IBRAVR composite at
-//! its own rate for as long as the pipeline runs — its frame rate depends on
-//! local compositing cost, not on the WAN.
+//! services every stripe of its [`StripeReceiver`], reassembling
+//! sequence-numbered chunks as they arrive — and it does not wait for whole
+//! frames: as soon as a frame's light payload lands the quad is placed in the
+//! scene graph, and every contiguous texture prefix that arrives updates it
+//! in place, so the render thread composites *partial* frames while the rest
+//! of the stripes are still in flight (the paper's key UX property: the
+//! display is never blocked on the WAN).  Out-of-order completions, late
+//! stripes after a frame's final composite, and frames lost to a dying link
+//! are surfaced as typed [`ViewerError`]s, never silently dropped.
 
-use crate::protocol::FramePayload;
-use crossbeam::channel::Receiver;
+use crate::transport::{AssemblyEvent, FrameAssembler, StripeReceiver, TransportStats};
 use netlogger::{tags, NetLogger};
 use scenegraph::{NodeId, Quad3, RasterSettings, Rasterizer, SceneGraph, SceneGraphStats, SceneNode};
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use volren::{RgbaImage, ViewOrientation};
@@ -46,15 +50,66 @@ impl ViewerConfig {
     }
 }
 
+/// A delivery anomaly the viewer observed and handled.  These are reported,
+/// not panicked on: a WAN viewer must keep compositing through them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ViewerError {
+    /// A stripe delivered a chunk for a frame whose final composite was
+    /// already integrated.
+    LateStripe {
+        /// Sending PE rank.
+        rank: u32,
+        /// The completed frame the chunk belonged to.
+        frame: u32,
+        /// Stripe the straggler arrived on.
+        stripe: u32,
+    },
+    /// A frame completed after a newer frame from the same PE had already
+    /// been composited; its texture was not allowed to roll the scene back.
+    StaleFrame {
+        /// Sending PE rank.
+        rank: u32,
+        /// The out-of-order frame.
+        frame: u32,
+        /// The newest frame already shown for this PE.
+        newest: u32,
+    },
+    /// The link closed before this frame fully arrived.
+    MissingFrame {
+        /// Sending PE rank.
+        rank: u32,
+        /// The frame that never completed.
+        frame: u32,
+        /// Chunks that did arrive (0 when the frame was never seen at all).
+        received_chunks: u32,
+        /// Total chunks the frame announced (0 when never seen).
+        total_chunks: u32,
+    },
+    /// A chunk or reassembled frame failed validation.
+    Corrupt {
+        /// Sending PE rank.
+        rank: u32,
+        /// What failed.
+        detail: String,
+    },
+}
+
 /// What the viewer observed during a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ViewerReport {
-    /// Total frame payloads received across all PE links.
+    /// Complete frame payloads received across all PE links.
     pub frames_received: usize,
     /// Number of composites the render thread produced while the pipeline ran.
     pub renders_performed: u64,
-    /// Bytes received over all PE links.
+    /// Framed bytes received over all PE links.
     pub received_wire_bytes: u64,
+    /// Scene-graph updates made from *incomplete* frames — placed quads and
+    /// partial textures integrated while stripes were still in flight.
+    pub partial_updates: u64,
+    /// Receiver-side transport telemetry summed over every PE link.
+    pub transport: TransportStats,
+    /// Every delivery anomaly observed, in arrival order per link.
+    pub errors: Vec<ViewerError>,
     /// Scene-graph activity counters.
     pub scene_stats: SceneGraphStats,
     /// The final composited image.
@@ -81,72 +136,205 @@ impl Viewer {
         &self.scene
     }
 
-    /// Receive payloads from one back-end link until it delivers
-    /// `expected_frames` frames or closes; update the scene graph for each.
+    /// Service one back-end PE link chunk-by-chunk until it delivers
+    /// `expected_frames` frames or closes, integrating partial and complete
+    /// frames into the scene graph.  Returns the link's receiver-side
+    /// transport stats and every anomaly observed.
     #[allow(clippy::too_many_arguments)]
     fn io_thread(
         scene: &SceneGraph,
-        rx: &Receiver<FramePayload>,
+        mut rx: StripeReceiver,
+        pe: usize,
         texture_node: NodeId,
         grid_node: NodeId,
         expected_frames: usize,
         log: Option<&NetLogger>,
         frames_received: &AtomicU64,
         bytes_received: &AtomicU64,
-    ) {
-        for _ in 0..expected_frames {
-            let payload = match rx.recv() {
-                Ok(p) => p,
+        partial_updates: &AtomicU64,
+    ) -> (TransportStats, Vec<ViewerError>) {
+        let rank = pe as u32;
+        let mut assembler = FrameAssembler::new();
+        let mut errors = Vec::new();
+        let mut completed = 0usize;
+        let mut newest_shown: Option<u32> = None;
+        let mut started: HashSet<u32> = HashSet::new();
+        let mut light_logged: HashSet<u32> = HashSet::new();
+        let mut partial_shown: HashMap<u32, usize> = HashMap::new();
+        let mut partials = 0u64;
+
+        while completed < expected_frames {
+            let chunk = match rx.recv_chunk() {
+                Ok(c) => c,
                 Err(_) => break, // back end went away
             };
-            let frame = payload.light.frame as u64;
+            let frame = chunk.frame;
             if let Some(l) = log {
-                l.log_with(tags::V_FRAME_START, [(tags::FIELD_FRAME, frame)]);
-                l.log_with(tags::V_LIGHTPAYLOAD_START, [(tags::FIELD_FRAME, frame)]);
-                l.log_with(tags::V_LIGHTPAYLOAD_END, [(tags::FIELD_FRAME, frame)]);
-                l.log_with(
-                    tags::V_HEAVYPAYLOAD_START,
-                    [
-                        (tags::FIELD_FRAME, frame),
-                        (tags::FIELD_BYTES, payload.heavy.payload_bytes()),
-                    ],
-                );
+                if started.insert(frame) {
+                    l.log_with(tags::V_FRAME_START, [(tags::FIELD_FRAME, u64::from(frame))]);
+                    l.log_with(tags::V_LIGHTPAYLOAD_START, [(tags::FIELD_FRAME, u64::from(frame))]);
+                }
             }
-            let image = RgbaImage::from_rgba8(
-                payload.light.texture_width as usize,
-                payload.light.texture_height as usize,
-                &payload.heavy.texture_rgba8,
-            );
-            let quad = Quad3 {
-                center: payload.light.quad_center,
-                u: payload.light.quad_u,
-                v: payload.light.quad_v,
-            };
-            scene.update(texture_node, SceneNode::TextureQuad { image, quad });
-            scene.update(
-                grid_node,
-                SceneNode::Lines {
-                    // Refcount bump, not a copy: the scene graph shares the
-                    // payload's segment list.
-                    segments: Arc::clone(&payload.heavy.geometry),
-                    color: [0.4, 0.9, 0.4, 0.8],
-                },
-            );
-            bytes_received.fetch_add(payload.wire_bytes(), Ordering::Relaxed);
-            frames_received.fetch_add(1, Ordering::Relaxed);
-            if let Some(l) = log {
-                l.log_with(tags::V_HEAVYPAYLOAD_END, [(tags::FIELD_FRAME, frame)]);
-                l.log_with(tags::V_FRAME_END, [(tags::FIELD_FRAME, frame)]);
+            match assembler.accept(chunk) {
+                Err(e) => errors.push(ViewerError::Corrupt {
+                    rank,
+                    detail: e.to_string(),
+                }),
+                Ok(AssemblyEvent::Late { rank, frame, stripe }) => {
+                    errors.push(ViewerError::LateStripe { rank, frame, stripe });
+                }
+                Ok(AssemblyEvent::Progress { rank, frame, .. }) => {
+                    let Some(light) = assembler.partial_light(rank, frame) else {
+                        continue;
+                    };
+                    if let Some(l) = log {
+                        if light_logged.insert(frame) {
+                            let promised = u64::from(light.texture_width)
+                                * u64::from(light.texture_height)
+                                * u64::from(light.bytes_per_pixel)
+                                + u64::from(light.geometry_segments) * 24;
+                            l.log_with(tags::V_LIGHTPAYLOAD_END, [(tags::FIELD_FRAME, u64::from(frame))]);
+                            l.log_with(
+                                tags::V_HEAVYPAYLOAD_START,
+                                [(tags::FIELD_FRAME, u64::from(frame)), (tags::FIELD_BYTES, promised)],
+                            );
+                        }
+                    }
+                    // Progressive integration: never roll back past a newer
+                    // frame.  Rebuild the partial texture when the quad first
+                    // appears (light landed) and thereafter only when the
+                    // contiguous prefix grew by at least a quarter of the
+                    // texture — bounding scene rebuilds per frame regardless
+                    // of how finely the link chunked it.
+                    if newest_shown.map(|n| frame >= n).unwrap_or(true) {
+                        let width = light.texture_width as usize;
+                        let height = light.texture_height as usize;
+                        let full = width * height * light.bytes_per_pixel as usize;
+                        let prefix = assembler.partial_texture(rank, frame).unwrap_or_default();
+                        let shown = partial_shown.get(&frame).copied();
+                        let grown = prefix.len().saturating_sub(shown.unwrap_or(0));
+                        if shown.is_none() || grown * 4 >= full.max(1) {
+                            let mut buf = Vec::with_capacity(full);
+                            buf.extend_from_slice(&prefix);
+                            buf.resize(full, 0);
+                            let image = RgbaImage::from_rgba8(width, height, &buf);
+                            let quad = Quad3 {
+                                center: light.quad_center,
+                                u: light.quad_u,
+                                v: light.quad_v,
+                            };
+                            scene.update(texture_node, SceneNode::TextureQuad { image, quad });
+                            partial_shown.insert(frame, prefix.len());
+                            partials += 1;
+                        }
+                    }
+                }
+                Ok(AssemblyEvent::Complete { payload, wire_bytes }) => {
+                    completed += 1;
+                    let frame = payload.light.frame;
+                    bytes_received.fetch_add(wire_bytes, Ordering::Relaxed);
+                    frames_received.fetch_add(1, Ordering::Relaxed);
+                    if let Some(l) = log {
+                        if light_logged.insert(frame) {
+                            l.log_with(tags::V_LIGHTPAYLOAD_END, [(tags::FIELD_FRAME, u64::from(frame))]);
+                            l.log_with(
+                                tags::V_HEAVYPAYLOAD_START,
+                                [
+                                    (tags::FIELD_FRAME, u64::from(frame)),
+                                    (tags::FIELD_BYTES, payload.heavy.payload_bytes()),
+                                ],
+                            );
+                        }
+                    }
+                    match newest_shown {
+                        Some(newest) if frame < newest => {
+                            errors.push(ViewerError::StaleFrame { rank, frame, newest });
+                        }
+                        _ => {
+                            let image = RgbaImage::from_rgba8(
+                                payload.light.texture_width as usize,
+                                payload.light.texture_height as usize,
+                                &payload.heavy.texture_rgba8,
+                            );
+                            let quad = Quad3 {
+                                center: payload.light.quad_center,
+                                u: payload.light.quad_u,
+                                v: payload.light.quad_v,
+                            };
+                            scene.update(texture_node, SceneNode::TextureQuad { image, quad });
+                            scene.update(
+                                grid_node,
+                                SceneNode::Lines {
+                                    // Refcount bump, not a copy: the scene graph
+                                    // shares the payload's segment list.
+                                    segments: Arc::clone(&payload.heavy.geometry),
+                                    color: [0.4, 0.9, 0.4, 0.8],
+                                },
+                            );
+                            newest_shown = Some(frame);
+                        }
+                    }
+                    partial_shown.remove(&frame);
+                    if let Some(l) = log {
+                        l.log_with(tags::V_HEAVYPAYLOAD_END, [(tags::FIELD_FRAME, u64::from(frame))]);
+                        l.log_with(tags::V_FRAME_END, [(tags::FIELD_FRAME, u64::from(frame))]);
+                    }
+                }
             }
         }
+
+        // Every expected frame is in (or the link died): drain stragglers so
+        // late stripes are observed rather than abandoned in the queues.
+        while let Some(chunk) = rx.try_recv_chunk() {
+            let stripe = chunk.stripe;
+            match assembler.accept(chunk) {
+                Ok(AssemblyEvent::Late { rank, frame, stripe }) => {
+                    errors.push(ViewerError::LateStripe { rank, frame, stripe })
+                }
+                Ok(_) => {}
+                Err(e) => errors.push(ViewerError::Corrupt {
+                    rank,
+                    detail: format!("straggler on stripe {stripe}: {e}"),
+                }),
+            }
+        }
+
+        // Surface what never finished: partially-assembled frames first, then
+        // frames this link never saw at all.
+        for (rank, frame, received, total) in assembler.pending_frames() {
+            errors.push(ViewerError::MissingFrame {
+                rank,
+                frame,
+                received_chunks: received,
+                total_chunks: total,
+            });
+        }
+        if completed < expected_frames {
+            let pending: HashSet<u32> = assembler.pending_frames().iter().map(|&(_, f, _, _)| f).collect();
+            for frame in 0..expected_frames as u32 {
+                if !assembler.is_complete(rank, frame) && !pending.contains(&frame) {
+                    errors.push(ViewerError::MissingFrame {
+                        rank,
+                        frame,
+                        received_chunks: 0,
+                        total_chunks: 0,
+                    });
+                }
+            }
+        }
+        partial_updates.fetch_add(partials, Ordering::Relaxed);
+        let mut stats = assembler.stats.clone();
+        stats.partial_updates = partials;
+        (stats, errors)
     }
 
-    /// Run the viewer against one receiver per back-end PE.  Blocks until
-    /// every link has delivered its expected frames (or closed), then returns
-    /// the report with the final composite.
-    pub fn run(self, links: Vec<Receiver<FramePayload>>, logger: Option<NetLogger>) -> ViewerReport {
+    /// Run the viewer against one striped receiver per back-end PE.  Blocks
+    /// until every link has delivered its expected frames (or closed), then
+    /// returns the report with the final composite.
+    pub fn run(self, links: Vec<StripeReceiver>, logger: Option<NetLogger>) -> ViewerReport {
         let frames_received = AtomicU64::new(0);
         let bytes_received = AtomicU64::new(0);
+        let partial_updates = AtomicU64::new(0);
         let renders = AtomicU64::new(0);
         let done = Arc::new(AtomicBool::new(false));
         let raster_settings = RasterSettings::framing_volume(
@@ -172,10 +360,12 @@ impl Viewer {
             })
             .collect();
 
+        let mut transport = TransportStats::default();
+        let mut errors = Vec::new();
         std::thread::scope(|scope| {
-            // I/O service threads, one per back-end PE.
+            // I/O service threads, one per back-end PE link.
             let io_handles: Vec<_> = links
-                .iter()
+                .into_iter()
                 .enumerate()
                 .map(|(pe, rx)| {
                     let scene = &self.scene;
@@ -183,18 +373,21 @@ impl Viewer {
                     let log = logger.as_ref().map(|l| l.for_program(format!("viewer-worker-{pe}")));
                     let frames_received = &frames_received;
                     let bytes_received = &bytes_received;
+                    let partial_updates = &partial_updates;
                     let expected = self.config.expected_frames;
                     scope.spawn(move || {
                         Self::io_thread(
                             scene,
                             rx,
+                            pe,
                             texture_node,
                             grid_node,
                             expected,
                             log.as_ref(),
                             frames_received,
                             bytes_received,
-                        );
+                            partial_updates,
+                        )
                     })
                 })
                 .collect();
@@ -220,7 +413,10 @@ impl Viewer {
             // Join the I/O threads (they exit once every expected frame has
             // arrived or their sender hangs up), then stop the render thread.
             for handle in io_handles {
-                let _ = handle.join();
+                if let Ok((stats, errs)) = handle.join() {
+                    transport.merge(&stats);
+                    errors.extend(errs);
+                }
             }
             done.store(true, Ordering::Relaxed);
         });
@@ -232,6 +428,9 @@ impl Viewer {
             frames_received: frames_received.load(Ordering::Relaxed) as usize,
             renders_performed: renders.load(Ordering::Relaxed),
             received_wire_bytes: bytes_received.load(Ordering::Relaxed),
+            partial_updates: partial_updates.load(Ordering::Relaxed),
+            transport,
+            errors,
             scene_stats: self.scene.stats(),
             final_image,
         }
@@ -241,8 +440,9 @@ impl Viewer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{HeavyPayload, LightPayload};
-    use crossbeam::channel::unbounded;
+    use crate::protocol::{FramePayload, HeavyPayload, LightPayload};
+    use crate::transport::{striped_link, FrameChunk, StripeSender, TransportConfig};
+    use bytes::Bytes;
 
     fn payload(rank: u32, frame: u32, size: usize) -> FramePayload {
         let mut img = RgbaImage::new(size, size);
@@ -272,22 +472,28 @@ mod tests {
         }
     }
 
+    fn links(pes: usize) -> (Vec<StripeSender>, Vec<StripeReceiver>) {
+        let config = TransportConfig::default().with_chunk_bytes(512);
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..pes {
+            let (tx, rx) = striped_link(&config);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        (senders, receivers)
+    }
+
     #[test]
     fn viewer_receives_frames_and_composites() {
         let pes = 3;
         let frames = 4;
-        let mut senders = Vec::new();
-        let mut receivers = Vec::new();
-        for _ in 0..pes {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
+        let (senders, receivers) = links(pes);
         let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), frames));
         let producer = std::thread::spawn(move || {
             for f in 0..frames {
                 for (r, tx) in senders.iter().enumerate() {
-                    tx.send(payload(r as u32, f as u32, 16)).unwrap();
+                    tx.send_frame(&payload(r as u32, f as u32, 16)).unwrap();
                 }
                 std::thread::sleep(std::time::Duration::from_millis(5));
             }
@@ -297,38 +503,139 @@ mod tests {
         assert_eq!(report.frames_received, pes * frames);
         assert!(report.renders_performed >= 1);
         assert!(report.received_wire_bytes > 0);
+        assert!(report.errors.is_empty(), "clean run: {:?}", report.errors);
+        assert_eq!(report.transport.frames, (pes * frames) as u64);
         assert!(
             report.final_image.coverage() > 0.05,
             "final image should show the slabs"
         );
         // Scene graph saw one texture + one grid update per payload plus the
-        // initial placeholder inserts.
+        // initial placeholder inserts (and any progressive partials on top).
         assert!(report.scene_stats.updates >= (pes * frames * 2) as u64);
     }
 
     #[test]
-    fn viewer_handles_early_disconnect() {
-        let (tx, rx) = unbounded();
-        let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), 10));
-        tx.send(payload(0, 0, 8)).unwrap();
-        drop(tx); // back end dies after one frame
+    fn viewer_integrates_partial_frames_before_completion() {
+        // 16×16×4 = 1 KB textures over 128-byte chunks: each frame arrives as
+        // many chunks, so the quad must be placed and partially textured
+        // before the frame completes.
+        let config = TransportConfig::default().with_stripes(4).with_chunk_bytes(128);
+        let (tx, rx) = striped_link(&config);
+        let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), 2));
+        let producer = std::thread::spawn(move || {
+            for f in 0..2 {
+                tx.send_frame(&payload(0, f, 16)).unwrap();
+            }
+        });
         let report = viewer.run(vec![rx], None);
+        producer.join().unwrap();
+        assert_eq!(report.frames_received, 2);
+        assert!(
+            report.partial_updates >= 1,
+            "progressive compositor must integrate stripes before the frame completes"
+        );
+        assert_eq!(report.transport.partial_updates, report.partial_updates);
+        assert!(report.errors.is_empty());
+    }
+
+    #[test]
+    fn viewer_handles_early_disconnect_with_typed_missing_frames() {
+        let (senders, mut receivers) = links(1);
+        let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), 10));
+        let tx = senders.into_iter().next().unwrap();
+        tx.send_frame(&payload(0, 0, 8)).unwrap();
+        drop(tx); // back end dies after one frame
+        let report = viewer.run(vec![receivers.remove(0)], None);
         assert_eq!(report.frames_received, 1);
+        // Frames 1..10 never arrived: nine typed MissingFrame errors.
+        let missing: Vec<_> = report
+            .errors
+            .iter()
+            .filter(|e| matches!(e, ViewerError::MissingFrame { .. }))
+            .collect();
+        assert_eq!(missing.len(), 9, "{:?}", report.errors);
+        assert!(matches!(
+            missing[0],
+            ViewerError::MissingFrame {
+                rank: 0,
+                frame: 1,
+                received_chunks: 0,
+                total_chunks: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn late_stripes_after_the_final_composite_are_reported() {
+        let config = TransportConfig::default().with_stripes(2).with_chunk_bytes(512);
+        let (tx, rx) = striped_link(&config);
+        tx.send_frame(&payload(0, 0, 8)).unwrap();
+        tx.send_frame(&payload(0, 1, 8)).unwrap();
+        // A stripe delivers one more chunk of frame 1 *after* its final
+        // composite went out.
+        tx.send_raw_chunk(FrameChunk {
+            frame: 1,
+            rank: 0,
+            seq: 0,
+            total: 4,
+            stripe: 1,
+            stripe_seq: 999,
+            segment: 0,
+            payload: Bytes::from(vec![0u8; 32]),
+        })
+        .unwrap();
+        drop(tx);
+        let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), 2));
+        let report = viewer.run(vec![rx], None);
+        assert_eq!(report.frames_received, 2);
+        assert_eq!(
+            report.errors,
+            vec![ViewerError::LateStripe {
+                rank: 0,
+                frame: 1,
+                stripe: 1
+            }],
+            "the straggler must be surfaced, not silently dropped"
+        );
+    }
+
+    #[test]
+    fn out_of_order_frame_completion_does_not_roll_the_scene_back() {
+        // Frame 1 completes before frame 0 (the sender emits it first); the
+        // viewer must keep frame 1 on screen and report frame 0 as stale.
+        let (senders, mut receivers) = links(1);
+        let tx = senders.into_iter().next().unwrap();
+        tx.send_frame(&payload(0, 1, 8)).unwrap();
+        tx.send_frame(&payload(0, 0, 8)).unwrap();
+        drop(tx);
+        let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), 2));
+        let report = viewer.run(vec![receivers.remove(0)], None);
+        assert_eq!(report.frames_received, 2, "stale frames still count as received");
+        assert_eq!(
+            report.errors,
+            vec![ViewerError::StaleFrame {
+                rank: 0,
+                frame: 0,
+                newest: 1
+            }]
+        );
     }
 
     #[test]
     fn viewer_logs_receipt_events() {
-        let (tx, rx) = unbounded();
+        let (senders, mut receivers) = links(1);
         let collector = netlogger::Collector::wall();
         let logger = collector.logger("desktop", "viewer-master");
         let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), 2));
-        tx.send(payload(0, 0, 8)).unwrap();
-        tx.send(payload(0, 1, 8)).unwrap();
+        let tx = senders.into_iter().next().unwrap();
+        tx.send_frame(&payload(0, 0, 8)).unwrap();
+        tx.send_frame(&payload(0, 1, 8)).unwrap();
         drop(tx);
-        let report = viewer.run(vec![rx], Some(logger));
+        let report = viewer.run(vec![receivers.remove(0)], Some(logger));
         assert_eq!(report.frames_received, 2);
         let log = collector.finish();
         assert_eq!(log.with_tag(tags::V_FRAME_START).count(), 2);
+        assert_eq!(log.with_tag(tags::V_LIGHTPAYLOAD_END).count(), 2);
         assert_eq!(log.with_tag(tags::V_HEAVYPAYLOAD_END).count(), 2);
     }
 
@@ -336,15 +643,16 @@ mod tests {
     fn render_rate_is_independent_of_slow_payload_arrival() {
         // Send payloads slowly; the render thread should still have run at
         // least once per scene change without waiting on the network.
-        let (tx, rx) = unbounded();
+        let (senders, mut receivers) = links(1);
         let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), 3));
+        let tx = senders.into_iter().next().unwrap();
         let producer = std::thread::spawn(move || {
             for f in 0..3 {
                 std::thread::sleep(std::time::Duration::from_millis(20));
-                tx.send(payload(0, f, 8)).unwrap();
+                tx.send_frame(&payload(0, f, 8)).unwrap();
             }
         });
-        let report = viewer.run(vec![rx], None);
+        let report = viewer.run(vec![receivers.remove(0)], None);
         producer.join().unwrap();
         assert_eq!(report.frames_received, 3);
         assert!(report.scene_stats.snapshots >= 3);

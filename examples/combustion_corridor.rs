@@ -22,6 +22,7 @@ fn stage(name: &str, share: f64, mode: ExecutionMode) -> StageSpec {
         name: name.to_string(),
         share,
         execution: Some(mode),
+        stripes: None,
     }
 }
 

@@ -138,6 +138,22 @@ impl Bytes {
     pub fn ptr_eq(&self, other: &Bytes) -> bool {
         Arc::ptr_eq(&self.data, &other.data) && self.offset == other.offset && self.len == other.len
     }
+
+    /// If `next` is the window immediately following this one in the same
+    /// allocation, return the combined window — an O(1) rejoin with no copy.
+    /// This is what lets a chunked transport slice one buffer into pieces and
+    /// reassemble them on the far side without ever touching the bytes.
+    pub fn try_join(&self, next: &Bytes) -> Option<Bytes> {
+        if Arc::ptr_eq(&self.data, &next.data) && self.offset + self.len == next.offset {
+            Some(Bytes {
+                data: Arc::clone(&self.data),
+                offset: self.offset,
+                len: self.len + next.len,
+            })
+        } else {
+            None
+        }
+    }
 }
 
 impl std::ops::Deref for Bytes {
@@ -394,6 +410,23 @@ mod tests {
         // Single-part gather is a no-op clone.
         assert!(Bytes::gather(std::slice::from_ref(&base)).ptr_eq(&base));
         assert_eq!(deep_copy_count(), before + 3);
+    }
+
+    #[test]
+    fn try_join_rejoins_contiguous_slices_without_copying() {
+        let base = Bytes::from((0u8..64).collect::<Vec<u8>>());
+        let before = deep_copy_count();
+        let a = base.slice(..20);
+        let b = base.slice(20..48);
+        let c = base.slice(48..);
+        let ab = a.try_join(&b).expect("adjacent slices join");
+        let abc = ab.try_join(&c).expect("joined window keeps joining");
+        assert!(abc.ptr_eq(&base), "full rejoin is the original window");
+        assert_eq!(deep_copy_count(), before, "joins must not copy");
+        // Non-adjacent or foreign windows refuse to join.
+        assert!(a.try_join(&c).is_none());
+        assert!(a.try_join(&Bytes::from(vec![1, 2, 3])).is_none());
+        assert!(b.try_join(&a).is_none(), "joins are ordered");
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub mod channel {
     struct Shared<T> {
         state: Mutex<State<T>>,
         ready: Condvar,
+        /// Signalled when a slot frees up in a bounded channel.
+        space: Condvar,
+        /// `None` for unbounded channels; `Some(cap)` makes `send` block
+        /// while `cap` messages are queued (backpressure).
+        capacity: Option<usize>,
     }
 
     /// The sending half; clonable.
@@ -112,8 +117,7 @@ pub mod channel {
         }
     }
 
-    /// An unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -121,6 +125,8 @@ pub mod channel {
                 receivers: 1,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
         });
         (
             Sender {
@@ -130,12 +136,33 @@ pub mod channel {
         )
     }
 
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// A bounded MPMC channel: `send` blocks while `cap` messages are queued,
+    /// giving producers real backpressure.  A capacity of zero is clamped to
+    /// one (this shim has no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
-        /// Queue a message; fails only when every receiver is gone.
+        /// Queue a message, blocking while a bounded channel is full; fails
+        /// only when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-            if state.receivers == 0 {
-                return Err(SendError(value));
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.shared.space.wait(state).unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
             }
             state.queue.push_back(value);
             drop(state);
@@ -172,6 +199,8 @@ pub mod channel {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if state.senders == 0 {
@@ -185,7 +214,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             match state.queue.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(state);
+                    self.shared.space.notify_one();
+                    Ok(v)
+                }
                 None if state.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
@@ -197,6 +230,8 @@ pub mod channel {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if state.senders == 0 {
@@ -247,7 +282,15 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).receivers -= 1;
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers -= 1;
+            let last = state.receivers == 0;
+            drop(state);
+            if last {
+                // Wake senders blocked on a full bounded channel so they can
+                // observe the disconnect instead of waiting forever.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -306,6 +349,38 @@ pub mod channel {
             );
             tx.send(9).unwrap();
             assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        }
+
+        #[test]
+        fn bounded_channel_applies_backpressure() {
+            let (tx, rx) = bounded(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            // The queue is full: a third send must block until a recv frees a
+            // slot.  Run it on a helper thread and release it from here.
+            let blocked = std::thread::spawn(move || {
+                tx.send(3).unwrap();
+                tx
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.len(), 2, "blocked sender must not have enqueued yet");
+            assert_eq!(rx.recv().unwrap(), 1);
+            let tx = blocked.join().unwrap();
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+            // A full queue with no receivers errors instead of blocking.
+            drop(rx);
+            assert!(tx.send(4).is_err());
+        }
+
+        #[test]
+        fn dropping_the_receiver_unblocks_a_full_sender() {
+            let (tx, rx) = bounded(1);
+            tx.send(1u8).unwrap();
+            let blocked = std::thread::spawn(move || tx.send(2).is_err());
+            std::thread::sleep(Duration::from_millis(20));
+            drop(rx);
+            assert!(blocked.join().unwrap(), "sender must fail once receivers are gone");
         }
 
         #[test]

@@ -9,7 +9,7 @@
 //! even higher bar: zero deep copies end to end, asserted via the `bytes`
 //! shim's process-wide copy counter.
 
-use visapult::core::{run_scenario, CacheSpec, ScenarioSpec};
+use visapult::core::{run_scenario, CacheSpec, ScenarioSpec, TransportSpec};
 
 fn assert_zero_copy_run(spec: &ScenarioSpec, label: &str) {
     let before = bytes::deep_copy_count();
@@ -34,6 +34,35 @@ fn assert_zero_copy_run(spec: &ScenarioSpec, label: &str) {
 fn real_pipeline_is_copy_free_from_load_to_viewer() {
     let spec = ScenarioSpec::bundled("quickstart_lan").unwrap();
     assert_zero_copy_run(&spec, "uncached quickstart");
+}
+
+/// The striped transport under stress: 8 stripes and 1 KB chunks force every
+/// frame through multi-chunk fan-out and out-of-order reassembly.  Chunks
+/// are O(1) slices of the frame's segment buffers and reassembly rejoins
+/// them in place (`Bytes::try_join`), so even heavily striped frames cross
+/// the link — and feed the progressive compositor — with zero deep copies.
+#[test]
+fn striped_transport_path_is_copy_free() {
+    let mut spec = ScenarioSpec::bundled("quickstart_lan").unwrap();
+    spec.transport = Some(TransportSpec {
+        stripes: Some(8),
+        chunk_kb: Some(1),
+        queue_depth: None,
+        tcp: None,
+        emulate_wan: Some(false),
+    });
+    let before = bytes::deep_copy_count();
+    let report = run_scenario(&spec).unwrap();
+    assert_eq!(
+        bytes::deep_copy_count() - before,
+        0,
+        "striping/reassembly must not copy frame bytes"
+    );
+    // Every stripe actually carried chunks, and reassembly never fell back
+    // to a gather copy.
+    assert_eq!(report.transport.totals.stripe_count(), 8);
+    assert!(report.transport.totals.per_stripe.iter().all(|s| s.chunks > 0));
+    assert_eq!(report.transport.totals.reassembly_copies, 0);
 }
 
 /// Same pipeline with the sharded block cache mounted: misses fill whole
