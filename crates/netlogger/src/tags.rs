@@ -84,6 +84,21 @@ pub const TRANSPORT_STATS: &str = "TRANSPORT_STATS";
 /// sockets).
 pub const TRANSPORT_STRIPE: &str = "TRANSPORT_STRIPE";
 
+/// Service layer: a session was admitted by the broker.
+pub const SERVICE_JOIN: &str = "SERVICE_JOIN";
+/// Service layer: a session left (or the campaign ended).
+pub const SERVICE_LEAVE: &str = "SERVICE_LEAVE";
+/// Service layer: a session was evicted for a higher tier.
+pub const SERVICE_EVICT: &str = "SERVICE_EVICT";
+/// Service layer: a session was rejected by admission control.
+pub const SERVICE_REJECT: &str = "SERVICE_REJECT";
+/// Service layer: per-stage summary of sessions, shared renders and fan-out
+/// load.  Both execution paths emit it through one shared emitter; the
+/// lifecycle and shared-render fields match across paths, while the fan-out
+/// byte field reflects each path's own payload sizing (real encoded
+/// geometry vs. the modeled allowance).
+pub const SERVICE_STATS: &str = "SERVICE_STATS";
+
 /// Standard field name: frame (timestep) number.
 pub const FIELD_FRAME: &str = "NL.frame";
 /// Standard field name: payload bytes associated with the event span.
@@ -106,6 +121,22 @@ pub const FIELD_TRANSPORT_CHUNKS: &str = "NL.transport.chunks";
 pub const FIELD_TRANSPORT_OUT_OF_ORDER: &str = "NL.transport.out_of_order";
 /// Standard field name: frames fully reassembled from stripes.
 pub const FIELD_TRANSPORT_FRAMES: &str = "NL.transport.frames";
+/// Standard field name: sessions offered to the service broker.
+pub const FIELD_SERVICE_SESSIONS: &str = "NL.service.sessions";
+/// Standard field name: sessions admitted by the broker.
+pub const FIELD_SERVICE_ADMITTED: &str = "NL.service.admitted";
+/// Standard field name: sessions rejected by admission control.
+pub const FIELD_SERVICE_REJECTED: &str = "NL.service.rejected";
+/// Standard field name: sessions evicted for higher tiers.
+pub const FIELD_SERVICE_EVICTED: &str = "NL.service.evicted";
+/// Standard field name: backend renders the shared farm performed.
+pub const FIELD_SERVICE_RENDERS: &str = "NL.service.renders";
+/// Standard field name: renders a naive per-session farm would have paid.
+pub const FIELD_SERVICE_RENDER_REQUESTS: &str = "NL.service.render_requests";
+/// Standard field name: render requests served by a shared render.
+pub const FIELD_SERVICE_SHARED_HITS: &str = "NL.service.shared_hits";
+/// Standard field name: schedule index of the session an event concerns.
+pub const FIELD_SERVICE_SESSION: &str = "NL.service.session";
 
 #[cfg(test)]
 mod tests {

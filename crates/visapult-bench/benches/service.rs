@@ -1,0 +1,165 @@
+//! Criterion bench: the multi-session service layer.
+//!
+//! Measures the shared-render fan-out plane end to end — broker admission,
+//! zero-copy chunk multicast onto per-session bounded queues, per-session
+//! reassembly — at session counts 1/8/64 (unshaped, deep queues, so the
+//! numbers are the fan-out's own overhead, not WAN pacing), with every
+//! session wave spread over 4 shared viewpoints.
+//!
+//! Besides the criterion output, a custom `main` writes a
+//! `target/BENCH_service.json` baseline (median seconds per 8-frame
+//! campaign, per-session-frame fan-out cost, and the shared-render hit rate
+//! at each scale — the broker's 1-vs-64 "more with less" number) so
+//! successive runs can be diffed mechanically.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use visapult_core::protocol::{FramePayload, HeavyPayload, LightPayload};
+use visapult_core::transport::{striped_link, TransportConfig};
+use visapult_core::{run_service_plane, QualityTier, ServiceConfig, ServiceStats, SessionBroker, SessionSpec};
+
+const TEX: usize = 128; // 128x128 RGBA8 = 64 KB per frame
+const FRAMES: u32 = 8;
+const VIEWPOINTS: u32 = 4;
+
+fn sample_frame(frame: u32) -> FramePayload {
+    let texture: Vec<u8> = (0..TEX * TEX * 4).map(|i| (i % 251) as u8).collect();
+    FramePayload {
+        light: LightPayload {
+            frame,
+            rank: 0,
+            texture_width: TEX as u32,
+            texture_height: TEX as u32,
+            bytes_per_pixel: 4,
+            quad_center: [0.5; 3],
+            quad_u: [1.0, 0.0, 0.0],
+            quad_v: [0.0, 1.0, 0.0],
+            geometry_segments: 64,
+        },
+        heavy: HeavyPayload {
+            frame,
+            rank: 0,
+            texture_rgba8: texture.into(),
+            geometry: Arc::new((0..64).map(|i| ([i as f32, 0.0, 0.0], [i as f32, 1.0, 1.0])).collect()),
+        },
+    }
+}
+
+fn schedule(sessions: u32) -> Vec<SessionSpec> {
+    (0..sessions)
+        .map(|i| {
+            let mut s = SessionSpec::new(format!("s{i}"), i % VIEWPOINTS, QualityTier::Standard);
+            // Deep enough that nothing degrades: the bench isolates fan-out
+            // cost, not queue-pressure behaviour.
+            s.queue_depth = Some(4096);
+            s
+        })
+        .collect()
+}
+
+/// One 8-frame campaign through the plane at `sessions` concurrent sessions;
+/// returns the service stats for the hit-rate report.
+fn fan_out(sessions: u32) -> ServiceStats {
+    let transport = TransportConfig::default().with_stripes(4).with_chunk_bytes(16 * 1024);
+    let config = ServiceConfig {
+        max_sessions: 128,
+        link_capacity_units: 4096,
+        render_slots: VIEWPOINTS,
+        queue_depth: 4096,
+        farm_egress_mbps: None,
+    };
+    let (tx, rx) = striped_link(&transport);
+    let broker = SessionBroker::new(config, schedule(sessions));
+    let plane = {
+        let transport = transport.clone();
+        std::thread::spawn(move || run_service_plane(broker, vec![rx], Vec::new(), &transport))
+    };
+    for f in 0..FRAMES {
+        tx.send_frame(&sample_frame(f)).unwrap();
+    }
+    drop(tx);
+    plane.join().unwrap().stats
+}
+
+fn bench_service_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_fanout_8_frames");
+    for sessions in [1u32, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(sessions), &sessions, |b, &n| {
+            b.iter(|| black_box(fan_out(n).frames_completed));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_fanout);
+
+/// Median seconds per call of `f` over `samples` timed calls.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn write_baseline() {
+    let samples = 15;
+    let cases: Vec<(u32, f64, ServiceStats)> = [1u32, 8, 64]
+        .iter()
+        .map(|&n| {
+            let stats = fan_out(n);
+            let median = median_secs(samples, || {
+                black_box(fan_out(n).frames_completed);
+            });
+            (n, median, stats)
+        })
+        .collect();
+
+    let mut case_json = Vec::new();
+    for (n, median, stats) in &cases {
+        // Cost per session-frame: how much the plane pays to serve one frame
+        // to one more session.
+        let session_frames = f64::from(*n) * f64::from(FRAMES);
+        case_json.push(format!(
+            "    \"sessions_{n}\": {{ \"median_s\": {median:.9}, \"us_per_session_frame\": {:.3}, \"shared_render_hit_rate\": {:.4}, \"renders\": {}, \"render_requests\": {} }}",
+            median / session_frames * 1e6,
+            stats.shared_render_hit_rate(),
+            stats.renders_performed,
+            stats.render_requests,
+        ));
+    }
+    let scaling = cases[2].1 / cases[0].1;
+    let json = format!(
+        "{{\n  \"bench\": \"service_fanout_8_frames\",\n  \"frames\": {FRAMES},\n  \"viewpoints\": {VIEWPOINTS},\n  \"samples\": {samples},\n  \"cases\": {{\n{}\n  }},\n  \"wall_time_64x_vs_1x\": {scaling:.2},\n  \"render_ratio_at_64\": {:.4}\n}}\n",
+        case_json.join(",\n"),
+        cases[2].2.render_ratio(),
+    );
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        });
+    let path = target.join("BENCH_service.json");
+    if std::fs::create_dir_all(&target).is_ok() && std::fs::write(&path, &json).is_ok() {
+        println!("\nwrote baseline {}:\n{json}", path.display());
+    } else {
+        println!("\nbaseline (target/ not writable):\n{json}");
+    }
+}
+
+fn main() {
+    // `cargo test` runs bench targets with `--test`; do nothing there.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    benches();
+    write_baseline();
+}

@@ -333,7 +333,8 @@ pub fn run_backend(
 mod tests {
     use super::*;
     use crate::data_source::SyntheticSource;
-    use crate::transport::{drain_frames, striped_link, TransportConfig};
+    use crate::test_support::{join_drains, links, spawn_drains};
+    use crate::transport::{striped_link, TransportConfig};
     use dpss::DatasetDescriptor;
 
     fn setup(pes: usize, timesteps: usize, mode: ExecutionMode) -> (PipelineConfig, Arc<dyn DataSource>) {
@@ -345,26 +346,13 @@ mod tests {
 
     fn run(pes: usize, timesteps: usize, mode: ExecutionMode) -> (BackendReport, Vec<FramePayload>) {
         let (config, source) = setup(pes, timesteps, mode);
-        let mut senders = Vec::new();
-        let mut receivers = Vec::new();
-        for _ in 0..pes {
-            let (tx, rx) = striped_link(&TransportConfig::default());
-            senders.push(tx);
-            receivers.push(rx);
-        }
+        let (senders, receivers) = links(pes, &TransportConfig::default());
         // Drain each link concurrently: the stripe queues are bounded, so the
         // back end would block on a full queue with no reader (that is the
         // backpressure working as designed).
-        let drains: Vec<_> = receivers
-            .into_iter()
-            .map(|mut rx| std::thread::spawn(move || drain_frames(&mut rx).unwrap()))
-            .collect();
+        let drains = spawn_drains(receivers);
         let report = run_backend(&config, source, senders, None).unwrap();
-        let mut payloads = Vec::new();
-        for d in drains {
-            payloads.extend(d.join().unwrap());
-        }
-        (report, payloads)
+        (report, join_drains(drains))
     }
 
     #[test]
@@ -431,13 +419,8 @@ mod tests {
     fn netlogger_instrumentation_covers_every_phase() {
         let (config, source) = setup(2, 2, ExecutionMode::Overlapped);
         let collector = netlogger::Collector::wall();
-        let mut senders = Vec::new();
-        let mut drains = Vec::new();
-        for _ in 0..2 {
-            let (tx, mut rx) = striped_link(&TransportConfig::default());
-            senders.push(tx);
-            drains.push(std::thread::spawn(move || drain_frames(&mut rx).unwrap()));
-        }
+        let (senders, receivers) = links(2, &TransportConfig::default());
+        let drains = spawn_drains(receivers);
         run_backend(
             &config,
             source,
@@ -445,9 +428,7 @@ mod tests {
             Some(collector.logger("backend", "backend-master")),
         )
         .unwrap();
-        for d in drains {
-            d.join().unwrap();
-        }
+        join_drains(drains);
         let log = collector.finish();
         // 2 PEs x 2 frames = 4 of each back-end event.
         for tag in [

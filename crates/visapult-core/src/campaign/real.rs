@@ -12,6 +12,9 @@ use crate::backend::{run_backend, BackendReport};
 use crate::config::PipelineConfig;
 use crate::data_source::{DataSource, DpssDataSource, SyntheticSource};
 use crate::error::VisapultError;
+use crate::service::{
+    log_service_stats, run_service_plane, ServiceConfig, ServiceRunReport, SessionBroker, SessionSpec,
+};
 use crate::transport::{striped_link, TransportConfig, TransportStats};
 use crate::viewer::{Viewer, ViewerConfig, ViewerReport};
 use dpss::{BlockCache, CacheConfig, CacheStats, DatasetDescriptor, DpssClient, DpssCluster, StripeLayout};
@@ -36,6 +39,16 @@ pub enum RealDataPath {
     Synthetic,
 }
 
+/// The multi-session service layer of one campaign: broker capacity plus the
+/// frame-indexed session schedule the broker serves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServicePlan {
+    /// Modeled capacity the broker admits against.
+    pub config: ServiceConfig,
+    /// Sessions offered over the campaign, in schedule order.
+    pub sessions: Vec<SessionSpec>,
+}
+
 /// Configuration of a real-mode campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RealCampaignConfig {
@@ -49,6 +62,9 @@ pub struct RealCampaignConfig {
     pub viewer_image: (usize, usize),
     /// Random seed for the synthetic dataset.
     pub seed: u64,
+    /// Multi-session service layer (`None` = the classic single-viewer
+    /// wiring, with the backend links feeding the viewer directly).
+    pub service: Option<ServicePlan>,
 }
 
 impl RealCampaignConfig {
@@ -60,6 +76,7 @@ impl RealCampaignConfig {
             transport: TransportConfig::default(),
             viewer_image: (192, 192),
             seed: 42,
+            service: None,
         }
     }
 }
@@ -130,6 +147,9 @@ pub struct RealCampaignReport {
     /// Block-cache activity during this campaign (zeros when no cache was
     /// mounted on the data path).
     pub cache: CacheStats,
+    /// What the multi-session service layer did (`None` when the campaign
+    /// ran the classic single-viewer wiring).
+    pub service: Option<ServiceRunReport>,
     /// The full NetLogger event log.
     pub log: EventLog,
     /// Phase analysis derived from the log.
@@ -200,6 +220,36 @@ pub fn run_real_campaign_in_env(
         receivers.push(rx);
     }
 
+    // With a service plan, the backend links feed the shared-render fan-out
+    // plane instead of the viewer: the plane forwards every chunk to the
+    // primary viewer (blocking — the classic backpressure) and multicasts a
+    // zero-copy clone to every admitted session.  The primary links are an
+    // unpaced copy of the transport config: the backend link already applied
+    // any WAN pacing, shaping twice would halve the rate.
+    let mut plane_handle = None;
+    if let Some(plan) = &config.service {
+        let mut primary_txs = Vec::with_capacity(config.pipeline.pes);
+        let mut primary_rxs = Vec::with_capacity(config.pipeline.pes);
+        let primary_config = TransportConfig {
+            pace_rate_mbps: None,
+            ..config.transport.clone()
+        };
+        for _ in 0..config.pipeline.pes {
+            let (tx, rx) = striped_link(&primary_config);
+            primary_txs.push(tx);
+            primary_rxs.push(rx);
+        }
+        let broker = SessionBroker::new(plan.config.clone(), plan.sessions.clone());
+        let plane_inputs = std::mem::replace(&mut receivers, primary_rxs);
+        let plane_transport = config.transport.clone();
+        plane_handle = Some(
+            std::thread::Builder::new()
+                .name("visapult-service-plane".to_string())
+                .spawn(move || run_service_plane(broker, plane_inputs, primary_txs, &plane_transport))
+                .expect("spawn service plane"),
+        );
+    }
+
     let viewer_config = ViewerConfig {
         volume_dims: config.pipeline.dataset.dims,
         image_size: config.viewer_image,
@@ -218,6 +268,15 @@ pub fn run_real_campaign_in_env(
 
     let backend = run_backend(&config.pipeline, source, senders, Some(backend_logger))?;
     let viewer_report = viewer_handle.join().expect("viewer thread panicked");
+    let service = plane_handle.map(|h| h.join().expect("service plane panicked"));
+    if let Some(svc) = &service {
+        log_service_stats(
+            &collector.logger("service", "session-broker"),
+            None,
+            &svc.stats,
+            &svc.events,
+        );
+    }
 
     // Transport telemetry: the deterministic sender-side striping counters
     // summed over every PE link, plus the viewer's receiver-side observations.
@@ -256,6 +315,7 @@ pub fn run_real_campaign_in_env(
         viewer: viewer_report,
         transport,
         cache,
+        service,
         log,
         analysis,
     })

@@ -30,12 +30,15 @@
 //! compiled in via [`ScenarioSpec::bundled`]): `quickstart_lan`,
 //! `combustion_corridor_oc12`, and `sc99_exhibit`.
 
-use crate::campaign::real::{run_real_campaign_in_env, RealCampaignConfig, RealDataPath, RealDpssEnv};
+use crate::campaign::real::{run_real_campaign_in_env, RealCampaignConfig, RealDataPath, RealDpssEnv, ServicePlan};
 use crate::campaign::sim::{run_sim_campaign, SimCampaignConfig, SimTransportModel, DEFAULT_WAN_EFFICIENCY};
 use crate::config::{ExecutionMode, PipelineConfig};
 use crate::error::VisapultError;
 use crate::platform::ComputePlatform;
 use crate::protocol::{LightPayload, HEAVY_HEADER_LEN};
+use crate::service::{
+    log_service_stats, QualityTier, ServiceConfig, ServiceStats, SessionBroker, SessionEvent, SessionSpec,
+};
 use crate::transport::{plan_chunks, TcpTuning, TransportConfig, TransportStats};
 use dpss::{BlockCache, CacheConfig, CacheStats, DatasetDescriptor, DpssSimModel, StripeLayout};
 use netlogger::{tags, Event, EventLog, FieldValue};
@@ -223,6 +226,54 @@ pub struct TransportSpec {
     pub emulate_wan: Option<bool>,
 }
 
+/// `[service]` — the multi-session service layer: a session broker between
+/// the striped transport and N concurrent viewer sessions.  Present means
+/// enabled on both execution paths: the real pipeline runs the shared-render
+/// fan-out plane for real (zero-copy multicast, per-session bounded queues,
+/// per-session WAN pacing), the virtual-time path replays the identical
+/// broker state machine — so the deterministic session/render telemetry is
+/// the same on either path and covered by replay fingerprints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceTableSpec {
+    /// Hard cap on concurrently admitted sessions (defaults to 64).
+    pub max_sessions: Option<usize>,
+    /// Shared egress capacity in tier cost units (defaults to 256; an
+    /// interactive session costs 4, standard 2, preview 1).
+    pub link_capacity_units: Option<u64>,
+    /// Concurrent distinct viewpoints the backend renders (defaults to 8).
+    pub render_slots: Option<u32>,
+    /// Bounded per-session fan-out queue depth in chunks (defaults to 64).
+    pub queue_depth: Option<usize>,
+    /// Staged session-arrival mixes, each bound to a stage by name.
+    pub arrivals: Option<Vec<SessionArrivalSpec>>,
+}
+
+/// `[[service.arrivals]]` — one wave of sessions arriving during one stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionArrivalSpec {
+    /// Name of the stage this wave arrives in (must match a `[[stages]]`
+    /// entry; every session leaves when its stage ends).
+    pub stage: String,
+    /// Number of sessions in the wave.
+    pub sessions: u32,
+    /// Distinct viewpoints the wave spreads over round-robin (defaults to 1
+    /// — everyone shares one render).
+    pub viewpoints: Option<u32>,
+    /// Quality tier of every session in the wave (defaults to standard).
+    pub tier: Option<QualityTier>,
+    /// TCP stack of each session's last mile (defaults to the transport
+    /// table's tuning).
+    pub tuning: Option<TcpTuning>,
+    /// Stripes of each session's fan-out queue (defaults to the transport
+    /// table's stripe count).
+    pub stripes: Option<u32>,
+    /// Stagger the joins across the first X% of the stage (defaults to 0:
+    /// everyone joins at the stage's first frame).
+    pub join_spread_percent: Option<f64>,
+    /// Leave after this many frames (defaults to staying until stage end).
+    pub dwell_frames: Option<u32>,
+}
+
 /// `[sim]` — tuning that only applies on the virtual-time path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimPathSpec {
@@ -271,13 +322,16 @@ pub struct ScenarioSpec {
     /// Block cache between the DPSS client and the cluster (optional;
     /// omitted means no cache, matching the seed's behaviour).
     pub cache: Option<CacheSpec>,
+    /// Multi-session service layer (optional; omitted means the classic
+    /// single-viewer pipeline).
+    pub service: Option<ServiceTableSpec>,
     /// Staged workload mix (optional; one full-budget stage by default).
     pub stages: Option<Vec<StageSpec>>,
 }
 
 /// The bundled scenario specs shipped in `scenarios/` at the repo root,
 /// compiled into the crate so binaries need no working directory.
-const BUNDLED: [(&str, &str); 5] = [
+const BUNDLED: [(&str, &str); 6] = [
     (
         "quickstart_lan",
         include_str!("../../../../scenarios/quickstart_lan.toml"),
@@ -289,6 +343,10 @@ const BUNDLED: [(&str, &str); 5] = [
     ("sc99_exhibit", include_str!("../../../../scenarios/sc99_exhibit.toml")),
     ("cache_stress", include_str!("../../../../scenarios/cache_stress.toml")),
     ("wan_stripes", include_str!("../../../../scenarios/wan_stripes.toml")),
+    (
+        "exhibit_floor",
+        include_str!("../../../../scenarios/exhibit_floor.toml"),
+    ),
 ];
 
 impl ScenarioSpec {
@@ -373,6 +431,7 @@ impl ScenarioSpec {
             }),
             transport: None,
             cache: None,
+            service: None,
             stages: if stages.is_empty() { None } else { Some(stages) },
         }
     }
@@ -540,6 +599,101 @@ impl ScenarioSpec {
             }
         };
 
+        // The service layer: broker capacity plus per-stage session
+        // schedules, with every session's last-mile pacing derived from the
+        // testbed's viewer route under that session's own TCP stack.
+        let service = match &self.service {
+            None => None,
+            Some(svc) => {
+                let max_sessions = svc.max_sessions.unwrap_or(64);
+                let link_capacity_units = svc.link_capacity_units.unwrap_or(256);
+                let render_slots = svc.render_slots.unwrap_or(8);
+                let queue_depth = svc.queue_depth.unwrap_or(64);
+                if max_sessions == 0 || link_capacity_units == 0 || render_slots == 0 || queue_depth == 0 {
+                    return Err(bad("service capacities must all be positive".to_string()));
+                }
+                let farm_egress = session_tcp_model(
+                    self.testbed.kind,
+                    self.pipeline.pes,
+                    transport.tuning,
+                    transport.stripes,
+                )
+                .steady_throughput()
+                .mbps();
+                let config = ServiceConfig {
+                    max_sessions,
+                    link_capacity_units,
+                    render_slots,
+                    queue_depth,
+                    farm_egress_mbps: Some(farm_egress),
+                };
+                let mut by_stage: Vec<Vec<SessionSpec>> = vec![Vec::new(); stages.len()];
+                for (ai, arrival) in svc.arrivals.as_deref().unwrap_or_default().iter().enumerate() {
+                    let Some(stage_index) = stages.iter().position(|s| s.name == arrival.stage) else {
+                        return Err(bad(format!(
+                            "service arrival {ai} names unknown stage `{}`",
+                            arrival.stage
+                        )));
+                    };
+                    if arrival.sessions == 0 {
+                        return Err(bad(format!("service arrival `{}` has zero sessions", arrival.stage)));
+                    }
+                    let viewpoints = arrival.viewpoints.unwrap_or(1);
+                    if viewpoints == 0 {
+                        return Err(bad(format!("service arrival `{}` has zero viewpoints", arrival.stage)));
+                    }
+                    let tier = arrival.tier.unwrap_or(QualityTier::Standard);
+                    let tuning = arrival.tuning.unwrap_or(transport.tuning);
+                    let session_stripes = arrival.stripes.unwrap_or(base_stripes);
+                    if session_stripes == 0 || session_stripes > 64 {
+                        return Err(bad(format!(
+                            "service arrival `{}` stripes must be in 1..=64",
+                            arrival.stage
+                        )));
+                    }
+                    let spread = arrival.join_spread_percent.unwrap_or(0.0);
+                    if !(0.0..=100.0).contains(&spread) {
+                        return Err(bad(format!(
+                            "service arrival `{}` join_spread_percent must be in 0..=100",
+                            arrival.stage
+                        )));
+                    }
+                    if arrival.dwell_frames == Some(0) {
+                        return Err(bad(format!(
+                            "service arrival `{}` dwell_frames must be positive",
+                            arrival.stage
+                        )));
+                    }
+                    let timesteps = stages[stage_index].timesteps as u32;
+                    let pace = session_tcp_model(self.testbed.kind, self.pipeline.pes, tuning, session_stripes)
+                        .steady_throughput()
+                        .mbps();
+                    for i in 0..arrival.sessions {
+                        let join = (((timesteps as f64) * (spread / 100.0) * (i as f64)
+                            / (arrival.sessions.max(1) as f64))
+                            .floor() as u32)
+                            .min(timesteps.saturating_sub(1));
+                        let leave = arrival.dwell_frames.and_then(|d| {
+                            let l = join.saturating_add(d);
+                            (l < timesteps).then_some(l)
+                        });
+                        by_stage[stage_index].push(SessionSpec {
+                            name: format!("{}-a{ai}-s{i}", arrival.stage),
+                            viewpoint: i % viewpoints,
+                            tier,
+                            join_frame: join,
+                            leave_frame: leave,
+                            stripes: session_stripes,
+                            queue_depth: None,
+                            tuning,
+                            pace_rate_mbps: Some(pace),
+                        });
+                    }
+                }
+                Some(ResolvedService { config, by_stage })
+            }
+        };
+
         let platform = self
             .testbed
             .platform
@@ -572,8 +726,18 @@ impl ScenarioSpec {
             transport_explicit: self.transport.is_some(),
             transport_emulate_wan: tspec.emulate_wan.unwrap_or(false),
             cache,
+            service,
         })
     }
+}
+
+/// The striped TCP session model over the testbed's back-end → viewer route
+/// under an arbitrary tuning — what paces one service session's last mile.
+fn session_tcp_model(kind: TestbedKind, pes: usize, tuning: TcpTuning, stripes: u32) -> TcpModel {
+    let testbed = build_testbed(kind, pes);
+    let route = testbed.viewer_route(0);
+    let links: Vec<_> = testbed.topology.route_links(&route).collect();
+    TcpModel::from_path(links, tuning.tcp_config(), stripes)
 }
 
 /// One stage after share resolution.
@@ -587,6 +751,18 @@ pub struct ResolvedStage {
     pub mode: ExecutionMode,
     /// Transport stripe override for this stage.
     pub stripes: Option<u32>,
+}
+
+/// The resolved service layer: broker capacity plus one session schedule per
+/// stage (sessions never span stages; a stage end is a campaign end for its
+/// sessions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedService {
+    /// Capacity the broker admits against (farm egress filled in from the
+    /// testbed model).
+    pub config: ServiceConfig,
+    /// Session schedules, indexed like `ResolvedScenario::stages`.
+    pub by_stage: Vec<Vec<SessionSpec>>,
 }
 
 /// A validated scenario with every default filled in.
@@ -629,6 +805,8 @@ pub struct ResolvedScenario {
     pub transport_emulate_wan: bool,
     /// Block-cache configuration (None = no cache).
     pub cache: Option<CacheConfig>,
+    /// Multi-session service layer (None = classic single-viewer wiring).
+    pub service: Option<ResolvedService>,
 }
 
 impl ResolvedScenario {
@@ -712,10 +890,7 @@ impl ResolvedScenario {
     /// route, with this scenario's tuning — what paces the real link and
     /// times the virtual send phase.
     pub fn viewer_tcp_model(&self, stripes: u32) -> TcpModel {
-        let testbed = build_testbed(self.testbed_kind, self.pes);
-        let route = testbed.viewer_route(0);
-        let links: Vec<_> = testbed.topology.route_links(&route).collect();
-        TcpModel::from_path(links, self.transport.tuning.tcp_config(), stripes)
+        session_tcp_model(self.testbed_kind, self.pes, self.transport.tuning, stripes)
     }
 
     /// The real-path configuration for one stage.
@@ -726,7 +901,37 @@ impl ResolvedScenario {
             transport: self.stage_transport_config(stage),
             viewer_image: self.real.viewer_image.unwrap_or((192, 192)),
             seed: self.stage_seed(stage_index),
+            service: self.service.as_ref().map(|svc| ServicePlan {
+                config: svc.config.clone(),
+                sessions: svc.by_stage.get(stage_index).cloned().unwrap_or_default(),
+            }),
         }
+    }
+
+    /// Replay one stage's service-layer lifecycle without moving a byte: the
+    /// identical [`SessionBroker`] state machine the real fan-out plane
+    /// drives, advanced over the same frame counter, with the offered
+    /// fan-out load folded in from the modeled chunk plan.  This is how the
+    /// virtual-time path reports session/render telemetry byte-identical to
+    /// the real pipeline's deterministic counters.
+    pub fn replay_stage_service(
+        &self,
+        stage: &ResolvedStage,
+        stage_index: usize,
+    ) -> Option<(ServiceStats, Vec<(u32, SessionEvent)>)> {
+        let svc = self.service.as_ref()?;
+        let schedule = svc.by_stage.get(stage_index).cloned().unwrap_or_default();
+        let mut broker = SessionBroker::new(svc.config.clone(), schedule);
+        if stage.timesteps > 0 {
+            broker.advance_to(stage.timesteps as u32 - 1);
+        }
+        broker.finish();
+        let config = self.stage_transport_config(stage);
+        let plans = plan_chunks(self.modeled_segment_lens(stage), config.chunk_bytes, config.stripes);
+        let chunks = plans.len() as u64 * self.pes as u64;
+        let bytes = plans.iter().map(|p| p.len as u64).sum::<u64>() * self.pes as u64;
+        broker.fold_fanout_load(&vec![(chunks, bytes); stage.timesteps]);
+        Some((broker.stats().clone(), broker.events().to_vec()))
     }
 
     /// The dataset the persistent DPSS deployment stages: named and sized so
@@ -769,23 +974,29 @@ impl ResolvedScenario {
         cache.stats().since(&before)
     }
 
-    /// Replay one stage's transport striping without moving a byte: the same
-    /// [`plan_chunks`] the real sender runs, applied to the modeled wire
-    /// segment sizes (texture plus the geometry/metadata allowance of
-    /// [`PipelineConfig::viewer_payload_bytes_per_pe`]), per PE per frame.
-    /// This is how the virtual-time path reports per-stripe telemetry
-    /// structurally identical to the real link's.
-    pub fn replay_stage_transport(&self, stage: &ResolvedStage) -> TransportStats {
-        let config = self.stage_transport_config(stage);
+    /// The modeled wire segment sizes of one frame payload: texture plus the
+    /// geometry/metadata allowance of
+    /// [`PipelineConfig::viewer_payload_bytes_per_pe`].  Shared by the
+    /// transport and service replays.
+    fn modeled_segment_lens(&self, stage: &ResolvedStage) -> [usize; 4] {
         let pipeline = self.stage_pipeline(stage);
         let light_len = LightPayload::ENCODED_LEN + 9;
         let texture_len = self.image.0 * self.image.1 * 4;
         let geometry_len = (pipeline.viewer_payload_bytes_per_pe() as usize)
             .saturating_sub(light_len + HEAVY_HEADER_LEN + texture_len)
             .max(4);
-        let lens = [light_len, HEAVY_HEADER_LEN, texture_len, geometry_len];
+        [light_len, HEAVY_HEADER_LEN, texture_len, geometry_len]
+    }
+
+    /// Replay one stage's transport striping without moving a byte: the same
+    /// [`plan_chunks`] the real sender runs, applied to the modeled wire
+    /// segment sizes, per PE per frame.  This is how the virtual-time path
+    /// reports per-stripe telemetry structurally identical to the real
+    /// link's.
+    pub fn replay_stage_transport(&self, stage: &ResolvedStage) -> TransportStats {
+        let config = self.stage_transport_config(stage);
         let mut stats = TransportStats::with_stripes(config.stripes as usize);
-        let plans = plan_chunks(lens, config.chunk_bytes, config.stripes);
+        let plans = plan_chunks(self.modeled_segment_lens(stage), config.chunk_bytes, config.stripes);
         for _frame in 0..stage.timesteps {
             for _pe in 0..self.pes {
                 stats.frames += 1;
@@ -837,6 +1048,12 @@ pub struct StageMetrics {
     /// out-of-order/partial observations (timing-dependent, not
     /// fingerprinted).  Structurally identical between the two paths.
     pub transport: TransportStats,
+    /// Service-layer telemetry for this stage (zeros when no `[service]`
+    /// table is configured).  The session-lifecycle and shared-render
+    /// counters are identical between the two paths — both drive the same
+    /// broker state machine — and are fingerprinted; queue-timing delivery
+    /// counters are not.
+    pub service: ServiceStats,
 }
 
 /// One stage's outcome inside a [`CampaignReport`].
@@ -869,6 +1086,24 @@ impl CacheReport {
     /// Campaign-wide hit rate.
     pub fn hit_rate(&self) -> f64 {
         self.totals.hit_rate()
+    }
+}
+
+/// Summary of the service layer across a whole campaign: the capacity it ran
+/// with and the counters summed across every stage.  Covered by the replay
+/// fingerprint, so a capacity change is a fingerprint change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// The broker capacity the scenario resolved to.
+    pub config: ServiceConfig,
+    /// Counters summed across every stage.
+    pub totals: ServiceStats,
+}
+
+impl ServiceReport {
+    /// Campaign-wide shared-render hit rate.
+    pub fn shared_render_hit_rate(&self) -> f64 {
+        self.totals.shared_render_hit_rate()
     }
 }
 
@@ -909,6 +1144,9 @@ pub struct CampaignReport {
     pub cache: Option<CacheReport>,
     /// Striped-transport configuration and totals.
     pub transport: TransportReport,
+    /// Service-layer configuration and totals (None when no `[service]`
+    /// table is configured).
+    pub service: Option<ServiceReport>,
     /// The merged NetLogger log across all stages, on one time axis.
     pub log: EventLog,
 }
@@ -1001,6 +1239,27 @@ impl CampaignReport {
                 fnv1a(&mut h, &stripe.chunks.to_le_bytes());
                 fnv1a(&mut h, &stripe.bytes.to_le_bytes());
             }
+            // The service layer's lifecycle and shared-render counters are a
+            // pure function of the session schedule and capacity config, so
+            // they are replayable identity; the queue-timing delivery
+            // counters (delivered/dropped/completed/skipped) are excluded
+            // like wall-clock values.
+            if self.service.is_some() {
+                for v in [
+                    s.metrics.service.sessions_offered,
+                    s.metrics.service.sessions_admitted,
+                    s.metrics.service.sessions_rejected,
+                    s.metrics.service.sessions_evicted,
+                    s.metrics.service.peak_live_sessions,
+                    s.metrics.service.render_requests,
+                    s.metrics.service.renders_performed,
+                    s.metrics.service.flow_limited_sessions,
+                    s.metrics.service.fanout_chunks,
+                    s.metrics.service.fanout_bytes,
+                ] {
+                    fnv1a(&mut h, &v.to_le_bytes());
+                }
+            }
         }
         // The transport configuration is replayable identity too: a stripe
         // count or chunk-size change must change the fingerprint.
@@ -1013,6 +1272,20 @@ impl CampaignReport {
             fnv1a(&mut h, &v.to_le_bytes());
         }
         fnv1a(&mut h, self.transport.config.tuning.label().as_bytes());
+        // The service capacity configuration is replayable identity too: a
+        // capacity change that happens not to change any admission outcome
+        // must still change the fingerprint.
+        if let Some(svc) = &self.service {
+            fnv1a(&mut h, b"service");
+            for v in [
+                svc.config.max_sessions as u64,
+                svc.config.link_capacity_units,
+                u64::from(svc.config.render_slots),
+                svc.config.queue_depth as u64,
+            ] {
+                fnv1a(&mut h, &v.to_le_bytes());
+            }
+        }
         // The cache configuration and totals are part of the replayable
         // identity of a run: changing the capacity or sharding must change
         // the fingerprint even if frame counts happen to coincide.
@@ -1106,6 +1379,19 @@ impl CampaignReport {
                 c.hit_rate() * 100.0,
             ));
         }
+        if let Some(s) = &self.service {
+            out.push_str(&format!(
+                "service: {} sessions ({} admitted / {} rejected / {} evicted, peak {} live) — {} renders for {} requests ({:.1}% shared)\n",
+                s.totals.sessions_offered,
+                s.totals.sessions_admitted,
+                s.totals.sessions_rejected,
+                s.totals.sessions_evicted,
+                s.totals.peak_live_sessions,
+                s.totals.renders_performed,
+                s.totals.render_requests,
+                s.shared_render_hit_rate() * 100.0,
+            ));
+        }
         out
     }
 }
@@ -1164,6 +1450,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
     };
     let mut cache_totals = CacheStats::default();
     let mut transport_totals = TransportStats::default();
+    let mut service_totals = ServiceStats::default();
 
     for (i, stage) in resolved.stages.iter().enumerate() {
         let (metrics, log) = match resolved.path {
@@ -1191,6 +1478,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
                     image_hash: hash_image(&report.viewer.final_image.to_rgba8()),
                     cache: report.cache,
                     transport: report.transport.clone(),
+                    service: report.service.as_ref().map(|s| s.stats.clone()).unwrap_or_default(),
                 };
                 (metrics, report.log)
             }
@@ -1199,6 +1487,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
                 let report = run_sim_campaign(&config)?;
                 let cache_delta = resolved.replay_stage_cache(stage, sim_cache.as_ref());
                 let transport_replay = resolved.replay_stage_transport(stage);
+                let service_replay = resolved.replay_stage_service(stage, i);
                 let frame_bytes = config.pipeline.dataset.bytes_per_timestep().bytes();
                 // The sizing the virtual-time send-time model itself uses.
                 let wire_per_frame = config.pipeline.viewer_payload_bytes_per_pe() * resolved.pes as u64;
@@ -1216,6 +1505,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
                     image_hash: 0,
                     cache: cache_delta,
                     transport: transport_replay.clone(),
+                    service: service_replay.as_ref().map(|(s, _)| s.clone()).unwrap_or_default(),
                 };
                 let mut log = report.log;
                 // Replay the real path's transport telemetry through the one
@@ -1228,6 +1518,20 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
                     &transport_replay,
                 );
                 log.merge(transport_collector.snapshot());
+                if let Some((stats, events)) = &service_replay {
+                    // Replay the real path's service telemetry through the
+                    // one shared emitter, at a deterministic virtual
+                    // timestamp — the two logs read identically by
+                    // construction.
+                    let mut service_collector = netlogger::Collector::virtual_time();
+                    log_service_stats(
+                        &service_collector.logger("service", "session-broker"),
+                        Some(report.total_time),
+                        stats,
+                        events,
+                    );
+                    log.merge(service_collector.snapshot());
+                }
                 if sim_cache.is_some() {
                     // Mirror the real path's per-stage cache summary event so
                     // the same NetLogger analysis reads either log.
@@ -1252,6 +1556,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
         cache_totals.evictions += metrics.cache.evictions;
         cache_totals.entries = metrics.cache.entries;
         transport_totals.merge(&metrics.transport);
+        service_totals.merge(&metrics.service);
         merged.merge(shift_log(&log, offset));
         offset += metrics.total_time;
         stages.push(StageReport {
@@ -1267,6 +1572,10 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
         config,
         totals: cache_totals,
     });
+    let service = resolved.service.as_ref().map(|svc| ServiceReport {
+        config: svc.config.clone(),
+        totals: service_totals,
+    });
     Ok(CampaignReport {
         scenario: resolved.name,
         path: resolved.path,
@@ -1277,6 +1586,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<CampaignReport, VisapultError
             config: resolved.transport.clone(),
             totals: transport_totals,
         },
+        service,
         log: merged,
     })
 }
@@ -1310,6 +1620,7 @@ mod tests {
             sim: None,
             transport: None,
             cache: None,
+            service: None,
             stages: None,
         }
     }
@@ -1321,6 +1632,22 @@ mod tests {
         spec.dataset = Some(DatasetSpec {
             dims: Some((48, 32, 32)),
             name: None,
+        });
+        spec.service = Some(ServiceTableSpec {
+            max_sessions: Some(8),
+            link_capacity_units: None,
+            render_slots: Some(2),
+            queue_depth: None,
+            arrivals: Some(vec![SessionArrivalSpec {
+                stage: "b".to_string(),
+                sessions: 3,
+                viewpoints: Some(2),
+                tier: Some(QualityTier::Preview),
+                tuning: Some(TcpTuning::Untuned),
+                stripes: None,
+                join_spread_percent: Some(25.0),
+                dwell_frames: Some(1),
+            }]),
         });
         spec.stages = Some(vec![
             StageSpec {
@@ -1821,6 +2148,222 @@ emulate_wan = true
             let mut deeper = base.clone();
             deeper.transport.as_mut().unwrap().queue_depth = Some(64);
             assert_ne!(fp(&base), fp(&deeper), "{} fingerprint misses the config", path.label());
+        }
+    }
+
+    #[test]
+    fn service_table_parses_and_resolves_with_session_schedules() {
+        let doc = r#"
+[scenario]
+name = "svc"
+seed = 5
+path = "real"
+
+[testbed]
+kind = "esnet-anl-smp"
+
+[pipeline]
+pes = 2
+timesteps = 8
+execution = "serial"
+
+[service]
+max_sessions = 16
+link_capacity_units = 32
+render_slots = 2
+queue_depth = 8
+
+[[service.arrivals]]
+stage = "crowd"
+sessions = 4
+viewpoints = 2
+tier = "preview"
+join_spread_percent = 100.0
+dwell_frames = 2
+
+[[stages]]
+name = "warmup"
+share = 50.0
+
+[[stages]]
+name = "crowd"
+share = 50.0
+"#;
+        let spec = ScenarioSpec::from_toml_str(doc).unwrap();
+        let resolved = spec.resolve().unwrap();
+        let svc = resolved.service.as_ref().expect("service resolves");
+        assert_eq!(svc.config.max_sessions, 16);
+        assert_eq!(svc.config.link_capacity_units, 32);
+        assert_eq!(svc.config.render_slots, 2);
+        assert!(svc.config.farm_egress_mbps.unwrap() > 0.0);
+        assert!(svc.by_stage[0].is_empty(), "no arrivals in the warmup stage");
+        let crowd = &svc.by_stage[1];
+        assert_eq!(crowd.len(), 4);
+        // Joins staggered across the 4-frame stage, viewpoints round-robin,
+        // two-frame dwell, per-session pacing from the testbed model.
+        assert_eq!(crowd.iter().map(|s| s.join_frame).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(crowd.iter().map(|s| s.viewpoint).collect::<Vec<_>>(), vec![0, 1, 0, 1]);
+        assert_eq!(crowd[0].leave_frame, Some(2));
+        assert_eq!(crowd[3].leave_frame, None, "join 3 + dwell 2 runs past the stage");
+        assert!(crowd.iter().all(|s| s.tier == QualityTier::Preview));
+        assert!(crowd.iter().all(|s| s.pace_rate_mbps.unwrap() > 0.0));
+        // The real-path stage config carries the plan; the warmup stage has
+        // an empty schedule but the same capacity.
+        let plan = resolved
+            .stage_real_config(&resolved.stages[1], 1)
+            .service
+            .expect("service plan");
+        assert_eq!(plan.sessions.len(), 4);
+        assert_eq!(plan.config, svc.config);
+    }
+
+    #[test]
+    fn invalid_service_specs_are_rejected() {
+        let base = || {
+            let mut spec = minimal_spec(ExecutionPath::VirtualTime);
+            spec.service = Some(ServiceTableSpec {
+                max_sessions: None,
+                link_capacity_units: None,
+                render_slots: None,
+                queue_depth: None,
+                arrivals: None,
+            });
+            spec
+        };
+        // Zero capacities.
+        let mut spec = base();
+        spec.service.as_mut().unwrap().render_slots = Some(0);
+        assert!(spec.resolve().unwrap_err().to_string().contains("service"));
+        // Unknown stage name.
+        let mut spec = base();
+        spec.service.as_mut().unwrap().arrivals = Some(vec![SessionArrivalSpec {
+            stage: "nonexistent".to_string(),
+            sessions: 1,
+            viewpoints: None,
+            tier: None,
+            tuning: None,
+            stripes: None,
+            join_spread_percent: None,
+            dwell_frames: None,
+        }]);
+        assert!(spec.resolve().unwrap_err().to_string().contains("unknown stage"));
+        // Zero sessions, bad spread, zero dwell.
+        for mutate in [
+            (|a: &mut SessionArrivalSpec| a.sessions = 0) as fn(&mut SessionArrivalSpec),
+            |a| a.join_spread_percent = Some(150.0),
+            |a| a.dwell_frames = Some(0),
+        ] {
+            let mut spec = base();
+            let mut arrival = SessionArrivalSpec {
+                stage: "full".to_string(),
+                sessions: 1,
+                viewpoints: None,
+                tier: None,
+                tuning: None,
+                stripes: None,
+                join_spread_percent: None,
+                dwell_frames: None,
+            };
+            mutate(&mut arrival);
+            spec.service.as_mut().unwrap().arrivals = Some(vec![arrival]);
+            assert!(spec.resolve().is_err());
+        }
+    }
+
+    fn service_spec(path: ExecutionPath) -> ScenarioSpec {
+        let mut spec = minimal_spec(path);
+        spec.pipeline.timesteps = 4;
+        spec.service = Some(ServiceTableSpec {
+            max_sessions: Some(8),
+            // 5 units: two previews (1 each) fit; a late interactive (4)
+            // forces one eviction — churn on both paths.
+            link_capacity_units: Some(5),
+            render_slots: Some(2),
+            queue_depth: Some(64),
+            arrivals: Some(vec![
+                SessionArrivalSpec {
+                    stage: "full".to_string(),
+                    sessions: 2,
+                    viewpoints: Some(2),
+                    tier: Some(QualityTier::Preview),
+                    tuning: None,
+                    stripes: None,
+                    join_spread_percent: None,
+                    dwell_frames: None,
+                },
+                SessionArrivalSpec {
+                    stage: "full".to_string(),
+                    sessions: 1,
+                    viewpoints: None,
+                    tier: Some(QualityTier::Interactive),
+                    tuning: None,
+                    stripes: None,
+                    join_spread_percent: Some(100.0),
+                    dwell_frames: None,
+                },
+            ]),
+        });
+        spec
+    }
+
+    #[test]
+    fn service_lifecycle_telemetry_is_identical_across_paths() {
+        let real = run_scenario(&service_spec(ExecutionPath::Real)).unwrap();
+        let sim = run_scenario(&service_spec(ExecutionPath::VirtualTime)).unwrap();
+        for report in [&real, &sim] {
+            let s = &report.service.as_ref().unwrap().totals;
+            assert_eq!(s.sessions_offered, 3);
+            assert_eq!(s.sessions_admitted, 3);
+            assert_eq!(s.sessions_evicted, 1, "the interactive arrival evicts a preview");
+            assert!(s.renders_performed < s.render_requests, "viewpoints are shared");
+            // Lifecycle events land in the log under the NL.service tags.
+            assert_eq!(report.log.with_tag(tags::SERVICE_JOIN).count(), 3);
+            assert_eq!(report.log.with_tag(tags::SERVICE_EVICT).count(), 1);
+            assert_eq!(report.log.with_tag(tags::SERVICE_STATS).count(), 1);
+        }
+        // The deterministic lifecycle half matches across paths exactly (the
+        // fan-out byte counters differ: real geometry vs modeled allowance).
+        let (r, s) = (
+            &real.service.as_ref().unwrap().totals,
+            &sim.service.as_ref().unwrap().totals,
+        );
+        assert_eq!(
+            (r.sessions_admitted, r.sessions_rejected, r.sessions_evicted),
+            (s.sessions_admitted, s.sessions_rejected, s.sessions_evicted)
+        );
+        assert_eq!(
+            (r.render_requests, r.renders_performed, r.peak_live_sessions),
+            (s.render_requests, s.renders_performed, s.peak_live_sessions)
+        );
+        assert_eq!(r.flow_limited_sessions, s.flow_limited_sessions);
+        for (rs, ss) in real.stages.iter().zip(&sim.stages) {
+            assert_eq!(
+                rs.metrics.service.render_requests, ss.metrics.service.render_requests,
+                "stage {}",
+                rs.name
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_covers_service_config_and_lifecycle() {
+        for path in ExecutionPath::ALL {
+            let fp = |s: &ScenarioSpec| run_scenario(s).unwrap().replay_fingerprint();
+            let base = service_spec(path);
+            assert_eq!(fp(&base), fp(&base), "{} fingerprint unstable", path.label());
+            // More capacity: the eviction disappears, the fingerprint moves.
+            let mut roomy = base.clone();
+            roomy.service.as_mut().unwrap().link_capacity_units = Some(64);
+            assert_ne!(fp(&base), fp(&roomy), "{} fingerprint misses admission", path.label());
+            // A queue-depth change moves no session and changes no counter —
+            // the capacity config itself is covered.
+            let mut deeper = base.clone();
+            deeper.service.as_mut().unwrap().queue_depth = Some(128);
+            assert_ne!(fp(&base), fp(&deeper), "{} fingerprint misses the config", path.label());
+            // Dropping the service table entirely is a different campaign.
+            let mut none = base.clone();
+            none.service = None;
+            assert_ne!(fp(&base), fp(&none));
         }
     }
 

@@ -24,8 +24,10 @@
 //!   harness uses to regenerate every figure.
 //!
 //! Supporting modules: the light/heavy payload wire [`protocol`], the
-//! per-platform compute [`platform`] models, the analytic overlap [`model`]
-//! of §4.3, and the render-remote / render-local [`baseline`]s of §2.
+//! multi-session [`service`] layer (session broker, shared-render fan-out,
+//! admission control), the per-platform compute [`platform`] models, the
+//! analytic overlap [`model`] of §4.3, and the render-remote / render-local
+//! [`baseline`]s of §2.
 
 pub mod backend;
 pub mod baseline;
@@ -36,16 +38,20 @@ pub mod error;
 pub mod model;
 pub mod platform;
 pub mod protocol;
+pub mod service;
 pub mod transport;
 pub mod viewer;
 
+#[cfg(test)]
+pub(crate) mod test_support;
+
 pub use baseline::{StrategyBandwidth, VisualizationStrategy};
 pub use campaign::real::{
-    run_real_campaign, run_real_campaign_in_env, RealCampaignConfig, RealCampaignReport, RealDpssEnv,
+    run_real_campaign, run_real_campaign_in_env, RealCampaignConfig, RealCampaignReport, RealDpssEnv, ServicePlan,
 };
 pub use campaign::scenario::{
-    run_scenario, CacheReport, CacheSpec, CampaignReport, ExecutionPath, PlatformSpec, ScenarioSpec, StageReport,
-    StageSpec, TransportReport, TransportSpec,
+    run_scenario, CacheReport, CacheSpec, CampaignReport, ExecutionPath, PlatformSpec, ScenarioSpec, ServiceReport,
+    ServiceTableSpec, SessionArrivalSpec, StageReport, StageSpec, TransportReport, TransportSpec,
 };
 pub use campaign::sim::{run_sim_campaign, SimCampaignConfig, SimCampaignReport, SimTransportModel};
 pub use config::{ExecutionMode, PipelineConfig};
@@ -54,6 +60,10 @@ pub use error::VisapultError;
 pub use model::OverlapModel;
 pub use platform::ComputePlatform;
 pub use protocol::{FramePayload, FrameSegments, HeavyPayload, LightPayload};
+pub use service::{
+    run_service_plane, QualityTier, RejectReason, ServiceConfig, ServiceRunReport, ServiceStats, SessionBroker,
+    SessionDelivery, SessionEvent, SessionSpec,
+};
 pub use transport::{
     drain_frames, plan_chunks, striped_link, FrameAssembler, FrameChunk, StripeReceiver, StripeSender, TcpTuning,
     TransportConfig, TransportError, TransportStats,

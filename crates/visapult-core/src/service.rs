@@ -1,0 +1,1449 @@
+//! The multi-session service layer: one render farm, many viewers.
+//!
+//! The paper's deployment (§3) decouples the parallel back end from the
+//! viewer precisely so one expensive render farm can serve remote consumers
+//! at their own frame rates — yet until this module the pipeline hard-wired
+//! exactly one viewer per campaign.  `service` is the seam that turns the
+//! pipeline into a multi-tenant system:
+//!
+//! * [`SessionBroker`] — a deterministic admission-control state machine.  It
+//!   accepts a schedule of [`SessionSpec`]s (render viewpoint, quality tier,
+//!   join/leave frame), allocates them against modeled backend render slots
+//!   and link-capacity units (the allocation-under-constraints framing of
+//!   *More with Less*), may evict lower-priority sessions for higher ones,
+//!   and accounts shared renders: sessions subscribed to the same viewpoint
+//!   share one backend render per frame, so `renders_performed` counts
+//!   distinct live viewpoints while `render_requests` counts what a naive
+//!   per-session farm would have paid.
+//! * [`run_service_plane`] — the real-mode shared-render fan-out.  It sits
+//!   between the backend's striped links and N concurrent sessions,
+//!   multicasting every stripe chunk zero-copy ([`bytes::Bytes`] clones) onto
+//!   per-session bounded queues.  A slow session's full queue degrades *that
+//!   session* (the rest of the frame is skipped for it, leaving a partial
+//!   composite) instead of stalling the farm or the other sessions.
+//! * Per-session flow adaptation: each session drains its queue through its
+//!   own [`netsim::StripePacer`] (derived from a per-session
+//!   [`netsim::TcpModel`] by the scenario layer), so every session
+//!   experiences its own WAN — an untuned dial-up-grade session backpressures
+//!   only itself.
+//!
+//! The virtual-time path replays the identical broker state machine frame by
+//! frame (`ResolvedScenario::replay_stage_service`), so the deterministic
+//! half of [`ServiceStats`] is byte-identical between the two execution
+//! paths and is covered by the campaign replay fingerprint; queue-timing
+//! counters (chunks actually delivered or dropped, frames skipped) are
+//! excluded, exactly as wall-clock timestamps are.
+
+use crate::transport::{
+    striped_link, AssemblyEvent, FrameAssembler, FrameChunk, StripeReceiver, StripeSender, TcpTuning, TransportConfig,
+    TransportError,
+};
+use crate::viewer::ViewerError;
+use netlogger::{tags, FieldValue, NetLogger};
+use netsim::{Bandwidth, StripePacer};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Session specifications
+// ---------------------------------------------------------------------------
+
+/// What a session is entitled to — and what it costs the shared farm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QualityTier {
+    /// A driving console: full frames, partial composites, first claim on
+    /// capacity (may evict lower tiers).
+    Interactive,
+    /// A standard remote viewer.
+    Standard,
+    /// A cheap thumbnail/overview consumer; first to be evicted.
+    Preview,
+}
+
+impl QualityTier {
+    /// Link-capacity units this tier consumes while admitted.
+    pub fn cost_units(&self) -> u64 {
+        match self {
+            QualityTier::Interactive => 4,
+            QualityTier::Standard => 2,
+            QualityTier::Preview => 1,
+        }
+    }
+
+    /// Eviction priority (higher evicts lower, never the reverse).
+    pub fn priority(&self) -> u8 {
+        match self {
+            QualityTier::Interactive => 2,
+            QualityTier::Standard => 1,
+            QualityTier::Preview => 0,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QualityTier::Interactive => "interactive",
+            QualityTier::Standard => "standard",
+            QualityTier::Preview => "preview",
+        }
+    }
+}
+
+/// One session the broker is asked to serve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Session name (used in reports).
+    pub name: String,
+    /// Render key: sessions sharing a viewpoint share one backend render.
+    pub viewpoint: u32,
+    /// Quality tier (capacity cost and eviction priority).
+    pub tier: QualityTier,
+    /// Frame at which the session asks to join.
+    pub join_frame: u32,
+    /// Frame *before* which the session leaves (`None` = stays to the end).
+    pub leave_frame: Option<u32>,
+    /// Stripes of the session's own fan-out queue.
+    pub stripes: u32,
+    /// Per-stripe queue depth override (`None` = the broker's
+    /// [`ServiceConfig::queue_depth`]).
+    pub queue_depth: Option<usize>,
+    /// TCP stack the session's last mile models.
+    pub tuning: TcpTuning,
+    /// Modeled last-mile goodput in Mbps (`None` = unshaped; the real plane
+    /// paces the session's consumer to this, the broker compares it against
+    /// the farm egress to count flow-limited sessions).
+    pub pace_rate_mbps: Option<f64>,
+}
+
+impl SessionSpec {
+    /// A session with the laptop-scale defaults: joins at frame 0, stays to
+    /// the end, four wan-tuned stripes, unshaped.
+    pub fn new(name: impl Into<String>, viewpoint: u32, tier: QualityTier) -> Self {
+        SessionSpec {
+            name: name.into(),
+            viewpoint,
+            tier,
+            join_frame: 0,
+            leave_frame: None,
+            stripes: 4,
+            queue_depth: None,
+            tuning: TcpTuning::WanTuned,
+            pace_rate_mbps: None,
+        }
+    }
+
+    /// Builder: the `[join, leave)` frame window.
+    pub fn with_window(mut self, join: u32, leave: Option<u32>) -> Self {
+        self.join_frame = join;
+        self.leave_frame = leave;
+        self
+    }
+
+    /// Builder: the session's modeled last-mile pacing rate.
+    pub fn paced_at_mbps(mut self, mbps: f64) -> Self {
+        self.pace_rate_mbps = Some(mbps);
+        self
+    }
+
+    /// True when the session wants frame `f`.
+    pub fn live_at(&self, frame: u32) -> bool {
+        frame >= self.join_frame && self.leave_frame.map(|l| frame < l).unwrap_or(true)
+    }
+}
+
+/// Modeled capacity the broker admits against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Hard cap on concurrently admitted sessions.
+    pub max_sessions: usize,
+    /// Shared egress capacity in tier cost units (see
+    /// [`QualityTier::cost_units`]).
+    pub link_capacity_units: u64,
+    /// Concurrent distinct render keys the backend can sustain.
+    pub render_slots: u32,
+    /// Bounded per-session fan-out queue depth, in chunks.
+    pub queue_depth: usize,
+    /// Modeled farm egress goodput in Mbps; sessions whose own last mile is
+    /// slower are counted flow-limited (they will be degraded, not waited
+    /// for).
+    pub farm_egress_mbps: Option<f64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_sessions: 64,
+            link_capacity_units: 256,
+            render_slots: 8,
+            queue_depth: 64,
+            farm_egress_mbps: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Broker state machine
+// ---------------------------------------------------------------------------
+
+/// Why the broker turned a session away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// Every session slot is taken by equal-or-higher tiers.
+    SessionSlots,
+    /// Admitting would oversubscribe the link capacity units.
+    LinkCapacity,
+    /// No render slot: too many distinct viewpoints already live.
+    RenderSlots,
+}
+
+impl RejectReason {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::SessionSlots => "session-slots",
+            RejectReason::LinkCapacity => "link-capacity",
+            RejectReason::RenderSlots => "render-slots",
+        }
+    }
+}
+
+/// One lifecycle transition the broker decided, tagged with the session's
+/// schedule index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionEvent {
+    /// The session was admitted and is now live.
+    Admitted {
+        /// Schedule index of the session.
+        session: usize,
+    },
+    /// The session was turned away at its join frame.
+    Rejected {
+        /// Schedule index of the session.
+        session: usize,
+        /// Which capacity ran out.
+        reason: RejectReason,
+    },
+    /// A live session was evicted to make room for a higher tier.
+    Evicted {
+        /// Schedule index of the session.
+        session: usize,
+    },
+    /// The session reached its leave frame (or the campaign ended).
+    Left {
+        /// Schedule index of the session.
+        session: usize,
+    },
+}
+
+impl SessionEvent {
+    /// The schedule index the event concerns.
+    pub fn session(&self) -> usize {
+        match *self {
+            SessionEvent::Admitted { session }
+            | SessionEvent::Rejected { session, .. }
+            | SessionEvent::Evicted { session }
+            | SessionEvent::Left { session } => session,
+        }
+    }
+
+    /// The NetLogger tag this event emits as.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SessionEvent::Admitted { .. } => tags::SERVICE_JOIN,
+            SessionEvent::Rejected { .. } => tags::SERVICE_REJECT,
+            SessionEvent::Evicted { .. } => tags::SERVICE_EVICT,
+            SessionEvent::Left { .. } => tags::SERVICE_LEAVE,
+        }
+    }
+}
+
+/// Telemetry of the service layer over one stage (or summed over a campaign).
+///
+/// The session-lifecycle and shared-render counters are deterministic — pure
+/// functions of the session schedule and the capacity config — and are
+/// covered by replay fingerprints; the two execution paths report them
+/// identically by construction because both drive the same
+/// [`SessionBroker`].  `fanout_chunks`/`fanout_bytes` (offered load) are
+/// deterministic per path.  The delivery counters below them depend on queue
+/// timing and are excluded from fingerprints, exactly as wall-clock values
+/// are.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Sessions in the schedule.
+    pub sessions_offered: u64,
+    /// Sessions admitted (including any later evicted).
+    pub sessions_admitted: u64,
+    /// Sessions turned away at their join frame.
+    pub sessions_rejected: u64,
+    /// Sessions evicted for higher tiers.
+    pub sessions_evicted: u64,
+    /// Peak concurrently live sessions.
+    pub peak_live_sessions: u64,
+    /// Renders a naive per-session farm would have performed (one per live
+    /// session per frame).
+    pub render_requests: u64,
+    /// Renders the shared farm actually performed (one per distinct live
+    /// viewpoint per frame).
+    pub renders_performed: u64,
+    /// Admitted sessions whose modeled last mile is slower than the farm
+    /// egress — the ones the plane will degrade rather than wait for.
+    pub flow_limited_sessions: u64,
+    /// Chunk deliveries the fan-out owed (chunks per frame × sessions live at
+    /// that frame).
+    pub fanout_chunks: u64,
+    /// Bytes the fan-out owed.
+    pub fanout_bytes: u64,
+    /// Chunks actually enqueued to session queues (timing-dependent).
+    pub chunks_delivered: u64,
+    /// Chunks dropped by degradation or departed sessions (timing-dependent).
+    pub chunks_dropped: u64,
+    /// Per-session (rank, frame) deliveries that fully assembled
+    /// (timing-dependent).
+    pub frames_completed: u64,
+    /// Per-session (rank, frame) deliveries degraded to a partial composite
+    /// (timing-dependent).
+    pub frames_skipped: u64,
+}
+
+impl ServiceStats {
+    /// Render requests served by a shared render instead of a new one.
+    pub fn shared_render_hits(&self) -> u64 {
+        self.render_requests.saturating_sub(self.renders_performed)
+    }
+
+    /// Fraction of render requests served by sharing.
+    pub fn shared_render_hit_rate(&self) -> f64 {
+        if self.render_requests == 0 {
+            0.0
+        } else {
+            self.shared_render_hits() as f64 / self.render_requests as f64
+        }
+    }
+
+    /// Backend renders as a fraction of the naive per-session count.
+    pub fn render_ratio(&self) -> f64 {
+        if self.render_requests == 0 {
+            0.0
+        } else {
+            self.renders_performed as f64 / self.render_requests as f64
+        }
+    }
+
+    /// Element-wise accumulate `other` into `self` (peaks take the max).
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.sessions_offered += other.sessions_offered;
+        self.sessions_admitted += other.sessions_admitted;
+        self.sessions_rejected += other.sessions_rejected;
+        self.sessions_evicted += other.sessions_evicted;
+        self.peak_live_sessions = self.peak_live_sessions.max(other.peak_live_sessions);
+        self.render_requests += other.render_requests;
+        self.renders_performed += other.renders_performed;
+        self.flow_limited_sessions += other.flow_limited_sessions;
+        self.fanout_chunks += other.fanout_chunks;
+        self.fanout_bytes += other.fanout_bytes;
+        self.chunks_delivered += other.chunks_delivered;
+        self.chunks_dropped += other.chunks_dropped;
+        self.frames_completed += other.frames_completed;
+        self.frames_skipped += other.frames_skipped;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionState {
+    Pending,
+    Live,
+    Rejected,
+    Evicted,
+    Left,
+}
+
+/// The session broker: admits a frame-indexed schedule of sessions against
+/// modeled capacity, owns their lifecycle, and accounts shared renders.
+///
+/// The broker is a *pure state machine*: given the same config and schedule,
+/// [`SessionBroker::advance_to`] makes the same decisions on every run and on
+/// both execution paths.  The real fan-out plane drives it with the frame
+/// numbers it observes on the wire; the virtual-time twin drives it with the
+/// same frame counter — so admission, eviction, churn and shared-render
+/// telemetry replay bit-identically.
+#[derive(Debug)]
+pub struct SessionBroker {
+    config: ServiceConfig,
+    schedule: Vec<SessionSpec>,
+    state: Vec<SessionState>,
+    /// Live schedule indices, in admission order.
+    live: Vec<usize>,
+    next_frame: u32,
+    /// (live sessions, distinct viewpoints) per processed frame.
+    live_per_frame: Vec<(u64, u64)>,
+    events: Vec<(u32, SessionEvent)>,
+    stats: ServiceStats,
+}
+
+impl SessionBroker {
+    /// A broker over `schedule`, admitting against `config`.
+    pub fn new(config: ServiceConfig, schedule: Vec<SessionSpec>) -> SessionBroker {
+        let stats = ServiceStats {
+            sessions_offered: schedule.len() as u64,
+            ..ServiceStats::default()
+        };
+        SessionBroker {
+            state: vec![SessionState::Pending; schedule.len()],
+            live: Vec::new(),
+            next_frame: 0,
+            live_per_frame: Vec::new(),
+            events: Vec::new(),
+            stats,
+            config,
+            schedule,
+        }
+    }
+
+    /// The capacity configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The spec at schedule index `session`.
+    pub fn spec(&self, session: usize) -> &SessionSpec {
+        &self.schedule[session]
+    }
+
+    /// Number of sessions in the schedule.
+    pub fn session_count(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// The next frame `advance_to` will process.
+    pub fn next_frame(&self) -> u32 {
+        self.next_frame
+    }
+
+    /// Schedule indices of the currently live sessions, in admission order.
+    pub fn live(&self) -> &[usize] {
+        &self.live
+    }
+
+    /// Sessions live at an already-processed frame.
+    pub fn live_count_at(&self, frame: u32) -> u64 {
+        self.live_per_frame.get(frame as usize).map(|&(l, _)| l).unwrap_or(0)
+    }
+
+    /// Every lifecycle event so far, with the frame it occurred at.
+    pub fn events(&self) -> &[(u32, SessionEvent)] {
+        &self.events
+    }
+
+    /// Current telemetry snapshot.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    fn cost(&self, session: usize) -> u64 {
+        self.schedule[session].tier.cost_units()
+    }
+
+    /// First violated constraint if `incoming` joined the sessions in `live`.
+    fn admission_block(&self, live: &[usize], incoming: usize) -> Option<RejectReason> {
+        if live.len() + 1 > self.config.max_sessions {
+            return Some(RejectReason::SessionSlots);
+        }
+        let units: u64 = live.iter().map(|&s| self.cost(s)).sum::<u64>() + self.cost(incoming);
+        if units > self.config.link_capacity_units {
+            return Some(RejectReason::LinkCapacity);
+        }
+        let mut viewpoints: HashSet<u32> = live.iter().map(|&s| self.schedule[s].viewpoint).collect();
+        viewpoints.insert(self.schedule[incoming].viewpoint);
+        if viewpoints.len() as u32 > self.config.render_slots {
+            return Some(RejectReason::RenderSlots);
+        }
+        None
+    }
+
+    fn try_admit(&mut self, frame: u32, session: usize) {
+        if self.admission_block(&self.live, session).is_none() {
+            self.admit(frame, session);
+            return;
+        }
+        // Over capacity: consider evicting strictly lower-priority sessions,
+        // lowest tier first, most recently admitted first within a tier.
+        let newcomer_priority = self.schedule[session].tier.priority();
+        let mut candidates: Vec<(usize, usize)> = self
+            .live
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| self.schedule[s].tier.priority() < newcomer_priority)
+            .map(|(pos, &s)| (pos, s))
+            .collect();
+        candidates.sort_by_key(|&(pos, s)| (self.schedule[s].tier.priority(), std::cmp::Reverse(pos)));
+        let mut victims: Vec<usize> = Vec::new();
+        let mut remaining: Vec<usize> = self.live.clone();
+        let mut feasible = false;
+        for &(_, victim) in &candidates {
+            remaining.retain(|&s| s != victim);
+            victims.push(victim);
+            if self.admission_block(&remaining, session).is_none() {
+                feasible = true;
+                break;
+            }
+        }
+        if !feasible {
+            // Rejection performs no evictions: capacity that cannot be freed
+            // must not be churned.
+            let reason = self
+                .admission_block(&self.live, session)
+                .expect("admission was blocked");
+            self.state[session] = SessionState::Rejected;
+            self.stats.sessions_rejected += 1;
+            self.events.push((frame, SessionEvent::Rejected { session, reason }));
+            return;
+        }
+        // Minimize the victim set: the greedy cascade can pick up sessions
+        // whose eviction never eased the blocking constraint (e.g. a preview
+        // evicted for a render slot its viewpoint does not even hold).
+        // Restore any victim the newcomer can coexist with, in eviction
+        // order, so only load-bearing evictions are committed.
+        let mut spared: HashSet<usize> = HashSet::new();
+        for &candidate in &victims {
+            let trial: Vec<usize> = self
+                .live
+                .iter()
+                .copied()
+                .filter(|s| !victims.contains(s) || spared.contains(s) || *s == candidate)
+                .collect();
+            if self.admission_block(&trial, session).is_none() {
+                spared.insert(candidate);
+            }
+        }
+        victims.retain(|v| !spared.contains(v));
+        for victim in victims {
+            self.live.retain(|&s| s != victim);
+            self.state[victim] = SessionState::Evicted;
+            self.stats.sessions_evicted += 1;
+            self.events.push((frame, SessionEvent::Evicted { session: victim }));
+        }
+        self.admit(frame, session);
+    }
+
+    fn admit(&mut self, frame: u32, session: usize) {
+        self.live.push(session);
+        self.state[session] = SessionState::Live;
+        self.stats.sessions_admitted += 1;
+        if let (Some(pace), Some(farm)) = (self.schedule[session].pace_rate_mbps, self.config.farm_egress_mbps) {
+            if pace < farm {
+                self.stats.flow_limited_sessions += 1;
+            }
+        }
+        self.events.push((frame, SessionEvent::Admitted { session }));
+    }
+
+    /// Process every frame up to and including `frame`: leaves first (a
+    /// departure frees capacity for a same-frame join), then joins in
+    /// schedule order, then the frame's shared-render accounting.  Returns
+    /// the lifecycle events the catch-up produced, in order.
+    pub fn advance_to(&mut self, frame: u32) -> Vec<SessionEvent> {
+        let first_new = self.events.len();
+        while self.next_frame <= frame {
+            let f = self.next_frame;
+            let leavers: Vec<usize> = self
+                .live
+                .iter()
+                .copied()
+                .filter(|&s| self.schedule[s].leave_frame == Some(f))
+                .collect();
+            for s in leavers {
+                self.live.retain(|&l| l != s);
+                self.state[s] = SessionState::Left;
+                self.events.push((f, SessionEvent::Left { session: s }));
+            }
+            let joiners: Vec<usize> = (0..self.schedule.len())
+                .filter(|&s| self.state[s] == SessionState::Pending && self.schedule[s].join_frame == f)
+                .collect();
+            for s in joiners {
+                // A session leaving before it would join never materializes.
+                if !self.schedule[s].live_at(f) {
+                    self.state[s] = SessionState::Left;
+                    continue;
+                }
+                self.try_admit(f, s);
+            }
+            let live = self.live.len() as u64;
+            let viewpoints = self
+                .live
+                .iter()
+                .map(|&s| self.schedule[s].viewpoint)
+                .collect::<HashSet<u32>>()
+                .len() as u64;
+            self.live_per_frame.push((live, viewpoints));
+            self.stats.render_requests += live;
+            self.stats.renders_performed += viewpoints;
+            self.stats.peak_live_sessions = self.stats.peak_live_sessions.max(live);
+            self.next_frame += 1;
+        }
+        self.events[first_new..].iter().map(|&(_, e)| e).collect()
+    }
+
+    /// End of campaign: every still-live session leaves.
+    pub fn finish(&mut self) -> Vec<SessionEvent> {
+        let frame = self.next_frame;
+        let first_new = self.events.len();
+        for s in std::mem::take(&mut self.live) {
+            self.state[s] = SessionState::Left;
+            self.events.push((frame, SessionEvent::Left { session: s }));
+        }
+        self.events[first_new..].iter().map(|&(_, e)| e).collect()
+    }
+
+    /// Fold the offered fan-out load into the stats: `per_frame[f]` is the
+    /// `(chunks, bytes)` the farm emitted for frame `f`; each live session
+    /// was owed a copy.  Pure arithmetic over the broker's frame history, so
+    /// both execution paths fold identical numbers for identical plans.
+    pub fn fold_fanout_load(&mut self, per_frame: &[(u64, u64)]) {
+        for (f, &(chunks, bytes)) in per_frame.iter().enumerate() {
+            let live = self.live_count_at(f as u32);
+            self.stats.fanout_chunks += chunks * live;
+            self.stats.fanout_bytes += bytes * live;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The real-mode fan-out plane
+// ---------------------------------------------------------------------------
+
+/// What one session actually received (real path only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionDelivery {
+    /// Session name from the spec.
+    pub name: String,
+    /// Render key the session subscribed to.
+    pub viewpoint: u32,
+    /// Quality tier.
+    pub tier: QualityTier,
+    /// Per-PE frames fully reassembled by this session.
+    pub frames_completed: u64,
+    /// Per-PE frames degraded to a partial composite (queue-full skips).
+    pub frames_skipped: u64,
+    /// Chunks enqueued to this session.
+    pub chunks_delivered: u64,
+    /// Chunks withheld from this session (degradation or departure).
+    pub chunks_dropped: u64,
+    /// Payload bytes enqueued to this session.
+    pub bytes_delivered: u64,
+    /// Delivery anomalies this session observed, in arrival order.
+    pub errors: Vec<ViewerError>,
+}
+
+/// Everything the real fan-out plane produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceRunReport {
+    /// Deterministic broker counters with the plane's timing counters merged
+    /// in.
+    pub stats: ServiceStats,
+    /// Per-session deliveries, in schedule order (admitted sessions only).
+    pub sessions: Vec<SessionDelivery>,
+    /// Every broker lifecycle decision, with the frame it occurred at.
+    pub events: Vec<(u32, SessionEvent)>,
+}
+
+/// A session's fan-out endpoint, shared by every per-PE plane thread.
+///
+/// Endpoints are never removed mid-run: stripe interleaving means a chunk of
+/// frame `f` can be observed after the broker has already processed frame
+/// `f+1`, so membership is decided by the chunk's own frame against the
+/// session's deterministic `[join, end)` window, not by when the chunk
+/// happened to arrive.  `end_frame` is the leave or eviction frame the
+/// broker decided (`u32::MAX` until then).
+struct SessionEndpoint {
+    session: usize,
+    spec: SessionSpec,
+    sender: StripeSender,
+    end_frame: std::sync::atomic::AtomicU32,
+}
+
+impl SessionEndpoint {
+    fn wants(&self, frame: u32) -> bool {
+        self.spec.live_at(frame) && frame < self.end_frame.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+struct PlaneState {
+    broker: SessionBroker,
+    endpoints: Vec<Arc<SessionEndpoint>>,
+    consumers: Vec<(usize, std::thread::JoinHandle<SessionDelivery>)>,
+}
+
+impl PlaneState {
+    /// Advance the broker to `frame`, materializing queues and consumers for
+    /// admissions and closing the delivery window for leaves/evictions.
+    fn observe_frame(&mut self, frame: u32, transport: &TransportConfig) {
+        if frame < self.broker.next_frame() {
+            return;
+        }
+        let before = self.broker.events().len();
+        self.broker.advance_to(frame);
+        let new: Vec<(u32, SessionEvent)> = self.broker.events()[before..].to_vec();
+        for (at, event) in new {
+            self.apply(at, event, transport);
+        }
+    }
+
+    fn apply(&mut self, at: u32, event: SessionEvent, transport: &TransportConfig) {
+        match event {
+            SessionEvent::Admitted { session } => {
+                let spec = self.broker.spec(session).clone();
+                // The session's own bounded striped queue: its stripes, the
+                // service queue depth, never paced at the queue (the pacer
+                // lives in the consumer, so a slow WAN fills the queue and
+                // degrades only this session).
+                let link_config = TransportConfig {
+                    stripes: spec.stripes.max(1),
+                    chunk_bytes: transport.chunk_bytes,
+                    queue_depth: spec.queue_depth.unwrap_or(self.broker.config().queue_depth),
+                    tuning: spec.tuning,
+                    pace_rate_mbps: None,
+                };
+                let (tx, rx) = striped_link(&link_config);
+                let pacer = spec
+                    .pace_rate_mbps
+                    .map(|mbps| StripePacer::from_rate(Bandwidth::from_mbps(mbps), spec.stripes.max(1)));
+                let consumer_spec = spec.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("visapult-session-{session}"))
+                    .spawn(move || run_session_consumer(rx, &consumer_spec, pacer))
+                    .expect("spawn session consumer");
+                self.consumers.push((session, handle));
+                self.endpoints.push(Arc::new(SessionEndpoint {
+                    session,
+                    spec,
+                    sender: tx,
+                    end_frame: std::sync::atomic::AtomicU32::new(u32::MAX),
+                }));
+            }
+            SessionEvent::Left { session } | SessionEvent::Evicted { session } => {
+                // Close the delivery window at the frame the broker decided;
+                // straggler chunks of earlier frames still belong to the
+                // session.  The queue disconnects when the plane winds down.
+                if let Some(ep) = self.endpoints.iter().find(|e| e.session == session) {
+                    ep.end_frame.store(at, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+            SessionEvent::Rejected { .. } => {}
+        }
+    }
+}
+
+/// Drain one session's queue: pace each chunk through the session's own
+/// modeled WAN, reassemble frames, and record every anomaly as the typed
+/// [`ViewerError`] the viewer itself would report.
+fn run_session_consumer(mut rx: StripeReceiver, spec: &SessionSpec, mut pacer: Option<StripePacer>) -> SessionDelivery {
+    let mut delivery = SessionDelivery {
+        name: spec.name.clone(),
+        viewpoint: spec.viewpoint,
+        tier: spec.tier,
+        frames_completed: 0,
+        frames_skipped: 0,
+        chunks_delivered: 0,
+        chunks_dropped: 0,
+        bytes_delivered: 0,
+        errors: Vec::new(),
+    };
+    let mut assembler = FrameAssembler::new();
+    // Runs until every plane endpoint is dropped: the session is over.
+    while let Ok(chunk) = rx.recv_chunk() {
+        if let Some(p) = &mut pacer {
+            // The session's own WAN, felt for real: drain no faster than the
+            // modeled last mile, which backpressures only this queue.
+            let delay = p.consume(chunk.stripe as usize, chunk.payload.len() as u64);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        delivery.chunks_delivered += 1;
+        delivery.bytes_delivered += chunk.payload.len() as u64;
+        let rank = chunk.rank;
+        match assembler.accept(chunk) {
+            Ok(AssemblyEvent::Complete { .. }) => delivery.frames_completed += 1,
+            Ok(AssemblyEvent::Progress { .. }) => {}
+            Ok(AssemblyEvent::Late { rank, frame, stripe }) => {
+                delivery.errors.push(ViewerError::LateStripe { rank, frame, stripe });
+            }
+            Err(e) => delivery.errors.push(ViewerError::Corrupt {
+                rank,
+                detail: e.to_string(),
+            }),
+        }
+    }
+    // Frames the plane started but degraded (or the campaign cut off) are
+    // surfaced exactly as the viewer surfaces them: typed, never silent.
+    for (rank, frame, received, total) in assembler.pending_frames() {
+        delivery.errors.push(ViewerError::MissingFrame {
+            rank,
+            frame,
+            received_chunks: received,
+            total_chunks: total,
+        });
+    }
+    delivery
+}
+
+/// Run the shared-render fan-out plane over one campaign.
+///
+/// One thread per backend PE link consumes stripe chunks and (1) forwards
+/// each chunk to the primary viewer's corresponding link — blocking, so the
+/// paper's single-viewer backpressure semantics are preserved — and (2)
+/// multicasts a zero-copy clone to every session live at the chunk's frame.
+/// A full session queue degrades that session for the rest of the (rank,
+/// frame) instead of stalling anything else.  Returns once the backend links
+/// close and every consumer has drained.
+pub fn run_service_plane(
+    broker: SessionBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+) -> ServiceRunReport {
+    assert!(
+        primary.is_empty() || primary.len() == inputs.len(),
+        "primary forwarding needs one link per PE"
+    );
+    let shared = Arc::new(Mutex::new(PlaneState {
+        broker,
+        endpoints: Vec::new(),
+        consumers: Vec::new(),
+    }));
+    // Frame 0 joins happen before any chunk moves.
+    shared
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .observe_frame(0, transport);
+
+    struct PeOutcome {
+        /// (chunks, bytes) emitted per frame by this PE (deterministic).
+        per_frame: Vec<(u64, u64)>,
+        delivered: u64,
+        dropped: HashMap<usize, u64>,
+        skipped: HashMap<usize, u64>,
+    }
+
+    let outcomes: Vec<PeOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .zip(primary.into_iter().map(Some).chain(std::iter::repeat_with(|| None)))
+            .map(|(mut rx, mut primary_tx)| {
+                let shared = Arc::clone(&shared);
+                let transport = transport.clone();
+                scope.spawn(move || {
+                    let mut outcome = PeOutcome {
+                        per_frame: Vec::new(),
+                        delivered: 0,
+                        dropped: HashMap::new(),
+                        skipped: HashMap::new(),
+                    };
+                    // (session, frame) pairs degraded on this PE's link.
+                    let mut skips: HashSet<(usize, u32)> = HashSet::new();
+                    // Endpoint snapshot, refreshed only when this thread
+                    // observes a new high-water frame.  Endpoints are
+                    // append-only and sessions only join at frame
+                    // boundaries (admissions for frame f complete under the
+                    // lock before any thread can snapshot at f), so a
+                    // snapshot taken at frame f is a superset of the
+                    // endpoints any chunk of frame ≤ f can belong to —
+                    // `wants(frame)` does the per-chunk filtering.  This
+                    // keeps the lock and the Vec clone off the per-chunk
+                    // fast path.
+                    let mut endpoints: Vec<Arc<SessionEndpoint>> = Vec::new();
+                    let mut snapshot_frame: Option<u32> = None;
+                    while let Ok(chunk) = rx.recv_chunk() {
+                        let frame = chunk.frame;
+                        if outcome.per_frame.len() <= frame as usize {
+                            outcome.per_frame.resize(frame as usize + 1, (0, 0));
+                        }
+                        outcome.per_frame[frame as usize].0 += 1;
+                        outcome.per_frame[frame as usize].1 += chunk.payload.len() as u64;
+                        // Drive churn from the frame counter, then refresh
+                        // the endpoint snapshot (Arc clones; the lock is
+                        // not held across sends).
+                        if snapshot_frame.map(|f| frame > f).unwrap_or(true) {
+                            let mut st = shared.lock().unwrap_or_else(|e| e.into_inner());
+                            st.observe_frame(frame, &transport);
+                            endpoints.clone_from(&st.endpoints);
+                            snapshot_frame = Some(frame);
+                        }
+                        if let Some(tx) = &primary_tx {
+                            if tx.send_raw_chunk(chunk.clone()).is_err() {
+                                // The viewer got everything it expected and
+                                // hung up; keep serving the sessions.
+                                primary_tx = None;
+                            }
+                        }
+                        for ep in &endpoints {
+                            // Membership is decided by the chunk's own frame
+                            // (a deterministic window), not by when the chunk
+                            // happened to arrive.
+                            if !ep.wants(frame) {
+                                continue;
+                            }
+                            if skips.contains(&(ep.session, frame)) {
+                                *outcome.dropped.entry(ep.session).or_default() += 1;
+                                continue;
+                            }
+                            // Zero-copy multicast: the payload Bytes clone is
+                            // a refcount bump; re-stripe onto the session's
+                            // own queue width.
+                            let fanned = FrameChunk {
+                                stripe: chunk.seq % ep.spec.stripes.max(1),
+                                ..chunk.clone()
+                            };
+                            match ep.sender.try_send_raw_chunk(fanned) {
+                                Ok(true) => outcome.delivered += 1,
+                                Ok(false) => {
+                                    // Queue full: degrade this session for
+                                    // the rest of this (rank, frame).  It
+                                    // keeps its partial composite; the farm
+                                    // and every other session keep moving.
+                                    skips.insert((ep.session, frame));
+                                    *outcome.skipped.entry(ep.session).or_default() += 1;
+                                    *outcome.dropped.entry(ep.session).or_default() += 1;
+                                }
+                                Err(TransportError::Closed) | Err(TransportError::Corrupt(_)) => {
+                                    *outcome.dropped.entry(ep.session).or_default() += 1;
+                                }
+                            }
+                        }
+                    }
+                    outcome
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("plane thread")).collect()
+    });
+
+    // Campaign over: every remaining session leaves, queues disconnect,
+    // consumers drain and report.
+    let mut st = match Arc::try_unwrap(shared) {
+        Ok(m) => m.into_inner().unwrap_or_else(|e| e.into_inner()),
+        Err(_) => unreachable!("plane threads have joined"),
+    };
+    st.broker.finish();
+    st.endpoints.clear();
+    let mut deliveries: Vec<(usize, SessionDelivery)> = st
+        .consumers
+        .into_iter()
+        .map(|(session, handle)| (session, handle.join().expect("session consumer")))
+        .collect();
+    deliveries.sort_by_key(|&(session, _)| session);
+
+    // Fold the deterministic offered load and the timing-dependent delivery
+    // outcomes into the broker's stats.
+    let frames = outcomes.iter().map(|o| o.per_frame.len()).max().unwrap_or(0);
+    let mut per_frame = vec![(0u64, 0u64); frames];
+    for o in &outcomes {
+        for (f, &(chunks, bytes)) in o.per_frame.iter().enumerate() {
+            per_frame[f].0 += chunks;
+            per_frame[f].1 += bytes;
+        }
+    }
+    st.broker.fold_fanout_load(&per_frame);
+    let events = st.broker.events().to_vec();
+    let mut stats = st.broker.stats().clone();
+    for o in &outcomes {
+        stats.chunks_delivered += o.delivered;
+        stats.chunks_dropped += o.dropped.values().sum::<u64>();
+    }
+    let mut sessions = Vec::with_capacity(deliveries.len());
+    for (session, mut delivery) in deliveries {
+        for o in &outcomes {
+            delivery.chunks_dropped += o.dropped.get(&session).copied().unwrap_or(0);
+            delivery.frames_skipped += o.skipped.get(&session).copied().unwrap_or(0);
+        }
+        stats.frames_completed += delivery.frames_completed;
+        stats.frames_skipped += delivery.frames_skipped;
+        sessions.push(delivery);
+    }
+    ServiceRunReport {
+        stats,
+        sessions,
+        events,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NetLogger emission (shared by both execution paths)
+// ---------------------------------------------------------------------------
+
+/// Emit the service-layer NetLogger telemetry (`NL.service.*` fields): one
+/// lifecycle event per broker decision and a per-stage `SERVICE_STATS`
+/// summary.  This is the only place the event schema lives — the real path
+/// logs at the collector's clock (`at = None`), the virtual-time path replays
+/// the same emitter at explicit virtual timestamps, so either log reads
+/// identically by construction.
+pub fn log_service_stats(logger: &NetLogger, at: Option<f64>, stats: &ServiceStats, events: &[(u32, SessionEvent)]) {
+    let emit = |tag: &str, fields: Vec<(String, FieldValue)>| match at {
+        Some(t) => logger.log_at(t, tag, fields),
+        None => logger.log_with(tag, fields),
+    };
+    for &(frame, event) in events {
+        emit(
+            event.tag(),
+            vec![
+                (tags::FIELD_FRAME.to_string(), FieldValue::Int(i64::from(frame))),
+                (
+                    tags::FIELD_SERVICE_SESSION.to_string(),
+                    FieldValue::Int(event.session() as i64),
+                ),
+            ],
+        );
+    }
+    emit(
+        tags::SERVICE_STATS,
+        vec![
+            (
+                tags::FIELD_SERVICE_SESSIONS.to_string(),
+                FieldValue::Int(stats.sessions_offered as i64),
+            ),
+            (
+                tags::FIELD_SERVICE_ADMITTED.to_string(),
+                FieldValue::Int(stats.sessions_admitted as i64),
+            ),
+            (
+                tags::FIELD_SERVICE_REJECTED.to_string(),
+                FieldValue::Int(stats.sessions_rejected as i64),
+            ),
+            (
+                tags::FIELD_SERVICE_EVICTED.to_string(),
+                FieldValue::Int(stats.sessions_evicted as i64),
+            ),
+            (
+                tags::FIELD_SERVICE_RENDERS.to_string(),
+                FieldValue::Int(stats.renders_performed as i64),
+            ),
+            (
+                tags::FIELD_SERVICE_RENDER_REQUESTS.to_string(),
+                FieldValue::Int(stats.render_requests as i64),
+            ),
+            (
+                tags::FIELD_SERVICE_SHARED_HITS.to_string(),
+                FieldValue::Int(stats.shared_render_hits() as i64),
+            ),
+            (
+                tags::FIELD_BYTES.to_string(),
+                FieldValue::Int(stats.fanout_bytes as i64),
+            ),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sample_frame;
+    use crate::transport::{drain_frames, plan_chunks, striped_link};
+
+    fn spec(name: &str, viewpoint: u32, tier: QualityTier) -> SessionSpec {
+        SessionSpec::new(name, viewpoint, tier)
+    }
+
+    fn tiny_config() -> ServiceConfig {
+        ServiceConfig {
+            max_sessions: 4,
+            link_capacity_units: 8,
+            render_slots: 2,
+            queue_depth: 8,
+            farm_egress_mbps: None,
+        }
+    }
+
+    #[test]
+    fn broker_admits_within_capacity_and_accounts_shared_renders() {
+        let schedule = vec![
+            spec("a", 0, QualityTier::Standard),
+            spec("b", 0, QualityTier::Standard),
+            spec("c", 1, QualityTier::Standard),
+        ];
+        let mut broker = SessionBroker::new(tiny_config(), schedule);
+        broker.advance_to(3);
+        broker.finish();
+        let s = broker.stats();
+        assert_eq!(s.sessions_admitted, 3);
+        assert_eq!(s.sessions_rejected, 0);
+        assert_eq!(s.peak_live_sessions, 3);
+        // 4 frames x 3 live sessions, but only 2 distinct viewpoints.
+        assert_eq!(s.render_requests, 12);
+        assert_eq!(s.renders_performed, 8);
+        assert_eq!(s.shared_render_hits(), 4);
+        assert!((s.shared_render_hit_rate() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broker_rejects_when_capacity_runs_out() {
+        // Capacity: 9 units, 2 render slots.  Four standard sessions (2 units
+        // each) leave 1 unit; the fifth standard is rejected for link
+        // capacity, and a preview on a third viewpoint (which *would* fit the
+        // last unit) is rejected for render slots.
+        let schedule = vec![
+            spec("a", 0, QualityTier::Standard),
+            spec("b", 0, QualityTier::Standard),
+            spec("c", 1, QualityTier::Standard),
+            spec("d", 1, QualityTier::Standard),
+            spec("e", 0, QualityTier::Standard),
+            spec("f", 2, QualityTier::Preview),
+        ];
+        let config = ServiceConfig {
+            max_sessions: 8,
+            link_capacity_units: 9,
+            render_slots: 2,
+            ..tiny_config()
+        };
+        let mut broker = SessionBroker::new(config, schedule);
+        let events = broker.advance_to(0);
+        assert_eq!(broker.stats().sessions_admitted, 4);
+        assert_eq!(broker.stats().sessions_rejected, 2);
+        let reasons: Vec<RejectReason> = events
+            .iter()
+            .filter_map(|e| match e {
+                SessionEvent::Rejected { reason, .. } => Some(*reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reasons, vec![RejectReason::LinkCapacity, RejectReason::RenderSlots]);
+    }
+
+    #[test]
+    fn broker_evicts_lower_tiers_for_interactive_sessions() {
+        // 8 units: four previews (1 each) + one standard (2) = 6.  The first
+        // interactive join (4) evicts the two most recent previews; the
+        // second cascades through the remaining previews into the standard
+        // (always lowest tier first, most recent first within a tier); a
+        // third interactive faces only equal-tier sessions — infeasible, so
+        // it is rejected without churning anyone.
+        let mut schedule = vec![
+            spec("p0", 0, QualityTier::Preview),
+            spec("p1", 0, QualityTier::Preview),
+            spec("p2", 0, QualityTier::Preview),
+            spec("p3", 0, QualityTier::Preview),
+            spec("std", 1, QualityTier::Standard),
+        ];
+        schedule.push(spec("vip", 0, QualityTier::Interactive).with_window(1, None));
+        schedule.push(spec("vip2", 1, QualityTier::Interactive).with_window(2, None));
+        schedule.push(spec("vip3", 0, QualityTier::Interactive).with_window(3, None));
+        let config = ServiceConfig {
+            max_sessions: 8,
+            ..tiny_config()
+        };
+        let mut broker = SessionBroker::new(config, schedule);
+        broker.advance_to(0);
+        assert_eq!(broker.stats().sessions_admitted, 5);
+        let events = broker.advance_to(1);
+        // 6 units live + 4 > 8: evicting p3 (most recent preview) then p2
+        // frees 2, landing exactly at 8.
+        assert_eq!(
+            events,
+            vec![
+                SessionEvent::Evicted { session: 3 },
+                SessionEvent::Evicted { session: 2 },
+                SessionEvent::Admitted { session: 5 },
+            ]
+        );
+        let events = broker.advance_to(2);
+        // 8 units live + 4 > 8: the cascade takes p1, p0, then the standard.
+        assert_eq!(
+            events,
+            vec![
+                SessionEvent::Evicted { session: 1 },
+                SessionEvent::Evicted { session: 0 },
+                SessionEvent::Evicted { session: 4 },
+                SessionEvent::Admitted { session: 6 },
+            ]
+        );
+        let live_before: Vec<usize> = broker.live().to_vec();
+        let events = broker.advance_to(3);
+        // Only interactive sessions remain: nothing outranks nothing, so the
+        // join is rejected and nobody is evicted.
+        assert_eq!(
+            events,
+            vec![SessionEvent::Rejected {
+                session: 7,
+                reason: RejectReason::LinkCapacity
+            }]
+        );
+        assert_eq!(broker.live(), &live_before[..]);
+        assert_eq!(broker.stats().sessions_evicted, 5);
+    }
+
+    #[test]
+    fn eviction_commits_only_load_bearing_victims() {
+        // Two render slots held by standards on viewpoints 0 and 1, plus a
+        // preview also on viewpoint 0.  An interactive joining on viewpoint
+        // 2 is blocked on render slots; evicting the preview frees nothing
+        // (the standard still holds viewpoint 0), so the cascade must spare
+        // it and evict only the standard on viewpoint 1.
+        let config = ServiceConfig {
+            max_sessions: 8,
+            link_capacity_units: 16,
+            render_slots: 2,
+            ..tiny_config()
+        };
+        let schedule = vec![
+            spec("std-a", 0, QualityTier::Standard),
+            spec("std-b", 1, QualityTier::Standard),
+            spec("pre", 0, QualityTier::Preview),
+            spec("vip", 2, QualityTier::Interactive).with_window(1, None),
+        ];
+        let mut broker = SessionBroker::new(config, schedule);
+        broker.advance_to(0);
+        assert_eq!(broker.stats().sessions_admitted, 3);
+        let events = broker.advance_to(1);
+        assert_eq!(
+            events,
+            vec![
+                SessionEvent::Evicted { session: 1 },
+                SessionEvent::Admitted { session: 3 },
+            ]
+        );
+        assert_eq!(broker.stats().sessions_evicted, 1);
+        assert!(broker.live().contains(&2), "the preview must be spared");
+    }
+
+    #[test]
+    fn broker_processes_leaves_before_joins_and_replays_identically() {
+        let schedule = vec![
+            spec("early", 0, QualityTier::Interactive).with_window(0, Some(2)),
+            spec("late", 1, QualityTier::Interactive).with_window(2, None),
+        ];
+        // 4-unit link: only one interactive fits, so `late` only gets in
+        // because `early` leaves at the same frame.
+        let config = ServiceConfig {
+            link_capacity_units: 4,
+            ..tiny_config()
+        };
+        let run = || {
+            let mut b = SessionBroker::new(config.clone(), schedule.clone());
+            b.advance_to(3);
+            b.finish();
+            (b.stats().clone(), b.events().to_vec())
+        };
+        let (stats, events) = run();
+        assert_eq!(stats.sessions_admitted, 2);
+        assert_eq!(stats.sessions_rejected, 0);
+        assert_eq!(stats.peak_live_sessions, 1);
+        // Bit-identical replay: the broker is a pure state machine.
+        let (stats2, events2) = run();
+        assert_eq!(stats, stats2);
+        assert_eq!(events, events2);
+    }
+
+    #[test]
+    fn fold_fanout_load_weights_chunks_by_live_sessions() {
+        let schedule = vec![
+            spec("a", 0, QualityTier::Standard),
+            spec("b", 0, QualityTier::Standard).with_window(1, None),
+        ];
+        let mut broker = SessionBroker::new(tiny_config(), schedule);
+        broker.advance_to(1);
+        broker.fold_fanout_load(&[(10, 1000), (10, 1000)]);
+        let s = broker.stats();
+        // Frame 0: 1 live; frame 1: 2 live.
+        assert_eq!(s.fanout_chunks, 30);
+        assert_eq!(s.fanout_bytes, 3000);
+    }
+
+    #[test]
+    fn flow_limited_sessions_are_counted_against_the_farm_egress() {
+        let config = ServiceConfig {
+            farm_egress_mbps: Some(100.0),
+            ..tiny_config()
+        };
+        let schedule = vec![
+            spec("fast", 0, QualityTier::Standard).paced_at_mbps(200.0),
+            spec("slow", 0, QualityTier::Standard).paced_at_mbps(5.0),
+            spec("unshaped", 0, QualityTier::Preview),
+        ];
+        let mut broker = SessionBroker::new(config, schedule);
+        broker.advance_to(0);
+        assert_eq!(broker.stats().flow_limited_sessions, 1);
+    }
+
+    fn fan_out(
+        schedule: Vec<SessionSpec>,
+        config: ServiceConfig,
+        frames: u32,
+        pes: usize,
+    ) -> (ServiceRunReport, Vec<crate::protocol::FramePayload>) {
+        let transport = TransportConfig::default().with_stripes(2).with_chunk_bytes(256);
+        let broker = SessionBroker::new(config, schedule);
+        let mut backend_txs = Vec::new();
+        let mut backend_rxs = Vec::new();
+        let mut primary_txs = Vec::new();
+        let mut primary_rxs = Vec::new();
+        for _ in 0..pes {
+            let (tx, rx) = striped_link(&transport);
+            backend_txs.push(tx);
+            backend_rxs.push(rx);
+            let (tx, rx) = striped_link(&transport);
+            primary_txs.push(tx);
+            primary_rxs.push(rx);
+        }
+        let plane = {
+            let transport = transport.clone();
+            std::thread::spawn(move || run_service_plane(broker, backend_rxs, primary_txs, &transport))
+        };
+        let drains: Vec<_> = primary_rxs
+            .into_iter()
+            .map(|mut rx| std::thread::spawn(move || drain_frames(&mut rx).unwrap()))
+            .collect();
+        for f in 0..frames {
+            for (pe, tx) in backend_txs.iter().enumerate() {
+                tx.send_frame(&sample_frame(pe as u32, f, 16)).unwrap();
+            }
+        }
+        drop(backend_txs);
+        let report = plane.join().unwrap();
+        let mut primary_frames = Vec::new();
+        for d in drains {
+            primary_frames.extend(d.join().unwrap());
+        }
+        (report, primary_frames)
+    }
+
+    #[test]
+    fn plane_multicasts_every_frame_to_every_session_and_the_primary() {
+        let schedule = vec![
+            spec("a", 0, QualityTier::Standard),
+            spec("b", 0, QualityTier::Standard),
+            spec("c", 1, QualityTier::Standard),
+        ];
+        let config = ServiceConfig {
+            queue_depth: 64,
+            ..tiny_config()
+        };
+        let (report, primary_frames) = fan_out(schedule, config, 3, 2);
+        // The primary viewer path got every frame untouched.
+        assert_eq!(primary_frames.len(), 6);
+        // Every session assembled every (rank, frame): 3 sessions x 2 PEs x 3.
+        assert_eq!(report.sessions.len(), 3);
+        for s in &report.sessions {
+            assert_eq!(s.frames_completed, 6, "session {}: {:?}", s.name, s.errors);
+            assert_eq!(s.frames_skipped, 0);
+            assert!(s.errors.is_empty(), "{:?}", s.errors);
+        }
+        assert_eq!(report.stats.frames_completed, 18);
+        // Offered fan-out load: every chunk x 3 live sessions, delivered in
+        // full on these deep queues.
+        assert_eq!(report.stats.fanout_chunks, report.stats.chunks_delivered);
+        assert_eq!(report.stats.chunks_dropped, 0);
+        // Shared renders: 3 frames x 3 sessions requested, 2 viewpoints each
+        // frame actually rendered.
+        assert_eq!(report.stats.render_requests, 9);
+        assert_eq!(report.stats.renders_performed, 6);
+    }
+
+    #[test]
+    fn slow_session_is_degraded_without_stalling_the_healthy_one() {
+        // `slow` drains a single-stripe 16-chunk queue through a
+        // dial-up-grade pacer; `healthy` has four stripes (4 x 16 = 64
+        // slots, more than the whole campaign's 42 chunks, so it can never
+        // overflow).  The plane must skip frames for `slow` (it keeps
+        // partial composites) while `healthy` and the primary receive
+        // everything.
+        let mut slow = spec("slow", 0, QualityTier::Standard).paced_at_mbps(0.2);
+        slow.stripes = 1;
+        let schedule = vec![spec("healthy", 0, QualityTier::Standard), slow];
+        let config = ServiceConfig {
+            queue_depth: 16,
+            ..tiny_config()
+        };
+        let (report, primary_frames) = fan_out(schedule, config, 6, 1);
+        assert_eq!(primary_frames.len(), 6);
+        let healthy = report.sessions.iter().find(|s| s.name == "healthy").unwrap();
+        let slow = report.sessions.iter().find(|s| s.name == "slow").unwrap();
+        assert_eq!(healthy.frames_completed, 6);
+        assert!(healthy.errors.is_empty(), "{:?}", healthy.errors);
+        assert!(
+            slow.frames_skipped > 0,
+            "the 1-chunk queue behind a 0.2 Mbps pacer must overflow: {slow:?}"
+        );
+        // Degraded frames surface as typed MissingFrame partials, not
+        // silence.
+        assert!(slow
+            .errors
+            .iter()
+            .all(|e| matches!(e, ViewerError::MissingFrame { .. })));
+        assert_eq!(
+            report.stats.frames_skipped, slow.frames_skipped,
+            "only the slow session was degraded"
+        );
+        assert!(report.stats.chunks_dropped > 0);
+    }
+
+    #[test]
+    fn sessions_joining_and_leaving_mid_run_receive_only_their_window() {
+        let schedule = vec![
+            spec("whole", 0, QualityTier::Standard),
+            spec("window", 0, QualityTier::Standard).with_window(1, Some(3)),
+        ];
+        let config = ServiceConfig {
+            queue_depth: 64,
+            ..tiny_config()
+        };
+        let (report, _) = fan_out(schedule, config, 4, 1);
+        let whole = report.sessions.iter().find(|s| s.name == "whole").unwrap();
+        let window = report.sessions.iter().find(|s| s.name == "window").unwrap();
+        assert_eq!(whole.frames_completed, 4);
+        // Frames 1 and 2 only.
+        assert_eq!(window.frames_completed, 2, "{window:?}");
+        // Offered load reflects the window: frames 0 and 3 fan out to one
+        // session, frames 1 and 2 to two.
+        let per_frame_chunks = report.stats.fanout_chunks;
+        let plan = plan_chunks(
+            crate::protocol::FrameSegments::encode(&sample_frame(0, 0, 16)).lens(),
+            256,
+            2,
+        )
+        .len() as u64;
+        assert_eq!(per_frame_chunks, plan * (1 + 2 + 2 + 1));
+    }
+
+    #[test]
+    fn multicast_is_zero_copy() {
+        let schedule = vec![
+            spec("a", 0, QualityTier::Standard),
+            spec("b", 0, QualityTier::Standard),
+            spec("c", 1, QualityTier::Standard),
+        ];
+        let config = ServiceConfig {
+            queue_depth: 64,
+            ..tiny_config()
+        };
+        let before = bytes::deep_copy_count();
+        let (report, _) = fan_out(schedule, config, 2, 1);
+        assert_eq!(
+            bytes::deep_copy_count() - before,
+            0,
+            "fan-out must multicast by refcount, not memcpy"
+        );
+        assert_eq!(report.stats.frames_completed, 6);
+    }
+
+    #[test]
+    fn service_log_emits_lifecycle_and_summary_events() {
+        let schedule = vec![
+            spec("a", 0, QualityTier::Standard),
+            spec("b", 0, QualityTier::Standard).with_window(0, Some(1)),
+        ];
+        let mut broker = SessionBroker::new(tiny_config(), schedule);
+        broker.advance_to(2);
+        broker.finish();
+        let collector = netlogger::Collector::wall();
+        log_service_stats(
+            &collector.logger("service", "session-broker"),
+            None,
+            broker.stats(),
+            broker.events(),
+        );
+        let log = collector.finish();
+        assert_eq!(log.with_tag(tags::SERVICE_JOIN).count(), 2);
+        assert_eq!(log.with_tag(tags::SERVICE_LEAVE).count(), 2);
+        assert_eq!(log.with_tag(tags::SERVICE_STATS).count(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared `#[cfg(test)]` fixtures for the in-crate unit tests.
+//!
+//! The transport, viewer, backend and service tests all need the same three
+//! things — a deterministic `FramePayload`, a bundle of striped links, and a
+//! way to drain receivers concurrently so bounded queues do not deadlock the
+//! sender under test.  They used to each carry their own copy; this module is
+//! the single home.
+
+use crate::protocol::{FramePayload, HeavyPayload, LightPayload};
+use crate::transport::{drain_frames, striped_link, StripeReceiver, StripeSender, TransportConfig};
+use bytes::Bytes;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use volren::RgbaImage;
+
+/// A frame with a byte-pattern texture (`tex_size`² RGBA8) and a small fixed
+/// geometry block — exact enough for round-trip equality assertions.
+pub(crate) fn sample_frame(rank: u32, frame: u32, tex_size: usize) -> FramePayload {
+    let texture: Bytes = (0..tex_size * tex_size * 4)
+        .map(|i| (i % 251) as u8)
+        .collect::<Vec<u8>>()
+        .into();
+    FramePayload {
+        light: LightPayload {
+            frame,
+            rank,
+            texture_width: tex_size as u32,
+            texture_height: tex_size as u32,
+            bytes_per_pixel: 4,
+            quad_center: [1.0, 2.0, 3.0],
+            quad_u: [4.0, 0.0, 0.0],
+            quad_v: [0.0, 5.0, 0.0],
+            geometry_segments: 3,
+        },
+        heavy: HeavyPayload {
+            frame,
+            rank,
+            texture_rgba8: texture,
+            geometry: Arc::new(vec![([0.0; 3], [1.0; 3]), ([2.0; 3], [3.0; 3]), ([4.0; 3], [5.0; 3])]),
+        },
+    }
+}
+
+/// A frame whose solid-color texture maps onto a quad stacked along Z by
+/// rank — what the viewer/compositor tests render and assert coverage on.
+pub(crate) fn flat_frame(rank: u32, frame: u32, size: usize) -> FramePayload {
+    let mut img = RgbaImage::new(size, size);
+    for y in 0..size {
+        for x in 0..size {
+            img.set(x, y, [1.0, 0.3, 0.1, 0.9]);
+        }
+    }
+    FramePayload {
+        light: LightPayload {
+            frame,
+            rank,
+            texture_width: size as u32,
+            texture_height: size as u32,
+            bytes_per_pixel: 4,
+            quad_center: [15.5, 15.5, 4.0 + rank as f32 * 8.0],
+            quad_u: [16.0, 0.0, 0.0],
+            quad_v: [0.0, 16.0, 0.0],
+            geometry_segments: 1,
+        },
+        heavy: HeavyPayload {
+            frame,
+            rank,
+            texture_rgba8: img.to_rgba8().into(),
+            geometry: Arc::new(vec![([0.0; 3], [31.0, 31.0, 31.0])]),
+        },
+    }
+}
+
+/// One striped link per PE.
+pub(crate) fn links(pes: usize, config: &TransportConfig) -> (Vec<StripeSender>, Vec<StripeReceiver>) {
+    let mut senders = Vec::with_capacity(pes);
+    let mut receivers = Vec::with_capacity(pes);
+    for _ in 0..pes {
+        let (tx, rx) = striped_link(config);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    (senders, receivers)
+}
+
+/// Drain each receiver on its own thread — the stripe queues are bounded, so
+/// a sender under test would block on a full queue with no concurrent reader
+/// (that is the backpressure working as designed).
+pub(crate) fn spawn_drains(receivers: Vec<StripeReceiver>) -> Vec<JoinHandle<Vec<FramePayload>>> {
+    receivers
+        .into_iter()
+        .map(|mut rx| std::thread::spawn(move || drain_frames(&mut rx).unwrap()))
+        .collect()
+}
+
+/// Join the drain threads and collect every frame they saw.
+pub(crate) fn join_drains(drains: Vec<JoinHandle<Vec<FramePayload>>>) -> Vec<FramePayload> {
+    let mut payloads = Vec::new();
+    for d in drains {
+        payloads.extend(d.join().unwrap());
+    }
+    payloads
+}

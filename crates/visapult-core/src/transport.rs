@@ -381,6 +381,20 @@ impl StripeSender {
         let stripe = chunk.stripe as usize % self.txs.len();
         self.txs[stripe].send(chunk).map_err(|_| TransportError::Closed)
     }
+
+    /// Non-blocking raw-chunk injection: `Ok(true)` when queued, `Ok(false)`
+    /// when the stripe queue is full right now, `Err(Closed)` when the
+    /// receiver is gone.  The service fan-out plane uses this to degrade a
+    /// slow session (skip the rest of its frame) instead of stalling every
+    /// other session behind its queue.
+    pub fn try_send_raw_chunk(&self, chunk: FrameChunk) -> Result<bool, TransportError> {
+        let stripe = chunk.stripe as usize % self.txs.len();
+        match self.txs[stripe].try_send(chunk) {
+            Ok(()) => Ok(true),
+            Err(crossbeam::channel::TrySendError::Full(_)) => Ok(false),
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => Err(TransportError::Closed),
+        }
+    }
 }
 
 /// The receiving half of a striped link: services every stripe and hands out
@@ -744,34 +758,8 @@ pub fn drain_frames(rx: &mut StripeReceiver) -> Result<Vec<FramePayload>, Transp
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::HeavyPayload;
+    use crate::test_support::sample_frame;
     use std::time::Instant;
-
-    fn sample_frame(frame: u32, rank: u32, tex_size: usize) -> FramePayload {
-        let texture: Bytes = (0..tex_size * tex_size * 4)
-            .map(|i| (i % 251) as u8)
-            .collect::<Vec<u8>>()
-            .into();
-        FramePayload {
-            light: LightPayload {
-                frame,
-                rank,
-                texture_width: tex_size as u32,
-                texture_height: tex_size as u32,
-                bytes_per_pixel: 4,
-                quad_center: [1.0, 2.0, 3.0],
-                quad_u: [4.0, 0.0, 0.0],
-                quad_v: [0.0, 5.0, 0.0],
-                geometry_segments: 3,
-            },
-            heavy: HeavyPayload {
-                frame,
-                rank,
-                texture_rgba8: texture,
-                geometry: Arc::new(vec![([0.0; 3], [1.0; 3]), ([2.0; 3], [3.0; 3]), ([4.0; 3], [5.0; 3])]),
-            },
-        }
-    }
 
     #[test]
     fn chunk_plan_covers_every_byte_round_robin() {
@@ -799,7 +787,7 @@ mod tests {
     fn striped_roundtrip_is_zero_copy() {
         let config = TransportConfig::default().with_stripes(4).with_chunk_bytes(1000);
         let (tx, mut rx) = striped_link(&config);
-        let frames: Vec<FramePayload> = (0..3).map(|f| sample_frame(f, 7, 16)).collect();
+        let frames: Vec<FramePayload> = (0..3).map(|f| sample_frame(7, f, 16)).collect();
         let before = bytes::deep_copy_count();
         let mut wire = 0;
         for f in &frames {
@@ -828,7 +816,7 @@ mod tests {
         let config = TransportConfig::default().with_stripes(5).with_chunk_bytes(777);
         let (tx1, mut rx1) = striped_link(&config);
         let (tx2, mut rx2) = striped_link(&config);
-        let f = sample_frame(0, 1, 24);
+        let f = sample_frame(1, 0, 24);
         tx1.send_frame(&f).unwrap();
         tx2.send_frame(&f).unwrap();
         assert_eq!(tx1.stats(), tx2.stats(), "same payload, same striping");
@@ -842,7 +830,7 @@ mod tests {
     fn reassembly_survives_arbitrary_reordering() {
         // Hand-shuffle a frame's chunks (violating even per-stripe FIFO) and
         // feed them to a bare assembler: the payload must still be exact.
-        let f = sample_frame(4, 2, 16);
+        let f = sample_frame(2, 4, 16);
         let segments = FrameSegments::encode(&f);
         let seg_bufs = [
             segments.light.clone(),
@@ -936,7 +924,7 @@ mod tests {
 
     #[test]
     fn partial_light_and_texture_grow_with_chunks() {
-        let f = sample_frame(1, 3, 16);
+        let f = sample_frame(3, 1, 16);
         let segments = FrameSegments::encode(&f);
         let seg_bufs = [
             segments.light.clone(),

@@ -440,48 +440,12 @@ impl Viewer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{FramePayload, HeavyPayload, LightPayload};
+    use crate::test_support::{flat_frame as payload, links as support_links};
     use crate::transport::{striped_link, FrameChunk, StripeSender, TransportConfig};
     use bytes::Bytes;
 
-    fn payload(rank: u32, frame: u32, size: usize) -> FramePayload {
-        let mut img = RgbaImage::new(size, size);
-        for y in 0..size {
-            for x in 0..size {
-                img.set(x, y, [1.0, 0.3, 0.1, 0.9]);
-            }
-        }
-        FramePayload {
-            light: LightPayload {
-                frame,
-                rank,
-                texture_width: size as u32,
-                texture_height: size as u32,
-                bytes_per_pixel: 4,
-                quad_center: [15.5, 15.5, 4.0 + rank as f32 * 8.0],
-                quad_u: [16.0, 0.0, 0.0],
-                quad_v: [0.0, 16.0, 0.0],
-                geometry_segments: 1,
-            },
-            heavy: HeavyPayload {
-                frame,
-                rank,
-                texture_rgba8: img.to_rgba8().into(),
-                geometry: Arc::new(vec![([0.0; 3], [31.0, 31.0, 31.0])]),
-            },
-        }
-    }
-
     fn links(pes: usize) -> (Vec<StripeSender>, Vec<StripeReceiver>) {
-        let config = TransportConfig::default().with_chunk_bytes(512);
-        let mut senders = Vec::new();
-        let mut receivers = Vec::new();
-        for _ in 0..pes {
-            let (tx, rx) = striped_link(&config);
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        (senders, receivers)
+        support_links(pes, &TransportConfig::default().with_chunk_bytes(512))
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Errors from [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity right now.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
     /// Errors from [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -96,6 +105,15 @@ pub mod channel {
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("sending on a channel with no receivers")
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a channel with no receivers"),
+            }
         }
     }
 
@@ -162,6 +180,26 @@ pub mod channel {
                         state = self.shared.space.wait(state).unwrap_or_else(|e| e.into_inner());
                     }
                     _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Queue a message without blocking: a full bounded channel returns
+        /// `Full` immediately instead of waiting for space.  This is what a
+        /// fan-out plane uses to degrade a slow consumer rather than stall
+        /// every other consumer behind it.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
                 }
             }
             state.queue.push_back(value);
@@ -371,6 +409,17 @@ pub mod channel {
             // A full queue with no receivers errors instead of blocking.
             drop(rx);
             assert!(tx.send(4).is_err());
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected_without_blocking() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1u8).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
         }
 
         #[test]

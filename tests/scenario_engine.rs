@@ -23,9 +23,9 @@ fn scenario_files() -> Vec<(String, ScenarioSpec)> {
 }
 
 #[test]
-fn the_five_bundled_scenarios_are_on_disk_and_compiled_in() {
+fn the_six_bundled_scenarios_are_on_disk_and_compiled_in() {
     let files = scenario_files();
-    assert_eq!(files.len(), 5, "expected exactly the 5 bundled scenarios");
+    assert_eq!(files.len(), 6, "expected exactly the 6 bundled scenarios");
     let mut bundled = ScenarioSpec::bundled_names();
     bundled.sort_unstable();
     let from_disk: Vec<&str> = files.iter().map(|(n, _)| n.as_str()).collect();
