@@ -30,7 +30,7 @@ pub struct SlabImage {
     pub image: RgbaImage,
     /// Centre of the slab along the decomposition axis, in voxel coordinates.
     pub center_along_axis: f32,
-    /// Optional per-texel depth offsets (the quad-mesh extension of [14]);
+    /// Optional per-texel depth offsets (the quad-mesh extension of \[14\]);
     /// `None` renders the slab as a flat quad.
     pub depth_offsets: Option<Vec<f32>>,
 }

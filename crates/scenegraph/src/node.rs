@@ -65,7 +65,7 @@ pub enum SceneNode {
         quad: Quad3,
     },
     /// A quad mesh with per-vertex offsets along the quad normal: the IBRAVR
-    /// depth-extension of reference [14], "replace the single quadrilateral
+    /// depth-extension of reference \[14\], "replace the single quadrilateral
     /// with a quadrilateral mesh using offsets from the base plane".
     QuadMesh {
         /// The texture image.

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use visapult_core::protocol::{FramePayload, HeavyPayload, LightPayload};
 use visapult_core::transport::{striped_link, TransportConfig};
-use visapult_core::{run_service_plane, QualityTier, ServiceConfig, ServiceStats, SessionBroker, SessionSpec};
+use visapult_core::{FanoutPlane, QualityTier, ServiceConfig, ServiceStats, SessionBroker, SessionSpec};
 
 const TEX: usize = 128; // 128x128 RGBA8 = 64 KB per frame
 const FRAMES: u32 = 8;
@@ -74,7 +74,7 @@ fn fan_out(sessions: u32) -> ServiceStats {
     let broker = SessionBroker::new(config, schedule(sessions));
     let plane = {
         let transport = transport.clone();
-        std::thread::spawn(move || run_service_plane(broker, vec![rx], Vec::new(), &transport))
+        std::thread::spawn(move || FanoutPlane::drive(broker, vec![rx], Vec::new(), &transport))
     };
     for f in 0..FRAMES {
         tx.send_frame(&sample_frame(f)).unwrap();

@@ -5,11 +5,11 @@
 //! software rendering on the four PEs.
 
 use visapult_bench::{ComparisonRow, ExperimentReport};
-use visapult_core::{run_sim_campaign, ExecutionMode, SimCampaignConfig};
+use visapult_core::{ExecutionMode, SimCampaignConfig};
 
 fn main() {
     let config = SimCampaignConfig::nton_cplant(4, 10, ExecutionMode::Serial);
-    let report = run_sim_campaign(&config).expect("campaign failed");
+    let report = config.model().expect("campaign failed");
 
     let mut out = ExperimentReport::new("E2 / Figure 10", "LBL DPSS -> CPlant over NTON, serial back end, 4 PEs");
     out.line(&report.name);

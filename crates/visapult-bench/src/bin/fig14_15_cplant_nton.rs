@@ -7,7 +7,7 @@
 //! thread and renderer share each node's single CPU.
 
 use visapult_bench::{ComparisonRow, ExperimentReport};
-use visapult_core::{run_sim_campaign, ExecutionMode, SimCampaignConfig};
+use visapult_core::{ExecutionMode, SimCampaignConfig};
 
 fn load_cv(frames: &[visapult_core::campaign::sim::FrameTiming]) -> f64 {
     let times: Vec<f64> = frames.iter().skip(1).map(|f| f.load_time()).collect();
@@ -17,9 +17,15 @@ fn load_cv(frames: &[visapult_core::campaign::sim::FrameTiming]) -> f64 {
 }
 
 fn main() {
-    let four_serial = run_sim_campaign(&SimCampaignConfig::nton_cplant(4, 10, ExecutionMode::Serial)).unwrap();
-    let eight_serial = run_sim_campaign(&SimCampaignConfig::nton_cplant(8, 10, ExecutionMode::Serial)).unwrap();
-    let eight_overlap = run_sim_campaign(&SimCampaignConfig::nton_cplant(8, 10, ExecutionMode::Overlapped)).unwrap();
+    let four_serial = SimCampaignConfig::nton_cplant(4, 10, ExecutionMode::Serial)
+        .model()
+        .unwrap();
+    let eight_serial = SimCampaignConfig::nton_cplant(8, 10, ExecutionMode::Serial)
+        .model()
+        .unwrap();
+    let eight_overlap = SimCampaignConfig::nton_cplant(8, 10, ExecutionMode::Overlapped)
+        .model()
+        .unwrap();
 
     let mut out = ExperimentReport::new(
         "E4 / Figures 14 & 15",

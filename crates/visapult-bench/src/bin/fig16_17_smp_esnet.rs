@@ -7,11 +7,15 @@
 //! than serial because every reader thread gets its own CPU on the SMP.
 
 use visapult_bench::{ComparisonRow, ExperimentReport};
-use visapult_core::{run_sim_campaign, ExecutionMode, SimCampaignConfig};
+use visapult_core::{ExecutionMode, SimCampaignConfig};
 
 fn main() {
-    let serial = run_sim_campaign(&SimCampaignConfig::esnet_anl(8, 10, ExecutionMode::Serial)).unwrap();
-    let overlapped = run_sim_campaign(&SimCampaignConfig::esnet_anl(8, 10, ExecutionMode::Overlapped)).unwrap();
+    let serial = SimCampaignConfig::esnet_anl(8, 10, ExecutionMode::Serial)
+        .model()
+        .unwrap();
+    let overlapped = SimCampaignConfig::esnet_anl(8, 10, ExecutionMode::Overlapped)
+        .model()
+        .unwrap();
 
     let mut out = ExperimentReport::new(
         "E5 / Figures 16 & 17",

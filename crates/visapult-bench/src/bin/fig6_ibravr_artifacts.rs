@@ -2,7 +2,7 @@
 //!
 //! Paper: the IBRAVR method "produces a high-fidelity image" near an
 //! axis-aligned view; "as the model rotates away from an axis-aligned view,
-//! the artifacts become more pronounced"; reference [14] reports that views
+//! the artifacts become more pronounced"; reference \[14\] reports that views
 //! "within a cone of about sixteen degrees will appear to be relatively free
 //! of visual artifacts"; Visapult's remedy is to switch the slab axis when
 //! the view crosses 45°.

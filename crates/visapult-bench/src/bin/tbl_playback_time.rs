@@ -13,14 +13,20 @@ use dpss::DatasetDescriptor;
 use netsim::Bandwidth;
 use visapult_bench::{ComparisonRow, ExperimentReport};
 use visapult_core::baseline::raw_data_bandwidth;
-use visapult_core::{run_sim_campaign, ExecutionMode, SimCampaignConfig};
+use visapult_core::{ExecutionMode, SimCampaignConfig};
 
 fn main() {
     let dataset = DatasetDescriptor::paper_combustion();
     // Cadence measured from a 10-step campaign, extrapolated to 265 steps.
-    let nton = run_sim_campaign(&SimCampaignConfig::nton_cplant(8, 10, ExecutionMode::Overlapped)).unwrap();
-    let esnet = run_sim_campaign(&SimCampaignConfig::esnet_anl(8, 10, ExecutionMode::Overlapped)).unwrap();
-    let oc192 = run_sim_campaign(&SimCampaignConfig::future_oc192(16, 10, ExecutionMode::Overlapped)).unwrap();
+    let nton = SimCampaignConfig::nton_cplant(8, 10, ExecutionMode::Overlapped)
+        .model()
+        .unwrap();
+    let esnet = SimCampaignConfig::esnet_anl(8, 10, ExecutionMode::Overlapped)
+        .model()
+        .unwrap();
+    let oc192 = SimCampaignConfig::future_oc192(16, 10, ExecutionMode::Overlapped)
+        .model()
+        .unwrap();
 
     let total_steps = dataset.timesteps as f64;
     let mut out = ExperimentReport::new(

@@ -3,18 +3,21 @@
 //! The paper calls its end-to-end field tests "campaigns" (§4.2).  The
 //! declarative [`scenario`] engine is the front door: a TOML
 //! [`scenario::ScenarioSpec`] (testbed, decomposition, staged workload mix,
-//! seed) compiles through [`scenario::run_scenario`] to one of two execution
-//! backends:
+//! seed) compiles through [`scenario::run_scenario`] into a
+//! [`crate::pipeline::Pipeline`], whose one shared stage control flow is
+//! driven by the capability set the spec's path selects:
 //!
-//! * [`real`] — runs the actual pipeline (DPSS, back end, viewer) on OS
+//! * `path = "real"` — the actual pipeline (DPSS, back end, viewer) on OS
 //!   threads with wall-clock NetLogger instrumentation.
-//! * [`sim`] — replays the same pipeline control flow against calibrated
+//! * `path = "virtual-time"` — the same control flow against calibrated
 //!   network/platform models on a virtual clock, reproducing the paper's
 //!   timing figures without the original testbeds.
 //!
-//! Both backends remain callable directly, but examples, integration tests
-//! and the figure binaries route through [`scenario::run_scenario`] so one
-//! spec serves both paths.
+//! The [`real`] and [`sim`] modules keep the legacy per-path configuration
+//! surfaces ([`real::RealCampaignConfig`], [`sim::SimCampaignConfig`]) and
+//! deprecated single-stage facades over the builder, so existing callers
+//! migrate incrementally; [`sim::SimCampaignConfig::model`] remains the
+//! supported raw-model entry the figure binaries use.
 
 pub mod real;
 pub mod scenario;

@@ -1,24 +1,32 @@
-//! Real-mode campaigns: the full pipeline on OS threads.
+//! Real-mode campaigns: the legacy config surface over the real pipeline.
 //!
-//! A real campaign wires together everything the paper's Figure 2 shows:
-//! synthetic combustion data is staged onto an in-process DPSS cluster
-//! (optionally bandwidth-shaped to emulate the WAN between the cache and the
-//! back end), the parallel back end loads slabs through the DPSS client API
-//! and volume renders them, per-PE payloads stream to the multi-threaded
-//! viewer, and NetLogger instrumentation records the whole run so the same
-//! analysis used on the paper's NLV plots applies.
+//! The thread-and-socket wiring that used to live here — striped links,
+//! the service-plane splice, the viewer thread, telemetry collection — is
+//! now the *real capability set* of the unified driver
+//! ([`crate::pipeline::PathCapabilities::real`]): [`ThreadFarm`] runs the
+//! back end and viewer, [`StripedFabric`] opens the per-PE links,
+//! [`FanoutPlane`] splices the session broker, all driven by the one shared
+//! stage control flow.
+//!
+//! What remains here is the configuration surface ([`RealCampaignConfig`],
+//! [`RealDataPath`], [`ServicePlan`]), the persistent DPSS deployment
+//! ([`RealDpssEnv`]), the legacy report type ([`RealCampaignReport`]) and
+//! two deprecated facades that run a single stage through the builder so
+//! existing callers keep working while they migrate.
+//!
+//! [`ThreadFarm`]: crate::pipeline::ThreadFarm
+//! [`StripedFabric`]: crate::pipeline::StripedFabric
+//! [`FanoutPlane`]: crate::pipeline::FanoutPlane
 
-use crate::backend::{run_backend, BackendReport};
+use crate::backend::BackendReport;
 use crate::config::PipelineConfig;
-use crate::data_source::{DataSource, DpssDataSource, SyntheticSource};
 use crate::error::VisapultError;
-use crate::service::{
-    log_service_stats, run_service_plane, ServiceConfig, ServiceRunReport, SessionBroker, SessionSpec,
-};
-use crate::transport::{striped_link, TransportConfig, TransportStats};
-use crate::viewer::{Viewer, ViewerConfig, ViewerReport};
+use crate::pipeline::Pipeline;
+use crate::service::{ServiceConfig, ServiceRunReport, SessionSpec};
+use crate::transport::{TransportConfig, TransportStats};
+use crate::viewer::ViewerReport;
 use dpss::{BlockCache, CacheConfig, CacheStats, DatasetDescriptor, DpssClient, DpssCluster, StripeLayout};
-use netlogger::{tags, Collector, EventLog, FieldValue, NetLogger, ProfileAnalysis};
+use netlogger::{Collector, EventLog, ProfileAnalysis};
 use netsim::Bandwidth;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -120,7 +128,7 @@ impl RealDpssEnv {
 
     /// A back-end client onto this deployment, instrumented and optionally
     /// WAN-shaped, with the block cache (if any) mounted.
-    fn client(&self, collector: &Collector, stream_rate_mbps: Option<f64>) -> DpssClient {
+    pub(crate) fn client(&self, collector: &Collector, stream_rate_mbps: Option<f64>) -> DpssClient {
         let mut client = DpssClient::new(self.cluster.clone(), "visapult-backend")
             .with_logger(collector.logger("dpss-client", "dpss-client"));
         if let Some(mbps) = stream_rate_mbps {
@@ -172,6 +180,12 @@ impl RealCampaignReport {
 
 /// Run a real campaign to completion, staging a fresh DPSS deployment for
 /// the run (when the data path wants one).
+#[deprecated(
+    since = "0.1.0",
+    note = "drive campaigns through the `pipeline::Pipeline` builder (`run_scenario` compiles a \
+            `ScenarioSpec` into one); this facade runs a single stage with the real capability set"
+)]
+#[allow(deprecated)] // one facade delegating to the other
 pub fn run_real_campaign(config: &RealCampaignConfig) -> Result<RealCampaignReport, VisapultError> {
     let env = match config.data_path {
         RealDataPath::Dpss { .. } => Some(RealDpssEnv::stage(&config.pipeline.dataset, config.seed, None)?),
@@ -181,194 +195,36 @@ pub fn run_real_campaign(config: &RealCampaignConfig) -> Result<RealCampaignRepo
 }
 
 /// Run a real campaign against an existing [`RealDpssEnv`] (required when
-/// the data path is [`RealDataPath::Dpss`]).  The scenario engine stages one
-/// environment per scenario and runs every stage here, so the block cache —
-/// and its hit/miss telemetry — persists across the staged workload mix.
+/// the data path is [`RealDataPath::Dpss`]).  The pipeline driver stages one
+/// environment per scenario and runs every stage against it, so the block
+/// cache — and its hit/miss telemetry — persists across the staged workload
+/// mix.
+#[deprecated(
+    since = "0.1.0",
+    note = "drive campaigns through the `pipeline::Pipeline` builder (`run_scenario` compiles a \
+            `ScenarioSpec` into one); this facade runs a single stage with the real capability set"
+)]
 pub fn run_real_campaign_in_env(
     config: &RealCampaignConfig,
     env: Option<&RealDpssEnv>,
 ) -> Result<RealCampaignReport, VisapultError> {
-    config.pipeline.validate().map_err(VisapultError::Config)?;
-    let collector = Collector::wall();
-
-    // Build the data source.
-    let (source, cache_before): (Arc<dyn DataSource>, CacheStats) = match config.data_path {
-        RealDataPath::Synthetic => (
-            Arc::new(SyntheticSource::new(config.pipeline.dataset.clone(), config.seed)),
-            CacheStats::default(),
-        ),
-        RealDataPath::Dpss { stream_rate_mbps } => {
-            let env =
-                env.ok_or_else(|| VisapultError::Config("a DPSS data path needs a staged RealDpssEnv".to_string()))?;
-            let client = env.client(&collector, stream_rate_mbps);
-            (
-                Arc::new(DpssDataSource::new(client, config.pipeline.dataset.clone())),
-                env.cache_stats(),
-            )
-        }
-    };
-
-    // One striped link per PE between back end and viewer: chunked framing,
-    // per-stripe sequence numbers, bounded queues, optional WAN pacing.
-    let mut senders = Vec::with_capacity(config.pipeline.pes);
-    let mut receivers = Vec::with_capacity(config.pipeline.pes);
-    let mut sender_stats = Vec::with_capacity(config.pipeline.pes);
-    for _ in 0..config.pipeline.pes {
-        let (tx, rx) = striped_link(&config.transport);
-        sender_stats.push(tx.stats_handle());
-        senders.push(tx);
-        receivers.push(rx);
-    }
-
-    // With a service plan, the backend links feed the shared-render fan-out
-    // plane instead of the viewer: the plane forwards every chunk to the
-    // primary viewer (blocking — the classic backpressure) and multicasts a
-    // zero-copy clone to every admitted session.  The primary links are an
-    // unpaced copy of the transport config: the backend link already applied
-    // any WAN pacing, shaping twice would halve the rate.
-    let mut plane_handle = None;
-    if let Some(plan) = &config.service {
-        let mut primary_txs = Vec::with_capacity(config.pipeline.pes);
-        let mut primary_rxs = Vec::with_capacity(config.pipeline.pes);
-        let primary_config = TransportConfig {
-            pace_rate_mbps: None,
-            ..config.transport.clone()
-        };
-        for _ in 0..config.pipeline.pes {
-            let (tx, rx) = striped_link(&primary_config);
-            primary_txs.push(tx);
-            primary_rxs.push(rx);
-        }
-        let broker = SessionBroker::new(plan.config.clone(), plan.sessions.clone());
-        let plane_inputs = std::mem::replace(&mut receivers, primary_rxs);
-        let plane_transport = config.transport.clone();
-        plane_handle = Some(
-            std::thread::Builder::new()
-                .name("visapult-service-plane".to_string())
-                .spawn(move || run_service_plane(broker, plane_inputs, primary_txs, &plane_transport))
-                .expect("spawn service plane"),
-        );
-    }
-
-    let viewer_config = ViewerConfig {
-        volume_dims: config.pipeline.dataset.dims,
-        image_size: config.viewer_image,
-        view: volren::ViewOrientation::new(8.0, 4.0),
-        expected_frames: config.pipeline.timesteps,
-    };
-    let viewer = Viewer::new(viewer_config);
-    let viewer_logger = collector.logger("desktop", "viewer-master");
-    let backend_logger = collector.logger("backend-host", "backend-master");
-
-    // The viewer runs on its own thread while the back end runs here.
-    let viewer_handle = std::thread::Builder::new()
-        .name("visapult-viewer".to_string())
-        .spawn(move || viewer.run(receivers, Some(viewer_logger)))
-        .expect("spawn viewer thread");
-
-    let backend = run_backend(&config.pipeline, source, senders, Some(backend_logger))?;
-    let viewer_report = viewer_handle.join().expect("viewer thread panicked");
-    let service = plane_handle.map(|h| h.join().expect("service plane panicked"));
-    if let Some(svc) = &service {
-        log_service_stats(
-            &collector.logger("service", "session-broker"),
-            None,
-            &svc.stats,
-            &svc.events,
-        );
-    }
-
-    // Transport telemetry: the deterministic sender-side striping counters
-    // summed over every PE link, plus the viewer's receiver-side observations.
-    let mut transport = TransportStats::default();
-    for handle in &sender_stats {
-        transport.merge(&handle.lock().unwrap_or_else(|e| e.into_inner()));
-    }
-    transport.out_of_order_chunks = viewer_report.transport.out_of_order_chunks;
-    transport.partial_updates = viewer_report.transport.partial_updates;
-    transport.reassembly_copies = viewer_report.transport.reassembly_copies;
-    log_transport_stats(&collector.logger("transport", "striped-link"), None, &transport);
-
-    // Cache activity attributable to this campaign (the env may be shared
-    // across stages, so report the delta).
-    let cache_mounted =
-        matches!(config.data_path, RealDataPath::Dpss { .. }) && env.map(|e| e.cache().is_some()).unwrap_or(false);
-    let cache = match (config.data_path, env) {
-        (RealDataPath::Dpss { .. }, Some(env)) => env.cache_stats().since(&cache_before),
-        _ => CacheStats::default(),
-    };
-    if cache_mounted {
-        collector.logger("dpss-cache", "block-cache").log_with(
-            tags::DPSS_CACHE_STATS,
-            [
-                (tags::FIELD_CACHE_HITS, cache.hits),
-                (tags::FIELD_CACHE_MISSES, cache.misses),
-                (tags::FIELD_CACHE_EVICTIONS, cache.evictions),
-            ],
-        );
-    }
-
-    let log = collector.finish();
-    let analysis = ProfileAnalysis::from_log(&log);
+    let artifacts = Pipeline::drive_real_stage(config, env)?;
     Ok(RealCampaignReport {
-        backend,
-        viewer: viewer_report,
-        transport,
-        cache,
-        service,
-        log,
-        analysis,
+        backend: artifacts.run.backend.expect("the real farm reports its backend"),
+        viewer: artifacts.run.viewer.expect("the real farm reports its viewer"),
+        transport: artifacts.transport,
+        cache: artifacts.cache,
+        service: artifacts.service,
+        log: artifacts.log,
+        analysis: artifacts.analysis.expect("real stages carry an analysis"),
     })
 }
 
-/// Emit the per-link and per-stripe NetLogger telemetry (`NL.transport.*`
-/// fields) for one campaign's transport.  This is the *only* place the event
-/// schema lives: the real path logs at the collector's clock (`at = None`),
-/// the virtual-time path replays the same emitter at an explicit virtual
-/// timestamp — so either log reads identically by construction.
-pub(crate) fn log_transport_stats(logger: &NetLogger, at: Option<f64>, stats: &TransportStats) {
-    let emit = |tag: &str, fields: Vec<(String, FieldValue)>| match at {
-        Some(t) => logger.log_at(t, tag, fields),
-        None => logger.log_with(tag, fields),
-    };
-    emit(
-        tags::TRANSPORT_STATS,
-        vec![
-            (
-                tags::FIELD_TRANSPORT_STRIPES.to_string(),
-                FieldValue::Int(stats.stripe_count() as i64),
-            ),
-            (
-                tags::FIELD_TRANSPORT_FRAMES.to_string(),
-                FieldValue::Int(stats.frames as i64),
-            ),
-            (
-                tags::FIELD_TRANSPORT_CHUNKS.to_string(),
-                FieldValue::Int(stats.chunks as i64),
-            ),
-            (
-                tags::FIELD_TRANSPORT_OUT_OF_ORDER.to_string(),
-                FieldValue::Int(stats.out_of_order_chunks as i64),
-            ),
-            (tags::FIELD_BYTES.to_string(), FieldValue::Int(stats.bytes as i64)),
-        ],
-    );
-    for (stripe, s) in stats.per_stripe.iter().enumerate() {
-        emit(
-            tags::TRANSPORT_STRIPE,
-            vec![
-                (tags::FIELD_TRANSPORT_STRIPE.to_string(), FieldValue::Int(stripe as i64)),
-                (
-                    tags::FIELD_TRANSPORT_CHUNKS.to_string(),
-                    FieldValue::Int(s.chunks as i64),
-                ),
-                (tags::FIELD_BYTES.to_string(), FieldValue::Int(s.bytes as i64)),
-            ],
-        );
-    }
-}
-
+// The tests exercise the deprecated facades on purpose: they are the
+// regression coverage that keeps the legacy surface working while callers
+// migrate to the builder.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::ExecutionMode;

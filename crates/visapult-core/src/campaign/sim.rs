@@ -3,7 +3,7 @@
 //! A [`SimCampaignConfig`] names a network testbed reconstruction
 //! ([`netsim::Testbed`]), a compute-platform model
 //! ([`crate::platform::ComputePlatform`]), a pipeline configuration and an
-//! execution mode.  [`run_sim_campaign`] computes, per timestep, the data
+//! execution mode.  [`SimCampaignConfig::model`] computes, per timestep, the data
 //! loading time (bounded by the WAN path, the per-PE ingest ceiling and the
 //! DPSS serve rate, with TCP slow-start on the first frame and CPU-contention
 //! inflation in overlapped mode), the render time (from the platform's
@@ -286,8 +286,44 @@ impl SimCampaignConfig {
     }
 }
 
+impl SimCampaignConfig {
+    /// Run the calibrated stage model to completion on a fresh virtual-time
+    /// collector and return the per-frame schedule, summary statistics and
+    /// the emitted event log.
+    ///
+    /// This is the supported entry point for *raw model access* — figure
+    /// binaries and analyses that need the [`FrameTiming`] schedule itself.
+    /// Whole campaigns should be driven through the
+    /// [`crate::pipeline::Pipeline`] builder instead, where this model is
+    /// the virtual-time [`crate::pipeline::RenderFarm`].
+    pub fn model(&self) -> Result<SimCampaignReport, VisapultError> {
+        let mut collector = Collector::virtual_time();
+        let mut report = model_stage(self, &collector)?;
+        report.log = collector.snapshot();
+        Ok(report)
+    }
+}
+
 /// Run a virtual-time campaign.
+#[deprecated(
+    since = "0.1.0",
+    note = "drive campaigns through the `pipeline::Pipeline` builder (`run_scenario` compiles a \
+            `ScenarioSpec` into one); for raw access to the calibrated stage model use \
+            `SimCampaignConfig::model`"
+)]
 pub fn run_sim_campaign(config: &SimCampaignConfig) -> Result<SimCampaignReport, VisapultError> {
+    config.model()
+}
+
+/// The calibrated stage model itself: compute the per-frame schedule and
+/// emit the NetLogger events the real pipeline would have produced into
+/// `collector` (the virtual-time render farm passes the pipeline's shared
+/// per-stage collector; [`SimCampaignConfig::model`] passes its own).  The
+/// returned report carries an empty log — the events live in the collector.
+pub(crate) fn model_stage(
+    config: &SimCampaignConfig,
+    collector: &Collector,
+) -> Result<SimCampaignReport, VisapultError> {
     config.pipeline.validate().map_err(VisapultError::Config)?;
     let n = config.pipeline.timesteps;
     let pes = config.pipeline.pes;
@@ -365,7 +401,6 @@ pub fn run_sim_campaign(config: &SimCampaignConfig) -> Result<SimCampaignReport,
     let total_time = frames.last().map(|f| f.send_end).unwrap_or(0.0);
 
     // Emit the NetLogger events the real pipeline would have produced.
-    let collector = Collector::virtual_time();
     let frame_bytes = config.pipeline.dataset.bytes_per_timestep().bytes();
     let slab_bytes = config.pipeline.bytes_per_pe_per_step();
     let mut pe_stagger_rng = StdRng::seed_from_u64(config.jitter_seed ^ 0x5eed);
@@ -417,9 +452,6 @@ pub fn run_sim_campaign(config: &SimCampaignConfig) -> Result<SimCampaignReport,
             viewer.log_at(ft.send_end, tags::V_FRAME_END, fields(None));
         }
     }
-    let mut collector = collector;
-    let log = collector.snapshot();
-
     // Summary statistics (warm frames only for load/throughput).
     let warm_frames: Vec<&FrameTiming> = frames.iter().skip(1).collect();
     let mean = |xs: &[f64]| {
@@ -453,7 +485,7 @@ pub fn run_sim_campaign(config: &SimCampaignConfig) -> Result<SimCampaignReport,
         mean_render_time,
         mean_send_time,
         mean_load_throughput_mbps,
-        log,
+        log: EventLog::new(),
     })
 }
 
@@ -466,7 +498,7 @@ mod tests {
         // Fig. 10: 4 PEs, serial, NTON: 160 MB loaded in ~3 s (~433 Mbps,
         // ~70% of OC-12), rendering 8-9 s.
         let config = SimCampaignConfig::nton_cplant(4, 5, ExecutionMode::Serial);
-        let report = run_sim_campaign(&config).unwrap();
+        let report = config.model().unwrap();
         assert!(
             report.mean_load_time > 2.4 && report.mean_load_time < 3.6,
             "load {}",
@@ -490,8 +522,12 @@ mod tests {
     #[test]
     fn fig12_13_lan_serial_vs_overlapped_totals() {
         // §4.3: ten timesteps, serial ≈265 s, overlapped ≈169 s, L≈15, R≈12.
-        let serial = run_sim_campaign(&SimCampaignConfig::lan_e4500(8, 10, ExecutionMode::Serial)).unwrap();
-        let overlapped = run_sim_campaign(&SimCampaignConfig::lan_e4500(8, 10, ExecutionMode::Overlapped)).unwrap();
+        let serial = SimCampaignConfig::lan_e4500(8, 10, ExecutionMode::Serial)
+            .model()
+            .unwrap();
+        let overlapped = SimCampaignConfig::lan_e4500(8, 10, ExecutionMode::Overlapped)
+            .model()
+            .unwrap();
         assert!(
             serial.total_time > 240.0 && serial.total_time < 295.0,
             "serial total {}",
@@ -510,8 +546,12 @@ mod tests {
 
     #[test]
     fn fig14_adding_nodes_does_not_speed_loading_but_halves_rendering() {
-        let four = run_sim_campaign(&SimCampaignConfig::nton_cplant(4, 5, ExecutionMode::Serial)).unwrap();
-        let eight = run_sim_campaign(&SimCampaignConfig::nton_cplant(8, 5, ExecutionMode::Serial)).unwrap();
+        let four = SimCampaignConfig::nton_cplant(4, 5, ExecutionMode::Serial)
+            .model()
+            .unwrap();
+        let eight = SimCampaignConfig::nton_cplant(8, 5, ExecutionMode::Serial)
+            .model()
+            .unwrap();
         let load_ratio = eight.mean_load_time / four.mean_load_time;
         assert!(load_ratio > 0.85 && load_ratio < 1.1, "load ratio {load_ratio}");
         let render_ratio = four.mean_render_time / eight.mean_render_time;
@@ -520,8 +560,12 @@ mod tests {
 
     #[test]
     fn fig15_overlapped_cluster_loads_are_slower_and_more_variable() {
-        let serial = run_sim_campaign(&SimCampaignConfig::nton_cplant(8, 8, ExecutionMode::Serial)).unwrap();
-        let overlapped = run_sim_campaign(&SimCampaignConfig::nton_cplant(8, 8, ExecutionMode::Overlapped)).unwrap();
+        let serial = SimCampaignConfig::nton_cplant(8, 8, ExecutionMode::Serial)
+            .model()
+            .unwrap();
+        let overlapped = SimCampaignConfig::nton_cplant(8, 8, ExecutionMode::Overlapped)
+            .model()
+            .unwrap();
         assert!(
             overlapped.mean_load_time > serial.mean_load_time,
             "overlapped load {} vs serial {}",
@@ -544,7 +588,9 @@ mod tests {
     fn fig16_17_esnet_profile_shape() {
         // §4.4.2: ~10 s to move 160 MB over ESnet (~128 Mbps), first frame
         // slower until the TCP window opens; overlapped loads slightly higher.
-        let serial = run_sim_campaign(&SimCampaignConfig::esnet_anl(8, 6, ExecutionMode::Serial)).unwrap();
+        let serial = SimCampaignConfig::esnet_anl(8, 6, ExecutionMode::Serial)
+            .model()
+            .unwrap();
         assert!(
             serial.mean_load_time > 8.0 && serial.mean_load_time < 12.5,
             "load {}",
@@ -558,7 +604,9 @@ mod tests {
         // Cold first frame.
         assert!(serial.frames[0].load_time() > serial.frames[1].load_time() * 1.05);
 
-        let overlapped = run_sim_campaign(&SimCampaignConfig::esnet_anl(8, 6, ExecutionMode::Overlapped)).unwrap();
+        let overlapped = SimCampaignConfig::esnet_anl(8, 6, ExecutionMode::Overlapped)
+            .model()
+            .unwrap();
         assert!(overlapped.mean_load_time >= serial.mean_load_time * 0.98);
         // On the SMP the penalty is small compared with the cluster's.
         let smp_penalty = overlapped.mean_load_time / serial.mean_load_time;
@@ -570,13 +618,13 @@ mod tests {
 
     #[test]
     fn sc99_throughputs_match_the_paper() {
-        let cplant = run_sim_campaign(&SimCampaignConfig::sc99_cplant(4, 4)).unwrap();
+        let cplant = SimCampaignConfig::sc99_cplant(4, 4).model().unwrap();
         assert!(
             cplant.mean_load_throughput_mbps > 210.0 && cplant.mean_load_throughput_mbps < 290.0,
             "NTON SC99 throughput {}",
             cplant.mean_load_throughput_mbps
         );
-        let booth = run_sim_campaign(&SimCampaignConfig::sc99_booth(8, 4)).unwrap();
+        let booth = SimCampaignConfig::sc99_booth(8, 4).model().unwrap();
         assert!(
             booth.mean_load_throughput_mbps > 120.0 && booth.mean_load_throughput_mbps < 180.0,
             "SciNet SC99 throughput {}",
@@ -588,8 +636,12 @@ mod tests {
     #[test]
     fn playback_cadence_matches_section5() {
         // §5: a new timestep every ~3 s over NTON, every ~10 s over ESnet.
-        let nton = run_sim_campaign(&SimCampaignConfig::nton_cplant(8, 6, ExecutionMode::Overlapped)).unwrap();
-        let esnet = run_sim_campaign(&SimCampaignConfig::esnet_anl(8, 6, ExecutionMode::Overlapped)).unwrap();
+        let nton = SimCampaignConfig::nton_cplant(8, 6, ExecutionMode::Overlapped)
+            .model()
+            .unwrap();
+        let esnet = SimCampaignConfig::esnet_anl(8, 6, ExecutionMode::Overlapped)
+            .model()
+            .unwrap();
         // Overlapped steady-state cadence is governed by max(L, R) + send.
         assert!(
             nton.seconds_per_timestep() > 2.0 && nton.seconds_per_timestep() < 6.5,
@@ -606,15 +658,19 @@ mod tests {
 
     #[test]
     fn oc192_supports_much_faster_playback() {
-        let future = run_sim_campaign(&SimCampaignConfig::future_oc192(16, 6, ExecutionMode::Overlapped)).unwrap();
-        let nton = run_sim_campaign(&SimCampaignConfig::nton_cplant(8, 6, ExecutionMode::Overlapped)).unwrap();
+        let future = SimCampaignConfig::future_oc192(16, 6, ExecutionMode::Overlapped)
+            .model()
+            .unwrap();
+        let nton = SimCampaignConfig::nton_cplant(8, 6, ExecutionMode::Overlapped)
+            .model()
+            .unwrap();
         assert!(future.mean_load_time < nton.mean_load_time * 0.6);
     }
 
     #[test]
     fn emitted_log_supports_the_standard_analysis() {
         let config = SimCampaignConfig::nton_cplant(4, 3, ExecutionMode::Serial);
-        let report = run_sim_campaign(&config).unwrap();
+        let report = config.model().unwrap();
         let analysis = report.analysis();
         assert_eq!(analysis.frames.len(), 3);
         // Frame-level bytes = sum of per-PE slab bytes = one timestep.
@@ -645,8 +701,8 @@ mod tests {
             stripes: 8,
             tuning: TcpTuning::Untuned,
         });
-        let s1 = run_sim_campaign(&single).unwrap();
-        let s8 = run_sim_campaign(&striped).unwrap();
+        let s1 = single.model().unwrap();
+        let s8 = striped.model().unwrap();
         assert!(
             s1.mean_send_time > 2.0 * s8.mean_send_time,
             "1 stripe {} vs 8 stripes {}",
@@ -655,7 +711,7 @@ mod tests {
         );
         // No transport model keeps the legacy raw-bottleneck send model (the
         // calibrated figure numbers depend on it).
-        let legacy = run_sim_campaign(&base).unwrap();
+        let legacy = base.model().unwrap();
         assert!(legacy.mean_send_time <= s8.mean_send_time);
     }
 
@@ -663,6 +719,6 @@ mod tests {
     fn invalid_pipeline_is_rejected() {
         let mut config = SimCampaignConfig::nton_cplant(4, 3, ExecutionMode::Serial);
         config.pipeline.timesteps = 10_000;
-        assert!(run_sim_campaign(&config).is_err());
+        assert!(config.model().is_err());
     }
 }

@@ -10,18 +10,24 @@
 //! The front door is the declarative scenario engine
 //! ([`campaign::scenario`]): a TOML [`ScenarioSpec`] names a testbed, a
 //! pipeline decomposition, a seed and a staged workload mix, and
-//! [`run_scenario`] compiles it to either execution path:
+//! [`run_scenario`] compiles it into a [`pipeline::Pipeline`] — the unified
+//! driver whose stage control flow (load → render → stripe → fan-out →
+//! composite) exists exactly once, written against four capability traits:
 //!
-//! * **Real mode** ([`campaign::real`]) — actual OS threads, an in-process
-//!   DPSS (optionally behind real TCP sockets), genuine software volume
-//!   rendering of synthetic combustion data, and a live viewer with a scene
-//!   graph; bandwidth shaping emulates the WAN.  This is what the examples
-//!   and integration tests run.
-//! * **Virtual-time mode** ([`campaign::sim`]) — the same pipeline control
-//!   flow driven against calibrated network/compute models on a virtual
-//!   clock, producing NetLogger event logs equivalent to the paper's NLV
-//!   figures in milliseconds of wall time.  This is what the benchmark
-//!   harness uses to regenerate every figure.
+//! * [`pipeline::Clock`] — wall time, or deterministic virtual time;
+//! * [`pipeline::Fabric`] — real striped channels, or modeled TCP stripe
+//!   sessions;
+//! * [`pipeline::RenderFarm`] — the thread-per-PE software renderer, or the
+//!   calibrated platform compute model;
+//! * [`pipeline::ServicePlane`] — the live shared-render fan-out broker, or
+//!   its deterministic replay.
+//!
+//! [`ExecutionPath::Real`] and [`ExecutionPath::VirtualTime`] are nothing
+//! more than the two bundled capability sets
+//! ([`pipeline::PathCapabilities`]); both produce byte-identical
+//! [`CampaignReport::replay_fingerprint`]s for the same spec.  The legacy
+//! per-path entry points (`run_real_campaign`, `run_sim_campaign`,
+//! `run_service_plane`) survive as thin deprecated facades over the builder.
 //!
 //! Supporting modules: the light/heavy payload wire [`protocol`], the
 //! multi-session [`service`] layer (session broker, shared-render fan-out,
@@ -36,6 +42,7 @@ pub mod config;
 pub mod data_source;
 pub mod error;
 pub mod model;
+pub mod pipeline;
 pub mod platform;
 pub mod protocol;
 pub mod service;
@@ -46,23 +53,32 @@ pub mod viewer;
 pub(crate) mod test_support;
 
 pub use baseline::{StrategyBandwidth, VisualizationStrategy};
-pub use campaign::real::{
-    run_real_campaign, run_real_campaign_in_env, RealCampaignConfig, RealCampaignReport, RealDpssEnv, ServicePlan,
-};
+#[allow(deprecated)] // the facades stay re-exported while callers migrate to the builder
+pub use campaign::real::{run_real_campaign, run_real_campaign_in_env};
+pub use campaign::real::{RealCampaignConfig, RealCampaignReport, RealDataPath, RealDpssEnv, ServicePlan};
 pub use campaign::scenario::{
     run_scenario, CacheReport, CacheSpec, CampaignReport, ExecutionPath, PlatformSpec, ScenarioSpec, ServiceReport,
     ServiceTableSpec, SessionArrivalSpec, StageReport, StageSpec, TransportReport, TransportSpec,
 };
-pub use campaign::sim::{run_sim_campaign, SimCampaignConfig, SimCampaignReport, SimTransportModel};
+#[allow(deprecated)] // the facade stays re-exported while callers migrate to the builder
+pub use campaign::sim::run_sim_campaign;
+pub use campaign::sim::{SimCampaignConfig, SimCampaignReport, SimTransportModel};
 pub use config::{ExecutionMode, PipelineConfig};
 pub use data_source::{DataSource, DpssDataSource, SyntheticSource};
 pub use error::VisapultError;
 pub use model::OverlapModel;
+pub use pipeline::{
+    Clock, Fabric, FabricLinks, FanoutPlane, FarmRun, ModelFarm, ModeledFabric, PathCapabilities, PhaseMeans, Pipeline,
+    PipelineBuilder, PlaneSession, RenderFarm, ReplayPlane, ServicePlane, StageArtifacts, StageContext, StripedFabric,
+    ThreadFarm, VirtualClock, WallClock,
+};
 pub use platform::ComputePlatform;
 pub use protocol::{FramePayload, FrameSegments, HeavyPayload, LightPayload};
+#[allow(deprecated)] // the facade stays re-exported while callers migrate to the builder
+pub use service::run_service_plane;
 pub use service::{
-    run_service_plane, QualityTier, RejectReason, ServiceConfig, ServiceRunReport, ServiceStats, SessionBroker,
-    SessionDelivery, SessionEvent, SessionSpec,
+    QualityTier, RejectReason, ServiceConfig, ServiceRunReport, ServiceStats, SessionBroker, SessionDelivery,
+    SessionEvent, SessionSpec,
 };
 pub use transport::{
     drain_frames, plan_chunks, striped_link, FrameAssembler, FrameChunk, StripeReceiver, StripeSender, TcpTuning,

@@ -1,0 +1,55 @@
+//! The [`Clock`] capability: where a stage's timestamps come from.
+
+use netlogger::Collector;
+
+/// Timestamp source for one stage execution: every NetLogger event of the
+/// stage — pipeline phases, transport stripes, cache and service summaries —
+/// is stamped by the collector this capability hands out.
+pub trait Clock {
+    /// A fresh per-stage collector on this clock.
+    fn collector(&self) -> Collector;
+
+    /// True when timestamps are deterministic (covered bit-for-bit by replay
+    /// fingerprints); false for wall time (excluded from fingerprints).
+    fn is_virtual(&self) -> bool;
+
+    /// Short label for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// Wall-clock time: what the real pipeline runs on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallClock;
+
+impl Clock for WallClock {
+    fn collector(&self) -> Collector {
+        Collector::wall()
+    }
+
+    fn is_virtual(&self) -> bool {
+        false
+    }
+
+    fn label(&self) -> &'static str {
+        "wall"
+    }
+}
+
+/// Virtual time: what the calibrated models run on.  Event timestamps are a
+/// pure function of the spec and seed, so two runs are bit-identical.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VirtualClock;
+
+impl Clock for VirtualClock {
+    fn collector(&self) -> Collector {
+        Collector::virtual_time()
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+
+    fn label(&self) -> &'static str {
+        "virtual"
+    }
+}

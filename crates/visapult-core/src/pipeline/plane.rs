@@ -1,0 +1,205 @@
+//! The [`ServicePlane`] capability: the multi-session fan-out seam.
+//!
+//! With a [`ServicePlan`] configured, the real plane ([`FanoutPlane`])
+//! splices the shared-render broker between the backend links and the
+//! primary viewer: chunks forward to the primary with the classic blocking
+//! backpressure while zero-copy clones multicast onto per-session bounded
+//! queues.  The replay plane ([`ReplayPlane`]) advances the *identical*
+//! deterministic broker state machine over the same frame counter without
+//! moving a byte, and folds the offered fan-out load in from the modeled
+//! chunk plan — so the lifecycle and shared-render telemetry is
+//! byte-identical across paths.
+
+use super::{modeled_segment_lens, FabricLinks, FarmRun, StageContext};
+use crate::error::VisapultError;
+use crate::service::{drive_service_plane, log_service_stats, ServiceRunReport, SessionBroker};
+use crate::transport::{plan_chunks, striped_link, StripeReceiver, StripeSender, TransportConfig};
+use netlogger::Collector;
+
+/// The fan-out capability: given the fabric's links, optionally splice a
+/// session-serving plane between the farm and the viewer.
+pub trait ServicePlane {
+    /// Splice the plane into the stage's links (a no-op when the context
+    /// carries no service plan), returning the links the farm should use and
+    /// a session to finish after the farm completes.
+    fn splice(
+        &self,
+        ctx: &StageContext<'_>,
+        links: FabricLinks,
+    ) -> Result<(FabricLinks, Box<dyn PlaneSession>), VisapultError>;
+}
+
+/// One stage's live plane: joined (or replayed) after the farm completes,
+/// emitting the `NL.service.*` telemetry through the shared emitter.
+pub trait PlaneSession {
+    /// Finish the plane and report what it did (`None` when no plan was
+    /// configured).
+    fn finish(
+        self: Box<Self>,
+        ctx: &StageContext<'_>,
+        run: &FarmRun,
+        collector: &Collector,
+    ) -> Result<Option<ServiceRunReport>, VisapultError>;
+}
+
+/// The real shared-render fan-out plane.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FanoutPlane;
+
+impl FanoutPlane {
+    /// Run the fan-out plane over a set of backend links directly — the
+    /// supported entry point for harnesses that drive the plane without a
+    /// full pipeline (benchmarks, plane-level tests).  One thread per PE
+    /// link forwards chunks to the primary viewer (blocking backpressure)
+    /// and multicasts zero-copy clones to every admitted session.
+    pub fn drive(
+        broker: SessionBroker,
+        inputs: Vec<StripeReceiver>,
+        primary: Vec<StripeSender>,
+        transport: &TransportConfig,
+    ) -> ServiceRunReport {
+        drive_service_plane(broker, inputs, primary, transport)
+    }
+}
+
+impl ServicePlane for FanoutPlane {
+    fn splice(
+        &self,
+        ctx: &StageContext<'_>,
+        links: FabricLinks,
+    ) -> Result<(FabricLinks, Box<dyn PlaneSession>), VisapultError> {
+        let Some(plan) = &ctx.service else {
+            return Ok((links, Box::new(NoSession)));
+        };
+        // The backend links feed the plane; the viewer moves onto fresh
+        // primary links.  The primary links are an unpaced copy of the
+        // transport config: the backend link already applied any WAN
+        // pacing, shaping twice would halve the rate.
+        let FabricLinks {
+            senders,
+            receivers: plane_inputs,
+            stats,
+        } = links;
+        let primary_config = TransportConfig {
+            pace_rate_mbps: None,
+            ..ctx.transport.clone()
+        };
+        let mut primary_txs = Vec::with_capacity(ctx.pipeline.pes);
+        let mut primary_rxs = Vec::with_capacity(ctx.pipeline.pes);
+        for _ in 0..ctx.pipeline.pes {
+            let (tx, rx) = striped_link(&primary_config);
+            primary_txs.push(tx);
+            primary_rxs.push(rx);
+        }
+        let broker = SessionBroker::new(plan.config.clone(), plan.sessions.clone());
+        let plane_transport = ctx.transport.clone();
+        let handle = std::thread::Builder::new()
+            .name("visapult-service-plane".to_string())
+            .spawn(move || drive_service_plane(broker, plane_inputs, primary_txs, &plane_transport))
+            .expect("spawn service plane");
+        Ok((
+            FabricLinks {
+                senders,
+                receivers: primary_rxs,
+                stats,
+            },
+            Box::new(FanoutSession { handle }),
+        ))
+    }
+}
+
+/// A live fan-out plane thread, joined once the farm completes.
+struct FanoutSession {
+    handle: std::thread::JoinHandle<ServiceRunReport>,
+}
+
+impl PlaneSession for FanoutSession {
+    fn finish(
+        self: Box<Self>,
+        _ctx: &StageContext<'_>,
+        _run: &FarmRun,
+        collector: &Collector,
+    ) -> Result<Option<ServiceRunReport>, VisapultError> {
+        let report = self.handle.join().expect("service plane panicked");
+        log_service_stats(
+            &collector.logger("service", "session-broker"),
+            None,
+            &report.stats,
+            &report.events,
+        );
+        Ok(Some(report))
+    }
+}
+
+/// The deterministic broker replay: the identical [`SessionBroker`] state
+/// machine the real plane drives, advanced over the same frame counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayPlane;
+
+impl ServicePlane for ReplayPlane {
+    fn splice(
+        &self,
+        _ctx: &StageContext<'_>,
+        links: FabricLinks,
+    ) -> Result<(FabricLinks, Box<dyn PlaneSession>), VisapultError> {
+        Ok((links, Box::new(ReplaySession)))
+    }
+}
+
+struct ReplaySession;
+
+impl PlaneSession for ReplaySession {
+    fn finish(
+        self: Box<Self>,
+        ctx: &StageContext<'_>,
+        run: &FarmRun,
+        collector: &Collector,
+    ) -> Result<Option<ServiceRunReport>, VisapultError> {
+        let Some(plan) = &ctx.service else {
+            return Ok(None);
+        };
+        let mut broker = SessionBroker::new(plan.config.clone(), plan.sessions.clone());
+        let timesteps = ctx.pipeline.timesteps;
+        if timesteps > 0 {
+            broker.advance_to(timesteps as u32 - 1);
+        }
+        broker.finish();
+        // Fold in the offered fan-out load from the modeled chunk plan — the
+        // same plan the modeled fabric replays.
+        let plans = plan_chunks(
+            modeled_segment_lens(&ctx.pipeline),
+            ctx.transport.chunk_bytes,
+            ctx.transport.stripes,
+        );
+        let chunks = plans.len() as u64 * ctx.pipeline.pes as u64;
+        let bytes = plans.iter().map(|p| p.len as u64).sum::<u64>() * ctx.pipeline.pes as u64;
+        broker.fold_fanout_load(&vec![(chunks, bytes); timesteps]);
+        let stats = broker.stats().clone();
+        let events = broker.events().to_vec();
+        log_service_stats(
+            &collector.logger("service", "session-broker"),
+            Some(run.total_time),
+            &stats,
+            &events,
+        );
+        Ok(Some(ServiceRunReport {
+            stats,
+            sessions: Vec::new(),
+            events,
+        }))
+    }
+}
+
+/// The no-service session: nothing to splice, nothing to report.
+struct NoSession;
+
+impl PlaneSession for NoSession {
+    fn finish(
+        self: Box<Self>,
+        _ctx: &StageContext<'_>,
+        _run: &FarmRun,
+        _collector: &Collector,
+    ) -> Result<Option<ServiceRunReport>, VisapultError> {
+        Ok(None)
+    }
+}

@@ -1,7 +1,7 @@
 //! The Visapult wire protocol: light and heavy payloads over striped sockets.
 //!
 //! Appendix A: per timestep each back-end PE sends the viewer a *light
-//! payload* — "visualization metadata [that] consists of texture size, bytes
+//! payload* — "visualization metadata \[that\] consists of texture size, bytes
 //! per pixel, and geometric information used to place the texture in a 3D
 //! scene ... on the order of 256 bytes" — followed by a *heavy payload* of
 //! "raw pixel data, as well as any geometric data", typically 0.25–1 MB of

@@ -15,7 +15,8 @@
 //!   share one backend render per frame, so `renders_performed` counts
 //!   distinct live viewpoints while `render_requests` counts what a naive
 //!   per-session farm would have paid.
-//! * [`run_service_plane`] — the real-mode shared-render fan-out.  It sits
+//! * [`crate::pipeline::FanoutPlane`] — the real-mode shared-render
+//!   fan-out.  It sits
 //!   between the backend's striped links and N concurrent sessions,
 //!   multicasting every stripe chunk zero-copy ([`bytes::Bytes`] clones) onto
 //!   per-session bounded queues.  A slow session's full queue degrades *that
@@ -28,7 +29,7 @@
 //!   only itself.
 //!
 //! The virtual-time path replays the identical broker state machine frame by
-//! frame (`ResolvedScenario::replay_stage_service`), so the deterministic
+//! frame (`pipeline::ReplayPlane`), so the deterministic
 //! half of [`ServiceStats`] is byte-identical between the two execution
 //! paths and is covered by the campaign replay fingerprint; queue-timing
 //! counters (chunks actually delivered or dropped, frames skipped) are
@@ -790,6 +791,27 @@ fn run_session_consumer(mut rx: StripeReceiver, spec: &SessionSpec, mut pacer: O
 
 /// Run the shared-render fan-out plane over one campaign.
 ///
+/// Deprecated facade over the plane implementation the unified pipeline
+/// driver splices in (`pipeline::FanoutPlane` is the `ServicePlane`
+/// capability of the real path); use [`crate::pipeline::FanoutPlane::drive`]
+/// to run the plane directly, or the `pipeline::Pipeline` builder to run it
+/// inside a campaign.
+#[deprecated(
+    since = "0.1.0",
+    note = "splice the plane through the `pipeline::Pipeline` builder's service seam, or run it \
+            directly with `pipeline::FanoutPlane::drive`"
+)]
+pub fn run_service_plane(
+    broker: SessionBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+) -> ServiceRunReport {
+    drive_service_plane(broker, inputs, primary, transport)
+}
+
+/// The fan-out plane implementation.
+///
 /// One thread per backend PE link consumes stripe chunks and (1) forwards
 /// each chunk to the primary viewer's corresponding link — blocking, so the
 /// paper's single-viewer backpressure semantics are preserved — and (2)
@@ -797,7 +819,7 @@ fn run_session_consumer(mut rx: StripeReceiver, spec: &SessionSpec, mut pacer: O
 /// A full session queue degrades that session for the rest of the (rank,
 /// frame) instead of stalling anything else.  Returns once the backend links
 /// close and every consumer has drained.
-pub fn run_service_plane(
+pub(crate) fn drive_service_plane(
     broker: SessionBroker,
     inputs: Vec<StripeReceiver>,
     primary: Vec<StripeSender>,
@@ -1286,7 +1308,7 @@ mod tests {
         }
         let plane = {
             let transport = transport.clone();
-            std::thread::spawn(move || run_service_plane(broker, backend_rxs, primary_txs, &transport))
+            std::thread::spawn(move || drive_service_plane(broker, backend_rxs, primary_txs, &transport))
         };
         let drains: Vec<_> = primary_rxs
             .into_iter()

@@ -3,7 +3,7 @@
 //! "the Visapult viewer and back end use multiple TCP streams between each
 //! back end PE and the viewer" (§3.4) — striping is what let the paper drive
 //! an OC-12 at line rate when a single circa-2000 TCP window could not.  This
-//! module gives the real pipeline that link for real: a [`StripedLink`]
+//! module gives the real pipeline that link for real: a [`striped_link`]
 //! carries each frame as [`FrameChunk`]s fanned round-robin across N stripes,
 //! each stripe a bounded in-process channel (backpressure) optionally paced
 //! by a [`netsim::StripePacer`] derived from [`netsim::TcpModel`] — so the

@@ -12,7 +12,7 @@
 //! * [`transfer`] — transfer functions mapping scalar values to colour and
 //!   opacity.
 //! * [`composite`] — RGBA images and Porter–Duff `over` compositing
-//!   (reference [11] of the paper), the recombination step of object-order
+//!   (reference \[11\] of the paper), the recombination step of object-order
 //!   parallel volume rendering.
 //! * [`render`] — the axis-aligned orthographic ray-casting renderer each PE
 //!   runs over its subset of the data, plus the full-volume reference

@@ -1,6 +1,6 @@
 //! Transfer functions: scalar value → colour and opacity.
 //!
-//! Volume rendering (reference [9] of the paper) classifies each sample
+//! Volume rendering (reference \[9\] of the paper) classifies each sample
 //! through a transfer function before compositing.  Visapult's combustion
 //! visualizations use a fire-like map over the normalized scalar; a greyscale
 //! ramp and an isosurface-style peak are provided for tests and other data.

@@ -8,13 +8,13 @@
 //!
 //! Then the paper-scale reconstructions (640×256×256 floats) of the three
 //! field-test configurations — NTON/CPlant, ESnet/Onyx2 and the LAN E4500 —
-//! are swept through the same `run_scenario` entry point, reproducing the
+//! are swept through the same `Pipeline` builder, reproducing the
 //! per-frame load/render times, aggregate throughputs and campaign totals of
 //! Figures 10 and 12–17.
 //!
 //! Run with: `cargo run --release --example combustion_corridor`
 
-use visapult::core::{run_scenario, ExecutionMode, ExecutionPath, OverlapModel, ScenarioSpec, StageSpec};
+use visapult::core::{ExecutionMode, ExecutionPath, OverlapModel, Pipeline, ScenarioSpec, StageSpec};
 use visapult::netsim::TestbedKind;
 
 fn stage(name: &str, share: f64, mode: ExecutionMode) -> StageSpec {
@@ -28,7 +28,10 @@ fn stage(name: &str, share: f64, mode: ExecutionMode) -> StageSpec {
 
 fn show_paper(kind: TestbedKind, pes: usize, timesteps: usize, mode: ExecutionMode) {
     let spec = ScenarioSpec::paper_virtual(kind, pes, timesteps, vec![stage(mode.label(), 100.0, mode)]);
-    let report = run_scenario(&spec).expect("campaign failed");
+    let report = Pipeline::from_spec(&spec)
+        .expect("spec compiles")
+        .run()
+        .expect("campaign failed");
     let m = &report.stages[0].metrics;
     println!(
         "{:<34} {:>4} PEs {:<10} L={:6.2}s  R={:6.2}s  send={:5.2}s  agg load={:6.1} Mbps  total={:7.1}s  ({:.2} s/step)",
@@ -50,7 +53,12 @@ fn main() {
     println!("-- The bundled staged scenario, on both execution paths --");
     let spec = ScenarioSpec::bundled("combustion_corridor_oc12").expect("bundled scenario parses");
     for path in ExecutionPath::ALL {
-        let report = run_scenario(&spec.clone().with_path(path)).expect("scenario failed");
+        let report = Pipeline::builder(spec.clone())
+            .path(path)
+            .build()
+            .expect("spec compiles")
+            .run()
+            .expect("scenario failed");
         println!("[{} path]", path.label());
         println!("{}", report.to_table());
     }

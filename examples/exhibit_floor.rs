@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release --example exhibit_floor`
 
-use visapult::core::{run_scenario, ExecutionPath, ScenarioSpec};
+use visapult::core::{ExecutionPath, Pipeline, ScenarioSpec};
 
 fn main() {
     let spec = ScenarioSpec::bundled("exhibit_floor").expect("bundled scenario");
@@ -21,7 +21,10 @@ fn main() {
     // The real pipeline: the fan-out plane multicasting stripe chunks
     // zero-copy onto per-session bounded queues, every session reassembling
     // at its own pace.
-    let real = run_scenario(&spec).expect("real campaign");
+    let real = Pipeline::from_spec(&spec)
+        .expect("spec compiles")
+        .run()
+        .expect("real campaign");
     println!("{}", real.to_table());
     println!("session sweep (real path):");
     println!(
@@ -55,7 +58,12 @@ fn main() {
 
     // The same spec in virtual time: the identical broker state machine,
     // replayed frame by frame with no bytes moved.
-    let sim = run_scenario(&spec.clone().with_path(ExecutionPath::VirtualTime)).expect("virtual-time replay");
+    let sim = Pipeline::builder(spec.clone())
+        .path(ExecutionPath::VirtualTime)
+        .build()
+        .expect("spec compiles")
+        .run()
+        .expect("virtual-time replay");
     println!("\nvirtual-time replay parity (deterministic lifecycle half):");
     for (r, s) in real.stages.iter().zip(&sim.stages) {
         let (rm, sm) = (&r.metrics.service, &s.metrics.service);
@@ -77,7 +85,10 @@ fn main() {
     }
 
     // Determinism: same spec, same fingerprint, on both paths.
-    let real_again = run_scenario(&spec).expect("real campaign, again");
+    let real_again = Pipeline::from_spec(&spec)
+        .expect("spec compiles")
+        .run()
+        .expect("real campaign, again");
     assert_eq!(real.replay_fingerprint(), real_again.replay_fingerprint());
     println!(
         "\nreplay fingerprints: real {:#018x} (reproducible), virtual-time {:#018x}",

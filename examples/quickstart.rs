@@ -14,7 +14,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use visapult::core::{run_scenario, ScenarioSpec};
+use visapult::core::{Pipeline, ScenarioSpec};
 use visapult::netlogger::{LifelinePlot, NlvOptions, ProfileAnalysis};
 
 fn main() {
@@ -30,7 +30,13 @@ fn main() {
         spec.scenario.seed,
     );
 
-    let report = run_scenario(&spec).expect("scenario failed");
+    // The unified driver: compile the spec into a `Pipeline` (the stage
+    // control flow exists once; the spec's path picks the capability set —
+    // clock, fabric, render farm, service plane) and run it.
+    let report = Pipeline::from_spec(&spec)
+        .expect("spec compiles")
+        .run()
+        .expect("scenario failed");
 
     println!("{}", report.to_table());
     println!(
@@ -55,4 +61,23 @@ fn main() {
     println!("NLV lifeline plot of the run:");
     let plot = LifelinePlot::new(&report.log, NlvOptions::default().with_width(90));
     println!("{}", plot.render());
+
+    // ---- migration guide ----------------------------------------------
+    // Before the unified driver, single campaigns ran through per-path
+    // entry points.  Those facades still work (deprecated, delegating to
+    // the same builder), and produce the same deterministic results:
+    #[allow(deprecated)] // quickstart doubles as the facade migration guide
+    {
+        use visapult::core::{run_real_campaign, ExecutionMode, PipelineConfig, RealCampaignConfig};
+        let legacy = run_real_campaign(&RealCampaignConfig::small(PipelineConfig::small(
+            2,
+            2,
+            ExecutionMode::Serial,
+        )))
+        .expect("legacy facade still works");
+        println!(
+            "deprecated facade check: run_real_campaign delivered {} payloads (now spelled `Pipeline::builder(spec).build()?.run()?`)",
+            legacy.viewer.frames_received
+        );
+    }
 }

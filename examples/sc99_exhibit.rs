@@ -5,14 +5,14 @@
 //! the CPlant cluster over NTON (250 Mbps achieved with the early Visapult
 //! implementation) and to the 8-node Babel cluster in the LBL booth over the
 //! shared SciNet fabric (150 Mbps).  Both are replayed here at paper scale
-//! through `run_scenario`, the bundled `scenarios/sc99_exhibit.toml` spec is
+//! through the `Pipeline` builder, the bundled `scenarios/sc99_exhibit.toml` spec is
 //! run as shipped, and an actual frame of the synthetic cosmology dataset is
 //! rendered through the IBRAVR path to produce the kind of image shown in
 //! Figure 9.
 //!
 //! Run with: `cargo run --release --example sc99_exhibit`
 
-use visapult::core::{run_scenario, ScenarioSpec};
+use visapult::core::{Pipeline, ScenarioSpec};
 use visapult::netsim::TestbedKind;
 use visapult::scenegraph::IbravrModel;
 use visapult::volren::{cosmology_density, Axis, RenderSettings, TransferFunction, ViewOrientation};
@@ -22,13 +22,19 @@ fn main() {
 
     println!("-- The bundled scenario, as shipped --");
     let bundled = ScenarioSpec::bundled("sc99_exhibit").expect("bundled scenario parses");
-    let report = run_scenario(&bundled).expect("scenario failed");
+    let report = Pipeline::from_spec(&bundled)
+        .expect("spec compiles")
+        .run()
+        .expect("scenario failed");
     println!("{}", report.to_table());
 
     println!("-- Wide-area data paths at paper scale (virtual time) --");
     for (kind, pes) in [(TestbedKind::Sc99Cplant, 4), (TestbedKind::Sc99Booth, 8)] {
         let spec = ScenarioSpec::paper_virtual(kind, pes, 6, Vec::new());
-        let report = run_scenario(&spec).expect("campaign failed");
+        let report = Pipeline::from_spec(&spec)
+            .expect("spec compiles")
+            .run()
+            .expect("campaign failed");
         let m = &report.stages[0].metrics;
         println!(
             "{:<38} aggregate DPSS->back-end throughput {:6.1} Mbps, {:.2} s per timestep",

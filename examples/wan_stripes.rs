@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example wan_stripes`
 
-use visapult::core::{run_scenario, ExecutionPath, ScenarioSpec};
+use visapult::core::{ExecutionPath, Pipeline, ScenarioSpec};
 
 fn main() {
     let spec = ScenarioSpec::bundled("wan_stripes").expect("bundled scenario");
@@ -19,7 +19,10 @@ fn main() {
 
     // The real pipeline: chunked zero-copy framing, per-stripe sequence
     // numbers, out-of-order reassembly, bounded queues, WAN pacing.
-    let real = run_scenario(&spec).expect("real campaign");
+    let real = Pipeline::from_spec(&spec)
+        .expect("spec compiles")
+        .run()
+        .expect("real campaign");
     println!("{}", real.to_table());
     println!("per-stage striping (real path):");
     for stage in &real.stages {
@@ -45,7 +48,12 @@ fn main() {
 
     // The same spec in virtual time: identical chunk/stripe plan, modeled
     // TCP session in the send phase.
-    let sim = run_scenario(&spec.clone().with_path(ExecutionPath::VirtualTime)).expect("virtual-time replay");
+    let sim = Pipeline::builder(spec.clone())
+        .path(ExecutionPath::VirtualTime)
+        .build()
+        .expect("spec compiles")
+        .run()
+        .expect("virtual-time replay");
     println!("virtual-time replay parity:");
     for (r, s) in real.stages.iter().zip(&sim.stages) {
         println!(
@@ -61,7 +69,10 @@ fn main() {
     }
 
     // Determinism: same spec, same fingerprint, on both paths.
-    let real_again = run_scenario(&spec).expect("real campaign, again");
+    let real_again = Pipeline::from_spec(&spec)
+        .expect("spec compiles")
+        .run()
+        .expect("real campaign, again");
     assert_eq!(real.replay_fingerprint(), real_again.replay_fingerprint());
     println!(
         "\nreplay fingerprints: real {:#018x} (reproducible), virtual-time {:#018x}",

@@ -3,7 +3,7 @@
 //! the virtual-time campaigns agreeing with the analytic model and with each
 //! other across modes.
 
-use visapult::core::{run_sim_campaign, ExecutionMode, OverlapModel, SimCampaignConfig};
+use visapult::core::{ExecutionMode, OverlapModel, SimCampaignConfig};
 use visapult::dpss::{net::serve_cluster, DatasetDescriptor, DpssClient, DpssCluster, HpssArchive, StripeLayout};
 use visapult::netsim::Bandwidth;
 use visapult::scenegraph::IbravrModel;
@@ -79,7 +79,7 @@ fn sim_campaigns_track_the_analytic_model() {
     // when fed the same L and R (up to the cold start, jitter and send time).
     for mode in ExecutionMode::ALL {
         let config = SimCampaignConfig::lan_e4500(8, 10, mode);
-        let report = run_sim_campaign(&config).unwrap();
+        let report = config.model().unwrap();
         let model = OverlapModel::new(report.mean_load_time, report.mean_render_time);
         let predicted = match mode {
             ExecutionMode::Serial => model.serial_time(10),
@@ -103,8 +103,8 @@ fn overlap_speedup_shrinks_when_loading_dominates() {
     // loading dominates so the speedup is smaller — the trend the paper
     // predicts from the Ts/To analysis.
     let speedup = |make: fn(usize, usize, ExecutionMode) -> SimCampaignConfig| {
-        let serial = run_sim_campaign(&make(8, 8, ExecutionMode::Serial)).unwrap();
-        let overlapped = run_sim_campaign(&make(8, 8, ExecutionMode::Overlapped)).unwrap();
+        let serial = make(8, 8, ExecutionMode::Serial).model().unwrap();
+        let overlapped = make(8, 8, ExecutionMode::Overlapped).model().unwrap();
         serial.total_time / overlapped.total_time
     };
     let lan = speedup(SimCampaignConfig::lan_e4500);

@@ -1,8 +1,13 @@
 //! Cross-crate integration tests: the full pipeline from the DPSS cache
 //! through the parallel back end to the viewer's composited image.
+//!
+//! These tests run through the deprecated `run_real_campaign` facade on
+//! purpose: they are the regression coverage that keeps the legacy
+//! config-level surface working (and identical to the builder path it
+//! delegates to) while callers migrate to `pipeline::Pipeline`.
+#![allow(deprecated)]
 
-use visapult::core::campaign::real::RealDataPath;
-use visapult::core::{run_real_campaign, ExecutionMode, PipelineConfig, RealCampaignConfig};
+use visapult::core::{run_real_campaign, ExecutionMode, PipelineConfig, RealCampaignConfig, RealDataPath};
 use visapult::netlogger::{tags, LifelinePlot, NlvOptions, ProfileAnalysis};
 
 fn campaign(pes: usize, timesteps: usize, mode: ExecutionMode, path: RealDataPath) -> RealCampaignConfig {

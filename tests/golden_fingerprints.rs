@@ -1,0 +1,77 @@
+//! Golden replay-fingerprint regression: the six bundled scenarios must
+//! keep producing byte-identical deterministic telemetry.
+//!
+//! The constants below were captured from the pre-`pipeline` scenario
+//! engine (PR 4 era) and survived the unified-driver redesign unchanged —
+//! which is the point: an API refactor that silently drifts a counter, an
+//! event, a config hash or a composite pixel changes a fingerprint and
+//! fails here.  If a change *intentionally* alters deterministic telemetry
+//! (a new fingerprinted counter, a scenario file edit), update the constants
+//! in the same commit and say why.
+
+use visapult::core::{run_scenario, ExecutionPath, Pipeline, ScenarioSpec};
+
+/// (scenario, virtual-time fingerprint, real-path fingerprint).
+const GOLDEN: [(&str, u64, u64); 6] = [
+    ("quickstart_lan", 0xffaf8093e9cf2078, 0xefb19b85b31ad3ba),
+    ("combustion_corridor_oc12", 0x8b325163a7d5a7e9, 0xcbe9d4e69e169b44),
+    ("sc99_exhibit", 0x2206024ceddf59ae, 0xeb30484143c5460b),
+    ("cache_stress", 0x5b43666872677677, 0x524f81c23dc976a3),
+    ("wan_stripes", 0x49b1c7f92081f7ae, 0x8247ed69da0c8f8b),
+    ("exhibit_floor", 0x794693172ef35ad8, 0x3f8f0d34ab9bca44),
+];
+
+#[test]
+fn bundled_scenarios_match_their_golden_virtual_time_fingerprints() {
+    for (name, virtual_fp, _) in GOLDEN {
+        let spec = ScenarioSpec::bundled(name)
+            .unwrap()
+            .with_path(ExecutionPath::VirtualTime);
+        let report = run_scenario(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            report.replay_fingerprint(),
+            virtual_fp,
+            "{name} [virtual-time] drifted from its golden fingerprint: got {:#018x}",
+            report.replay_fingerprint(),
+        );
+    }
+}
+
+#[test]
+fn bundled_scenarios_match_their_golden_real_fingerprints() {
+    for (name, _, real_fp) in GOLDEN {
+        let spec = ScenarioSpec::bundled(name).unwrap().with_path(ExecutionPath::Real);
+        let report = run_scenario(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            report.replay_fingerprint(),
+            real_fp,
+            "{name} [real] drifted from its golden fingerprint: got {:#018x}",
+            report.replay_fingerprint(),
+        );
+    }
+}
+
+#[test]
+fn golden_covers_every_bundled_scenario() {
+    let mut bundled = ScenarioSpec::bundled_names();
+    bundled.sort_unstable();
+    let mut golden: Vec<&str> = GOLDEN.iter().map(|(n, _, _)| *n).collect();
+    golden.sort_unstable();
+    assert_eq!(bundled, golden, "add golden fingerprints for new bundled scenarios");
+}
+
+#[test]
+fn the_builder_and_run_scenario_agree_on_fingerprints() {
+    // `run_scenario` is a thin compile-and-run over the builder; both
+    // spellings must be the same campaign.
+    for (name, virtual_fp, _) in GOLDEN {
+        let spec = ScenarioSpec::bundled(name).unwrap();
+        let report = Pipeline::builder(spec)
+            .path(ExecutionPath::VirtualTime)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.replay_fingerprint(), virtual_fp, "{name} via the builder");
+    }
+}

@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use visapult::core::transport::striped_link;
 use visapult::core::{
-    plan_chunks, run_scenario, run_service_plane, ExecutionPath, FramePayload, FrameSegments, HeavyPayload,
-    LightPayload, QualityTier, ScenarioSpec, ServiceConfig, SessionBroker, SessionSpec, TransportConfig, ViewerError,
+    plan_chunks, run_scenario, ExecutionPath, FanoutPlane, FramePayload, FrameSegments, HeavyPayload, LightPayload,
+    QualityTier, ScenarioSpec, ServiceConfig, SessionBroker, SessionSpec, TransportConfig, ViewerError,
 };
 
 fn payload(rank: u32, frame: u32, tex: usize) -> FramePayload {
@@ -46,7 +46,7 @@ fn run_plane(
     let broker = SessionBroker::new(config, schedule);
     let plane = {
         let transport = transport.clone();
-        std::thread::spawn(move || run_service_plane(broker, vec![backend_rx], Vec::new(), &transport))
+        std::thread::spawn(move || FanoutPlane::drive(broker, vec![backend_rx], Vec::new(), &transport))
     };
     for f in 0..frames {
         backend_tx.send_frame(&payload(0, f, tex)).unwrap();
@@ -189,7 +189,7 @@ fn late_and_corrupt_chunks_surface_as_typed_errors_in_every_session() {
     let broker = SessionBroker::new(ServiceConfig::default(), schedule);
     let plane = {
         let transport = transport.clone();
-        std::thread::spawn(move || run_service_plane(broker, vec![backend_rx], Vec::new(), &transport))
+        std::thread::spawn(move || FanoutPlane::drive(broker, vec![backend_rx], Vec::new(), &transport))
     };
     backend_tx.send_frame(&payload(0, 0, 8)).unwrap();
     // A straggler for the already-complete frame 0: every session must
