@@ -4,25 +4,36 @@
 //! zero-copy chunk multicast onto per-session bounded queues, per-session
 //! reassembly — at session counts 1/8/64 (unshaped, deep queues, so the
 //! numbers are the fan-out's own overhead, not WAN pacing), with every
-//! session wave spread over 4 shared viewpoints.
+//! session wave spread over 4 shared viewpoints.  Both plane implementations
+//! run: the classic thread-per-session plane and the executor-backed async
+//! plane, whose OS thread count is the worker-pool size regardless of scale.
 //!
 //! Besides the criterion output, a custom `main` writes a
-//! `target/BENCH_service.json` baseline (median seconds per 8-frame
-//! campaign, per-session-frame fan-out cost, and the shared-render hit rate
-//! at each scale — the broker's 1-vs-64 "more with less" number) so
-//! successive runs can be diffed mechanically.
+//! `BENCH_service.json` baseline (median seconds per 8-frame campaign,
+//! per-session-frame fan-out cost, and the shared-render hit rate at each
+//! scale — the broker's 1-vs-64 "more with less" number) to `target/` and
+//! the workspace root so successive runs can be diffed mechanically.  The
+//! headline addition is the 10 000-session `exhibit_floor` variant on the
+//! async plane, with the process's peak thread count recorded alongside the
+//! per-session-frame cost.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use visapult_core::protocol::{FramePayload, HeavyPayload, LightPayload};
 use visapult_core::transport::{striped_link, TransportConfig};
-use visapult_core::{FanoutPlane, QualityTier, ServiceConfig, ServiceStats, SessionBroker, SessionSpec};
+use visapult_core::{
+    AsyncPlane, FanoutPlane, PlaneKind, QualityTier, ServiceConfig, ServiceStats, SessionBroker, SessionSpec,
+};
 
 const TEX: usize = 128; // 128x128 RGBA8 = 64 KB per frame
 const FRAMES: u32 = 8;
 const VIEWPOINTS: u32 = 4;
+/// Async-plane worker pool for the baseline runs: fixed so the JSON is
+/// comparable across machines.
+const WORKERS: usize = 4;
 
 fn sample_frame(frame: u32) -> FramePayload {
     let texture: Vec<u8> = (0..TEX * TEX * 4).map(|i| (i % 251) as u8).collect();
@@ -59,36 +70,41 @@ fn schedule(sessions: u32) -> Vec<SessionSpec> {
         .collect()
 }
 
-/// One 8-frame campaign through the plane at `sessions` concurrent sessions;
-/// returns the service stats for the hit-rate report.
-fn fan_out(sessions: u32) -> ServiceStats {
+/// One 8-frame campaign through the selected plane at `sessions` concurrent
+/// sessions; returns the service stats for the hit-rate report.
+fn fan_out_on(plane: PlaneKind, sessions: u32) -> ServiceStats {
     let transport = TransportConfig::default().with_stripes(4).with_chunk_bytes(16 * 1024);
     let config = ServiceConfig {
-        max_sessions: 128,
-        link_capacity_units: 4096,
+        max_sessions: sessions.max(128) as usize,
+        link_capacity_units: u64::from(sessions.max(128)) * 8,
         render_slots: VIEWPOINTS,
         queue_depth: 4096,
         farm_egress_mbps: None,
     };
     let (tx, rx) = striped_link(&transport);
     let broker = SessionBroker::new(config, schedule(sessions));
-    let plane = {
+    let handle = {
         let transport = transport.clone();
-        std::thread::spawn(move || FanoutPlane::drive(broker, vec![rx], Vec::new(), &transport))
+        std::thread::spawn(move || match plane {
+            PlaneKind::Threaded => FanoutPlane::drive(broker, vec![rx], Vec::new(), &transport),
+            PlaneKind::Async => AsyncPlane::with_workers(WORKERS).drive(broker, vec![rx], Vec::new(), &transport),
+        })
     };
     for f in 0..FRAMES {
         tx.send_frame(&sample_frame(f)).unwrap();
     }
     drop(tx);
-    plane.join().unwrap().stats
+    handle.join().unwrap().stats
 }
 
 fn bench_service_fanout(c: &mut Criterion) {
     let mut group = c.benchmark_group("service_fanout_8_frames");
-    for sessions in [1u32, 8, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(sessions), &sessions, |b, &n| {
-            b.iter(|| black_box(fan_out(n).frames_completed));
-        });
+    for plane in [PlaneKind::Threaded, PlaneKind::Async] {
+        for sessions in [1u32, 8, 64] {
+            group.bench_with_input(BenchmarkId::new(plane.label(), sessions), &sessions, |b, &n| {
+                b.iter(|| black_box(fan_out_on(plane, n).frames_completed));
+            });
+        }
     }
     group.finish();
 }
@@ -108,50 +124,108 @@ fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
-fn write_baseline() {
-    let samples = 15;
-    let cases: Vec<(u32, f64, ServiceStats)> = [1u32, 8, 64]
+/// The process's current thread count from /proc (0 where unavailable).
+fn live_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn baseline_cases(plane: PlaneKind, samples: usize) -> Vec<(u32, f64, ServiceStats)> {
+    [1u32, 8, 64]
         .iter()
         .map(|&n| {
-            let stats = fan_out(n);
+            let stats = fan_out_on(plane, n);
             let median = median_secs(samples, || {
-                black_box(fan_out(n).frames_completed);
+                black_box(fan_out_on(plane, n).frames_completed);
             });
             (n, median, stats)
         })
-        .collect();
+        .collect()
+}
 
-    let mut case_json = Vec::new();
-    for (n, median, stats) in &cases {
-        // Cost per session-frame: how much the plane pays to serve one frame
-        // to one more session.
-        let session_frames = f64::from(*n) * f64::from(FRAMES);
-        case_json.push(format!(
-            "    \"sessions_{n}\": {{ \"median_s\": {median:.9}, \"us_per_session_frame\": {:.3}, \"shared_render_hit_rate\": {:.4}, \"renders\": {}, \"render_requests\": {} }}",
-            median / session_frames * 1e6,
-            stats.shared_render_hit_rate(),
-            stats.renders_performed,
-            stats.render_requests,
-        ));
-    }
-    let scaling = cases[2].1 / cases[0].1;
+fn case_json(cases: &[(u32, f64, ServiceStats)]) -> String {
+    cases
+        .iter()
+        .map(|(n, median, stats)| {
+            // Cost per session-frame: how much the plane pays to serve one
+            // frame to one more session.
+            let session_frames = f64::from(*n) * f64::from(FRAMES);
+            format!(
+                "    \"sessions_{n}\": {{ \"median_s\": {median:.9}, \"us_per_session_frame\": {:.3}, \"shared_render_hit_rate\": {:.4}, \"renders\": {}, \"render_requests\": {} }}",
+                median / session_frames * 1e6,
+                stats.shared_render_hit_rate(),
+                stats.renders_performed,
+                stats.render_requests,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// The 10 000-session `exhibit_floor` variant on the async plane: the same
+/// 4-viewpoint standing crowd the bundled scenario's floor stage models,
+/// scaled two orders of magnitude past what thread-per-session can carry.
+/// Returns (median seconds, peak process threads, stats).
+fn exhibit_floor_10k(samples: usize) -> (f64, usize, ServiceStats) {
+    const SESSIONS: u32 = 10_000;
+    let stop = Arc::new(AtomicBool::new(false));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let monitor = {
+        let (stop, peak) = (Arc::clone(&stop), Arc::clone(&peak));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                peak.fetch_max(live_threads(), Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        })
+    };
+    let stats = fan_out_on(PlaneKind::Async, SESSIONS);
+    let median = median_secs(samples, || {
+        black_box(fan_out_on(PlaneKind::Async, SESSIONS).frames_completed);
+    });
+    stop.store(true, Ordering::Relaxed);
+    monitor.join().unwrap();
+    (median, peak.load(Ordering::Relaxed), stats)
+}
+
+fn write_baseline() {
+    let samples = 15;
+    let threaded = baseline_cases(PlaneKind::Threaded, samples);
+    let asynced = baseline_cases(PlaneKind::Async, samples);
+    // The 10k sweep is one campaign per sample; a handful of samples keeps
+    // the bench minutes-free while the median still rejects a cold outlier.
+    let floor_samples = 3;
+    let (floor_median, floor_peak_threads, floor_stats) = exhibit_floor_10k(floor_samples);
+    let floor_session_frames = 10_000.0 * f64::from(FRAMES);
+
+    let scaling = threaded[2].1 / threaded[0].1;
     let json = format!(
-        "{{\n  \"bench\": \"service_fanout_8_frames\",\n  \"frames\": {FRAMES},\n  \"viewpoints\": {VIEWPOINTS},\n  \"samples\": {samples},\n  \"cases\": {{\n{}\n  }},\n  \"wall_time_64x_vs_1x\": {scaling:.2},\n  \"render_ratio_at_64\": {:.4}\n}}\n",
-        case_json.join(",\n"),
-        cases[2].2.render_ratio(),
+        "{{\n  \"bench\": \"service_fanout_8_frames\",\n  \"frames\": {FRAMES},\n  \"viewpoints\": {VIEWPOINTS},\n  \"samples\": {samples},\n  \"cases\": {{\n{}\n  }},\n  \"async_workers\": {WORKERS},\n  \"async_cases\": {{\n{}\n  }},\n  \"exhibit_floor_10k_async\": {{\n    \"sessions\": 10000,\n    \"workers\": {WORKERS},\n    \"samples\": {floor_samples},\n    \"median_s\": {floor_median:.9},\n    \"us_per_session_frame\": {:.3},\n    \"peak_process_threads\": {floor_peak_threads},\n    \"shared_render_hit_rate\": {:.4}\n  }},\n  \"wall_time_64x_vs_1x\": {scaling:.2},\n  \"render_ratio_at_64\": {:.4}\n}}\n",
+        case_json(&threaded),
+        case_json(&asynced),
+        floor_median / floor_session_frames * 1e6,
+        floor_stats.shared_render_hit_rate(),
+        threaded[2].2.render_ratio(),
     );
-    let target = std::env::var("CARGO_TARGET_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|_| {
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-                .join("../..")
-                .join("target")
-        });
-    let path = target.join("BENCH_service.json");
-    if std::fs::create_dir_all(&target).is_ok() && std::fs::write(&path, &json).is_ok() {
-        println!("\nwrote baseline {}:\n{json}", path.display());
+    report_baseline("service", &json);
+}
+
+fn report_baseline(name: &str, json: &str) {
+    let written = visapult_bench::persist_baseline(name, json);
+    if written.is_empty() {
+        println!("\nbaseline (nowhere writable):\n{json}");
     } else {
-        println!("\nbaseline (target/ not writable):\n{json}");
+        for path in &written {
+            println!("\nwrote baseline {}", path.display());
+        }
+        println!("{json}");
     }
 }
 

@@ -127,20 +127,18 @@ fn write_baseline() {
         mbps(legacy_s),
         legacy_s / stripe_s[1],
     );
-    // Benches run with the package as cwd; resolve the workspace target dir
-    // so the baseline lands next to every other build artifact.
-    let target = std::env::var("CARGO_TARGET_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|_| {
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-                .join("../..")
-                .join("target")
-        });
-    let path = target.join("BENCH_transport.json");
-    if std::fs::create_dir_all(&target).is_ok() && std::fs::write(&path, &json).is_ok() {
-        println!("\nwrote baseline {}:\n{json}", path.display());
+    report_baseline("transport", &json);
+}
+
+fn report_baseline(name: &str, json: &str) {
+    let written = visapult_bench::persist_baseline(name, json);
+    if written.is_empty() {
+        println!("\nbaseline (nowhere writable):\n{json}");
     } else {
-        println!("\nbaseline (target/ not writable):\n{json}");
+        for path in &written {
+            println!("\nwrote baseline {}", path.display());
+        }
+        println!("{json}");
     }
 }
 

@@ -7,6 +7,35 @@
 //! comparison that EXPERIMENTS.md records.
 
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Where a bench baseline named `BENCH_<name>.json` lands: the build's
+/// `target/` directory (scratch, next to every other build artifact) and the
+/// workspace root (the copy the repo commits so baselines travel with the
+/// history they measure).
+pub fn baseline_paths(name: &str) -> Vec<PathBuf> {
+    let file = format!("BENCH_{name}.json");
+    let workspace = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| workspace.join("target"));
+    vec![target.join(&file), workspace.join(&file)]
+}
+
+/// Write a bench baseline to every location in [`baseline_paths`], returning
+/// the paths actually written (an unwritable location is skipped, not fatal —
+/// benches must still report on read-only checkouts).
+pub fn persist_baseline(name: &str, json: &str) -> Vec<PathBuf> {
+    baseline_paths(name)
+        .into_iter()
+        .filter(|path| {
+            path.parent()
+                .map(|dir| std::fs::create_dir_all(dir).is_ok())
+                .unwrap_or(false)
+                && std::fs::write(path, json).is_ok()
+        })
+        .collect()
+}
 
 /// One row of a paper-vs-measured comparison.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -134,6 +163,19 @@ impl ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn baselines_land_in_target_and_at_the_workspace_root() {
+        let paths = baseline_paths("unit");
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().all(|p| p.ends_with("BENCH_unit.json")));
+        assert!(
+            paths[0].components().any(|c| c.as_os_str() == "target") || std::env::var("CARGO_TARGET_DIR").is_ok(),
+            "{paths:?}"
+        );
+        // The committed copy sits at the workspace root, not under target/.
+        assert!(paths[1].parent().unwrap().join("Cargo.toml").exists(), "{paths:?}");
+    }
 
     #[test]
     fn numeric_rows_apply_the_band() {

@@ -16,7 +16,7 @@ use crate::campaign::sim::{SimCampaignConfig, SimTransportModel, DEFAULT_WAN_EFF
 use crate::config::{ExecutionMode, PipelineConfig};
 use crate::error::VisapultError;
 use crate::pipeline::Pipeline;
-use crate::service::{QualityTier, ServiceConfig, SessionSpec};
+use crate::service::{PlaneKind, QualityTier, ServiceConfig, SessionSpec};
 use crate::transport::{TcpTuning, TransportConfig};
 use dpss::{CacheConfig, DatasetDescriptor, DpssSimModel};
 use netsim::{TcpModel, TestbedKind};
@@ -200,6 +200,12 @@ impl ScenarioSpec {
                 if max_sessions == 0 || link_capacity_units == 0 || render_slots == 0 || queue_depth == 0 {
                     return Err(bad("service capacities must all be positive".to_string()));
                 }
+                if svc.workers == Some(0) {
+                    return Err(bad("service workers must be positive".to_string()));
+                }
+                if svc.workers.is_some() && svc.plane.unwrap_or_default() != PlaneKind::Async {
+                    return Err(bad("service workers only applies to plane = \"async\"".to_string()));
+                }
                 let farm_egress = session_tcp_model(
                     self.testbed.kind,
                     self.pipeline.pes,
@@ -278,7 +284,12 @@ impl ScenarioSpec {
                         });
                     }
                 }
-                Some(ResolvedService { config, by_stage })
+                Some(ResolvedService {
+                    config,
+                    by_stage,
+                    plane: svc.plane,
+                    workers: svc.workers,
+                })
             }
         };
 
@@ -351,6 +362,11 @@ pub struct ResolvedService {
     pub config: ServiceConfig,
     /// Session schedules, indexed like `ResolvedScenario::stages`.
     pub by_stage: Vec<Vec<SessionSpec>>,
+    /// Real-path plane implementation (`None` = threaded).  Not part of the
+    /// deterministic telemetry, so not fingerprinted.
+    pub plane: Option<PlaneKind>,
+    /// Async-plane worker-pool size (`None` = sized to the machine).
+    pub workers: Option<usize>,
 }
 
 /// A validated scenario with every default filled in.
@@ -487,6 +503,8 @@ impl ResolvedScenario {
         self.service.as_ref().map(|svc| ServicePlan {
             config: svc.config.clone(),
             sessions: svc.by_stage.get(stage_index).cloned().unwrap_or_default(),
+            plane: svc.plane,
+            workers: svc.workers,
         })
     }
 

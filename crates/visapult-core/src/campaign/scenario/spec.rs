@@ -8,7 +8,7 @@
 use crate::config::ExecutionMode;
 use crate::error::VisapultError;
 use crate::platform::ComputePlatform;
-use crate::service::QualityTier;
+use crate::service::{PlaneKind, QualityTier};
 use crate::transport::TcpTuning;
 use netsim::{Testbed, TestbedKind};
 use serde::{Deserialize, Serialize};
@@ -208,6 +208,14 @@ pub struct ServiceTableSpec {
     pub render_slots: Option<u32>,
     /// Bounded per-session fan-out queue depth in chunks (defaults to 64).
     pub queue_depth: Option<usize>,
+    /// Real-path plane implementation: `"threaded"` (the default; one OS
+    /// thread per session) or `"async"` (polled tasks over a bounded worker
+    /// pool).  Deterministic telemetry and replay fingerprints are identical
+    /// either way — this knob trades OS threads for memory, nothing else.
+    pub plane: Option<PlaneKind>,
+    /// Worker-pool threads when `plane = "async"` (defaults to the machine's
+    /// parallelism, clamped to 2..=8; ignored by the threaded plane).
+    pub workers: Option<usize>,
     /// Staged session-arrival mixes, each bound to a stage by name.
     pub arrivals: Option<Vec<SessionArrivalSpec>>,
 }

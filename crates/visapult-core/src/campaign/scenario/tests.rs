@@ -5,7 +5,7 @@ use super::*;
 use crate::campaign::sim::SimTransportModel;
 use crate::config::ExecutionMode;
 use crate::error::VisapultError;
-use crate::service::QualityTier;
+use crate::service::{PlaneKind, QualityTier};
 use crate::transport::TcpTuning;
 use dpss::CacheStats;
 use netlogger::tags;
@@ -64,6 +64,8 @@ fn spec_round_trips_through_toml() {
             join_spread_percent: Some(25.0),
             dwell_frames: Some(1),
         }]),
+        plane: None,
+        workers: None,
     });
     spec.stages = Some(vec![
         StageSpec {
@@ -643,6 +645,8 @@ fn invalid_service_specs_are_rejected() {
             render_slots: None,
             queue_depth: None,
             arrivals: None,
+            plane: None,
+            workers: None,
         });
         spec
     };
@@ -718,6 +722,8 @@ fn service_spec(path: ExecutionPath) -> ScenarioSpec {
                 dwell_frames: None,
             },
         ]),
+        plane: None,
+        workers: None,
     });
     spec
 }
@@ -780,6 +786,117 @@ fn fingerprint_covers_service_config_and_lifecycle() {
         let mut none = base.clone();
         none.service = None;
         assert_ne!(fp(&base), fp(&none));
+    }
+}
+
+#[test]
+fn service_plane_knob_parses_and_validates() {
+    let doc = r#"
+[scenario]
+name = "svc-async"
+seed = 5
+path = "real"
+
+[testbed]
+kind = "esnet-anl-smp"
+
+[pipeline]
+pes = 2
+timesteps = 4
+execution = "serial"
+
+[service]
+max_sessions = 4
+plane = "async"
+workers = 3
+
+[[stages]]
+name = "full"
+share = 100.0
+"#;
+    let spec = ScenarioSpec::from_toml_str(doc).unwrap();
+    let svc_table = spec.service.as_ref().unwrap();
+    assert_eq!(svc_table.plane, Some(PlaneKind::Async));
+    assert_eq!(svc_table.workers, Some(3));
+    let resolved = spec.resolve().unwrap();
+    let svc = resolved.service.as_ref().unwrap();
+    assert_eq!(svc.plane, Some(PlaneKind::Async));
+    assert_eq!(svc.workers, Some(3));
+    let plan = resolved
+        .stage_real_config(&resolved.stages[0], 0)
+        .service
+        .expect("service plan");
+    assert_eq!(plan.plane_kind(), PlaneKind::Async);
+    assert_eq!(plan.workers, Some(3));
+    // Workers without the async plane is a config error, as is a zero pool.
+    let mut threaded = spec.clone();
+    threaded.service.as_mut().unwrap().plane = Some(PlaneKind::Threaded);
+    let err = threaded.resolve().unwrap_err().to_string();
+    assert!(err.contains("workers"), "got: {err}");
+    let mut implicit = spec.clone();
+    implicit.service.as_mut().unwrap().plane = None;
+    assert!(implicit.resolve().is_err());
+    let mut zero = spec.clone();
+    zero.service.as_mut().unwrap().workers = Some(0);
+    let err = zero.resolve().unwrap_err().to_string();
+    assert!(err.contains("positive"), "got: {err}");
+}
+
+#[test]
+fn async_plane_reports_the_same_fingerprint_and_deterministic_stats() {
+    // The plane knob trades OS threads for a worker pool; it is scheduling
+    // only.  Same spec, same seed, same fingerprint, same deterministic
+    // stats — on the real path where the plane actually runs, and on the
+    // virtual path where the replay ignores it.
+    for path in ExecutionPath::ALL {
+        let threaded = run_scenario(&service_spec(path)).unwrap();
+        let mut spec = service_spec(path);
+        let svc = spec.service.as_mut().unwrap();
+        svc.plane = Some(PlaneKind::Async);
+        svc.workers = Some(2);
+        let asynced = run_scenario(&spec).unwrap();
+        assert_eq!(
+            threaded.replay_fingerprint(),
+            asynced.replay_fingerprint(),
+            "{} plane knob moved the fingerprint",
+            path.label()
+        );
+        let (t, a) = (
+            &threaded.service.as_ref().unwrap().totals,
+            &asynced.service.as_ref().unwrap().totals,
+        );
+        assert_eq!(
+            (
+                t.sessions_offered,
+                t.sessions_admitted,
+                t.sessions_rejected,
+                t.sessions_evicted
+            ),
+            (
+                a.sessions_offered,
+                a.sessions_admitted,
+                a.sessions_rejected,
+                a.sessions_evicted
+            ),
+            "{} lifecycle drifted across planes",
+            path.label()
+        );
+        assert_eq!(
+            (
+                t.render_requests,
+                t.renders_performed,
+                t.peak_live_sessions,
+                t.flow_limited_sessions
+            ),
+            (
+                a.render_requests,
+                a.renders_performed,
+                a.peak_live_sessions,
+                a.flow_limited_sessions
+            ),
+            "{} shared-render accounting drifted across planes",
+            path.label()
+        );
     }
 }
 

@@ -68,17 +68,17 @@ pub use data_source::{DataSource, DpssDataSource, SyntheticSource};
 pub use error::VisapultError;
 pub use model::OverlapModel;
 pub use pipeline::{
-    Clock, Fabric, FabricLinks, FanoutPlane, FarmRun, ModelFarm, ModeledFabric, PathCapabilities, PhaseMeans, Pipeline,
-    PipelineBuilder, PlaneSession, RenderFarm, ReplayPlane, ServicePlane, StageArtifacts, StageContext, StripedFabric,
-    ThreadFarm, VirtualClock, WallClock,
+    AsyncPlane, Clock, Fabric, FabricLinks, FanoutPlane, FarmRun, ModelFarm, ModeledFabric, PathCapabilities,
+    PhaseMeans, Pipeline, PipelineBuilder, PlaneSession, RenderFarm, ReplayPlane, ServicePlane, StageArtifacts,
+    StageContext, StripedFabric, ThreadFarm, VirtualClock, WallClock,
 };
 pub use platform::ComputePlatform;
 pub use protocol::{FramePayload, FrameSegments, HeavyPayload, LightPayload};
 #[allow(deprecated)] // the facade stays re-exported while callers migrate to the builder
 pub use service::run_service_plane;
 pub use service::{
-    QualityTier, RejectReason, ServiceConfig, ServiceRunReport, ServiceStats, SessionBroker, SessionDelivery,
-    SessionEvent, SessionSpec,
+    PlaneKind, QualityTier, RejectReason, ServiceConfig, ServiceRunReport, ServiceStats, SessionBroker,
+    SessionDelivery, SessionEvent, SessionSpec,
 };
 pub use transport::{
     drain_frames, plan_chunks, striped_link, FrameAssembler, FrameChunk, StripeReceiver, StripeSender, TcpTuning,

@@ -1,11 +1,19 @@
 //! The [`Clock`] capability: where a stage's timestamps come from.
 
 use netlogger::Collector;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// Timestamp source for one stage execution: every NetLogger event of the
 /// stage — pipeline phases, transport stripes, cache and service summaries —
 /// is stamped by the collector this capability hands out.
-pub trait Clock {
+///
+/// Beyond timestamps, the clock owns *pacing*: code that must wait out a
+/// flow-control interval calls [`Clock::pace_until`] instead of
+/// `std::thread::sleep`, so the same body runs unchanged under
+/// [`VirtualClock`] (where every deadline has already passed and nothing
+/// blocks).
+pub trait Clock: Send + Sync {
     /// A fresh per-stage collector on this clock.
     fn collector(&self) -> Collector;
 
@@ -15,6 +23,32 @@ pub trait Clock {
 
     /// Short label for reports.
     fn label(&self) -> &'static str;
+
+    /// Monotonic elapsed time on this clock, for computing pacing deadlines.
+    /// Wall clocks measure from a process-wide epoch; virtual clocks pin this
+    /// to zero so every deadline derived from it is already due.
+    fn monotonic_now(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    /// Block until `deadline` (as measured by [`Clock::monotonic_now`]) has
+    /// passed.  Wall clocks sleep the remainder; virtual clocks return
+    /// immediately — modeled pacing is accounted analytically, not slept.
+    fn pace_until(&self, deadline: Duration) {
+        let now = self.monotonic_now();
+        if let Some(remaining) = deadline.checked_sub(now) {
+            if !remaining.is_zero() {
+                std::thread::sleep(remaining);
+            }
+        }
+    }
+}
+
+/// Process-wide epoch for [`WallClock::monotonic_now`]: pacing deadlines
+/// computed on one thread must be comparable on any other.
+fn wall_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
 }
 
 /// Wall-clock time: what the real pipeline runs on.
@@ -32,6 +66,10 @@ impl Clock for WallClock {
 
     fn label(&self) -> &'static str {
         "wall"
+    }
+
+    fn monotonic_now(&self) -> Duration {
+        wall_epoch().elapsed()
     }
 }
 
@@ -51,5 +89,43 @@ impl Clock for VirtualClock {
 
     fn label(&self) -> &'static str {
         "virtual"
+    }
+
+    fn pace_until(&self, _deadline: Duration) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_monotonic_now_is_comparable_across_threads() {
+        let a = WallClock.monotonic_now();
+        let b = std::thread::spawn(|| WallClock.monotonic_now()).join().unwrap();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_pace_until_waits_out_the_remainder() {
+        let clock = WallClock;
+        let start = clock.monotonic_now();
+        clock.pace_until(start + Duration::from_millis(5));
+        assert!(clock.monotonic_now() - start >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn wall_pace_until_past_deadlines_return_immediately() {
+        // A deadline already behind `now` must not sleep (and must not panic
+        // on the underflow).
+        WallClock.pace_until(Duration::ZERO);
+    }
+
+    #[test]
+    fn virtual_clock_never_blocks_and_pins_now_to_zero() {
+        let clock = VirtualClock;
+        assert_eq!(clock.monotonic_now(), Duration::ZERO);
+        let start = std::time::Instant::now();
+        clock.pace_until(Duration::from_secs(3600));
+        assert!(start.elapsed() < Duration::from_secs(1));
     }
 }

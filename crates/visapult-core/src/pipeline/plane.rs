@@ -12,7 +12,8 @@
 
 use super::{modeled_segment_lens, FabricLinks, FarmRun, StageContext};
 use crate::error::VisapultError;
-use crate::service::{drive_service_plane, log_service_stats, ServiceRunReport, SessionBroker};
+use crate::service::asyncplane::drive_async_service_plane;
+use crate::service::{drive_service_plane, log_service_stats, PlaneKind, ServiceRunReport, SessionBroker};
 use crate::transport::{plan_chunks, striped_link, StripeReceiver, StripeSender, TransportConfig};
 use netlogger::Collector;
 
@@ -43,13 +44,20 @@ pub trait PlaneSession {
 }
 
 /// The real shared-render fan-out plane.
+///
+/// Splices whichever implementation the stage's [`ServicePlan`] selects
+/// ([`crate::service::PlaneKind`]): the classic thread-per-session plane or
+/// the executor-backed async plane.  [`AsyncPlane`] forces the async
+/// implementation regardless of the plan.
+///
+/// [`ServicePlan`]: crate::campaign::real::ServicePlan
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FanoutPlane;
 
 impl FanoutPlane {
-    /// Run the fan-out plane over a set of backend links directly — the
-    /// supported entry point for harnesses that drive the plane without a
-    /// full pipeline (benchmarks, plane-level tests).  One thread per PE
+    /// Run the threaded fan-out plane over a set of backend links directly —
+    /// the supported entry point for harnesses that drive the plane without
+    /// a full pipeline (benchmarks, plane-level tests).  One thread per PE
     /// link forwards chunks to the primary viewer (blocking backpressure)
     /// and multicasts zero-copy clones to every admitted session.
     pub fn drive(
@@ -68,44 +76,107 @@ impl ServicePlane for FanoutPlane {
         ctx: &StageContext<'_>,
         links: FabricLinks,
     ) -> Result<(FabricLinks, Box<dyn PlaneSession>), VisapultError> {
-        let Some(plan) = &ctx.service else {
-            return Ok((links, Box::new(NoSession)));
-        };
-        // The backend links feed the plane; the viewer moves onto fresh
-        // primary links.  The primary links are an unpaced copy of the
-        // transport config: the backend link already applied any WAN
-        // pacing, shaping twice would halve the rate.
-        let FabricLinks {
-            senders,
-            receivers: plane_inputs,
-            stats,
-        } = links;
-        let primary_config = TransportConfig {
-            pace_rate_mbps: None,
-            ..ctx.transport.clone()
-        };
-        let mut primary_txs = Vec::with_capacity(ctx.pipeline.pes);
-        let mut primary_rxs = Vec::with_capacity(ctx.pipeline.pes);
-        for _ in 0..ctx.pipeline.pes {
-            let (tx, rx) = striped_link(&primary_config);
-            primary_txs.push(tx);
-            primary_rxs.push(rx);
-        }
-        let broker = SessionBroker::new(plan.config.clone(), plan.sessions.clone());
-        let plane_transport = ctx.transport.clone();
-        let handle = std::thread::Builder::new()
-            .name("visapult-service-plane".to_string())
-            .spawn(move || drive_service_plane(broker, plane_inputs, primary_txs, &plane_transport))
-            .expect("spawn service plane");
-        Ok((
-            FabricLinks {
-                senders,
-                receivers: primary_rxs,
-                stats,
-            },
-            Box::new(FanoutSession { handle }),
-        ))
+        let plane = ctx.service.as_ref().map(|plan| plan.plane_kind()).unwrap_or_default();
+        splice_fanout(ctx, links, plane, None)
     }
+}
+
+/// The executor-backed fan-out plane, forced regardless of the stage plan's
+/// `plane` knob: session consumers, stripe pumps, and pacers run as polled
+/// tasks over a bounded worker pool, so OS thread count is the pool size —
+/// independent of session count.  Select it with
+/// `Pipeline::builder(..).service_plane(Box::new(AsyncPlane::default()))`, or
+/// declaratively with `[service] plane = "async"` (which routes through
+/// [`FanoutPlane`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsyncPlane {
+    /// Worker-pool threads (`None` = sized to the machine, clamped 2..=8).
+    pub workers: Option<usize>,
+}
+
+impl AsyncPlane {
+    /// A plane with an explicit worker-pool size.
+    pub fn with_workers(workers: usize) -> AsyncPlane {
+        AsyncPlane { workers: Some(workers) }
+    }
+
+    /// Run the async fan-out plane over a set of backend links directly —
+    /// the executor-backed twin of [`FanoutPlane::drive`].  The call blocks
+    /// until the campaign drains, but every consumer, pump, and pacer runs
+    /// as a polled task on the worker pool.
+    pub fn drive(
+        &self,
+        broker: SessionBroker,
+        inputs: Vec<StripeReceiver>,
+        primary: Vec<StripeSender>,
+        transport: &TransportConfig,
+    ) -> ServiceRunReport {
+        drive_async_service_plane(broker, inputs, primary, transport, self.workers)
+    }
+}
+
+impl ServicePlane for AsyncPlane {
+    fn splice(
+        &self,
+        ctx: &StageContext<'_>,
+        links: FabricLinks,
+    ) -> Result<(FabricLinks, Box<dyn PlaneSession>), VisapultError> {
+        // An explicit builder worker count wins; otherwise the plan's.
+        let workers = self.workers.or_else(|| ctx.service.as_ref().and_then(|p| p.workers));
+        splice_fanout(ctx, links, PlaneKind::Async, workers)
+    }
+}
+
+/// Shared splice body: wire the plane between the backend links and fresh
+/// primary viewer links, then run the selected implementation on its own
+/// coordinator thread (the farm must not block on the plane).
+fn splice_fanout(
+    ctx: &StageContext<'_>,
+    links: FabricLinks,
+    plane: PlaneKind,
+    workers_override: Option<usize>,
+) -> Result<(FabricLinks, Box<dyn PlaneSession>), VisapultError> {
+    let Some(plan) = &ctx.service else {
+        return Ok((links, Box::new(NoSession)));
+    };
+    // The backend links feed the plane; the viewer moves onto fresh
+    // primary links.  The primary links are an unpaced copy of the
+    // transport config: the backend link already applied any WAN
+    // pacing, shaping twice would halve the rate.
+    let FabricLinks {
+        senders,
+        receivers: plane_inputs,
+        stats,
+    } = links;
+    let primary_config = TransportConfig {
+        pace_rate_mbps: None,
+        ..ctx.transport.clone()
+    };
+    let mut primary_txs = Vec::with_capacity(ctx.pipeline.pes);
+    let mut primary_rxs = Vec::with_capacity(ctx.pipeline.pes);
+    for _ in 0..ctx.pipeline.pes {
+        let (tx, rx) = striped_link(&primary_config);
+        primary_txs.push(tx);
+        primary_rxs.push(rx);
+    }
+    let broker = SessionBroker::new(plan.config.clone(), plan.sessions.clone());
+    let workers = workers_override.or(plan.workers);
+    let plane_transport = ctx.transport.clone();
+    let handle = std::thread::Builder::new()
+        .name("visapult-service-plane".to_string())
+        .spawn(move || match plane {
+            PlaneKind::Threaded => drive_service_plane(broker, plane_inputs, primary_txs, &plane_transport),
+            PlaneKind::Async => drive_async_service_plane(broker, plane_inputs, primary_txs, &plane_transport, workers),
+        })
+        .expect("spawn service plane");
+    Ok((
+        FabricLinks {
+            senders,
+            receivers: primary_rxs,
+            stats,
+        },
+        Box::new(FanoutSession { handle }),
+    ))
 }
 
 /// A live fan-out plane thread, joined once the farm completes.

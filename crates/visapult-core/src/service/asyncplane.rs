@@ -1,0 +1,553 @@
+//! The executor-backed fan-out plane: 10k sessions for the price of memory.
+//!
+//! The threaded plane ([`super::fanout`]) spends one OS thread per session
+//! consumer and one per backend PE link — fine on an exhibit floor, fatal for
+//! the ROADMAP's "millions of users" direction.  This plane keeps the same
+//! broker, the same multicast/degradation seam, and the same report assembly
+//! (all shared `pub(crate)` helpers in `fanout`), but runs every unit of work
+//! as a polled state-machine task on a small [`exec::Executor`] worker pool:
+//!
+//! * `PumpTask` — one per backend PE link.  Polls chunks off the striped
+//!   link with `try_recv`, drives broker churn from the frame counter,
+//!   forwards to the primary viewer (non-blocking with a carried chunk, so a
+//!   full primary queue parks *this task*, not an OS thread), and multicasts
+//!   zero-copy clones through the shared degradation seam.
+//! * `ConsumerTask` — one per admitted session.  Drains the session's own
+//!   bounded queue, paces through the session's [`netsim::StripePacer`]
+//!   against the [`Clock`] (a pacing delay becomes an `Idle` poll with a
+//!   deadline, not a sleeping thread), reassembles frames, and surfaces the
+//!   same typed errors as the threaded consumer.
+//!
+//! OS thread count is therefore the worker-pool size — independent of the
+//! session count — and the deterministic half of [`super::ServiceStats`]
+//! is byte-identical to the threaded plane because both drive the identical
+//! [`SessionBroker`] through the identical seam functions.
+
+use super::fanout::{
+    consume_chunk, empty_delivery, fold_report, multicast_chunk, session_link, surface_pending_frames, PeOutcome,
+    SessionEndpoint,
+};
+use super::{ServiceRunReport, SessionBroker, SessionDelivery, SessionEvent};
+use crate::pipeline::{Clock, WallClock};
+use crate::transport::{FrameChunk, StripeReceiver, StripeSender, TransportConfig, TransportError};
+use exec::{Executor, Poll, Spawner, Task, TaskHandle};
+use netsim::StripePacer;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Chunks a task moves per poll before yielding the worker: enough to
+/// amortize scheduling, small enough that thousands of tasks stay fair.
+const POLL_BUDGET: usize = 32;
+
+/// Completed-task results are handed back through shared slots (the executor
+/// returns no values; a task writes its result right before `Ready`).
+type Slot<T> = Arc<Mutex<Option<T>>>;
+
+fn slot<T>() -> Slot<T> {
+    Arc::new(Mutex::new(None))
+}
+
+fn fill<T>(s: &Slot<T>, value: T) {
+    *s.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+}
+
+fn take<T>(s: &Slot<T>) -> Option<T> {
+    s.lock().unwrap_or_else(|e| e.into_inner()).take()
+}
+
+/// Broker + endpoints + consumer-task registry, shared by every pump.
+struct AsyncState {
+    broker: SessionBroker,
+    endpoints: Vec<Arc<SessionEndpoint>>,
+    consumers: Vec<(usize, TaskHandle, Slot<SessionDelivery>)>,
+}
+
+impl AsyncState {
+    /// Advance the broker to `frame`, materializing queues and consumer
+    /// *tasks* for admissions and closing the delivery window for
+    /// leaves/evictions.  The mirror of the threaded plane's `observe_frame`,
+    /// with `spawner.spawn` where that one spawns a thread.
+    fn observe_frame(&mut self, frame: u32, transport: &TransportConfig, spawner: &Spawner, clock: &Arc<dyn Clock>) {
+        if frame < self.broker.next_frame() {
+            return;
+        }
+        let before = self.broker.events().len();
+        self.broker.advance_to(frame);
+        let new: Vec<(u32, SessionEvent)> = self.broker.events()[before..].to_vec();
+        for (at, event) in new {
+            match event {
+                SessionEvent::Admitted { session } => {
+                    let spec = self.broker.spec(session).clone();
+                    let (tx, rx, pacer) = session_link(&spec, self.broker.config().queue_depth, transport);
+                    let out = slot();
+                    let handle = spawner.spawn(Box::new(ConsumerTask {
+                        rx,
+                        pacer,
+                        clock: Arc::clone(clock),
+                        ready_at: Duration::ZERO,
+                        delivery: Some(empty_delivery(&spec)),
+                        assembler: crate::transport::FrameAssembler::new(),
+                        out: Arc::clone(&out),
+                    }));
+                    self.consumers.push((session, handle, out));
+                    self.endpoints.push(SessionEndpoint::new(session, spec, tx));
+                }
+                SessionEvent::Left { session } | SessionEvent::Evicted { session } => {
+                    if let Some(ep) = self.endpoints.iter().find(|e| e.session == session) {
+                        ep.close_at(at);
+                    }
+                }
+                SessionEvent::Rejected { .. } => {}
+            }
+        }
+    }
+}
+
+/// One backend PE link as a polled task: the async twin of the threaded
+/// plane's per-PE thread body, chunk for chunk.
+struct PumpTask {
+    rx: StripeReceiver,
+    primary_tx: Option<StripeSender>,
+    /// A chunk received and accounted but still owed to the primary viewer:
+    /// its full queue parks this task (backpressure through `Idle`), never a
+    /// worker thread.
+    carry: Option<FrameChunk>,
+    shared: Arc<Mutex<AsyncState>>,
+    transport: TransportConfig,
+    spawner: Spawner,
+    clock: Arc<dyn Clock>,
+    endpoints: Vec<Arc<SessionEndpoint>>,
+    snapshot_frame: Option<u32>,
+    skips: HashSet<(usize, u32)>,
+    outcome: Option<PeOutcome>,
+    out: Slot<PeOutcome>,
+}
+
+impl PumpTask {
+    /// Forward `chunk` to the primary viewer if one is attached.  Returns the
+    /// chunk when it still needs carrying (primary full), `Ok` when the chunk
+    /// may multicast.
+    fn forward_primary(&mut self, chunk: FrameChunk) -> Result<FrameChunk, FrameChunk> {
+        let Some(tx) = &self.primary_tx else {
+            return Ok(chunk);
+        };
+        match tx.try_send_raw_chunk(chunk.clone()) {
+            Ok(true) => Ok(chunk),
+            Ok(false) => Err(chunk),
+            Err(TransportError::Closed) | Err(TransportError::Corrupt(_)) => {
+                // The viewer got everything it expected and hung up; keep
+                // serving the sessions.
+                self.primary_tx = None;
+                Ok(chunk)
+            }
+        }
+    }
+}
+
+impl Task for PumpTask {
+    fn poll(&mut self) -> Poll {
+        let mut progressed = false;
+        let mut budget = POLL_BUDGET;
+        loop {
+            // Settle the carried chunk before receiving another: primary
+            // forwarding keeps the blocking plane's per-link ordering.
+            if let Some(chunk) = self.carry.take() {
+                match self.forward_primary(chunk) {
+                    Ok(chunk) => {
+                        let outcome = self.outcome.as_mut().expect("pump still running");
+                        multicast_chunk(&chunk, &self.endpoints, &mut self.skips, outcome);
+                        progressed = true;
+                    }
+                    Err(chunk) => {
+                        self.carry = Some(chunk);
+                        return if progressed { Poll::Progress } else { Poll::Idle };
+                    }
+                }
+            }
+            if budget == 0 {
+                return Poll::Progress;
+            }
+            match self.rx.try_recv_chunk() {
+                Some(chunk) => {
+                    budget -= 1;
+                    let frame = chunk.frame;
+                    let outcome = self.outcome.as_mut().expect("pump still running");
+                    outcome.record_offered(&chunk);
+                    // Drive churn from the frame counter, then refresh the
+                    // endpoint snapshot — same high-water rule and the same
+                    // correctness argument as the threaded plane.
+                    if self.snapshot_frame.map(|f| frame > f).unwrap_or(true) {
+                        let mut st = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+                        st.observe_frame(frame, &self.transport, &self.spawner, &self.clock);
+                        self.endpoints.clone_from(&st.endpoints);
+                        self.snapshot_frame = Some(frame);
+                    }
+                    self.carry = Some(chunk);
+                }
+                None => {
+                    if self.rx.is_closed() {
+                        // Backend link drained and closed: this PE is done.
+                        fill(&self.out, self.outcome.take().expect("pump finishes once"));
+                        return Poll::Ready;
+                    }
+                    return if progressed { Poll::Progress } else { Poll::Idle };
+                }
+            }
+        }
+    }
+}
+
+/// One session consumer as a polled task: the async twin of
+/// `run_session_consumer`, with the pacer's delay expressed as a deadline on
+/// the [`Clock`] instead of a thread sleep.
+struct ConsumerTask {
+    rx: StripeReceiver,
+    pacer: Option<StripePacer>,
+    clock: Arc<dyn Clock>,
+    /// Pacing deadline: polls before this instant are `Idle`.
+    ready_at: Duration,
+    delivery: Option<SessionDelivery>,
+    assembler: crate::transport::FrameAssembler,
+    out: Slot<SessionDelivery>,
+}
+
+impl Task for ConsumerTask {
+    fn poll(&mut self) -> Poll {
+        if self.clock.monotonic_now() < self.ready_at {
+            return Poll::Idle;
+        }
+        let mut progressed = false;
+        for _ in 0..POLL_BUDGET {
+            match self.rx.try_recv_chunk() {
+                Some(chunk) => {
+                    progressed = true;
+                    let mut pace = Duration::ZERO;
+                    if let Some(p) = &mut self.pacer {
+                        // The session's own WAN: drain no faster than the
+                        // modeled last mile, which backpressures only this
+                        // queue.
+                        pace = p.consume(chunk.stripe as usize, chunk.payload.len() as u64);
+                    }
+                    let delivery = self.delivery.as_mut().expect("consumer still running");
+                    consume_chunk(delivery, &mut self.assembler, chunk);
+                    if !pace.is_zero() {
+                        self.ready_at = self.clock.monotonic_now() + pace;
+                        return Poll::Progress;
+                    }
+                }
+                None => {
+                    if self.rx.is_closed() {
+                        // Session over: every endpoint dropped, queue drained.
+                        let mut delivery = self.delivery.take().expect("consumer finishes once");
+                        surface_pending_frames(&self.assembler, &mut delivery);
+                        fill(&self.out, delivery);
+                        return Poll::Ready;
+                    }
+                    return if progressed { Poll::Progress } else { Poll::Idle };
+                }
+            }
+        }
+        Poll::Progress
+    }
+}
+
+/// The async fan-out plane on the wall clock (the production entry).
+pub(crate) fn drive_async_service_plane(
+    broker: SessionBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+    workers: Option<usize>,
+) -> ServiceRunReport {
+    drive_async_service_plane_on(
+        &(Arc::new(WallClock) as Arc<dyn Clock>),
+        broker,
+        inputs,
+        primary,
+        transport,
+        workers,
+    )
+}
+
+/// The async fan-out plane implementation, on an explicit clock.
+///
+/// Blocking facade over the task pool: spawns one [`PumpTask`] per backend PE
+/// link (consumers spawn as the broker admits them), waits the pumps out,
+/// finishes the broker, waits the consumers out, and assembles the report
+/// through the same fold as the threaded plane.  The caller blocks; the work
+/// runs on `workers` pool threads (default [`exec::default_workers`]).
+pub(crate) fn drive_async_service_plane_on(
+    clock: &Arc<dyn Clock>,
+    broker: SessionBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+    workers: Option<usize>,
+) -> ServiceRunReport {
+    assert!(
+        primary.is_empty() || primary.len() == inputs.len(),
+        "primary forwarding needs one link per PE"
+    );
+    let executor = Executor::new(workers.unwrap_or_else(exec::default_workers));
+    let spawner = executor.spawner();
+    let shared = Arc::new(Mutex::new(AsyncState {
+        broker,
+        endpoints: Vec::new(),
+        consumers: Vec::new(),
+    }));
+    // Frame 0 joins happen before any chunk moves.
+    shared
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .observe_frame(0, transport, &spawner, clock);
+
+    let pumps: Vec<(TaskHandle, Slot<PeOutcome>)> = inputs
+        .into_iter()
+        .zip(primary.into_iter().map(Some).chain(std::iter::repeat_with(|| None)))
+        .map(|(rx, primary_tx)| {
+            let out = slot();
+            let handle = spawner.spawn(Box::new(PumpTask {
+                rx,
+                primary_tx,
+                carry: None,
+                shared: Arc::clone(&shared),
+                transport: transport.clone(),
+                spawner: spawner.clone(),
+                clock: Arc::clone(clock),
+                endpoints: Vec::new(),
+                snapshot_frame: None,
+                skips: HashSet::new(),
+                outcome: Some(PeOutcome::new()),
+                out: Arc::clone(&out),
+            }));
+            (handle, out)
+        })
+        .collect();
+    for (handle, _) in &pumps {
+        handle.wait();
+    }
+    let outcomes: Vec<PeOutcome> = pumps
+        .iter()
+        .map(|(_, out)| take(out).expect("pump wrote its outcome"))
+        .collect();
+
+    // Campaign over: every remaining session leaves, queues disconnect (the
+    // pump tasks' endpoint snapshots died with the tasks), consumers drain
+    // their queues dry and finish.  No further spawns can happen — the pumps
+    // were the only spawners — so the consumer list is complete.
+    let consumers = {
+        let mut st = shared.lock().unwrap_or_else(|e| e.into_inner());
+        st.broker.finish();
+        st.endpoints.clear();
+        std::mem::take(&mut st.consumers)
+    };
+    let deliveries: Vec<(usize, SessionDelivery)> = consumers
+        .into_iter()
+        .map(|(session, handle, out)| {
+            handle.wait();
+            (session, take(&out).expect("consumer wrote its delivery"))
+        })
+        .collect();
+    // All tasks finished; tear the pool down before folding.
+    drop(executor);
+    let st = match Arc::try_unwrap(shared) {
+        Ok(m) => m.into_inner().unwrap_or_else(|e| e.into_inner()),
+        Err(_) => unreachable!("pump tasks have finished"),
+    };
+    fold_report(st.broker, &outcomes, deliveries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::fanout::tests::fan_out_with;
+    use super::super::{QualityTier, ServiceConfig, SessionSpec};
+    use super::*;
+    use crate::pipeline::VirtualClock;
+    use crate::viewer::ViewerError;
+
+    fn spec(name: &str, viewpoint: u32, tier: QualityTier) -> SessionSpec {
+        SessionSpec::new(name, viewpoint, tier)
+    }
+
+    fn tiny_config() -> ServiceConfig {
+        ServiceConfig {
+            max_sessions: 4,
+            link_capacity_units: 8,
+            render_slots: 2,
+            queue_depth: 8,
+            farm_egress_mbps: None,
+        }
+    }
+
+    fn drive_async_2(
+        broker: SessionBroker,
+        inputs: Vec<StripeReceiver>,
+        primary: Vec<StripeSender>,
+        transport: &TransportConfig,
+    ) -> ServiceRunReport {
+        drive_async_service_plane(broker, inputs, primary, transport, Some(2))
+    }
+
+    #[test]
+    fn async_plane_multicasts_every_frame_to_every_session_and_the_primary() {
+        let schedule = vec![
+            spec("a", 0, QualityTier::Standard),
+            spec("b", 0, QualityTier::Standard),
+            spec("c", 1, QualityTier::Standard),
+        ];
+        let config = ServiceConfig {
+            queue_depth: 64,
+            ..tiny_config()
+        };
+        let (report, primary_frames) = fan_out_with(drive_async_2, schedule, config, 3, 2);
+        assert_eq!(primary_frames.len(), 6);
+        assert_eq!(report.sessions.len(), 3);
+        for s in &report.sessions {
+            assert_eq!(s.frames_completed, 6, "session {}: {:?}", s.name, s.errors);
+            assert!(s.errors.is_empty(), "{:?}", s.errors);
+        }
+        assert_eq!(report.stats.frames_completed, 18);
+        assert_eq!(report.stats.fanout_chunks, report.stats.chunks_delivered);
+        assert_eq!(report.stats.chunks_dropped, 0);
+        assert_eq!(report.stats.render_requests, 9);
+        assert_eq!(report.stats.renders_performed, 6);
+    }
+
+    #[test]
+    fn async_plane_degrades_a_slow_session_with_typed_missing_frames() {
+        // The async twin of the threaded plane's degradation test: the same
+        // full-queue seam must surface the same typed MissingFrame partial
+        // composites for the overflowing session only.
+        let mut slow = spec("slow", 0, QualityTier::Standard).paced_at_mbps(0.2);
+        slow.stripes = 1;
+        let schedule = vec![spec("healthy", 0, QualityTier::Standard), slow];
+        let config = ServiceConfig {
+            queue_depth: 16,
+            ..tiny_config()
+        };
+        let (report, primary_frames) = fan_out_with(drive_async_2, schedule, config, 6, 1);
+        assert_eq!(primary_frames.len(), 6);
+        let healthy = report.sessions.iter().find(|s| s.name == "healthy").unwrap();
+        let slow = report.sessions.iter().find(|s| s.name == "slow").unwrap();
+        assert_eq!(healthy.frames_completed, 6);
+        assert!(healthy.errors.is_empty(), "{:?}", healthy.errors);
+        assert!(
+            slow.frames_skipped > 0,
+            "the 1-chunk queue behind a 0.2 Mbps pacer must overflow: {slow:?}"
+        );
+        assert!(slow
+            .errors
+            .iter()
+            .all(|e| matches!(e, ViewerError::MissingFrame { .. })));
+        assert_eq!(report.stats.frames_skipped, slow.frames_skipped);
+        assert!(report.stats.chunks_dropped > 0);
+    }
+
+    #[test]
+    fn async_plane_honors_session_windows_and_mid_run_churn() {
+        let schedule = vec![
+            spec("whole", 0, QualityTier::Standard),
+            spec("window", 0, QualityTier::Standard).with_window(1, Some(3)),
+        ];
+        let config = ServiceConfig {
+            queue_depth: 64,
+            ..tiny_config()
+        };
+        let (report, _) = fan_out_with(drive_async_2, schedule, config, 4, 1);
+        let whole = report.sessions.iter().find(|s| s.name == "whole").unwrap();
+        let window = report.sessions.iter().find(|s| s.name == "window").unwrap();
+        assert_eq!(whole.frames_completed, 4);
+        assert_eq!(window.frames_completed, 2, "{window:?}");
+    }
+
+    #[test]
+    fn async_multicast_is_zero_copy() {
+        let schedule = vec![
+            spec("a", 0, QualityTier::Standard),
+            spec("b", 0, QualityTier::Standard),
+            spec("c", 1, QualityTier::Standard),
+        ];
+        let config = ServiceConfig {
+            queue_depth: 64,
+            ..tiny_config()
+        };
+        let before = bytes::deep_copy_count();
+        let (report, _) = fan_out_with(drive_async_2, schedule, config, 2, 1);
+        assert_eq!(
+            bytes::deep_copy_count() - before,
+            0,
+            "the async plane must multicast by refcount, not memcpy"
+        );
+        assert_eq!(report.stats.frames_completed, 6);
+    }
+
+    #[test]
+    fn async_paced_consumers_on_a_virtual_clock_never_sleep() {
+        let mut crawl = spec("crawl", 0, QualityTier::Standard).paced_at_mbps(0.01);
+        crawl.queue_depth = Some(4096);
+        let schedule = vec![spec("healthy", 0, QualityTier::Standard), crawl];
+        let config = ServiceConfig {
+            queue_depth: 4096,
+            ..tiny_config()
+        };
+        let virtual_clock: Arc<dyn Clock> = Arc::new(VirtualClock);
+        let started = std::time::Instant::now();
+        let (report, _) = fan_out_with(
+            move |broker, inputs, primary, transport| {
+                drive_async_service_plane_on(&virtual_clock, broker, inputs, primary, transport, Some(2))
+            },
+            schedule,
+            config,
+            4,
+            1,
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "virtual-clock pacing must not sleep out the modeled delays"
+        );
+        for s in &report.sessions {
+            assert_eq!(s.frames_completed, 4, "session {}: {:?}", s.name, s.errors);
+            assert!(s.errors.is_empty(), "{:?}", s.errors);
+        }
+    }
+
+    #[test]
+    fn async_plane_and_threaded_plane_report_identical_deterministic_stats() {
+        let schedule = vec![
+            spec("a", 0, QualityTier::Standard),
+            spec("b", 0, QualityTier::Standard).with_window(1, Some(3)),
+            spec("c", 1, QualityTier::Interactive),
+            spec("d", 2, QualityTier::Preview),
+        ];
+        let config = ServiceConfig {
+            queue_depth: 64,
+            ..tiny_config()
+        };
+        let (threaded, _) = fan_out_with(
+            super::super::fanout::drive_service_plane,
+            schedule.clone(),
+            config.clone(),
+            4,
+            2,
+        );
+        let (async_run, _) = fan_out_with(drive_async_2, schedule, config, 4, 2);
+        assert_eq!(threaded.events, async_run.events, "identical broker decisions");
+        let deterministic = |r: &ServiceRunReport| {
+            let s = &r.stats;
+            (
+                s.sessions_offered,
+                s.sessions_admitted,
+                s.sessions_rejected,
+                s.sessions_evicted,
+                s.peak_live_sessions,
+                s.render_requests,
+                s.renders_performed,
+                s.flow_limited_sessions,
+                s.fanout_chunks,
+                s.fanout_bytes,
+            )
+        };
+        assert_eq!(deterministic(&threaded), deterministic(&async_run));
+    }
+}

@@ -1,0 +1,676 @@
+//! The thread-per-session fan-out plane, plus the plane plumbing shared with
+//! [`super::asyncplane`].
+//!
+//! One OS thread per backend PE link consumes stripe chunks and (1) forwards
+//! each chunk to the primary viewer's corresponding link — blocking, so the
+//! paper's single-viewer backpressure semantics are preserved — and (2)
+//! multicasts a zero-copy clone to every session live at the chunk's frame;
+//! one OS thread per admitted session drains its queue through the session's
+//! own pacer.  Simple and fine at exhibit scale, but threads grow with
+//! sessions — the async plane exists for the 10k-session regime.
+//!
+//! Everything behavior-defining is factored into `pub(crate)` helpers both
+//! planes call — `multicast_chunk` (including the queue-full degradation
+//! seam), `session_link`, `consume_chunk`, `surface_pending_frames`,
+//! `fold_report` — so the two planes cannot drift apart in semantics, only
+//! in scheduling.
+
+use super::{ServiceRunReport, SessionBroker, SessionDelivery, SessionEvent, SessionSpec};
+use crate::pipeline::{Clock, WallClock};
+use crate::transport::{
+    striped_link, AssemblyEvent, FrameAssembler, FrameChunk, StripeReceiver, StripeSender, TransportConfig,
+    TransportError,
+};
+use crate::viewer::ViewerError;
+use netsim::{Bandwidth, StripePacer};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Plumbing shared by both plane implementations
+// ---------------------------------------------------------------------------
+
+/// A session's fan-out endpoint, shared by every per-PE pump.
+///
+/// Endpoints are never removed mid-run: stripe interleaving means a chunk of
+/// frame `f` can be observed after the broker has already processed frame
+/// `f+1`, so membership is decided by the chunk's own frame against the
+/// session's deterministic `[join, end)` window, not by when the chunk
+/// happened to arrive.  `end_frame` is the leave or eviction frame the
+/// broker decided (`u32::MAX` until then).
+pub(crate) struct SessionEndpoint {
+    pub(crate) session: usize,
+    pub(crate) spec: SessionSpec,
+    pub(crate) sender: StripeSender,
+    pub(crate) end_frame: AtomicU32,
+}
+
+impl SessionEndpoint {
+    pub(crate) fn new(session: usize, spec: SessionSpec, sender: StripeSender) -> Arc<SessionEndpoint> {
+        Arc::new(SessionEndpoint {
+            session,
+            spec,
+            sender,
+            end_frame: AtomicU32::new(u32::MAX),
+        })
+    }
+
+    pub(crate) fn wants(&self, frame: u32) -> bool {
+        self.spec.live_at(frame) && frame < self.end_frame.load(Ordering::Relaxed)
+    }
+
+    /// Close the delivery window at the frame the broker decided; straggler
+    /// chunks of earlier frames still belong to the session.
+    pub(crate) fn close_at(&self, frame: u32) {
+        self.end_frame.store(frame, Ordering::Relaxed);
+    }
+}
+
+/// Build one admitted session's own bounded striped queue and pacer: its
+/// stripes, the service queue depth, never paced at the queue (the pacer
+/// lives in the consumer, so a slow WAN fills the queue and degrades only
+/// this session).
+pub(crate) fn session_link(
+    spec: &SessionSpec,
+    default_queue_depth: usize,
+    transport: &TransportConfig,
+) -> (StripeSender, StripeReceiver, Option<StripePacer>) {
+    let link_config = TransportConfig {
+        stripes: spec.stripes.max(1),
+        chunk_bytes: transport.chunk_bytes,
+        queue_depth: spec.queue_depth.unwrap_or(default_queue_depth),
+        tuning: spec.tuning,
+        pace_rate_mbps: None,
+    };
+    let (tx, rx) = striped_link(&link_config);
+    let pacer = spec
+        .pace_rate_mbps
+        .map(|mbps| StripePacer::from_rate(Bandwidth::from_mbps(mbps), spec.stripes.max(1)));
+    (tx, rx, pacer)
+}
+
+/// What one PE pump observed (whichever plane ran it).
+pub(crate) struct PeOutcome {
+    /// (chunks, bytes) emitted per frame by this PE (deterministic).
+    pub(crate) per_frame: Vec<(u64, u64)>,
+    pub(crate) delivered: u64,
+    pub(crate) dropped: HashMap<usize, u64>,
+    pub(crate) skipped: HashMap<usize, u64>,
+}
+
+impl PeOutcome {
+    pub(crate) fn new() -> PeOutcome {
+        PeOutcome {
+            per_frame: Vec::new(),
+            delivered: 0,
+            dropped: HashMap::new(),
+            skipped: HashMap::new(),
+        }
+    }
+
+    /// Account one chunk of offered backend load.
+    pub(crate) fn record_offered(&mut self, chunk: &FrameChunk) {
+        let frame = chunk.frame as usize;
+        if self.per_frame.len() <= frame {
+            self.per_frame.resize(frame + 1, (0, 0));
+        }
+        self.per_frame[frame].0 += 1;
+        self.per_frame[frame].1 += chunk.payload.len() as u64;
+    }
+}
+
+/// Multicast one chunk onto every session live at its frame.
+///
+/// This is *the* degradation seam, shared verbatim by both planes: a full
+/// session queue degrades that session for the rest of this (rank, frame) —
+/// it keeps its partial composite and surfaces a typed `MissingFrame` — while
+/// the farm and every other session keep moving.
+pub(crate) fn multicast_chunk(
+    chunk: &FrameChunk,
+    endpoints: &[Arc<SessionEndpoint>],
+    skips: &mut HashSet<(usize, u32)>,
+    outcome: &mut PeOutcome,
+) {
+    let frame = chunk.frame;
+    for ep in endpoints {
+        // Membership is decided by the chunk's own frame (a deterministic
+        // window), not by when the chunk happened to arrive.
+        if !ep.wants(frame) {
+            continue;
+        }
+        if skips.contains(&(ep.session, frame)) {
+            *outcome.dropped.entry(ep.session).or_default() += 1;
+            continue;
+        }
+        // Zero-copy multicast: the payload Bytes clone is a refcount bump;
+        // re-stripe onto the session's own queue width.
+        let fanned = FrameChunk {
+            stripe: chunk.seq % ep.spec.stripes.max(1),
+            ..chunk.clone()
+        };
+        match ep.sender.try_send_raw_chunk(fanned) {
+            Ok(true) => outcome.delivered += 1,
+            Ok(false) => {
+                skips.insert((ep.session, frame));
+                *outcome.skipped.entry(ep.session).or_default() += 1;
+                *outcome.dropped.entry(ep.session).or_default() += 1;
+            }
+            Err(TransportError::Closed) | Err(TransportError::Corrupt(_)) => {
+                *outcome.dropped.entry(ep.session).or_default() += 1;
+            }
+        }
+    }
+}
+
+/// Fold one delivered chunk into a session's delivery: reassemble, and record
+/// every anomaly as the typed [`ViewerError`] the viewer itself would report.
+pub(crate) fn consume_chunk(delivery: &mut SessionDelivery, assembler: &mut FrameAssembler, chunk: FrameChunk) {
+    delivery.chunks_delivered += 1;
+    delivery.bytes_delivered += chunk.payload.len() as u64;
+    let rank = chunk.rank;
+    match assembler.accept(chunk) {
+        Ok(AssemblyEvent::Complete { .. }) => delivery.frames_completed += 1,
+        Ok(AssemblyEvent::Progress { .. }) => {}
+        Ok(AssemblyEvent::Late { rank, frame, stripe }) => {
+            delivery.errors.push(ViewerError::LateStripe { rank, frame, stripe });
+        }
+        Err(e) => delivery.errors.push(ViewerError::Corrupt {
+            rank,
+            detail: e.to_string(),
+        }),
+    }
+}
+
+/// Frames the plane started but degraded (or the campaign cut off) are
+/// surfaced exactly as the viewer surfaces them: typed, never silent.
+pub(crate) fn surface_pending_frames(assembler: &FrameAssembler, delivery: &mut SessionDelivery) {
+    for (rank, frame, received, total) in assembler.pending_frames() {
+        delivery.errors.push(ViewerError::MissingFrame {
+            rank,
+            frame,
+            received_chunks: received,
+            total_chunks: total,
+        });
+    }
+}
+
+/// An empty delivery record for `spec`, filled in by the consumer.
+pub(crate) fn empty_delivery(spec: &SessionSpec) -> SessionDelivery {
+    SessionDelivery {
+        name: spec.name.clone(),
+        viewpoint: spec.viewpoint,
+        tier: spec.tier,
+        frames_completed: 0,
+        frames_skipped: 0,
+        chunks_delivered: 0,
+        chunks_dropped: 0,
+        bytes_delivered: 0,
+        errors: Vec::new(),
+    }
+}
+
+/// Fold the deterministic offered load and the timing-dependent delivery
+/// outcomes into the final report.  `broker` must already be finished; both
+/// planes end through this single function so their reports are assembled
+/// identically.
+pub(crate) fn fold_report(
+    mut broker: SessionBroker,
+    outcomes: &[PeOutcome],
+    mut deliveries: Vec<(usize, SessionDelivery)>,
+) -> ServiceRunReport {
+    deliveries.sort_by_key(|&(session, _)| session);
+    let frames = outcomes.iter().map(|o| o.per_frame.len()).max().unwrap_or(0);
+    let mut per_frame = vec![(0u64, 0u64); frames];
+    for o in outcomes {
+        for (f, &(chunks, bytes)) in o.per_frame.iter().enumerate() {
+            per_frame[f].0 += chunks;
+            per_frame[f].1 += bytes;
+        }
+    }
+    broker.fold_fanout_load(&per_frame);
+    let events = broker.events().to_vec();
+    let mut stats = broker.stats().clone();
+    for o in outcomes {
+        stats.chunks_delivered += o.delivered;
+        stats.chunks_dropped += o.dropped.values().sum::<u64>();
+    }
+    let mut sessions = Vec::with_capacity(deliveries.len());
+    for (session, mut delivery) in deliveries {
+        for o in outcomes {
+            delivery.chunks_dropped += o.dropped.get(&session).copied().unwrap_or(0);
+            delivery.frames_skipped += o.skipped.get(&session).copied().unwrap_or(0);
+        }
+        stats.frames_completed += delivery.frames_completed;
+        stats.frames_skipped += delivery.frames_skipped;
+        sessions.push(delivery);
+    }
+    ServiceRunReport {
+        stats,
+        sessions,
+        events,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The threaded plane
+// ---------------------------------------------------------------------------
+
+struct PlaneState {
+    broker: SessionBroker,
+    endpoints: Vec<Arc<SessionEndpoint>>,
+    consumers: Vec<(usize, std::thread::JoinHandle<SessionDelivery>)>,
+}
+
+impl PlaneState {
+    /// Advance the broker to `frame`, materializing queues and consumers for
+    /// admissions and closing the delivery window for leaves/evictions.
+    fn observe_frame(&mut self, frame: u32, transport: &TransportConfig, clock: &Arc<dyn Clock>) {
+        if frame < self.broker.next_frame() {
+            return;
+        }
+        let before = self.broker.events().len();
+        self.broker.advance_to(frame);
+        let new: Vec<(u32, SessionEvent)> = self.broker.events()[before..].to_vec();
+        for (at, event) in new {
+            self.apply(at, event, transport, clock);
+        }
+    }
+
+    fn apply(&mut self, at: u32, event: SessionEvent, transport: &TransportConfig, clock: &Arc<dyn Clock>) {
+        match event {
+            SessionEvent::Admitted { session } => {
+                let spec = self.broker.spec(session).clone();
+                let (tx, rx, pacer) = session_link(&spec, self.broker.config().queue_depth, transport);
+                let consumer_spec = spec.clone();
+                let consumer_clock = Arc::clone(clock);
+                let handle = std::thread::Builder::new()
+                    .name(format!("visapult-session-{session}"))
+                    .spawn(move || run_session_consumer(rx, &consumer_spec, pacer, &consumer_clock))
+                    .expect("spawn session consumer");
+                self.consumers.push((session, handle));
+                self.endpoints.push(SessionEndpoint::new(session, spec, tx));
+            }
+            SessionEvent::Left { session } | SessionEvent::Evicted { session } => {
+                if let Some(ep) = self.endpoints.iter().find(|e| e.session == session) {
+                    ep.close_at(at);
+                }
+            }
+            SessionEvent::Rejected { .. } => {}
+        }
+    }
+}
+
+/// Drain one session's queue: pace each chunk through the session's own
+/// modeled WAN — waiting on the [`Clock`], so the same body is drivable by a
+/// virtual clock without sleeping — reassemble frames, and record every
+/// anomaly as a typed [`ViewerError`].
+fn run_session_consumer(
+    mut rx: StripeReceiver,
+    spec: &SessionSpec,
+    mut pacer: Option<StripePacer>,
+    clock: &Arc<dyn Clock>,
+) -> SessionDelivery {
+    let mut delivery = empty_delivery(spec);
+    let mut assembler = FrameAssembler::new();
+    // Runs until every plane endpoint is dropped: the session is over.
+    while let Ok(chunk) = rx.recv_chunk() {
+        if let Some(p) = &mut pacer {
+            // The session's own WAN, felt for real: drain no faster than the
+            // modeled last mile, which backpressures only this queue.
+            let delay = p.consume(chunk.stripe as usize, chunk.payload.len() as u64);
+            if !delay.is_zero() {
+                let deadline = clock.monotonic_now() + delay;
+                clock.pace_until(deadline);
+            }
+        }
+        consume_chunk(&mut delivery, &mut assembler, chunk);
+    }
+    surface_pending_frames(&assembler, &mut delivery);
+    delivery
+}
+
+/// The threaded fan-out plane on the wall clock (the production entry).
+pub(crate) fn drive_service_plane(
+    broker: SessionBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+) -> ServiceRunReport {
+    drive_service_plane_on(
+        &(Arc::new(WallClock) as Arc<dyn Clock>),
+        broker,
+        inputs,
+        primary,
+        transport,
+    )
+}
+
+/// The threaded fan-out plane implementation, on an explicit clock.
+///
+/// Returns once the backend links close and every consumer has drained.
+pub(crate) fn drive_service_plane_on(
+    clock: &Arc<dyn Clock>,
+    broker: SessionBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+) -> ServiceRunReport {
+    assert!(
+        primary.is_empty() || primary.len() == inputs.len(),
+        "primary forwarding needs one link per PE"
+    );
+    let shared = Arc::new(Mutex::new(PlaneState {
+        broker,
+        endpoints: Vec::new(),
+        consumers: Vec::new(),
+    }));
+    // Frame 0 joins happen before any chunk moves.
+    shared
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .observe_frame(0, transport, clock);
+
+    let outcomes: Vec<PeOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .zip(primary.into_iter().map(Some).chain(std::iter::repeat_with(|| None)))
+            .map(|(mut rx, mut primary_tx)| {
+                let shared = Arc::clone(&shared);
+                let transport = transport.clone();
+                let clock = Arc::clone(clock);
+                scope.spawn(move || {
+                    let mut outcome = PeOutcome::new();
+                    // (session, frame) pairs degraded on this PE's link.
+                    let mut skips: HashSet<(usize, u32)> = HashSet::new();
+                    // Endpoint snapshot, refreshed only when this thread
+                    // observes a new high-water frame.  Endpoints are
+                    // append-only and sessions only join at frame
+                    // boundaries (admissions for frame f complete under the
+                    // lock before any thread can snapshot at f), so a
+                    // snapshot taken at frame f is a superset of the
+                    // endpoints any chunk of frame ≤ f can belong to —
+                    // `wants(frame)` does the per-chunk filtering.  This
+                    // keeps the lock and the Vec clone off the per-chunk
+                    // fast path.
+                    let mut endpoints: Vec<Arc<SessionEndpoint>> = Vec::new();
+                    let mut snapshot_frame: Option<u32> = None;
+                    while let Ok(chunk) = rx.recv_chunk() {
+                        let frame = chunk.frame;
+                        outcome.record_offered(&chunk);
+                        // Drive churn from the frame counter, then refresh
+                        // the endpoint snapshot (Arc clones; the lock is
+                        // not held across sends).
+                        if snapshot_frame.map(|f| frame > f).unwrap_or(true) {
+                            let mut st = shared.lock().unwrap_or_else(|e| e.into_inner());
+                            st.observe_frame(frame, &transport, &clock);
+                            endpoints.clone_from(&st.endpoints);
+                            snapshot_frame = Some(frame);
+                        }
+                        if let Some(tx) = &primary_tx {
+                            if tx.send_raw_chunk(chunk.clone()).is_err() {
+                                // The viewer got everything it expected and
+                                // hung up; keep serving the sessions.
+                                primary_tx = None;
+                            }
+                        }
+                        multicast_chunk(&chunk, &endpoints, &mut skips, &mut outcome);
+                    }
+                    outcome
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("plane thread")).collect()
+    });
+
+    // Campaign over: every remaining session leaves, queues disconnect,
+    // consumers drain and report.
+    let mut st = match Arc::try_unwrap(shared) {
+        Ok(m) => m.into_inner().unwrap_or_else(|e| e.into_inner()),
+        Err(_) => unreachable!("plane threads have joined"),
+    };
+    st.broker.finish();
+    st.endpoints.clear();
+    let deliveries: Vec<(usize, SessionDelivery)> = st
+        .consumers
+        .into_iter()
+        .map(|(session, handle)| (session, handle.join().expect("session consumer")))
+        .collect();
+    fold_report(st.broker, &outcomes, deliveries)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::pipeline::VirtualClock;
+    use crate::service::{QualityTier, ServiceConfig};
+    use crate::test_support::sample_frame;
+    use crate::transport::{drain_frames, plan_chunks};
+    use std::time::Duration;
+
+    fn spec(name: &str, viewpoint: u32, tier: QualityTier) -> SessionSpec {
+        SessionSpec::new(name, viewpoint, tier)
+    }
+
+    fn tiny_config() -> ServiceConfig {
+        ServiceConfig {
+            max_sessions: 4,
+            link_capacity_units: 8,
+            render_slots: 2,
+            queue_depth: 8,
+            farm_egress_mbps: None,
+        }
+    }
+
+    /// Drive a plane implementation end to end over a synthetic backend.
+    /// Shared with the async plane's tests so both run the same campaigns.
+    pub(crate) fn fan_out_with(
+        drive: impl FnOnce(SessionBroker, Vec<StripeReceiver>, Vec<StripeSender>, &TransportConfig) -> ServiceRunReport
+            + Send,
+        schedule: Vec<SessionSpec>,
+        config: ServiceConfig,
+        frames: u32,
+        pes: usize,
+    ) -> (ServiceRunReport, Vec<crate::protocol::FramePayload>) {
+        let transport = TransportConfig::default().with_stripes(2).with_chunk_bytes(256);
+        let broker = SessionBroker::new(config, schedule);
+        let mut backend_txs = Vec::new();
+        let mut backend_rxs = Vec::new();
+        let mut primary_txs = Vec::new();
+        let mut primary_rxs = Vec::new();
+        for _ in 0..pes {
+            let (tx, rx) = striped_link(&transport);
+            backend_txs.push(tx);
+            backend_rxs.push(rx);
+            let (tx, rx) = striped_link(&transport);
+            primary_txs.push(tx);
+            primary_rxs.push(rx);
+        }
+        let (report, primary_frames) = std::thread::scope(|scope| {
+            let plane = {
+                let transport = transport.clone();
+                scope.spawn(move || drive(broker, backend_rxs, primary_txs, &transport))
+            };
+            let drains: Vec<_> = primary_rxs
+                .into_iter()
+                .map(|mut rx| scope.spawn(move || drain_frames(&mut rx).unwrap()))
+                .collect();
+            for f in 0..frames {
+                for (pe, tx) in backend_txs.iter().enumerate() {
+                    tx.send_frame(&sample_frame(pe as u32, f, 16)).unwrap();
+                }
+            }
+            drop(backend_txs);
+            let report = plane.join().unwrap();
+            let mut primary_frames = Vec::new();
+            for d in drains {
+                primary_frames.extend(d.join().unwrap());
+            }
+            (report, primary_frames)
+        });
+        (report, primary_frames)
+    }
+
+    fn fan_out(
+        schedule: Vec<SessionSpec>,
+        config: ServiceConfig,
+        frames: u32,
+        pes: usize,
+    ) -> (ServiceRunReport, Vec<crate::protocol::FramePayload>) {
+        fan_out_with(drive_service_plane, schedule, config, frames, pes)
+    }
+
+    #[test]
+    fn plane_multicasts_every_frame_to_every_session_and_the_primary() {
+        let schedule = vec![
+            spec("a", 0, QualityTier::Standard),
+            spec("b", 0, QualityTier::Standard),
+            spec("c", 1, QualityTier::Standard),
+        ];
+        let config = ServiceConfig {
+            queue_depth: 64,
+            ..tiny_config()
+        };
+        let (report, primary_frames) = fan_out(schedule, config, 3, 2);
+        // The primary viewer path got every frame untouched.
+        assert_eq!(primary_frames.len(), 6);
+        // Every session assembled every (rank, frame): 3 sessions x 2 PEs x 3.
+        assert_eq!(report.sessions.len(), 3);
+        for s in &report.sessions {
+            assert_eq!(s.frames_completed, 6, "session {}: {:?}", s.name, s.errors);
+            assert_eq!(s.frames_skipped, 0);
+            assert!(s.errors.is_empty(), "{:?}", s.errors);
+        }
+        assert_eq!(report.stats.frames_completed, 18);
+        // Offered fan-out load: every chunk x 3 live sessions, delivered in
+        // full on these deep queues.
+        assert_eq!(report.stats.fanout_chunks, report.stats.chunks_delivered);
+        assert_eq!(report.stats.chunks_dropped, 0);
+        // Shared renders: 3 frames x 3 sessions requested, 2 viewpoints each
+        // frame actually rendered.
+        assert_eq!(report.stats.render_requests, 9);
+        assert_eq!(report.stats.renders_performed, 6);
+    }
+
+    #[test]
+    fn slow_session_is_degraded_without_stalling_the_healthy_one() {
+        // `slow` drains a single-stripe 16-chunk queue through a
+        // dial-up-grade pacer; `healthy` has four stripes (4 x 16 = 64
+        // slots, more than the whole campaign's 42 chunks, so it can never
+        // overflow).  The plane must skip frames for `slow` (it keeps
+        // partial composites) while `healthy` and the primary receive
+        // everything.
+        let mut slow = spec("slow", 0, QualityTier::Standard).paced_at_mbps(0.2);
+        slow.stripes = 1;
+        let schedule = vec![spec("healthy", 0, QualityTier::Standard), slow];
+        let config = ServiceConfig {
+            queue_depth: 16,
+            ..tiny_config()
+        };
+        let (report, primary_frames) = fan_out(schedule, config, 6, 1);
+        assert_eq!(primary_frames.len(), 6);
+        let healthy = report.sessions.iter().find(|s| s.name == "healthy").unwrap();
+        let slow = report.sessions.iter().find(|s| s.name == "slow").unwrap();
+        assert_eq!(healthy.frames_completed, 6);
+        assert!(healthy.errors.is_empty(), "{:?}", healthy.errors);
+        assert!(
+            slow.frames_skipped > 0,
+            "the 1-chunk queue behind a 0.2 Mbps pacer must overflow: {slow:?}"
+        );
+        // Degraded frames surface as typed MissingFrame partials, not
+        // silence.
+        assert!(slow
+            .errors
+            .iter()
+            .all(|e| matches!(e, ViewerError::MissingFrame { .. })));
+        assert_eq!(
+            report.stats.frames_skipped, slow.frames_skipped,
+            "only the slow session was degraded"
+        );
+        assert!(report.stats.chunks_dropped > 0);
+    }
+
+    #[test]
+    fn sessions_joining_and_leaving_mid_run_receive_only_their_window() {
+        let schedule = vec![
+            spec("whole", 0, QualityTier::Standard),
+            spec("window", 0, QualityTier::Standard).with_window(1, Some(3)),
+        ];
+        let config = ServiceConfig {
+            queue_depth: 64,
+            ..tiny_config()
+        };
+        let (report, _) = fan_out(schedule, config, 4, 1);
+        let whole = report.sessions.iter().find(|s| s.name == "whole").unwrap();
+        let window = report.sessions.iter().find(|s| s.name == "window").unwrap();
+        assert_eq!(whole.frames_completed, 4);
+        // Frames 1 and 2 only.
+        assert_eq!(window.frames_completed, 2, "{window:?}");
+        // Offered load reflects the window: frames 0 and 3 fan out to one
+        // session, frames 1 and 2 to two.
+        let per_frame_chunks = report.stats.fanout_chunks;
+        let plan = plan_chunks(
+            crate::protocol::FrameSegments::encode(&sample_frame(0, 0, 16)).lens(),
+            256,
+            2,
+        )
+        .len() as u64;
+        assert_eq!(per_frame_chunks, plan * (1 + 2 + 2 + 1));
+    }
+
+    #[test]
+    fn multicast_is_zero_copy() {
+        let schedule = vec![
+            spec("a", 0, QualityTier::Standard),
+            spec("b", 0, QualityTier::Standard),
+            spec("c", 1, QualityTier::Standard),
+        ];
+        let config = ServiceConfig {
+            queue_depth: 64,
+            ..tiny_config()
+        };
+        let before = bytes::deep_copy_count();
+        let (report, _) = fan_out(schedule, config, 2, 1);
+        assert_eq!(
+            bytes::deep_copy_count() - before,
+            0,
+            "fan-out must multicast by refcount, not memcpy"
+        );
+        assert_eq!(report.stats.frames_completed, 6);
+    }
+
+    #[test]
+    fn paced_consumers_on_a_virtual_clock_never_sleep() {
+        // A 0.01 Mbps pacer over this campaign would sleep for minutes of
+        // wall time; on the virtual clock the identical consumer body must
+        // finish immediately with the identical deterministic stats — pacing
+        // goes through the Clock seam, not `thread::sleep`.
+        let mut crawl = spec("crawl", 0, QualityTier::Standard).paced_at_mbps(0.01);
+        // Deep enough that nothing overflows: delivery is deterministic.
+        crawl.queue_depth = Some(4096);
+        let schedule = vec![spec("healthy", 0, QualityTier::Standard), crawl];
+        let config = ServiceConfig {
+            queue_depth: 4096,
+            ..tiny_config()
+        };
+        let virtual_clock: Arc<dyn Clock> = Arc::new(VirtualClock);
+        let started = std::time::Instant::now();
+        let (report, _) = fan_out_with(
+            move |broker, inputs, primary, transport| {
+                drive_service_plane_on(&virtual_clock, broker, inputs, primary, transport)
+            },
+            schedule,
+            config,
+            4,
+            1,
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "virtual-clock pacing must not sleep out the modeled delays"
+        );
+        for s in &report.sessions {
+            assert_eq!(s.frames_completed, 4, "session {}: {:?}", s.name, s.errors);
+            assert!(s.errors.is_empty(), "{:?}", s.errors);
+        }
+    }
+}

@@ -481,6 +481,16 @@ impl StripeReceiver {
         None
     }
 
+    /// True once every stripe has disconnected *and* drained:
+    /// [`StripeReceiver::try_recv_chunk`] will never return another chunk.
+    /// Only meaningful after a `try_recv_chunk` returned `None` (lanes are
+    /// discovered closed by polling them), which makes
+    /// `try_recv_chunk().is_none() && is_closed()` the non-blocking
+    /// equivalent of `recv_chunk() == Err(Closed)`.
+    pub fn is_closed(&self) -> bool {
+        self.open.iter().all(|&open| !open)
+    }
+
     /// Convenience: pump chunks through `assembler` until the next complete
     /// frame.
     pub fn recv_frame(&mut self, assembler: &mut FrameAssembler) -> Result<FramePayload, TransportError> {

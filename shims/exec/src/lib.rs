@@ -1,0 +1,400 @@
+//! Vendored minimal cooperative task executor (this workspace builds fully
+//! offline, so no tokio/smol/async-std — and none is needed).
+//!
+//! The model is deliberately simpler than `std::future`: a [`Task`] is a
+//! state machine with a single `poll` method that either finishes
+//! ([`Poll::Ready`]), made progress and wants to be polled again soon
+//! ([`Poll::Progress`]), or found nothing to do right now ([`Poll::Idle`]).
+//! There are no wakers wired into I/O sources — the channels this workspace
+//! multiplexes expose non-blocking `try_send`/`try_recv` halves, which is all
+//! a poll loop needs.  Instead, the run queue self-paces: while any task
+//! reports progress the pool spins the queue hot; once a full sweep of the
+//! live tasks comes back idle, workers park on a condvar for a short interval
+//! (bounded staleness, near-zero CPU) before sweeping again.  `spawn` and
+//! every `Progress` re-arm the pool immediately.
+//!
+//! The intended use is N-thousands of cheap cooperatively-scheduled units
+//! (session consumers, stripe pumps, pacers) multiplexed over a worker pool
+//! whose size is chosen once — OS thread count stays bounded by the pool, not
+//! by the unit count.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What one `poll` of a [`Task`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll {
+    /// The task is finished; it will never be polled again.
+    Ready,
+    /// The task did useful work and should be polled again promptly.
+    Progress,
+    /// Nothing to do right now (empty queue, pacing deadline not reached);
+    /// the task stays scheduled but a full sweep of idle tasks lets the pool
+    /// park briefly.
+    Idle,
+}
+
+/// A cooperatively scheduled unit of work.
+///
+/// `poll` must not block: it should move whatever is movable (bounded by its
+/// own fairness budget), then return.  Blocking in `poll` stalls one worker
+/// of the shared pool — exactly the thread-per-session cost the executor
+/// exists to avoid.
+pub trait Task: Send {
+    /// Advance the state machine as far as it can without blocking.
+    fn poll(&mut self) -> Poll;
+}
+
+struct HandleState {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Completion handle for a spawned task: `wait` blocks until the task's
+/// `poll` returned [`Poll::Ready`].
+#[derive(Clone)]
+pub struct TaskHandle {
+    state: Arc<HandleState>,
+}
+
+impl TaskHandle {
+    /// True once the task has finished.
+    pub fn is_done(&self) -> bool {
+        *self.state.done.lock()
+    }
+
+    /// Block until the task finishes.
+    pub fn wait(&self) {
+        let mut done = self.state.done.lock();
+        while !*done {
+            self.state.cv.wait(&mut done);
+        }
+    }
+}
+
+struct Slot {
+    task: Box<dyn Task>,
+    handle: Arc<HandleState>,
+}
+
+struct State {
+    runnable: VecDeque<Slot>,
+    /// Spawned tasks that have not yet returned `Ready` (including ones
+    /// currently being polled by a worker).
+    live: usize,
+    /// Consecutive `Idle` polls since the last `Ready`/`Progress`/`spawn`;
+    /// reaching `live` means one full sweep found no work, so workers park.
+    unproductive: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled on spawn, progress, and shutdown.
+    work: Condvar,
+}
+
+/// How long workers park after a fully idle sweep.  External producers (a
+/// backend thread filling a channel) are picked up within this bound even
+/// though nothing notifies the pool.
+const IDLE_PARK: Duration = Duration::from_micros(200);
+
+/// A fixed pool of worker threads multiplexing every spawned [`Task`].
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// A pool of `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Executor {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                runnable: VecDeque::new(),
+                live: 0,
+                unproductive: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("exec-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor { shared, workers }
+    }
+
+    /// A pool sized to the machine: available parallelism clamped to 2..=8.
+    pub fn with_default_workers() -> Executor {
+        Executor::new(default_workers())
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Schedule a task; it starts being polled immediately.
+    pub fn spawn(&self, task: Box<dyn Task>) -> TaskHandle {
+        self.spawner().spawn(task)
+    }
+
+    /// A cheap cloneable handle that can spawn onto this pool — including
+    /// from inside a running task's `poll`.  The handle does not keep the
+    /// pool alive; spawning after the [`Executor`] dropped panics.
+    pub fn spawner(&self) -> Spawner {
+        Spawner {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Tasks spawned and not yet finished.
+    pub fn live_tasks(&self) -> usize {
+        self.shared.state.lock().live
+    }
+}
+
+/// Spawns tasks onto an [`Executor`]'s pool without owning the pool.
+#[derive(Clone)]
+pub struct Spawner {
+    shared: Arc<Shared>,
+}
+
+impl Spawner {
+    /// Schedule a task; it starts being polled immediately.
+    pub fn spawn(&self, task: Box<dyn Task>) -> TaskHandle {
+        let handle = Arc::new(HandleState {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let mut st = self.shared.state.lock();
+        assert!(!st.shutdown, "spawn on a shut-down executor");
+        st.live += 1;
+        st.unproductive = 0;
+        st.runnable.push_back(Slot {
+            task,
+            handle: Arc::clone(&handle),
+        });
+        drop(st);
+        self.shared.work.notify_all();
+        TaskHandle { state: handle }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            // Abandon anything still queued (the plane waits for its handles
+            // before dropping the pool, so this only fires on panic paths).
+            st.runnable.clear();
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The worker-pool size [`Executor::with_default_workers`] uses.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8)
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let mut st = shared.state.lock();
+        let slot = loop {
+            if st.shutdown {
+                return;
+            }
+            if st.live > 0 && st.unproductive >= st.live {
+                // A full sweep of the live tasks produced nothing: park.
+                // `spawn`/`Progress` notify to cut the park short; otherwise
+                // the timeout bounds how stale external producers can get.
+                st.unproductive = 0;
+                shared.work.wait_for(&mut st, IDLE_PARK);
+                continue;
+            }
+            match st.runnable.pop_front() {
+                Some(slot) => break slot,
+                // Every live task is in another worker's hands (or none
+                // exist yet); wait for one to come back or for a spawn.
+                None => {
+                    shared.work.wait_for(&mut st, IDLE_PARK);
+                }
+            }
+        };
+        drop(st);
+
+        let mut slot = slot;
+        let outcome = slot.task.poll();
+
+        let mut st = shared.state.lock();
+        match outcome {
+            Poll::Ready => {
+                st.live -= 1;
+                st.unproductive = 0;
+                drop(st);
+                let mut done = slot.handle.done.lock();
+                *done = true;
+                slot.handle.cv.notify_all();
+                shared.work.notify_all();
+            }
+            Poll::Progress => {
+                st.unproductive = 0;
+                st.runnable.push_back(slot);
+                drop(st);
+                shared.work.notify_all();
+            }
+            Poll::Idle => {
+                st.unproductive += 1;
+                st.runnable.push_back(slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counter {
+        n: usize,
+        left: usize,
+        total: Arc<AtomicUsize>,
+    }
+
+    impl Task for Counter {
+        fn poll(&mut self) -> Poll {
+            if self.left == 0 {
+                return Poll::Ready;
+            }
+            self.left -= 1;
+            self.total.fetch_add(self.n, Ordering::SeqCst);
+            Poll::Progress
+        }
+    }
+
+    #[test]
+    fn tasks_run_to_completion_and_handles_wait() {
+        let exec = Executor::new(3);
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<TaskHandle> = (1..=10)
+            .map(|n| {
+                exec.spawn(Box::new(Counter {
+                    n,
+                    left: 4,
+                    total: Arc::clone(&total),
+                }))
+            })
+            .collect();
+        for h in &handles {
+            h.wait();
+            assert!(h.is_done());
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 55);
+        assert_eq!(exec.live_tasks(), 0);
+    }
+
+    /// A task that idles until an external flag flips — the executor's parked
+    /// sweep must still pick the flip up (no lost-wakeup deadlock).
+    struct WaitsForFlag {
+        flag: Arc<AtomicUsize>,
+    }
+
+    impl Task for WaitsForFlag {
+        fn poll(&mut self) -> Poll {
+            if self.flag.load(Ordering::SeqCst) == 0 {
+                Poll::Idle
+            } else {
+                Poll::Ready
+            }
+        }
+    }
+
+    #[test]
+    fn idle_tasks_park_the_pool_but_external_progress_is_picked_up() {
+        let exec = Executor::new(2);
+        let flag = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<TaskHandle> = (0..8)
+            .map(|_| {
+                exec.spawn(Box::new(WaitsForFlag {
+                    flag: Arc::clone(&flag),
+                }))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(exec.live_tasks(), 8, "idle tasks must stay scheduled");
+        flag.store(1, Ordering::SeqCst);
+        for h in handles {
+            h.wait();
+        }
+        assert_eq!(exec.live_tasks(), 0);
+    }
+
+    /// Spawning from inside a task (how the plane materializes a session
+    /// consumer at its admission frame) must work without deadlocking.
+    struct SpawnsInner {
+        spawner: Spawner,
+        inner: Arc<Mutex<Option<TaskHandle>>>,
+        total: Arc<AtomicUsize>,
+    }
+
+    impl Task for SpawnsInner {
+        fn poll(&mut self) -> Poll {
+            let handle = self.spawner.spawn(Box::new(Counter {
+                n: 7,
+                left: 1,
+                total: Arc::clone(&self.total),
+            }));
+            *self.inner.lock() = Some(handle);
+            Poll::Ready
+        }
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks_through_a_spawner() {
+        let exec = Executor::new(2);
+        let total = Arc::new(AtomicUsize::new(0));
+        let inner = Arc::new(Mutex::new(None));
+        let h = exec.spawn(Box::new(SpawnsInner {
+            spawner: exec.spawner(),
+            inner: Arc::clone(&inner),
+            total: Arc::clone(&total),
+        }));
+        h.wait();
+        let inner = inner.lock().take().expect("inner task spawned");
+        inner.wait();
+        assert_eq!(total.load(Ordering::SeqCst), 7);
+        assert_eq!(exec.live_tasks(), 0);
+    }
+
+    #[test]
+    fn default_workers_is_bounded() {
+        let w = default_workers();
+        assert!((2..=8).contains(&w));
+        let exec = Executor::with_default_workers();
+        assert_eq!(exec.workers(), w);
+    }
+
+    #[test]
+    fn drop_shuts_down_with_tasks_still_live() {
+        let exec = Executor::new(2);
+        let flag = Arc::new(AtomicUsize::new(0));
+        let _h = exec.spawn(Box::new(WaitsForFlag { flag }));
+        drop(exec); // must not hang
+    }
+}

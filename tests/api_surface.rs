@@ -8,6 +8,7 @@
 
 /// Every name re-exported at the `visapult_core` crate root, sorted.
 const EXPECTED: &[&str] = &[
+    "AsyncPlane",
     "CacheReport",
     "CacheSpec",
     "CampaignReport",
@@ -35,6 +36,7 @@ const EXPECTED: &[&str] = &[
     "Pipeline",
     "PipelineBuilder",
     "PipelineConfig",
+    "PlaneKind",
     "PlaneSession",
     "PlatformSpec",
     "QualityTier",

@@ -1,15 +1,32 @@
 //! Integration tests of the multi-session service layer: the session broker,
-//! the shared-render fan-out plane, admission control under churn, and the
-//! `exhibit_floor` acceptance sweep — including the property that a degraded
-//! session can never corrupt a healthy session's composite.
+//! the shared-render fan-out planes (threaded and async), admission control
+//! under churn, and the `exhibit_floor` acceptance sweep — including the
+//! property that a degraded session can never corrupt a healthy session's
+//! composite, on either plane.
 
 use proptest::prelude::*;
 use std::sync::Arc;
 use visapult::core::transport::striped_link;
 use visapult::core::{
-    plan_chunks, run_scenario, ExecutionPath, FanoutPlane, FramePayload, FrameSegments, HeavyPayload, LightPayload,
-    QualityTier, ScenarioSpec, ServiceConfig, SessionBroker, SessionSpec, TransportConfig, ViewerError,
+    plan_chunks, run_scenario, AsyncPlane, ExecutionPath, FanoutPlane, FramePayload, FrameSegments, HeavyPayload,
+    LightPayload, PlaneKind, QualityTier, ScenarioSpec, ServiceConfig, ServiceRunReport, SessionBroker, SessionSpec,
+    StripeReceiver, TransportConfig, ViewerError,
 };
+
+const BOTH_PLANES: [PlaneKind; 2] = [PlaneKind::Threaded, PlaneKind::Async];
+
+/// Drive the selected plane implementation over backend links.
+fn drive_plane(
+    plane: PlaneKind,
+    broker: SessionBroker,
+    inputs: Vec<StripeReceiver>,
+    transport: &TransportConfig,
+) -> ServiceRunReport {
+    match plane {
+        PlaneKind::Threaded => FanoutPlane::drive(broker, inputs, Vec::new(), transport),
+        PlaneKind::Async => AsyncPlane::with_workers(3).drive(broker, inputs, Vec::new(), transport),
+    }
+}
 
 fn payload(rank: u32, frame: u32, tex: usize) -> FramePayload {
     let texture: Vec<u8> = (0..tex * tex * 4).map(|i| (i % 249) as u8).collect();
@@ -34,25 +51,43 @@ fn payload(rank: u32, frame: u32, tex: usize) -> FramePayload {
     }
 }
 
-/// Drive `frames` timesteps from one PE through the fan-out plane.
+/// Drive `frames` timesteps from `pes` PEs through the selected fan-out plane.
 fn run_plane(
+    plane: PlaneKind,
     schedule: Vec<SessionSpec>,
     config: ServiceConfig,
     transport: &TransportConfig,
     frames: u32,
     tex: usize,
-) -> visapult::core::ServiceRunReport {
-    let (backend_tx, backend_rx) = striped_link(transport);
-    let broker = SessionBroker::new(config, schedule);
-    let plane = {
-        let transport = transport.clone();
-        std::thread::spawn(move || FanoutPlane::drive(broker, vec![backend_rx], Vec::new(), &transport))
-    };
-    for f in 0..frames {
-        backend_tx.send_frame(&payload(0, f, tex)).unwrap();
+    pes: usize,
+) -> ServiceRunReport {
+    let mut txs = Vec::with_capacity(pes);
+    let mut rxs = Vec::with_capacity(pes);
+    for _ in 0..pes {
+        let (tx, rx) = striped_link(transport);
+        txs.push(tx);
+        rxs.push(rx);
     }
-    drop(backend_tx);
-    plane.join().unwrap()
+    let broker = SessionBroker::new(config, schedule);
+    let handle = {
+        let transport = transport.clone();
+        std::thread::spawn(move || drive_plane(plane, broker, rxs, &transport))
+    };
+    let senders: Vec<_> = txs
+        .into_iter()
+        .enumerate()
+        .map(|(pe, tx)| {
+            std::thread::spawn(move || {
+                for f in 0..frames {
+                    tx.send_frame(&payload(pe as u32, f, tex)).unwrap();
+                }
+            })
+        })
+        .collect();
+    for s in senders {
+        s.join().unwrap();
+    }
+    handle.join().unwrap()
 }
 
 #[test]
@@ -180,84 +215,93 @@ stripes = 1
 #[test]
 fn late_and_corrupt_chunks_surface_as_typed_errors_in_every_session() {
     use visapult::core::FrameChunk;
-    let transport = TransportConfig::default().with_stripes(2).with_chunk_bytes(512);
-    let (backend_tx, backend_rx) = striped_link(&transport);
-    let schedule = vec![
-        SessionSpec::new("s0", 0, QualityTier::Standard),
-        SessionSpec::new("s1", 1, QualityTier::Standard),
-    ];
-    let broker = SessionBroker::new(ServiceConfig::default(), schedule);
-    let plane = {
-        let transport = transport.clone();
-        std::thread::spawn(move || FanoutPlane::drive(broker, vec![backend_rx], Vec::new(), &transport))
-    };
-    backend_tx.send_frame(&payload(0, 0, 8)).unwrap();
-    // A straggler for the already-complete frame 0: every session must
-    // report LateStripe, none may treat it as data.
-    backend_tx
-        .send_raw_chunk(FrameChunk {
-            frame: 0,
-            rank: 0,
-            seq: 0,
-            total: 4,
-            stripe: 1,
-            stripe_seq: 99,
-            segment: 0,
-            payload: bytes::Bytes::from(vec![0u8; 16]),
-        })
-        .unwrap();
-    // Two copies of chunk 0 of a never-completed frame 7: the duplicate is
-    // corrupt, typed, and per-session.
-    for _ in 0..2 {
+    // The typed-error seam is shared by both plane implementations: the
+    // async plane must surface the same LateStripe / Corrupt / MissingFrame
+    // errors, per session, as the threaded plane.
+    for plane in BOTH_PLANES {
+        let transport = TransportConfig::default().with_stripes(2).with_chunk_bytes(512);
+        let (backend_tx, backend_rx) = striped_link(&transport);
+        let schedule = vec![
+            SessionSpec::new("s0", 0, QualityTier::Standard),
+            SessionSpec::new("s1", 1, QualityTier::Standard),
+        ];
+        let broker = SessionBroker::new(ServiceConfig::default(), schedule);
+        let handle = {
+            let transport = transport.clone();
+            std::thread::spawn(move || drive_plane(plane, broker, vec![backend_rx], &transport))
+        };
+        backend_tx.send_frame(&payload(0, 0, 8)).unwrap();
+        // A straggler for the already-complete frame 0: every session must
+        // report LateStripe, none may treat it as data.
         backend_tx
             .send_raw_chunk(FrameChunk {
-                frame: 7,
+                frame: 0,
                 rank: 0,
                 seq: 0,
-                total: 9,
-                stripe: 0,
-                stripe_seq: 100,
+                total: 4,
+                stripe: 1,
+                stripe_seq: 99,
                 segment: 0,
-                payload: bytes::Bytes::from(vec![1u8; 16]),
+                payload: bytes::Bytes::from(vec![0u8; 16]),
             })
             .unwrap();
-    }
-    drop(backend_tx);
-    let report = plane.join().unwrap();
-    assert_eq!(report.sessions.len(), 2);
-    for s in &report.sessions {
-        assert_eq!(s.frames_completed, 1, "{}", s.name);
-        assert!(
-            s.errors
-                .iter()
-                .any(|e| matches!(e, ViewerError::LateStripe { frame: 0, .. })),
-            "{}: {:?}",
-            s.name,
-            s.errors
-        );
-        assert!(
-            s.errors.iter().any(|e| matches!(e, ViewerError::Corrupt { .. })),
-            "{}: {:?}",
-            s.name,
-            s.errors
-        );
-        assert!(
-            s.errors
-                .iter()
-                .any(|e| matches!(e, ViewerError::MissingFrame { frame: 7, .. })),
-            "{}: {:?}",
-            s.name,
-            s.errors
-        );
+        // Two copies of chunk 0 of a never-completed frame 7: the duplicate
+        // is corrupt, typed, and per-session.
+        for _ in 0..2 {
+            backend_tx
+                .send_raw_chunk(FrameChunk {
+                    frame: 7,
+                    rank: 0,
+                    seq: 0,
+                    total: 9,
+                    stripe: 0,
+                    stripe_seq: 100,
+                    segment: 0,
+                    payload: bytes::Bytes::from(vec![1u8; 16]),
+                })
+                .unwrap();
+        }
+        drop(backend_tx);
+        let report = handle.join().unwrap();
+        assert_eq!(report.sessions.len(), 2);
+        for s in &report.sessions {
+            assert_eq!(s.frames_completed, 1, "{}: {}", plane.label(), s.name);
+            assert!(
+                s.errors
+                    .iter()
+                    .any(|e| matches!(e, ViewerError::LateStripe { frame: 0, .. })),
+                "{}: {}: {:?}",
+                plane.label(),
+                s.name,
+                s.errors
+            );
+            assert!(
+                s.errors.iter().any(|e| matches!(e, ViewerError::Corrupt { .. })),
+                "{}: {}: {:?}",
+                plane.label(),
+                s.name,
+                s.errors
+            );
+            assert!(
+                s.errors
+                    .iter()
+                    .any(|e| matches!(e, ViewerError::MissingFrame { frame: 7, .. })),
+                "{}: {}: {:?}",
+                plane.label(),
+                s.name,
+                s.errors
+            );
+        }
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Whatever the chunking, stripe width or frame count, a session
-    /// degraded by a saturated queue behind a dial-up-grade pacer loses only
-    /// its own frames: the healthy session assembles every frame with zero
+    /// Whatever the chunking, stripe width or frame count — and whichever
+    /// plane implementation runs the fan-out — a session degraded by a
+    /// saturated queue behind a dial-up-grade pacer loses only its own
+    /// frames: the healthy session assembles every frame with zero
     /// anomalies, nobody ever sees a Corrupt error, and the plane's chunk
     /// accounting stays exact (every owed chunk is either delivered or
     /// counted dropped).
@@ -278,35 +322,163 @@ proptest! {
         )
         .len() as u32
             * frames;
-        let mut healthy = SessionSpec::new("healthy", 0, QualityTier::Interactive);
-        // Deep enough for the whole campaign on any one stripe: the healthy
-        // session can never overflow, whatever the chunk distribution.
-        healthy.queue_depth = Some(total_chunks as usize);
-        let mut degraded = SessionSpec::new("degraded", 0, QualityTier::Preview).paced_at_mbps(0.2);
-        degraded.stripes = 1;
-        degraded.queue_depth = Some(3);
-        let config = ServiceConfig::default();
-        let report = run_plane(vec![healthy, degraded], config, &transport, frames, tex);
+        for plane in BOTH_PLANES {
+            let mut healthy = SessionSpec::new("healthy", 0, QualityTier::Interactive);
+            // Deep enough for the whole campaign on any one stripe: the
+            // healthy session can never overflow, whatever the chunk
+            // distribution.
+            healthy.queue_depth = Some(total_chunks as usize);
+            let mut degraded = SessionSpec::new("degraded", 0, QualityTier::Preview).paced_at_mbps(0.2);
+            degraded.stripes = 1;
+            degraded.queue_depth = Some(3);
+            let config = ServiceConfig::default();
+            let report = run_plane(plane, vec![healthy, degraded], config, &transport, frames, tex, 1);
 
-        let healthy = report.sessions.iter().find(|s| s.name == "healthy").unwrap();
-        let degraded = report.sessions.iter().find(|s| s.name == "degraded").unwrap();
-        // The healthy session is untouched by its neighbour's collapse.
-        prop_assert_eq!(healthy.frames_completed, u64::from(frames), "{:?}", healthy.errors);
-        prop_assert_eq!(healthy.frames_skipped, 0);
-        prop_assert!(healthy.errors.is_empty(), "healthy session saw {:?}", healthy.errors);
-        // The degraded session lost frames — and only to typed,
-        // partial-composite skips, never corruption.
-        prop_assert!(degraded.frames_skipped > 0, "queue never overflowed: {degraded:?}");
-        prop_assert!(
-            degraded.errors.iter().all(|e| matches!(e, ViewerError::MissingFrame { .. })),
-            "{:?}",
-            degraded.errors
-        );
-        prop_assert!(degraded.frames_completed < u64::from(frames));
-        // Exact accounting: owed = delivered + dropped.
-        prop_assert_eq!(
-            report.stats.fanout_chunks,
-            report.stats.chunks_delivered + report.stats.chunks_dropped
-        );
+            let healthy = report.sessions.iter().find(|s| s.name == "healthy").unwrap();
+            let degraded = report.sessions.iter().find(|s| s.name == "degraded").unwrap();
+            // The healthy session is untouched by its neighbour's collapse.
+            prop_assert_eq!(healthy.frames_completed, u64::from(frames), "{}: {:?}", plane.label(), healthy.errors);
+            prop_assert_eq!(healthy.frames_skipped, 0);
+            prop_assert!(healthy.errors.is_empty(), "{}: healthy session saw {:?}", plane.label(), healthy.errors);
+            // The degraded session lost frames — and only to typed,
+            // partial-composite skips, never corruption.
+            prop_assert!(degraded.frames_skipped > 0, "{}: queue never overflowed: {degraded:?}", plane.label());
+            prop_assert!(
+                degraded.errors.iter().all(|e| matches!(e, ViewerError::MissingFrame { .. })),
+                "{}: {:?}",
+                plane.label(),
+                degraded.errors
+            );
+            prop_assert!(degraded.frames_completed < u64::from(frames));
+            // Exact accounting: owed = delivered + dropped.
+            prop_assert_eq!(
+                report.stats.fanout_chunks,
+                report.stats.chunks_delivered + report.stats.chunks_dropped
+            );
+        }
     }
+
+    /// The plane implementations are interchangeable on the deterministic
+    /// half of the report: whatever the arrival mix (random joins, dwells,
+    /// tiers, viewpoints, over-subscription forcing rejections and
+    /// evictions), the threaded and async planes drive the identical broker
+    /// state machine to the identical lifecycle, shared-render and
+    /// offered-load stats.
+    #[test]
+    fn threaded_and_async_planes_agree_on_deterministic_stats(
+        mix in proptest::collection::vec((0u32..5, 1u32..6, 0u32..4, 0usize..3), 1..12),
+        frames in 4u32..7,
+        pes in 1usize..3,
+    ) {
+        let tiers = [QualityTier::Preview, QualityTier::Standard, QualityTier::Interactive];
+        let schedule: Vec<SessionSpec> = mix
+            .iter()
+            .enumerate()
+            .map(|(i, &(join, dwell, viewpoint, tier))| {
+                let mut spec = SessionSpec::new(format!("s{i}"), viewpoint, tiers[tier]);
+                spec.join_frame = join.min(frames - 1);
+                spec.leave_frame = Some((spec.join_frame + dwell).min(frames));
+                spec
+            })
+            .collect();
+        // Tight capacity so bigger mixes exercise rejection and eviction.
+        let config = ServiceConfig {
+            max_sessions: 6,
+            link_capacity_units: 10,
+            render_slots: 2,
+            queue_depth: 64,
+            farm_egress_mbps: None,
+        };
+        let transport = TransportConfig::default().with_stripes(2).with_chunk_bytes(512);
+        let reports: Vec<ServiceRunReport> = BOTH_PLANES
+            .iter()
+            .map(|&plane| run_plane(plane, schedule.clone(), config.clone(), &transport, frames, 8, pes))
+            .collect();
+        let (threaded, asynced) = (&reports[0], &reports[1]);
+        prop_assert_eq!(&threaded.events, &asynced.events, "lifecycle event streams diverged");
+        let deterministic = |s: &visapult::core::ServiceStats| {
+            (
+                s.sessions_offered,
+                s.sessions_admitted,
+                s.sessions_rejected,
+                s.sessions_evicted,
+                s.peak_live_sessions,
+                s.render_requests,
+                s.renders_performed,
+                s.flow_limited_sessions,
+                s.fanout_chunks,
+                s.fanout_bytes,
+            )
+        };
+        prop_assert_eq!(deterministic(&threaded.stats), deterministic(&asynced.stats));
+        // Both planes keep exact chunk accounting whatever the timing.
+        for (r, plane) in reports.iter().zip(BOTH_PLANES) {
+            prop_assert_eq!(
+                r.stats.fanout_chunks,
+                r.stats.chunks_delivered + r.stats.chunks_dropped,
+                "{} accounting leaked",
+                plane.label()
+            );
+        }
+    }
+}
+
+/// The headline scale smoke: ten thousand sessions multiplexed over the
+/// async plane's bounded worker pool.  Ignored by default — run it in
+/// release with `cargo test --release --test service -- --ignored`.
+#[test]
+#[ignore = "10k-session scale smoke; run in release with -- --ignored"]
+fn ten_thousand_sessions_ride_the_async_plane_on_a_bounded_pool() {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    fn live_threads() -> usize {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("Threads:"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|n| n.parse().ok())
+            })
+            .unwrap_or(0)
+    }
+
+    const SESSIONS: usize = 10_000;
+    const FRAMES: u32 = 2;
+    let schedule: Vec<SessionSpec> = (0..SESSIONS)
+        .map(|i| SessionSpec::new(format!("s{i}"), (i % 4) as u32, QualityTier::Preview))
+        .collect();
+    let config = ServiceConfig {
+        max_sessions: SESSIONS,
+        link_capacity_units: SESSIONS as u64,
+        render_slots: 8,
+        queue_depth: 16,
+        farm_egress_mbps: None,
+    };
+    let transport = TransportConfig::default().with_stripes(2).with_chunk_bytes(4096);
+    let stop = Arc::new(AtomicBool::new(false));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let monitor = {
+        let (stop, peak) = (Arc::clone(&stop), Arc::clone(&peak));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                peak.fetch_max(live_threads(), Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        })
+    };
+    let report = run_plane(PlaneKind::Async, schedule, config, &transport, FRAMES, 16, 1);
+    stop.store(true, Ordering::Relaxed);
+    monitor.join().unwrap();
+    assert_eq!(report.stats.sessions_admitted, SESSIONS as u64);
+    assert_eq!(report.stats.peak_live_sessions, SESSIONS as u64);
+    assert_eq!(
+        report.stats.fanout_chunks,
+        report.stats.chunks_delivered + report.stats.chunks_dropped
+    );
+    let peak = peak.load(Ordering::Relaxed);
+    // Thread-per-session would sit at ~10k threads; the pool keeps the whole
+    // process within a few dozen (workers + PEs + harness).
+    assert!(peak > 0, "thread monitor never sampled");
+    assert!(peak < 64, "async plane leaked threads: peak {peak}");
 }
