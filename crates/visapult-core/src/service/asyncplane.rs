@@ -232,6 +232,7 @@ impl Task for ConsumerTask {
                     let delivery = self.delivery.as_mut().expect("consumer still running");
                     consume_chunk(delivery, &mut self.assembler, chunk);
                     if !pace.is_zero() {
+                        eprintln!("NONZERO PACE: {:?} now={:?}", pace, self.clock.monotonic_now());
                         self.ready_at = self.clock.monotonic_now() + pace;
                         return Poll::Progress;
                     }
