@@ -25,7 +25,8 @@ use std::time::Instant;
 use visapult_core::protocol::{FramePayload, HeavyPayload, LightPayload};
 use visapult_core::transport::{striped_link, TransportConfig};
 use visapult_core::{
-    AsyncPlane, FanoutPlane, PlaneKind, QualityTier, ServiceConfig, ServiceStats, SessionBroker, SessionSpec,
+    AsyncPlane, FanoutPlane, PlaneKind, QualityTier, ServiceConfig, ServiceRunReport, ServiceStats, SessionBroker,
+    SessionSpec, ShardedBroker,
 };
 
 const TEX: usize = 128; // 128x128 RGBA8 = 64 KB per frame
@@ -79,7 +80,7 @@ fn fan_out_on(plane: PlaneKind, sessions: u32) -> ServiceStats {
         link_capacity_units: u64::from(sessions.max(128)) * 8,
         render_slots: VIEWPOINTS,
         queue_depth: 4096,
-        farm_egress_mbps: None,
+        ..ServiceConfig::default()
     };
     let (tx, rx) = striped_link(&transport);
     let broker = SessionBroker::new(config, schedule(sessions));
@@ -95,6 +96,46 @@ fn fan_out_on(plane: PlaneKind, sessions: u32) -> ServiceStats {
     }
     drop(tx);
     handle.join().unwrap().stats
+}
+
+/// One 8-frame campaign through the async plane with the broker split into
+/// `shards` viewpoint-hash shards (`shards = 1` is the classic unsharded
+/// drive, the baseline the sweep is judged against).  The worker budget is
+/// fixed: sharded drives split the `WORKERS` pool across per-shard
+/// executors, so up to `shards = WORKERS` the sweep measures
+/// serialization, not extra threads.  Past that each shard still needs
+/// its one mandatory worker (a shard's consumers must poll somewhere),
+/// so `shards = 8` runs 8 single-worker pools — part of what sharding
+/// buys, but a caveat the crossover analysis must carry.
+fn fan_out_sharded(sessions: u32, shards: usize) -> ServiceRunReport {
+    let transport = TransportConfig::default().with_stripes(4).with_chunk_bytes(16 * 1024);
+    let config = ServiceConfig {
+        max_sessions: sessions.max(128) as usize,
+        link_capacity_units: u64::from(sessions.max(128)) * 8,
+        render_slots: VIEWPOINTS,
+        queue_depth: 4096,
+        shards: Some(shards),
+        ..ServiceConfig::default()
+    };
+    let (tx, rx) = striped_link(&transport);
+    let handle = {
+        let transport = transport.clone();
+        std::thread::spawn(move || {
+            let plane = AsyncPlane::with_workers(WORKERS);
+            if shards > 1 {
+                let broker = ShardedBroker::new(config, schedule(sessions));
+                plane.drive_sharded(broker, vec![rx], Vec::new(), &transport)
+            } else {
+                let broker = SessionBroker::new(config, schedule(sessions));
+                plane.drive(broker, vec![rx], Vec::new(), &transport)
+            }
+        })
+    };
+    for f in 0..FRAMES {
+        tx.send_frame(&sample_frame(f)).unwrap();
+    }
+    drop(tx);
+    handle.join().unwrap()
 }
 
 fn bench_service_fanout(c: &mut Criterion) {
@@ -195,6 +236,62 @@ fn exhibit_floor_10k(samples: usize) -> (f64, usize, ServiceStats) {
     (median, peak.load(Ordering::Relaxed), stats)
 }
 
+/// The shard sweep: S ∈ {1, 2, 4, 8} broker shards at 64 / 1 000 / 10 000
+/// sessions on the async plane, all under the same fixed worker budget.
+/// Finds where the crossover sits — at small scale the extra locks cost more
+/// than they save; at the 10k exhibit floor the per-shard executors shard
+/// the task-queue serialization that dominates.  Emits one JSON cell per
+/// (sessions, shards) with the per-shard lock counters alongside the
+/// headline medians.
+fn shard_sweep() -> String {
+    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    let mut rows = Vec::new();
+    let mut floor_best: Option<(usize, f64)> = None;
+    let mut floor_one = 0.0f64;
+    for &(sessions, samples) in &[(64u32, 15usize), (1_000, 7), (10_000, 5)] {
+        let mut cells = Vec::new();
+        for &shards in &SHARD_COUNTS {
+            let report = fan_out_sharded(sessions, shards);
+            let median = median_secs(samples, || {
+                black_box(fan_out_sharded(sessions, shards).stats.frames_completed);
+            });
+            let us = median / (f64::from(sessions) * f64::from(FRAMES)) * 1e6;
+            if sessions == 10_000 {
+                if shards == 1 {
+                    floor_one = median;
+                }
+                if floor_best.is_none() || median < floor_best.unwrap().1 {
+                    floor_best = Some((shards, median));
+                }
+            }
+            let locks = report
+                .shard_locks
+                .iter()
+                .map(|l| {
+                    format!(
+                        "{{ \"shard\": {}, \"acquisitions\": {}, \"contended\": {}, \"hold_ns\": {} }}",
+                        l.shard, l.acquisitions, l.contended, l.hold_ns
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            cells.push(format!(
+                "      \"shards_{shards}\": {{ \"median_s\": {median:.9}, \"us_per_session_frame\": {us:.3}, \"locks\": [{locks}] }}"
+            ));
+        }
+        rows.push(format!(
+            "    \"sessions_{sessions}\": {{\n{}\n    }}",
+            cells.join(",\n")
+        ));
+    }
+    let (best_shards, best_median) = floor_best.expect("10k row ran");
+    format!(
+        "  \"shard_sweep_async\": {{\n{}\n  }},\n  \"shard_sweep_best_at_10k\": {{ \"shards\": {best_shards}, \"speedup_vs_1_shard\": {:.3} }}",
+        rows.join(",\n"),
+        floor_one / best_median,
+    )
+}
+
 fn write_baseline() {
     let samples = 15;
     let threaded = baseline_cases(PlaneKind::Threaded, samples);
@@ -206,8 +303,9 @@ fn write_baseline() {
     let floor_session_frames = 10_000.0 * f64::from(FRAMES);
 
     let scaling = threaded[2].1 / threaded[0].1;
+    let sweep = shard_sweep();
     let json = format!(
-        "{{\n  \"bench\": \"service_fanout_8_frames\",\n  \"frames\": {FRAMES},\n  \"viewpoints\": {VIEWPOINTS},\n  \"samples\": {samples},\n  \"cases\": {{\n{}\n  }},\n  \"async_workers\": {WORKERS},\n  \"async_cases\": {{\n{}\n  }},\n  \"exhibit_floor_10k_async\": {{\n    \"sessions\": 10000,\n    \"workers\": {WORKERS},\n    \"samples\": {floor_samples},\n    \"median_s\": {floor_median:.9},\n    \"us_per_session_frame\": {:.3},\n    \"peak_process_threads\": {floor_peak_threads},\n    \"shared_render_hit_rate\": {:.4}\n  }},\n  \"wall_time_64x_vs_1x\": {scaling:.2},\n  \"render_ratio_at_64\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"service_fanout_8_frames\",\n  \"frames\": {FRAMES},\n  \"viewpoints\": {VIEWPOINTS},\n  \"samples\": {samples},\n  \"cases\": {{\n{}\n  }},\n  \"async_workers\": {WORKERS},\n  \"async_cases\": {{\n{}\n  }},\n  \"exhibit_floor_10k_async\": {{\n    \"sessions\": 10000,\n    \"workers\": {WORKERS},\n    \"samples\": {floor_samples},\n    \"median_s\": {floor_median:.9},\n    \"us_per_session_frame\": {:.3},\n    \"peak_process_threads\": {floor_peak_threads},\n    \"shared_render_hit_rate\": {:.4}\n  }},\n{sweep},\n  \"wall_time_64x_vs_1x\": {scaling:.2},\n  \"render_ratio_at_64\": {:.4}\n}}\n",
         case_json(&threaded),
         case_json(&asynced),
         floor_median / floor_session_frames * 1e6,

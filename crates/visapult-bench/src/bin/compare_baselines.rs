@@ -1,0 +1,121 @@
+//! Regression gate for the committed bench baselines.
+//!
+//! Diffs freshly generated `BENCH_*.json` records against the committed
+//! copies and fails (exit 1) when any *headline* entry — `median_s` or
+//! `us_per_session_frame`, both lower-is-better — regressed by more than the
+//! allowed ratio (default 1.3, i.e. >30 % slower) or vanished outright.
+//!
+//! ```text
+//! compare_baselines [--committed <dir>] [--fresh <dir>] [--max-ratio <r>]
+//! ```
+//!
+//! Defaults: `--committed` is the workspace root (the copies the repo
+//! commits), `--fresh` is the build's `target/` directory (where the benches
+//! also write).  CI must snapshot the committed files *before* running the
+//! benches — `persist_baseline` overwrites the workspace-root copy — and
+//! point `--committed` at the snapshot.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use visapult_bench::headline_regressions;
+
+const DEFAULT_MAX_RATIO: f64 = 1.3;
+
+fn parse_args() -> Result<(PathBuf, PathBuf, f64), String> {
+    let workspace = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| workspace.join("target"));
+    let mut committed = workspace;
+    let mut fresh = target;
+    let mut max_ratio = DEFAULT_MAX_RATIO;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--committed" => committed = PathBuf::from(value("--committed")?),
+            "--fresh" => fresh = PathBuf::from(value("--fresh")?),
+            "--max-ratio" => max_ratio = value("--max-ratio")?.parse().map_err(|e| format!("--max-ratio: {e}"))?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok((committed, fresh, max_ratio))
+}
+
+fn load(path: &Path) -> Result<serde::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let (committed_dir, fresh_dir, max_ratio) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("compare_baselines: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut names: Vec<String> = match std::fs::read_dir(&committed_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("compare_baselines: {}: {e}", committed_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!("compare_baselines: no BENCH_*.json under {}", committed_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    let mut compared = 0usize;
+    for name in names {
+        let committed_path = committed_dir.join(&name);
+        let fresh_path = fresh_dir.join(&name);
+        if !fresh_path.exists() {
+            println!("{name}: no fresh record under {} — skipped", fresh_dir.display());
+            continue;
+        }
+        let (committed, fresh) = match (load(&committed_path), load(&fresh_path)) {
+            (Ok(c), Ok(f)) => (c, f),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("compare_baselines: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        compared += 1;
+        let regressions = headline_regressions(&committed, &fresh, max_ratio);
+        if regressions.is_empty() {
+            println!("{name}: ok (headline entries within {max_ratio:.2}x)");
+        } else {
+            failed = true;
+            println!("{name}: {} headline regression(s)", regressions.len());
+            for r in regressions {
+                if r.fresh.is_nan() {
+                    println!("  {}: {} -> MISSING", r.path, r.committed);
+                } else {
+                    println!(
+                        "  {}: {} -> {} ({:.2}x, allowed {max_ratio:.2}x)",
+                        r.path, r.committed, r.fresh, r.ratio
+                    );
+                }
+            }
+        }
+    }
+    if compared == 0 {
+        eprintln!("compare_baselines: nothing compared — did the benches run?");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        eprintln!("compare_baselines: FAILED — headline entries regressed past {max_ratio:.2}x");
+        return ExitCode::FAILURE;
+    }
+    println!("compare_baselines: all committed baselines hold within {max_ratio:.2}x");
+    ExitCode::SUCCESS
+}

@@ -37,6 +37,92 @@ pub fn persist_baseline(name: &str, json: &str) -> Vec<PathBuf> {
         .collect()
 }
 
+/// One headline bench entry that regressed (or vanished) between a committed
+/// baseline and a fresh run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRegression {
+    /// Dotted JSON path of the entry (e.g. `cases.sessions_8.median_s`).
+    pub path: String,
+    /// The committed (baseline) value.
+    pub committed: f64,
+    /// The freshly measured value (`NaN` when the entry vanished).
+    pub fresh: f64,
+    /// `fresh / committed` (`inf` when the entry vanished).
+    pub ratio: f64,
+}
+
+/// The headline keys [`headline_regressions`] gates on: both are
+/// time-per-unit, so *lower is better* and a ratio above the threshold is a
+/// regression.
+pub const HEADLINE_KEYS: &[&str] = &["median_s", "us_per_session_frame"];
+
+fn as_f64(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::F64(f) => Some(*f),
+        serde::Value::I64(i) => Some(*i as f64),
+        serde::Value::U64(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+fn walk_headlines(
+    committed: &serde::Value,
+    fresh: &serde::Value,
+    path: &str,
+    max_ratio: f64,
+    out: &mut Vec<BaselineRegression>,
+) {
+    let Some(entries) = committed.as_map() else { return };
+    for (key, value) in entries {
+        let child_path = if path.is_empty() {
+            key.clone()
+        } else {
+            format!("{path}.{key}")
+        };
+        if HEADLINE_KEYS.contains(&key.as_str()) {
+            if let Some(base) = as_f64(value) {
+                match fresh.get(key).and_then(as_f64) {
+                    Some(now) => {
+                        let ratio = if base > 0.0 { now / base } else { 1.0 };
+                        if ratio > max_ratio {
+                            out.push(BaselineRegression {
+                                path: child_path,
+                                committed: base,
+                                fresh: now,
+                                ratio,
+                            });
+                        }
+                    }
+                    None => out.push(BaselineRegression {
+                        path: child_path,
+                        committed: base,
+                        fresh: f64::NAN,
+                        ratio: f64::INFINITY,
+                    }),
+                }
+                continue;
+            }
+        }
+        if value.as_map().is_some() {
+            match fresh.get(key) {
+                Some(fresh_child) => walk_headlines(value, fresh_child, &child_path, max_ratio, out),
+                None => walk_headlines(value, &serde::Value::Null, &child_path, max_ratio, out),
+            }
+        }
+    }
+}
+
+/// Diff a fresh bench record against a committed baseline: every headline
+/// entry (see [`HEADLINE_KEYS`]) whose fresh value exceeds
+/// `max_ratio × committed`, plus any headline entry the fresh record lost.
+/// Non-headline and newly added entries are ignored — baselines may grow
+/// freely; they may not silently get slower.
+pub fn headline_regressions(committed: &serde::Value, fresh: &serde::Value, max_ratio: f64) -> Vec<BaselineRegression> {
+    let mut out = Vec::new();
+    walk_headlines(committed, fresh, "", max_ratio, &mut out);
+    out
+}
+
 /// One row of a paper-vs-measured comparison.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ComparisonRow {
@@ -175,6 +261,29 @@ mod tests {
         );
         // The committed copy sits at the workspace root, not under target/.
         assert!(paths[1].parent().unwrap().join("Cargo.toml").exists(), "{paths:?}");
+    }
+
+    #[test]
+    fn headline_regressions_gate_on_the_ratio_and_on_vanished_entries() {
+        let committed: serde::Value = serde_json::from_str(
+            r#"{"cases": {"a": {"median_s": 1.0, "renders": 5}, "b": {"us_per_session_frame": 10.0}}}"#,
+        )
+        .unwrap();
+        // Within the band, and a non-headline entry got slower: no findings.
+        let fresh: serde::Value = serde_json::from_str(
+            r#"{"cases": {"a": {"median_s": 1.2, "renders": 500}, "b": {"us_per_session_frame": 9.0}}}"#,
+        )
+        .unwrap();
+        assert!(headline_regressions(&committed, &fresh, 1.3).is_empty());
+        // Past the band on one entry, the other vanished.
+        let fresh: serde::Value =
+            serde_json::from_str(r#"{"cases": {"a": {"median_s": 1.5, "renders": 5}, "b": {}}}"#).unwrap();
+        let found = headline_regressions(&committed, &fresh, 1.3);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert_eq!(found[0].path, "cases.a.median_s");
+        assert!((found[0].ratio - 1.5).abs() < 1e-9);
+        assert_eq!(found[1].path, "cases.b.us_per_session_frame");
+        assert!(found[1].fresh.is_nan() && found[1].ratio.is_infinite());
     }
 
     #[test]

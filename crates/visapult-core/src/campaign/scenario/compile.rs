@@ -16,7 +16,7 @@ use crate::campaign::sim::{SimCampaignConfig, SimTransportModel, DEFAULT_WAN_EFF
 use crate::config::{ExecutionMode, PipelineConfig};
 use crate::error::VisapultError;
 use crate::pipeline::Pipeline;
-use crate::service::{PlaneKind, QualityTier, ServiceConfig, SessionSpec};
+use crate::service::{BackendPlacement, PlaneKind, QualityTier, ServiceConfig, SessionSpec};
 use crate::transport::{TcpTuning, TransportConfig};
 use dpss::{CacheConfig, DatasetDescriptor, DpssSimModel};
 use netsim::{TcpModel, TestbedKind};
@@ -187,6 +187,20 @@ impl ScenarioSpec {
             }
         };
 
+        // The render-farm shape: how many independent back-end partitions the
+        // real path runs, and how shared renders are placed across them.
+        let farm_backends = self.farm.as_ref().and_then(|f| f.backends).unwrap_or(1);
+        if farm_backends == 0 {
+            return Err(bad("farm backends must be positive".to_string()));
+        }
+        if farm_backends > self.pipeline.pes {
+            return Err(bad(format!(
+                "farm backends ({farm_backends}) cannot exceed pes ({})",
+                self.pipeline.pes
+            )));
+        }
+        let farm_placement = self.farm.as_ref().and_then(|f| f.placement).unwrap_or_default();
+
         // The service layer: broker capacity plus per-stage session
         // schedules, with every session's last-mile pacing derived from the
         // testbed's viewer route under that session's own TCP stack.
@@ -206,6 +220,15 @@ impl ScenarioSpec {
                 if svc.workers.is_some() && svc.plane.unwrap_or_default() != PlaneKind::Async {
                     return Err(bad("service workers only applies to plane = \"async\"".to_string()));
                 }
+                let shard_count = svc.shards.unwrap_or(1);
+                if shard_count == 0 {
+                    return Err(bad("service shards must be positive".to_string()));
+                }
+                if shard_count > max_sessions {
+                    return Err(bad(format!(
+                        "service shards ({shard_count}) cannot exceed max_sessions ({max_sessions})"
+                    )));
+                }
                 let farm_egress = session_tcp_model(
                     self.testbed.kind,
                     self.pipeline.pes,
@@ -220,6 +243,9 @@ impl ScenarioSpec {
                     render_slots,
                     queue_depth,
                     farm_egress_mbps: Some(farm_egress),
+                    shards: svc.shards,
+                    backends: self.farm.as_ref().and_then(|f| f.backends),
+                    placement: self.farm.as_ref().and_then(|f| f.placement),
                 };
                 let mut by_stage: Vec<Vec<SessionSpec>> = vec![Vec::new(); stages.len()];
                 for (ai, arrival) in svc.arrivals.as_deref().unwrap_or_default().iter().enumerate() {
@@ -326,6 +352,8 @@ impl ScenarioSpec {
             transport_emulate_wan: tspec.emulate_wan.unwrap_or(false),
             cache,
             service,
+            farm_backends,
+            farm_placement,
         })
     }
 }
@@ -411,6 +439,10 @@ pub struct ResolvedScenario {
     pub cache: Option<CacheConfig>,
     /// Multi-session service layer (None = classic single-viewer wiring).
     pub service: Option<ResolvedService>,
+    /// Render-farm partition count for the real path (1 = one shared farm).
+    pub farm_backends: usize,
+    /// How shared renders are placed across farm backends.
+    pub farm_placement: BackendPlacement,
 }
 
 impl ResolvedScenario {

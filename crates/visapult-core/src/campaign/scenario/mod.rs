@@ -40,8 +40,8 @@ pub mod spec;
 pub use compile::{run_scenario, ResolvedScenario, ResolvedService, ResolvedStage};
 pub use report::{CacheReport, CampaignReport, ServiceReport, StageMetrics, StageReport, TransportReport};
 pub use spec::{
-    build_testbed, CacheSpec, DatasetSpec, ExecutionPath, PipelineSpec, PlatformSpec, RealPathSpec, RenderSpec,
-    ScenarioMeta, ScenarioSpec, ServiceTableSpec, SessionArrivalSpec, SimPathSpec, StageSpec, TestbedSpec,
+    build_testbed, CacheSpec, DatasetSpec, ExecutionPath, FarmTableSpec, PipelineSpec, PlatformSpec, RealPathSpec,
+    RenderSpec, ScenarioMeta, ScenarioSpec, ServiceTableSpec, SessionArrivalSpec, SimPathSpec, StageSpec, TestbedSpec,
     TransportSpec,
 };
 

@@ -5,7 +5,7 @@ use super::*;
 use crate::campaign::sim::SimTransportModel;
 use crate::config::ExecutionMode;
 use crate::error::VisapultError;
-use crate::service::{PlaneKind, QualityTier};
+use crate::service::{BackendPlacement, PlaneKind, QualityTier};
 use crate::transport::TcpTuning;
 use dpss::CacheStats;
 use netlogger::tags;
@@ -37,6 +37,7 @@ fn minimal_spec(path: ExecutionPath) -> ScenarioSpec {
         transport: None,
         cache: None,
         service: None,
+        farm: None,
         stages: None,
     }
 }
@@ -66,6 +67,7 @@ fn spec_round_trips_through_toml() {
         }]),
         plane: None,
         workers: None,
+        shards: None,
     });
     spec.stages = Some(vec![
         StageSpec {
@@ -647,6 +649,7 @@ fn invalid_service_specs_are_rejected() {
             arrivals: None,
             plane: None,
             workers: None,
+            shards: None,
         });
         spec
     };
@@ -690,6 +693,145 @@ fn invalid_service_specs_are_rejected() {
     }
 }
 
+#[test]
+fn invalid_shard_and_farm_shapes_are_rejected() {
+    let err = |spec: &ScenarioSpec| spec.resolve().unwrap_err().to_string();
+    // Zero shards.
+    let mut spec = service_spec(ExecutionPath::VirtualTime);
+    spec.service.as_mut().unwrap().shards = Some(0);
+    assert!(err(&spec).contains("service shards must be positive"), "{}", err(&spec));
+    // More shards than sessions: at least one shard would own nothing.
+    let mut spec = service_spec(ExecutionPath::VirtualTime);
+    spec.service.as_mut().unwrap().shards = Some(9);
+    assert!(err(&spec).contains("cannot exceed max_sessions"), "{}", err(&spec));
+    // Zero backends.
+    let mut spec = minimal_spec(ExecutionPath::VirtualTime);
+    spec.farm = Some(FarmTableSpec {
+        backends: Some(0),
+        placement: None,
+    });
+    assert!(err(&spec).contains("farm backends must be positive"), "{}", err(&spec));
+    // More backends than PEs: a backend would own no render partition.
+    let mut spec = minimal_spec(ExecutionPath::VirtualTime);
+    spec.farm = Some(FarmTableSpec {
+        backends: Some(3),
+        placement: None,
+    });
+    assert!(err(&spec).contains("cannot exceed pes"), "{}", err(&spec));
+    // The boundary cases resolve: shards == max_sessions, backends == pes.
+    let mut spec = service_spec(ExecutionPath::VirtualTime);
+    spec.service.as_mut().unwrap().shards = Some(8);
+    spec.farm = Some(FarmTableSpec {
+        backends: Some(2),
+        placement: Some(BackendPlacement::LeastLoaded),
+    });
+    let resolved = spec.resolve().unwrap();
+    assert_eq!(resolved.farm_backends, 2);
+    assert_eq!(resolved.farm_placement, BackendPlacement::LeastLoaded);
+}
+
+#[test]
+fn sharded_service_lifecycle_telemetry_is_identical_across_paths() {
+    // With the broker sharded, both execution paths still drive the same
+    // per-shard state machines: the deterministic lifecycle half of the
+    // stats must agree between real and virtual time.
+    let sharded = |path| {
+        let mut spec = service_spec(path);
+        spec.service.as_mut().unwrap().shards = Some(2);
+        run_scenario(&spec).unwrap()
+    };
+    let real = sharded(ExecutionPath::Real);
+    let sim = sharded(ExecutionPath::VirtualTime);
+    let (r, s) = (
+        &real.service.as_ref().unwrap().totals,
+        &sim.service.as_ref().unwrap().totals,
+    );
+    assert_eq!(
+        (
+            r.sessions_offered,
+            r.sessions_admitted,
+            r.sessions_rejected,
+            r.sessions_evicted
+        ),
+        (
+            s.sessions_offered,
+            s.sessions_admitted,
+            s.sessions_rejected,
+            s.sessions_evicted
+        )
+    );
+    assert_eq!(
+        (r.render_requests, r.renders_performed, r.peak_live_sessions),
+        (s.render_requests, s.renders_performed, s.peak_live_sessions)
+    );
+    assert_eq!(
+        real.log.with_tag(tags::SERVICE_JOIN).count(),
+        sim.log.with_tag(tags::SERVICE_JOIN).count()
+    );
+}
+
+#[test]
+fn a_partitioned_real_farm_renders_the_same_pixels_as_the_single_farm() {
+    // Frame content is a pure function of (config, global rank, frame), so
+    // splitting the PE ranks across backends must not move a single pixel
+    // or counter — only the pacing (and the fingerprinted farm shape).
+    let one = run_scenario(&minimal_spec(ExecutionPath::Real)).unwrap();
+    let mut spec = minimal_spec(ExecutionPath::Real);
+    spec.farm = Some(FarmTableSpec {
+        backends: Some(2),
+        placement: None,
+    });
+    let two = run_scenario(&spec).unwrap();
+    assert_eq!(one.frames_received(), two.frames_received());
+    assert_eq!(one.stages.len(), two.stages.len());
+    for (a, b) in one.stages.iter().zip(&two.stages) {
+        assert_ne!(a.metrics.image_hash, 0, "the real path rendered");
+        assert_eq!(a.metrics.image_hash, b.metrics.image_hash, "stage {}", a.name);
+        assert_eq!(a.metrics.frames_received, b.metrics.frames_received);
+        assert_eq!(a.metrics.bytes_loaded, b.metrics.bytes_loaded);
+    }
+    // Same per-PE backend log coverage from the partitioned farm.
+    assert_eq!(
+        one.log.with_tag(tags::BE_LOAD_END).count(),
+        two.log.with_tag(tags::BE_LOAD_END).count()
+    );
+}
+
+#[test]
+fn engaged_shard_and_backend_knobs_are_replay_identity() {
+    let fp = |spec: &ScenarioSpec| run_scenario(spec).unwrap().replay_fingerprint();
+    let base = service_spec(ExecutionPath::VirtualTime);
+    let base_fp = fp(&base);
+
+    // An explicit single shard / single backend is the default spelled out:
+    // the legacy fingerprint must not move.
+    let mut explicit = base.clone();
+    explicit.service.as_mut().unwrap().shards = Some(1);
+    explicit.farm = Some(FarmTableSpec {
+        backends: Some(1),
+        placement: None,
+    });
+    assert_eq!(base_fp, fp(&explicit), "shards=1/backends=1 must stay byte-identical");
+
+    // Engaging either knob partitions capacity, so it is replay identity.
+    let mut sharded = base.clone();
+    sharded.service.as_mut().unwrap().shards = Some(2);
+    assert_ne!(base_fp, fp(&sharded), "fingerprint misses the shards knob");
+
+    let mut farmed = base.clone();
+    farmed.farm = Some(FarmTableSpec {
+        backends: Some(2),
+        placement: None,
+    });
+    let farmed_fp = fp(&farmed);
+    assert_ne!(base_fp, farmed_fp, "fingerprint misses the backends knob");
+
+    // Placement only matters once backends > 1 — and then it matters.
+    let mut packed = farmed.clone();
+    packed.farm.as_mut().unwrap().placement = Some(BackendPlacement::LeastLoaded);
+    assert_ne!(farmed_fp, fp(&packed), "fingerprint misses the placement knob");
+}
+
 fn service_spec(path: ExecutionPath) -> ScenarioSpec {
     let mut spec = minimal_spec(path);
     spec.pipeline.timesteps = 4;
@@ -724,6 +866,7 @@ fn service_spec(path: ExecutionPath) -> ScenarioSpec {
         ]),
         plane: None,
         workers: None,
+        shards: None,
     });
     spec
 }

@@ -57,8 +57,8 @@ pub use baseline::{StrategyBandwidth, VisualizationStrategy};
 pub use campaign::real::{run_real_campaign, run_real_campaign_in_env};
 pub use campaign::real::{RealCampaignConfig, RealCampaignReport, RealDataPath, RealDpssEnv, ServicePlan};
 pub use campaign::scenario::{
-    run_scenario, CacheReport, CacheSpec, CampaignReport, ExecutionPath, PlatformSpec, ScenarioSpec, ServiceReport,
-    ServiceTableSpec, SessionArrivalSpec, StageReport, StageSpec, TransportReport, TransportSpec,
+    run_scenario, CacheReport, CacheSpec, CampaignReport, ExecutionPath, FarmTableSpec, PlatformSpec, ScenarioSpec,
+    ServiceReport, ServiceTableSpec, SessionArrivalSpec, StageReport, StageSpec, TransportReport, TransportSpec,
 };
 #[allow(deprecated)] // the facade stays re-exported while callers migrate to the builder
 pub use campaign::sim::run_sim_campaign;
@@ -68,17 +68,17 @@ pub use data_source::{DataSource, DpssDataSource, SyntheticSource};
 pub use error::VisapultError;
 pub use model::OverlapModel;
 pub use pipeline::{
-    AsyncPlane, Clock, Fabric, FabricLinks, FanoutPlane, FarmRun, ModelFarm, ModeledFabric, PathCapabilities,
-    PhaseMeans, Pipeline, PipelineBuilder, PlaneSession, RenderFarm, ReplayPlane, ServicePlane, StageArtifacts,
-    StageContext, StripedFabric, ThreadFarm, VirtualClock, WallClock,
+    AsyncPlane, Clock, Fabric, FabricLinks, FanoutPlane, FarmRun, ModelFarm, ModeledFabric, MultiBackendFarm,
+    PathCapabilities, PhaseMeans, Pipeline, PipelineBuilder, PlaneSession, RenderFarm, ReplayPlane, ServicePlane,
+    StageArtifacts, StageContext, StripedFabric, ThreadFarm, VirtualClock, WallClock,
 };
 pub use platform::ComputePlatform;
 pub use protocol::{FramePayload, FrameSegments, HeavyPayload, LightPayload};
 #[allow(deprecated)] // the facade stays re-exported while callers migrate to the builder
 pub use service::run_service_plane;
 pub use service::{
-    PlaneKind, QualityTier, RejectReason, ServiceConfig, ServiceRunReport, ServiceStats, SessionBroker,
-    SessionDelivery, SessionEvent, SessionSpec,
+    BackendPlacement, PlaneKind, QualityTier, RejectReason, ServiceConfig, ServiceRunReport, ServiceStats,
+    SessionBroker, SessionDelivery, SessionEvent, SessionSpec, ShardLockStats, ShardedBroker,
 };
 pub use transport::{
     drain_frames, plan_chunks, striped_link, FrameAssembler, FrameChunk, StripeReceiver, StripeSender, TcpTuning,

@@ -12,8 +12,11 @@
 
 use super::{modeled_segment_lens, FabricLinks, FarmRun, StageContext};
 use crate::error::VisapultError;
-use crate::service::asyncplane::drive_async_service_plane;
-use crate::service::{drive_service_plane, log_service_stats, PlaneKind, ServiceRunReport, SessionBroker};
+use crate::service::asyncplane::{drive_async_service_plane, drive_sharded_async_plane};
+use crate::service::fanout::drive_sharded_service_plane;
+use crate::service::{
+    drive_service_plane, log_service_stats, PlaneKind, ServiceRunReport, SessionBroker, ShardedBroker,
+};
 use crate::transport::{plan_chunks, striped_link, StripeReceiver, StripeSender, TransportConfig};
 use netlogger::Collector;
 
@@ -68,6 +71,18 @@ impl FanoutPlane {
     ) -> ServiceRunReport {
         drive_service_plane(broker, inputs, primary, transport)
     }
+
+    /// Run the threaded plane over a [`ShardedBroker`]: each shard lives
+    /// behind its own counted lock, and the report carries per-shard
+    /// [`crate::service::ShardLockStats`].
+    pub fn drive_sharded(
+        broker: ShardedBroker,
+        inputs: Vec<StripeReceiver>,
+        primary: Vec<StripeSender>,
+        transport: &TransportConfig,
+    ) -> ServiceRunReport {
+        drive_sharded_service_plane(broker, inputs, primary, transport)
+    }
 }
 
 impl ServicePlane for FanoutPlane {
@@ -112,6 +127,20 @@ impl AsyncPlane {
         transport: &TransportConfig,
     ) -> ServiceRunReport {
         drive_async_service_plane(broker, inputs, primary, transport, self.workers)
+    }
+
+    /// Run the async plane over a [`ShardedBroker`]: each shard gets its own
+    /// lock *and its own executor pool*, so the task-queue serialization
+    /// shards along with the broker.  The report carries per-shard
+    /// [`crate::service::ShardLockStats`].
+    pub fn drive_sharded(
+        &self,
+        broker: ShardedBroker,
+        inputs: Vec<StripeReceiver>,
+        primary: Vec<StripeSender>,
+        transport: &TransportConfig,
+    ) -> ServiceRunReport {
+        drive_sharded_async_plane(broker, inputs, primary, transport, self.workers)
     }
 }
 
@@ -159,14 +188,42 @@ fn splice_fanout(
         primary_txs.push(tx);
         primary_rxs.push(rx);
     }
-    let broker = SessionBroker::new(plan.config.clone(), plan.sessions.clone());
     let workers = workers_override.or(plan.workers);
     let plane_transport = ctx.transport.clone();
+    // `shards = 1` takes the classic single-broker path bit for bit; above 1
+    // the sessions partition into independent broker shards.
+    let sharded = if plan.config.shard_count() > 1 {
+        Some(ShardedBroker::new(plan.config.clone(), plan.sessions.clone()))
+    } else {
+        None
+    };
+    let broker = if sharded.is_none() {
+        Some(SessionBroker::new(plan.config.clone(), plan.sessions.clone()))
+    } else {
+        None
+    };
     let handle = std::thread::Builder::new()
         .name("visapult-service-plane".to_string())
-        .spawn(move || match plane {
-            PlaneKind::Threaded => drive_service_plane(broker, plane_inputs, primary_txs, &plane_transport),
-            PlaneKind::Async => drive_async_service_plane(broker, plane_inputs, primary_txs, &plane_transport, workers),
+        .spawn(move || match (plane, sharded) {
+            (PlaneKind::Threaded, Some(sharded)) => {
+                drive_sharded_service_plane(sharded, plane_inputs, primary_txs, &plane_transport)
+            }
+            (PlaneKind::Async, Some(sharded)) => {
+                drive_sharded_async_plane(sharded, plane_inputs, primary_txs, &plane_transport, workers)
+            }
+            (PlaneKind::Threaded, None) => drive_service_plane(
+                broker.expect("unsharded broker"),
+                plane_inputs,
+                primary_txs,
+                &plane_transport,
+            ),
+            (PlaneKind::Async, None) => drive_async_service_plane(
+                broker.expect("unsharded broker"),
+                plane_inputs,
+                primary_txs,
+                &plane_transport,
+                workers,
+            ),
         })
         .expect("spawn service plane");
     Ok((
@@ -229,12 +286,7 @@ impl PlaneSession for ReplaySession {
         let Some(plan) = &ctx.service else {
             return Ok(None);
         };
-        let mut broker = SessionBroker::new(plan.config.clone(), plan.sessions.clone());
         let timesteps = ctx.pipeline.timesteps;
-        if timesteps > 0 {
-            broker.advance_to(timesteps as u32 - 1);
-        }
-        broker.finish();
         // Fold in the offered fan-out load from the modeled chunk plan — the
         // same plan the modeled fabric replays.
         let plans = plan_chunks(
@@ -244,9 +296,27 @@ impl PlaneSession for ReplaySession {
         );
         let chunks = plans.len() as u64 * ctx.pipeline.pes as u64;
         let bytes = plans.iter().map(|p| p.len as u64).sum::<u64>() * ctx.pipeline.pes as u64;
-        broker.fold_fanout_load(&vec![(chunks, bytes); timesteps]);
-        let stats = broker.stats().clone();
-        let events = broker.events().to_vec();
+        let per_frame = vec![(chunks, bytes); timesteps];
+        // The replay twin of the real plane's shard gating: above one shard
+        // the identical ShardedBroker composite replays the partitioned
+        // decisions, so fingerprinted telemetry matches the real path.
+        let (stats, events) = if plan.config.shard_count() > 1 {
+            let mut broker = ShardedBroker::new(plan.config.clone(), plan.sessions.clone());
+            if timesteps > 0 {
+                broker.advance_to(timesteps as u32 - 1);
+            }
+            broker.finish();
+            broker.fold_fanout_load(&per_frame);
+            (broker.stats(), broker.events())
+        } else {
+            let mut broker = SessionBroker::new(plan.config.clone(), plan.sessions.clone());
+            if timesteps > 0 {
+                broker.advance_to(timesteps as u32 - 1);
+            }
+            broker.finish();
+            broker.fold_fanout_load(&per_frame);
+            (broker.stats().clone(), broker.events().to_vec())
+        };
         log_service_stats(
             &collector.logger("service", "session-broker"),
             Some(run.total_time),
@@ -257,6 +327,7 @@ impl PlaneSession for ReplaySession {
             stats,
             sessions: Vec::new(),
             events,
+            shard_locks: Vec::new(),
         }))
     }
 }

@@ -17,6 +17,13 @@
 //!   against the [`Clock`] (a pacing delay becomes an `Idle` poll with a
 //!   deadline, not a sleeping thread), reassembles frames, and surfaces the
 //!   same typed errors as the threaded consumer.
+//! * `ShardPumpTask` + `ShardFanTask` — the sharded plane splits the pump in
+//!   two.  The per-PE pump only accounts each chunk, forwards the primary
+//!   viewer, and pushes one refcounted clone into every shard's bounded fan
+//!   lane; a per-shard fan task (polling on that shard's own executor) drives
+//!   that shard's broker churn and multicasts over that shard's endpoints
+//!   only.  The multicast loop — the dominant cost at 10k sessions — runs
+//!   shard-parallel instead of serialized on one pump.
 //!
 //! OS thread count is therefore the worker-pool size — independent of the
 //! session count — and the deterministic half of [`super::ServiceStats`]
@@ -27,9 +34,11 @@ use super::fanout::{
     consume_chunk, empty_delivery, fold_report, multicast_chunk, session_link, surface_pending_frames, PeOutcome,
     SessionEndpoint,
 };
-use super::{ServiceRunReport, SessionBroker, SessionDelivery, SessionEvent};
+use super::sharded::CountedLock;
+use super::{ServiceRunReport, SessionBroker, SessionDelivery, SessionEvent, ShardedBroker};
 use crate::pipeline::{Clock, WallClock};
 use crate::transport::{FrameChunk, StripeReceiver, StripeSender, TransportConfig, TransportError};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use exec::{Executor, Poll, Spawner, Task, TaskHandle};
 use netsim::StripePacer;
 use std::collections::HashSet;
@@ -39,6 +48,11 @@ use std::time::Duration;
 /// Chunks a task moves per poll before yielding the worker: enough to
 /// amortize scheduling, small enough that thousands of tasks stay fair.
 const POLL_BUDGET: usize = 32;
+
+/// Depth of each shard's fan lane (pump → shard fan task).  Chunks are
+/// refcounted slices, so a lane holds windows, not payload copies; a full
+/// lane parks the pump task (backpressure), never a worker thread.
+const FAN_LANE_DEPTH: usize = 256;
 
 /// Completed-task results are handed back through shared slots (the executor
 /// returns no values; a task writes its result right before `Ready`).
@@ -56,14 +70,23 @@ fn take<T>(s: &Slot<T>) -> Option<T> {
     s.lock().unwrap_or_else(|e| e.into_inner()).take()
 }
 
-/// Broker + endpoints + consumer-task registry, shared by every pump.
+/// Broker + endpoints + consumer-task registry, shared by every pump.  One
+/// per shard on the sharded plane (with its own lock and its own executor's
+/// spawner); the classic plane is the one-shard instance.
 struct AsyncState {
     broker: SessionBroker,
     endpoints: Vec<Arc<SessionEndpoint>>,
     consumers: Vec<(usize, TaskHandle, Slot<SessionDelivery>)>,
+    /// Global schedule index per local broker index (empty = identity, the
+    /// unsharded plane).
+    globals: Vec<usize>,
 }
 
 impl AsyncState {
+    fn global(&self, session: usize) -> usize {
+        self.globals.get(session).copied().unwrap_or(session)
+    }
+
     /// Advance the broker to `frame`, materializing queues and consumer
     /// *tasks* for admissions and closing the delivery window for
     /// leaves/evictions.  The mirror of the threaded plane's `observe_frame`,
@@ -79,6 +102,7 @@ impl AsyncState {
             match event {
                 SessionEvent::Admitted { session } => {
                     let spec = self.broker.spec(session).clone();
+                    let global = self.global(session);
                     let (tx, rx, pacer) = session_link(&spec, self.broker.config().queue_depth, transport);
                     let out = slot();
                     let handle = spawner.spawn(Box::new(ConsumerTask {
@@ -90,11 +114,12 @@ impl AsyncState {
                         assembler: crate::transport::FrameAssembler::new(),
                         out: Arc::clone(&out),
                     }));
-                    self.consumers.push((session, handle, out));
-                    self.endpoints.push(SessionEndpoint::new(session, spec, tx));
+                    self.consumers.push((global, handle, out));
+                    self.endpoints.push(SessionEndpoint::new(global, spec, tx));
                 }
                 SessionEvent::Left { session } | SessionEvent::Evicted { session } => {
-                    if let Some(ep) = self.endpoints.iter().find(|e| e.session == session) {
+                    let global = self.global(session);
+                    if let Some(ep) = self.endpoints.iter().find(|e| e.session == global) {
                         ep.close_at(at);
                     }
                 }
@@ -113,9 +138,11 @@ struct PumpTask {
     /// its full queue parks this task (backpressure through `Idle`), never a
     /// worker thread.
     carry: Option<FrameChunk>,
-    shared: Arc<Mutex<AsyncState>>,
+    /// Every broker shard behind its own counted lock, paired with the
+    /// spawner consumers of that shard spawn on (the classic plane is one
+    /// shard on the pump's own executor).
+    shards: Vec<(Arc<CountedLock<AsyncState>>, Spawner)>,
     transport: TransportConfig,
-    spawner: Spawner,
     clock: Arc<dyn Clock>,
     endpoints: Vec<Arc<SessionEndpoint>>,
     snapshot_frame: Option<u32>,
@@ -124,23 +151,21 @@ struct PumpTask {
     out: Slot<PeOutcome>,
 }
 
-impl PumpTask {
-    /// Forward `chunk` to the primary viewer if one is attached.  Returns the
-    /// chunk when it still needs carrying (primary full), `Ok` when the chunk
-    /// may multicast.
-    fn forward_primary(&mut self, chunk: FrameChunk) -> Result<FrameChunk, FrameChunk> {
-        let Some(tx) = &self.primary_tx else {
-            return Ok(chunk);
-        };
-        match tx.try_send_raw_chunk(chunk.clone()) {
-            Ok(true) => Ok(chunk),
-            Ok(false) => Err(chunk),
-            Err(TransportError::Closed) | Err(TransportError::Corrupt(_)) => {
-                // The viewer got everything it expected and hung up; keep
-                // serving the sessions.
-                self.primary_tx = None;
-                Ok(chunk)
-            }
+/// Forward `chunk` to the primary viewer if one is attached.  Returns the
+/// chunk when it still needs carrying (primary full), `Ok` when the chunk
+/// may move on to multicast.
+fn forward_primary_chunk(primary_tx: &mut Option<StripeSender>, chunk: FrameChunk) -> Result<FrameChunk, FrameChunk> {
+    let Some(tx) = primary_tx else {
+        return Ok(chunk);
+    };
+    match tx.try_send_raw_chunk(chunk.clone()) {
+        Ok(true) => Ok(chunk),
+        Ok(false) => Err(chunk),
+        Err(TransportError::Closed) | Err(TransportError::Corrupt(_)) => {
+            // The viewer got everything it expected and hung up; keep
+            // serving the sessions.
+            *primary_tx = None;
+            Ok(chunk)
         }
     }
 }
@@ -153,7 +178,7 @@ impl Task for PumpTask {
             // Settle the carried chunk before receiving another: primary
             // forwarding keeps the blocking plane's per-link ordering.
             if let Some(chunk) = self.carry.take() {
-                match self.forward_primary(chunk) {
+                match forward_primary_chunk(&mut self.primary_tx, chunk) {
                     Ok(chunk) => {
                         let outcome = self.outcome.as_mut().expect("pump still running");
                         multicast_chunk(&chunk, &self.endpoints, &mut self.skips, outcome);
@@ -176,11 +201,15 @@ impl Task for PumpTask {
                     outcome.record_offered(&chunk);
                     // Drive churn from the frame counter, then refresh the
                     // endpoint snapshot — same high-water rule and the same
-                    // correctness argument as the threaded plane.
+                    // correctness argument as the threaded plane; shards are
+                    // locked one at a time, in shard order.
                     if self.snapshot_frame.map(|f| frame > f).unwrap_or(true) {
-                        let mut st = self.shared.lock().unwrap_or_else(|e| e.into_inner());
-                        st.observe_frame(frame, &self.transport, &self.spawner, &self.clock);
-                        self.endpoints.clone_from(&st.endpoints);
+                        self.endpoints.clear();
+                        for (shard, spawner) in &self.shards {
+                            let mut st = shard.lock();
+                            st.observe_frame(frame, &self.transport, spawner, &self.clock);
+                            self.endpoints.extend(st.endpoints.iter().cloned());
+                        }
                         self.snapshot_frame = Some(frame);
                     }
                     self.carry = Some(chunk);
@@ -195,6 +224,138 @@ impl Task for PumpTask {
                 }
             }
         }
+    }
+}
+
+/// The sharded plane's per-PE pump: accounts offered load, forwards the
+/// primary viewer, and hands each chunk (a refcounted clone) to every shard's
+/// fan lane.  It never touches a broker lock and never walks an endpoint
+/// list — the multicast work happens shard-parallel in [`ShardFanTask`]s.
+struct ShardPumpTask {
+    rx: StripeReceiver,
+    primary_tx: Option<StripeSender>,
+    /// A chunk received and accounted but still owed to the primary viewer.
+    carry: Option<FrameChunk>,
+    /// A chunk owed to fan lanes `i..`: a full lane parks this task
+    /// (backpressure through `Idle`), never a worker thread.
+    fan_carry: Option<(usize, FrameChunk)>,
+    lanes: Vec<Sender<FrameChunk>>,
+    outcome: Option<PeOutcome>,
+    out: Slot<PeOutcome>,
+}
+
+impl Task for ShardPumpTask {
+    fn poll(&mut self) -> Poll {
+        let mut progressed = false;
+        let mut budget = POLL_BUDGET;
+        loop {
+            // Settle the carries before receiving another chunk: primary
+            // first, then the remaining fan lanes, preserving the blocking
+            // plane's per-link ordering.
+            if let Some(chunk) = self.carry.take() {
+                match forward_primary_chunk(&mut self.primary_tx, chunk) {
+                    Ok(chunk) => self.fan_carry = Some((0, chunk)),
+                    Err(chunk) => {
+                        self.carry = Some(chunk);
+                        return if progressed { Poll::Progress } else { Poll::Idle };
+                    }
+                }
+            }
+            if let Some((start, chunk)) = self.fan_carry.take() {
+                let mut lane = start;
+                while lane < self.lanes.len() {
+                    match self.lanes[lane].try_send(chunk.clone()) {
+                        Ok(()) => lane += 1,
+                        Err(TrySendError::Full(_)) => {
+                            self.fan_carry = Some((lane, chunk));
+                            return if progressed { Poll::Progress } else { Poll::Idle };
+                        }
+                        // A dead fan task can't deliver anyway; the sessions
+                        // behind it will surface missing frames.
+                        Err(TrySendError::Disconnected(_)) => lane += 1,
+                    }
+                }
+                progressed = true;
+            }
+            if budget == 0 {
+                return Poll::Progress;
+            }
+            match self.rx.try_recv_chunk() {
+                Some(chunk) => {
+                    budget -= 1;
+                    let outcome = self.outcome.as_mut().expect("pump still running");
+                    outcome.record_offered(&chunk);
+                    self.carry = Some(chunk);
+                }
+                None => {
+                    if self.rx.is_closed() {
+                        // Backend link drained and closed: this PE is done.
+                        // Dropping the task drops its lane senders, which is
+                        // what lets the fan tasks finish.
+                        fill(&self.out, self.outcome.take().expect("pump finishes once"));
+                        return Poll::Ready;
+                    }
+                    return if progressed { Poll::Progress } else { Poll::Idle };
+                }
+            }
+        }
+    }
+}
+
+/// One shard's multicast worker: drains the shard's fan lane, drives *this
+/// shard's* broker churn from the frame counter, and multicasts over this
+/// shard's endpoints only.  Polls on the shard's own executor, so the
+/// dominant per-session push loop runs on as many workers as there are
+/// shards.  Its outcome carries delivery counters only (offered load is
+/// accounted once, by the pump), so folding it alongside the pump outcomes
+/// never double-counts.
+struct ShardFanTask {
+    rx: Receiver<FrameChunk>,
+    shard: Arc<CountedLock<AsyncState>>,
+    spawner: Spawner,
+    transport: TransportConfig,
+    clock: Arc<dyn Clock>,
+    endpoints: Vec<Arc<SessionEndpoint>>,
+    snapshot_frame: Option<u32>,
+    skips: HashSet<(usize, u32)>,
+    outcome: Option<PeOutcome>,
+    out: Slot<PeOutcome>,
+}
+
+impl Task for ShardFanTask {
+    fn poll(&mut self) -> Poll {
+        let mut progressed = false;
+        for _ in 0..POLL_BUDGET {
+            match self.rx.try_recv() {
+                Ok(chunk) => {
+                    progressed = true;
+                    let frame = chunk.frame;
+                    // Same high-water churn rule as the pump on the classic
+                    // plane, but the lock is held only to advance the broker
+                    // and clone out the endpoint list — the multicast itself
+                    // runs lock-free on the snapshot.
+                    if self.snapshot_frame.map(|f| frame > f).unwrap_or(true) {
+                        let mut st = self.shard.lock();
+                        st.observe_frame(frame, &self.transport, &self.spawner, &self.clock);
+                        self.endpoints.clear();
+                        self.endpoints.extend(st.endpoints.iter().cloned());
+                        self.snapshot_frame = Some(frame);
+                    }
+                    let outcome = self.outcome.as_mut().expect("fan task still running");
+                    multicast_chunk(&chunk, &self.endpoints, &mut self.skips, outcome);
+                }
+                Err(TryRecvError::Empty) => {
+                    return if progressed { Poll::Progress } else { Poll::Idle };
+                }
+                Err(TryRecvError::Disconnected) => {
+                    // Every pump finished and the lane is dry: this shard has
+                    // multicast everything it will ever see.
+                    fill(&self.out, self.outcome.take().expect("fan task finishes once"));
+                    return Poll::Ready;
+                }
+            }
+        }
+        Poll::Progress
     }
 }
 
@@ -232,7 +393,6 @@ impl Task for ConsumerTask {
                     let delivery = self.delivery.as_mut().expect("consumer still running");
                     consume_chunk(delivery, &mut self.assembler, chunk);
                     if !pace.is_zero() {
-                        eprintln!("NONZERO PACE: {:?} now={:?}", pace, self.clock.monotonic_now());
                         self.ready_at = self.clock.monotonic_now() + pace;
                         return Poll::Progress;
                     }
@@ -286,35 +446,135 @@ pub(crate) fn drive_async_service_plane_on(
     transport: &TransportConfig,
     workers: Option<usize>,
 ) -> ServiceRunReport {
+    let executor = Executor::new(workers.unwrap_or_else(exec::default_workers));
+    let spawner = executor.spawner();
+    let shard = Arc::new(CountedLock::new(AsyncState {
+        broker,
+        endpoints: Vec::new(),
+        consumers: Vec::new(),
+        globals: Vec::new(),
+    }));
+    let shards = vec![(Arc::clone(&shard), spawner.clone())];
+    let outcomes = run_async_pumps(clock, &spawner, &shards, inputs, primary, transport);
+    let deliveries = wait_shard_deliveries(&shards);
+    // All tasks finished; tear the pool down before folding.
+    drop(executor);
+    drop(shards);
+    let st = match Arc::try_unwrap(shard) {
+        Ok(lock) => lock.into_inner(),
+        Err(_) => unreachable!("pump tasks have finished"),
+    };
+    fold_report(st.broker, &outcomes, deliveries)
+}
+
+/// The sharded async plane on the wall clock.
+pub(crate) fn drive_sharded_async_plane(
+    broker: ShardedBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+    workers: Option<usize>,
+) -> ServiceRunReport {
+    drive_sharded_async_plane_on(
+        &(Arc::new(WallClock) as Arc<dyn Clock>),
+        broker,
+        inputs,
+        primary,
+        transport,
+        workers,
+    )
+}
+
+/// The sharded async plane: each broker shard gets its own counted lock *and
+/// its own executor* — the shard's consumers, and its [`ShardFanTask`], spawn
+/// and poll on its private pool (of `workers / shards` threads, at least 1),
+/// so the per-executor task queue mutex, the idle sweeps over live consumers,
+/// *and the multicast loop itself* shard along with the broker.  Pumps are
+/// lightweight (account, forward the primary, feed the fan lanes) and spawn
+/// round-robin across the shard executors — a dedicated pump pool would add
+/// an OS thread that mostly idles, which on a loaded box steals cycles from
+/// the real work.
+pub(crate) fn drive_sharded_async_plane_on(
+    clock: &Arc<dyn Clock>,
+    broker: ShardedBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+    workers: Option<usize>,
+) -> ServiceRunReport {
+    let total_workers = workers.unwrap_or_else(exec::default_workers);
+    let (config, brokers, globals) = broker.into_parts();
+    let shard_count = brokers.len();
+    let executors: Vec<Executor> = (0..shard_count)
+        .map(|_| Executor::new((total_workers / shard_count).max(1)))
+        .collect();
+    let shards: Vec<(Arc<CountedLock<AsyncState>>, Spawner)> = brokers
+        .into_iter()
+        .zip(&globals)
+        .zip(&executors)
+        .map(|((broker, shard_globals), executor)| {
+            let state = AsyncState {
+                broker,
+                endpoints: Vec::new(),
+                consumers: Vec::new(),
+                globals: shard_globals.clone(),
+            };
+            (Arc::new(CountedLock::new(state)), executor.spawner())
+        })
+        .collect();
+    let outcomes = run_sharded_async_pumps(clock, &shards, inputs, primary, transport);
+    let deliveries = wait_shard_deliveries(&shards);
+    // All tasks finished; tear the pools down before folding.
+    drop(executors);
+    let mut shard_locks = Vec::with_capacity(shard_count);
+    let mut brokers = Vec::with_capacity(shard_count);
+    for (i, (shard, _spawner)) in shards.into_iter().enumerate() {
+        shard_locks.push(shard.stats(i));
+        let st = match Arc::try_unwrap(shard) {
+            Ok(lock) => lock.into_inner(),
+            Err(_) => unreachable!("pump tasks have finished"),
+        };
+        brokers.push(st.broker);
+    }
+    let mut report = fold_report(
+        ShardedBroker::from_parts(config, brokers, globals),
+        &outcomes,
+        deliveries,
+    );
+    report.shard_locks = shard_locks;
+    report
+}
+
+/// Spawn one [`PumpTask`] per backend PE link on `pump_spawner` and block
+/// until every pump finishes (the backend links closed and every carried
+/// chunk settled).
+fn run_async_pumps(
+    clock: &Arc<dyn Clock>,
+    pump_spawner: &Spawner,
+    shards: &[(Arc<CountedLock<AsyncState>>, Spawner)],
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+) -> Vec<PeOutcome> {
     assert!(
         primary.is_empty() || primary.len() == inputs.len(),
         "primary forwarding needs one link per PE"
     );
-    let executor = Executor::new(workers.unwrap_or_else(exec::default_workers));
-    let spawner = executor.spawner();
-    let shared = Arc::new(Mutex::new(AsyncState {
-        broker,
-        endpoints: Vec::new(),
-        consumers: Vec::new(),
-    }));
     // Frame 0 joins happen before any chunk moves.
-    shared
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .observe_frame(0, transport, &spawner, clock);
-
+    for (shard, spawner) in shards {
+        shard.lock().observe_frame(0, transport, spawner, clock);
+    }
     let pumps: Vec<(TaskHandle, Slot<PeOutcome>)> = inputs
         .into_iter()
         .zip(primary.into_iter().map(Some).chain(std::iter::repeat_with(|| None)))
         .map(|(rx, primary_tx)| {
             let out = slot();
-            let handle = spawner.spawn(Box::new(PumpTask {
+            let handle = pump_spawner.spawn(Box::new(PumpTask {
                 rx,
                 primary_tx,
                 carry: None,
-                shared: Arc::clone(&shared),
+                shards: shards.to_vec(),
                 transport: transport.clone(),
-                spawner: spawner.clone(),
                 clock: Arc::clone(clock),
                 endpoints: Vec::new(),
                 snapshot_frame: None,
@@ -328,35 +588,113 @@ pub(crate) fn drive_async_service_plane_on(
     for (handle, _) in &pumps {
         handle.wait();
     }
-    let outcomes: Vec<PeOutcome> = pumps
+    pumps
         .iter()
         .map(|(_, out)| take(out).expect("pump wrote its outcome"))
-        .collect();
+        .collect()
+}
 
-    // Campaign over: every remaining session leaves, queues disconnect (the
-    // pump tasks' endpoint snapshots died with the tasks), consumers drain
-    // their queues dry and finish.  No further spawns can happen — the pumps
-    // were the only spawners — so the consumer list is complete.
-    let consumers = {
-        let mut st = shared.lock().unwrap_or_else(|e| e.into_inner());
-        st.broker.finish();
-        st.endpoints.clear();
-        std::mem::take(&mut st.consumers)
-    };
-    let deliveries: Vec<(usize, SessionDelivery)> = consumers
-        .into_iter()
-        .map(|(session, handle, out)| {
-            handle.wait();
-            (session, take(&out).expect("consumer wrote its delivery"))
+/// The sharded plane's pump stage: one [`ShardFanTask`] per shard (on that
+/// shard's executor), one [`ShardPumpTask`] per backend PE link (round-robin
+/// across the shard executors), and a bounded fan lane between them.  Blocks
+/// until every pump *and every fan task* finishes — the fan tasks hold
+/// endpoint clones that keep session queues open, so they must drain before
+/// deliveries are waited.  Returns the pump outcomes (offered load + primary)
+/// followed by the fan outcomes (per-shard delivery counters);
+/// `fold_report` sums them.
+fn run_sharded_async_pumps(
+    clock: &Arc<dyn Clock>,
+    shards: &[(Arc<CountedLock<AsyncState>>, Spawner)],
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+) -> Vec<PeOutcome> {
+    assert!(
+        primary.is_empty() || primary.len() == inputs.len(),
+        "primary forwarding needs one link per PE"
+    );
+    // Frame 0 joins happen before any chunk moves.
+    for (shard, spawner) in shards {
+        shard.lock().observe_frame(0, transport, spawner, clock);
+    }
+    let mut lane_txs = Vec::with_capacity(shards.len());
+    let fans: Vec<(TaskHandle, Slot<PeOutcome>)> = shards
+        .iter()
+        .map(|(shard, spawner)| {
+            let (tx, rx) = bounded::<FrameChunk>(FAN_LANE_DEPTH);
+            lane_txs.push(tx);
+            let out = slot();
+            let handle = spawner.spawn(Box::new(ShardFanTask {
+                rx,
+                shard: Arc::clone(shard),
+                spawner: spawner.clone(),
+                transport: transport.clone(),
+                clock: Arc::clone(clock),
+                endpoints: Vec::new(),
+                snapshot_frame: None,
+                skips: HashSet::new(),
+                outcome: Some(PeOutcome::new()),
+                out: Arc::clone(&out),
+            }));
+            (handle, out)
         })
         .collect();
-    // All tasks finished; tear the pool down before folding.
-    drop(executor);
-    let st = match Arc::try_unwrap(shared) {
-        Ok(m) => m.into_inner().unwrap_or_else(|e| e.into_inner()),
-        Err(_) => unreachable!("pump tasks have finished"),
-    };
-    fold_report(st.broker, &outcomes, deliveries)
+    let pumps: Vec<(TaskHandle, Slot<PeOutcome>)> = inputs
+        .into_iter()
+        .zip(primary.into_iter().map(Some).chain(std::iter::repeat_with(|| None)))
+        .enumerate()
+        .map(|(pe, (rx, primary_tx))| {
+            let out = slot();
+            let (_, spawner) = &shards[pe % shards.len()];
+            let handle = spawner.spawn(Box::new(ShardPumpTask {
+                rx,
+                primary_tx,
+                carry: None,
+                fan_carry: None,
+                lanes: lane_txs.clone(),
+                outcome: Some(PeOutcome::new()),
+                out: Arc::clone(&out),
+            }));
+            (handle, out)
+        })
+        .collect();
+    // Drop our lane senders: once every pump task finishes (and is dropped by
+    // its worker), the fan tasks see Disconnected and wind down.
+    drop(lane_txs);
+    let mut outcomes: Vec<PeOutcome> = pumps
+        .iter()
+        .map(|(handle, out)| {
+            handle.wait();
+            take(out).expect("pump wrote its outcome")
+        })
+        .collect();
+    for (handle, out) in &fans {
+        handle.wait();
+        outcomes.push(take(out).expect("fan task wrote its outcome"));
+    }
+    outcomes
+}
+
+/// Campaign over: on every shard the remaining sessions leave, queues
+/// disconnect (the pump tasks' endpoint snapshots died with the tasks),
+/// consumers drain their queues dry and finish.  No further spawns can
+/// happen — the pumps were the only spawners — so the consumer lists are
+/// complete.  Deliveries come back keyed by global schedule index.
+fn wait_shard_deliveries(shards: &[(Arc<CountedLock<AsyncState>>, Spawner)]) -> Vec<(usize, SessionDelivery)> {
+    let mut deliveries = Vec::new();
+    for (shard, _spawner) in shards {
+        let consumers = {
+            let mut st = shard.lock();
+            st.broker.finish();
+            st.endpoints.clear();
+            std::mem::take(&mut st.consumers)
+        };
+        for (session, handle, out) in consumers {
+            handle.wait();
+            deliveries.push((session, take(&out).expect("consumer wrote its delivery")));
+        }
+    }
+    deliveries
 }
 
 #[cfg(test)]
@@ -377,7 +715,7 @@ mod tests {
             link_capacity_units: 8,
             render_slots: 2,
             queue_depth: 8,
-            farm_egress_mbps: None,
+            ..ServiceConfig::default()
         }
     }
 
@@ -511,6 +849,63 @@ mod tests {
             assert_eq!(s.frames_completed, 4, "session {}: {:?}", s.name, s.errors);
             assert!(s.errors.is_empty(), "{:?}", s.errors);
         }
+    }
+
+    #[test]
+    fn sharded_async_plane_matches_the_sharded_threaded_plane() {
+        // Both sharded planes drive the identical ShardedBroker through the
+        // identical seams, so events and the deterministic stats must agree
+        // bit for bit — and each reports one lock entry per shard.
+        fn shard_broker_of(broker: SessionBroker) -> ShardedBroker {
+            let schedule: Vec<SessionSpec> = (0..broker.session_count()).map(|i| broker.spec(i).clone()).collect();
+            ShardedBroker::new(broker.config().clone(), schedule)
+        }
+        let schedule: Vec<SessionSpec> = (0..6u32)
+            .map(|vp| spec(&format!("s{vp}"), vp, QualityTier::Standard))
+            .collect();
+        let config = ServiceConfig {
+            max_sessions: 8,
+            link_capacity_units: 32,
+            render_slots: 8,
+            queue_depth: 64,
+            shards: Some(2),
+            ..ServiceConfig::default()
+        };
+        let (threaded, _) = fan_out_with(
+            |broker, inputs, primary, transport| {
+                super::super::fanout::drive_sharded_service_plane(shard_broker_of(broker), inputs, primary, transport)
+            },
+            schedule.clone(),
+            config.clone(),
+            4,
+            2,
+        );
+        let (async_run, _) = fan_out_with(
+            |broker, inputs, primary, transport| {
+                drive_sharded_async_plane(shard_broker_of(broker), inputs, primary, transport, Some(2))
+            },
+            schedule,
+            config,
+            4,
+            2,
+        );
+        assert_eq!(threaded.events, async_run.events, "identical broker decisions");
+        let deterministic = |r: &ServiceRunReport| {
+            let s = &r.stats;
+            (
+                s.sessions_offered,
+                s.sessions_admitted,
+                s.sessions_rejected,
+                s.peak_live_sessions,
+                s.render_requests,
+                s.renders_performed,
+                s.fanout_chunks,
+                s.fanout_bytes,
+            )
+        };
+        assert_eq!(deterministic(&threaded), deterministic(&async_run));
+        assert_eq!(async_run.shard_locks.len(), 2);
+        assert!(async_run.shard_locks.iter().all(|l| l.acquisitions > 0));
     }
 
     #[test]

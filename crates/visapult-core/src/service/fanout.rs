@@ -15,7 +15,8 @@
 //! `fold_report` — so the two planes cannot drift apart in semantics, only
 //! in scheduling.
 
-use super::{ServiceRunReport, SessionBroker, SessionDelivery, SessionEvent, SessionSpec};
+use super::sharded::CountedLock;
+use super::{ServiceRunReport, ServiceStats, SessionBroker, SessionDelivery, SessionEvent, SessionSpec, ShardedBroker};
 use crate::pipeline::{Clock, WallClock};
 use crate::transport::{
     striped_link, AssemblyEvent, FrameAssembler, FrameChunk, StripeReceiver, StripeSender, TransportConfig,
@@ -25,7 +26,7 @@ use crate::viewer::ViewerError;
 use netsim::{Bandwidth, StripePacer};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Plumbing shared by both plane implementations
@@ -139,7 +140,7 @@ pub(crate) fn multicast_chunk(
         if !ep.wants(frame) {
             continue;
         }
-        if skips.contains(&(ep.session, frame)) {
+        if !skips.is_empty() && skips.contains(&(ep.session, frame)) {
             *outcome.dropped.entry(ep.session).or_default() += 1;
             continue;
         }
@@ -210,12 +211,50 @@ pub(crate) fn empty_delivery(spec: &SessionSpec) -> SessionDelivery {
     }
 }
 
+/// The broker shapes [`fold_report`] can finalize: the plain
+/// [`SessionBroker`] and the sharded composite present identical folding
+/// surfaces, so both planes (and both broker shapes) assemble reports through
+/// one code path.
+pub(crate) trait FoldableBroker {
+    fn fold_fanout_load(&mut self, per_frame: &[(u64, u64)]);
+    fn folded_stats(&self) -> ServiceStats;
+    fn folded_events(&self) -> Vec<(u32, SessionEvent)>;
+}
+
+impl FoldableBroker for SessionBroker {
+    fn fold_fanout_load(&mut self, per_frame: &[(u64, u64)]) {
+        SessionBroker::fold_fanout_load(self, per_frame);
+    }
+
+    fn folded_stats(&self) -> ServiceStats {
+        self.stats().clone()
+    }
+
+    fn folded_events(&self) -> Vec<(u32, SessionEvent)> {
+        self.events().to_vec()
+    }
+}
+
+impl FoldableBroker for ShardedBroker {
+    fn fold_fanout_load(&mut self, per_frame: &[(u64, u64)]) {
+        ShardedBroker::fold_fanout_load(self, per_frame);
+    }
+
+    fn folded_stats(&self) -> ServiceStats {
+        self.stats()
+    }
+
+    fn folded_events(&self) -> Vec<(u32, SessionEvent)> {
+        self.events()
+    }
+}
+
 /// Fold the deterministic offered load and the timing-dependent delivery
 /// outcomes into the final report.  `broker` must already be finished; both
 /// planes end through this single function so their reports are assembled
 /// identically.
-pub(crate) fn fold_report(
-    mut broker: SessionBroker,
+pub(crate) fn fold_report<B: FoldableBroker>(
+    mut broker: B,
     outcomes: &[PeOutcome],
     mut deliveries: Vec<(usize, SessionDelivery)>,
 ) -> ServiceRunReport {
@@ -229,8 +268,8 @@ pub(crate) fn fold_report(
         }
     }
     broker.fold_fanout_load(&per_frame);
-    let events = broker.events().to_vec();
-    let mut stats = broker.stats().clone();
+    let events = broker.folded_events();
+    let mut stats = broker.folded_stats();
     for o in outcomes {
         stats.chunks_delivered += o.delivered;
         stats.chunks_dropped += o.dropped.values().sum::<u64>();
@@ -249,6 +288,7 @@ pub(crate) fn fold_report(
         stats,
         sessions,
         events,
+        shard_locks: Vec::new(),
     }
 }
 
@@ -260,9 +300,17 @@ struct PlaneState {
     broker: SessionBroker,
     endpoints: Vec<Arc<SessionEndpoint>>,
     consumers: Vec<(usize, std::thread::JoinHandle<SessionDelivery>)>,
+    /// Global schedule index per local broker index (empty = identity, the
+    /// unsharded plane).  Endpoints, consumers and deliveries are keyed
+    /// globally so shard outputs merge without collisions.
+    globals: Vec<usize>,
 }
 
 impl PlaneState {
+    fn global(&self, session: usize) -> usize {
+        self.globals.get(session).copied().unwrap_or(session)
+    }
+
     /// Advance the broker to `frame`, materializing queues and consumers for
     /// admissions and closing the delivery window for leaves/evictions.
     fn observe_frame(&mut self, frame: u32, transport: &TransportConfig, clock: &Arc<dyn Clock>) {
@@ -281,18 +329,20 @@ impl PlaneState {
         match event {
             SessionEvent::Admitted { session } => {
                 let spec = self.broker.spec(session).clone();
+                let global = self.global(session);
                 let (tx, rx, pacer) = session_link(&spec, self.broker.config().queue_depth, transport);
                 let consumer_spec = spec.clone();
                 let consumer_clock = Arc::clone(clock);
                 let handle = std::thread::Builder::new()
-                    .name(format!("visapult-session-{session}"))
+                    .name(format!("visapult-session-{global}"))
                     .spawn(move || run_session_consumer(rx, &consumer_spec, pacer, &consumer_clock))
                     .expect("spawn session consumer");
-                self.consumers.push((session, handle));
-                self.endpoints.push(SessionEndpoint::new(session, spec, tx));
+                self.consumers.push((global, handle));
+                self.endpoints.push(SessionEndpoint::new(global, spec, tx));
             }
             SessionEvent::Left { session } | SessionEvent::Evicted { session } => {
-                if let Some(ep) = self.endpoints.iter().find(|e| e.session == session) {
+                let global = self.global(session);
+                if let Some(ep) = self.endpoints.iter().find(|e| e.session == global) {
                     ep.close_at(at);
                 }
             }
@@ -356,42 +406,137 @@ pub(crate) fn drive_service_plane_on(
     primary: Vec<StripeSender>,
     transport: &TransportConfig,
 ) -> ServiceRunReport {
+    let shard = Arc::new(CountedLock::new(PlaneState {
+        broker,
+        endpoints: Vec::new(),
+        consumers: Vec::new(),
+        globals: Vec::new(),
+    }));
+    let outcomes = run_plane_pumps(clock, std::slice::from_ref(&shard), inputs, primary, transport);
+    // Campaign over: every remaining session leaves, queues disconnect,
+    // consumers drain and report.
+    let (broker, deliveries) = finish_shard(shard);
+    fold_report(broker, &outcomes, deliveries)
+}
+
+/// The sharded threaded plane on the wall clock.
+pub(crate) fn drive_sharded_service_plane(
+    broker: ShardedBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+) -> ServiceRunReport {
+    drive_sharded_service_plane_on(
+        &(Arc::new(WallClock) as Arc<dyn Clock>),
+        broker,
+        inputs,
+        primary,
+        transport,
+    )
+}
+
+/// The sharded threaded plane: each broker shard lives behind its own
+/// [`CountedLock`], pumps advance every shard at frame boundaries and
+/// multicast over the concatenated endpoint snapshots, and the shard reports
+/// fold back into one [`ServiceRunReport`] (with per-shard lock counters).
+pub(crate) fn drive_sharded_service_plane_on(
+    clock: &Arc<dyn Clock>,
+    broker: ShardedBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+) -> ServiceRunReport {
+    let (config, brokers, globals) = broker.into_parts();
+    let shards: Vec<Arc<CountedLock<PlaneState>>> = brokers
+        .into_iter()
+        .zip(&globals)
+        .map(|(broker, shard_globals)| {
+            Arc::new(CountedLock::new(PlaneState {
+                broker,
+                endpoints: Vec::new(),
+                consumers: Vec::new(),
+                globals: shard_globals.clone(),
+            }))
+        })
+        .collect();
+    let outcomes = run_plane_pumps(clock, &shards, inputs, primary, transport);
+    let mut shard_locks = Vec::with_capacity(shards.len());
+    let mut brokers = Vec::with_capacity(shards.len());
+    let mut deliveries = Vec::new();
+    for (i, shard) in shards.into_iter().enumerate() {
+        shard_locks.push(shard.stats(i));
+        let (broker, shard_deliveries) = finish_shard(shard);
+        brokers.push(broker);
+        deliveries.extend(shard_deliveries);
+    }
+    let mut report = fold_report(
+        ShardedBroker::from_parts(config, brokers, globals),
+        &outcomes,
+        deliveries,
+    );
+    report.shard_locks = shard_locks;
+    report
+}
+
+/// Tear one shard down after every pump has exited: remaining sessions
+/// leave, queues disconnect, consumers drain and report (keyed globally).
+fn finish_shard(shard: Arc<CountedLock<PlaneState>>) -> (SessionBroker, Vec<(usize, SessionDelivery)>) {
+    let mut st = match Arc::try_unwrap(shard) {
+        Ok(lock) => lock.into_inner(),
+        Err(_) => unreachable!("plane threads have joined"),
+    };
+    st.broker.finish();
+    st.endpoints.clear();
+    let deliveries = st
+        .consumers
+        .into_iter()
+        .map(|(session, handle)| (session, handle.join().expect("session consumer")))
+        .collect();
+    (st.broker, deliveries)
+}
+
+/// One pump thread per backend PE link, over one *or many* broker shards:
+/// frame-boundary churn advances every shard, and the multicast fast path
+/// runs over the concatenated endpoint snapshot — so the unsharded plane is
+/// exactly the one-shard instance of this loop.
+fn run_plane_pumps(
+    clock: &Arc<dyn Clock>,
+    shards: &[Arc<CountedLock<PlaneState>>],
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+) -> Vec<PeOutcome> {
     assert!(
         primary.is_empty() || primary.len() == inputs.len(),
         "primary forwarding needs one link per PE"
     );
-    let shared = Arc::new(Mutex::new(PlaneState {
-        broker,
-        endpoints: Vec::new(),
-        consumers: Vec::new(),
-    }));
     // Frame 0 joins happen before any chunk moves.
-    shared
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .observe_frame(0, transport, clock);
-
-    let outcomes: Vec<PeOutcome> = std::thread::scope(|scope| {
+    for shard in shards {
+        shard.lock().observe_frame(0, transport, clock);
+    }
+    std::thread::scope(|scope| {
         let handles: Vec<_> = inputs
             .into_iter()
             .zip(primary.into_iter().map(Some).chain(std::iter::repeat_with(|| None)))
             .map(|(mut rx, mut primary_tx)| {
-                let shared = Arc::clone(&shared);
+                let shards = shards.to_vec();
                 let transport = transport.clone();
                 let clock = Arc::clone(clock);
                 scope.spawn(move || {
                     let mut outcome = PeOutcome::new();
-                    // (session, frame) pairs degraded on this PE's link.
+                    // (session, frame) pairs degraded on this PE's link
+                    // (session indices are global, so shard sets are
+                    // disjoint).
                     let mut skips: HashSet<(usize, u32)> = HashSet::new();
                     // Endpoint snapshot, refreshed only when this thread
                     // observes a new high-water frame.  Endpoints are
                     // append-only and sessions only join at frame
                     // boundaries (admissions for frame f complete under the
-                    // lock before any thread can snapshot at f), so a
+                    // shard lock before any thread can snapshot at f), so a
                     // snapshot taken at frame f is a superset of the
                     // endpoints any chunk of frame ≤ f can belong to —
                     // `wants(frame)` does the per-chunk filtering.  This
-                    // keeps the lock and the Vec clone off the per-chunk
+                    // keeps the locks and the Vec clones off the per-chunk
                     // fast path.
                     let mut endpoints: Vec<Arc<SessionEndpoint>> = Vec::new();
                     let mut snapshot_frame: Option<u32> = None;
@@ -399,12 +544,16 @@ pub(crate) fn drive_service_plane_on(
                         let frame = chunk.frame;
                         outcome.record_offered(&chunk);
                         // Drive churn from the frame counter, then refresh
-                        // the endpoint snapshot (Arc clones; the lock is
-                        // not held across sends).
+                        // the endpoint snapshot (Arc clones; no shard lock
+                        // is held across sends, and shards are locked one
+                        // at a time in shard order).
                         if snapshot_frame.map(|f| frame > f).unwrap_or(true) {
-                            let mut st = shared.lock().unwrap_or_else(|e| e.into_inner());
-                            st.observe_frame(frame, &transport, &clock);
-                            endpoints.clone_from(&st.endpoints);
+                            endpoints.clear();
+                            for shard in &shards {
+                                let mut st = shard.lock();
+                                st.observe_frame(frame, &transport, &clock);
+                                endpoints.extend(st.endpoints.iter().cloned());
+                            }
                             snapshot_frame = Some(frame);
                         }
                         if let Some(tx) = &primary_tx {
@@ -421,22 +570,7 @@ pub(crate) fn drive_service_plane_on(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("plane thread")).collect()
-    });
-
-    // Campaign over: every remaining session leaves, queues disconnect,
-    // consumers drain and report.
-    let mut st = match Arc::try_unwrap(shared) {
-        Ok(m) => m.into_inner().unwrap_or_else(|e| e.into_inner()),
-        Err(_) => unreachable!("plane threads have joined"),
-    };
-    st.broker.finish();
-    st.endpoints.clear();
-    let deliveries: Vec<(usize, SessionDelivery)> = st
-        .consumers
-        .into_iter()
-        .map(|(session, handle)| (session, handle.join().expect("session consumer")))
-        .collect();
-    fold_report(st.broker, &outcomes, deliveries)
+    })
 }
 
 #[cfg(test)]
@@ -458,7 +592,7 @@ pub(crate) mod tests {
             link_capacity_units: 8,
             render_slots: 2,
             queue_depth: 8,
-            farm_egress_mbps: None,
+            ..ServiceConfig::default()
         }
     }
 
@@ -616,6 +750,63 @@ pub(crate) mod tests {
         )
         .len() as u64;
         assert_eq!(per_frame_chunks, plan * (1 + 2 + 2 + 1));
+    }
+
+    #[test]
+    fn sharded_plane_serves_every_session_and_reports_per_shard_locks() {
+        // Two shards over four viewpoints: capacity shares (4 sessions, 16
+        // units, 4 slots per shard) hold the whole schedule even if the hash
+        // lands everyone on one shard, so all four sessions assemble every
+        // (rank, frame), and the deterministic halves replay bit-identically
+        // against a pure ShardedBroker run.
+        let schedule: Vec<SessionSpec> = (0..4u32)
+            .map(|vp| spec(&format!("s{vp}"), vp, QualityTier::Standard))
+            .collect();
+        let config = ServiceConfig {
+            max_sessions: 8,
+            link_capacity_units: 32,
+            render_slots: 8,
+            queue_depth: 64,
+            shards: Some(2),
+            ..ServiceConfig::default()
+        };
+        let (report, primary_frames) = fan_out_with(
+            |broker, inputs, primary, transport| {
+                let schedule: Vec<SessionSpec> = (0..broker.session_count()).map(|i| broker.spec(i).clone()).collect();
+                let sharded = ShardedBroker::new(broker.config().clone(), schedule);
+                drive_sharded_service_plane(sharded, inputs, primary, transport)
+            },
+            schedule.clone(),
+            config.clone(),
+            3,
+            2,
+        );
+        assert_eq!(primary_frames.len(), 6);
+        assert_eq!(report.sessions.len(), 4);
+        for s in &report.sessions {
+            assert_eq!(s.frames_completed, 6, "session {}: {:?}", s.name, s.errors);
+            assert!(s.errors.is_empty(), "{:?}", s.errors);
+        }
+        // Deliveries come back in global schedule order despite sharding.
+        let names: Vec<&str> = report.sessions.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["s0", "s1", "s2", "s3"]);
+        // Per-shard lock telemetry: one entry per shard, every shard locked
+        // at least for the frame-0 observe.
+        assert_eq!(report.shard_locks.len(), 2);
+        for (i, l) in report.shard_locks.iter().enumerate() {
+            assert_eq!(l.shard, i);
+            assert!(l.acquisitions > 0, "{l:?}");
+        }
+        // The deterministic halves match a pure broker replay.
+        let mut replay = ShardedBroker::new(config, schedule);
+        replay.advance_to(2);
+        replay.finish();
+        assert_eq!(report.events, replay.events());
+        let replayed = replay.stats();
+        assert_eq!(report.stats.sessions_admitted, replayed.sessions_admitted);
+        assert_eq!(report.stats.sessions_rejected, replayed.sessions_rejected);
+        assert_eq!(report.stats.renders_performed, replayed.renders_performed);
+        assert_eq!(report.stats.peak_live_sessions, replayed.peak_live_sessions);
     }
 
     #[test]

@@ -48,8 +48,10 @@ use std::collections::HashSet;
 
 pub mod asyncplane;
 pub mod fanout;
+pub mod sharded;
 
 pub(crate) use fanout::drive_service_plane;
+pub use sharded::{ShardLockStats, ShardedBroker};
 
 // ---------------------------------------------------------------------------
 // Session specifications
@@ -158,6 +160,34 @@ impl SessionSpec {
     }
 }
 
+/// How the farm places distinct viewpoints onto render backends when the
+/// service runs more than one backend ([`ServiceConfig::backends`]).
+///
+/// TOML spellings: `"viewpoint_hash"` and `"least_loaded"`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendPlacement {
+    /// Every viewpoint hashes to one owning backend, and that backend's
+    /// share of the render slots must hold it.  A static partition: a join
+    /// can be rejected for render slots even while another backend still has
+    /// free slots.
+    #[default]
+    ViewpointHash,
+    /// Viewpoints go wherever slots are free.  Work-conserving best-case
+    /// packing: since every viewpoint fits on any backend, admission is
+    /// exactly the pooled single-backend check.
+    LeastLoaded,
+}
+
+impl BackendPlacement {
+    /// Short label for reports (also the TOML spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendPlacement::ViewpointHash => "viewpoint_hash",
+            BackendPlacement::LeastLoaded => "least_loaded",
+        }
+    }
+}
+
 /// Modeled capacity the broker admits against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceConfig {
@@ -174,6 +204,34 @@ pub struct ServiceConfig {
     /// slower are counted flow-limited (they will be degraded, not waited
     /// for).
     pub farm_egress_mbps: Option<f64>,
+    /// Independent broker shards the service layer partitions sessions into
+    /// by viewpoint hash (`None` = 1, the classic single broker).  At 1 the
+    /// sharded path is byte-identical to the plain [`SessionBroker`]; above
+    /// 1 each shard owns a proportional share of the capacity below.
+    pub shards: Option<usize>,
+    /// Render backends the farm's slots are split across (`None` = 1, the
+    /// classic single backend).
+    pub backends: Option<usize>,
+    /// Viewpoint-to-backend placement policy when `backends > 1` (`None` =
+    /// [`BackendPlacement::ViewpointHash`]).
+    pub placement: Option<BackendPlacement>,
+}
+
+impl ServiceConfig {
+    /// Broker shards the service layer runs (at least 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.unwrap_or(1).max(1)
+    }
+
+    /// Render backends the farm's slots are split across (at least 1).
+    pub fn backend_count(&self) -> usize {
+        self.backends.unwrap_or(1).max(1)
+    }
+
+    /// The viewpoint placement policy the farm admits against.
+    pub fn backend_placement(&self) -> BackendPlacement {
+        self.placement.unwrap_or_default()
+    }
 }
 
 impl Default for ServiceConfig {
@@ -184,6 +242,9 @@ impl Default for ServiceConfig {
             render_slots: 8,
             queue_depth: 64,
             farm_egress_mbps: None,
+            shards: None,
+            backends: None,
+            placement: None,
         }
     }
 }
@@ -461,10 +522,31 @@ impl SessionBroker {
         }
         let mut viewpoints: HashSet<u32> = live.iter().map(|&s| self.schedule[s].viewpoint).collect();
         viewpoints.insert(self.schedule[incoming].viewpoint);
-        if viewpoints.len() as u32 > self.config.render_slots {
+        if self.render_slots_blocked(&viewpoints) {
             return Some(RejectReason::RenderSlots);
         }
         None
+    }
+
+    /// Whether the distinct live viewpoints oversubscribe the farm's render
+    /// slots.  With one backend this is the classic pooled check; with R > 1
+    /// each viewpoint is charged against its owning backend's slot share
+    /// (viewpoint-hash placement), or against the pooled total (least-loaded
+    /// placement, which packs viewpoints wherever slots are free, so only
+    /// the total can block).
+    fn render_slots_blocked(&self, viewpoints: &HashSet<u32>) -> bool {
+        let backends = self.config.backend_count();
+        if backends == 1 || self.config.backend_placement() == BackendPlacement::LeastLoaded {
+            return viewpoints.len() as u32 > self.config.render_slots;
+        }
+        let mut per_backend = vec![0u64; backends];
+        for &vp in viewpoints {
+            per_backend[sharded::shard_for_viewpoint(vp, backends)] += 1;
+        }
+        per_backend
+            .iter()
+            .enumerate()
+            .any(|(b, &n)| n > sharded::share(u64::from(self.config.render_slots), backends, b))
     }
 
     fn try_admit(&mut self, frame: u32, session: usize) {
@@ -680,6 +762,9 @@ pub struct ServiceRunReport {
     pub sessions: Vec<SessionDelivery>,
     /// Every broker lifecycle decision, with the frame it occurred at.
     pub events: Vec<(u32, SessionEvent)>,
+    /// Per-shard lock acquisition/contention/hold counters (timing-dependent;
+    /// empty on the classic unsharded path and on replay).
+    pub shard_locks: Vec<ShardLockStats>,
 }
 
 /// Run the shared-render fan-out plane over one campaign.
@@ -783,7 +868,7 @@ mod tests {
             link_capacity_units: 8,
             render_slots: 2,
             queue_depth: 8,
-            farm_egress_mbps: None,
+            ..ServiceConfig::default()
         }
     }
 
@@ -1002,6 +1087,85 @@ mod tests {
         assert_eq!(PlaneKind::default(), PlaneKind::Threaded);
         assert_eq!(PlaneKind::Threaded.label(), "threaded");
         assert_eq!(PlaneKind::Async.label(), "async");
+    }
+
+    #[test]
+    fn placement_defaults_to_viewpoint_hash_and_labels_match_the_toml_spellings() {
+        assert_eq!(BackendPlacement::default(), BackendPlacement::ViewpointHash);
+        assert_eq!(BackendPlacement::ViewpointHash.label(), "viewpoint_hash");
+        assert_eq!(BackendPlacement::LeastLoaded.label(), "least_loaded");
+        let config = ServiceConfig::default();
+        assert_eq!(config.shard_count(), 1);
+        assert_eq!(config.backend_count(), 1);
+        assert_eq!(config.backend_placement(), BackendPlacement::ViewpointHash);
+    }
+
+    #[test]
+    fn viewpoint_hash_placement_charges_each_backends_slot_share() {
+        // 4 render slots over 2 backends = 2 slots each.  Four distinct
+        // viewpoints all hashing to the same backend overflow that backend's
+        // share under viewpoint-hash placement even though the pooled total
+        // (4 <= 4) would fit; least-loaded packs them across both backends
+        // and admits all four.
+        let backend_of = |vp: u32| sharded::shard_for_viewpoint(vp, 2);
+        let owner = backend_of(0);
+        let colliding: Vec<u32> = (0..64).filter(|&vp| backend_of(vp) == owner).take(4).collect();
+        assert_eq!(colliding.len(), 4, "viewpoint hash must collide within 64 keys");
+        let schedule: Vec<SessionSpec> = colliding
+            .iter()
+            .map(|&vp| spec(&format!("s{vp}"), vp, QualityTier::Preview))
+            .collect();
+        let hashed = ServiceConfig {
+            max_sessions: 8,
+            link_capacity_units: 64,
+            render_slots: 4,
+            queue_depth: 8,
+            backends: Some(2),
+            placement: Some(BackendPlacement::ViewpointHash),
+            ..ServiceConfig::default()
+        };
+        let mut broker = SessionBroker::new(hashed.clone(), schedule.clone());
+        broker.advance_to(0);
+        assert_eq!(broker.stats().sessions_admitted, 2);
+        assert_eq!(broker.stats().sessions_rejected, 2);
+        assert!(broker.events().iter().any(|&(_, e)| matches!(
+            e,
+            SessionEvent::Rejected {
+                reason: RejectReason::RenderSlots,
+                ..
+            }
+        )));
+        let pooled = ServiceConfig {
+            placement: Some(BackendPlacement::LeastLoaded),
+            ..hashed
+        };
+        let mut broker = SessionBroker::new(pooled, schedule);
+        broker.advance_to(0);
+        assert_eq!(broker.stats().sessions_admitted, 4);
+        assert_eq!(broker.stats().sessions_rejected, 0);
+    }
+
+    #[test]
+    fn single_backend_admission_is_unchanged_by_the_backend_knobs() {
+        let schedule = vec![
+            spec("a", 0, QualityTier::Standard),
+            spec("b", 1, QualityTier::Standard),
+            spec("c", 2, QualityTier::Standard),
+        ];
+        let run = |config: ServiceConfig| {
+            let mut b = SessionBroker::new(config, schedule.clone());
+            b.advance_to(1);
+            b.finish();
+            (b.stats().clone(), b.events().to_vec())
+        };
+        let classic = run(tiny_config());
+        let explicit = run(ServiceConfig {
+            backends: Some(1),
+            placement: Some(BackendPlacement::ViewpointHash),
+            shards: Some(1),
+            ..tiny_config()
+        });
+        assert_eq!(classic, explicit);
     }
 
     #[test]

@@ -20,6 +20,17 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// Receivers currently blocked in a `ready` wait.  `Condvar::notify`
+        /// is a futex syscall even when nobody is waiting, which at fan-out
+        /// rates (hundreds of thousands of `try_send`/`try_recv` pairs per
+        /// second) dominates the per-message cost — so notifies are skipped
+        /// while this is zero, the same sleeper-count gate the real crossbeam
+        /// uses.  A waiter increments this under the state mutex *before*
+        /// releasing it into the wait, and every notifier re-checks under the
+        /// same mutex, so no wakeup can be lost.
+        ready_waiters: usize,
+        /// Senders currently blocked in a `space` wait (bounded channels).
+        space_waiters: usize,
     }
 
     struct Shared<T> {
@@ -141,6 +152,8 @@ pub mod channel {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                ready_waiters: 0,
+                space_waiters: 0,
             }),
             ready: Condvar::new(),
             space: Condvar::new(),
@@ -177,14 +190,19 @@ pub mod channel {
                 }
                 match self.shared.capacity {
                     Some(cap) if state.queue.len() >= cap => {
+                        state.space_waiters += 1;
                         state = self.shared.space.wait(state).unwrap_or_else(|e| e.into_inner());
+                        state.space_waiters -= 1;
                     }
                     _ => break,
                 }
             }
             state.queue.push_back(value);
+            let wake = state.ready_waiters > 0;
             drop(state);
-            self.shared.ready.notify_one();
+            if wake {
+                self.shared.ready.notify_one();
+            }
             Ok(())
         }
 
@@ -203,8 +221,11 @@ pub mod channel {
                 }
             }
             state.queue.push_back(value);
+            let wake = state.ready_waiters > 0;
             drop(state);
-            self.shared.ready.notify_one();
+            if wake {
+                self.shared.ready.notify_one();
+            }
             Ok(())
         }
     }
@@ -222,10 +243,12 @@ pub mod channel {
         fn drop(&mut self) {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             state.senders -= 1;
-            let last = state.senders == 0;
+            // Wake blocked receivers so they can observe the disconnect.
+            // (Future receivers re-check `senders` under the mutex before
+            // waiting, so gating on current waiters loses nothing.)
+            let wake = state.senders == 0 && state.ready_waiters > 0;
             drop(state);
-            if last {
-                // Wake blocked receivers so they can observe the disconnect.
+            if wake {
                 self.shared.ready.notify_all();
             }
         }
@@ -237,14 +260,19 @@ pub mod channel {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = state.queue.pop_front() {
+                    let wake = state.space_waiters > 0;
                     drop(state);
-                    self.shared.space.notify_one();
+                    if wake {
+                        self.shared.space.notify_one();
+                    }
                     return Ok(v);
                 }
                 if state.senders == 0 {
                     return Err(RecvError);
                 }
+                state.ready_waiters += 1;
                 state = self.shared.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                state.ready_waiters -= 1;
             }
         }
 
@@ -253,8 +281,11 @@ pub mod channel {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             match state.queue.pop_front() {
                 Some(v) => {
+                    let wake = state.space_waiters > 0;
                     drop(state);
-                    self.shared.space.notify_one();
+                    if wake {
+                        self.shared.space.notify_one();
+                    }
                     Ok(v)
                 }
                 None if state.senders == 0 => Err(TryRecvError::Disconnected),
@@ -268,8 +299,11 @@ pub mod channel {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = state.queue.pop_front() {
+                    let wake = state.space_waiters > 0;
                     drop(state);
-                    self.shared.space.notify_one();
+                    if wake {
+                        self.shared.space.notify_one();
+                    }
                     return Ok(v);
                 }
                 if state.senders == 0 {
@@ -279,12 +313,14 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
+                state.ready_waiters += 1;
                 let (guard, _timeout_result) = self
                     .shared
                     .ready
                     .wait_timeout(state, deadline - now)
                     .unwrap_or_else(|e| e.into_inner());
                 state = guard;
+                state.ready_waiters -= 1;
             }
         }
 
@@ -322,11 +358,12 @@ pub mod channel {
         fn drop(&mut self) {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             state.receivers -= 1;
-            let last = state.receivers == 0;
+            // Wake senders blocked on a full bounded channel so they can
+            // observe the disconnect instead of waiting forever.  (Future
+            // senders re-check `receivers` under the mutex before waiting.)
+            let wake = state.receivers == 0 && state.space_waiters > 0;
             drop(state);
-            if last {
-                // Wake senders blocked on a full bounded channel so they can
-                // observe the disconnect instead of waiting forever.
+            if wake {
                 self.shared.space.notify_all();
             }
         }

@@ -9,9 +9,10 @@
 //! multiplexes expose non-blocking `try_send`/`try_recv` halves, which is all
 //! a poll loop needs.  Instead, the run queue self-paces: while any task
 //! reports progress the pool spins the queue hot; once a full sweep of the
-//! live tasks comes back idle, workers park on a condvar for a short interval
-//! (bounded staleness, near-zero CPU) before sweeping again.  `spawn` and
-//! every `Progress` re-arm the pool immediately.
+//! live tasks comes back idle, workers park on a condvar for a bounded
+//! interval (near-zero CPU) before sweeping again.  A `Progress` poll
+//! re-arms the hot sweep; a `spawn` wakes one worker to poll just the new
+//! task, leaving the idle pile parked.
 //!
 //! The intended use is N-thousands of cheap cooperatively-scheduled units
 //! (session consumers, stripe pumps, pacers) multiplexed over a worker pool
@@ -84,9 +85,15 @@ struct State {
     /// Spawned tasks that have not yet returned `Ready` (including ones
     /// currently being polled by a worker).
     live: usize,
-    /// Consecutive `Idle` polls since the last `Ready`/`Progress`/`spawn`;
-    /// reaching `live` means one full sweep found no work, so workers park.
+    /// Consecutive `Idle` polls since the last `Ready`/`Progress` (clamped
+    /// to `live`); reaching `live` means one full sweep found no work, so
+    /// workers park.  A park that expires un-notified resets it to re-arm
+    /// the next sweep.
     unproductive: usize,
+    /// Current idle-park interval: starts at [`IDLE_PARK_MIN`] and doubles
+    /// per consecutive fully-idle sweep up to [`idle_park_cap`]; any
+    /// productive poll resets it.
+    park: Duration,
     shutdown: bool,
 }
 
@@ -96,10 +103,35 @@ struct Shared {
     work: Condvar,
 }
 
-/// How long workers park after a fully idle sweep.  External producers (a
-/// backend thread filling a channel) are picked up within this bound even
-/// though nothing notifies the pool.
-const IDLE_PARK: Duration = Duration::from_micros(200);
+/// The idle-park backoff knob pair.  After a fully idle sweep workers park
+/// for the *current* interval, which starts at `IDLE_PARK_MIN` and doubles
+/// per consecutive idle sweep up to [`idle_park_cap`]; any `Ready`/
+/// `Progress` poll resets it to the minimum.  External producers (a backend
+/// thread filling a channel — nothing notifies the pool for those) are thus
+/// picked up within microseconds while traffic flows, and the pool still
+/// settles to a near-zero-CPU cadence once genuinely quiet.  A flat 200µs
+/// park here is what made small async-plane runs pay ~2x per session-frame
+/// versus the threaded plane: every cross-thread chunk hand-off ate a full
+/// park interval.
+const IDLE_PARK_MIN: Duration = Duration::from_micros(5);
+/// Upper bound of the idle-park backoff (the old flat park interval) while
+/// the pool is small; [`idle_park_cap`] stretches it for large pools.
+const IDLE_PARK_MAX: Duration = Duration::from_micros(200);
+/// Hard ceiling of the scaled idle-park cap.
+const IDLE_PARK_CEIL: Duration = Duration::from_millis(10);
+
+/// The idle-park backoff cap, scaled to the sweep cost.  A full idle sweep
+/// costs O(live) mutex hops and polls; parking a flat 200µs between 3ms
+/// sweeps of 10k idle session consumers would keep the workers ~95% busy
+/// doing nothing — on a box where those cycles belong to admission or
+/// delivery work.  Scaling the cap with the live count (~1µs per task,
+/// ceiling 10ms) bounds the sweep duty cycle instead, while pools of a few
+/// hundred tasks keep the original 200µs staleness bound.
+fn idle_park_cap(live: usize) -> Duration {
+    IDLE_PARK_MAX
+        .max(Duration::from_micros(live as u64))
+        .min(IDLE_PARK_CEIL)
+}
 
 /// A fixed pool of worker threads multiplexing every spawned [`Task`].
 pub struct Executor {
@@ -115,6 +147,7 @@ impl Executor {
                 runnable: VecDeque::new(),
                 live: 0,
                 unproductive: 0,
+                park: IDLE_PARK_MIN,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -177,13 +210,28 @@ impl Spawner {
         let mut st = self.shared.state.lock();
         assert!(!st.shutdown, "spawn on a shut-down executor");
         st.live += 1;
-        st.unproductive = 0;
-        st.runnable.push_back(Slot {
+        // Front of the queue: the next worker polls the *new* task first,
+        // not the pile of already-idle ones.  Deliberately no reset of
+        // `unproductive` or `park` here — a spawn says nothing about the
+        // other tasks' idleness, and resetting the sweep state on every
+        // spawn is what used to make a 10k-session admission storm re-sweep
+        // the whole idle pile once per admitted session (a quadratic amount
+        // of do-nothing polling that time-slices against the admission loop
+        // itself).  Notify only when the queue was empty: with tasks already
+        // queued the workers are either mid-cycle (they will reach the front
+        // of the queue on their own) or parked on an interval that already
+        // bounds the pickup latency — waking one per spawn just buys a
+        // context-switch round-trip to first-poll a task that, for a freshly
+        // admitted session consumer, has nothing to do yet anyway.
+        let wake = st.runnable.is_empty();
+        st.runnable.push_front(Slot {
             task,
             handle: Arc::clone(&handle),
         });
         drop(st);
-        self.shared.work.notify_all();
+        if wake {
+            self.shared.work.notify_one();
+        }
         TaskHandle { state: handle }
     }
 }
@@ -220,19 +268,36 @@ fn worker_loop(shared: &Shared) {
                 return;
             }
             if st.live > 0 && st.unproductive >= st.live {
-                // A full sweep of the live tasks produced nothing: park.
-                // `spawn`/`Progress` notify to cut the park short; otherwise
-                // the timeout bounds how stale external producers can get.
-                st.unproductive = 0;
-                shared.work.wait_for(&mut st, IDLE_PARK);
+                // A full sweep of the live tasks produced nothing: park for
+                // the current backoff interval, then double it.  `spawn` /
+                // `Progress` notify to cut the park short.  Only a park that
+                // *expires* re-arms a sweep: nothing notified, so the only
+                // reason to poll again is an external producer silently
+                // filling a channel, and the park interval bounds how stale
+                // that pickup can get.  A notified wake leaves the sweep
+                // state alone — the notifier queued something specific
+                // (front of the queue for a spawn), so the woken worker
+                // polls that without re-sweeping the idle pile.
+                let park = st.park;
+                st.park = (st.park * 2).min(idle_park_cap(st.live));
+                if shared.work.wait_for(&mut st, park).timed_out() {
+                    st.unproductive = 0;
+                }
                 continue;
             }
             match st.runnable.pop_front() {
                 Some(slot) => break slot,
                 // Every live task is in another worker's hands (or none
                 // exist yet); wait for one to come back or for a spawn.
+                // This park must back off like the idle sweep does: an
+                // executor whose tasks all finished (live == 0) otherwise
+                // spins its workers awake at IDLE_PARK_MIN forever, which
+                // on a loaded box steals real CPU from the executors that
+                // still have work.
                 None => {
-                    shared.work.wait_for(&mut st, IDLE_PARK);
+                    let park = st.park;
+                    st.park = (st.park * 2).min(idle_park_cap(st.live));
+                    shared.work.wait_for(&mut st, park);
                 }
             }
         };
@@ -246,20 +311,24 @@ fn worker_loop(shared: &Shared) {
             Poll::Ready => {
                 st.live -= 1;
                 st.unproductive = 0;
+                st.park = IDLE_PARK_MIN;
                 drop(st);
                 let mut done = slot.handle.done.lock();
                 *done = true;
                 slot.handle.cv.notify_all();
-                shared.work.notify_all();
+                shared.work.notify_one();
             }
             Poll::Progress => {
                 st.unproductive = 0;
+                st.park = IDLE_PARK_MIN;
                 st.runnable.push_back(slot);
                 drop(st);
-                shared.work.notify_all();
+                shared.work.notify_one();
             }
             Poll::Idle => {
-                st.unproductive += 1;
+                // Clamped so a later spawn (live + 1) always drops the count
+                // strictly below the threshold and gets its first poll.
+                st.unproductive = (st.unproductive + 1).min(st.live);
                 st.runnable.push_back(slot);
             }
         }

@@ -9,6 +9,7 @@
 /// Every name re-exported at the `visapult_core` crate root, sorted.
 const EXPECTED: &[&str] = &[
     "AsyncPlane",
+    "BackendPlacement",
     "CacheReport",
     "CacheSpec",
     "CampaignReport",
@@ -22,6 +23,7 @@ const EXPECTED: &[&str] = &[
     "FabricLinks",
     "FanoutPlane",
     "FarmRun",
+    "FarmTableSpec",
     "FrameAssembler",
     "FrameChunk",
     "FramePayload",
@@ -30,6 +32,7 @@ const EXPECTED: &[&str] = &[
     "LightPayload",
     "ModelFarm",
     "ModeledFabric",
+    "MultiBackendFarm",
     "OverlapModel",
     "PathCapabilities",
     "PhaseMeans",
@@ -60,6 +63,8 @@ const EXPECTED: &[&str] = &[
     "SessionDelivery",
     "SessionEvent",
     "SessionSpec",
+    "ShardLockStats",
+    "ShardedBroker",
     "SimCampaignConfig",
     "SimCampaignReport",
     "SimTransportModel",

@@ -10,7 +10,7 @@ use visapult::core::transport::striped_link;
 use visapult::core::{
     plan_chunks, run_scenario, AsyncPlane, ExecutionPath, FanoutPlane, FramePayload, FrameSegments, HeavyPayload,
     LightPayload, PlaneKind, QualityTier, ScenarioSpec, ServiceConfig, ServiceRunReport, SessionBroker, SessionSpec,
-    StripeReceiver, TransportConfig, ViewerError,
+    ShardedBroker, StripeReceiver, TransportConfig, ViewerError,
 };
 
 const BOTH_PLANES: [PlaneKind; 2] = [PlaneKind::Threaded, PlaneKind::Async];
@@ -387,7 +387,7 @@ proptest! {
             link_capacity_units: 10,
             render_slots: 2,
             queue_depth: 64,
-            farm_egress_mbps: None,
+            ..ServiceConfig::default()
         };
         let transport = TransportConfig::default().with_stripes(2).with_chunk_bytes(512);
         let reports: Vec<ServiceRunReport> = BOTH_PLANES
@@ -421,6 +421,50 @@ proptest! {
             );
         }
     }
+
+    /// `shards = 1` is not "approximately" the plain broker — it IS the
+    /// plain broker: whatever the arrival mix (random joins, dwells, tiers,
+    /// viewpoints, over-subscription forcing rejections and evictions), the
+    /// single-shard [`ShardedBroker`] replays byte-identical lifecycle event
+    /// streams, per-frame advance returns, and deterministic stats.
+    #[test]
+    fn a_single_shard_broker_is_byte_identical_to_the_plain_broker(
+        mix in proptest::collection::vec((0u32..5, 1u32..6, 0u32..4, 0usize..3), 1..16),
+        frames in 3u32..8,
+    ) {
+        let tiers = [QualityTier::Preview, QualityTier::Standard, QualityTier::Interactive];
+        let schedule: Vec<SessionSpec> = mix
+            .iter()
+            .enumerate()
+            .map(|(i, &(join, dwell, viewpoint, tier))| {
+                let mut spec = SessionSpec::new(format!("s{i}"), viewpoint, tiers[tier]);
+                spec.join_frame = join.min(frames - 1);
+                spec.leave_frame = Some((spec.join_frame + dwell).min(frames));
+                spec
+            })
+            .collect();
+        // Tight capacity so bigger mixes exercise rejection and eviction.
+        let config = ServiceConfig {
+            max_sessions: 6,
+            link_capacity_units: 10,
+            render_slots: 2,
+            queue_depth: 64,
+            shards: Some(1),
+            ..ServiceConfig::default()
+        };
+        let mut plain = SessionBroker::new(config.clone(), schedule.clone());
+        let mut sharded = ShardedBroker::new(config, schedule);
+        for f in 0..frames {
+            prop_assert_eq!(plain.advance_to(f), sharded.advance_to(f), "frame {} diverged", f);
+        }
+        plain.finish();
+        sharded.finish();
+        let per_frame: Vec<(u64, u64)> = (0..frames).map(|f| (u64::from(f) + 3, (u64::from(f) + 1) * 512)).collect();
+        plain.fold_fanout_load(&per_frame);
+        sharded.fold_fanout_load(&per_frame);
+        prop_assert_eq!(plain.stats(), &sharded.stats(), "stats diverged");
+        prop_assert_eq!(plain.events(), &sharded.events()[..], "event streams diverged");
+    }
 }
 
 /// The headline scale smoke: ten thousand sessions multiplexed over the
@@ -453,7 +497,7 @@ fn ten_thousand_sessions_ride_the_async_plane_on_a_bounded_pool() {
         link_capacity_units: SESSIONS as u64,
         render_slots: 8,
         queue_depth: 16,
-        farm_egress_mbps: None,
+        ..ServiceConfig::default()
     };
     let transport = TransportConfig::default().with_stripes(2).with_chunk_bytes(4096);
     let stop = Arc::new(AtomicBool::new(false));
