@@ -98,6 +98,11 @@ pub const SERVICE_REJECT: &str = "SERVICE_REJECT";
 /// byte field reflects each path's own payload sizing (real encoded
 /// geometry vs. the modeled allowance).
 pub const SERVICE_STATS: &str = "SERVICE_STATS";
+/// Service layer: advisory — the stage provisioned more broker shards than
+/// its schedule has distinct viewpoints, so the surplus shards can never own
+/// a session under viewpoint-hash partitioning.  Emitted once per affected
+/// stage by both execution paths.
+pub const SERVICE_SHARDS_IDLE: &str = "SERVICE_SHARDS_IDLE";
 
 /// Standard field name: frame (timestep) number.
 pub const FIELD_FRAME: &str = "NL.frame";
@@ -137,6 +142,10 @@ pub const FIELD_SERVICE_RENDER_REQUESTS: &str = "NL.service.render_requests";
 pub const FIELD_SERVICE_SHARED_HITS: &str = "NL.service.shared_hits";
 /// Standard field name: schedule index of the session an event concerns.
 pub const FIELD_SERVICE_SESSION: &str = "NL.service.session";
+/// Standard field name: broker shards the service plane provisioned.
+pub const FIELD_SERVICE_SHARDS: &str = "NL.service.shards";
+/// Standard field name: distinct session viewpoints in a stage's schedule.
+pub const FIELD_SERVICE_VIEWPOINTS: &str = "NL.service.viewpoints";
 
 #[cfg(test)]
 mod tests {

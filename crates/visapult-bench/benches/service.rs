@@ -13,9 +13,10 @@
 //! per-session-frame fan-out cost, and the shared-render hit rate at each
 //! scale — the broker's 1-vs-64 "more with less" number) to `target/` and
 //! the workspace root so successive runs can be diffed mechanically.  The
-//! headline addition is the 10 000-session `exhibit_floor` variant on the
+//! headline additions are the 10 000-session `exhibit_floor` variant on the
 //! async plane, with the process's peak thread count recorded alongside the
-//! per-session-frame cost.
+//! per-session-frame cost, and a broker shard sweep that climbs to the
+//! 50 000- and 100 000-session floors.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -237,20 +238,30 @@ fn exhibit_floor_10k(samples: usize) -> (f64, usize, ServiceStats) {
 }
 
 /// The shard sweep: S ∈ {1, 2, 4, 8} broker shards at 64 / 1 000 / 10 000
-/// sessions on the async plane, all under the same fixed worker budget.
-/// Finds where the crossover sits — at small scale the extra locks cost more
-/// than they save; at the 10k exhibit floor the per-shard executors shard
-/// the task-queue serialization that dominates.  Emits one JSON cell per
-/// (sessions, shards) with the per-shard lock counters alongside the
-/// headline medians.
+/// sessions on the async plane, all under the same fixed worker budget, then
+/// S ∈ {1, 2, 4} at the 50 000 and 100 000 floors (fewer samples — each
+/// campaign is seconds long, and the regime question at that scale is shard
+/// scaling, not run-to-run noise).  Finds where the crossover sits — at
+/// small scale the extra locks cost more than they save; at the 10k exhibit
+/// floor the per-shard executors shard the task-queue serialization that
+/// dominates; at 100k a single unsharded endpoint list falls out of cache
+/// and sharding becomes the difference between linear and superlinear cost.
+/// Emits one JSON cell per (sessions, shards) with the per-shard lock
+/// counters alongside the headline medians.
 fn shard_sweep() -> String {
-    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    let rows_spec: &[(u32, usize, &[usize])] = &[
+        (64, 15, &[1, 2, 4, 8]),
+        (1_000, 7, &[1, 2, 4, 8]),
+        (10_000, 5, &[1, 2, 4, 8]),
+        (50_000, 3, &[1, 2, 4]),
+        (100_000, 1, &[1, 2, 4]),
+    ];
     let mut rows = Vec::new();
     let mut floor_best: Option<(usize, f64)> = None;
     let mut floor_one = 0.0f64;
-    for &(sessions, samples) in &[(64u32, 15usize), (1_000, 7), (10_000, 5)] {
+    for &(sessions, samples, shard_counts) in rows_spec {
         let mut cells = Vec::new();
-        for &shards in &SHARD_COUNTS {
+        for &shards in shard_counts {
             let report = fan_out_sharded(sessions, shards);
             let median = median_secs(samples, || {
                 black_box(fan_out_sharded(sessions, shards).stats.frames_completed);
@@ -332,6 +343,15 @@ fn main() {
     if std::env::args().any(|a| a == "--test") {
         return;
     }
-    benches();
+    // Baseline first, criterion second: the committed JSON must be measured
+    // on a cold process and an unloaded host.  Criterion's soak runs many
+    // minutes of sustained campaigns, and on small (or burst-credit) hosts
+    // that sustained load throttles everything measured after it by 1.5-2x.
     write_baseline();
+    // VISAPULT_BASELINE_ONLY=1 regenerates the committed JSON without the
+    // criterion soak — on a small host the soak is ten minutes of load the
+    // baseline (already written above) no longer measures.
+    if std::env::var_os("VISAPULT_BASELINE_ONLY").is_none() {
+        benches();
+    }
 }

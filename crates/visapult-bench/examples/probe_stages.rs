@@ -1,0 +1,222 @@
+//! Stage-isolated cost probe for the 10k-session fan-out floor: measures the
+//! per-chunk-per-session cost of (a) the bounded-channel push alone, (b) push
+//! plus drain, (c) drain through a per-session FrameAssembler — the three
+//! candidate hot spots of a frame wave — without any executor or threads in
+//! the way.  Numbers are µs per session-frame, comparable to probe_floor.
+
+use std::sync::Arc;
+use std::time::Instant;
+use visapult_core::protocol::{FramePayload, FrameSegments, HeavyPayload, LightPayload};
+use visapult_core::transport::{plan_chunks, FrameAssembler, FrameChunk};
+
+const TEX: usize = 128;
+const SESSIONS: usize = 10_000;
+const FRAMES: u32 = 8;
+const CHUNK: usize = 16 * 1024;
+const STRIPES: u32 = 4;
+
+fn sample_frame(frame: u32) -> FramePayload {
+    let texture: Vec<u8> = (0..TEX * TEX * 4).map(|i| (i % 251) as u8).collect();
+    FramePayload {
+        light: LightPayload {
+            frame,
+            rank: 0,
+            texture_width: TEX as u32,
+            texture_height: TEX as u32,
+            bytes_per_pixel: 4,
+            quad_center: [0.5; 3],
+            quad_u: [1.0, 0.0, 0.0],
+            quad_v: [0.0, 1.0, 0.0],
+            geometry_segments: 64,
+        },
+        heavy: HeavyPayload {
+            frame,
+            rank: 0,
+            texture_rgba8: texture.into(),
+            geometry: Arc::new((0..64).map(|i| ([i as f32, 0.0, 0.0], [i as f32, 1.0, 1.0])).collect()),
+        },
+    }
+}
+
+fn frame_chunks(frame: u32) -> Vec<FrameChunk> {
+    let payload = sample_frame(frame);
+    let segments = FrameSegments::encode(&payload);
+    let seg_bufs = [
+        segments.light.clone(),
+        segments.heavy_header.clone(),
+        segments.texture.clone(),
+        segments.geometry.clone(),
+    ];
+    let plans = plan_chunks(segments.lens(), CHUNK, STRIPES);
+    let total = plans.len() as u32;
+    plans
+        .iter()
+        .map(|p| FrameChunk {
+            frame,
+            rank: 0,
+            seq: p.seq,
+            total,
+            stripe: p.stripe,
+            stripe_seq: 0,
+            segment: p.segment,
+            payload: seg_bufs[p.segment as usize].slice(p.start..p.start + p.len),
+        })
+        .collect()
+}
+
+fn us_per_sf(elapsed: f64) -> f64 {
+    elapsed / (SESSIONS as f64 * f64::from(FRAMES)) * 1e6
+}
+
+fn main() {
+    let waves: Vec<Vec<FrameChunk>> = (0..FRAMES).map(frame_chunks).collect();
+    let chunks_per_frame = waves[0].len();
+    println!("sessions={SESSIONS} frames={FRAMES} chunks_per_frame={chunks_per_frame}");
+
+    // (a) multicast push only: one bounded channel per session, push every
+    // chunk of every frame into each, drain between frames off-clock.
+    {
+        let links: Vec<_> = (0..SESSIONS)
+            .map(|_| crossbeam::channel::bounded::<FrameChunk>(4096))
+            .collect();
+        let mut total = 0.0;
+        for wave in &waves {
+            let t = Instant::now();
+            for chunk in wave {
+                for (tx, _) in &links {
+                    let _ = tx.try_send(chunk.clone());
+                }
+            }
+            total += t.elapsed().as_secs_f64();
+            for (_, rx) in &links {
+                while rx.try_recv().is_ok() {}
+            }
+        }
+        println!("push_only           us_per_session_frame={:.3}", us_per_sf(total));
+    }
+
+    // (b) push + drain, same thread (channel round-trip cost, no assembly).
+    {
+        let links: Vec<_> = (0..SESSIONS)
+            .map(|_| crossbeam::channel::bounded::<FrameChunk>(4096))
+            .collect();
+        let t = Instant::now();
+        for wave in &waves {
+            for chunk in wave {
+                for (tx, _) in &links {
+                    let _ = tx.try_send(chunk.clone());
+                }
+            }
+            for (_, rx) in &links {
+                while let Ok(c) = rx.try_recv() {
+                    std::hint::black_box(&c);
+                }
+            }
+        }
+        println!(
+            "push_drain          us_per_session_frame={:.3}",
+            us_per_sf(t.elapsed().as_secs_f64())
+        );
+    }
+
+    // (c) push + drain through a per-session assembler (adds reassembly and
+    // the frame decode on completion).
+    {
+        let links: Vec<_> = (0..SESSIONS)
+            .map(|_| crossbeam::channel::bounded::<FrameChunk>(4096))
+            .collect();
+        let mut assemblers: Vec<FrameAssembler> = (0..SESSIONS).map(|_| FrameAssembler::new()).collect();
+        let t = Instant::now();
+        for wave in &waves {
+            for chunk in wave {
+                for (tx, _) in &links {
+                    let _ = tx.try_send(chunk.clone());
+                }
+            }
+            for ((_, rx), asm) in links.iter().zip(assemblers.iter_mut()) {
+                while let Ok(c) = rx.try_recv() {
+                    let _ = std::hint::black_box(asm.accept(c));
+                }
+            }
+        }
+        println!(
+            "push_drain_assemble us_per_session_frame={:.3}",
+            us_per_sf(t.elapsed().as_secs_f64())
+        );
+    }
+
+    // (d) split the assembler cost: accept of the first total-1 chunks
+    // (bookkeeping) vs the completing accept (segment join + frame decode).
+    {
+        let mut assemblers: Vec<FrameAssembler> = (0..SESSIONS).map(|_| FrameAssembler::new()).collect();
+        let mut partial = 0.0;
+        let mut complete = 0.0;
+        for wave in &waves {
+            let t = Instant::now();
+            for asm in assemblers.iter_mut() {
+                for chunk in &wave[..wave.len() - 1] {
+                    let _ = std::hint::black_box(asm.accept(chunk.clone()));
+                }
+            }
+            partial += t.elapsed().as_secs_f64();
+            let last = wave.last().unwrap();
+            let t = Instant::now();
+            for asm in assemblers.iter_mut() {
+                let _ = std::hint::black_box(asm.accept(last.clone()));
+            }
+            complete += t.elapsed().as_secs_f64();
+        }
+        println!("accept_partial      us_per_session_frame={:.3}", us_per_sf(partial));
+        println!("accept_complete     us_per_session_frame={:.3}", us_per_sf(complete));
+        let s = &assemblers[0].stats;
+        println!(
+            "  (per-session stats: frames={} reassembly_copies={})",
+            s.frames, s.reassembly_copies
+        );
+    }
+
+    // (c') the same push+drain+assemble wave with a plane-shared decode memo
+    // — what the service planes actually run.
+    {
+        let memo = Arc::new(visapult_core::transport::SharedDecode::new());
+        let links: Vec<_> = (0..SESSIONS)
+            .map(|_| crossbeam::channel::bounded::<FrameChunk>(4096))
+            .collect();
+        let mut assemblers: Vec<FrameAssembler> = (0..SESSIONS)
+            .map(|_| FrameAssembler::with_shared_decode(Arc::clone(&memo)))
+            .collect();
+        let t = Instant::now();
+        for wave in &waves {
+            for chunk in wave {
+                for (tx, _) in &links {
+                    let _ = tx.try_send(chunk.clone());
+                }
+            }
+            for ((_, rx), asm) in links.iter().zip(assemblers.iter_mut()) {
+                while let Ok(c) = rx.try_recv() {
+                    let _ = std::hint::black_box(asm.accept(c));
+                }
+            }
+        }
+        println!(
+            "assemble_shared     us_per_session_frame={:.3}",
+            us_per_sf(t.elapsed().as_secs_f64())
+        );
+    }
+
+    // (e) decode alone: re-decode the same reassembled segments once per
+    // session per frame, the way every per-session assembler does today.
+    {
+        let segs: Vec<FrameSegments> = (0..FRAMES).map(|f| FrameSegments::encode(&sample_frame(f))).collect();
+        let t = Instant::now();
+        for seg in &segs {
+            for _ in 0..SESSIONS {
+                let _ = std::hint::black_box(seg.clone().decode().unwrap());
+            }
+        }
+        println!(
+            "decode_only         us_per_session_frame={:.3}",
+            us_per_sf(t.elapsed().as_secs_f64())
+        );
+    }
+}

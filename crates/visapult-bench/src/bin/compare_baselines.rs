@@ -1,9 +1,12 @@
 //! Regression gate for the committed bench baselines.
 //!
 //! Diffs freshly generated `BENCH_*.json` records against the committed
-//! copies and fails (exit 1) when any *headline* entry — `median_s` or
-//! `us_per_session_frame`, both lower-is-better — regressed by more than the
-//! allowed ratio (default 1.3, i.e. >30 % slower) or vanished outright.
+//! copies, prints a per-metric delta table (committed → fresh, signed change,
+//! direction, status) for every headline entry, and fails (exit 1) only when
+//! an entry moved in the *wrong* direction — slower latency, lower
+//! throughput/hit-rate — by more than the allowed worseness ratio (default
+//! 1.3, i.e. >30 % worse) or vanished outright.  Improvements, however
+//! large, never fail the gate.
 //!
 //! ```text
 //! compare_baselines [--committed <dir>] [--fresh <dir>] [--max-ratio <r>]
@@ -17,7 +20,7 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use visapult_bench::headline_regressions;
+use visapult_bench::baseline_deltas;
 
 const DEFAULT_MAX_RATIO: f64 = 1.3;
 
@@ -90,22 +93,40 @@ fn main() -> ExitCode {
             }
         };
         compared += 1;
-        let regressions = headline_regressions(&committed, &fresh, max_ratio);
-        if regressions.is_empty() {
-            println!("{name}: ok (headline entries within {max_ratio:.2}x)");
-        } else {
+        let deltas = baseline_deltas(&committed, &fresh);
+        let regressed = deltas.iter().filter(|d| d.regressed(max_ratio)).count();
+        if regressed > 0 {
             failed = true;
-            println!("{name}: {} headline regression(s)", regressions.len());
-            for r in regressions {
-                if r.fresh.is_nan() {
-                    println!("  {}: {} -> MISSING", r.path, r.committed);
-                } else {
-                    println!(
-                        "  {}: {} -> {} ({:.2}x, allowed {max_ratio:.2}x)",
-                        r.path, r.committed, r.fresh, r.ratio
-                    );
-                }
-            }
+        }
+        println!(
+            "{name}: {} headline metric(s), {regressed} regression(s) beyond {max_ratio:.2}x",
+            deltas.len()
+        );
+        let width = deltas.iter().map(|d| d.path.len()).max().unwrap_or(6).max(6);
+        println!(
+            "  {:width$}  {:>14}  {:>14}  {:>8}  {:>9}  direction",
+            "metric", "committed", "fresh", "change", "status"
+        );
+        for d in &deltas {
+            let fresh_cell = if d.fresh.is_nan() {
+                "MISSING".to_string()
+            } else {
+                format!("{:.6}", d.fresh)
+            };
+            let change_cell = if d.fresh.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:+.1}%", d.change_percent())
+            };
+            println!(
+                "  {:width$}  {:>14.6}  {:>14}  {:>8}  {:>9}  {}",
+                d.path,
+                d.committed,
+                fresh_cell,
+                change_cell,
+                d.status(max_ratio),
+                d.direction.label(),
+            );
         }
     }
     if compared == 0 {
@@ -113,9 +134,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if failed {
-        eprintln!("compare_baselines: FAILED — headline entries regressed past {max_ratio:.2}x");
+        eprintln!("compare_baselines: FAILED — headline entries moved the wrong way past {max_ratio:.2}x");
         return ExitCode::FAILURE;
     }
-    println!("compare_baselines: all committed baselines hold within {max_ratio:.2}x");
+    println!("compare_baselines: all committed baselines hold within {max_ratio:.2}x (wrong-direction moves only)");
     ExitCode::SUCCESS
 }

@@ -37,8 +37,118 @@ pub fn persist_baseline(name: &str, json: &str) -> Vec<PathBuf> {
         .collect()
 }
 
-/// One headline bench entry that regressed (or vanished) between a committed
-/// baseline and a fresh run.
+/// Which way a gated bench metric improves.  The regression gate is
+/// *direction-aware*: a throughput that climbs and a latency that falls are
+/// both improvements, and neither may fail CI — only movement in the wrong
+/// direction beyond the tolerance does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Time- or space-per-unit: smaller fresh values are improvements.
+    LowerIsBetter,
+    /// Throughput, hit rates, speedup ratios: larger fresh values are
+    /// improvements.
+    HigherIsBetter,
+}
+
+impl Direction {
+    /// Human tag for the delta table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::LowerIsBetter => "lower is better",
+            Direction::HigherIsBetter => "higher is better",
+        }
+    }
+
+    /// Normalized "how much worse" ratio: `1.0` is unchanged, above `1.0` the
+    /// fresh value moved in the wrong direction, below it improved.  A
+    /// degenerate committed value (zero) compares as unchanged; a
+    /// higher-is-better metric that collapsed to zero is infinitely worse.
+    pub fn worseness(self, committed: f64, fresh: f64) -> f64 {
+        match self {
+            Direction::LowerIsBetter => {
+                if committed > 0.0 {
+                    fresh / committed
+                } else {
+                    1.0
+                }
+            }
+            Direction::HigherIsBetter => {
+                if committed <= 0.0 {
+                    1.0
+                } else if fresh > 0.0 {
+                    committed / fresh
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+/// The headline keys the baseline gate tracks, each with its direction.
+/// Every other numeric entry in a `BENCH_*.json` is context, free to drift.
+pub const HEADLINE_METRICS: &[(&str, Direction)] = &[
+    ("median_s", Direction::LowerIsBetter),
+    ("us_per_session_frame", Direction::LowerIsBetter),
+    ("bytes_per_op", Direction::LowerIsBetter),
+    ("mbytes_per_s", Direction::HigherIsBetter),
+    ("shared_render_hit_rate", Direction::HigherIsBetter),
+    ("warm_speedup_vs_uncached", Direction::HigherIsBetter),
+    ("zero_copy_roundtrip_vs_legacy_encode", Direction::HigherIsBetter),
+    ("speedup_vs_1_shard", Direction::HigherIsBetter),
+];
+
+/// One gated entry's committed-vs-fresh comparison — the full table, not just
+/// the failures, so CI can print every metric's movement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineDelta {
+    /// Dotted JSON path of the entry (e.g. `cases.sessions_8.median_s`).
+    pub path: String,
+    /// Which way this metric improves.
+    pub direction: Direction,
+    /// The committed (baseline) value.
+    pub committed: f64,
+    /// The freshly measured value (`NaN` when the entry vanished).
+    pub fresh: f64,
+    /// Normalized worseness (see [`Direction::worseness`]; `inf` when the
+    /// entry vanished).
+    pub worseness: f64,
+}
+
+impl BaselineDelta {
+    /// True when this entry moved in the wrong direction past the tolerance
+    /// (or vanished) — the only condition that fails the gate.
+    pub fn regressed(&self, max_ratio: f64) -> bool {
+        self.worseness > max_ratio
+    }
+
+    /// Signed raw value change in percent (positive = fresh value larger).
+    pub fn change_percent(&self) -> f64 {
+        if self.committed.abs() > 0.0 {
+            (self.fresh - self.committed) / self.committed * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Table status cell: `REGRESSED` / `MISSING` fail the gate; `improved`
+    /// and `ok` never do, whatever the magnitude of the improvement.
+    pub fn status(&self, max_ratio: f64) -> &'static str {
+        if self.fresh.is_nan() {
+            "MISSING"
+        } else if self.regressed(max_ratio) {
+            "REGRESSED"
+        } else if self.worseness < 1.0 {
+            "improved"
+        } else {
+            "ok"
+        }
+    }
+}
+
+/// Kept for callers that only want the failures: the vanished entries plus
+/// everything [`BaselineDelta::regressed`] flags.  `ratio` is the normalized
+/// worseness, so `1.5` always reads "50 % worse" regardless of direction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BaselineRegression {
     /// Dotted JSON path of the entry (e.g. `cases.sessions_8.median_s`).
@@ -47,14 +157,9 @@ pub struct BaselineRegression {
     pub committed: f64,
     /// The freshly measured value (`NaN` when the entry vanished).
     pub fresh: f64,
-    /// `fresh / committed` (`inf` when the entry vanished).
+    /// Normalized worseness (`inf` when the entry vanished).
     pub ratio: f64,
 }
-
-/// The headline keys [`headline_regressions`] gates on: both are
-/// time-per-unit, so *lower is better* and a ratio above the threshold is a
-/// regression.
-pub const HEADLINE_KEYS: &[&str] = &["median_s", "us_per_session_frame"];
 
 fn as_f64(v: &serde::Value) -> Option<f64> {
     match v {
@@ -65,13 +170,14 @@ fn as_f64(v: &serde::Value) -> Option<f64> {
     }
 }
 
-fn walk_headlines(
-    committed: &serde::Value,
-    fresh: &serde::Value,
-    path: &str,
-    max_ratio: f64,
-    out: &mut Vec<BaselineRegression>,
-) {
+fn headline_direction(key: &str) -> Option<Direction> {
+    HEADLINE_METRICS
+        .iter()
+        .find(|(name, _)| *name == key)
+        .map(|&(_, direction)| direction)
+}
+
+fn walk_headlines(committed: &serde::Value, fresh: &serde::Value, path: &str, out: &mut Vec<BaselineDelta>) {
     let Some(entries) = committed.as_map() else { return };
     for (key, value) in entries {
         let child_path = if path.is_empty() {
@@ -79,48 +185,56 @@ fn walk_headlines(
         } else {
             format!("{path}.{key}")
         };
-        if HEADLINE_KEYS.contains(&key.as_str()) {
+        if let Some(direction) = headline_direction(key) {
             if let Some(base) = as_f64(value) {
-                match fresh.get(key).and_then(as_f64) {
-                    Some(now) => {
-                        let ratio = if base > 0.0 { now / base } else { 1.0 };
-                        if ratio > max_ratio {
-                            out.push(BaselineRegression {
-                                path: child_path,
-                                committed: base,
-                                fresh: now,
-                                ratio,
-                            });
-                        }
-                    }
-                    None => out.push(BaselineRegression {
-                        path: child_path,
-                        committed: base,
-                        fresh: f64::NAN,
-                        ratio: f64::INFINITY,
-                    }),
-                }
+                let (now, worseness) = match fresh.get(key).and_then(as_f64) {
+                    Some(now) => (now, direction.worseness(base, now)),
+                    None => (f64::NAN, f64::INFINITY),
+                };
+                out.push(BaselineDelta {
+                    path: child_path,
+                    direction,
+                    committed: base,
+                    fresh: now,
+                    worseness,
+                });
                 continue;
             }
         }
         if value.as_map().is_some() {
             match fresh.get(key) {
-                Some(fresh_child) => walk_headlines(value, fresh_child, &child_path, max_ratio, out),
-                None => walk_headlines(value, &serde::Value::Null, &child_path, max_ratio, out),
+                Some(fresh_child) => walk_headlines(value, fresh_child, &child_path, out),
+                None => walk_headlines(value, &serde::Value::Null, &child_path, out),
             }
         }
     }
 }
 
-/// Diff a fresh bench record against a committed baseline: every headline
-/// entry (see [`HEADLINE_KEYS`]) whose fresh value exceeds
-/// `max_ratio × committed`, plus any headline entry the fresh record lost.
-/// Non-headline and newly added entries are ignored — baselines may grow
-/// freely; they may not silently get slower.
-pub fn headline_regressions(committed: &serde::Value, fresh: &serde::Value, max_ratio: f64) -> Vec<BaselineRegression> {
+/// Diff a fresh bench record against a committed baseline: one
+/// [`BaselineDelta`] per headline entry (see [`HEADLINE_METRICS`]), in the
+/// committed record's order — improvements included, so the caller can print
+/// the complete per-metric table.  Non-headline and newly added entries are
+/// ignored: baselines may grow freely; they may not silently get worse.
+pub fn baseline_deltas(committed: &serde::Value, fresh: &serde::Value) -> Vec<BaselineDelta> {
     let mut out = Vec::new();
-    walk_headlines(committed, fresh, "", max_ratio, &mut out);
+    walk_headlines(committed, fresh, "", &mut out);
     out
+}
+
+/// The failures alone: every headline entry whose fresh value moved in the
+/// wrong direction past `max_ratio`, plus any headline entry the fresh
+/// record lost.
+pub fn headline_regressions(committed: &serde::Value, fresh: &serde::Value, max_ratio: f64) -> Vec<BaselineRegression> {
+    baseline_deltas(committed, fresh)
+        .into_iter()
+        .filter(|d| d.regressed(max_ratio))
+        .map(|d| BaselineRegression {
+            path: d.path,
+            committed: d.committed,
+            fresh: d.fresh,
+            ratio: d.worseness,
+        })
+        .collect()
 }
 
 /// One row of a paper-vs-measured comparison.
@@ -284,6 +398,34 @@ mod tests {
         assert!((found[0].ratio - 1.5).abs() < 1e-9);
         assert_eq!(found[1].path, "cases.b.us_per_session_frame");
         assert!(found[1].fresh.is_nan() && found[1].ratio.is_infinite());
+    }
+
+    #[test]
+    fn higher_is_better_metrics_gate_on_drops_not_rises() {
+        let committed: serde::Value =
+            serde_json::from_str(r#"{"t": {"mbytes_per_s": 100.0, "median_s": 1.0}}"#).unwrap();
+        // Throughput doubled and latency halved: both are wrong-direction-free.
+        let fresh: serde::Value = serde_json::from_str(r#"{"t": {"mbytes_per_s": 200.0, "median_s": 0.5}}"#).unwrap();
+        assert!(headline_regressions(&committed, &fresh, 1.3).is_empty());
+        let deltas = baseline_deltas(&committed, &fresh);
+        assert_eq!(deltas.len(), 2, "{deltas:?}");
+        assert!(deltas.iter().all(|d| d.status(1.3) == "improved"), "{deltas:?}");
+
+        // Throughput halved: a 2.0x wrong-direction move on a higher-is-better
+        // metric, even though the raw value moved "down" like a latency would.
+        let fresh: serde::Value = serde_json::from_str(r#"{"t": {"mbytes_per_s": 50.0, "median_s": 1.0}}"#).unwrap();
+        let found = headline_regressions(&committed, &fresh, 1.3);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].path, "t.mbytes_per_s");
+        assert!((found[0].ratio - 2.0).abs() < 1e-9);
+
+        let deltas = baseline_deltas(&committed, &fresh);
+        let throughput = deltas.iter().find(|d| d.path == "t.mbytes_per_s").unwrap();
+        assert_eq!(throughput.direction, Direction::HigherIsBetter);
+        assert_eq!(throughput.status(1.3), "REGRESSED");
+        assert!((throughput.change_percent() + 50.0).abs() < 1e-9);
+        let latency = deltas.iter().find(|d| d.path == "t.median_s").unwrap();
+        assert_eq!(latency.status(1.3), "ok");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::campaign::sim::{SimCampaignConfig, SimTransportModel, DEFAULT_WAN_EFF
 use crate::config::{ExecutionMode, PipelineConfig};
 use crate::error::VisapultError;
 use crate::pipeline::Pipeline;
-use crate::service::{BackendPlacement, PlaneKind, QualityTier, ServiceConfig, SessionSpec};
+use crate::service::{shard_overprovision, BackendPlacement, PlaneKind, QualityTier, ServiceConfig, SessionSpec};
 use crate::transport::{TcpTuning, TransportConfig};
 use dpss::{CacheConfig, DatasetDescriptor, DpssSimModel};
 use netsim::{TcpModel, TestbedKind};
@@ -446,6 +446,30 @@ pub struct ResolvedScenario {
 }
 
 impl ResolvedScenario {
+    /// Advisory validation notes: configurations that resolve (and run)
+    /// correctly but cannot deliver what they provision.  Currently one
+    /// check: a `[service]` table whose broker shards exceed a stage
+    /// schedule's distinct viewpoints — sessions partition into shards by
+    /// viewpoint hash, so the surplus shards are guaranteed idle.  Surfaced
+    /// as `note:` lines in the campaign report and mirrored by the
+    /// `SERVICE_SHARDS_IDLE` NetLogger event both execution paths emit.
+    pub fn validation_notes(&self) -> Vec<String> {
+        let mut notes = Vec::new();
+        if let Some(svc) = &self.service {
+            for (i, sessions) in svc.by_stage.iter().enumerate() {
+                if let Some((shards, viewpoints)) = shard_overprovision(&svc.config, sessions) {
+                    notes.push(format!(
+                        "stage `{}`: {shards} broker shards but only {viewpoints} distinct session viewpoint(s) — \
+                         {} shard(s) can never own a session under viewpoint-hash partitioning",
+                        self.stages[i].name,
+                        shards - viewpoints,
+                    ));
+                }
+            }
+        }
+        notes
+    }
+
     /// The shared pipeline configuration for one stage — the single builder
     /// both execution paths consume (this is the de-duplication the seed's
     /// twin config structs lacked).

@@ -153,6 +153,11 @@ pub struct CampaignReport {
     pub service: Option<ServiceReport>,
     /// The merged NetLogger log across all stages, on one time axis.
     pub log: EventLog,
+    /// Advisory validation notes from scenario resolution (see
+    /// [`super::compile::ResolvedScenario::validation_notes`]); empty for a
+    /// well-provisioned spec.  Not fingerprinted — notes describe the
+    /// configuration, not the run.
+    pub notes: Vec<String>,
 }
 
 pub(crate) const FNV_OFFSET: u64 = 0xcbf29ce484222325;
@@ -407,6 +412,9 @@ impl CampaignReport {
                 s.totals.render_requests,
                 s.shared_render_hit_rate() * 100.0,
             ));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
         }
         out
     }

@@ -771,6 +771,45 @@ fn sharded_service_lifecycle_telemetry_is_identical_across_paths() {
 }
 
 #[test]
+fn overprovisioned_shards_warn_without_failing() {
+    // 4 broker shards over a schedule with 2 distinct viewpoints: sessions
+    // partition into shards by viewpoint hash, so two shards can never own a
+    // session.  The spec still resolves and runs — but the advisory surfaces
+    // as a validation note, a report `note:` line, and the
+    // SERVICE_SHARDS_IDLE NetLogger event, identically on both paths.
+    let overprovisioned = |path| {
+        let mut spec = service_spec(path);
+        spec.service.as_mut().unwrap().shards = Some(4);
+        spec
+    };
+    let resolved = overprovisioned(ExecutionPath::VirtualTime).resolve().unwrap();
+    let notes = resolved.validation_notes();
+    assert_eq!(notes.len(), 1, "{notes:?}");
+    assert!(notes[0].contains("4 broker shards"), "{}", notes[0]);
+    assert!(notes[0].contains("2 distinct"), "{}", notes[0]);
+
+    let real = run_scenario(&overprovisioned(ExecutionPath::Real)).unwrap();
+    let sim = run_scenario(&overprovisioned(ExecutionPath::VirtualTime)).unwrap();
+    for report in [&real, &sim] {
+        assert_eq!(report.notes.len(), 1, "{:?}", report.notes);
+        assert_eq!(report.log.with_tag(tags::SERVICE_SHARDS_IDLE).count(), 1);
+        assert!(
+            report.to_table().contains("note: stage `full`"),
+            "{}",
+            report.to_table()
+        );
+    }
+
+    // A shard count the viewpoints can populate stays silent.
+    let mut quiet = service_spec(ExecutionPath::VirtualTime);
+    quiet.service.as_mut().unwrap().shards = Some(2);
+    let report = run_scenario(&quiet).unwrap();
+    assert!(report.notes.is_empty(), "{:?}", report.notes);
+    assert_eq!(report.log.with_tag(tags::SERVICE_SHARDS_IDLE).count(), 0);
+    assert!(!report.to_table().contains("note:"));
+}
+
+#[test]
 fn a_partitioned_real_farm_renders_the_same_pixels_as_the_single_farm() {
     // Frame content is a pure function of (config, global rank, frame), so
     // splitting the PE ranks across backends must not move a single pixel

@@ -530,6 +530,7 @@ impl Pipeline {
             },
             service,
             log: merged,
+            notes: resolved.validation_notes(),
         })
     }
 

@@ -15,7 +15,8 @@ use crate::error::VisapultError;
 use crate::service::asyncplane::{drive_async_service_plane, drive_sharded_async_plane};
 use crate::service::fanout::drive_sharded_service_plane;
 use crate::service::{
-    drive_service_plane, log_service_stats, PlaneKind, ServiceRunReport, SessionBroker, ShardedBroker,
+    drive_service_plane, log_service_stats, log_shard_overprovision, shard_overprovision, PlaneKind, ServiceRunReport,
+    SessionBroker, ShardedBroker,
 };
 use crate::transport::{plan_chunks, striped_link, StripeReceiver, StripeSender, TransportConfig};
 use netlogger::Collector;
@@ -244,17 +245,20 @@ struct FanoutSession {
 impl PlaneSession for FanoutSession {
     fn finish(
         self: Box<Self>,
-        _ctx: &StageContext<'_>,
+        ctx: &StageContext<'_>,
         _run: &FarmRun,
         collector: &Collector,
     ) -> Result<Option<ServiceRunReport>, VisapultError> {
         let report = self.handle.join().expect("service plane panicked");
-        log_service_stats(
-            &collector.logger("service", "session-broker"),
-            None,
-            &report.stats,
-            &report.events,
-        );
+        let logger = collector.logger("service", "session-broker");
+        log_service_stats(&logger, None, &report.stats, &report.events);
+        if let Some((shards, viewpoints)) = ctx
+            .service
+            .as_ref()
+            .and_then(|plan| shard_overprovision(&plan.config, &plan.sessions))
+        {
+            log_shard_overprovision(&logger, None, shards, viewpoints);
+        }
         Ok(Some(report))
     }
 }
@@ -317,12 +321,11 @@ impl PlaneSession for ReplaySession {
             broker.fold_fanout_load(&per_frame);
             (broker.stats().clone(), broker.events().to_vec())
         };
-        log_service_stats(
-            &collector.logger("service", "session-broker"),
-            Some(run.total_time),
-            &stats,
-            &events,
-        );
+        let logger = collector.logger("service", "session-broker");
+        log_service_stats(&logger, Some(run.total_time), &stats, &events);
+        if let Some((shards, viewpoints)) = shard_overprovision(&plan.config, &plan.sessions) {
+            log_shard_overprovision(&logger, Some(run.total_time), shards, viewpoints);
+        }
         Ok(Some(ServiceRunReport {
             stats,
             sessions: Vec::new(),

@@ -31,17 +31,17 @@
 //! [`SessionBroker`] through the identical seam functions.
 
 use super::fanout::{
-    consume_chunk, empty_delivery, fold_report, multicast_chunk, session_link, surface_pending_frames, PeOutcome,
-    SessionEndpoint,
+    consume_chunk, empty_delivery, fold_report, multicast_wave, session_link, surface_pending_frames, PeOutcome,
+    SessionEndpoint, WaveBuffer,
 };
 use super::sharded::CountedLock;
 use super::{ServiceRunReport, SessionBroker, SessionDelivery, SessionEvent, ShardedBroker};
 use crate::pipeline::{Clock, WallClock};
 use crate::transport::{FrameChunk, StripeReceiver, StripeSender, TransportConfig, TransportError};
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
-use exec::{Executor, Poll, Spawner, Task, TaskHandle};
+use crossbeam::channel::{bounded, ReadyHook, Receiver, Sender, TryRecvError, TrySendError};
+use exec::{Executor, Poll, Spawner, Task, TaskHandle, Waker};
 use netsim::StripePacer;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -70,16 +70,29 @@ fn take<T>(s: &Slot<T>) -> Option<T> {
     s.lock().unwrap_or_else(|e| e.into_inner()).take()
 }
 
+/// A channel readiness hook that fires a task's [`Waker`] — how every task
+/// below turns "my queue moved" into a targeted re-schedule instead of an
+/// executor sweep finding it eventually.
+fn wake_hook(waker: Waker) -> ReadyHook {
+    Arc::new(move || waker.wake())
+}
+
 /// Broker + endpoints + consumer-task registry, shared by every pump.  One
 /// per shard on the sharded plane (with its own lock and its own executor's
 /// spawner); the classic plane is the one-shard instance.
 struct AsyncState {
     broker: SessionBroker,
     endpoints: Vec<Arc<SessionEndpoint>>,
+    /// Position in `endpoints` per global session index (endpoints are
+    /// append-only): O(1) Left/Evicted closes instead of an O(live) scan.
+    endpoint_of: HashMap<usize, usize>,
     consumers: Vec<(usize, TaskHandle, Slot<SessionDelivery>)>,
     /// Global schedule index per local broker index (empty = identity, the
     /// unsharded plane).
     globals: Vec<usize>,
+    /// Decode memo shared by every consumer this shard spawns: sessions all
+    /// receive the same multicast chunks, so each frame decodes once.
+    decode: Arc<crate::transport::SharedDecode>,
 }
 
 impl AsyncState {
@@ -111,16 +124,17 @@ impl AsyncState {
                         clock: Arc::clone(clock),
                         ready_at: Duration::ZERO,
                         delivery: Some(empty_delivery(&spec)),
-                        assembler: crate::transport::FrameAssembler::new(),
+                        assembler: crate::transport::FrameAssembler::with_shared_decode(Arc::clone(&self.decode)),
                         out: Arc::clone(&out),
                     }));
                     self.consumers.push((global, handle, out));
+                    self.endpoint_of.insert(global, self.endpoints.len());
                     self.endpoints.push(SessionEndpoint::new(global, spec, tx));
                 }
                 SessionEvent::Left { session } | SessionEvent::Evicted { session } => {
                     let global = self.global(session);
-                    if let Some(ep) = self.endpoints.iter().find(|e| e.session == global) {
-                        ep.close_at(at);
+                    if let Some(&i) = self.endpoint_of.get(&global) {
+                        self.endpoints[i].close_at(at);
                     }
                 }
                 SessionEvent::Rejected { .. } => {}
@@ -147,6 +161,9 @@ struct PumpTask {
     endpoints: Vec<Arc<SessionEndpoint>>,
     snapshot_frame: Option<u32>,
     skips: HashSet<(usize, u32)>,
+    /// The current frame's chunks, held back so the multicast can burst each
+    /// session's whole wave contiguously (one consumer wake per frame).
+    wave: WaveBuffer,
     outcome: Option<PeOutcome>,
     out: Slot<PeOutcome>,
 }
@@ -171,6 +188,17 @@ fn forward_primary_chunk(primary_tx: &mut Option<StripeSender>, chunk: FrameChun
 }
 
 impl Task for PumpTask {
+    fn bind(&mut self, waker: Waker) {
+        // Everything this task can park on wakes it: a chunk arriving on the
+        // backend link (or the link closing), and — when a full primary
+        // viewer queue leaves a chunk carried — a slot freeing up there.
+        let hook = wake_hook(waker);
+        self.rx.set_data_hook(Arc::clone(&hook));
+        if let Some(tx) = &self.primary_tx {
+            tx.set_space_hook(hook);
+        }
+    }
+
     fn poll(&mut self) -> Poll {
         let mut progressed = false;
         let mut budget = POLL_BUDGET;
@@ -181,12 +209,19 @@ impl Task for PumpTask {
                 match forward_primary_chunk(&mut self.primary_tx, chunk) {
                     Ok(chunk) => {
                         let outcome = self.outcome.as_mut().expect("pump still running");
-                        multicast_chunk(&chunk, &self.endpoints, &mut self.skips, outcome);
+                        // Session-major wave burst: buffer until the frame's
+                        // chunks are all in, then hand every session its run
+                        // contiguously — one consumer wake per wave instead
+                        // of one per chunk (see [`WaveBuffer`]).
+                        if self.wave.push(chunk) {
+                            multicast_wave(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
+                        }
                         progressed = true;
                     }
                     Err(chunk) => {
+                        // Primary full: the space hook re-queues this task.
                         self.carry = Some(chunk);
-                        return if progressed { Poll::Progress } else { Poll::Idle };
+                        return if progressed { Poll::Progress } else { Poll::Blocked };
                     }
                 }
             }
@@ -199,6 +234,12 @@ impl Task for PumpTask {
                     let frame = chunk.frame;
                     let outcome = self.outcome.as_mut().expect("pump still running");
                     outcome.record_offered(&chunk);
+                    // A chunk for a new (rank, frame) closes the buffered
+                    // wave: flush it against the snapshot it belongs to,
+                    // *before* churn refreshes the endpoints.
+                    if self.wave.must_flush_before(&chunk) {
+                        multicast_wave(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
+                    }
                     // Drive churn from the frame counter, then refresh the
                     // endpoint snapshot — same high-water rule and the same
                     // correctness argument as the threaded plane; shards are
@@ -216,11 +257,17 @@ impl Task for PumpTask {
                 }
                 None => {
                     if self.rx.is_closed() {
-                        // Backend link drained and closed: this PE is done.
+                        // Backend link drained and closed: flush the
+                        // trailing (possibly mid-frame) wave; this PE is
+                        // done.
+                        let outcome = self.outcome.as_mut().expect("pump still running");
+                        multicast_wave(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
                         fill(&self.out, self.outcome.take().expect("pump finishes once"));
                         return Poll::Ready;
                     }
-                    return if progressed { Poll::Progress } else { Poll::Idle };
+                    // Link empty: the data hook re-queues this task on the
+                    // next arrival (or on close).
+                    return if progressed { Poll::Progress } else { Poll::Blocked };
                 }
             }
         }
@@ -245,6 +292,20 @@ struct ShardPumpTask {
 }
 
 impl Task for ShardPumpTask {
+    fn bind(&mut self, waker: Waker) {
+        // Everything this task can park on wakes it: backend-link arrivals
+        // and closure, a slot freeing in a full primary viewer queue, and a
+        // slot freeing in any full fan lane.
+        let hook = wake_hook(waker);
+        self.rx.set_data_hook(Arc::clone(&hook));
+        if let Some(tx) = &self.primary_tx {
+            tx.set_space_hook(Arc::clone(&hook));
+        }
+        for lane in &self.lanes {
+            lane.set_space_hook(Arc::clone(&hook));
+        }
+    }
+
     fn poll(&mut self) -> Poll {
         let mut progressed = false;
         let mut budget = POLL_BUDGET;
@@ -256,8 +317,9 @@ impl Task for ShardPumpTask {
                 match forward_primary_chunk(&mut self.primary_tx, chunk) {
                     Ok(chunk) => self.fan_carry = Some((0, chunk)),
                     Err(chunk) => {
+                        // Primary full: the space hook re-queues this task.
                         self.carry = Some(chunk);
-                        return if progressed { Poll::Progress } else { Poll::Idle };
+                        return if progressed { Poll::Progress } else { Poll::Blocked };
                     }
                 }
             }
@@ -267,8 +329,9 @@ impl Task for ShardPumpTask {
                     match self.lanes[lane].try_send(chunk.clone()) {
                         Ok(()) => lane += 1,
                         Err(TrySendError::Full(_)) => {
+                            // Lane full: its space hook re-queues this task.
                             self.fan_carry = Some((lane, chunk));
-                            return if progressed { Poll::Progress } else { Poll::Idle };
+                            return if progressed { Poll::Progress } else { Poll::Blocked };
                         }
                         // A dead fan task can't deliver anyway; the sessions
                         // behind it will surface missing frames.
@@ -295,7 +358,9 @@ impl Task for ShardPumpTask {
                         fill(&self.out, self.outcome.take().expect("pump finishes once"));
                         return Poll::Ready;
                     }
-                    return if progressed { Poll::Progress } else { Poll::Idle };
+                    // Link empty: the data hook re-queues this task on the
+                    // next arrival (or on close).
+                    return if progressed { Poll::Progress } else { Poll::Blocked };
                 }
             }
         }
@@ -318,11 +383,20 @@ struct ShardFanTask {
     endpoints: Vec<Arc<SessionEndpoint>>,
     snapshot_frame: Option<u32>,
     skips: HashSet<(usize, u32)>,
+    /// The current frame's chunks, held back so the multicast can burst each
+    /// session's whole wave contiguously (one consumer wake per frame).
+    wave: WaveBuffer,
     outcome: Option<PeOutcome>,
     out: Slot<PeOutcome>,
 }
 
 impl Task for ShardFanTask {
+    fn bind(&mut self, waker: Waker) {
+        // The fan lane is this task's only input; its data hook (arrival or
+        // every-pump-finished disconnect) is the only wake it needs.
+        self.rx.set_data_hook(wake_hook(waker));
+    }
+
     fn poll(&mut self) -> Poll {
         let mut progressed = false;
         for _ in 0..POLL_BUDGET {
@@ -330,6 +404,13 @@ impl Task for ShardFanTask {
                 Ok(chunk) => {
                     progressed = true;
                     let frame = chunk.frame;
+                    // A chunk for a new (rank, frame) closes the buffered
+                    // wave: flush it against the snapshot it belongs to,
+                    // *before* churn refreshes the endpoints.
+                    if self.wave.must_flush_before(&chunk) {
+                        let outcome = self.outcome.as_mut().expect("fan task still running");
+                        multicast_wave(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
+                    }
                     // Same high-water churn rule as the pump on the classic
                     // plane, but the lock is held only to advance the broker
                     // and clone out the endpoint list — the multicast itself
@@ -342,14 +423,22 @@ impl Task for ShardFanTask {
                         self.snapshot_frame = Some(frame);
                     }
                     let outcome = self.outcome.as_mut().expect("fan task still running");
-                    multicast_chunk(&chunk, &self.endpoints, &mut self.skips, outcome);
+                    // Session-major wave burst (see [`WaveBuffer`]): one
+                    // consumer wake per wave instead of one per chunk.
+                    if self.wave.push(chunk) {
+                        multicast_wave(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
+                    }
                 }
                 Err(TryRecvError::Empty) => {
-                    return if progressed { Poll::Progress } else { Poll::Idle };
+                    // Lane empty: its data hook re-queues this task.
+                    return if progressed { Poll::Progress } else { Poll::Blocked };
                 }
                 Err(TryRecvError::Disconnected) => {
-                    // Every pump finished and the lane is dry: this shard has
+                    // Every pump finished and the lane is dry: flush the
+                    // trailing (possibly mid-frame) wave; this shard has
                     // multicast everything it will ever see.
+                    let outcome = self.outcome.as_mut().expect("fan task still running");
+                    multicast_wave(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
                     fill(&self.out, self.outcome.take().expect("fan task finishes once"));
                     return Poll::Ready;
                 }
@@ -374,9 +463,21 @@ struct ConsumerTask {
 }
 
 impl Task for ConsumerTask {
+    fn bind(&mut self, waker: Waker) {
+        // The session queue is this task's only input; arrivals and the
+        // endpoints-all-dropped close both fire its data hook.  A pacing
+        // deadline is the one wait with no hook — those polls stay `Idle`.
+        self.rx.set_data_hook(wake_hook(waker));
+    }
+
     fn poll(&mut self) -> Poll {
-        if self.clock.monotonic_now() < self.ready_at {
-            return Poll::Idle;
+        // Only paced sessions ever set a deadline; the unpaced fast path
+        // (the 10k-session floor) must not pay a clock read per idle poll.
+        if self.ready_at > Duration::ZERO {
+            if self.clock.monotonic_now() < self.ready_at {
+                return Poll::Idle;
+            }
+            self.ready_at = Duration::ZERO;
         }
         let mut progressed = false;
         for _ in 0..POLL_BUDGET {
@@ -405,7 +506,11 @@ impl Task for ConsumerTask {
                         fill(&self.out, delivery);
                         return Poll::Ready;
                     }
-                    return if progressed { Poll::Progress } else { Poll::Idle };
+                    // Queue empty, no pacing deadline pending (a pace always
+                    // returns `Progress` above): the data hook re-queues this
+                    // task on the next chunk or on close.  This is the poll
+                    // the 10k idle consumers used to burn sweeps on.
+                    return if progressed { Poll::Progress } else { Poll::Blocked };
                 }
             }
         }
@@ -451,8 +556,10 @@ pub(crate) fn drive_async_service_plane_on(
     let shard = Arc::new(CountedLock::new(AsyncState {
         broker,
         endpoints: Vec::new(),
+        endpoint_of: HashMap::new(),
         consumers: Vec::new(),
         globals: Vec::new(),
+        decode: Arc::new(crate::transport::SharedDecode::new()),
     }));
     let shards = vec![(Arc::clone(&shard), spawner.clone())];
     let outcomes = run_async_pumps(clock, &spawner, &shards, inputs, primary, transport);
@@ -508,6 +615,9 @@ pub(crate) fn drive_sharded_async_plane_on(
     let executors: Vec<Executor> = (0..shard_count)
         .map(|_| Executor::new((total_workers / shard_count).max(1)))
         .collect();
+    // One memo for the whole plane: shards receive the same multicast
+    // frames, so a frame decodes once no matter how the floor is sharded.
+    let decode = Arc::new(crate::transport::SharedDecode::new());
     let shards: Vec<(Arc<CountedLock<AsyncState>>, Spawner)> = brokers
         .into_iter()
         .zip(&globals)
@@ -516,8 +626,10 @@ pub(crate) fn drive_sharded_async_plane_on(
             let state = AsyncState {
                 broker,
                 endpoints: Vec::new(),
+                endpoint_of: HashMap::new(),
                 consumers: Vec::new(),
                 globals: shard_globals.clone(),
+                decode: Arc::clone(&decode),
             };
             (Arc::new(CountedLock::new(state)), executor.spawner())
         })
@@ -579,6 +691,7 @@ fn run_async_pumps(
                 endpoints: Vec::new(),
                 snapshot_frame: None,
                 skips: HashSet::new(),
+                wave: WaveBuffer::new(),
                 outcome: Some(PeOutcome::new()),
                 out: Arc::clone(&out),
             }));
@@ -633,6 +746,7 @@ fn run_sharded_async_pumps(
                 endpoints: Vec::new(),
                 snapshot_frame: None,
                 skips: HashSet::new(),
+                wave: WaveBuffer::new(),
                 outcome: Some(PeOutcome::new()),
                 out: Arc::clone(&out),
             }));

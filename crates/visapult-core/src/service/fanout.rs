@@ -10,7 +10,7 @@
 //! sessions — the async plane exists for the 10k-session regime.
 //!
 //! Everything behavior-defining is factored into `pub(crate)` helpers both
-//! planes call — `multicast_chunk` (including the queue-full degradation
+//! planes call — `multicast_wave` (including the queue-full degradation
 //! seam), `session_link`, `consume_chunk`, `surface_pending_frames`,
 //! `fold_report` — so the two planes cannot drift apart in semantics, only
 //! in scheduling.
@@ -19,8 +19,8 @@ use super::sharded::CountedLock;
 use super::{ServiceRunReport, ServiceStats, SessionBroker, SessionDelivery, SessionEvent, SessionSpec, ShardedBroker};
 use crate::pipeline::{Clock, WallClock};
 use crate::transport::{
-    striped_link, AssemblyEvent, FrameAssembler, FrameChunk, StripeReceiver, StripeSender, TransportConfig,
-    TransportError,
+    striped_link, AssemblyEvent, FrameAssembler, FrameChunk, SharedDecode, StripeReceiver, StripeSender,
+    TransportConfig, TransportError,
 };
 use crate::viewer::ViewerError;
 use netsim::{Bandwidth, StripePacer};
@@ -121,44 +121,107 @@ impl PeOutcome {
     }
 }
 
-/// Multicast one chunk onto every session live at its frame.
+/// Accumulates the chunks of one `(rank, frame)` so the multicast can hand a
+/// session its whole wave contiguously.
+///
+/// Multicasting chunk-by-chunk makes every session consumer pay a full
+/// wake → poll → park cycle *per chunk* — at 7 chunks a frame that's 7× the
+/// scheduler traffic the frame needs, and on a small host it dominates the
+/// fan-out cost.  Buffering a frame's chunks and bursting them per session
+/// collapses that to one wake per wave: the first push fires the queue's
+/// data hook, the rest land while the consumer is still scheduled.  Per
+/// session the chunk sequence (and thus every stat and degradation decision)
+/// is exactly what the chunk-by-chunk path produced — only cross-session
+/// interleaving changes, which nothing observes.
+pub(crate) struct WaveBuffer {
+    key: Option<(u32, u32)>,
+    chunks: Vec<FrameChunk>,
+}
+
+/// Chunks buffered before a wave flushes even if its `total` never arrives —
+/// a corrupt total must not turn the buffer into an unbounded sink.
+const WAVE_BUFFER_CAP: usize = 4096;
+
+impl WaveBuffer {
+    pub(crate) fn new() -> Self {
+        WaveBuffer {
+            key: None,
+            chunks: Vec::new(),
+        }
+    }
+
+    /// True when `chunk` belongs to a different `(rank, frame)` than the
+    /// buffered wave — the caller must flush *before* absorbing it (and
+    /// before refreshing any endpoint snapshot keyed to the new frame).
+    pub(crate) fn must_flush_before(&self, chunk: &FrameChunk) -> bool {
+        self.key.is_some_and(|k| k != (chunk.rank, chunk.frame))
+    }
+
+    /// Absorb one chunk; returns `true` when the wave is complete (or the
+    /// safety cap is hit) and should be flushed now.
+    pub(crate) fn push(&mut self, chunk: FrameChunk) -> bool {
+        let total = chunk.total as usize;
+        self.key = Some((chunk.rank, chunk.frame));
+        self.chunks.push(chunk);
+        self.chunks.len() >= total.clamp(1, WAVE_BUFFER_CAP)
+    }
+
+    /// Take whatever is buffered (possibly an incomplete trailing wave).
+    pub(crate) fn take(&mut self) -> Vec<FrameChunk> {
+        self.key = None;
+        std::mem::take(&mut self.chunks)
+    }
+}
+
+/// Multicast one buffered wave, session-major: every endpoint receives its
+/// whole run of chunks back to back.
 ///
 /// This is *the* degradation seam, shared verbatim by both planes: a full
 /// session queue degrades that session for the rest of this (rank, frame) —
 /// it keeps its partial composite and surfaces a typed `MissingFrame` — while
-/// the farm and every other session keep moving.
-pub(crate) fn multicast_chunk(
-    chunk: &FrameChunk,
+/// the farm and every other session keep moving.  Per session this performs
+/// the same sends, in the same order, with the same skip/degradation
+/// bookkeeping as multicasting each chunk the moment it arrived — the
+/// counters are indistinguishable; only the cross-session interleaving
+/// differs.
+pub(crate) fn multicast_wave(
+    chunks: &[FrameChunk],
     endpoints: &[Arc<SessionEndpoint>],
     skips: &mut HashSet<(usize, u32)>,
     outcome: &mut PeOutcome,
 ) {
-    let frame = chunk.frame;
+    let Some(first) = chunks.first() else { return };
+    let frame = first.frame;
     for ep in endpoints {
-        // Membership is decided by the chunk's own frame (a deterministic
-        // window), not by when the chunk happened to arrive.
+        // Membership is decided by the chunks' own frame (a deterministic
+        // window), not by when the wave happened to flush.
         if !ep.wants(frame) {
             continue;
         }
-        if !skips.is_empty() && skips.contains(&(ep.session, frame)) {
-            *outcome.dropped.entry(ep.session).or_default() += 1;
-            continue;
-        }
-        // Zero-copy multicast: the payload Bytes clone is a refcount bump;
-        // re-stripe onto the session's own queue width.
-        let fanned = FrameChunk {
-            stripe: chunk.seq % ep.spec.stripes.max(1),
-            ..chunk.clone()
-        };
-        match ep.sender.try_send_raw_chunk(fanned) {
-            Ok(true) => outcome.delivered += 1,
-            Ok(false) => {
-                skips.insert((ep.session, frame));
-                *outcome.skipped.entry(ep.session).or_default() += 1;
+        let stripes = ep.spec.stripes.max(1);
+        let mut skipped = !skips.is_empty() && skips.contains(&(ep.session, frame));
+        for chunk in chunks {
+            if skipped {
                 *outcome.dropped.entry(ep.session).or_default() += 1;
+                continue;
             }
-            Err(TransportError::Closed) | Err(TransportError::Corrupt(_)) => {
-                *outcome.dropped.entry(ep.session).or_default() += 1;
+            // Zero-copy multicast: the payload Bytes clone is a refcount
+            // bump; re-stripe onto the session's own queue width.
+            let fanned = FrameChunk {
+                stripe: chunk.seq % stripes,
+                ..chunk.clone()
+            };
+            match ep.sender.try_send_raw_chunk(fanned) {
+                Ok(true) => outcome.delivered += 1,
+                Ok(false) => {
+                    skips.insert((ep.session, frame));
+                    *outcome.skipped.entry(ep.session).or_default() += 1;
+                    *outcome.dropped.entry(ep.session).or_default() += 1;
+                    skipped = true;
+                }
+                Err(TransportError::Closed) | Err(TransportError::Corrupt(_)) => {
+                    *outcome.dropped.entry(ep.session).or_default() += 1;
+                }
             }
         }
     }
@@ -299,11 +362,18 @@ pub(crate) fn fold_report<B: FoldableBroker>(
 struct PlaneState {
     broker: SessionBroker,
     endpoints: Vec<Arc<SessionEndpoint>>,
+    /// Position in `endpoints` per global session index.  Endpoints are
+    /// append-only, so the map only grows; it turns the Left/Evicted close
+    /// into an O(1) lookup instead of an O(live) scan.
+    endpoint_of: HashMap<usize, usize>,
     consumers: Vec<(usize, std::thread::JoinHandle<SessionDelivery>)>,
     /// Global schedule index per local broker index (empty = identity, the
     /// unsharded plane).  Endpoints, consumers and deliveries are keyed
     /// globally so shard outputs merge without collisions.
     globals: Vec<usize>,
+    /// Decode memo shared by every consumer this shard spawns: sessions all
+    /// receive the same multicast chunks, so each frame decodes once.
+    decode: Arc<SharedDecode>,
 }
 
 impl PlaneState {
@@ -333,17 +403,19 @@ impl PlaneState {
                 let (tx, rx, pacer) = session_link(&spec, self.broker.config().queue_depth, transport);
                 let consumer_spec = spec.clone();
                 let consumer_clock = Arc::clone(clock);
+                let consumer_decode = Arc::clone(&self.decode);
                 let handle = std::thread::Builder::new()
                     .name(format!("visapult-session-{global}"))
-                    .spawn(move || run_session_consumer(rx, &consumer_spec, pacer, &consumer_clock))
+                    .spawn(move || run_session_consumer(rx, &consumer_spec, pacer, &consumer_clock, consumer_decode))
                     .expect("spawn session consumer");
                 self.consumers.push((global, handle));
+                self.endpoint_of.insert(global, self.endpoints.len());
                 self.endpoints.push(SessionEndpoint::new(global, spec, tx));
             }
             SessionEvent::Left { session } | SessionEvent::Evicted { session } => {
                 let global = self.global(session);
-                if let Some(ep) = self.endpoints.iter().find(|e| e.session == global) {
-                    ep.close_at(at);
+                if let Some(&i) = self.endpoint_of.get(&global) {
+                    self.endpoints[i].close_at(at);
                 }
             }
             SessionEvent::Rejected { .. } => {}
@@ -360,9 +432,10 @@ fn run_session_consumer(
     spec: &SessionSpec,
     mut pacer: Option<StripePacer>,
     clock: &Arc<dyn Clock>,
+    decode: Arc<SharedDecode>,
 ) -> SessionDelivery {
     let mut delivery = empty_delivery(spec);
-    let mut assembler = FrameAssembler::new();
+    let mut assembler = FrameAssembler::with_shared_decode(decode);
     // Runs until every plane endpoint is dropped: the session is over.
     while let Ok(chunk) = rx.recv_chunk() {
         if let Some(p) = &mut pacer {
@@ -409,8 +482,10 @@ pub(crate) fn drive_service_plane_on(
     let shard = Arc::new(CountedLock::new(PlaneState {
         broker,
         endpoints: Vec::new(),
+        endpoint_of: HashMap::new(),
         consumers: Vec::new(),
         globals: Vec::new(),
+        decode: Arc::new(SharedDecode::new()),
     }));
     let outcomes = run_plane_pumps(clock, std::slice::from_ref(&shard), inputs, primary, transport);
     // Campaign over: every remaining session leaves, queues disconnect,
@@ -447,6 +522,9 @@ pub(crate) fn drive_sharded_service_plane_on(
     transport: &TransportConfig,
 ) -> ServiceRunReport {
     let (config, brokers, globals) = broker.into_parts();
+    // One memo for the whole plane: shards receive the same multicast
+    // frames, so a frame decodes once no matter how the floor is sharded.
+    let decode = Arc::new(SharedDecode::new());
     let shards: Vec<Arc<CountedLock<PlaneState>>> = brokers
         .into_iter()
         .zip(&globals)
@@ -454,8 +532,10 @@ pub(crate) fn drive_sharded_service_plane_on(
             Arc::new(CountedLock::new(PlaneState {
                 broker,
                 endpoints: Vec::new(),
+                endpoint_of: HashMap::new(),
                 consumers: Vec::new(),
                 globals: shard_globals.clone(),
+                decode: Arc::clone(&decode),
             }))
         })
         .collect();
@@ -540,9 +620,16 @@ fn run_plane_pumps(
                     // fast path.
                     let mut endpoints: Vec<Arc<SessionEndpoint>> = Vec::new();
                     let mut snapshot_frame: Option<u32> = None;
+                    let mut wave = WaveBuffer::new();
                     while let Ok(chunk) = rx.recv_chunk() {
                         let frame = chunk.frame;
                         outcome.record_offered(&chunk);
+                        // A chunk for a new (rank, frame) closes the
+                        // buffered wave: flush it against the snapshot it
+                        // belongs to, *before* churn refreshes endpoints.
+                        if wave.must_flush_before(&chunk) {
+                            multicast_wave(&wave.take(), &endpoints, &mut skips, &mut outcome);
+                        }
                         // Drive churn from the frame counter, then refresh
                         // the endpoint snapshot (Arc clones; no shard lock
                         // is held across sends, and shards are locked one
@@ -563,8 +650,13 @@ fn run_plane_pumps(
                                 primary_tx = None;
                             }
                         }
-                        multicast_chunk(&chunk, &endpoints, &mut skips, &mut outcome);
+                        if wave.push(chunk) {
+                            multicast_wave(&wave.take(), &endpoints, &mut skips, &mut outcome);
+                        }
                     }
+                    // The link can close mid-frame; whatever the trailing
+                    // wave collected still belongs to the sessions.
+                    multicast_wave(&wave.take(), &endpoints, &mut skips, &mut outcome);
                     outcome
                 })
             })

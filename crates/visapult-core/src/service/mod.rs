@@ -42,12 +42,16 @@
 
 use crate::transport::{StripeReceiver, StripeSender, TcpTuning, TransportConfig};
 use crate::viewer::ViewerError;
+use ledger::{AdmissionLedger, CapacityView, SessionProfile};
 use netlogger::{tags, FieldValue, NetLogger};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 pub mod asyncplane;
 pub mod fanout;
+mod ledger;
+#[cfg(test)]
+mod oracle;
 pub mod sharded;
 
 pub(crate) use fanout::drive_service_plane;
@@ -434,13 +438,25 @@ enum SessionState {
 /// numbers it observes on the wire; the virtual-time twin drives it with the
 /// same frame counter — so admission, eviction, churn and shared-render
 /// telemetry replay bit-identically.
+///
+/// Internally the broker runs on the indexed `AdmissionLedger` (`service/ledger.rs`: running
+/// cost accumulator, viewpoint refcounts, tier-bucketed recency indexes), so
+/// a join is O(log live) instead of the original O(live) scan and a frame-0
+/// burst of N joins is O(N log N) instead of O(N²).  The decisions are
+/// byte-for-byte those of the scan implementation, which survives as the
+/// test-only `oracle::ScanBroker` differential twin.
 #[derive(Debug)]
 pub struct SessionBroker {
     config: ServiceConfig,
     schedule: Vec<SessionSpec>,
     state: Vec<SessionState>,
-    /// Live schedule indices, in admission order.
-    live: Vec<usize>,
+    /// The indexed live-session state (admission order, costs, viewpoint
+    /// refcounts, eviction candidate indexes).
+    ledger: AdmissionLedger,
+    /// Schedule indices grouped by join frame, in schedule order.
+    joins_at: HashMap<u32, Vec<usize>>,
+    /// Schedule indices grouped by leave frame.
+    leaves_at: HashMap<u32, Vec<usize>>,
     next_frame: u32,
     /// (live sessions, distinct viewpoints) per processed frame.
     live_per_frame: Vec<(u64, u64)>,
@@ -455,9 +471,37 @@ impl SessionBroker {
             sessions_offered: schedule.len() as u64,
             ..ServiceStats::default()
         };
+        let backends = config.backend_count();
+        // Per-backend distinct-viewpoint charges only exist under
+        // viewpoint-hash placement across several backends; pooled checks
+        // need just the global refcount map.
+        let track_backends = backends > 1 && config.backend_placement() == BackendPlacement::ViewpointHash;
+        let profiles: Vec<SessionProfile> = schedule
+            .iter()
+            .map(|s| SessionProfile {
+                cost: s.tier.cost_units(),
+                viewpoint: s.viewpoint,
+                priority: s.tier.priority(),
+                backend: if track_backends {
+                    sharded::shard_for_viewpoint(s.viewpoint, backends)
+                } else {
+                    0
+                },
+            })
+            .collect();
+        let mut joins_at: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut leaves_at: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, spec) in schedule.iter().enumerate() {
+            joins_at.entry(spec.join_frame).or_default().push(i);
+            if let Some(leave) = spec.leave_frame {
+                leaves_at.entry(leave).or_default().push(i);
+            }
+        }
         SessionBroker {
             state: vec![SessionState::Pending; schedule.len()],
-            live: Vec::new(),
+            ledger: AdmissionLedger::new(profiles, track_backends.then_some(backends)),
+            joins_at,
+            leaves_at,
             next_frame: 0,
             live_per_frame: Vec::new(),
             events: Vec::new(),
@@ -488,8 +532,8 @@ impl SessionBroker {
     }
 
     /// Schedule indices of the currently live sessions, in admission order.
-    pub fn live(&self) -> &[usize] {
-        &self.live
+    pub fn live(&self) -> Vec<usize> {
+        self.ledger.live_in_admission_order()
     }
 
     /// Sessions live at an already-processed frame.
@@ -511,102 +555,97 @@ impl SessionBroker {
         self.schedule[session].tier.cost_units()
     }
 
-    /// First violated constraint if `incoming` joined the sessions in `live`.
-    fn admission_block(&self, live: &[usize], incoming: usize) -> Option<RejectReason> {
-        if live.len() + 1 > self.config.max_sessions {
+    /// First violated constraint if `incoming` joined the live sessions of
+    /// `view` — the ledger itself, or a what-if [`ledger::Trial`] with
+    /// cascade victims removed.  Constraint order (session slots, link
+    /// capacity, render slots) is decision-bearing: it picks the reject
+    /// reason, exactly as the scan implementation's checks did.
+    ///
+    /// The render-slot check is O(1) against the view's refcounts.  Under
+    /// viewpoint-hash placement only the incoming viewpoint's owning backend
+    /// is probed: every view this is called on is a subset of an admitted
+    /// (hence feasible) live set, so no *other* backend can newly
+    /// oversubscribe — the scan oracle's any-backend sweep agrees on every
+    /// reachable state, which the differential property tests pin.
+    fn admission_block_at<V: CapacityView>(&self, view: &V, incoming: usize) -> Option<RejectReason> {
+        if view.live_count() + 1 > self.config.max_sessions {
             return Some(RejectReason::SessionSlots);
         }
-        let units: u64 = live.iter().map(|&s| self.cost(s)).sum::<u64>() + self.cost(incoming);
-        if units > self.config.link_capacity_units {
+        if view.units_in_use() + self.cost(incoming) > self.config.link_capacity_units {
             return Some(RejectReason::LinkCapacity);
         }
-        let mut viewpoints: HashSet<u32> = live.iter().map(|&s| self.schedule[s].viewpoint).collect();
-        viewpoints.insert(self.schedule[incoming].viewpoint);
-        if self.render_slots_blocked(&viewpoints) {
+        let vp = self.schedule[incoming].viewpoint;
+        let backends = self.config.backend_count();
+        let blocked = if backends == 1 || self.config.backend_placement() == BackendPlacement::LeastLoaded {
+            // Pooled: only the distinct-viewpoint total can block.
+            view.distinct_viewpoints() + u32::from(!view.holds_viewpoint(vp)) > self.config.render_slots
+        } else if view.holds_viewpoint(vp) {
+            // The viewpoint is already rendered; joining adds no charge.
+            false
+        } else {
+            let b = sharded::shard_for_viewpoint(vp, backends);
+            u64::from(view.backend_distinct(b)) + 1 > sharded::share(u64::from(self.config.render_slots), backends, b)
+        };
+        if blocked {
             return Some(RejectReason::RenderSlots);
         }
         None
     }
 
-    /// Whether the distinct live viewpoints oversubscribe the farm's render
-    /// slots.  With one backend this is the classic pooled check; with R > 1
-    /// each viewpoint is charged against its owning backend's slot share
-    /// (viewpoint-hash placement), or against the pooled total (least-loaded
-    /// placement, which packs viewpoints wherever slots are free, so only
-    /// the total can block).
-    fn render_slots_blocked(&self, viewpoints: &HashSet<u32>) -> bool {
-        let backends = self.config.backend_count();
-        if backends == 1 || self.config.backend_placement() == BackendPlacement::LeastLoaded {
-            return viewpoints.len() as u32 > self.config.render_slots;
-        }
-        let mut per_backend = vec![0u64; backends];
-        for &vp in viewpoints {
-            per_backend[sharded::shard_for_viewpoint(vp, backends)] += 1;
-        }
-        per_backend
-            .iter()
-            .enumerate()
-            .any(|(b, &n)| n > sharded::share(u64::from(self.config.render_slots), backends, b))
-    }
-
     fn try_admit(&mut self, frame: u32, session: usize) {
-        if self.admission_block(&self.live, session).is_none() {
+        if self.admission_block_at(&self.ledger, session).is_none() {
             self.admit(frame, session);
             return;
         }
         // Over capacity: consider evicting strictly lower-priority sessions,
-        // lowest tier first, most recently admitted first within a tier.
+        // lowest tier first, most recently admitted first within a tier —
+        // the ledger's per-tier recency indexes yield exactly that order
+        // without scanning the live set.
         let newcomer_priority = self.schedule[session].tier.priority();
-        let mut candidates: Vec<(usize, usize)> = self
-            .live
-            .iter()
-            .enumerate()
-            .filter(|&(_, &s)| self.schedule[s].tier.priority() < newcomer_priority)
-            .map(|(pos, &s)| (pos, s))
-            .collect();
-        candidates.sort_by_key(|&(pos, s)| (self.schedule[s].tier.priority(), std::cmp::Reverse(pos)));
         let mut victims: Vec<usize> = Vec::new();
-        let mut remaining: Vec<usize> = self.live.clone();
         let mut feasible = false;
-        for &(_, victim) in &candidates {
-            remaining.retain(|&s| s != victim);
-            victims.push(victim);
-            if self.admission_block(&remaining, session).is_none() {
-                feasible = true;
-                break;
+        {
+            let mut trial = self.ledger.trial();
+            for victim in self.ledger.candidates_below(newcomer_priority) {
+                trial.remove(victim);
+                victims.push(victim);
+                if self.admission_block_at(&trial, session).is_none() {
+                    feasible = true;
+                    break;
+                }
+            }
+            if feasible {
+                // Minimize the victim set: the greedy cascade can pick up
+                // sessions whose eviction never eased the blocking
+                // constraint (e.g. a preview evicted for a render slot its
+                // viewpoint does not even hold).  Restore any victim the
+                // newcomer can coexist with, in eviction order, so only
+                // load-bearing evictions are committed.
+                let mut spared: HashSet<usize> = HashSet::new();
+                for &candidate in &victims {
+                    trial.restore(candidate);
+                    if self.admission_block_at(&trial, session).is_none() {
+                        spared.insert(candidate);
+                    } else {
+                        trial.remove(candidate);
+                    }
+                }
+                victims.retain(|v| !spared.contains(v));
             }
         }
         if !feasible {
             // Rejection performs no evictions: capacity that cannot be freed
             // must not be churned.
             let reason = self
-                .admission_block(&self.live, session)
+                .admission_block_at(&self.ledger, session)
                 .expect("admission was blocked");
             self.state[session] = SessionState::Rejected;
             self.stats.sessions_rejected += 1;
             self.events.push((frame, SessionEvent::Rejected { session, reason }));
             return;
         }
-        // Minimize the victim set: the greedy cascade can pick up sessions
-        // whose eviction never eased the blocking constraint (e.g. a preview
-        // evicted for a render slot its viewpoint does not even hold).
-        // Restore any victim the newcomer can coexist with, in eviction
-        // order, so only load-bearing evictions are committed.
-        let mut spared: HashSet<usize> = HashSet::new();
-        for &candidate in &victims {
-            let trial: Vec<usize> = self
-                .live
-                .iter()
-                .copied()
-                .filter(|s| !victims.contains(s) || spared.contains(s) || *s == candidate)
-                .collect();
-            if self.admission_block(&trial, session).is_none() {
-                spared.insert(candidate);
-            }
-        }
-        victims.retain(|v| !spared.contains(v));
         for victim in victims {
-            self.live.retain(|&s| s != victim);
+            self.ledger.remove(victim);
             self.state[victim] = SessionState::Evicted;
             self.stats.sessions_evicted += 1;
             self.events.push((frame, SessionEvent::Evicted { session: victim }));
@@ -615,7 +654,7 @@ impl SessionBroker {
     }
 
     fn admit(&mut self, frame: u32, session: usize) {
-        self.live.push(session);
+        self.ledger.insert(session);
         self.state[session] = SessionState::Live;
         self.stats.sessions_admitted += 1;
         if let (Some(pace), Some(farm)) = (self.schedule[session].pace_rate_mbps, self.config.farm_egress_mbps) {
@@ -630,24 +669,38 @@ impl SessionBroker {
     /// departure frees capacity for a same-frame join), then joins in
     /// schedule order, then the frame's shared-render accounting.  Returns
     /// the lifecycle events the catch-up produced, in order.
+    ///
+    /// Each frame costs O(churn at that frame), not O(schedule): joiners and
+    /// leavers come from frame-keyed indexes built at construction, and the
+    /// shared-render accounting reads the ledger's running counters.
     pub fn advance_to(&mut self, frame: u32) -> Vec<SessionEvent> {
         let first_new = self.events.len();
         while self.next_frame <= frame {
             let f = self.next_frame;
-            let leavers: Vec<usize> = self
-                .live
-                .iter()
-                .copied()
-                .filter(|&s| self.schedule[s].leave_frame == Some(f))
-                .collect();
-            for s in leavers {
-                self.live.retain(|&l| l != s);
+            // Leavers emit in admission order (what the scan implementation
+            // got from filtering its live vector), so sort the frame's
+            // schedule-ordered group by admission sequence.
+            let mut leavers: Vec<(u64, usize)> = match self.leaves_at.get(&f) {
+                Some(group) => group
+                    .iter()
+                    .filter_map(|&s| self.ledger.seq(s).map(|q| (q, s)))
+                    .collect(),
+                None => Vec::new(),
+            };
+            leavers.sort_unstable();
+            for (_, s) in leavers {
+                self.ledger.remove(s);
                 self.state[s] = SessionState::Left;
                 self.events.push((f, SessionEvent::Left { session: s }));
             }
-            let joiners: Vec<usize> = (0..self.schedule.len())
-                .filter(|&s| self.state[s] == SessionState::Pending && self.schedule[s].join_frame == f)
-                .collect();
+            let joiners: Vec<usize> = match self.joins_at.get(&f) {
+                Some(group) => group
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.state[s] == SessionState::Pending)
+                    .collect(),
+                None => Vec::new(),
+            };
             for s in joiners {
                 // A session leaving before it would join never materializes.
                 if !self.schedule[s].live_at(f) {
@@ -656,13 +709,8 @@ impl SessionBroker {
                 }
                 self.try_admit(f, s);
             }
-            let live = self.live.len() as u64;
-            let viewpoints = self
-                .live
-                .iter()
-                .map(|&s| self.schedule[s].viewpoint)
-                .collect::<HashSet<u32>>()
-                .len() as u64;
+            let live = self.ledger.live_count() as u64;
+            let viewpoints = u64::from(self.ledger.distinct_viewpoints());
             self.live_per_frame.push((live, viewpoints));
             self.stats.render_requests += live;
             self.stats.renders_performed += viewpoints;
@@ -676,7 +724,7 @@ impl SessionBroker {
     pub fn finish(&mut self) -> Vec<SessionEvent> {
         let frame = self.next_frame;
         let first_new = self.events.len();
-        for s in std::mem::take(&mut self.live) {
+        for s in self.ledger.drain() {
             self.state[s] = SessionState::Left;
             self.events.push((frame, SessionEvent::Left { session: s }));
         }
@@ -798,6 +846,40 @@ pub fn run_service_plane(
 /// logs at the collector's clock (`at = None`), the virtual-time path replays
 /// the same emitter at explicit virtual timestamps, so either log reads
 /// identically by construction.
+/// Distinct viewpoints across a session schedule — the upper bound on how
+/// many broker shards viewpoint-hash partitioning can ever populate.
+pub fn distinct_viewpoints(sessions: &[SessionSpec]) -> usize {
+    sessions.iter().map(|s| s.viewpoint).collect::<HashSet<_>>().len()
+}
+
+/// `Some((shards, distinct_viewpoints))` when a service plan provisions more
+/// broker shards than its schedule has distinct viewpoints.  Sessions map to
+/// shards by viewpoint hash, so the surplus shards are guaranteed idle: they
+/// pay their lock, executor, and fan-lane overhead without ever owning a
+/// session.  Advisory — an over-provisioned plan still runs correctly.
+pub fn shard_overprovision(config: &ServiceConfig, sessions: &[SessionSpec]) -> Option<(usize, usize)> {
+    let shards = config.shard_count();
+    let viewpoints = distinct_viewpoints(sessions);
+    (shards > 1 && shards > viewpoints).then_some((shards, viewpoints))
+}
+
+/// Emit the advisory `SERVICE_SHARDS_IDLE` event (see
+/// [`shard_overprovision`]), once per affected stage, identically on both
+/// execution paths.
+pub fn log_shard_overprovision(logger: &NetLogger, at: Option<f64>, shards: usize, viewpoints: usize) {
+    let fields = vec![
+        (tags::FIELD_SERVICE_SHARDS.to_string(), FieldValue::Int(shards as i64)),
+        (
+            tags::FIELD_SERVICE_VIEWPOINTS.to_string(),
+            FieldValue::Int(viewpoints as i64),
+        ),
+    ];
+    match at {
+        Some(t) => logger.log_at(t, tags::SERVICE_SHARDS_IDLE, fields),
+        None => logger.log_with(tags::SERVICE_SHARDS_IDLE, fields),
+    }
+}
+
 pub fn log_service_stats(logger: &NetLogger, at: Option<f64>, stats: &ServiceStats, events: &[(u32, SessionEvent)]) {
     let emit = |tag: &str, fields: Vec<(String, FieldValue)>| match at {
         Some(t) => logger.log_at(t, tag, fields),

@@ -249,6 +249,28 @@ impl ShardedBroker {
         }
     }
 
+    /// The per-shard capacity configs the partition computed (test-only:
+    /// the differential oracle rebuilds each shard's twin from these).
+    #[cfg(test)]
+    pub(crate) fn shard_configs(&self) -> Vec<ServiceConfig> {
+        self.shards.iter().map(|s| s.config().clone()).collect()
+    }
+
+    /// The per-shard sub-schedules, in shard-local order (test-only).
+    #[cfg(test)]
+    pub(crate) fn shard_schedules(&self) -> Vec<Vec<SessionSpec>> {
+        self.shards
+            .iter()
+            .map(|s| (0..s.session_count()).map(|i| s.spec(i).clone()).collect())
+            .collect()
+    }
+
+    /// One shard's raw (shard-local) event stream (test-only).
+    #[cfg(test)]
+    pub(crate) fn shard_events(&self, shard: usize) -> &[(u32, SessionEvent)] {
+        self.shards[shard].events()
+    }
+
     /// Merge each shard's events from `starts[shard]` onward: frame
     /// ascending, shard order within a frame, intra-shard order preserved,
     /// local indices remapped to global.

@@ -24,12 +24,12 @@
 use crate::error::VisapultError;
 use crate::protocol::{FramePayload, FrameSegments, LightPayload};
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{bounded, ReadyHook, Receiver, Sender, TryRecvError};
 use netsim::{Bandwidth, StripePacer, TcpConfig, TcpModel};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Which circa-2000 TCP stack the link's stripes model.
@@ -293,6 +293,75 @@ impl TransportStats {
     }
 }
 
+/// Cross-stripe arrival signal: every stripe's data hook bumps one shared
+/// generation counter, so a receiver parked on link quiescence wakes on an
+/// arrival to *any* stripe.  Parking on a single stripe's condvar — what
+/// [`StripeReceiver::recv_chunk`] used to do — went blind to the other
+/// stripes: chunks land round-robin (`seq % stripes`), so a receiver parked
+/// on stripe 0 while a burst filled stripes 1..N ate its full timeout per
+/// chunk, which is exactly the per-handoff latency cliff the threaded plane
+/// showed at small session counts.
+struct SignalState {
+    generation: u64,
+    /// Receivers currently parked in [`LinkSignal::wait_past`]; notifies are
+    /// skipped while zero (the same sleeper-count gate the channels use), so
+    /// a link nobody is parked on pays one uncontended lock per transition,
+    /// no syscall.
+    waiters: usize,
+}
+
+struct LinkSignal {
+    state: Mutex<SignalState>,
+    cv: Condvar,
+}
+
+impl LinkSignal {
+    fn new() -> Arc<LinkSignal> {
+        Arc::new(LinkSignal {
+            state: Mutex::new(SignalState {
+                generation: 0,
+                waiters: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Current generation; observe *before* scanning the stripes so a bump
+    /// that races the scan is caught by [`LinkSignal::wait_past`].
+    fn observe(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).generation
+    }
+
+    /// Record an arrival (or disconnect) and wake every parked receiver.
+    fn bump(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.generation += 1;
+        let wake = state.waiters > 0;
+        drop(state);
+        if wake {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Park until the generation advances past `observed` or `timeout`
+    /// elapses.  The timeout is a safety net, not the wakeup mechanism — the
+    /// hooks fire on every empty→non-empty stripe transition and on sender
+    /// disconnect, both of which are the only reasons a fully-drained scan
+    /// would find something new.
+    fn wait_past(&self, observed: u64, timeout: Duration) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.generation != observed {
+            return;
+        }
+        state.waiters += 1;
+        let (mut state, _) = self
+            .cv
+            .wait_timeout_while(state, timeout, |s| s.generation == observed)
+            .unwrap_or_else(|e| e.into_inner());
+        state.waiters -= 1;
+    }
+}
+
 struct SenderState {
     pacer: Option<StripePacer>,
     stripe_seq: Vec<u64>,
@@ -395,6 +464,17 @@ impl StripeSender {
             Err(crossbeam::channel::TrySendError::Disconnected(_)) => Err(TransportError::Closed),
         }
     }
+
+    /// Register a hook fired whenever any full stripe of this link frees a
+    /// slot or the receiver disconnects — the readiness edge an executor-
+    /// parked producer task (one that saw [`StripeSender::try_send_raw_chunk`]
+    /// report full) waits on.  Edge-triggered: retry the send once after
+    /// registering before relying on it.
+    pub fn set_space_hook(&self, hook: ReadyHook) {
+        for tx in &self.txs {
+            tx.set_space_hook(Arc::clone(&hook));
+        }
+    }
 }
 
 /// The receiving half of a striped link: services every stripe and hands out
@@ -404,7 +484,18 @@ pub struct StripeReceiver {
     rxs: Vec<Receiver<FrameChunk>>,
     open: Vec<bool>,
     rotation: usize,
+    signal: Arc<LinkSignal>,
+    /// Whether the stripes' data hooks feed [`StripeReceiver::signal`] yet.
+    /// Armed lazily by the first [`StripeReceiver::recv_chunk`] call: links
+    /// drained purely by `try_recv_chunk` (every executor-plane path) never
+    /// pay the per-transition bump on their send side.
+    signal_armed: bool,
 }
+
+/// Safety-net park interval for [`StripeReceiver::recv_chunk`]: the
+/// [`LinkSignal`] wakes the receiver on any stripe's arrival, so this bounds
+/// staleness only against a hook being missed, not normal delivery latency.
+const RECV_PARK_SAFETY: Duration = Duration::from_millis(10);
 
 impl StripeReceiver {
     /// Number of stripes.
@@ -415,9 +506,20 @@ impl StripeReceiver {
     /// Next chunk from any stripe; `Err(Closed)` once every stripe has
     /// disconnected and drained.
     pub fn recv_chunk(&mut self) -> Result<FrameChunk, TransportError> {
+        if !self.signal_armed {
+            for rx in &self.rxs {
+                let stripe_signal = Arc::clone(&self.signal);
+                rx.set_data_hook(Arc::new(move || stripe_signal.bump()));
+            }
+            self.signal_armed = true;
+        }
         let n = self.rxs.len();
-        let mut idle_passes = 0u32;
         loop {
+            // Observe the arrival generation *before* scanning: a chunk that
+            // lands on an already-scanned stripe mid-scan bumps it, and the
+            // wait below returns immediately instead of sleeping on a
+            // delivery that already happened.
+            let observed = self.signal.observe();
             let mut any_open = false;
             for i in 0..n {
                 let idx = (self.rotation + i) % n;
@@ -436,27 +538,19 @@ impl StripeReceiver {
             if !any_open {
                 return Err(TransportError::Closed);
             }
-            // Park on one open stripe instead of spinning; the next pass
-            // polls the others again.  Back the park off (0.5 → 4 ms) while
-            // the link stays idle — a WAN-paced link can go tens of
-            // milliseconds between chunks, and an idle I/O thread should not
-            // wake two thousand times a second waiting for it.
-            let idx = (0..n)
-                .map(|i| (self.rotation + i) % n)
-                .find(|&i| self.open[i])
-                .expect("an open stripe exists");
-            let park = Duration::from_micros(500 << idle_passes.min(3));
-            match self.rxs[idx].recv_timeout(park) {
-                Ok(chunk) => {
-                    self.rotation = (idx + 1) % n;
-                    return Ok(chunk);
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    idle_passes += 1;
-                    self.rotation = (self.rotation + 1) % n;
-                }
-                Err(RecvTimeoutError::Disconnected) => self.open[idx] = false,
-            }
+            // Every open stripe was empty: park until *any* stripe signals
+            // an arrival (or disconnect), then rescan them all.
+            self.signal.wait_past(observed, RECV_PARK_SAFETY);
+        }
+    }
+
+    /// Register a hook fired whenever any stripe of this link transitions
+    /// empty→non-empty or disconnects — the readiness edge an executor-
+    /// parked consumer task waits on.  Edge-triggered: poll the stripes once
+    /// after registering before relying on it.
+    pub fn set_data_hook(&self, hook: ReadyHook) {
+        for rx in &self.rxs {
+            rx.set_data_hook(Arc::clone(&hook));
         }
     }
 
@@ -506,6 +600,7 @@ impl StripeReceiver {
 /// and a receiver, paced when the config says so.
 pub fn striped_link(config: &TransportConfig) -> (StripeSender, StripeReceiver) {
     let stripes = config.stripes.max(1) as usize;
+    let signal = LinkSignal::new();
     let mut txs = Vec::with_capacity(stripes);
     let mut rxs = Vec::with_capacity(stripes);
     for _ in 0..stripes {
@@ -530,6 +625,8 @@ pub fn striped_link(config: &TransportConfig) -> (StripeSender, StripeReceiver) 
             rxs,
             open: vec![true; stripes],
             rotation: 0,
+            signal,
+            signal_armed: false,
         },
     )
 }
@@ -572,12 +669,100 @@ struct FrameAssembly {
     slots: Vec<Option<(u8, Bytes)>>,
 }
 
+/// One memoized decode: the segments that were decoded (held so their buffer
+/// identity stays valid — a live `Arc` can't be recycled by the allocator)
+/// and the outcome, error text preserved verbatim.
+struct DecodedFrame {
+    segments: FrameSegments,
+    result: Result<FramePayload, String>,
+}
+
+struct SharedDecodeState {
+    frames: HashMap<(u32, u32), DecodedFrame>,
+    /// Insertion order of `frames` keys, for bounded eviction.
+    order: std::collections::VecDeque<(u32, u32)>,
+}
+
+/// A decode memo shared by every session assembler of one fan-out plane.
+///
+/// On the exhibit floor every session receives the *same* chunks — O(1)
+/// slices of the sender's own buffers — so each session's reassembled
+/// segments view identical memory.  Decoding (geometry parse, validation)
+/// that frame once and sharing the `FramePayload` turns the per-frame decode
+/// cost from O(sessions) into O(1) without changing a single observable:
+/// hits are proven by buffer identity ([`FrameSegments::same_regions`]), so a
+/// shared decode returns bit-identical payloads, stats, and error text to a
+/// private one.  Misses (a genuinely different reassembly for the same
+/// `(rank, frame)`, or an evicted entry) simply decode again.
+pub struct SharedDecode {
+    state: Mutex<SharedDecodeState>,
+}
+
+/// Entries retained by a [`SharedDecode`] before the oldest is evicted:
+/// enough for every in-flight `(rank, frame)` of a deep pipeline, small
+/// enough that a plane's memo never holds more than a few frames' buffers.
+const SHARED_DECODE_CAP: usize = 256;
+
+impl SharedDecode {
+    /// An empty memo.
+    pub fn new() -> Self {
+        SharedDecode {
+            state: Mutex::new(SharedDecodeState {
+                frames: HashMap::new(),
+                order: std::collections::VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Decode `segments` for `(rank, frame)`, reusing the memoized result
+    /// when an identical reassembly (same buffers, same windows) was already
+    /// decoded.  The error `String` is the `Display` text of the underlying
+    /// decode error, identical on hit and miss.
+    fn decode(&self, rank: u32, frame: u32, segments: FrameSegments) -> Result<FramePayload, String> {
+        let mut st = self.state.lock().expect("shared decode lock");
+        if let Some(entry) = st.frames.get(&(rank, frame)) {
+            if entry.segments.same_regions(&segments) {
+                return entry.result.clone();
+            }
+        }
+        let result = segments.clone().decode().map_err(|e| e.to_string());
+        if st
+            .frames
+            .insert(
+                (rank, frame),
+                DecodedFrame {
+                    segments,
+                    result: result.clone(),
+                },
+            )
+            .is_none()
+        {
+            st.order.push_back((rank, frame));
+            if st.order.len() > SHARED_DECODE_CAP {
+                if let Some(old) = st.order.pop_front() {
+                    st.frames.remove(&old);
+                }
+            }
+        }
+        result
+    }
+}
+
+impl Default for SharedDecode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Reassembles out-of-order chunks into complete frames, one instance per PE
 /// link.  Late and duplicate chunks are surfaced, never silently dropped.
 #[derive(Default)]
 pub struct FrameAssembler {
     pending: HashMap<(u32, u32), FrameAssembly>,
     completed: HashSet<(u32, u32)>,
+    /// Decode memo shared with sibling assemblers, when this assembler is one
+    /// of many receiving the same multicast frames.
+    shared: Option<Arc<SharedDecode>>,
     /// Receiver-side telemetry (chunks/bytes by stripe, out-of-order count,
     /// reassembly fallback copies, frames completed).
     pub stats: TransportStats,
@@ -587,6 +772,15 @@ impl FrameAssembler {
     /// An empty assembler.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An assembler that consults `shared` before decoding a completed frame
+    /// — for session consumers that all receive the same multicast chunks.
+    pub fn with_shared_decode(shared: Arc<SharedDecode>) -> Self {
+        FrameAssembler {
+            shared: Some(shared),
+            ..Self::default()
+        }
     }
 
     /// Feed one chunk in; returns what happened.
@@ -641,7 +835,10 @@ impl FrameAssembler {
         let (segments, copies) = assemble_segments(assembly.slots);
         self.stats.reassembly_copies += copies;
         let wire_bytes = segments.wire_bytes();
-        let payload = segments.decode().map_err(|e| TransportError::Corrupt(e.to_string()))?;
+        let payload = match &self.shared {
+            Some(memo) => memo.decode(key.0, key.1, segments).map_err(TransportError::Corrupt)?,
+            None => segments.decode().map_err(|e| TransportError::Corrupt(e.to_string()))?,
+        };
         self.stats.frames += 1;
         Ok(AssemblyEvent::Complete { payload, wire_bytes })
     }
@@ -996,6 +1193,102 @@ mod tests {
                 config.is_paced()
             );
         }
+    }
+
+    /// Chunk `frame` the way a fan-out endpoint does: one set of `Bytes`
+    /// slices of the sender's buffers, cloneable to any number of sessions.
+    fn multicast_chunks(frame: &FramePayload) -> Vec<FrameChunk> {
+        let segments = FrameSegments::encode(frame);
+        let bufs = [
+            segments.light.clone(),
+            segments.heavy_header.clone(),
+            segments.texture.clone(),
+            segments.geometry.clone(),
+        ];
+        let plans = plan_chunks(segments.lens(), 1000, 3);
+        let total = plans.len() as u32;
+        plans
+            .iter()
+            .map(|p| FrameChunk {
+                frame: frame.light.frame,
+                rank: frame.light.rank,
+                seq: p.seq,
+                total,
+                stripe: p.stripe,
+                stripe_seq: 0,
+                segment: p.segment,
+                payload: bufs[p.segment as usize].slice(p.start..p.start + p.len),
+            })
+            .collect()
+    }
+
+    fn feed(assembler: &mut FrameAssembler, chunks: &[FrameChunk]) -> Result<Option<FramePayload>, TransportError> {
+        let mut out = None;
+        for c in chunks {
+            if let AssemblyEvent::Complete { payload, .. } = assembler.accept(c.clone())? {
+                out = Some(payload);
+            }
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn shared_decode_matches_private_decode_bit_for_bit() {
+        let frames: Vec<FramePayload> = (0..3).map(|f| sample_frame(2, f, 16)).collect();
+        let waves: Vec<Vec<FrameChunk>> = frames.iter().map(multicast_chunks).collect();
+
+        let memo = Arc::new(SharedDecode::new());
+        let mut private = FrameAssembler::new();
+        let mut shared: Vec<FrameAssembler> = (0..3)
+            .map(|_| FrameAssembler::with_shared_decode(Arc::clone(&memo)))
+            .collect();
+        for (wave, expect) in waves.iter().zip(&frames) {
+            let base = feed(&mut private, wave).unwrap().expect("frame completes");
+            assert_eq!(&base, expect);
+            let decoded: Vec<FramePayload> = shared
+                .iter_mut()
+                .map(|a| feed(a, wave).unwrap().expect("frame completes"))
+                .collect();
+            for d in &decoded {
+                assert_eq!(d, &base, "shared decode must be observationally identical");
+            }
+            // And it really is one decode: every session holds the same
+            // geometry allocation, not a private re-parse.
+            assert!(Arc::ptr_eq(&decoded[0].heavy.geometry, &decoded[1].heavy.geometry));
+            assert!(Arc::ptr_eq(&decoded[1].heavy.geometry, &decoded[2].heavy.geometry));
+            assert!(!Arc::ptr_eq(&base.heavy.geometry, &decoded[0].heavy.geometry));
+        }
+        for a in &shared {
+            assert_eq!(a.stats.frames, private.stats.frames);
+            assert_eq!(a.stats.chunks, private.stats.chunks);
+            assert_eq!(a.stats.bytes, private.stats.bytes);
+            assert_eq!(a.stats.reassembly_copies, private.stats.reassembly_copies);
+        }
+    }
+
+    #[test]
+    fn shared_decode_preserves_error_text_and_rejects_stale_hits() {
+        // A frame whose light metadata lies about the geometry: decode fails
+        // with the same error through the memo as without it.
+        let mut bad = sample_frame(2, 0, 16);
+        bad.light.geometry_segments += 1;
+        let bad_wave = multicast_chunks(&bad);
+        let private_err = feed(&mut FrameAssembler::new(), &bad_wave).unwrap_err();
+        let memo = Arc::new(SharedDecode::new());
+        for _ in 0..2 {
+            let shared_err = feed(&mut FrameAssembler::with_shared_decode(Arc::clone(&memo)), &bad_wave).unwrap_err();
+            assert_eq!(shared_err.to_string(), private_err.to_string());
+        }
+
+        // Different content under the same (rank, frame) key — a re-encoded
+        // frame views fresh buffers, so the memo must decode it, not serve
+        // the stale entry.
+        let good = sample_frame(2, 0, 16);
+        let good_wave = multicast_chunks(&good);
+        let decoded = feed(&mut FrameAssembler::with_shared_decode(Arc::clone(&memo)), &good_wave)
+            .unwrap()
+            .expect("frame completes");
+        assert_eq!(decoded, good);
     }
 
     #[test]

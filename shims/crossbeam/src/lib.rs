@@ -16,10 +16,25 @@ pub mod channel {
     use std::sync::{Arc, Condvar, Mutex};
     use std::time::{Duration, Instant};
 
+    /// A readiness callback fired *after* the channel lock is released, so a
+    /// hook may take other locks (e.g. an executor's) without inversion risk.
+    pub type ReadyHook = Arc<dyn Fn() + Send + Sync>;
+
     struct State<T> {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// Fired on every empty→non-empty transition and on sender
+        /// disconnect: "a consumer parked on emptiness has a reason to look
+        /// again".  Multiple registrations accumulate; all fire.  Hooks are
+        /// edge-triggered — a consumer must observe the queue state itself
+        /// after registering, before relying on hooks (registration does not
+        /// fire for data already queued).
+        data_hooks: Vec<ReadyHook>,
+        /// Fired when a full bounded channel frees a slot and on receiver
+        /// disconnect: "a producer parked on fullness has a reason to look
+        /// again".  Same edge-trigger contract as `data_hooks`.
+        space_hooks: Vec<ReadyHook>,
         /// Receivers currently blocked in a `ready` wait.  `Condvar::notify`
         /// is a futex syscall even when nobody is waiting, which at fan-out
         /// rates (hundreds of thousands of `try_send`/`try_recv` pairs per
@@ -146,6 +161,35 @@ pub mod channel {
         }
     }
 
+    /// Hooks cloned out of the state so they can be fired after the lock
+    /// drops.  The one-hook case (every channel the fan-out planes build) is
+    /// kept allocation-free: transitions happen per chunk burst, and a heap
+    /// allocation per burst would tax the hot multicast path.
+    enum HookFire {
+        One(ReadyHook),
+        Many(Vec<ReadyHook>),
+    }
+
+    fn snapshot_hooks(hooks: &[ReadyHook]) -> Option<HookFire> {
+        match hooks {
+            [] => None,
+            [only] => Some(HookFire::One(Arc::clone(only))),
+            many => Some(HookFire::Many(many.to_vec())),
+        }
+    }
+
+    fn fire_hooks(hooks: Option<HookFire>) {
+        match hooks {
+            None => {}
+            Some(HookFire::One(hook)) => hook(),
+            Some(HookFire::Many(hooks)) => {
+                for hook in hooks {
+                    hook();
+                }
+            }
+        }
+    }
+
     fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -154,6 +198,8 @@ pub mod channel {
                 receivers: 1,
                 ready_waiters: 0,
                 space_waiters: 0,
+                data_hooks: Vec::new(),
+                space_hooks: Vec::new(),
             }),
             ready: Condvar::new(),
             space: Condvar::new(),
@@ -197,12 +243,19 @@ pub mod channel {
                     _ => break,
                 }
             }
+            let was_empty = state.queue.is_empty();
             state.queue.push_back(value);
             let wake = state.ready_waiters > 0;
+            let hooks = if was_empty {
+                snapshot_hooks(&state.data_hooks)
+            } else {
+                None
+            };
             drop(state);
             if wake {
                 self.shared.ready.notify_one();
             }
+            fire_hooks(hooks);
             Ok(())
         }
 
@@ -220,13 +273,33 @@ pub mod channel {
                     return Err(TrySendError::Full(value));
                 }
             }
+            let was_empty = state.queue.is_empty();
             state.queue.push_back(value);
             let wake = state.ready_waiters > 0;
+            let hooks = if was_empty {
+                snapshot_hooks(&state.data_hooks)
+            } else {
+                None
+            };
             drop(state);
             if wake {
                 self.shared.ready.notify_one();
             }
+            fire_hooks(hooks);
             Ok(())
+        }
+
+        /// Register a hook fired whenever a slot frees up in this bounded
+        /// channel (full→not-full transition) or every receiver disconnects.
+        /// For a producer that parks when the channel is full: check
+        /// fullness *after* registering — hooks are edge-triggered.
+        pub fn set_space_hook(&self, hook: ReadyHook) {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .space_hooks
+                .push(hook);
         }
     }
 
@@ -246,11 +319,18 @@ pub mod channel {
             // Wake blocked receivers so they can observe the disconnect.
             // (Future receivers re-check `senders` under the mutex before
             // waiting, so gating on current waiters loses nothing.)
-            let wake = state.senders == 0 && state.ready_waiters > 0;
+            let disconnected = state.senders == 0;
+            let wake = disconnected && state.ready_waiters > 0;
+            let hooks = if disconnected {
+                snapshot_hooks(&state.data_hooks)
+            } else {
+                None
+            };
             drop(state);
             if wake {
                 self.shared.ready.notify_all();
             }
+            fire_hooks(hooks);
         }
     }
 
@@ -259,12 +339,19 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
+                let was_full = self.shared.capacity == Some(state.queue.len());
                 if let Some(v) = state.queue.pop_front() {
                     let wake = state.space_waiters > 0;
+                    let hooks = if was_full {
+                        snapshot_hooks(&state.space_hooks)
+                    } else {
+                        None
+                    };
                     drop(state);
                     if wake {
                         self.shared.space.notify_one();
                     }
+                    fire_hooks(hooks);
                     return Ok(v);
                 }
                 if state.senders == 0 {
@@ -279,13 +366,20 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            let was_full = self.shared.capacity == Some(state.queue.len());
             match state.queue.pop_front() {
                 Some(v) => {
                     let wake = state.space_waiters > 0;
+                    let hooks = if was_full {
+                        snapshot_hooks(&state.space_hooks)
+                    } else {
+                        None
+                    };
                     drop(state);
                     if wake {
                         self.shared.space.notify_one();
                     }
+                    fire_hooks(hooks);
                     Ok(v)
                 }
                 None if state.senders == 0 => Err(TryRecvError::Disconnected),
@@ -298,12 +392,19 @@ pub mod channel {
             let deadline = Instant::now() + timeout;
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
+                let was_full = self.shared.capacity == Some(state.queue.len());
                 if let Some(v) = state.queue.pop_front() {
                     let wake = state.space_waiters > 0;
+                    let hooks = if was_full {
+                        snapshot_hooks(&state.space_hooks)
+                    } else {
+                        None
+                    };
                     drop(state);
                     if wake {
                         self.shared.space.notify_one();
                     }
+                    fire_hooks(hooks);
                     return Ok(v);
                 }
                 if state.senders == 0 {
@@ -322,6 +423,20 @@ pub mod channel {
                 state = guard;
                 state.ready_waiters -= 1;
             }
+        }
+
+        /// Register a hook fired on every empty→non-empty transition of this
+        /// channel and when every sender disconnects.  For a consumer that
+        /// parks when the channel is empty: check emptiness *after*
+        /// registering — hooks are edge-triggered and do not fire for data
+        /// already queued at registration time.
+        pub fn set_data_hook(&self, hook: ReadyHook) {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .data_hooks
+                .push(hook);
         }
 
         /// True when no message is queued right now.
@@ -361,11 +476,18 @@ pub mod channel {
             // Wake senders blocked on a full bounded channel so they can
             // observe the disconnect instead of waiting forever.  (Future
             // senders re-check `receivers` under the mutex before waiting.)
-            let wake = state.receivers == 0 && state.space_waiters > 0;
+            let disconnected = state.receivers == 0;
+            let wake = disconnected && state.space_waiters > 0;
+            let hooks = if disconnected {
+                snapshot_hooks(&state.space_hooks)
+            } else {
+                None
+            };
             drop(state);
             if wake {
                 self.shared.space.notify_all();
             }
+            fire_hooks(hooks);
         }
     }
 
@@ -476,6 +598,64 @@ pub mod channel {
             std::thread::sleep(Duration::from_millis(10));
             tx.send(7u32).unwrap();
             assert_eq!(h.join().unwrap(), 7);
+        }
+
+        #[test]
+        fn data_hook_fires_on_empty_transition_and_disconnect_only() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let (tx, rx) = unbounded();
+            let fired = Arc::new(AtomicUsize::new(0));
+            let hook_fired = Arc::clone(&fired);
+            rx.set_data_hook(Arc::new(move || {
+                hook_fired.fetch_add(1, Ordering::SeqCst);
+            }));
+            tx.send(1u8).unwrap(); // empty → non-empty: fires
+            tx.send(2).unwrap(); // already non-empty: silent
+            assert_eq!(fired.load(Ordering::SeqCst), 1);
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            tx.try_send(3).unwrap(); // drained, so this transitions again
+            assert_eq!(fired.load(Ordering::SeqCst), 2);
+            assert_eq!(rx.try_recv(), Ok(3));
+            drop(tx); // disconnect fires so a parked consumer can observe it
+            assert_eq!(fired.load(Ordering::SeqCst), 3);
+        }
+
+        #[test]
+        fn space_hook_fires_on_full_transition_and_disconnect_only() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let (tx, rx) = bounded(2);
+            let fired = Arc::new(AtomicUsize::new(0));
+            let hook_fired = Arc::clone(&fired);
+            tx.set_space_hook(Arc::new(move || {
+                hook_fired.fetch_add(1, Ordering::SeqCst);
+            }));
+            tx.send(1u8).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1)); // not full: silent
+            assert_eq!(fired.load(Ordering::SeqCst), 0);
+            tx.send(2).unwrap();
+            tx.send(3).unwrap(); // now full
+            assert_eq!(rx.try_recv(), Ok(2)); // full → not-full: fires
+            assert_eq!(fired.load(Ordering::SeqCst), 1);
+            assert_eq!(rx.try_recv(), Ok(3)); // not full anymore: silent
+            assert_eq!(fired.load(Ordering::SeqCst), 1);
+            drop(rx); // disconnect fires so a parked producer can observe it
+            assert_eq!(fired.load(Ordering::SeqCst), 2);
+        }
+
+        #[test]
+        fn multiple_hooks_all_fire() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let (tx, rx) = unbounded();
+            let fired = Arc::new(AtomicUsize::new(0));
+            for _ in 0..3 {
+                let hook_fired = Arc::clone(&fired);
+                rx.set_data_hook(Arc::new(move || {
+                    hook_fired.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            tx.send(1u8).unwrap();
+            assert_eq!(fired.load(Ordering::SeqCst), 3);
         }
     }
 }

@@ -4,15 +4,16 @@
 //! The model is deliberately simpler than `std::future`: a [`Task`] is a
 //! state machine with a single `poll` method that either finishes
 //! ([`Poll::Ready`]), made progress and wants to be polled again soon
-//! ([`Poll::Progress`]), or found nothing to do right now ([`Poll::Idle`]).
-//! There are no wakers wired into I/O sources — the channels this workspace
-//! multiplexes expose non-blocking `try_send`/`try_recv` halves, which is all
-//! a poll loop needs.  Instead, the run queue self-paces: while any task
+//! ([`Poll::Progress`]), found nothing to do right now ([`Poll::Idle`]),
+//! or is waiting on an external event that will call its [`Waker`]
+//! ([`Poll::Blocked`]).  Idle tasks stay in the run queue and are re-swept
+//! on a self-pacing backoff; blocked tasks leave the queue entirely and
+//! cost nothing until woken.  The run queue self-paces: while any task
 //! reports progress the pool spins the queue hot; once a full sweep of the
-//! live tasks comes back idle, workers park on a condvar for a bounded
-//! interval (near-zero CPU) before sweeping again.  A `Progress` poll
-//! re-arms the hot sweep; a `spawn` wakes one worker to poll just the new
-//! task, leaving the idle pile parked.
+//! sweepable (live minus blocked) tasks comes back idle, workers park on a
+//! condvar for a bounded interval (near-zero CPU) before sweeping again.
+//! A `Progress` poll or a `wake` re-arms the hot sweep; a `spawn` wakes one
+//! worker to poll just the new task, leaving the idle pile parked.
 //!
 //! The intended use is N-thousands of cheap cooperatively-scheduled units
 //! (session consumers, stripe pumps, pacers) multiplexed over a worker pool
@@ -20,7 +21,7 @@
 //! by the unit count.
 
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -35,6 +36,14 @@ pub enum Poll {
     /// the task stays scheduled but a full sweep of idle tasks lets the pool
     /// park briefly.
     Idle,
+    /// Nothing to do until an external event calls this task's [`Waker`]
+    /// (registered via [`Task::bind`]).  The task is removed from the run
+    /// queue entirely — zero poll/lock cost while blocked — and re-queued by
+    /// the next `wake`.  A task must only return `Blocked` if every
+    /// condition it is waiting on is guaranteed to fire its waker; a task
+    /// with a time-based deadline (pacing) must use `Idle` instead, because
+    /// nothing wakes a clock.
+    Blocked,
 }
 
 /// A cooperatively scheduled unit of work.
@@ -46,6 +55,60 @@ pub enum Poll {
 pub trait Task: Send {
     /// Advance the state machine as far as it can without blocking.
     fn poll(&mut self) -> Poll;
+
+    /// Called exactly once, at spawn time, before the first `poll`.  A task
+    /// that intends to return [`Poll::Blocked`] registers `waker` with its
+    /// event sources here (e.g. a channel's data hook); tasks that never
+    /// block ignore it.  Because binding happens before the task is first
+    /// queued, a source that becomes ready between `bind` and the first
+    /// `poll` produces at worst a pending wake, never a lost one.
+    fn bind(&mut self, waker: Waker) {
+        let _ = waker;
+    }
+}
+
+/// Re-schedules one specific [`Poll::Blocked`] task.  Handed to the task via
+/// [`Task::bind`]; clones are cheap and callable from any thread (typically
+/// from a channel's empty→non-empty transition hook).
+///
+/// Wakes are never lost: if the task is currently mid-poll (or still in the
+/// run queue) when `wake` fires, the wake is recorded as *pending* and the
+/// task's next `Blocked` return converts into an immediate re-queue instead
+/// of parking.  Waking a finished task or a shut-down executor is a no-op.
+#[derive(Clone)]
+pub struct Waker {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl Waker {
+    /// Move the task back onto the run queue (or mark the wake pending if
+    /// the task is not currently parked).
+    pub fn wake(&self) {
+        let mut st = self.shared.state.lock();
+        if st.shutdown {
+            return;
+        }
+        if let Some(slot) = st.parked.remove(&self.id) {
+            // A wake is proof of new work: re-arm the hot sweep so parked
+            // workers pick it up immediately instead of on backoff expiry.
+            // Notify only when the queue was empty — the same gate `spawn`
+            // uses: with tasks already queued the workers are either mid-
+            // cycle or parked on a bounded interval, and a wake storm (a
+            // fan-out burst re-queueing thousands of consumers) must not pay
+            // a futex syscall per task.
+            let notify = st.runnable.is_empty();
+            st.runnable.push_back(slot);
+            st.unproductive = 0;
+            st.park = IDLE_PARK_MIN;
+            drop(st);
+            if notify {
+                self.shared.work.notify_one();
+            }
+        } else {
+            st.pending_wakes.insert(self.id);
+        }
+    }
 }
 
 struct HandleState {
@@ -76,19 +139,30 @@ impl TaskHandle {
 }
 
 struct Slot {
+    id: u64,
     task: Box<dyn Task>,
     handle: Arc<HandleState>,
 }
 
 struct State {
     runnable: VecDeque<Slot>,
-    /// Spawned tasks that have not yet returned `Ready` (including ones
-    /// currently being polled by a worker).
+    /// Tasks that returned [`Poll::Blocked`]: off the run queue, keyed by
+    /// task id, costing nothing until their [`Waker`] fires.
+    parked: HashMap<u64, Slot>,
+    /// Wakes that arrived while their task was runnable or mid-poll; the
+    /// task's next `Blocked` return re-queues instead of parking.  This
+    /// closes the classic race where a channel fills between a task's last
+    /// emptiness check and its `Blocked` return.
+    pending_wakes: HashSet<u64>,
+    /// Monotonic task-id source for [`Waker`] addressing.
+    next_id: u64,
+    /// Spawned tasks that have not yet returned `Ready` (including blocked
+    /// ones and ones currently being polled by a worker).
     live: usize,
-    /// Consecutive `Idle` polls since the last `Ready`/`Progress` (clamped
-    /// to `live`); reaching `live` means one full sweep found no work, so
-    /// workers park.  A park that expires un-notified resets it to re-arm
-    /// the next sweep.
+    /// Consecutive `Idle` polls since the last `Ready`/`Progress`/wake
+    /// (clamped to the sweepable count, i.e. live minus parked); reaching it
+    /// means one full sweep found no work, so workers park.  A park that
+    /// expires un-notified resets it to re-arm the next sweep.
     unproductive: usize,
     /// Current idle-park interval: starts at [`IDLE_PARK_MIN`] and doubles
     /// per consecutive fully-idle sweep up to [`idle_park_cap`]; any
@@ -145,6 +219,9 @@ impl Executor {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 runnable: VecDeque::new(),
+                parked: HashMap::new(),
+                pending_wakes: HashSet::new(),
+                next_id: 0,
                 live: 0,
                 unproductive: 0,
                 park: IDLE_PARK_MIN,
@@ -201,11 +278,24 @@ pub struct Spawner {
 }
 
 impl Spawner {
-    /// Schedule a task; it starts being polled immediately.
-    pub fn spawn(&self, task: Box<dyn Task>) -> TaskHandle {
+    /// Schedule a task; it starts being polled immediately.  [`Task::bind`]
+    /// runs here, before the task is queued, so waker registration can never
+    /// miss an event that post-dates the task's first view of its sources.
+    pub fn spawn(&self, mut task: Box<dyn Task>) -> TaskHandle {
         let handle = Arc::new(HandleState {
             done: Mutex::new(false),
             cv: Condvar::new(),
+        });
+        let id = {
+            let mut st = self.shared.state.lock();
+            assert!(!st.shutdown, "spawn on a shut-down executor");
+            let id = st.next_id;
+            st.next_id += 1;
+            id
+        };
+        task.bind(Waker {
+            shared: Arc::clone(&self.shared),
+            id,
         });
         let mut st = self.shared.state.lock();
         assert!(!st.shutdown, "spawn on a shut-down executor");
@@ -225,6 +315,7 @@ impl Spawner {
         // admitted session consumer, has nothing to do yet anyway.
         let wake = st.runnable.is_empty();
         st.runnable.push_front(Slot {
+            id,
             task,
             handle: Arc::clone(&handle),
         });
@@ -241,9 +332,12 @@ impl Drop for Executor {
         {
             let mut st = self.shared.state.lock();
             st.shutdown = true;
-            // Abandon anything still queued (the plane waits for its handles
-            // before dropping the pool, so this only fires on panic paths).
+            // Abandon anything still queued or blocked (the plane waits for
+            // its handles before dropping the pool, so this only fires on
+            // panic paths).  Late `wake` calls see `shutdown` and no-op.
             st.runnable.clear();
+            st.parked.clear();
+            st.pending_wakes.clear();
         }
         self.shared.work.notify_all();
         for w in self.workers.drain(..) {
@@ -260,14 +354,29 @@ pub fn default_workers() -> usize {
         .clamp(2, 8)
 }
 
+/// Most runnable slots one worker claims per lock round-trip.  A fan-out
+/// wave re-queues thousands of consumers at once; popping and settling them
+/// one by one makes every poll pay two contended lock acquisitions, which on
+/// a small machine costs more than the polls themselves.  Batching amortizes
+/// the lock while the `/4` divisor below keeps short queues spread across
+/// workers instead of claimed whole by one.
+const POLL_BATCH: usize = 16;
+
 fn worker_loop(shared: &Shared) {
+    let mut batch: Vec<Slot> = Vec::with_capacity(POLL_BATCH);
+    let mut settled: Vec<(Slot, Poll)> = Vec::with_capacity(POLL_BATCH);
+    let mut finished: Vec<Slot> = Vec::new();
     loop {
         let mut st = shared.state.lock();
-        let slot = loop {
+        loop {
             if st.shutdown {
                 return;
             }
-            if st.live > 0 && st.unproductive >= st.live {
+            // Blocked tasks are not sweepable: a sweep is "poll everything
+            // that might have work", and a blocked task by definition has
+            // none until its waker fires.
+            let sweepable = st.live - st.parked.len();
+            if sweepable > 0 && st.unproductive >= sweepable {
                 // A full sweep of the live tasks produced nothing: park for
                 // the current backoff interval, then double it.  `spawn` /
                 // `Progress` notify to cut the park short.  Only a park that
@@ -285,8 +394,7 @@ fn worker_loop(shared: &Shared) {
                 }
                 continue;
             }
-            match st.runnable.pop_front() {
-                Some(slot) => break slot,
+            if st.runnable.is_empty() {
                 // Every live task is in another worker's hands (or none
                 // exist yet); wait for one to come back or for a spawn.
                 // This park must back off like the idle sweep does: an
@@ -294,43 +402,76 @@ fn worker_loop(shared: &Shared) {
                 // spins its workers awake at IDLE_PARK_MIN forever, which
                 // on a loaded box steals real CPU from the executors that
                 // still have work.
-                None => {
-                    let park = st.park;
-                    st.park = (st.park * 2).min(idle_park_cap(st.live));
-                    shared.work.wait_for(&mut st, park);
-                }
+                let park = st.park;
+                st.park = (st.park * 2).min(idle_park_cap(st.live));
+                shared.work.wait_for(&mut st, park);
+                continue;
             }
-        };
+            // Claim a run of the queue: deep queues amortize the lock over
+            // up to `POLL_BATCH` polls, short ones stay spread across the
+            // pool (each worker takes at most a quarter of what's queued).
+            let take = (st.runnable.len() / 4).clamp(1, POLL_BATCH);
+            batch.extend(st.runnable.drain(..take));
+            break;
+        }
         drop(st);
 
-        let mut slot = slot;
-        let outcome = slot.task.poll();
+        for mut slot in batch.drain(..) {
+            let outcome = slot.task.poll();
+            settled.push((slot, outcome));
+        }
 
         let mut st = shared.state.lock();
-        match outcome {
-            Poll::Ready => {
-                st.live -= 1;
-                st.unproductive = 0;
-                st.park = IDLE_PARK_MIN;
-                drop(st);
-                let mut done = slot.handle.done.lock();
-                *done = true;
-                slot.handle.cv.notify_all();
-                shared.work.notify_one();
+        let mut notify = false;
+        for (slot, outcome) in settled.drain(..) {
+            match outcome {
+                Poll::Ready => {
+                    st.live -= 1;
+                    st.unproductive = 0;
+                    st.park = IDLE_PARK_MIN;
+                    // A source hook may outlive the task and keep firing
+                    // wakes; clearing here keeps `pending_wakes` from
+                    // accreting ids that nothing will ever consume.
+                    st.pending_wakes.remove(&slot.id);
+                    notify = true;
+                    // Handle completion signals after the pool lock drops.
+                    finished.push(slot);
+                }
+                Poll::Progress => {
+                    st.unproductive = 0;
+                    st.park = IDLE_PARK_MIN;
+                    st.runnable.push_back(slot);
+                    notify = true;
+                }
+                Poll::Idle => {
+                    // Clamped so a later spawn or wake (sweepable + 1)
+                    // always drops the count strictly below the threshold
+                    // and gets its first poll.
+                    let sweepable = st.live - st.parked.len();
+                    st.unproductive = (st.unproductive + 1).min(sweepable);
+                    st.runnable.push_back(slot);
+                }
+                Poll::Blocked => {
+                    // The wake-before-block race: the source fired mid-poll
+                    // (after this task last looked at it).  Treat that as an
+                    // immediate wake instead of parking on an event that
+                    // already happened.
+                    if st.pending_wakes.remove(&slot.id) {
+                        st.runnable.push_back(slot);
+                    } else {
+                        st.parked.insert(slot.id, slot);
+                    }
+                }
             }
-            Poll::Progress => {
-                st.unproductive = 0;
-                st.park = IDLE_PARK_MIN;
-                st.runnable.push_back(slot);
-                drop(st);
-                shared.work.notify_one();
-            }
-            Poll::Idle => {
-                // Clamped so a later spawn (live + 1) always drops the count
-                // strictly below the threshold and gets its first poll.
-                st.unproductive = (st.unproductive + 1).min(st.live);
-                st.runnable.push_back(slot);
-            }
+        }
+        drop(st);
+        for slot in finished.drain(..) {
+            let mut done = slot.handle.done.lock();
+            *done = true;
+            slot.handle.cv.notify_all();
+        }
+        if notify {
+            shared.work.notify_one();
         }
     }
 }
@@ -465,5 +606,149 @@ mod tests {
         let flag = Arc::new(AtomicUsize::new(0));
         let _h = exec.spawn(Box::new(WaitsForFlag { flag }));
         drop(exec); // must not hang
+    }
+
+    /// A task that blocks until its waker fires, then counts the events it
+    /// was woken for and finishes after `target` of them.
+    struct BlocksForEvents {
+        waker: Option<Waker>,
+        events: Arc<AtomicUsize>,
+        seen: usize,
+        target: usize,
+        polls: Arc<AtomicUsize>,
+    }
+
+    impl Task for BlocksForEvents {
+        fn poll(&mut self) -> Poll {
+            self.polls.fetch_add(1, Ordering::SeqCst);
+            let available = self.events.load(Ordering::SeqCst);
+            if available > self.seen {
+                self.seen = available;
+                if self.seen >= self.target {
+                    return Poll::Ready;
+                }
+                return Poll::Progress;
+            }
+            Poll::Blocked
+        }
+
+        fn bind(&mut self, waker: Waker) {
+            self.waker = Some(waker);
+        }
+    }
+
+    #[test]
+    fn blocked_tasks_cost_no_polls_and_wake_on_demand() {
+        let exec = Executor::new(2);
+        let events = Arc::new(AtomicUsize::new(0));
+        let polls = Arc::new(AtomicUsize::new(0));
+        let waker = Arc::new(Mutex::new(None::<Waker>));
+        // Capture the waker at bind time through a shared slot so the test
+        // can fire it from outside the pool.
+        struct Stash {
+            inner: BlocksForEvents,
+            slot: Arc<Mutex<Option<Waker>>>,
+        }
+        impl Task for Stash {
+            fn poll(&mut self) -> Poll {
+                self.inner.poll()
+            }
+            fn bind(&mut self, waker: Waker) {
+                *self.slot.lock() = Some(waker.clone());
+                self.inner.bind(waker);
+            }
+        }
+        let h = exec.spawn(Box::new(Stash {
+            inner: BlocksForEvents {
+                waker: None,
+                events: Arc::clone(&events),
+                seen: 0,
+                target: 3,
+                polls: Arc::clone(&polls),
+            },
+            slot: Arc::clone(&waker),
+        }));
+        let waker = waker.lock().clone().expect("bind ran at spawn");
+        // Let the task block, then verify no polls accrue while blocked.
+        std::thread::sleep(Duration::from_millis(5));
+        let blocked_polls = polls.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            polls.load(Ordering::SeqCst),
+            blocked_polls,
+            "a blocked task must not be swept"
+        );
+        for _ in 0..3 {
+            events.fetch_add(1, Ordering::SeqCst);
+            waker.wake();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        h.wait();
+        assert_eq!(exec.live_tasks(), 0);
+    }
+
+    /// The wake-before-block race: firing the waker while the task is
+    /// runnable (never yet parked) must convert its next `Blocked` into a
+    /// re-queue, not a lost wakeup.
+    #[test]
+    fn wake_before_block_is_not_lost() {
+        let exec = Executor::new(1);
+        let events = Arc::new(AtomicUsize::new(0));
+        let polls = Arc::new(AtomicUsize::new(0));
+        let waker = Arc::new(Mutex::new(None::<Waker>));
+        struct Stash {
+            inner: BlocksForEvents,
+            slot: Arc<Mutex<Option<Waker>>>,
+        }
+        impl Task for Stash {
+            fn poll(&mut self) -> Poll {
+                self.inner.poll()
+            }
+            fn bind(&mut self, waker: Waker) {
+                *self.slot.lock() = Some(waker.clone());
+                self.inner.bind(waker);
+            }
+        }
+        let h = exec.spawn(Box::new(Stash {
+            inner: BlocksForEvents {
+                waker: None,
+                events: Arc::clone(&events),
+                seen: 0,
+                target: 1,
+                polls: Arc::clone(&polls),
+            },
+            slot: Arc::clone(&waker),
+        }));
+        let waker = waker.lock().clone().expect("bind ran at spawn");
+        // Publish the event and wake *immediately* — likely before the task's
+        // first poll ever runs, exercising the pending-wake path.
+        events.fetch_add(1, Ordering::SeqCst);
+        waker.wake();
+        h.wait();
+        assert_eq!(exec.live_tasks(), 0);
+    }
+
+    #[test]
+    fn wake_after_shutdown_is_a_noop() {
+        let exec = Executor::new(1);
+        let waker = Arc::new(Mutex::new(None::<Waker>));
+        struct BlockForever {
+            slot: Arc<Mutex<Option<Waker>>>,
+        }
+        impl Task for BlockForever {
+            fn poll(&mut self) -> Poll {
+                Poll::Blocked
+            }
+            fn bind(&mut self, waker: Waker) {
+                *self.slot.lock() = Some(waker);
+            }
+        }
+        let _h = exec.spawn(Box::new(BlockForever {
+            slot: Arc::clone(&waker),
+        }));
+        std::thread::sleep(Duration::from_millis(5));
+        let waker = waker.lock().clone().expect("bind ran at spawn");
+        drop(exec);
+        waker.wake(); // must not panic or hang
     }
 }

@@ -526,3 +526,47 @@ fn ten_thousand_sessions_ride_the_async_plane_on_a_bounded_pool() {
     assert!(peak > 0, "thread monitor never sampled");
     assert!(peak < 64, "async plane leaked threads: peak {peak}");
 }
+
+/// The exhibit-floor ceiling: one hundred thousand sessions over the sharded
+/// async plane (4 viewpoint-hash shards, one per distinct viewpoint).  At
+/// this scale the indexed admission ledger is load-bearing — the old
+/// every-session-every-frame scan would spend its whole budget in
+/// `advance_to`.  Ignored by default — run it in release with
+/// `cargo test --release --test service -- --ignored`.
+#[test]
+#[ignore = "100k-session scale smoke; run in release with -- --ignored"]
+fn one_hundred_thousand_sessions_ride_the_sharded_async_plane() {
+    const SESSIONS: usize = 100_000;
+    const SHARDS: usize = 4;
+    const FRAMES: u32 = 2;
+    let schedule: Vec<SessionSpec> = (0..SESSIONS)
+        .map(|i| SessionSpec::new(format!("s{i}"), (i % SHARDS) as u32, QualityTier::Preview))
+        .collect();
+    let config = ServiceConfig {
+        max_sessions: SESSIONS,
+        link_capacity_units: SESSIONS as u64,
+        render_slots: SHARDS as u32,
+        queue_depth: 16,
+        shards: Some(SHARDS),
+        ..ServiceConfig::default()
+    };
+    let transport = TransportConfig::default().with_stripes(2).with_chunk_bytes(4096);
+    let (tx, rx) = striped_link(&transport);
+    let handle = {
+        let transport = transport.clone();
+        let broker = ShardedBroker::new(config, schedule);
+        std::thread::spawn(move || AsyncPlane::with_workers(4).drive_sharded(broker, vec![rx], Vec::new(), &transport))
+    };
+    for f in 0..FRAMES {
+        tx.send_frame(&payload(0, f, 16)).unwrap();
+    }
+    drop(tx);
+    let report = handle.join().unwrap();
+    assert_eq!(report.stats.sessions_admitted, SESSIONS as u64);
+    assert_eq!(report.stats.peak_live_sessions, SESSIONS as u64);
+    assert_eq!(
+        report.stats.fanout_chunks,
+        report.stats.chunks_delivered + report.stats.chunks_dropped
+    );
+    assert_eq!(report.shard_locks.len(), SHARDS);
+}
