@@ -89,6 +89,55 @@ impl fmt::Display for FieldValue {
     }
 }
 
+/// Escape a token for ULM emission so whitespace, `=` and backslashes inside
+/// hosts, program names, tags, keys or string values survive the
+/// whitespace-split `key=value` parse in [`Event::from_ulm`].
+fn ulm_escape(s: &str) -> String {
+    if !s.contains(['\\', ' ', '\t', '\n', '\r', '=']) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 4);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\s"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '=' => out.push_str("\\e"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Invert [`ulm_escape`].  Unknown escapes and a trailing backslash decode to
+/// the literal character, so pre-escaping logs still parse.
+fn ulm_unescape(s: &str) -> String {
+    if !s.contains('\\') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('s') => out.push(' '),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('e') => out.push('='),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
 /// One NetLogger event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Event {
@@ -144,16 +193,26 @@ impl Event {
 
     /// Serialize to a ULM-style line:
     /// `DATE=12.345678 HOST=cplant-3 PROG=backend-worker NL.EVNT=BE_LOAD_END NL.frame=7`
+    ///
+    /// Whitespace, `=` and backslashes inside hosts, programs, tags, keys and
+    /// string values are escaped (`\s`, `\e`, `\\`, …) so the line stays a
+    /// whitespace-separated sequence of `key=value` tokens.
     pub fn to_ulm(&self) -> String {
         let mut line = format!(
             "DATE={:.6} HOST={} PROG={} NL.EVNT={}",
-            self.timestamp, self.host, self.program, self.tag
+            self.timestamp,
+            ulm_escape(&self.host),
+            ulm_escape(&self.program),
+            ulm_escape(&self.tag)
         );
         for (k, v) in &self.fields {
             line.push(' ');
-            line.push_str(k);
+            line.push_str(&ulm_escape(k));
             line.push('=');
-            line.push_str(&v.to_string());
+            match v {
+                FieldValue::Str(s) => line.push_str(&ulm_escape(s)),
+                other => line.push_str(&other.to_string()),
+            }
         }
         line
     }
@@ -171,18 +230,18 @@ impl Event {
             let (key, value) = token.split_once('=')?;
             match key {
                 "DATE" => timestamp = value.parse::<f64>().ok(),
-                "HOST" => host = Some(value.to_string()),
-                "PROG" => program = Some(value.to_string()),
-                "NL.EVNT" => tag = Some(value.to_string()),
+                "HOST" => host = Some(ulm_unescape(value)),
+                "PROG" => program = Some(ulm_unescape(value)),
+                "NL.EVNT" => tag = Some(ulm_unescape(value)),
                 _ => {
                     let fv = if let Ok(i) = value.parse::<i64>() {
                         FieldValue::Int(i)
                     } else if let Ok(f) = value.parse::<f64>() {
                         FieldValue::Float(f)
                     } else {
-                        FieldValue::Str(value.to_string())
+                        FieldValue::Str(ulm_unescape(value))
                     };
-                    fields.insert(key.to_string(), fv);
+                    fields.insert(ulm_unescape(key), fv);
                 }
             }
         }
@@ -209,6 +268,15 @@ mod tests {
             .with_field("note", "warm");
         let line = e.to_ulm();
         assert!(line.starts_with("DATE=12.500000 HOST=cplant-3 PROG=backend-worker NL.EVNT=BE_LOAD_END"));
+        let parsed = Event::from_ulm(&line).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn ulm_escapes_hostile_strings() {
+        let e = Event::new(0.5, "rack 3\\left", "viewer=main", "ODD TAG").with_field("free text", "a=b c\\d\te\nf");
+        let line = e.to_ulm();
+        assert_eq!(line.lines().count(), 1, "escaping must keep one line: {line}");
         let parsed = Event::from_ulm(&line).unwrap();
         assert_eq!(parsed, e);
     }

@@ -19,12 +19,17 @@
 //! * [`analysis`] — phase durations, per-frame summaries, and throughput
 //!   extraction (how the paper turns `BE_LOAD_START`/`BE_LOAD_END` spans into
 //!   "433 megabits per second").
+//! * [`metrics`] — the always-on metrics plane: lock-free log-bucketed
+//!   latency histograms, counters and high-water gauges behind a cloneable
+//!   [`MetricsHub`], plus deterministic 1-in-N lifeline sampling for
+//!   100k-session runs.
 
 pub mod analysis;
 pub mod clock;
 pub mod collector;
 pub mod event;
 pub mod logger;
+pub mod metrics;
 pub mod nlv;
 pub mod tags;
 
@@ -33,4 +38,5 @@ pub use clock::Clock;
 pub use collector::{Collector, EventLog};
 pub use event::{Event, FieldValue};
 pub use logger::NetLogger;
+pub use metrics::{session_sampled, HistogramSummary, LogHistogram, MetricsHub, MetricsSnapshot};
 pub use nlv::{LifelinePlot, NlvOptions};

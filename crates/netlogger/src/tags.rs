@@ -103,6 +103,12 @@ pub const SERVICE_STATS: &str = "SERVICE_STATS";
 /// a session under viewpoint-hash partitioning.  Emitted once per affected
 /// stage by both execution paths.
 pub const SERVICE_SHARDS_IDLE: &str = "SERVICE_SHARDS_IDLE";
+/// Service layer: per-shard lock telemetry (acquisitions, contended
+/// acquisitions, cumulative hold time) emitted once per shard by both
+/// execution paths.  Wall-clock-dependent where the threaded plane measures
+/// real hold times, so replay fingerprints exclude it — like the timing
+/// counters in `ServiceStats`.
+pub const SERVICE_TELEMETRY: &str = "SERVICE_TELEMETRY";
 
 /// Standard field name: frame (timestep) number.
 pub const FIELD_FRAME: &str = "NL.frame";
@@ -146,6 +152,15 @@ pub const FIELD_SERVICE_SESSION: &str = "NL.service.session";
 pub const FIELD_SERVICE_SHARDS: &str = "NL.service.shards";
 /// Standard field name: distinct session viewpoints in a stage's schedule.
 pub const FIELD_SERVICE_VIEWPOINTS: &str = "NL.service.viewpoints";
+/// Standard field name: index of one broker shard.
+pub const FIELD_SERVICE_SHARD: &str = "NL.service.shard";
+/// Standard field name: lock acquisitions on one broker shard.
+pub const FIELD_SERVICE_LOCK_ACQUISITIONS: &str = "NL.service.lock.acquisitions";
+/// Standard field name: contended lock acquisitions on one broker shard.
+pub const FIELD_SERVICE_LOCK_CONTENDED: &str = "NL.service.lock.contended";
+/// Standard field name: cumulative nanoseconds one broker shard's lock was
+/// held.
+pub const FIELD_SERVICE_LOCK_HOLD_NS: &str = "NL.service.lock.hold_ns";
 
 #[cfg(test)]
 mod tests {

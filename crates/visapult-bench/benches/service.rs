@@ -19,6 +19,7 @@
 //! 50 000- and 100 000-session floors.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
+use netlogger::{MetricsHub, MetricsSnapshot};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -73,8 +74,10 @@ fn schedule(sessions: u32) -> Vec<SessionSpec> {
 }
 
 /// One 8-frame campaign through the selected plane at `sessions` concurrent
-/// sessions; returns the service stats for the hit-rate report.
-fn fan_out_on(plane: PlaneKind, sessions: u32) -> ServiceStats {
+/// sessions; returns the service stats for the hit-rate report.  Wave
+/// latencies, queue depths and (async) executor introspection land in `hub`
+/// when it is enabled; pass [`MetricsHub::disabled`] for an unmetered run.
+fn fan_out_on(plane: PlaneKind, sessions: u32, hub: &MetricsHub) -> ServiceStats {
     let transport = TransportConfig::default().with_stripes(4).with_chunk_bytes(16 * 1024);
     let config = ServiceConfig {
         max_sessions: sessions.max(128) as usize,
@@ -87,9 +90,12 @@ fn fan_out_on(plane: PlaneKind, sessions: u32) -> ServiceStats {
     let broker = SessionBroker::new(config, schedule(sessions));
     let handle = {
         let transport = transport.clone();
+        let hub = hub.clone();
         std::thread::spawn(move || match plane {
-            PlaneKind::Threaded => FanoutPlane::drive(broker, vec![rx], Vec::new(), &transport),
-            PlaneKind::Async => AsyncPlane::with_workers(WORKERS).drive(broker, vec![rx], Vec::new(), &transport),
+            PlaneKind::Threaded => FanoutPlane::drive_metered(broker, vec![rx], Vec::new(), &transport, &hub),
+            PlaneKind::Async => {
+                AsyncPlane::with_workers(WORKERS).drive_metered(broker, vec![rx], Vec::new(), &transport, &hub)
+            }
         })
     };
     for f in 0..FRAMES {
@@ -108,7 +114,7 @@ fn fan_out_on(plane: PlaneKind, sessions: u32) -> ServiceStats {
 /// its one mandatory worker (a shard's consumers must poll somewhere),
 /// so `shards = 8` runs 8 single-worker pools — part of what sharding
 /// buys, but a caveat the crossover analysis must carry.
-fn fan_out_sharded(sessions: u32, shards: usize) -> ServiceRunReport {
+fn fan_out_sharded(sessions: u32, shards: usize, hub: &MetricsHub) -> ServiceRunReport {
     let transport = TransportConfig::default().with_stripes(4).with_chunk_bytes(16 * 1024);
     let config = ServiceConfig {
         max_sessions: sessions.max(128) as usize,
@@ -121,14 +127,15 @@ fn fan_out_sharded(sessions: u32, shards: usize) -> ServiceRunReport {
     let (tx, rx) = striped_link(&transport);
     let handle = {
         let transport = transport.clone();
+        let hub = hub.clone();
         std::thread::spawn(move || {
             let plane = AsyncPlane::with_workers(WORKERS);
             if shards > 1 {
                 let broker = ShardedBroker::new(config, schedule(sessions));
-                plane.drive_sharded(broker, vec![rx], Vec::new(), &transport)
+                plane.drive_sharded_metered(broker, vec![rx], Vec::new(), &transport, &hub)
             } else {
                 let broker = SessionBroker::new(config, schedule(sessions));
-                plane.drive(broker, vec![rx], Vec::new(), &transport)
+                plane.drive_metered(broker, vec![rx], Vec::new(), &transport, &hub)
             }
         })
     };
@@ -144,7 +151,7 @@ fn bench_service_fanout(c: &mut Criterion) {
     for plane in [PlaneKind::Threaded, PlaneKind::Async] {
         for sessions in [1u32, 8, 64] {
             group.bench_with_input(BenchmarkId::new(plane.label(), sessions), &sessions, |b, &n| {
-                b.iter(|| black_box(fan_out_on(plane, n).frames_completed));
+                b.iter(|| black_box(fan_out_on(plane, n, &MetricsHub::disabled()).frames_completed));
             });
         }
     }
@@ -153,17 +160,22 @@ fn bench_service_fanout(c: &mut Criterion) {
 
 criterion_group!(benches, bench_service_fanout);
 
-/// Median seconds per call of `f` over `samples` timed calls.
-fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64()
-        })
-        .collect();
+/// Seconds one call of `f` takes.
+fn timed_secs(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}
+
+/// Median of a set of timings.
+fn median_of(mut times: Vec<f64>) -> f64 {
     times.sort_by(|a, b| a.total_cmp(b));
     times[times.len() / 2]
+}
+
+/// Median seconds per call of `f` over `samples` timed calls.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    median_of((0..samples).map(|_| timed_secs(&mut f)).collect())
 }
 
 /// The process's current thread count from /proc (0 where unavailable).
@@ -183,9 +195,9 @@ fn baseline_cases(plane: PlaneKind, samples: usize) -> Vec<(u32, f64, ServiceSta
     [1u32, 8, 64]
         .iter()
         .map(|&n| {
-            let stats = fan_out_on(plane, n);
+            let stats = fan_out_on(plane, n, &MetricsHub::disabled());
             let median = median_secs(samples, || {
-                black_box(fan_out_on(plane, n).frames_completed);
+                black_box(fan_out_on(plane, n, &MetricsHub::disabled()).frames_completed);
             });
             (n, median, stats)
         })
@@ -211,11 +223,59 @@ fn case_json(cases: &[(u32, f64, ServiceStats)]) -> String {
         .join(",\n")
 }
 
+/// The `"latency_us"` JSON block for one measured hub: wave-latency
+/// percentiles from the plane's `fanout/wave_us` log-bucketed histogram,
+/// accumulated over every metered campaign the hub saw.
+fn latency_json(hub: &MetricsHub) -> String {
+    let wave = hub
+        .snapshot("bench")
+        .histograms
+        .get("fanout/wave_us")
+        .copied()
+        .unwrap_or_default();
+    format!(
+        "\"latency_us\": {{ \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"waves\": {} }}",
+        wave.p50, wave.p90, wave.p99, wave.max, wave.count
+    )
+}
+
+/// The `"exec"` JSON block: the worker pool's introspection counters folded
+/// out of every metered async campaign the hub saw.
+fn exec_json(hub: &MetricsHub) -> String {
+    let snap = hub.snapshot("bench");
+    let c = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    format!(
+        "\"exec\": {{ \"polls\": {}, \"poll_ns\": {}, \"parks\": {}, \"idle_sweeps\": {}, \"wakes\": {}, \"spawns\": {}, \"run_queue_high_water\": {} }}",
+        c("exec/polls"),
+        c("exec/poll_ns"),
+        c("exec/parks"),
+        c("exec/idle_sweeps"),
+        c("exec/wakes"),
+        c("exec/spawns"),
+        snap.high_waters.get("exec/run_queue_depth").copied().unwrap_or(0),
+    )
+}
+
+/// What `exhibit_floor_10k` measures: the unmetered median, the same median
+/// with the metrics plane live (their delta is the telemetry overhead the CI
+/// gate holds under 5 %), the thread-count ceiling, and the hub holding the
+/// accumulated wave histogram and executor counters.
+struct FloorReport {
+    median_s: f64,
+    telemetry_median_s: f64,
+    peak_threads: usize,
+    stats: ServiceStats,
+    hub: MetricsHub,
+}
+
 /// The 10 000-session `exhibit_floor` variant on the async plane: the same
 /// 4-viewpoint standing crowd the bundled scenario's floor stage models,
 /// scaled two orders of magnitude past what thread-per-session can carry.
-/// Returns (median seconds, peak process threads, stats).
-fn exhibit_floor_10k(samples: usize) -> (f64, usize, ServiceStats) {
+/// Each sample is an off/on *pair* — the unmetered campaign, then the same
+/// campaign with a live hub — so thermal and cache drift hit both medians
+/// equally and their delta isolates the telemetry overhead the CI gate
+/// holds under 5 %.  One snapshot per live sample feeds the JSONL series.
+fn exhibit_floor_10k(samples: usize) -> FloorReport {
     const SESSIONS: u32 = 10_000;
     let stop = Arc::new(AtomicBool::new(false));
     let peak = Arc::new(AtomicUsize::new(0));
@@ -228,13 +288,29 @@ fn exhibit_floor_10k(samples: usize) -> (f64, usize, ServiceStats) {
             }
         })
     };
-    let stats = fan_out_on(PlaneKind::Async, SESSIONS);
-    let median = median_secs(samples, || {
-        black_box(fan_out_on(PlaneKind::Async, SESSIONS).frames_completed);
-    });
+    let off = MetricsHub::disabled();
+    let hub = MetricsHub::enabled();
+    let stats = fan_out_on(PlaneKind::Async, SESSIONS, &off);
+    let mut off_times = Vec::with_capacity(samples);
+    let mut on_times = Vec::with_capacity(samples);
+    for sample_no in 1..=samples {
+        off_times.push(timed_secs(|| {
+            black_box(fan_out_on(PlaneKind::Async, SESSIONS, &off).frames_completed);
+        }));
+        on_times.push(timed_secs(|| {
+            black_box(fan_out_on(PlaneKind::Async, SESSIONS, &hub).frames_completed);
+            hub.record_snapshot(&format!("floor:sample:{sample_no}"));
+        }));
+    }
     stop.store(true, Ordering::Relaxed);
     monitor.join().unwrap();
-    (median, peak.load(Ordering::Relaxed), stats)
+    FloorReport {
+        median_s: median_of(off_times),
+        telemetry_median_s: median_of(on_times),
+        peak_threads: peak.load(Ordering::Relaxed),
+        stats,
+        hub,
+    }
 }
 
 /// The shard sweep: S ∈ {1, 2, 4, 8} broker shards at 64 / 1 000 / 10 000
@@ -247,8 +323,12 @@ fn exhibit_floor_10k(samples: usize) -> (f64, usize, ServiceStats) {
 /// dominates; at 100k a single unsharded endpoint list falls out of cache
 /// and sharding becomes the difference between linear and superlinear cost.
 /// Emits one JSON cell per (sessions, shards) with the per-shard lock
-/// counters alongside the headline medians.
-fn shard_sweep() -> String {
+/// counters alongside the headline medians.  At the 10k and 100k floors each
+/// cell also carries the wave-latency percentiles (`latency_us`), measured
+/// with the metrics plane live across every sample of that cell, and one
+/// snapshot per metered cell is appended to `snapshots` for the JSONL
+/// artifact.
+fn shard_sweep(snapshots: &mut Vec<MetricsSnapshot>) -> String {
     let rows_spec: &[(u32, usize, &[usize])] = &[
         (64, 15, &[1, 2, 4, 8]),
         (1_000, 7, &[1, 2, 4, 8]),
@@ -262,10 +342,14 @@ fn shard_sweep() -> String {
     for &(sessions, samples, shard_counts) in rows_spec {
         let mut cells = Vec::new();
         for &shards in shard_counts {
-            let report = fan_out_sharded(sessions, shards);
+            let hub = MetricsHub::when(sessions >= 10_000);
+            let report = fan_out_sharded(sessions, shards, &hub);
             let median = median_secs(samples, || {
-                black_box(fan_out_sharded(sessions, shards).stats.frames_completed);
+                black_box(fan_out_sharded(sessions, shards, &hub).stats.frames_completed);
             });
+            if hub.is_enabled() {
+                snapshots.push(hub.snapshot(&format!("sweep:{sessions}x{shards}")));
+            }
             let us = median / (f64::from(sessions) * f64::from(FRAMES)) * 1e6;
             if sessions == 10_000 {
                 if shards == 1 {
@@ -286,8 +370,13 @@ fn shard_sweep() -> String {
                 })
                 .collect::<Vec<_>>()
                 .join(", ");
+            let latency = if hub.is_enabled() {
+                format!("{}, ", latency_json(&hub))
+            } else {
+                String::new()
+            };
             cells.push(format!(
-                "      \"shards_{shards}\": {{ \"median_s\": {median:.9}, \"us_per_session_frame\": {us:.3}, \"locks\": [{locks}] }}"
+                "      \"shards_{shards}\": {{ \"median_s\": {median:.9}, \"us_per_session_frame\": {us:.3}, {latency}\"locks\": [{locks}] }}"
             ));
         }
         rows.push(format!(
@@ -310,20 +399,45 @@ fn write_baseline() {
     // The 10k sweep is one campaign per sample; a handful of samples keeps
     // the bench minutes-free while the median still rejects a cold outlier.
     let floor_samples = 3;
-    let (floor_median, floor_peak_threads, floor_stats) = exhibit_floor_10k(floor_samples);
+    let floor = exhibit_floor_10k(floor_samples);
     let floor_session_frames = 10_000.0 * f64::from(FRAMES);
+    let floor_overhead = (floor.telemetry_median_s - floor.median_s) / floor.median_s * 100.0;
 
     let scaling = threaded[2].1 / threaded[0].1;
-    let sweep = shard_sweep();
+    let mut snapshots = floor.hub.take_snapshots();
+    let sweep = shard_sweep(&mut snapshots);
+    persist_snapshots(&snapshots);
     let json = format!(
-        "{{\n  \"bench\": \"service_fanout_8_frames\",\n  \"frames\": {FRAMES},\n  \"viewpoints\": {VIEWPOINTS},\n  \"samples\": {samples},\n  \"cases\": {{\n{}\n  }},\n  \"async_workers\": {WORKERS},\n  \"async_cases\": {{\n{}\n  }},\n  \"exhibit_floor_10k_async\": {{\n    \"sessions\": 10000,\n    \"workers\": {WORKERS},\n    \"samples\": {floor_samples},\n    \"median_s\": {floor_median:.9},\n    \"us_per_session_frame\": {:.3},\n    \"peak_process_threads\": {floor_peak_threads},\n    \"shared_render_hit_rate\": {:.4}\n  }},\n{sweep},\n  \"wall_time_64x_vs_1x\": {scaling:.2},\n  \"render_ratio_at_64\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"service_fanout_8_frames\",\n  \"frames\": {FRAMES},\n  \"viewpoints\": {VIEWPOINTS},\n  \"samples\": {samples},\n  \"cases\": {{\n{}\n  }},\n  \"async_workers\": {WORKERS},\n  \"async_cases\": {{\n{}\n  }},\n  \"exhibit_floor_10k_async\": {{\n    \"sessions\": 10000,\n    \"workers\": {WORKERS},\n    \"samples\": {floor_samples},\n    \"median_s\": {:.9},\n    \"us_per_session_frame\": {:.3},\n    \"peak_process_threads\": {},\n    \"shared_render_hit_rate\": {:.4},\n    \"telemetry_median_s\": {:.9},\n    \"telemetry_overhead_percent\": {floor_overhead:.2},\n    {},\n    {}\n  }},\n{sweep},\n  \"wall_time_64x_vs_1x\": {scaling:.2},\n  \"render_ratio_at_64\": {:.4}\n}}\n",
         case_json(&threaded),
         case_json(&asynced),
-        floor_median / floor_session_frames * 1e6,
-        floor_stats.shared_render_hit_rate(),
+        floor.median_s,
+        floor.median_s / floor_session_frames * 1e6,
+        floor.peak_threads,
+        floor.stats.shared_render_hit_rate(),
+        floor.telemetry_median_s,
+        latency_json(&floor.hub),
+        exec_json(&floor.hub),
         threaded[2].2.render_ratio(),
     );
     report_baseline("service", &json);
+}
+
+/// The JSONL snapshot time series the CI run uploads as an artifact: one
+/// line per recorded snapshot (floor samples first, then one line per
+/// metered sweep cell).
+fn persist_snapshots(snapshots: &[MetricsSnapshot]) {
+    if snapshots.is_empty() {
+        return;
+    }
+    let lines: String = snapshots.iter().map(|s| s.to_jsonl() + "\n").collect();
+    let dir = visapult_bench::target_dir();
+    let path = dir.join("telemetry_snapshots.jsonl");
+    let wrote = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, lines));
+    match wrote {
+        Ok(()) => println!("wrote telemetry snapshots {}", path.display()),
+        Err(e) => eprintln!("telemetry snapshots not written: {e}"),
+    }
 }
 
 fn report_baseline(name: &str, json: &str) {

@@ -1,9 +1,16 @@
 //! Quick probe: per-session-frame cost of a service plane at a given scale.
 //! Usage: probe_floor [sessions] [shards] [samples] [frames] [async|threaded]
 //! (the threaded plane ignores `shards` > 1 sharding only when unsupported).
+//!
+//! The plane self-reports through the metrics hub: every sampled campaign
+//! runs metered, and the probe ends by printing the accumulated wave-latency
+//! histogram, queue-depth high-waters, and (async) executor introspection —
+//! the same instruments the pipeline's `[telemetry]` table records.
 
+use netlogger::MetricsHub;
 use std::sync::Arc;
 use std::time::Instant;
+use visapult_bench::render_metrics_table;
 use visapult_core::protocol::{FramePayload, HeavyPayload, LightPayload};
 use visapult_core::transport::{striped_link, TransportConfig};
 use visapult_core::{AsyncPlane, FanoutPlane, QualityTier, ServiceConfig, SessionBroker, SessionSpec, ShardedBroker};
@@ -52,7 +59,7 @@ fn workers() -> usize {
         .unwrap_or(WORKERS)
 }
 
-fn run(sessions: u32, shards: usize, frames: u32, threaded: bool) -> f64 {
+fn run(sessions: u32, shards: usize, frames: u32, threaded: bool, hub: &MetricsHub) -> f64 {
     let transport = TransportConfig::default().with_stripes(4).with_chunk_bytes(16 * 1024);
     let config = ServiceConfig {
         max_sessions: sessions.max(128) as usize,
@@ -66,23 +73,24 @@ fn run(sessions: u32, shards: usize, frames: u32, threaded: bool) -> f64 {
     let t = Instant::now();
     let handle = {
         let transport = transport.clone();
+        let hub = hub.clone();
         std::thread::spawn(move || {
             if threaded {
                 if shards > 1 {
                     let broker = ShardedBroker::new(config, schedule(sessions));
-                    FanoutPlane::drive_sharded(broker, vec![rx], Vec::new(), &transport)
+                    FanoutPlane::drive_sharded_metered(broker, vec![rx], Vec::new(), &transport, &hub)
                 } else {
                     let broker = SessionBroker::new(config, schedule(sessions));
-                    FanoutPlane::drive(broker, vec![rx], Vec::new(), &transport)
+                    FanoutPlane::drive_metered(broker, vec![rx], Vec::new(), &transport, &hub)
                 }
             } else {
                 let plane = AsyncPlane::with_workers(workers());
                 if shards > 1 {
                     let broker = ShardedBroker::new(config, schedule(sessions));
-                    plane.drive_sharded(broker, vec![rx], Vec::new(), &transport)
+                    plane.drive_sharded_metered(broker, vec![rx], Vec::new(), &transport, &hub)
                 } else {
                     let broker = SessionBroker::new(config, schedule(sessions));
-                    plane.drive(broker, vec![rx], Vec::new(), &transport)
+                    plane.drive_metered(broker, vec![rx], Vec::new(), &transport, &hub)
                 }
             }
         })
@@ -104,11 +112,18 @@ fn main() {
     let frames: u32 = args.get(4).and_then(|a| a.parse().ok()).unwrap_or(8);
     let threaded = args.get(5).map(|a| a == "threaded").unwrap_or(false);
     let plane = if threaded { "threaded" } else { "async" };
-    let mut times: Vec<f64> = (0..samples).map(|_| run(sessions, shards, frames, threaded)).collect();
+    let hub = MetricsHub::enabled();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| run(sessions, shards, frames, threaded, &hub))
+        .collect();
     times.sort_by(|a, b| a.total_cmp(b));
     let median = times[times.len() / 2];
     let us = median / (f64::from(sessions) * f64::from(frames.max(1))) * 1e6;
     println!(
         "plane={plane} sessions={sessions} shards={shards} frames={frames} samples={samples} median_s={median:.4} us_per_session_frame={us:.3}"
+    );
+    print!(
+        "{}",
+        render_metrics_table(&hub.snapshot(&format!("probe_floor:{sessions}x{shards}")))
     );
 }

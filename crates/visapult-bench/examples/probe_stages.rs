@@ -3,9 +3,15 @@
 //! plus drain, (c) drain through a per-session FrameAssembler — the three
 //! candidate hot spots of a frame wave — without any executor or threads in
 //! the way.  Numbers are µs per session-frame, comparable to probe_floor.
+//!
+//! Every stage timing is recorded through the metrics hub (one histogram
+//! per stage, one sample per wave), so the probe prints the same percentile
+//! table the service planes' own telemetry produces instead of hand-rolled
+//! accumulators.
 
+use netlogger::MetricsHub;
 use std::sync::Arc;
-use std::time::Instant;
+use visapult_bench::{render_metrics_table, time_us};
 use visapult_core::protocol::{FramePayload, FrameSegments, HeavyPayload, LightPayload};
 use visapult_core::transport::{plan_chunks, FrameAssembler, FrameChunk};
 
@@ -64,113 +70,101 @@ fn frame_chunks(frame: u32) -> Vec<FrameChunk> {
         .collect()
 }
 
-fn us_per_sf(elapsed: f64) -> f64 {
-    elapsed / (SESSIONS as f64 * f64::from(FRAMES)) * 1e6
+fn session_links() -> Vec<(
+    crossbeam::channel::Sender<FrameChunk>,
+    crossbeam::channel::Receiver<FrameChunk>,
+)> {
+    (0..SESSIONS)
+        .map(|_| crossbeam::channel::bounded::<FrameChunk>(4096))
+        .collect()
 }
 
 fn main() {
     let waves: Vec<Vec<FrameChunk>> = (0..FRAMES).map(frame_chunks).collect();
     let chunks_per_frame = waves[0].len();
+    let hub = MetricsHub::enabled();
     println!("sessions={SESSIONS} frames={FRAMES} chunks_per_frame={chunks_per_frame}");
 
     // (a) multicast push only: one bounded channel per session, push every
     // chunk of every frame into each, drain between frames off-clock.
     {
-        let links: Vec<_> = (0..SESSIONS)
-            .map(|_| crossbeam::channel::bounded::<FrameChunk>(4096))
-            .collect();
-        let mut total = 0.0;
+        let links = session_links();
         for wave in &waves {
-            let t = Instant::now();
-            for chunk in wave {
-                for (tx, _) in &links {
-                    let _ = tx.try_send(chunk.clone());
+            time_us(&hub, "probe/push_only_us", || {
+                for chunk in wave {
+                    for (tx, _) in &links {
+                        let _ = tx.try_send(chunk.clone());
+                    }
                 }
-            }
-            total += t.elapsed().as_secs_f64();
+            });
             for (_, rx) in &links {
                 while rx.try_recv().is_ok() {}
             }
         }
-        println!("push_only           us_per_session_frame={:.3}", us_per_sf(total));
     }
 
     // (b) push + drain, same thread (channel round-trip cost, no assembly).
     {
-        let links: Vec<_> = (0..SESSIONS)
-            .map(|_| crossbeam::channel::bounded::<FrameChunk>(4096))
-            .collect();
-        let t = Instant::now();
+        let links = session_links();
         for wave in &waves {
-            for chunk in wave {
-                for (tx, _) in &links {
-                    let _ = tx.try_send(chunk.clone());
+            time_us(&hub, "probe/push_drain_us", || {
+                for chunk in wave {
+                    for (tx, _) in &links {
+                        let _ = tx.try_send(chunk.clone());
+                    }
                 }
-            }
-            for (_, rx) in &links {
-                while let Ok(c) = rx.try_recv() {
-                    std::hint::black_box(&c);
+                for (_, rx) in &links {
+                    while let Ok(c) = rx.try_recv() {
+                        std::hint::black_box(&c);
+                    }
                 }
-            }
+            });
         }
-        println!(
-            "push_drain          us_per_session_frame={:.3}",
-            us_per_sf(t.elapsed().as_secs_f64())
-        );
     }
 
     // (c) push + drain through a per-session assembler (adds reassembly and
     // the frame decode on completion).
     {
-        let links: Vec<_> = (0..SESSIONS)
-            .map(|_| crossbeam::channel::bounded::<FrameChunk>(4096))
-            .collect();
+        let links = session_links();
         let mut assemblers: Vec<FrameAssembler> = (0..SESSIONS).map(|_| FrameAssembler::new()).collect();
-        let t = Instant::now();
         for wave in &waves {
-            for chunk in wave {
-                for (tx, _) in &links {
-                    let _ = tx.try_send(chunk.clone());
+            time_us(&hub, "probe/push_drain_assemble_us", || {
+                for chunk in wave {
+                    for (tx, _) in &links {
+                        let _ = tx.try_send(chunk.clone());
+                    }
                 }
-            }
-            for ((_, rx), asm) in links.iter().zip(assemblers.iter_mut()) {
-                while let Ok(c) = rx.try_recv() {
-                    let _ = std::hint::black_box(asm.accept(c));
+                for ((_, rx), asm) in links.iter().zip(assemblers.iter_mut()) {
+                    while let Ok(c) = rx.try_recv() {
+                        let _ = std::hint::black_box(asm.accept(c));
+                    }
                 }
-            }
+            });
         }
-        println!(
-            "push_drain_assemble us_per_session_frame={:.3}",
-            us_per_sf(t.elapsed().as_secs_f64())
-        );
     }
 
     // (d) split the assembler cost: accept of the first total-1 chunks
     // (bookkeeping) vs the completing accept (segment join + frame decode).
     {
         let mut assemblers: Vec<FrameAssembler> = (0..SESSIONS).map(|_| FrameAssembler::new()).collect();
-        let mut partial = 0.0;
-        let mut complete = 0.0;
         for wave in &waves {
-            let t = Instant::now();
-            for asm in assemblers.iter_mut() {
-                for chunk in &wave[..wave.len() - 1] {
-                    let _ = std::hint::black_box(asm.accept(chunk.clone()));
+            time_us(&hub, "probe/accept_partial_us", || {
+                for asm in assemblers.iter_mut() {
+                    for chunk in &wave[..wave.len() - 1] {
+                        let _ = std::hint::black_box(asm.accept(chunk.clone()));
+                    }
                 }
-            }
-            partial += t.elapsed().as_secs_f64();
+            });
             let last = wave.last().unwrap();
-            let t = Instant::now();
-            for asm in assemblers.iter_mut() {
-                let _ = std::hint::black_box(asm.accept(last.clone()));
-            }
-            complete += t.elapsed().as_secs_f64();
+            time_us(&hub, "probe/accept_complete_us", || {
+                for asm in assemblers.iter_mut() {
+                    let _ = std::hint::black_box(asm.accept(last.clone()));
+                }
+            });
         }
-        println!("accept_partial      us_per_session_frame={:.3}", us_per_sf(partial));
-        println!("accept_complete     us_per_session_frame={:.3}", us_per_sf(complete));
         let s = &assemblers[0].stats;
         println!(
-            "  (per-session stats: frames={} reassembly_copies={})",
+            "(per-session assembler stats: frames={} reassembly_copies={})",
             s.frames, s.reassembly_copies
         );
     }
@@ -179,44 +173,47 @@ fn main() {
     // — what the service planes actually run.
     {
         let memo = Arc::new(visapult_core::transport::SharedDecode::new());
-        let links: Vec<_> = (0..SESSIONS)
-            .map(|_| crossbeam::channel::bounded::<FrameChunk>(4096))
-            .collect();
+        let links = session_links();
         let mut assemblers: Vec<FrameAssembler> = (0..SESSIONS)
             .map(|_| FrameAssembler::with_shared_decode(Arc::clone(&memo)))
             .collect();
-        let t = Instant::now();
         for wave in &waves {
-            for chunk in wave {
-                for (tx, _) in &links {
-                    let _ = tx.try_send(chunk.clone());
+            time_us(&hub, "probe/assemble_shared_us", || {
+                for chunk in wave {
+                    for (tx, _) in &links {
+                        let _ = tx.try_send(chunk.clone());
+                    }
                 }
-            }
-            for ((_, rx), asm) in links.iter().zip(assemblers.iter_mut()) {
-                while let Ok(c) = rx.try_recv() {
-                    let _ = std::hint::black_box(asm.accept(c));
+                for ((_, rx), asm) in links.iter().zip(assemblers.iter_mut()) {
+                    while let Ok(c) = rx.try_recv() {
+                        let _ = std::hint::black_box(asm.accept(c));
+                    }
                 }
-            }
+            });
         }
-        println!(
-            "assemble_shared     us_per_session_frame={:.3}",
-            us_per_sf(t.elapsed().as_secs_f64())
-        );
     }
 
     // (e) decode alone: re-decode the same reassembled segments once per
     // session per frame, the way every per-session assembler does today.
     {
         let segs: Vec<FrameSegments> = (0..FRAMES).map(|f| FrameSegments::encode(&sample_frame(f))).collect();
-        let t = Instant::now();
         for seg in &segs {
-            for _ in 0..SESSIONS {
-                let _ = std::hint::black_box(seg.clone().decode().unwrap());
-            }
+            time_us(&hub, "probe/decode_only_us", || {
+                for _ in 0..SESSIONS {
+                    let _ = std::hint::black_box(seg.clone().decode().unwrap());
+                }
+            });
         }
+    }
+
+    let snap = hub.snapshot("probe_stages");
+    print!("{}", render_metrics_table(&snap));
+    println!("per-session-frame cost (histogram sum / {SESSIONS} sessions x {FRAMES} frames):");
+    for (key, h) in &snap.histograms {
         println!(
-            "decode_only         us_per_session_frame={:.3}",
-            us_per_sf(t.elapsed().as_secs_f64())
+            "  {:<30} us_per_session_frame={:.3}",
+            key,
+            h.sum as f64 / (SESSIONS as f64 * f64::from(FRAMES)),
         );
     }
 }

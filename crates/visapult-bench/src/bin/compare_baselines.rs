@@ -6,7 +6,10 @@
 //! an entry moved in the *wrong* direction — slower latency, lower
 //! throughput/hit-rate — by more than the allowed worseness ratio (default
 //! 1.3, i.e. >30 % worse) or vanished outright.  Improvements, however
-//! large, never fail the gate.
+//! large, never fail the gate.  Wave-latency percentile entries
+//! (`p50_us`/`p99_us`) gate at a widened band — `max_ratio ×`
+//! [`visapult_bench::headline_tolerance`] — because log-bucketed tail
+//! observations of a saturated floor are noisier than medians.
 //!
 //! ```text
 //! compare_baselines [--committed <dir>] [--fresh <dir>] [--max-ratio <r>]

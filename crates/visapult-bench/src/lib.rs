@@ -6,8 +6,71 @@
 //! paper's reference values so every binary prints a "paper vs. reproduced"
 //! comparison that EXPERIMENTS.md records.
 
+use netlogger::{MetricsHub, MetricsSnapshot};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+use std::time::Instant;
+
+/// Record the elapsed microseconds of `f` into `hub`'s `name` histogram —
+/// how the probe examples feed ad-hoc stage timings through the same
+/// metrics plane the service planes use.
+pub fn time_us<T>(hub: &MetricsHub, name: &str, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    hub.histogram(name).record(t.elapsed().as_micros() as u64);
+    out
+}
+
+/// Render a metrics snapshot as a fixed-width text table: histograms with
+/// their percentile summaries first, then counters, then high-water gauges.
+/// The shared formatter behind `telemetry_tour` and the probe examples.
+pub fn render_metrics_table(snap: &MetricsSnapshot) -> String {
+    let mut out = format!("metrics @ {}\n", snap.at);
+    if !snap.histograms.is_empty() {
+        out.push_str(&format!(
+            "  {:<30} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}\n",
+            "histogram", "n", "p50", "p90", "p99", "max", "mean"
+        ));
+        for (key, h) in &snap.histograms {
+            out.push_str(&format!(
+                "  {:<30} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11.1}\n",
+                key,
+                h.count,
+                h.p50,
+                h.p90,
+                h.p99,
+                h.max,
+                h.mean()
+            ));
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str(&format!("  {:<30} {:>15}\n", "counter", "value"));
+        for (key, v) in &snap.counters {
+            out.push_str(&format!("  {:<30} {:>15}\n", key, v));
+        }
+    }
+    if !snap.high_waters.is_empty() {
+        out.push_str(&format!("  {:<30} {:>15}\n", "high-water", "value"));
+        for (key, v) in &snap.high_waters {
+            out.push_str(&format!("  {:<30} {:>15}\n", key, v));
+        }
+    }
+    out
+}
+
+/// The build's `target/` directory — bench harnesses run with the package
+/// directory as CWD, so scratch artifacts (baselines, telemetry snapshot
+/// series) must resolve it from the workspace layout, not relatively.
+pub fn target_dir() -> PathBuf {
+    std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        })
+}
 
 /// Where a bench baseline named `BENCH_<name>.json` lands: the build's
 /// `target/` directory (scratch, next to every other build artifact) and the
@@ -16,10 +79,7 @@ use std::path::PathBuf;
 pub fn baseline_paths(name: &str) -> Vec<PathBuf> {
     let file = format!("BENCH_{name}.json");
     let workspace = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let target = std::env::var("CARGO_TARGET_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| workspace.join("target"));
-    vec![target.join(&file), workspace.join(&file)]
+    vec![target_dir().join(&file), workspace.join(&file)]
 }
 
 /// Write a bench baseline to every location in [`baseline_paths`], returning
@@ -96,7 +156,24 @@ pub const HEADLINE_METRICS: &[(&str, Direction)] = &[
     ("warm_speedup_vs_uncached", Direction::HigherIsBetter),
     ("zero_copy_roundtrip_vs_legacy_encode", Direction::HigherIsBetter),
     ("speedup_vs_1_shard", Direction::HigherIsBetter),
+    ("p50_us", Direction::LowerIsBetter),
+    ("p99_us", Direction::LowerIsBetter),
 ];
+
+/// Per-metric widening of the gate's worseness ratio.  Most headline metrics
+/// are medians over repeated samples and gate at the caller's `max_ratio`
+/// unchanged (multiplier 1.0).  The wave-latency percentiles are
+/// log₂-bucketed observations of a deliberately saturated floor — a
+/// one-bucket shift in the p50 of a bimodal wave distribution reads as
+/// several-× — so they gate at 4× the base ratio: wide enough to absorb
+/// bucket and scheduling noise, still tight enough to fail an
+/// order-of-magnitude latency regression.
+pub fn headline_tolerance(key: &str) -> f64 {
+    match key {
+        "p50_us" | "p99_us" => 4.0,
+        _ => 1.0,
+    }
+}
 
 /// One gated entry's committed-vs-fresh comparison — the full table, not just
 /// the failures, so CI can print every metric's movement.
@@ -113,13 +190,16 @@ pub struct BaselineDelta {
     /// Normalized worseness (see [`Direction::worseness`]; `inf` when the
     /// entry vanished).
     pub worseness: f64,
+    /// This metric's band multiplier (see [`headline_tolerance`]).
+    pub tolerance: f64,
 }
 
 impl BaselineDelta {
     /// True when this entry moved in the wrong direction past the tolerance
-    /// (or vanished) — the only condition that fails the gate.
+    /// (or vanished) — the only condition that fails the gate.  The effective
+    /// band is `max_ratio × self.tolerance`.
     pub fn regressed(&self, max_ratio: f64) -> bool {
-        self.worseness > max_ratio
+        self.worseness > max_ratio * self.tolerance
     }
 
     /// Signed raw value change in percent (positive = fresh value larger).
@@ -197,6 +277,7 @@ fn walk_headlines(committed: &serde::Value, fresh: &serde::Value, path: &str, ou
                     committed: base,
                     fresh: now,
                     worseness,
+                    tolerance: headline_tolerance(key),
                 });
                 continue;
             }
@@ -426,6 +507,22 @@ mod tests {
         assert!((throughput.change_percent() + 50.0).abs() < 1e-9);
         let latency = deltas.iter().find(|d| d.path == "t.median_s").unwrap();
         assert_eq!(latency.status(1.3), "ok");
+    }
+
+    #[test]
+    fn tail_percentiles_gate_with_widened_tolerance() {
+        let committed: serde::Value = serde_json::from_str(r#"{"f": {"p99_us": 10000, "median_s": 1.0}}"#).unwrap();
+        // A 3x-worse p99 sits inside the widened 1.3 × 4 band; a 3x-worse
+        // median does not.
+        let fresh: serde::Value = serde_json::from_str(r#"{"f": {"p99_us": 30000, "median_s": 3.0}}"#).unwrap();
+        let found = headline_regressions(&committed, &fresh, 1.3);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].path, "f.median_s");
+        // A 6x-worse p99 breaches even the widened band.
+        let fresh: serde::Value = serde_json::from_str(r#"{"f": {"p99_us": 60000, "median_s": 1.0}}"#).unwrap();
+        let found = headline_regressions(&committed, &fresh, 1.3);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].path, "f.p99_us");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! the spec's [`ExecutionPath`].
 
 use super::report::CampaignReport;
+use super::spec::TelemetrySpec;
 use super::spec::{
     build_testbed, ExecutionPath, PlatformSpec, RealPathSpec, ScenarioSpec, SimPathSpec, StageSpec, TransportSpec,
 };
@@ -324,6 +325,20 @@ impl ScenarioSpec {
             .platform
             .unwrap_or_else(|| PlatformSpec::default_for(self.testbed.kind));
 
+        let tel = self.telemetry.clone().unwrap_or(TelemetrySpec {
+            enable: None,
+            sample_every: None,
+            snapshot_frames: None,
+        });
+        if tel.sample_every == Some(0) {
+            return Err(bad("telemetry sample_every must be positive".to_string()));
+        }
+        let telemetry = ResolvedTelemetry {
+            enable: tel.enable.unwrap_or(true),
+            sample_every: tel.sample_every.unwrap_or(1),
+            snapshot_frames: tel.snapshot_frames.unwrap_or(0),
+        };
+
         Ok(ResolvedScenario {
             name: self.scenario.name.clone(),
             seed: self.scenario.seed,
@@ -354,7 +369,32 @@ impl ScenarioSpec {
             service,
             farm_backends,
             farm_placement,
+            telemetry,
         })
+    }
+}
+
+/// The resolved `[telemetry]` table: the metrics plane's effective knobs.
+/// `sample_every` shapes which lifecycle events reach the log (identically on
+/// both paths), so it is part of the deterministic configuration; `enable`
+/// only gates wall-clock-dependent metrics and never affects fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolvedTelemetry {
+    /// Whether the metrics plane records at all.
+    pub enable: bool,
+    /// Deterministic 1-in-N session lifeline sampling (1 = everything).
+    pub sample_every: u32,
+    /// JSONL snapshot cadence in frames (0 = end-of-stage only).
+    pub snapshot_frames: u32,
+}
+
+impl Default for ResolvedTelemetry {
+    fn default() -> Self {
+        ResolvedTelemetry {
+            enable: true,
+            sample_every: 1,
+            snapshot_frames: 0,
+        }
     }
 }
 
@@ -443,6 +483,8 @@ pub struct ResolvedScenario {
     pub farm_backends: usize,
     /// How shared renders are placed across farm backends.
     pub farm_placement: BackendPlacement,
+    /// Metrics-plane knobs (enabled with full lifeline emission by default).
+    pub telemetry: ResolvedTelemetry,
 }
 
 impl ResolvedScenario {

@@ -37,12 +37,14 @@ pub mod compile;
 pub mod report;
 pub mod spec;
 
-pub use compile::{run_scenario, ResolvedScenario, ResolvedService, ResolvedStage};
-pub use report::{CacheReport, CampaignReport, ServiceReport, StageMetrics, StageReport, TransportReport};
+pub use compile::{run_scenario, ResolvedScenario, ResolvedService, ResolvedStage, ResolvedTelemetry};
+pub use report::{
+    CacheReport, CampaignReport, ServiceReport, StageMetrics, StageReport, TelemetryReport, TransportReport,
+};
 pub use spec::{
     build_testbed, CacheSpec, DatasetSpec, ExecutionPath, FarmTableSpec, PipelineSpec, PlatformSpec, RealPathSpec,
-    RenderSpec, ScenarioMeta, ScenarioSpec, ServiceTableSpec, SessionArrivalSpec, SimPathSpec, StageSpec, TestbedSpec,
-    TransportSpec,
+    RenderSpec, ScenarioMeta, ScenarioSpec, ServiceTableSpec, SessionArrivalSpec, SimPathSpec, StageSpec,
+    TelemetrySpec, TestbedSpec, TransportSpec,
 };
 
 #[cfg(test)]

@@ -11,11 +11,13 @@
 
 use super::spec::ExecutionPath;
 use crate::config::ExecutionMode;
-use crate::service::{ServiceConfig, ServiceStats};
+use crate::service::{ServiceConfig, ServiceStats, ShardLockStats};
 use crate::transport::{TransportConfig, TransportStats};
 use dpss::{CacheConfig, CacheStats};
+use netlogger::metrics::{HistogramSummary, MetricsSnapshot};
 use netlogger::EventLog;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Deterministic per-stage metrics shared by both execution paths.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -133,6 +135,67 @@ impl TransportReport {
     }
 }
 
+/// The campaign-level fold of the always-on metrics plane: per-stage latency
+/// distributions, component counters, queue high-waters, broker shard-lock
+/// telemetry, and the periodic snapshot series.  Everything here is
+/// wall-clock-dependent and deliberately excluded from replay fingerprints,
+/// like the timing counters in [`ServiceStats`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Whether the metrics plane recorded (false means every map below is
+    /// empty — the no-op hub was handed out).
+    pub enabled: bool,
+    /// Lifeline sampling the run used (1 = every session emitted events).
+    pub sample_every: u32,
+    /// Latency distributions in microseconds, keyed
+    /// `"<stage>/<phase>"` (e.g. `"exhibit-floor/render"`) plus campaign
+    /// totals keyed `"total/<phase>"`.
+    pub latencies: BTreeMap<String, HistogramSummary>,
+    /// Named counters (executor wakes/parks/polls, cache shard hits, …).
+    pub counters: BTreeMap<String, u64>,
+    /// Named high-water gauges (stripe-queue depth, executor run queue, …).
+    pub high_waters: BTreeMap<String, u64>,
+    /// Per-shard broker lock telemetry, in shard order, summed over stages.
+    pub shard_locks: Vec<ShardLockStats>,
+    /// The periodic snapshot series (one entry per `snapshot_frames` tick
+    /// plus one per stage end), exported as JSONL by [`snapshots_jsonl`].
+    ///
+    /// [`snapshots_jsonl`]: TelemetryReport::snapshots_jsonl
+    pub snapshots: Vec<MetricsSnapshot>,
+}
+
+impl TelemetryReport {
+    /// The snapshot time series as JSONL (one snapshot per line).
+    pub fn snapshots_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.snapshots {
+            out.push_str(&s.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The latency summary for one `"<stage>/<phase>"` key, if recorded.
+    pub fn latency(&self, key: &str) -> Option<&HistogramSummary> {
+        self.latencies.get(key)
+    }
+
+    /// Fold per-shard lock telemetry in, summing by shard index.
+    pub fn merge_shard_locks(&mut self, locks: &[ShardLockStats]) {
+        for l in locks {
+            match self.shard_locks.iter_mut().find(|s| s.shard == l.shard) {
+                Some(s) => {
+                    s.acquisitions += l.acquisitions;
+                    s.contended += l.contended;
+                    s.hold_ns += l.hold_ns;
+                }
+                None => self.shard_locks.push(*l),
+            }
+        }
+        self.shard_locks.sort_unstable_by_key(|s| s.shard);
+    }
+}
+
 /// Everything a scenario run produced, whichever path executed it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignReport {
@@ -153,6 +216,10 @@ pub struct CampaignReport {
     pub service: Option<ServiceReport>,
     /// The merged NetLogger log across all stages, on one time axis.
     pub log: EventLog,
+    /// The metrics-plane fold (None only for reports built by pre-telemetry
+    /// callers; the pipeline always fills it in, disabled or not).
+    /// Wall-clock-dependent, never fingerprinted.
+    pub telemetry: Option<TelemetryReport>,
     /// Advisory validation notes from scenario resolution (see
     /// [`super::compile::ResolvedScenario::validation_notes`]); empty for a
     /// well-provisioned spec.  Not fingerprinted — notes describe the
@@ -323,11 +390,16 @@ impl CampaignReport {
             }
         }
         // Event multiset, order-independent: sort rendered lines first.
+        // SERVICE_TELEMETRY carries wall-clock-dependent lock hold times on
+        // the threaded plane, so it is excluded like the timing counters —
+        // which is also what keeps fingerprints byte-identical with the
+        // metrics plane on or off.
         let deterministic_times = self.path == ExecutionPath::VirtualTime;
         let mut lines: Vec<String> = self
             .log
             .events()
             .iter()
+            .filter(|e| e.tag != netlogger::tags::SERVICE_TELEMETRY)
             .map(|e| {
                 let mut line = String::new();
                 if deterministic_times {
@@ -412,6 +484,34 @@ impl CampaignReport {
                 s.totals.render_requests,
                 s.shared_render_hit_rate() * 100.0,
             ));
+        }
+        if let Some(t) = &self.telemetry {
+            if t.enabled {
+                out.push_str(&format!(
+                    "telemetry: enabled (1-in-{} lifelines) — {} histogram(s), {} counter(s), {} snapshot(s)\n",
+                    t.sample_every,
+                    t.latencies.len(),
+                    t.counters.len(),
+                    t.snapshots.len(),
+                ));
+                for (key, h) in &t.latencies {
+                    out.push_str(&format!(
+                        "  lat {:<28} n={:<7} p50={}us p90={}us p99={}us max={}us\n",
+                        key, h.count, h.p50, h.p90, h.p99, h.max,
+                    ));
+                }
+                for l in &t.shard_locks {
+                    out.push_str(&format!(
+                        "  shard {:<2} lock: {} acquisitions ({} contended), {:.2}ms held\n",
+                        l.shard,
+                        l.acquisitions,
+                        l.contended,
+                        l.hold_ns as f64 / 1e6,
+                    ));
+                }
+            } else {
+                out.push_str("telemetry: disabled\n");
+            }
         }
         for note in &self.notes {
             out.push_str(&format!("note: {note}\n"));

@@ -268,6 +268,27 @@ pub struct SessionArrivalSpec {
     pub dwell_frames: Option<u32>,
 }
 
+/// `[telemetry]` — the always-on metrics plane.  Omitted, telemetry runs
+/// enabled with full lifeline emission (`sample_every = 1`), which leaves
+/// every event log — and therefore every replay fingerprint — byte-identical
+/// to a telemetry-off run: metrics are wall-clock-dependent and deliberately
+/// excluded from fingerprints, like the timing counters in `ServiceStats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySpec {
+    /// Record histograms/counters/gauges at all (defaults to true; false
+    /// hands no-op handles to every instrumented site — zero atomics on the
+    /// hot paths).
+    pub enable: Option<bool>,
+    /// Deterministic 1-in-N session lifeline sampling (defaults to 1 —
+    /// every session emits lifecycle events).  Seeded by session id, so both
+    /// execution paths sample the identical subset; values above 1 thin the
+    /// event log (and shift fingerprints identically on both paths).
+    pub sample_every: Option<u32>,
+    /// Take a JSONL metrics snapshot every N frames (defaults to 0 — only
+    /// the end-of-stage snapshot).
+    pub snapshot_frames: Option<u32>,
+}
+
 /// `[sim]` — tuning that only applies on the virtual-time path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimPathSpec {
@@ -323,6 +344,9 @@ pub struct ScenarioSpec {
     pub farm: Option<FarmTableSpec>,
     /// Staged workload mix (optional; one full-budget stage by default).
     pub stages: Option<Vec<StageSpec>>,
+    /// Metrics plane (optional; omitted means enabled with full lifeline
+    /// emission — the always-on default).
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 /// The bundled scenario specs shipped in `scenarios/` at the repo root,
@@ -436,6 +460,7 @@ impl ScenarioSpec {
             service: None,
             farm: None,
             stages: if stages.is_empty() { None } else { Some(stages) },
+            telemetry: None,
         }
     }
 }

@@ -39,6 +39,7 @@ fn minimal_spec(path: ExecutionPath) -> ScenarioSpec {
         service: None,
         farm: None,
         stages: None,
+        telemetry: None,
     }
 }
 

@@ -57,8 +57,9 @@ pub use baseline::{StrategyBandwidth, VisualizationStrategy};
 pub use campaign::real::{run_real_campaign, run_real_campaign_in_env};
 pub use campaign::real::{RealCampaignConfig, RealCampaignReport, RealDataPath, RealDpssEnv, ServicePlan};
 pub use campaign::scenario::{
-    run_scenario, CacheReport, CacheSpec, CampaignReport, ExecutionPath, FarmTableSpec, PlatformSpec, ScenarioSpec,
-    ServiceReport, ServiceTableSpec, SessionArrivalSpec, StageReport, StageSpec, TransportReport, TransportSpec,
+    run_scenario, CacheReport, CacheSpec, CampaignReport, ExecutionPath, FarmTableSpec, PlatformSpec,
+    ResolvedTelemetry, ScenarioSpec, ServiceReport, ServiceTableSpec, SessionArrivalSpec, StageReport, StageSpec,
+    TelemetryReport, TelemetrySpec, TransportReport, TransportSpec,
 };
 #[allow(deprecated)] // the facade stays re-exported while callers migrate to the builder
 pub use campaign::sim::run_sim_campaign;
@@ -77,8 +78,8 @@ pub use protocol::{FramePayload, FrameSegments, HeavyPayload, LightPayload};
 #[allow(deprecated)] // the facade stays re-exported while callers migrate to the builder
 pub use service::run_service_plane;
 pub use service::{
-    BackendPlacement, PlaneKind, QualityTier, RejectReason, ServiceConfig, ServiceRunReport, ServiceStats,
-    SessionBroker, SessionDelivery, SessionEvent, SessionSpec, ShardLockStats, ShardedBroker,
+    log_service_telemetry, BackendPlacement, PlaneKind, QualityTier, RejectReason, ServiceConfig, ServiceRunReport,
+    ServiceStats, SessionBroker, SessionDelivery, SessionEvent, SessionSpec, ShardLockStats, ShardedBroker,
 };
 pub use transport::{
     drain_frames, plan_chunks, striped_link, FrameAssembler, FrameChunk, StripeReceiver, StripeSender, TcpTuning,

@@ -59,7 +59,8 @@ use crate::backend::BackendReport;
 use crate::campaign::real::{RealCampaignConfig, RealDataPath, RealDpssEnv, ServicePlan};
 use crate::campaign::scenario::report::{fnv1a, CampaignReport, StageMetrics, StageReport, FNV_OFFSET};
 use crate::campaign::scenario::{
-    CacheReport, ExecutionPath, ResolvedScenario, ScenarioSpec, ServiceReport, TransportReport,
+    CacheReport, ExecutionPath, ResolvedScenario, ResolvedTelemetry, ScenarioSpec, ServiceReport, TelemetryReport,
+    TransportReport,
 };
 use crate::campaign::sim::SimCampaignConfig;
 use crate::config::PipelineConfig;
@@ -69,6 +70,7 @@ use crate::service::{ServiceRunReport, ServiceStats};
 use crate::transport::{TransportConfig, TransportStats};
 use crate::viewer::ViewerReport;
 use dpss::{BlockCache, CacheStats, DatasetDescriptor, StripeLayout};
+use netlogger::metrics::MetricsHub;
 use netlogger::{tags, Collector, Event, EventLog, FieldValue, NetLogger, ProfileAnalysis};
 
 /// Everything one stage execution needs, whichever capability set drives it.
@@ -98,6 +100,12 @@ pub struct StageContext<'a> {
     /// The telemetry-only cache replay (`None` on the real path, where the
     /// live cache in `env` produces the counters instead).
     pub cache_replay: Option<CacheReplay<'a>>,
+    /// The metrics hub instrumented code records into (the no-op hub when
+    /// telemetry is disabled — zero atomics on the hot paths either way).
+    pub metrics: MetricsHub,
+    /// The resolved `[telemetry]` knobs (lifeline sampling, snapshot
+    /// cadence).
+    pub telemetry: ResolvedTelemetry,
 }
 
 /// The virtual-time cache seam: a telemetry-only [`BlockCache`] fed the
@@ -362,6 +370,52 @@ fn log_cache_stats(logger: &NetLogger, at: Option<f64>, stats: &CacheStats) {
     }
 }
 
+/// The lifeline span pairs the telemetry plane reduces to per-stage latency
+/// histograms: phase label, start tag, end tag.  Spans pair per
+/// (host, program, frame), so every PE of every frame contributes one sample
+/// — the distribution the paper's NLV plots show graphically, reduced to
+/// p50/p90/p99.
+const PHASE_SPANS: &[(&str, &str, &str)] = &[
+    ("load", tags::BE_LOAD_START, tags::BE_LOAD_END),
+    ("render", tags::BE_RENDER_START, tags::BE_RENDER_END),
+    ("stripe", tags::BE_HEAVY_SEND, tags::BE_HEAVY_END),
+    ("composite", tags::V_FRAME_START, tags::V_FRAME_END),
+];
+
+/// Reduce one stage's event log to latency histograms keyed
+/// `"<stage>/<phase>"` (microsecond samples).  Works identically on both
+/// paths: real logs carry wall-clock spans, virtual logs carry modeled ones.
+fn fold_stage_latencies(log: &EventLog, hub: &MetricsHub, stage: &str) {
+    if !hub.is_enabled() {
+        return;
+    }
+    for (phase, start_tag, end_tag) in PHASE_SPANS {
+        // min-start / max-end per (host, program, frame): robust to a key
+        // appearing more than once (retried frames), and one linear pass.
+        let mut spans: std::collections::HashMap<(&str, &str, i64), (f64, f64)> = std::collections::HashMap::new();
+        for e in log.events() {
+            let Some(frame) = e.frame() else { continue };
+            let key = (e.host.as_str(), e.program.as_str(), frame);
+            if e.tag == *start_tag {
+                let entry = spans.entry(key).or_insert((e.timestamp, f64::NEG_INFINITY));
+                entry.0 = entry.0.min(e.timestamp);
+            } else if e.tag == *end_tag {
+                let entry = spans.entry(key).or_insert((f64::INFINITY, e.timestamp));
+                entry.1 = entry.1.max(e.timestamp);
+            }
+        }
+        let histo = hub.histogram(&format!("{stage}/{phase}"));
+        let total = hub.histogram(&format!("total/{phase}"));
+        for (start, end) in spans.values() {
+            if start.is_finite() && end.is_finite() && end >= start {
+                let us = ((end - start) * 1e6) as u64;
+                histo.record(us);
+                total.record(us);
+            }
+        }
+    }
+}
+
 /// The modeled wire segment sizes of one frame payload: texture plus the
 /// geometry/metadata allowance of
 /// [`PipelineConfig::viewer_payload_bytes_per_pe`].  Shared by the modeled
@@ -476,6 +530,15 @@ impl Pipeline {
         let mut transport_totals = TransportStats::default();
         let mut service_totals = ServiceStats::default();
 
+        // One hub per campaign: every stage, plane and worker records into
+        // the same named instruments; disabled, every handle is a no-op.
+        let hub = MetricsHub::when(resolved.telemetry.enable);
+        let mut telemetry = TelemetryReport {
+            enabled: hub.is_enabled(),
+            sample_every: resolved.telemetry.sample_every,
+            ..Default::default()
+        };
+
         for (i, stage) in resolved.stages.iter().enumerate() {
             let ctx = StageContext {
                 pipeline: resolved.stage_pipeline(stage),
@@ -490,8 +553,15 @@ impl Pipeline {
                     cache,
                     dataset: staged_dataset.clone(),
                 }),
+                metrics: hub.clone(),
+                telemetry: resolved.telemetry,
             };
             let artifacts = drive_stage(&self.caps, &ctx)?;
+            fold_stage_latencies(&artifacts.log, &hub, &stage.name);
+            if let Some(svc) = &artifacts.service {
+                telemetry.merge_shard_locks(&svc.shard_locks);
+            }
+            hub.record_snapshot(&format!("stage:{}", stage.name));
             let metrics = artifacts.stage_metrics(&ctx);
             cache_totals.hits += metrics.cache.hits;
             cache_totals.misses += metrics.cache.misses;
@@ -518,6 +588,26 @@ impl Pipeline {
             config: svc.config.clone(),
             totals: service_totals,
         });
+
+        // Per-shard cache gauges from whichever cache actually ran (the live
+        // deployment, or its telemetry-only virtual twin).
+        let shard_cache = real_env
+            .as_ref()
+            .and_then(|e| e.cache())
+            .map(|c| c.shard_stats())
+            .or_else(|| sim_cache.as_ref().map(|c| c.shard_stats()));
+        if let Some(shards) = shard_cache {
+            for (i, s) in shards.iter().enumerate() {
+                hub.add(&format!("cache/shard{i}/hits"), s.hits);
+                hub.add(&format!("cache/shard{i}/misses"), s.misses);
+            }
+        }
+        let final_snap = hub.snapshot("campaign");
+        telemetry.latencies = final_snap.histograms;
+        telemetry.counters = final_snap.counters;
+        telemetry.high_waters = final_snap.high_waters;
+        telemetry.snapshots = hub.take_snapshots();
+
         Ok(CampaignReport {
             scenario: resolved.name.clone(),
             path: resolved.path,
@@ -530,6 +620,7 @@ impl Pipeline {
             },
             service,
             log: merged,
+            telemetry: Some(telemetry),
             notes: resolved.validation_notes(),
         })
     }
@@ -551,6 +642,8 @@ impl Pipeline {
             env,
             sim: None,
             cache_replay: None,
+            metrics: MetricsHub::disabled(),
+            telemetry: ResolvedTelemetry::default(),
         };
         drive_stage(&caps, &ctx)
     }

@@ -12,14 +12,14 @@
 
 use super::{modeled_segment_lens, FabricLinks, FarmRun, StageContext};
 use crate::error::VisapultError;
-use crate::service::asyncplane::{drive_async_service_plane, drive_sharded_async_plane};
-use crate::service::fanout::drive_sharded_service_plane;
+use crate::service::asyncplane::{drive_async_service_plane_metered, drive_sharded_async_plane_metered};
+use crate::service::fanout::{drive_service_plane_metered, drive_sharded_service_plane_metered, PlaneTelemetry};
 use crate::service::{
-    drive_service_plane, log_service_stats, log_shard_overprovision, shard_overprovision, PlaneKind, ServiceRunReport,
-    SessionBroker, ShardedBroker,
+    log_service_stats_sampled, log_service_telemetry, log_shard_overprovision, shard_overprovision, PlaneKind,
+    ServiceRunReport, SessionBroker, ShardedBroker,
 };
 use crate::transport::{plan_chunks, striped_link, StripeReceiver, StripeSender, TransportConfig};
-use netlogger::Collector;
+use netlogger::{Collector, MetricsHub};
 
 /// The fan-out capability: given the fabric's links, optionally splice a
 /// session-serving plane between the farm and the viewer.
@@ -70,7 +70,20 @@ impl FanoutPlane {
         primary: Vec<StripeSender>,
         transport: &TransportConfig,
     ) -> ServiceRunReport {
-        drive_service_plane(broker, inputs, primary, transport)
+        Self::drive_metered(broker, inputs, primary, transport, &MetricsHub::disabled())
+    }
+
+    /// [`FanoutPlane::drive`] with a live [`MetricsHub`]: wave latencies,
+    /// queue-depth high-waters and fan-out counters land in `hub` — how the
+    /// benchmarks extract per-stage percentiles without a full pipeline.
+    pub fn drive_metered(
+        broker: SessionBroker,
+        inputs: Vec<StripeReceiver>,
+        primary: Vec<StripeSender>,
+        transport: &TransportConfig,
+        hub: &MetricsHub,
+    ) -> ServiceRunReport {
+        drive_service_plane_metered(broker, inputs, primary, transport, &PlaneTelemetry::new(hub.clone(), 0))
     }
 
     /// Run the threaded plane over a [`ShardedBroker`]: each shard lives
@@ -82,7 +95,18 @@ impl FanoutPlane {
         primary: Vec<StripeSender>,
         transport: &TransportConfig,
     ) -> ServiceRunReport {
-        drive_sharded_service_plane(broker, inputs, primary, transport)
+        Self::drive_sharded_metered(broker, inputs, primary, transport, &MetricsHub::disabled())
+    }
+
+    /// [`FanoutPlane::drive_sharded`] with a live [`MetricsHub`].
+    pub fn drive_sharded_metered(
+        broker: ShardedBroker,
+        inputs: Vec<StripeReceiver>,
+        primary: Vec<StripeSender>,
+        transport: &TransportConfig,
+        hub: &MetricsHub,
+    ) -> ServiceRunReport {
+        drive_sharded_service_plane_metered(broker, inputs, primary, transport, &PlaneTelemetry::new(hub.clone(), 0))
     }
 }
 
@@ -127,7 +151,29 @@ impl AsyncPlane {
         primary: Vec<StripeSender>,
         transport: &TransportConfig,
     ) -> ServiceRunReport {
-        drive_async_service_plane(broker, inputs, primary, transport, self.workers)
+        self.drive_metered(broker, inputs, primary, transport, &MetricsHub::disabled())
+    }
+
+    /// [`AsyncPlane::drive`] with a live [`MetricsHub`]: on top of the
+    /// fan-out metrics, the executor's introspection counters (`exec/*` —
+    /// polls, poll nanoseconds, parks, wakes, idle sweeps, run-queue
+    /// high-water) fold into `hub` when the pool winds down.
+    pub fn drive_metered(
+        &self,
+        broker: SessionBroker,
+        inputs: Vec<StripeReceiver>,
+        primary: Vec<StripeSender>,
+        transport: &TransportConfig,
+        hub: &MetricsHub,
+    ) -> ServiceRunReport {
+        drive_async_service_plane_metered(
+            broker,
+            inputs,
+            primary,
+            transport,
+            self.workers,
+            &PlaneTelemetry::new(hub.clone(), 0),
+        )
     }
 
     /// Run the async plane over a [`ShardedBroker`]: each shard gets its own
@@ -141,7 +187,27 @@ impl AsyncPlane {
         primary: Vec<StripeSender>,
         transport: &TransportConfig,
     ) -> ServiceRunReport {
-        drive_sharded_async_plane(broker, inputs, primary, transport, self.workers)
+        self.drive_sharded_metered(broker, inputs, primary, transport, &MetricsHub::disabled())
+    }
+
+    /// [`AsyncPlane::drive_sharded`] with a live [`MetricsHub`]: every shard
+    /// executor's introspection counters fold into `hub`.
+    pub fn drive_sharded_metered(
+        &self,
+        broker: ShardedBroker,
+        inputs: Vec<StripeReceiver>,
+        primary: Vec<StripeSender>,
+        transport: &TransportConfig,
+        hub: &MetricsHub,
+    ) -> ServiceRunReport {
+        drive_sharded_async_plane_metered(
+            broker,
+            inputs,
+            primary,
+            transport,
+            self.workers,
+            &PlaneTelemetry::new(hub.clone(), 0),
+        )
     }
 }
 
@@ -191,6 +257,10 @@ fn splice_fanout(
     }
     let workers = workers_override.or(plan.workers);
     let plane_transport = ctx.transport.clone();
+    // The stage's metrics hub rides into the plane thread: wave latencies,
+    // queue high-waters and (async) executor introspection all land in the
+    // same hub the pipeline folds into the campaign's TelemetryReport.
+    let plane_telemetry = PlaneTelemetry::new(ctx.metrics.clone(), ctx.telemetry.snapshot_frames);
     // `shards = 1` takes the classic single-broker path bit for bit; above 1
     // the sessions partition into independent broker shards.
     let sharded = if plan.config.shard_count() > 1 {
@@ -206,24 +276,35 @@ fn splice_fanout(
     let handle = std::thread::Builder::new()
         .name("visapult-service-plane".to_string())
         .spawn(move || match (plane, sharded) {
-            (PlaneKind::Threaded, Some(sharded)) => {
-                drive_sharded_service_plane(sharded, plane_inputs, primary_txs, &plane_transport)
-            }
-            (PlaneKind::Async, Some(sharded)) => {
-                drive_sharded_async_plane(sharded, plane_inputs, primary_txs, &plane_transport, workers)
-            }
-            (PlaneKind::Threaded, None) => drive_service_plane(
+            (PlaneKind::Threaded, Some(sharded)) => drive_sharded_service_plane_metered(
+                sharded,
+                plane_inputs,
+                primary_txs,
+                &plane_transport,
+                &plane_telemetry,
+            ),
+            (PlaneKind::Async, Some(sharded)) => drive_sharded_async_plane_metered(
+                sharded,
+                plane_inputs,
+                primary_txs,
+                &plane_transport,
+                workers,
+                &plane_telemetry,
+            ),
+            (PlaneKind::Threaded, None) => drive_service_plane_metered(
                 broker.expect("unsharded broker"),
                 plane_inputs,
                 primary_txs,
                 &plane_transport,
+                &plane_telemetry,
             ),
-            (PlaneKind::Async, None) => drive_async_service_plane(
+            (PlaneKind::Async, None) => drive_async_service_plane_metered(
                 broker.expect("unsharded broker"),
                 plane_inputs,
                 primary_txs,
                 &plane_transport,
                 workers,
+                &plane_telemetry,
             ),
         })
         .expect("spawn service plane");
@@ -251,7 +332,15 @@ impl PlaneSession for FanoutSession {
     ) -> Result<Option<ServiceRunReport>, VisapultError> {
         let report = self.handle.join().expect("service plane panicked");
         let logger = collector.logger("service", "session-broker");
-        log_service_stats(&logger, None, &report.stats, &report.events);
+        // Lifeline sampling thins only the per-session lifecycle events —
+        // deterministically by session id, so both paths keep (or drop)
+        // exactly the same lifelines; the aggregate SERVICE_STATS summary is
+        // never sampled.
+        log_service_stats_sampled(&logger, None, &report.stats, &report.events, ctx.telemetry.sample_every);
+        if ctx.telemetry.enable {
+            let shard_count = ctx.service.as_ref().map(|plan| plan.config.shard_count()).unwrap_or(1);
+            log_service_telemetry(&logger, None, shard_count, &report.shard_locks);
+        }
         if let Some((shards, viewpoints)) = ctx
             .service
             .as_ref()
@@ -322,7 +411,22 @@ impl PlaneSession for ReplaySession {
             (broker.stats().clone(), broker.events().to_vec())
         };
         let logger = collector.logger("service", "session-broker");
-        log_service_stats(&logger, Some(run.total_time), &stats, &events);
+        // The identical deterministic sampling as the real path: the same
+        // session ids keep their lifelines, so NLV overlays line up.
+        log_service_stats_sampled(
+            &logger,
+            Some(run.total_time),
+            &stats,
+            &events,
+            ctx.telemetry.sample_every,
+        );
+        if ctx.telemetry.enable {
+            // The replay twin of the per-shard lock summary: structurally
+            // identical SERVICE_TELEMETRY events with deterministic zero
+            // lock counters (lock contention is wall-clock noise, exactly
+            // what the fingerprint filter excludes).
+            log_service_telemetry(&logger, Some(run.total_time), plan.config.shard_count(), &[]);
+        }
         if let Some((shards, viewpoints)) = shard_overprovision(&plan.config, &plan.sessions) {
             log_shard_overprovision(&logger, Some(run.total_time), shards, viewpoints);
         }

@@ -31,8 +31,8 @@
 //! [`SessionBroker`] through the identical seam functions.
 
 use super::fanout::{
-    consume_chunk, empty_delivery, fold_report, multicast_wave, session_link, surface_pending_frames, PeOutcome,
-    SessionEndpoint, WaveBuffer,
+    consume_chunk, empty_delivery, fold_report, session_link, surface_pending_frames, PeOutcome, PlaneTelemetry,
+    SessionEndpoint, WaveBuffer, WaveMeter,
 };
 use super::sharded::CountedLock;
 use super::{ServiceRunReport, SessionBroker, SessionDelivery, SessionEvent, ShardedBroker};
@@ -166,6 +166,8 @@ struct PumpTask {
     wave: WaveBuffer,
     outcome: Option<PeOutcome>,
     out: Slot<PeOutcome>,
+    telemetry: PlaneTelemetry,
+    meter: WaveMeter,
 }
 
 /// Forward `chunk` to the primary viewer if one is attached.  Returns the
@@ -214,7 +216,8 @@ impl Task for PumpTask {
                         // contiguously — one consumer wake per wave instead
                         // of one per chunk (see [`WaveBuffer`]).
                         if self.wave.push(chunk) {
-                            multicast_wave(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
+                            self.meter
+                                .multicast(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
                         }
                         progressed = true;
                     }
@@ -238,7 +241,8 @@ impl Task for PumpTask {
                     // wave: flush it against the snapshot it belongs to,
                     // *before* churn refreshes the endpoints.
                     if self.wave.must_flush_before(&chunk) {
-                        multicast_wave(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
+                        self.meter
+                            .multicast(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
                     }
                     // Drive churn from the frame counter, then refresh the
                     // endpoint snapshot — same high-water rule and the same
@@ -252,6 +256,8 @@ impl Task for PumpTask {
                             self.endpoints.extend(st.endpoints.iter().cloned());
                         }
                         self.snapshot_frame = Some(frame);
+                        self.meter.observe_depths(self.endpoints.len(), self.rx.queued_chunks());
+                        self.telemetry.observe_frame(frame);
                     }
                     self.carry = Some(chunk);
                 }
@@ -261,7 +267,8 @@ impl Task for PumpTask {
                         // trailing (possibly mid-frame) wave; this PE is
                         // done.
                         let outcome = self.outcome.as_mut().expect("pump still running");
-                        multicast_wave(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
+                        self.meter
+                            .multicast(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
                         fill(&self.out, self.outcome.take().expect("pump finishes once"));
                         return Poll::Ready;
                     }
@@ -388,6 +395,8 @@ struct ShardFanTask {
     wave: WaveBuffer,
     outcome: Option<PeOutcome>,
     out: Slot<PeOutcome>,
+    telemetry: PlaneTelemetry,
+    meter: WaveMeter,
 }
 
 impl Task for ShardFanTask {
@@ -409,24 +418,30 @@ impl Task for ShardFanTask {
                     // *before* churn refreshes the endpoints.
                     if self.wave.must_flush_before(&chunk) {
                         let outcome = self.outcome.as_mut().expect("fan task still running");
-                        multicast_wave(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
+                        self.meter
+                            .multicast(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
                     }
                     // Same high-water churn rule as the pump on the classic
                     // plane, but the lock is held only to advance the broker
                     // and clone out the endpoint list — the multicast itself
                     // runs lock-free on the snapshot.
                     if self.snapshot_frame.map(|f| frame > f).unwrap_or(true) {
-                        let mut st = self.shard.lock();
-                        st.observe_frame(frame, &self.transport, &self.spawner, &self.clock);
-                        self.endpoints.clear();
-                        self.endpoints.extend(st.endpoints.iter().cloned());
+                        {
+                            let mut st = self.shard.lock();
+                            st.observe_frame(frame, &self.transport, &self.spawner, &self.clock);
+                            self.endpoints.clear();
+                            self.endpoints.extend(st.endpoints.iter().cloned());
+                        }
                         self.snapshot_frame = Some(frame);
+                        self.meter.observe_depths(self.endpoints.len(), self.rx.len());
+                        self.telemetry.observe_frame(frame);
                     }
                     let outcome = self.outcome.as_mut().expect("fan task still running");
                     // Session-major wave burst (see [`WaveBuffer`]): one
                     // consumer wake per wave instead of one per chunk.
                     if self.wave.push(chunk) {
-                        multicast_wave(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
+                        self.meter
+                            .multicast(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
                     }
                 }
                 Err(TryRecvError::Empty) => {
@@ -438,7 +453,8 @@ impl Task for ShardFanTask {
                     // trailing (possibly mid-frame) wave; this shard has
                     // multicast everything it will ever see.
                     let outcome = self.outcome.as_mut().expect("fan task still running");
-                    multicast_wave(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
+                    self.meter
+                        .multicast(&self.wave.take(), &self.endpoints, &mut self.skips, outcome);
                     fill(&self.out, self.outcome.take().expect("fan task finishes once"));
                     return Poll::Ready;
                 }
@@ -519,12 +535,27 @@ impl Task for ConsumerTask {
 }
 
 /// The async fan-out plane on the wall clock (the production entry).
+#[cfg_attr(not(test), allow(dead_code))] // production callers go through the metered twin
 pub(crate) fn drive_async_service_plane(
     broker: SessionBroker,
     inputs: Vec<StripeReceiver>,
     primary: Vec<StripeSender>,
     transport: &TransportConfig,
     workers: Option<usize>,
+) -> ServiceRunReport {
+    drive_async_service_plane_metered(broker, inputs, primary, transport, workers, &PlaneTelemetry::disabled())
+}
+
+/// The async plane on the wall clock with telemetry wiring — what the
+/// pipeline (and the benches, through [`crate::pipeline::AsyncPlane`])
+/// actually call.
+pub(crate) fn drive_async_service_plane_metered(
+    broker: SessionBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+    workers: Option<usize>,
+    telemetry: &PlaneTelemetry,
 ) -> ServiceRunReport {
     drive_async_service_plane_on(
         &(Arc::new(WallClock) as Arc<dyn Clock>),
@@ -533,7 +564,33 @@ pub(crate) fn drive_async_service_plane(
         primary,
         transport,
         workers,
+        telemetry,
     )
+}
+
+/// Fold one executor pool's introspection counters into the metrics hub —
+/// *before* the pool is dropped, which is when the worker cells die.
+fn fold_exec_stats(telemetry: &PlaneTelemetry, stats: &exec::ExecutorStats) {
+    let hub = &telemetry.hub;
+    if !hub.is_enabled() {
+        return;
+    }
+    hub.add("exec/polls", stats.total_polls());
+    hub.add("exec/poll_ns", stats.total_poll_ns());
+    hub.add("exec/parks", stats.total_parks());
+    hub.add("exec/idle_sweeps", stats.total_idle_sweeps());
+    hub.add("exec/wakes", stats.wakes);
+    hub.add("exec/spawns", stats.spawns);
+    hub.add("exec/workers", stats.workers.len() as u64);
+    hub.observe_high_water("exec/run_queue_depth", stats.run_queue_high_water);
+    // Per-worker mean poll duration as one histogram sample per worker:
+    // enough to spot a pool whose workers see wildly uneven poll costs.
+    let per_worker = hub.histogram("exec/worker_mean_poll_ns");
+    for w in &stats.workers {
+        if let Some(mean_ns) = w.poll_ns.checked_div(w.polls) {
+            per_worker.record(mean_ns);
+        }
+    }
 }
 
 /// The async fan-out plane implementation, on an explicit clock.
@@ -550,6 +607,7 @@ pub(crate) fn drive_async_service_plane_on(
     primary: Vec<StripeSender>,
     transport: &TransportConfig,
     workers: Option<usize>,
+    telemetry: &PlaneTelemetry,
 ) -> ServiceRunReport {
     let executor = Executor::new(workers.unwrap_or_else(exec::default_workers));
     let spawner = executor.spawner();
@@ -562,9 +620,11 @@ pub(crate) fn drive_async_service_plane_on(
         decode: Arc::new(crate::transport::SharedDecode::new()),
     }));
     let shards = vec![(Arc::clone(&shard), spawner.clone())];
-    let outcomes = run_async_pumps(clock, &spawner, &shards, inputs, primary, transport);
+    let outcomes = run_async_pumps(clock, &spawner, &shards, inputs, primary, transport, telemetry);
     let deliveries = wait_shard_deliveries(&shards);
-    // All tasks finished; tear the pool down before folding.
+    // All tasks finished; harvest the pool's introspection counters, then
+    // tear it down before folding.
+    fold_exec_stats(telemetry, &executor.stats());
     drop(executor);
     drop(shards);
     let st = match Arc::try_unwrap(shard) {
@@ -575,12 +635,25 @@ pub(crate) fn drive_async_service_plane_on(
 }
 
 /// The sharded async plane on the wall clock.
+#[cfg_attr(not(test), allow(dead_code))] // production callers go through the metered twin
 pub(crate) fn drive_sharded_async_plane(
     broker: ShardedBroker,
     inputs: Vec<StripeReceiver>,
     primary: Vec<StripeSender>,
     transport: &TransportConfig,
     workers: Option<usize>,
+) -> ServiceRunReport {
+    drive_sharded_async_plane_metered(broker, inputs, primary, transport, workers, &PlaneTelemetry::disabled())
+}
+
+/// The sharded async plane on the wall clock with telemetry wiring.
+pub(crate) fn drive_sharded_async_plane_metered(
+    broker: ShardedBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+    workers: Option<usize>,
+    telemetry: &PlaneTelemetry,
 ) -> ServiceRunReport {
     drive_sharded_async_plane_on(
         &(Arc::new(WallClock) as Arc<dyn Clock>),
@@ -589,6 +662,7 @@ pub(crate) fn drive_sharded_async_plane(
         primary,
         transport,
         workers,
+        telemetry,
     )
 }
 
@@ -608,6 +682,7 @@ pub(crate) fn drive_sharded_async_plane_on(
     primary: Vec<StripeSender>,
     transport: &TransportConfig,
     workers: Option<usize>,
+    telemetry: &PlaneTelemetry,
 ) -> ServiceRunReport {
     let total_workers = workers.unwrap_or_else(exec::default_workers);
     let (config, brokers, globals) = broker.into_parts();
@@ -634,9 +709,13 @@ pub(crate) fn drive_sharded_async_plane_on(
             (Arc::new(CountedLock::new(state)), executor.spawner())
         })
         .collect();
-    let outcomes = run_sharded_async_pumps(clock, &shards, inputs, primary, transport);
+    let outcomes = run_sharded_async_pumps(clock, &shards, inputs, primary, transport, telemetry);
     let deliveries = wait_shard_deliveries(&shards);
-    // All tasks finished; tear the pools down before folding.
+    // All tasks finished; harvest every pool's introspection counters (the
+    // cells die with the pools), then tear them down before folding.
+    for executor in &executors {
+        fold_exec_stats(telemetry, &executor.stats());
+    }
     drop(executors);
     let mut shard_locks = Vec::with_capacity(shard_count);
     let mut brokers = Vec::with_capacity(shard_count);
@@ -667,6 +746,7 @@ fn run_async_pumps(
     inputs: Vec<StripeReceiver>,
     primary: Vec<StripeSender>,
     transport: &TransportConfig,
+    telemetry: &PlaneTelemetry,
 ) -> Vec<PeOutcome> {
     assert!(
         primary.is_empty() || primary.len() == inputs.len(),
@@ -694,6 +774,8 @@ fn run_async_pumps(
                 wave: WaveBuffer::new(),
                 outcome: Some(PeOutcome::new()),
                 out: Arc::clone(&out),
+                telemetry: telemetry.clone(),
+                meter: telemetry.meter(),
             }));
             (handle, out)
         })
@@ -721,6 +803,7 @@ fn run_sharded_async_pumps(
     inputs: Vec<StripeReceiver>,
     primary: Vec<StripeSender>,
     transport: &TransportConfig,
+    telemetry: &PlaneTelemetry,
 ) -> Vec<PeOutcome> {
     assert!(
         primary.is_empty() || primary.len() == inputs.len(),
@@ -749,6 +832,8 @@ fn run_sharded_async_pumps(
                 wave: WaveBuffer::new(),
                 outcome: Some(PeOutcome::new()),
                 out: Arc::clone(&out),
+                telemetry: telemetry.clone(),
+                meter: telemetry.meter(),
             }));
             (handle, out)
         })
@@ -948,7 +1033,15 @@ mod tests {
         let started = std::time::Instant::now();
         let (report, _) = fan_out_with(
             move |broker, inputs, primary, transport| {
-                drive_async_service_plane_on(&virtual_clock, broker, inputs, primary, transport, Some(2))
+                drive_async_service_plane_on(
+                    &virtual_clock,
+                    broker,
+                    inputs,
+                    primary,
+                    transport,
+                    Some(2),
+                    &PlaneTelemetry::disabled(),
+                )
             },
             schedule,
             config,

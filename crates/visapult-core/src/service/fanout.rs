@@ -23,10 +23,110 @@ use crate::transport::{
     TransportConfig, TransportError,
 };
 use crate::viewer::ViewerError;
+use netlogger::metrics::{CounterHandle, HighWaterHandle, Histo, MetricsHub};
 use netsim::{Bandwidth, StripePacer};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Plane telemetry plumbing (shared by both plane implementations)
+// ---------------------------------------------------------------------------
+
+/// Telemetry wiring threaded through a plane run: the metrics hub, the
+/// frame-cadence snapshot knob, and the gate that makes each cadence boundary
+/// snapshot exactly once no matter how many pumps observe it.
+#[derive(Clone)]
+pub(crate) struct PlaneTelemetry {
+    pub(crate) hub: MetricsHub,
+    snapshot_frames: u32,
+    /// Highest frame boundary a periodic snapshot has been recorded for,
+    /// shared by every pump: `fetch_max` elects exactly one snapshotter.
+    snap_gate: Arc<AtomicU32>,
+}
+
+impl PlaneTelemetry {
+    pub(crate) fn new(hub: MetricsHub, snapshot_frames: u32) -> PlaneTelemetry {
+        PlaneTelemetry {
+            hub,
+            snapshot_frames,
+            snap_gate: Arc::new(AtomicU32::new(0)),
+        }
+    }
+
+    /// The no-op wiring for un-instrumented entry points.
+    pub(crate) fn disabled() -> PlaneTelemetry {
+        PlaneTelemetry::new(MetricsHub::disabled(), 0)
+    }
+
+    /// Record the `frame:<n>` time-series snapshot when `frame` crosses a
+    /// cadence boundary no pump has snapshotted yet.
+    pub(crate) fn observe_frame(&self, frame: u32) {
+        if self.snapshot_frames == 0 || !self.hub.is_enabled() {
+            return;
+        }
+        let boundary = frame - frame % self.snapshot_frames;
+        if boundary > 0 && self.snap_gate.fetch_max(boundary, Ordering::Relaxed) < boundary {
+            self.hub.record_snapshot(&format!("frame:{boundary}"));
+        }
+    }
+
+    /// Pre-resolved per-pump handles for the wave fast path.
+    pub(crate) fn meter(&self) -> WaveMeter {
+        WaveMeter {
+            live: self.hub.is_enabled(),
+            wave_us: self.hub.histogram("fanout/wave_us"),
+            waves: self.hub.counter("fanout/waves"),
+            chunks: self.hub.counter("fanout/chunks"),
+            endpoints_high: self.hub.high_water("fanout/endpoints"),
+            inlet_high: self.hub.high_water("fanout/queue_depth"),
+        }
+    }
+}
+
+/// One pump's multicast instrumentation: when telemetry is off every record
+/// is an inlined no-op and the `Instant` reads are skipped entirely, so the
+/// disabled fast path is byte-for-byte the bare [`multicast_wave`] call.
+pub(crate) struct WaveMeter {
+    live: bool,
+    wave_us: Histo,
+    waves: CounterHandle,
+    chunks: CounterHandle,
+    endpoints_high: HighWaterHandle,
+    inlet_high: HighWaterHandle,
+}
+
+impl WaveMeter {
+    /// [`multicast_wave`], timed into the `fanout/wave_us` histogram when
+    /// telemetry is live.
+    pub(crate) fn multicast(
+        &self,
+        chunks: &[FrameChunk],
+        endpoints: &[Arc<SessionEndpoint>],
+        skips: &mut HashSet<(usize, u32)>,
+        outcome: &mut PeOutcome,
+    ) {
+        if !self.live {
+            multicast_wave(chunks, endpoints, skips, outcome);
+            return;
+        }
+        let started = Instant::now();
+        multicast_wave(chunks, endpoints, skips, outcome);
+        self.wave_us.record(started.elapsed().as_micros() as u64);
+        self.waves.add(1);
+        self.chunks.add(chunks.len() as u64);
+    }
+
+    /// Sample the endpoint-snapshot size and a stripe-queue depth
+    /// (frame-boundary cadence only — never the per-chunk path).
+    pub(crate) fn observe_depths(&self, endpoints: usize, inlet_depth: usize) {
+        if self.live {
+            self.endpoints_high.observe(endpoints as u64);
+            self.inlet_high.observe(inlet_depth as u64);
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Plumbing shared by both plane implementations
@@ -460,12 +560,26 @@ pub(crate) fn drive_service_plane(
     primary: Vec<StripeSender>,
     transport: &TransportConfig,
 ) -> ServiceRunReport {
+    drive_service_plane_metered(broker, inputs, primary, transport, &PlaneTelemetry::disabled())
+}
+
+/// The threaded plane on the wall clock with telemetry wiring — what the
+/// pipeline (and the benches, through [`crate::pipeline::FanoutPlane`])
+/// actually call.
+pub(crate) fn drive_service_plane_metered(
+    broker: SessionBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+    telemetry: &PlaneTelemetry,
+) -> ServiceRunReport {
     drive_service_plane_on(
         &(Arc::new(WallClock) as Arc<dyn Clock>),
         broker,
         inputs,
         primary,
         transport,
+        telemetry,
     )
 }
 
@@ -478,6 +592,7 @@ pub(crate) fn drive_service_plane_on(
     inputs: Vec<StripeReceiver>,
     primary: Vec<StripeSender>,
     transport: &TransportConfig,
+    telemetry: &PlaneTelemetry,
 ) -> ServiceRunReport {
     let shard = Arc::new(CountedLock::new(PlaneState {
         broker,
@@ -487,7 +602,14 @@ pub(crate) fn drive_service_plane_on(
         globals: Vec::new(),
         decode: Arc::new(SharedDecode::new()),
     }));
-    let outcomes = run_plane_pumps(clock, std::slice::from_ref(&shard), inputs, primary, transport);
+    let outcomes = run_plane_pumps(
+        clock,
+        std::slice::from_ref(&shard),
+        inputs,
+        primary,
+        transport,
+        telemetry,
+    );
     // Campaign over: every remaining session leaves, queues disconnect,
     // consumers drain and report.
     let (broker, deliveries) = finish_shard(shard);
@@ -495,11 +617,23 @@ pub(crate) fn drive_service_plane_on(
 }
 
 /// The sharded threaded plane on the wall clock.
+#[cfg_attr(not(test), allow(dead_code))] // production callers go through the metered twin
 pub(crate) fn drive_sharded_service_plane(
     broker: ShardedBroker,
     inputs: Vec<StripeReceiver>,
     primary: Vec<StripeSender>,
     transport: &TransportConfig,
+) -> ServiceRunReport {
+    drive_sharded_service_plane_metered(broker, inputs, primary, transport, &PlaneTelemetry::disabled())
+}
+
+/// The sharded threaded plane on the wall clock with telemetry wiring.
+pub(crate) fn drive_sharded_service_plane_metered(
+    broker: ShardedBroker,
+    inputs: Vec<StripeReceiver>,
+    primary: Vec<StripeSender>,
+    transport: &TransportConfig,
+    telemetry: &PlaneTelemetry,
 ) -> ServiceRunReport {
     drive_sharded_service_plane_on(
         &(Arc::new(WallClock) as Arc<dyn Clock>),
@@ -507,6 +641,7 @@ pub(crate) fn drive_sharded_service_plane(
         inputs,
         primary,
         transport,
+        telemetry,
     )
 }
 
@@ -520,6 +655,7 @@ pub(crate) fn drive_sharded_service_plane_on(
     inputs: Vec<StripeReceiver>,
     primary: Vec<StripeSender>,
     transport: &TransportConfig,
+    telemetry: &PlaneTelemetry,
 ) -> ServiceRunReport {
     let (config, brokers, globals) = broker.into_parts();
     // One memo for the whole plane: shards receive the same multicast
@@ -539,7 +675,7 @@ pub(crate) fn drive_sharded_service_plane_on(
             }))
         })
         .collect();
-    let outcomes = run_plane_pumps(clock, &shards, inputs, primary, transport);
+    let outcomes = run_plane_pumps(clock, &shards, inputs, primary, transport, telemetry);
     let mut shard_locks = Vec::with_capacity(shards.len());
     let mut brokers = Vec::with_capacity(shards.len());
     let mut deliveries = Vec::new();
@@ -585,6 +721,7 @@ fn run_plane_pumps(
     inputs: Vec<StripeReceiver>,
     primary: Vec<StripeSender>,
     transport: &TransportConfig,
+    telemetry: &PlaneTelemetry,
 ) -> Vec<PeOutcome> {
     assert!(
         primary.is_empty() || primary.len() == inputs.len(),
@@ -602,7 +739,9 @@ fn run_plane_pumps(
                 let shards = shards.to_vec();
                 let transport = transport.clone();
                 let clock = Arc::clone(clock);
+                let telemetry = telemetry.clone();
                 scope.spawn(move || {
+                    let meter = telemetry.meter();
                     let mut outcome = PeOutcome::new();
                     // (session, frame) pairs degraded on this PE's link
                     // (session indices are global, so shard sets are
@@ -628,7 +767,7 @@ fn run_plane_pumps(
                         // buffered wave: flush it against the snapshot it
                         // belongs to, *before* churn refreshes endpoints.
                         if wave.must_flush_before(&chunk) {
-                            multicast_wave(&wave.take(), &endpoints, &mut skips, &mut outcome);
+                            meter.multicast(&wave.take(), &endpoints, &mut skips, &mut outcome);
                         }
                         // Drive churn from the frame counter, then refresh
                         // the endpoint snapshot (Arc clones; no shard lock
@@ -642,6 +781,8 @@ fn run_plane_pumps(
                                 endpoints.extend(st.endpoints.iter().cloned());
                             }
                             snapshot_frame = Some(frame);
+                            meter.observe_depths(endpoints.len(), rx.queued_chunks());
+                            telemetry.observe_frame(frame);
                         }
                         if let Some(tx) = &primary_tx {
                             if tx.send_raw_chunk(chunk.clone()).is_err() {
@@ -651,12 +792,12 @@ fn run_plane_pumps(
                             }
                         }
                         if wave.push(chunk) {
-                            multicast_wave(&wave.take(), &endpoints, &mut skips, &mut outcome);
+                            meter.multicast(&wave.take(), &endpoints, &mut skips, &mut outcome);
                         }
                     }
                     // The link can close mid-frame; whatever the trailing
                     // wave collected still belongs to the sessions.
-                    multicast_wave(&wave.take(), &endpoints, &mut skips, &mut outcome);
+                    meter.multicast(&wave.take(), &endpoints, &mut skips, &mut outcome);
                     outcome
                 })
             })
@@ -940,7 +1081,14 @@ pub(crate) mod tests {
         let started = std::time::Instant::now();
         let (report, _) = fan_out_with(
             move |broker, inputs, primary, transport| {
-                drive_service_plane_on(&virtual_clock, broker, inputs, primary, transport)
+                drive_service_plane_on(
+                    &virtual_clock,
+                    broker,
+                    inputs,
+                    primary,
+                    transport,
+                    &PlaneTelemetry::disabled(),
+                )
             },
             schedule,
             config,

@@ -881,11 +881,30 @@ pub fn log_shard_overprovision(logger: &NetLogger, at: Option<f64>, shards: usiz
 }
 
 pub fn log_service_stats(logger: &NetLogger, at: Option<f64>, stats: &ServiceStats, events: &[(u32, SessionEvent)]) {
+    log_service_stats_sampled(logger, at, stats, events, 1);
+}
+
+/// [`log_service_stats`] with deterministic 1-in-N lifeline sampling: only
+/// sessions selected by [`netlogger::session_sampled`] emit their lifecycle
+/// events.  Sampling is a pure function of the session id, so both execution
+/// paths thin the log identically — at 100k sessions this is what keeps
+/// lifelines NLV-plottable.  The `SERVICE_STATS` summary always emits
+/// unsampled (it aggregates, it does not enumerate).
+pub fn log_service_stats_sampled(
+    logger: &NetLogger,
+    at: Option<f64>,
+    stats: &ServiceStats,
+    events: &[(u32, SessionEvent)],
+    sample_every: u32,
+) {
     let emit = |tag: &str, fields: Vec<(String, FieldValue)>| match at {
         Some(t) => logger.log_at(t, tag, fields),
         None => logger.log_with(tag, fields),
     };
     for &(frame, event) in events {
+        if !netlogger::session_sampled(event.session(), sample_every) {
+            continue;
+        }
         emit(
             event.tag(),
             vec![
@@ -934,6 +953,44 @@ pub fn log_service_stats(logger: &NetLogger, at: Option<f64>, stats: &ServiceSta
             ),
         ],
     );
+}
+
+/// Emit the per-shard `SERVICE_TELEMETRY` summary — one event per broker
+/// shard with that shard's lock counters.  Both execution paths call this
+/// one emitter (real with measured lock stats, virtual-time with the
+/// deterministic zeros its replay has no locks to measure), so the event is
+/// structurally present on either log.  Excluded from replay fingerprints:
+/// hold times are wall-clock.
+pub fn log_service_telemetry(logger: &NetLogger, at: Option<f64>, shard_count: usize, locks: &[ShardLockStats]) {
+    for shard in 0..shard_count.max(1) {
+        let stats = locks
+            .iter()
+            .find(|l| l.shard == shard)
+            .copied()
+            .unwrap_or(ShardLockStats {
+                shard,
+                ..ShardLockStats::default()
+            });
+        let fields = vec![
+            (tags::FIELD_SERVICE_SHARD.to_string(), FieldValue::Int(shard as i64)),
+            (
+                tags::FIELD_SERVICE_LOCK_ACQUISITIONS.to_string(),
+                FieldValue::Int(stats.acquisitions as i64),
+            ),
+            (
+                tags::FIELD_SERVICE_LOCK_CONTENDED.to_string(),
+                FieldValue::Int(stats.contended as i64),
+            ),
+            (
+                tags::FIELD_SERVICE_LOCK_HOLD_NS.to_string(),
+                FieldValue::Int(stats.hold_ns as i64),
+            ),
+        ];
+        match at {
+            Some(t) => logger.log_at(t, tags::SERVICE_TELEMETRY, fields),
+            None => logger.log_with(tags::SERVICE_TELEMETRY, fields),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -465,6 +465,13 @@ impl StripeSender {
         }
     }
 
+    /// Chunks currently queued across every stripe of this link — the
+    /// instantaneous stripe-queue depth the telemetry plane samples for its
+    /// high-water gauges.  Racy by nature; never used for control flow.
+    pub fn queued_chunks(&self) -> usize {
+        self.txs.iter().map(|tx| tx.len()).sum()
+    }
+
     /// Register a hook fired whenever any full stripe of this link frees a
     /// slot or the receiver disconnects — the readiness edge an executor-
     /// parked producer task (one that saw [`StripeSender::try_send_raw_chunk`]
@@ -583,6 +590,13 @@ impl StripeReceiver {
     /// equivalent of `recv_chunk() == Err(Closed)`.
     pub fn is_closed(&self) -> bool {
         self.open.iter().all(|&open| !open)
+    }
+
+    /// Chunks currently queued across every stripe of this link — the
+    /// receiver-side twin of [`StripeSender::queued_chunks`], sampled by the
+    /// fan-out pumps for the backend-inlet depth gauge.
+    pub fn queued_chunks(&self) -> usize {
+        self.rxs.iter().map(|rx| rx.len()).sum()
     }
 
     /// Convenience: pump chunks through `assembler` until the next complete

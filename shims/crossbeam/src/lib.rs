@@ -289,6 +289,16 @@ pub mod channel {
             Ok(())
         }
 
+        /// Number of queued messages right now (telemetry; racy by nature).
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+        }
+
+        /// True when no message is queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Register a hook fired whenever a slot frees up in this bounded
         /// channel (full→not-full transition) or every receiver disconnects.
         /// For a producer that parks when the channel is full: check

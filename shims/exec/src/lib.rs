@@ -22,8 +22,9 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What one `poll` of a [`Task`] accomplished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +90,7 @@ impl Waker {
         if st.shutdown {
             return;
         }
+        self.shared.wakes.fetch_add(1, Ordering::Relaxed);
         if let Some(slot) = st.parked.remove(&self.id) {
             // A wake is proof of new work: re-arm the hot sweep so parked
             // workers pick it up immediately instead of on backoff expiry.
@@ -101,6 +103,7 @@ impl Waker {
             st.runnable.push_back(slot);
             st.unproductive = 0;
             st.park = IDLE_PARK_MIN;
+            self.shared.observe_queue_depth(st.runnable.len());
             drop(st);
             if notify {
                 self.shared.work.notify_one();
@@ -175,6 +178,90 @@ struct Shared {
     state: Mutex<State>,
     /// Signalled on spawn, progress, and shutdown.
     work: Condvar,
+    /// Pool-wide introspection counters (see [`ExecutorStats`]); relaxed
+    /// atomics bumped off the hot paths' existing lock round-trips.
+    wakes: AtomicU64,
+    spawns: AtomicU64,
+    run_queue_high_water: AtomicU64,
+}
+
+impl Shared {
+    fn observe_queue_depth(&self, depth: usize) {
+        self.run_queue_high_water.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+/// Introspection counters for one worker thread of the pool.  The cells are
+/// owned by their worker (other threads only read), so the relaxed atomic
+/// stores cost nothing contended.
+#[derive(Debug, Default)]
+struct WorkerCell {
+    polls: AtomicU64,
+    poll_ns: AtomicU64,
+    parks: AtomicU64,
+    idle_sweeps: AtomicU64,
+}
+
+/// A snapshot of one worker's introspection counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Task polls this worker performed.
+    pub polls: u64,
+    /// Nanoseconds spent inside `Task::poll` (timed per claimed batch, so
+    /// the per-poll cost is `poll_ns / polls` with batch-level resolution).
+    pub poll_ns: u64,
+    /// Times this worker parked on the condvar (idle backoff or empty
+    /// queue).
+    pub parks: u64,
+    /// Fully idle sweeps this worker observed (every sweepable task
+    /// reported `Idle` since the last productive poll).
+    pub idle_sweeps: u64,
+}
+
+/// A snapshot of the pool's introspection counters: what the telemetry plane
+/// reads to explain executor behavior (park/wake storms, queue depth, poll
+/// cost) without attaching a profiler.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Per-worker counters, indexed by worker thread.
+    pub workers: Vec<WorkerStats>,
+    /// `Waker::wake` invocations (including ones recorded as pending).
+    pub wakes: u64,
+    /// Tasks spawned onto the pool.
+    pub spawns: u64,
+    /// Deepest the run queue ever got.
+    pub run_queue_high_water: u64,
+}
+
+impl ExecutorStats {
+    /// Sum of polls across workers.
+    pub fn total_polls(&self) -> u64 {
+        self.workers.iter().map(|w| w.polls).sum()
+    }
+
+    /// Sum of poll nanoseconds across workers.
+    pub fn total_poll_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.poll_ns).sum()
+    }
+
+    /// Sum of parks across workers.
+    pub fn total_parks(&self) -> u64 {
+        self.workers.iter().map(|w| w.parks).sum()
+    }
+
+    /// Sum of fully idle sweeps across workers.
+    pub fn total_idle_sweeps(&self) -> u64 {
+        self.workers.iter().map(|w| w.idle_sweeps).sum()
+    }
+
+    /// Fold another pool's counters into this one (how the sharded plane
+    /// aggregates its per-shard executors).
+    pub fn merge(&mut self, other: &ExecutorStats) {
+        self.workers.extend(other.workers.iter().copied());
+        self.wakes += other.wakes;
+        self.spawns += other.spawns;
+        self.run_queue_high_water = self.run_queue_high_water.max(other.run_queue_high_water);
+    }
 }
 
 /// The idle-park backoff knob pair.  After a fully idle sweep workers park
@@ -210,6 +297,7 @@ fn idle_park_cap(live: usize) -> Duration {
 /// A fixed pool of worker threads multiplexing every spawned [`Task`].
 pub struct Executor {
     shared: Arc<Shared>,
+    cells: Vec<Arc<WorkerCell>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -228,17 +316,24 @@ impl Executor {
                 shutdown: false,
             }),
             work: Condvar::new(),
+            wakes: AtomicU64::new(0),
+            spawns: AtomicU64::new(0),
+            run_queue_high_water: AtomicU64::new(0),
         });
-        let workers = (0..workers.max(1))
-            .map(|i| {
+        let cells: Vec<Arc<WorkerCell>> = (0..workers.max(1)).map(|_| Arc::new(WorkerCell::default())).collect();
+        let workers = cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
                 let shared = Arc::clone(&shared);
+                let cell = Arc::clone(cell);
                 std::thread::Builder::new()
                     .name(format!("exec-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, &cell))
                     .expect("spawn executor worker")
             })
             .collect();
-        Executor { shared, workers }
+        Executor { shared, cells, workers }
     }
 
     /// A pool sized to the machine: available parallelism clamped to 2..=8.
@@ -268,6 +363,27 @@ impl Executor {
     /// Tasks spawned and not yet finished.
     pub fn live_tasks(&self) -> usize {
         self.shared.state.lock().live
+    }
+
+    /// A snapshot of the pool's introspection counters.  Safe to call while
+    /// the pool runs (relaxed reads of worker-owned cells); typically read
+    /// once after the workload drains, before dropping the pool.
+    pub fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            workers: self
+                .cells
+                .iter()
+                .map(|c| WorkerStats {
+                    polls: c.polls.load(Ordering::Relaxed),
+                    poll_ns: c.poll_ns.load(Ordering::Relaxed),
+                    parks: c.parks.load(Ordering::Relaxed),
+                    idle_sweeps: c.idle_sweeps.load(Ordering::Relaxed),
+                })
+                .collect(),
+            wakes: self.shared.wakes.load(Ordering::Relaxed),
+            spawns: self.shared.spawns.load(Ordering::Relaxed),
+            run_queue_high_water: self.shared.run_queue_high_water.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -319,6 +435,8 @@ impl Spawner {
             task,
             handle: Arc::clone(&handle),
         });
+        self.shared.spawns.fetch_add(1, Ordering::Relaxed);
+        self.shared.observe_queue_depth(st.runnable.len());
         drop(st);
         if wake {
             self.shared.work.notify_one();
@@ -362,7 +480,7 @@ pub fn default_workers() -> usize {
 /// workers instead of claimed whole by one.
 const POLL_BATCH: usize = 16;
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, cell: &WorkerCell) {
     let mut batch: Vec<Slot> = Vec::with_capacity(POLL_BATCH);
     let mut settled: Vec<(Slot, Poll)> = Vec::with_capacity(POLL_BATCH);
     let mut finished: Vec<Slot> = Vec::new();
@@ -389,6 +507,8 @@ fn worker_loop(shared: &Shared) {
                 // polls that without re-sweeping the idle pile.
                 let park = st.park;
                 st.park = (st.park * 2).min(idle_park_cap(st.live));
+                cell.idle_sweeps.fetch_add(1, Ordering::Relaxed);
+                cell.parks.fetch_add(1, Ordering::Relaxed);
                 if shared.work.wait_for(&mut st, park).timed_out() {
                     st.unproductive = 0;
                 }
@@ -404,6 +524,7 @@ fn worker_loop(shared: &Shared) {
                 // still have work.
                 let park = st.park;
                 st.park = (st.park * 2).min(idle_park_cap(st.live));
+                cell.parks.fetch_add(1, Ordering::Relaxed);
                 shared.work.wait_for(&mut st, park);
                 continue;
             }
@@ -416,10 +537,18 @@ fn worker_loop(shared: &Shared) {
         }
         drop(st);
 
+        // One Instant pair per claimed batch (not per poll): the timer cost
+        // amortizes over up to POLL_BATCH polls, keeping the instrumentation
+        // invisible next to the polls themselves.
+        let started = Instant::now();
+        let polled = batch.len() as u64;
         for mut slot in batch.drain(..) {
             let outcome = slot.task.poll();
             settled.push((slot, outcome));
         }
+        cell.polls.fetch_add(polled, Ordering::Relaxed);
+        cell.poll_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
         let mut st = shared.state.lock();
         let mut notify = false;
@@ -464,6 +593,7 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         }
+        shared.observe_queue_depth(st.runnable.len());
         drop(st);
         for slot in finished.drain(..) {
             let mut done = slot.handle.done.lock();
@@ -598,6 +728,37 @@ mod tests {
         assert!((2..=8).contains(&w));
         let exec = Executor::with_default_workers();
         assert_eq!(exec.workers(), w);
+    }
+
+    #[test]
+    fn stats_reflect_pool_activity() {
+        let exec = Executor::new(2);
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<TaskHandle> = (0..6)
+            .map(|_| {
+                exec.spawn(Box::new(Counter {
+                    n: 1,
+                    left: 3,
+                    total: Arc::clone(&total),
+                }))
+            })
+            .collect();
+        for h in handles {
+            h.wait();
+        }
+        let stats = exec.stats();
+        assert_eq!(stats.workers.len(), 2);
+        assert_eq!(stats.spawns, 6);
+        // 6 tasks x (3 Progress + 1 Ready) polls.
+        assert_eq!(stats.total_polls(), 24);
+        assert!(stats.total_poll_ns() > 0);
+        assert!(stats.run_queue_high_water >= 1);
+        let mut merged = ExecutorStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.spawns, 12);
+        assert_eq!(merged.workers.len(), 4);
+        assert_eq!(merged.run_queue_high_water, stats.run_queue_high_water);
     }
 
     #[test]

@@ -50,6 +50,7 @@ const EXPECTED: &[&str] = &[
     "RejectReason",
     "RenderFarm",
     "ReplayPlane",
+    "ResolvedTelemetry",
     "ScenarioSpec",
     "ServiceConfig",
     "ServicePlan",
@@ -78,6 +79,8 @@ const EXPECTED: &[&str] = &[
     "StripedFabric",
     "SyntheticSource",
     "TcpTuning",
+    "TelemetryReport",
+    "TelemetrySpec",
     "ThreadFarm",
     "TransportConfig",
     "TransportError",
@@ -92,6 +95,7 @@ const EXPECTED: &[&str] = &[
     "VisualizationStrategy",
     "WallClock",
     "drain_frames",
+    "log_service_telemetry",
     "plan_chunks",
     "run_real_campaign",
     "run_real_campaign_in_env",

@@ -1,0 +1,146 @@
+//! Telemetry-plane integration tests: replay fingerprints are byte-identical
+//! with the `[telemetry]` table on or off (on both execution paths), and the
+//! threaded and async fan-out planes expose the same `fanout/*` metric set —
+//! the executor's `exec/*` introspection is the async plane's documented
+//! extra.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use visapult::core::transport::striped_link;
+use visapult::core::{
+    run_scenario, AsyncPlane, ExecutionPath, FanoutPlane, FramePayload, HeavyPayload, LightPayload, PlaneKind,
+    QualityTier, ScenarioSpec, ServiceConfig, SessionBroker, SessionSpec, TelemetrySpec, TransportConfig,
+};
+use visapult::netlogger::{MetricsHub, MetricsSnapshot};
+
+fn fingerprint(path: ExecutionPath, enable: bool) -> u64 {
+    let mut spec = ScenarioSpec::bundled("exhibit_floor").expect("bundled scenario");
+    spec.scenario.path = path;
+    spec.telemetry = Some(TelemetrySpec {
+        enable: Some(enable),
+        sample_every: Some(1),
+        snapshot_frames: Some(4),
+    });
+    run_scenario(&spec).expect("scenario runs").replay_fingerprint()
+}
+
+/// The metrics plane observes; it must never perturb the deterministic
+/// lifecycle half the fingerprints hash.
+#[test]
+fn fingerprints_invariant_under_telemetry_toggle() {
+    for path in [ExecutionPath::Real, ExecutionPath::VirtualTime] {
+        let on = fingerprint(path, true);
+        let off = fingerprint(path, false);
+        assert_eq!(
+            on, off,
+            "telemetry on/off changed the replay fingerprint on the {path:?} path"
+        );
+    }
+}
+
+fn payload(frame: u32) -> FramePayload {
+    let tex = 32usize;
+    let texture: Vec<u8> = (0..tex * tex * 4).map(|i| (i % 249) as u8).collect();
+    FramePayload {
+        light: LightPayload {
+            frame,
+            rank: 0,
+            texture_width: tex as u32,
+            texture_height: tex as u32,
+            bytes_per_pixel: 4,
+            quad_center: [0.5; 3],
+            quad_u: [1.0, 0.0, 0.0],
+            quad_v: [0.0, 1.0, 0.0],
+            geometry_segments: 2,
+        },
+        heavy: HeavyPayload {
+            frame,
+            rank: 0,
+            texture_rgba8: texture.into(),
+            geometry: Arc::new(vec![([0.0; 3], [1.0; 3]), ([2.0; 3], [3.0; 3])]),
+        },
+    }
+}
+
+/// Run a small metered campaign and return the hub's final snapshot.
+fn metered_snapshot(plane: PlaneKind) -> MetricsSnapshot {
+    let transport = TransportConfig::default().with_stripes(2).with_chunk_bytes(4 * 1024);
+    let config = ServiceConfig {
+        max_sessions: 128,
+        link_capacity_units: 1024,
+        render_slots: 4,
+        queue_depth: 256,
+        ..ServiceConfig::default()
+    };
+    let schedule: Vec<SessionSpec> = (0..6)
+        .map(|i| SessionSpec::new(format!("s{i}"), i % 2, QualityTier::Standard))
+        .collect();
+    let hub = MetricsHub::enabled();
+    let (tx, rx) = striped_link(&transport);
+    let broker = SessionBroker::new(config, schedule);
+    let handle = {
+        let transport = transport.clone();
+        let hub = hub.clone();
+        std::thread::spawn(move || match plane {
+            PlaneKind::Threaded => FanoutPlane::drive_metered(broker, vec![rx], Vec::new(), &transport, &hub),
+            PlaneKind::Async => {
+                AsyncPlane::with_workers(2).drive_metered(broker, vec![rx], Vec::new(), &transport, &hub)
+            }
+        })
+    };
+    for f in 0..4 {
+        tx.send_frame(&payload(f)).unwrap();
+    }
+    drop(tx);
+    assert!(handle.join().unwrap().stats.frames_completed > 0);
+    hub.snapshot(&format!("{plane:?}"))
+}
+
+fn keys_with_prefix(snap: &MetricsSnapshot, prefix: &str) -> BTreeSet<String> {
+    snap.histograms
+        .keys()
+        .chain(snap.counters.keys())
+        .chain(snap.high_waters.keys())
+        .filter(|k| k.starts_with(prefix))
+        .cloned()
+        .collect()
+}
+
+/// Both planes must record the identical `fanout/*` instrument set, so
+/// dashboards and baseline comparisons work unchanged whichever plane a
+/// deployment picks.  `exec/*` is async-only by design.
+#[test]
+fn threaded_and_async_planes_expose_the_same_fanout_metrics() {
+    let threaded = metered_snapshot(PlaneKind::Threaded);
+    let asynced = metered_snapshot(PlaneKind::Async);
+    if threaded.histograms.is_empty() && asynced.histograms.is_empty() {
+        // Telemetry feature compiled out: both hubs are no-ops — parity
+        // trivially holds and there is nothing further to check.
+        return;
+    }
+
+    let threaded_fanout = keys_with_prefix(&threaded, "fanout/");
+    let async_fanout = keys_with_prefix(&asynced, "fanout/");
+    assert_eq!(
+        threaded_fanout, async_fanout,
+        "fanout/* metric presence must match between planes"
+    );
+    for key in ["fanout/wave_us", "fanout/waves", "fanout/chunks", "fanout/endpoints"] {
+        assert!(threaded_fanout.contains(key), "missing {key} on the threaded plane");
+    }
+    let wave = threaded.histograms.get("fanout/wave_us").expect("wave histogram");
+    assert!(wave.count > 0, "wave latencies recorded");
+
+    // Executor introspection is the async plane's extra — and only its.
+    assert!(keys_with_prefix(&threaded, "exec/").is_empty());
+    let exec = keys_with_prefix(&asynced, "exec/");
+    for key in [
+        "exec/polls",
+        "exec/parks",
+        "exec/wakes",
+        "exec/spawns",
+        "exec/run_queue_depth",
+    ] {
+        assert!(exec.contains(key), "missing {key} on the async plane");
+    }
+}

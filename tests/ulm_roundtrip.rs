@@ -1,0 +1,104 @@
+//! Property test: `EventLog::write_ulm` / `read_ulm` round-trips randomized
+//! event logs — hosts/programs/tags/keys full of whitespace, `=` and
+//! backslashes (the `ulm_escape` alphabet), int fields, float fields, and
+//! string fields — up to the documented lossiness: timestamps quantize to
+//! microseconds, and integral floats re-parse as ints (compared via
+//! `as_float`).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use visapult::netlogger::{Event, EventLog, FieldValue};
+
+/// The token alphabet leans on every character `ulm_escape` must handle —
+/// spaces, tabs, `=`, backslashes — plus benign filler.
+const CHARS: &[char] = &['a', 'b', 'Z', '9', '_', '.', '-', ':', '/', ' ', '\t', '=', '\\', 'µ'];
+
+/// A token from sampled alphabet indices, letter-prefixed so it can never
+/// re-parse as a number (the ULM field parser tries int, then float, then
+/// falls back to string).
+fn token(picks: &[usize]) -> String {
+    let mut s = String::from("k");
+    for &p in picks {
+        s.push(CHARS[p % CHARS.len()]);
+    }
+    s
+}
+
+type FieldCase = (Vec<usize>, u8, i64, u64, Vec<usize>);
+
+fn build_field(case: &FieldCase) -> (String, FieldValue) {
+    let (key_picks, kind, int_v, float_us, str_picks) = case;
+    let value = match kind % 3 {
+        0 => FieldValue::Int(*int_v),
+        1 => FieldValue::Float(*float_us as f64 / 1024.0),
+        _ => FieldValue::Str(token(str_picks)),
+    };
+    (token(key_picks), value)
+}
+
+proptest! {
+    #[test]
+    fn ulm_roundtrip_randomized(
+        cases in vec(
+            (
+                0u64..1_000_000,     // fractional timestamp part, microseconds
+                vec(0usize..14, 0..8),  // host
+                vec(0usize..14, 0..8),  // program
+                vec(0usize..14, 0..8),  // tag
+                vec(
+                    (
+                        vec(0usize..14, 0..6), // field key
+                        0u8..3,                // value kind
+                        -1_000_000_000i64..1_000_000_000, // int value
+                        0u64..2_000_000_000,   // float value, 1/1024 units
+                        vec(0usize..14, 0..8), // string value
+                    ),
+                    0..5,
+                ),
+            ),
+            0..10,
+        ),
+    ) {
+        let mut expected: Vec<Event> = Vec::new();
+        for (i, (frac_us, host, prog, tag, fields)) in cases.iter().enumerate() {
+            // Timestamps strictly increasing and >1µs apart, so the sort
+            // inside `from_events` is order-stable across the quantizing
+            // round-trip.
+            let ts = i as f64 * 2.0 + *frac_us as f64 / 1e7;
+            let mut e = Event::new(ts, token(host), token(prog), token(tag));
+            for field in fields {
+                let (key, value) = build_field(field);
+                e = e.with_field(key, value);
+            }
+            expected.push(e);
+        }
+
+        let log = EventLog::from_events(expected.clone());
+        let mut buf = Vec::new();
+        log.write_ulm(&mut buf).unwrap();
+        let back = EventLog::read_ulm(std::io::Cursor::new(buf)).unwrap();
+
+        prop_assert_eq!(back.len(), expected.len());
+        for (orig, got) in expected.iter().zip(back.events()) {
+            prop_assert!((orig.timestamp - got.timestamp).abs() < 1e-6,
+                "timestamp {} -> {}", orig.timestamp, got.timestamp);
+            prop_assert_eq!(&orig.host, &got.host);
+            prop_assert_eq!(&orig.program, &got.program);
+            prop_assert_eq!(&orig.tag, &got.tag);
+            prop_assert_eq!(orig.fields.len(), got.fields.len());
+            for (key, value) in &orig.fields {
+                let round = got.field(key);
+                prop_assert!(round.is_some(), "field {key:?} lost");
+                let round = round.unwrap();
+                match value {
+                    FieldValue::Int(i) => prop_assert_eq!(round.as_int(), Some(*i)),
+                    // Integral floats legitimately re-parse as ints;
+                    // `as_float` widens them back.  Non-integral f64s
+                    // round-trip exactly (shortest-repr Display).
+                    FieldValue::Float(f) => prop_assert_eq!(round.as_float(), Some(*f)),
+                    FieldValue::Str(s) => prop_assert_eq!(round.as_str(), Some(s.as_str())),
+                }
+            }
+        }
+    }
+}
