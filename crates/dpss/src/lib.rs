@@ -31,6 +31,8 @@
 //! * [`sim`] — the virtual-time DPSS performance model used by the benchmark
 //!   harness (LAN/WAN aggregate throughput, scaling with servers and disks).
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod cache;
 pub mod client;

@@ -24,6 +24,8 @@
 //!   [`MetricsHub`], plus deterministic 1-in-N lifeline sampling for
 //!   100k-session runs.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod clock;
 pub mod collector;

@@ -27,6 +27,8 @@
 //! All models are deterministic given a seed; randomness is confined to
 //! explicitly requested jitter.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod flow;
 pub mod link;

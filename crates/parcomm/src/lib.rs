@@ -16,6 +16,8 @@
 //!   discipline that guarantees reader and renderer never touch the same
 //!   buffer at the same time.
 
+#![forbid(unsafe_code)]
+
 pub mod communicator;
 pub mod process_group;
 pub mod semaphore;

@@ -23,6 +23,8 @@
 //!   compositor of §3.3: axis-aligned slab textures blended in depth order,
 //!   best-axis switching, and the off-axis artifact measurement of Figure 6.
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod ibravr;
 pub mod node;

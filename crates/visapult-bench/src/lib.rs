@@ -6,6 +6,8 @@
 //! paper's reference values so every binary prints a "paper vs. reproduced"
 //! comparison that EXPERIMENTS.md records.
 
+#![forbid(unsafe_code)]
+
 use netlogger::{MetricsHub, MetricsSnapshot};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;

@@ -35,6 +35,8 @@
 //! analytic overlap [`model`] of §4.3, and the render-remote / render-local
 //! [`baseline`]s of §2.
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod baseline;
 pub mod campaign;

@@ -619,6 +619,7 @@ pub(crate) fn drive_async_service_plane_on(
         globals: Vec::new(),
         decode: Arc::new(crate::transport::SharedDecode::new()),
     }));
+    shard.lockdep_label("async-plane-shard");
     let shards = vec![(Arc::clone(&shard), spawner.clone())];
     let outcomes = run_async_pumps(clock, &spawner, &shards, inputs, primary, transport, telemetry);
     let deliveries = wait_shard_deliveries(&shards);
@@ -697,7 +698,8 @@ pub(crate) fn drive_sharded_async_plane_on(
         .into_iter()
         .zip(&globals)
         .zip(&executors)
-        .map(|((broker, shard_globals), executor)| {
+        .enumerate()
+        .map(|(i, ((broker, shard_globals), executor))| {
             let state = AsyncState {
                 broker,
                 endpoints: Vec::new(),
@@ -706,7 +708,9 @@ pub(crate) fn drive_sharded_async_plane_on(
                 globals: shard_globals.clone(),
                 decode: Arc::clone(&decode),
             };
-            (Arc::new(CountedLock::new(state)), executor.spawner())
+            let lock = Arc::new(CountedLock::new(state));
+            lock.lockdep_label(&format!("async-shard-{i}"));
+            (lock, executor.spawner())
         })
         .collect();
     let outcomes = run_sharded_async_pumps(clock, &shards, inputs, primary, transport, telemetry);

@@ -602,6 +602,7 @@ pub(crate) fn drive_service_plane_on(
         globals: Vec::new(),
         decode: Arc::new(SharedDecode::new()),
     }));
+    shard.lockdep_label("fanout-plane-shard");
     let outcomes = run_plane_pumps(
         clock,
         std::slice::from_ref(&shard),
@@ -664,15 +665,18 @@ pub(crate) fn drive_sharded_service_plane_on(
     let shards: Vec<Arc<CountedLock<PlaneState>>> = brokers
         .into_iter()
         .zip(&globals)
-        .map(|(broker, shard_globals)| {
-            Arc::new(CountedLock::new(PlaneState {
+        .enumerate()
+        .map(|(i, (broker, shard_globals))| {
+            let lock = Arc::new(CountedLock::new(PlaneState {
                 broker,
                 endpoints: Vec::new(),
                 endpoint_of: HashMap::new(),
                 consumers: Vec::new(),
                 globals: shard_globals.clone(),
                 decode: Arc::clone(&decode),
-            }))
+            }));
+            lock.lockdep_label(&format!("fanout-shard-{i}"));
+            lock
         })
         .collect();
     let outcomes = run_plane_pumps(clock, &shards, inputs, primary, transport, telemetry);

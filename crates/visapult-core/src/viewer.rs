@@ -16,6 +16,7 @@
 //! stripes after a frame's final composite, and frames lost to a dying link
 //! are surfaced as typed [`ViewerError`]s, never silently dropped.
 
+use crate::pipeline::{Clock, WallClock};
 use crate::transport::{AssemblyEvent, FrameAssembler, StripeReceiver, TransportStats};
 use netlogger::{tags, NetLogger};
 use scenegraph::{NodeId, Quad3, RasterSettings, Rasterizer, SceneGraph, SceneGraphStats, SceneNode};
@@ -330,8 +331,16 @@ impl Viewer {
 
     /// Run the viewer against one striped receiver per back-end PE.  Blocks
     /// until every link has delivered its expected frames (or closed), then
-    /// returns the report with the final composite.
+    /// returns the report with the final composite.  Render-thread pacing
+    /// rides the wall clock — the real path's natural time base.
     pub fn run(self, links: Vec<StripeReceiver>, logger: Option<NetLogger>) -> ViewerReport {
+        self.run_on(&WallClock, links, logger)
+    }
+
+    /// [`Viewer::run`] with an explicit [`Clock`]: the render thread's poll
+    /// interval waits through [`Clock::pace_until`], not a raw sleep, so a
+    /// virtual-clock viewer never blocks on wall time.
+    pub fn run_on(self, clock: &dyn Clock, links: Vec<StripeReceiver>, logger: Option<NetLogger>) -> ViewerReport {
         let frames_received = AtomicU64::new(0);
         let bytes_received = AtomicU64::new(0);
         let partial_updates = AtomicU64::new(0);
@@ -407,7 +416,9 @@ impl Viewer {
                         renders.fetch_add(1, Ordering::Relaxed);
                         last_generation = generation;
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    // Poll cadence through the Clock seam: the wall clock
+                    // waits out the interval, a virtual clock never blocks.
+                    clock.pace_until(clock.monotonic_now() + std::time::Duration::from_millis(2));
                 }
             });
             // Join the I/O threads (they exit once every expected frame has
@@ -620,5 +631,29 @@ mod tests {
         producer.join().unwrap();
         assert_eq!(report.frames_received, 3);
         assert!(report.scene_stats.snapshots >= 3);
+    }
+
+    #[test]
+    fn virtual_clock_viewer_never_sleeps_the_render_poll() {
+        // The render thread's poll interval goes through Clock::pace_until;
+        // under VirtualClock every deadline is already due, so a run whose
+        // frames are all pre-delivered must finish without blocking on wall
+        // time (the 2 ms x N polls would otherwise dominate).
+        use crate::pipeline::VirtualClock;
+        let frames = 3;
+        let (senders, receivers) = links(1);
+        let viewer = Viewer::new(ViewerConfig::new((32, 32, 32), frames));
+        let tx = senders.into_iter().next().unwrap();
+        for f in 0..frames {
+            tx.send_frame(&payload(0, f as u32, 8)).unwrap();
+        }
+        drop(tx);
+        let started = std::time::Instant::now();
+        let report = viewer.run_on(&VirtualClock, receivers, None);
+        assert_eq!(report.frames_received, frames);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "virtual-clock viewer must not pace on wall time"
+        );
     }
 }

@@ -1,0 +1,207 @@
+//! Walk the workspace, run the rules, apply the allowlist, detect staleness.
+
+use crate::config::{path_matches, AllowEntry, LintConfig, Scope};
+use crate::lexer::scan;
+use crate::rules::{check_file, Finding};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The outcome of one lint pass.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings not covered by any allowlist entry — these fail the build.
+    pub active: Vec<Finding>,
+    /// Findings suppressed by an entry (index into the config's allow list).
+    pub suppressed: Vec<(Finding, usize)>,
+    /// Allowlist entries that matched nothing — stale entries fail the build
+    /// too, so the audit table never outlives the code it describes.
+    pub stale: Vec<AllowEntry>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the pass should exit zero.
+    pub fn is_clean(&self) -> bool {
+        self.active.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Run the full pass over `root` (the workspace directory holding lint.toml).
+pub fn run_lint(root: &Path, cfg: &LintConfig) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    for r in &cfg.roots {
+        collect_rs_files(&root.join(r), root, &cfg.skip, &mut files)?;
+    }
+    files.sort();
+
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..LintReport::default()
+    };
+    let mut entry_hits = vec![0usize; cfg.allow.len()];
+
+    for rel in &files {
+        let text = fs::read_to_string(root.join(rel))?;
+        let lines = scan(&text, harness_scope(rel));
+        for f in check_file(rel, &lines, cfg) {
+            match matching_entry(&f, cfg) {
+                Some(idx) => {
+                    entry_hits[idx] += 1;
+                    report.suppressed.push((f, idx));
+                }
+                None => report.active.push(f),
+            }
+        }
+    }
+
+    for (idx, hits) in entry_hits.iter().enumerate() {
+        if *hits == 0 {
+            report.stale.push(cfg.allow[idx].clone());
+        }
+    }
+    Ok(report)
+}
+
+/// Whole-file harness scope: integration tests, benches, examples, bins and
+/// fixture trees are measurement/demo code, where wall time and stdout are
+/// the point.
+fn harness_scope(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel
+            .split('/')
+            .any(|seg| matches!(seg, "tests" | "benches" | "examples" | "bin" | "fixtures"))
+}
+
+fn collect_rs_files(dir: &Path, root: &Path, skip: &[String], out: &mut Vec<String>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") || skip.iter().any(|s| path_matches(&rel, s)) {
+                continue;
+            }
+            collect_rs_files(&path, root, skip, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") && !skip.iter().any(|s| path_matches(&rel, s)) {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// First allowlist entry covering this finding, if any.
+fn matching_entry(f: &Finding, cfg: &LintConfig) -> Option<usize> {
+    cfg.allow.iter().position(|e| {
+        e.rule == f.rule
+            && path_matches(&f.file, &e.file)
+            && e.pattern.as_ref().is_none_or(|p| f.snippet.contains(p.as_str()))
+            && (e.scope == Scope::Any || f.in_test)
+    })
+}
+
+/// Render the human report.  One line per finding, grep-friendly.
+pub fn render_report(report: &LintReport, verbose: bool) -> String {
+    let mut out = String::new();
+    for f in &report.active {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            f.file, f.line, f.rule, f.message, f.snippet
+        ));
+    }
+    for e in &report.stale {
+        out.push_str(&format!(
+            "lint.toml: stale allow entry: rule `{}` file `{}`{} no longer matches any source line \
+             — delete it (justification was: {})\n",
+            e.rule,
+            e.file,
+            e.pattern
+                .as_ref()
+                .map(|p| format!(" pattern `{p}`"))
+                .unwrap_or_default(),
+            e.justification
+        ));
+    }
+    if verbose {
+        for (f, idx) in &report.suppressed {
+            out.push_str(&format!(
+                "allowed {}:{}: [{}] via entry #{}\n",
+                f.file,
+                f.line,
+                f.rule,
+                idx + 1
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "vlint: {} files scanned, {} finding(s), {} suppressed, {} stale allow entr(ies)\n",
+        report.files_scanned,
+        report.active.len(),
+        report.suppressed.len(),
+        report.stale.len()
+    ));
+    out
+}
+
+/// Emit ready-to-paste `[[allow]]` entries for the active findings, grouped
+/// one entry per (rule, file, scope) with the banned token as the pattern
+/// when every finding in the group shares one.
+pub fn render_fix_allowlist(report: &LintReport) -> String {
+    let mut groups: Vec<(&'static str, String, bool, Vec<&Finding>)> = Vec::new();
+    for f in &report.active {
+        match groups
+            .iter_mut()
+            .find(|(r, file, t, _)| *r == f.rule && *file == f.file && *t == f.in_test)
+        {
+            Some((_, _, _, v)) => v.push(f),
+            None => groups.push((f.rule, f.file.clone(), f.in_test, vec![f])),
+        }
+    }
+    let mut out = String::new();
+    if groups.is_empty() {
+        out.push_str("# vlint --fix-allowlist: nothing to allow — the workspace is clean.\n");
+        return out;
+    }
+    out.push_str("# vlint --fix-allowlist: paste into lint.toml and replace each TODO with a\n# real one-line justification (entries without one are rejected).\n");
+    for (rule, file, in_test, findings) in groups {
+        out.push('\n');
+        out.push_str("[[allow]]\n");
+        out.push_str(&format!("rule = \"{rule}\"\n"));
+        out.push_str(&format!("file = \"{file}\"\n"));
+        if in_test {
+            out.push_str("scope = \"test\"\n");
+        }
+        out.push_str(&format!(
+            "justification = \"TODO: {} finding(s) at line(s) {}\"\n",
+            findings.len(),
+            findings
+                .iter()
+                .map(|f| f.line.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_scope_covers_the_right_trees() {
+        assert!(harness_scope("tests/service.rs"));
+        assert!(harness_scope("crates/x/benches/b.rs"));
+        assert!(harness_scope("crates/x/src/bin/tool.rs"));
+        assert!(harness_scope("examples/quickstart.rs"));
+        assert!(!harness_scope("crates/x/src/lib.rs"));
+    }
+}

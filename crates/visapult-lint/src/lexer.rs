@@ -1,0 +1,392 @@
+//! A token-level scanner for Rust source, built for lint rules that match on
+//! *code*, never on comments or string literals.
+//!
+//! [`scan`] splits a file into [`SourceLine`]s where the `code` view has every
+//! comment and every string/char-literal *body* blanked to spaces (structural
+//! quotes survive, so token boundaries do not merge), the `comment` view keeps
+//! the comment text (for `// SAFETY:` detection), and `in_test` marks lines
+//! inside a `#[cfg(test)]` item body.  Columns are preserved: `code[i]` and
+//! `raw[i]` describe the same byte.
+//!
+//! This is deliberately not a parser.  The rules it feeds are substring/token
+//! matches over the blanked view plus a little brace-depth bookkeeping — the
+//! "lightweight lexing + path resolution" tier, strong enough to machine-check
+//! the workspace invariants without dragging in syn or rustc internals.
+
+/// One scanned source line, in the three views the rules consume.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// The line exactly as written.
+    pub raw: String,
+    /// The line with comments and string/char bodies blanked to spaces.
+    pub code: String,
+    /// The comment text of the line (contents after `//` / inside `/* */`).
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]` item body, or the
+    /// whole file is harness scope (tests/, benches/, examples/, src/bin/).
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    /// Inside `"…"`; tracks a pending backslash escape.
+    Str {
+        escaped: bool,
+    },
+    /// Inside `r##"…"##`; the payload is the number of `#`s.
+    RawStr(usize),
+}
+
+/// Scan `source` into per-line views.  `harness_scope` marks the whole file
+/// as test/bench/bin scope (every line reports `in_test`).
+pub fn scan(source: &str, harness_scope: bool) -> Vec<SourceLine> {
+    let (code_text, comment_text) = blank(source);
+    let raw_lines: Vec<&str> = source.split('\n').collect();
+    let code_lines: Vec<&str> = code_text.split('\n').collect();
+    let comment_lines: Vec<&str> = comment_text.split('\n').collect();
+    let test_flags = cfg_test_lines(&code_lines);
+
+    raw_lines
+        .iter()
+        .enumerate()
+        .map(|(i, raw)| SourceLine {
+            raw: (*raw).to_string(),
+            code: code_lines.get(i).copied().unwrap_or("").to_string(),
+            comment: comment_lines.get(i).copied().unwrap_or("").to_string(),
+            in_test: harness_scope || test_flags.get(i).copied().unwrap_or(false),
+        })
+        .collect()
+}
+
+/// Produce the blanked code view and the extracted comment view, both
+/// byte-for-byte aligned with `source` (newlines preserved).
+fn blank(source: &str) -> (String, String) {
+    let bytes = source.as_bytes();
+    let mut code = vec![b' '; bytes.len()];
+    let mut comment = vec![b' '; bytes.len()];
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            code[i] = b'\n';
+            comment[i] = b'\n';
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = Mode::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                // Raw (and byte/raw-byte) strings: r"…", r#"…"#, br#"…"#.
+                if b == b'r' || b == b'b' {
+                    let mut j = i + 1;
+                    if b == b'b' && bytes.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    if b == b'b' && bytes.get(j) == Some(&b'"') {
+                        // Plain byte string b"…".
+                        code[i] = b'b';
+                        code[j] = b'"';
+                        mode = Mode::Str { escaped: false };
+                        i = j + 1;
+                        continue;
+                    }
+                    if bytes.get(i + 1) == Some(&b'r') || b == b'r' {
+                        let mut hashes = 0;
+                        while bytes.get(j) == Some(&b'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&b'"') {
+                            for (k, cb) in code.iter_mut().enumerate().take(j + 1).skip(i) {
+                                *cb = bytes[k];
+                            }
+                            mode = Mode::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    code[i] = b;
+                    i += 1;
+                    continue;
+                }
+                if b == b'"' {
+                    code[i] = b'"';
+                    mode = Mode::Str { escaped: false };
+                    i += 1;
+                    continue;
+                }
+                if b == b'\'' {
+                    // Char literal vs lifetime.  A literal closes within a few
+                    // bytes (`'x'`, `'\n'`, `'\u{1F600}'`); a lifetime never
+                    // has a closing quote before a non-ident char.
+                    if let Some(end) = char_literal_end(bytes, i) {
+                        code[i] = b'\'';
+                        code[end] = b'\'';
+                        i = end + 1;
+                        continue;
+                    }
+                    code[i] = b'\'';
+                    i += 1;
+                    continue;
+                }
+                code[i] = b;
+                i += 1;
+            }
+            Mode::LineComment => {
+                comment[i] = b;
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment[i] = b;
+                    i += 1;
+                }
+            }
+            Mode::Str { escaped } => {
+                if escaped {
+                    mode = Mode::Str { escaped: false };
+                } else if b == b'\\' {
+                    mode = Mode::Str { escaped: true };
+                } else if b == b'"' {
+                    code[i] = b'"';
+                    mode = Mode::Code;
+                }
+                i += 1;
+            }
+            Mode::RawStr(hashes) => {
+                if b == b'"' {
+                    let closes = (0..hashes).all(|k| bytes.get(i + 1 + k) == Some(&b'#'));
+                    if closes {
+                        for (k, cb) in code.iter_mut().enumerate().take(i + 1 + hashes).skip(i) {
+                            *cb = bytes[k];
+                        }
+                        mode = Mode::Code;
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    (
+        String::from_utf8_lossy(&code).into_owned(),
+        String::from_utf8_lossy(&comment).into_owned(),
+    )
+}
+
+/// If `bytes[start]` opens a char literal, the index of its closing quote.
+fn char_literal_end(bytes: &[u8], start: usize) -> Option<usize> {
+    let next = *bytes.get(start + 1)?;
+    if next == b'\\' {
+        // Escape: find the closing quote within a bounded window
+        // (`'\u{10FFFF}'` is the longest form).
+        (start + 3..bytes.len().min(start + 13)).find(|&j| bytes[j] == b'\'')
+    } else if next == b'\'' {
+        None // `''` is not a literal; treat as stray quotes.
+    } else {
+        // One (possibly multibyte) char then a quote — otherwise a lifetime.
+        let width = utf8_width(next);
+        let j = start + 1 + width;
+        (bytes.get(j) == Some(&b'\'')).then_some(j)
+    }
+}
+
+fn utf8_width(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Mark the lines inside `#[cfg(test)]` item bodies.
+///
+/// Tracks brace depth over the blanked code view; a `cfg` attribute containing
+/// the word `test` arms a pending marker which binds to the next item body
+/// `{…}` (cancelled by a `;` first — `#[cfg(test)] use …;` guards no region).
+fn cfg_test_lines(code_lines: &[&str]) -> Vec<bool> {
+    let mut flags = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut region_stack: Vec<i64> = Vec::new();
+
+    for (lineno, line) in code_lines.iter().enumerate() {
+        if !region_stack.is_empty() {
+            flags[lineno] = true;
+        }
+        let chars: Vec<char> = line.chars().collect();
+        let mut c = 0;
+        while c < chars.len() {
+            let ch = chars[c];
+            if ch == '#' && chars.get(c + 1) == Some(&'[') {
+                // Scan the attribute body (attributes in this workspace never
+                // span lines).
+                let mut j = c + 2;
+                let mut brackets = 1;
+                let mut body = String::new();
+                while j < chars.len() && brackets > 0 {
+                    match chars[j] {
+                        '[' => brackets += 1,
+                        ']' => brackets -= 1,
+                        other => body.push(other),
+                    }
+                    if chars[j] == '[' || chars[j] == ']' {
+                        body.push(chars[j]);
+                    }
+                    j += 1;
+                }
+                if body.contains("cfg") && has_word(&body, "test") {
+                    pending_attr = true;
+                }
+                c = j;
+                continue;
+            }
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_attr {
+                        pending_attr = false;
+                        region_stack.push(depth);
+                        flags[lineno] = true;
+                    }
+                }
+                '}' => {
+                    if region_stack.last() == Some(&depth) {
+                        region_stack.pop();
+                    }
+                    depth -= 1;
+                }
+                ';' if pending_attr && region_stack.last() != Some(&depth) => {
+                    pending_attr = false;
+                }
+                _ => {}
+            }
+            c += 1;
+        }
+    }
+    flags
+}
+
+/// True when `word` appears in `text` with non-identifier chars on both sides.
+pub fn has_word(text: &str, word: &str) -> bool {
+    find_word(text, word, 0).is_some()
+}
+
+/// Find `word` in `text` at or after `from`, as a whole token: the bytes
+/// around the match must not be identifier chars (so `Instant::now` never
+/// matches `monotonic_now`, and `sleep` never matches `sleeper`).
+pub fn find_word(text: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let wlen = word.len();
+    let mut start = from;
+    while let Some(pos) = text.get(start..).and_then(|t| t.find(word)) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after_ok = at + wlen >= bytes.len() || !is_ident_byte(bytes[at + wlen]);
+        // A leading `::`-qualified ban pattern should not demand boundaries
+        // inside itself; only the outer edges matter.
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + wlen.max(1);
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"Instant::now\"; // Instant::now here\nlet y = 1;";
+        let lines = scan(src, false);
+        assert!(!lines[0].code.contains("Instant::now"));
+        assert!(lines[0].comment.contains("Instant::now here"));
+        assert!(lines[1].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "let s = r#\"thread::sleep\"#; let c = 'x'; let lt: &'static str = \"\";";
+        let lines = scan(src, false);
+        assert!(!lines[0].code.contains("thread::sleep"));
+        assert!(
+            lines[0].code.contains("'static"),
+            "lifetime survives: {}",
+            lines[0].code
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* a /* b */ thread::sleep */ let ok = 1;";
+        let lines = scan(src, false);
+        assert!(!lines[0].code.contains("thread::sleep"));
+        assert!(lines[0].code.contains("let ok = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_bodies() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn prod2() {}";
+        let lines = scan(src, false);
+        assert!(!lines[0].in_test);
+        assert!(lines[3].in_test, "inside mod tests");
+        assert!(!lines[5].in_test, "after the region");
+    }
+
+    #[test]
+    fn cfg_test_use_statement_guards_no_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() { let x = 1; }";
+        let lines = scan(src, false);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn word_boundaries_hold() {
+        assert!(has_word("thread::sleep(d)", "thread::sleep"));
+        assert!(!has_word("clock.monotonic_now()", "now"));
+        assert!(!has_word("sleeper.poke()", "sleep"));
+    }
+
+    #[test]
+    fn harness_scope_marks_every_line() {
+        let lines = scan("fn main() {}\n", true);
+        assert!(lines.iter().all(|l| l.in_test));
+    }
+}

@@ -1,0 +1,102 @@
+#![forbid(unsafe_code)]
+//! `vlint` — run the workspace determinism & concurrency lint pass.
+//!
+//! ```text
+//! vlint [--root DIR] [--config FILE] [--fix-allowlist] [--verbose]
+//! ```
+//!
+//! Exits non-zero on any unallowlisted finding or stale allowlist entry.
+//! With `--fix-allowlist`, prints ready-to-paste `[[allow]]` TOML for the
+//! current findings instead (still exits non-zero when findings exist, so CI
+//! cannot accidentally pass in fix mode).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use visapult_lint::{render_fix_allowlist, render_report, run_lint, LintConfig};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut fix_allowlist = false;
+    let mut verbose = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config_path = args.next().map(PathBuf::from),
+            "--fix-allowlist" => fix_allowlist = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                print!(
+                    "vlint: workspace determinism & concurrency lint\n\n\
+                     USAGE: vlint [--root DIR] [--config FILE] [--fix-allowlist] [--verbose]\n\n\
+                     --root DIR        workspace root (default: nearest ancestor with lint.toml)\n\
+                     --config FILE     lint config (default: <root>/lint.toml)\n\
+                     --fix-allowlist   print ready-to-paste [[allow]] entries for current findings\n\
+                     --verbose         also list suppressed findings\n"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("vlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("vlint: no lint.toml found in this directory or any ancestor; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("vlint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match LintConfig::from_toml(&config_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("vlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run_lint(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if fix_allowlist {
+        print!("{}", render_fix_allowlist(&report));
+    } else {
+        print!("{}", render_report(&report, verbose));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Nearest ancestor of the current directory containing `lint.toml`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Clean fixture: deterministic, ordered, quiet — zero findings expected.
+
+use std::collections::BTreeMap;
+
+pub fn emit_events(frames: BTreeMap<u32, u64>) -> Vec<(u32, u64)> {
+    frames.iter().map(|(id, bytes)| (*id, *bytes)).collect()
+}
+
+pub fn checksum(events: &[(u32, u64)]) -> u64 {
+    events.iter().fold(0u64, |acc, (id, bytes)| {
+        acc.wrapping_mul(31).wrapping_add(u64::from(*id)).wrapping_add(*bytes)
+    })
+}

@@ -1,0 +1,14 @@
+//! Clock-seam fixture: wall-clock reads are legal here (listed under
+//! `clock_impls`), so this file must produce zero findings.
+
+use std::time::Instant;
+
+pub fn monotonic_now() -> Instant {
+    Instant::now()
+}
+
+pub fn pace_until(deadline: Instant) {
+    while Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

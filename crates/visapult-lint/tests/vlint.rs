@@ -1,0 +1,85 @@
+//! vlint end-to-end: the seeded fixture tree and the committed workspace
+//! `lint.toml`.
+//!
+//! The last test is the real gate: it runs the same pass CI runs, over the
+//! actual workspace with the actual config, and fails on any unallowlisted
+//! finding *or* any stale allowlist entry — so the audit table in `lint.toml`
+//! can neither lag behind new violations nor outlive the code it describes.
+
+use std::path::{Path, PathBuf};
+use visapult_lint::{render_fix_allowlist, render_report, run_lint, LintConfig, LintReport};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/violations")
+}
+
+fn run_with(config: &str) -> LintReport {
+    let root = fixture_root();
+    let text = std::fs::read_to_string(root.join(config)).unwrap();
+    let cfg = LintConfig::from_toml(&text).unwrap();
+    run_lint(&root, &cfg).unwrap()
+}
+
+#[test]
+fn seeded_fixture_hits_every_rule() {
+    let report = run_with("lint.toml");
+    assert!(!report.is_clean());
+    for rule in visapult_lint::RULES {
+        assert!(
+            report.active.iter().any(|f| f.rule == rule),
+            "rule `{rule}` produced no finding:\n{}",
+            render_report(&report, true)
+        );
+    }
+    // Everything lands in bad.rs: the clock impl is exempt, clean.rs is clean.
+    assert!(report.active.iter().all(|f| f.file == "pkg/src/bad.rs"));
+    assert!(report.suppressed.is_empty());
+    assert!(report.stale.is_empty());
+}
+
+#[test]
+fn justified_allowlist_suppresses_every_finding() {
+    let report = run_with("allow.toml");
+    assert!(report.is_clean(), "{}", render_report(&report, true));
+    assert!(report.active.is_empty());
+    assert!(report.stale.is_empty());
+    assert!(report.suppressed.len() >= 5, "all five rules suppressed");
+}
+
+#[test]
+fn stale_allow_entries_fail_the_pass() {
+    let report = run_with("stale.toml");
+    assert!(!report.is_clean());
+    assert!(report.active.is_empty(), "staleness alone fails the pass");
+    assert_eq!(report.stale.len(), 1);
+    assert!(report.stale[0].justification.contains("stale on purpose"));
+    assert!(render_report(&report, false).contains("stale allow entry"));
+}
+
+#[test]
+fn fix_allowlist_emits_paste_ready_entries() {
+    let report = run_with("lint.toml");
+    let toml = render_fix_allowlist(&report);
+    assert!(toml.contains("[[allow]]"));
+    assert!(toml.contains("rule = \"determinism\""));
+    assert!(toml.contains("file = \"pkg/src/bad.rs\""));
+    assert!(toml.contains("TODO"), "justifications start as TODOs");
+    // The emitted entries must parse once the TODOs are accepted as-is.
+    let cfg = LintConfig::from_toml(&toml).unwrap();
+    assert_eq!(cfg.allow.len(), toml.matches("[[allow]]").count());
+}
+
+#[test]
+fn committed_workspace_config_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap();
+    let text = std::fs::read_to_string(root.join("lint.toml")).unwrap();
+    let cfg = LintConfig::from_toml(&text).unwrap();
+    let report = run_lint(root, &cfg).unwrap();
+    assert!(
+        report.active.is_empty() && report.stale.is_empty(),
+        "workspace lint pass is dirty:\n{}",
+        render_report(&report, false)
+    );
+    assert!(report.files_scanned > 100, "walk found the workspace");
+    assert!(!report.suppressed.is_empty(), "the audit table is in use");
+}

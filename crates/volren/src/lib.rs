@@ -24,6 +24,8 @@
 //! * [`camera`] — view orientations and the best-axis selection the viewer
 //!   transmits to the back end (§3.3).
 
+#![forbid(unsafe_code)]
+
 pub mod amr;
 pub mod camera;
 pub mod composite;

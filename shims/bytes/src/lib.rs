@@ -10,6 +10,8 @@
 //! process-wide counter readable through [`deep_copy_count`], so tests can
 //! assert that a data path performed zero byte-buffer copies.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -9,6 +9,8 @@
 //! no HTML reports; runs in a bounded time budget so `cargo bench` stays
 //! quick.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 

@@ -10,6 +10,8 @@
 //! * [`thread`] — `scope`/`spawn` with crossbeam's closure signature (the
 //!   closure receives `&Scope`), implemented over `std::thread::scope`.
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;

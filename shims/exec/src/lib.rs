@@ -20,6 +20,8 @@
 //! whose size is chosen once — OS thread count stays bounded by the pool, not
 //! by the unit count.
 
+#![forbid(unsafe_code)]
+
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -5,19 +5,34 @@
 //! return guards directly (no `Result`), and `Condvar::wait` takes the guard
 //! by `&mut`.  Built on `std::sync`; a poisoned std lock is recovered rather
 //! than propagated, matching parking_lot's no-poisoning behaviour.
+//!
+//! With `--features lockdep` every Mutex and RwLock is threaded through a
+//! runtime lock-order tracker (the `lockdep` module): per-thread held-lock stacks
+//! feed a process-wide acquisition-order graph, and any acquisition that
+//! closes an ordering cycle — or re-enters a lock the thread already holds —
+//! panics with both conflicting chains instead of deadlocking silently.
+
+#![forbid(unsafe_code)]
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::time::Duration;
 
+#[cfg(feature = "lockdep")]
+pub mod lockdep;
+
 /// A mutex whose `lock` returns the guard directly.
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    tag: lockdep::LockTag,
     inner: std::sync::Mutex<T>,
 }
 
 /// Guard for [`Mutex`].  Wraps the std guard in an `Option` so [`Condvar`]
 /// can temporarily take ownership during `wait`.
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    tag_id: u64,
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
@@ -25,6 +40,8 @@ impl<T> Mutex<T> {
     /// A new unlocked mutex.
     pub const fn new(value: T) -> Self {
         Mutex {
+            #[cfg(feature = "lockdep")]
+            tag: lockdep::LockTag::new(),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -38,25 +55,58 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "lockdep")]
+        let tag_id = {
+            let id = self.tag.id();
+            lockdep::before_blocking_acquire(id);
+            id
+        };
+        let inner = Some(self.inner.lock().unwrap_or_else(|e| e.into_inner()));
+        #[cfg(feature = "lockdep")]
+        lockdep::after_acquire(tag_id);
         MutexGuard {
-            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            #[cfg(feature = "lockdep")]
+            tag_id,
+            inner,
         }
     }
 
     /// Try to acquire the lock without blocking.
+    ///
+    /// Under lockdep the hold is recorded but no ordering edge is: a
+    /// non-blocking probe cannot complete a deadlock cycle, and
+    /// deadlock-avoidance code legitimately probes in "wrong" order.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lockdep")]
+        let tag_id = {
+            let id = self.tag.id();
+            lockdep::after_acquire(id);
+            id
+        };
+        Some(MutexGuard {
+            #[cfg(feature = "lockdep")]
+            tag_id,
+            inner,
+        })
     }
 
     /// Exclusive access without locking.
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Name this lock in lockdep cycle reports.  No-op without the feature,
+    /// so callers need no `cfg` of their own.
+    pub fn lockdep_label(&self, label: &str) {
+        #[cfg(feature = "lockdep")]
+        lockdep::set_label(self.tag.id(), label.to_string());
+        #[cfg(not(feature = "lockdep"))]
+        let _ = label;
     }
 }
 
@@ -86,20 +136,40 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+#[cfg(feature = "lockdep")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lockdep::on_release(self.tag_id);
+    }
+}
+
 /// A reader-writer lock whose `read`/`write` return guards directly.
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    tag: lockdep::LockTag,
     inner: std::sync::RwLock<T>,
 }
 
 /// Shared guard for [`RwLock`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    tag_id: u64,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
 /// Exclusive guard for [`RwLock`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    tag_id: u64,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
 
 impl<T> RwLock<T> {
     /// A new unlocked rwlock.
     pub const fn new(value: T) -> Self {
         RwLock {
+            #[cfg(feature = "lockdep")]
+            tag: lockdep::LockTag::new(),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -112,18 +182,56 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared access, blocking.
+    ///
+    /// Lockdep models readers and the writer as one graph node: read-read
+    /// inversion alone cannot deadlock, but one writer in the mix makes it
+    /// real, so the conservative collapse is the classic lockdep trade.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lockdep")]
+        let tag_id = {
+            let id = self.tag.id();
+            lockdep::before_blocking_acquire(id);
+            id
+        };
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lockdep")]
+        lockdep::after_acquire(tag_id);
+        RwLockReadGuard {
+            #[cfg(feature = "lockdep")]
+            tag_id,
+            inner,
+        }
     }
 
     /// Acquire exclusive access, blocking.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lockdep")]
+        let tag_id = {
+            let id = self.tag.id();
+            lockdep::before_blocking_acquire(id);
+            id
+        };
+        let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lockdep")]
+        lockdep::after_acquire(tag_id);
+        RwLockWriteGuard {
+            #[cfg(feature = "lockdep")]
+            tag_id,
+            inner,
+        }
     }
 
     /// Exclusive access without locking.
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Name this lock in lockdep cycle reports.  No-op without the feature.
+    pub fn lockdep_label(&self, label: &str) {
+        #[cfg(feature = "lockdep")]
+        lockdep::set_label(self.tag.id(), label.to_string());
+        #[cfg(not(feature = "lockdep"))]
+        let _ = label;
     }
 }
 
@@ -136,6 +244,42 @@ impl<T: Default> Default for RwLock<T> {
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "lockdep")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lockdep::on_release(self.tag_id);
+    }
+}
+
+#[cfg(feature = "lockdep")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lockdep::on_release(self.tag_id);
     }
 }
 
@@ -170,17 +314,34 @@ impl Condvar {
     /// Release the guard, sleep until notified, reacquire.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard present");
+        // The wait hands the lock back and blocks to retake it, so lockdep
+        // must see a release followed by a fresh blocking acquisition — the
+        // reacquire can order against whatever else the thread still holds.
+        #[cfg(feature = "lockdep")]
+        {
+            lockdep::on_release(guard.tag_id);
+            lockdep::before_blocking_acquire(guard.tag_id);
+        }
         guard.inner = Some(self.inner.wait(inner).unwrap_or_else(|e| e.into_inner()));
+        #[cfg(feature = "lockdep")]
+        lockdep::after_acquire(guard.tag_id);
     }
 
     /// [`Condvar::wait`] with a timeout.
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> WaitTimeoutResult {
         let inner = guard.inner.take().expect("guard present");
+        #[cfg(feature = "lockdep")]
+        {
+            lockdep::on_release(guard.tag_id);
+            lockdep::before_blocking_acquire(guard.tag_id);
+        }
         let (inner, result) = self
             .inner
             .wait_timeout(inner, timeout)
             .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(inner);
+        #[cfg(feature = "lockdep")]
+        lockdep::after_acquire(guard.tag_id);
         WaitTimeoutResult {
             timed_out: result.timed_out(),
         }
@@ -250,5 +411,143 @@ mod tests {
         let mut g = m.lock();
         let r = cv.wait_for(&mut g, Duration::from_millis(5));
         assert!(r.timed_out());
+    }
+}
+
+#[cfg(all(test, feature = "lockdep"))]
+mod lockdep_tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn consistent_order_stays_clean() {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let ga = a.lock();
+                    let gb = b.lock();
+                    drop(gb);
+                    drop(ga);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(lockdep::held_locks().is_empty());
+    }
+
+    #[test]
+    fn ab_ba_inversion_panics_with_both_chains() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        a.lockdep_label("ledger");
+        b.lockdep_label("shard");
+        // Establish a → b on record...
+        {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+        // ...then acquire in the reverse order.  The second acquisition must
+        // panic (it would deadlock against a concurrent a → b chain).
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let gb = b.lock();
+            let _ga = a.lock();
+            drop(gb);
+        }))
+        .expect_err("reverse acquisition order must be detected");
+        let msg = panic_message(err);
+        assert!(msg.contains("lock-order cycle"), "unexpected message: {msg}");
+        assert!(msg.contains("ledger"), "cycle report names both locks: {msg}");
+        assert!(msg.contains("shard"), "cycle report names both locks: {msg}");
+        assert!(msg.contains("first seen on thread"), "witness chain shown: {msg}");
+        assert!(lockdep::held_locks().is_empty(), "unwind released the holds");
+    }
+
+    #[test]
+    fn recursive_acquisition_panics_instead_of_deadlocking() {
+        let m = Mutex::new(());
+        m.lockdep_label("recursive-target");
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let g = m.lock();
+            let _again = m.lock();
+            drop(g);
+        }))
+        .expect_err("self-deadlock must be detected");
+        let msg = panic_message(err);
+        assert!(msg.contains("recursive acquisition"), "unexpected message: {msg}");
+        assert!(msg.contains("recursive-target"), "unexpected message: {msg}");
+        assert!(lockdep::held_locks().is_empty());
+    }
+
+    #[test]
+    fn try_lock_probes_record_no_ordering_edges() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        // a held, b probed: no a → b edge may be recorded...
+        {
+            let ga = a.lock();
+            let gb = b.try_lock().expect("uncontended");
+            drop(gb);
+            drop(ga);
+        }
+        // ...so the reverse blocking order stays legal.
+        let gb = b.lock();
+        let ga = a.lock();
+        assert_eq!(lockdep::held_locks().len(), 2);
+        drop(ga);
+        drop(gb);
+        assert!(lockdep::held_locks().is_empty());
+    }
+
+    #[test]
+    fn rwlock_inversion_against_mutex_panics() {
+        let m = Mutex::new(());
+        let rw = RwLock::new(());
+        m.lockdep_label("meta");
+        rw.lockdep_label("table");
+        {
+            let gm = m.lock();
+            let gr = rw.read();
+            drop(gr);
+            drop(gm);
+        }
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let gw = rw.write();
+            let _gm = m.lock();
+            drop(gw);
+        }))
+        .expect_err("read and write sides share one lockdep node");
+        let msg = panic_message(err);
+        assert!(msg.contains("lock-order cycle"), "unexpected message: {msg}");
+        assert!(lockdep::held_locks().is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_keeps_held_stack_balanced() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert_eq!(lockdep::held_locks().len(), 1);
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+        assert_eq!(lockdep::held_locks().len(), 1, "lock re-held after the wait");
+        drop(g);
+        assert!(lockdep::held_locks().is_empty());
     }
 }

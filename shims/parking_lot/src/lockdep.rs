@@ -1,0 +1,222 @@
+//! Lock-order deadlock detection (`--features lockdep`).
+//!
+//! Every instrumented lock gets a lazily-assigned id.  Each thread keeps a
+//! stack of the lock ids it currently holds; a *blocking* acquisition while
+//! other locks are held records `held → acquiring` edges into a process-wide
+//! acquisition-order graph.  The moment an edge closes a cycle — this thread
+//! holds `A` and acquires `B`, but some prior chain established `B → … → A` —
+//! the tracker panics with **both** conflicting chains: the one this thread
+//! is building and the recorded witness path, each edge stamped with the
+//! held-stack and thread name that created it.
+//!
+//! Design notes:
+//!
+//! * `try_lock` acquisitions record the hold (later blocking acquires see it
+//!   as held) but add **no** edges: a try-lock cannot block, so it cannot
+//!   complete a deadlock cycle — and deadlock-*avoidance* code legitimately
+//!   probes locks in "wrong" order.
+//! * `RwLock` readers and writers share one graph node.  Read-read inversion
+//!   alone cannot deadlock, but one writer makes it real; the conservative
+//!   collapse is the classic lockdep trade.
+//! * A cycle is always detected when its final edge is inserted, so known
+//!   edges re-taken on the hot path skip the graph walk entirely.
+//! * The tracker's own state rides `std::sync` primitives — instrumenting
+//!   the instrumentation would recurse.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex as StdMutex;
+
+/// Lazily-assigned identity of one instrumented lock.
+pub(crate) struct LockTag {
+    id: AtomicU64,
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+impl LockTag {
+    pub(crate) const fn new() -> LockTag {
+        LockTag { id: AtomicU64::new(0) }
+    }
+
+    /// The lock's id, assigned on first use.
+    pub(crate) fn id(&self) -> u64 {
+        match self.id.load(Ordering::Relaxed) {
+            0 => {
+                let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+                match self.id.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => fresh,
+                    Err(raced) => raced,
+                }
+            }
+            id => id,
+        }
+    }
+}
+
+/// How one acquisition-order edge was first observed.
+#[derive(Debug, Clone)]
+struct Witness {
+    /// The full held stack (lock ids) at the moment the edge was recorded.
+    held: Vec<u64>,
+    /// Name of the recording thread.
+    thread: String,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// `from → (to → first witness)`.
+    edges: HashMap<u64, HashMap<u64, Witness>>,
+    /// Optional human labels (`Mutex::lockdep_label`).
+    labels: HashMap<u64, String>,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Attach a human-readable label to a lock id for cycle reports.
+pub fn set_label(id: u64, label: String) {
+    let mut g = graph_cell().lock().unwrap_or_else(|e| e.into_inner());
+    g.labels.insert(id, label);
+}
+
+fn graph_cell() -> &'static StdMutex<Graph> {
+    static CELL: std::sync::OnceLock<StdMutex<Graph>> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| StdMutex::new(Graph::default()))
+}
+
+fn describe(g: &Graph, id: u64) -> String {
+    match g.labels.get(&id) {
+        Some(l) => format!("#{id} \"{l}\""),
+        None => format!("#{id}"),
+    }
+}
+
+fn describe_chain(g: &Graph, ids: &[u64]) -> String {
+    let names: Vec<String> = ids.iter().map(|&i| describe(g, i)).collect();
+    format!("[{}]", names.join(", "))
+}
+
+/// Record a *blocking* acquisition about to happen.  Panics on recursive
+/// acquisition and on any lock-order cycle.
+pub(crate) fn before_blocking_acquire(id: u64) {
+    let held: Vec<u64> = match HELD.try_with(|h| h.borrow().clone()) {
+        Ok(h) => h,
+        Err(_) => return, // thread tearing down
+    };
+    if held.is_empty() {
+        return;
+    }
+    if held.contains(&id) {
+        let g = graph_cell().lock().unwrap_or_else(|e| e.into_inner());
+        let msg = format!(
+            "lockdep: recursive acquisition of lock {} on thread \"{}\" (already held: {}) — \
+             this shim's locks are not reentrant, so this thread would deadlock against itself",
+            describe(&g, id),
+            thread_name(),
+            describe_chain(&g, &held),
+        );
+        drop(g);
+        panic!("{msg}");
+    }
+
+    let mut g = graph_cell().lock().unwrap_or_else(|e| e.into_inner());
+    let mut added_any = false;
+    for &from in &held {
+        if let std::collections::hash_map::Entry::Vacant(slot) = g.edges.entry(from).or_default().entry(id) {
+            slot.insert(Witness {
+                held: held.clone(),
+                thread: thread_name(),
+            });
+            added_any = true;
+        }
+    }
+    if !added_any {
+        return; // every edge already known ⇒ any cycle was caught earlier
+    }
+    // Does a recorded chain lead from the lock being acquired back to one we
+    // hold?  If so, the edge just added closes a cycle.
+    if let Some(path) = find_path(&g, id, &held) {
+        let mut msg = format!(
+            "lockdep: lock-order cycle detected\n  thread \"{}\" holds {} and is acquiring {}\n  \
+             but the reverse order is already on record:",
+            thread_name(),
+            describe_chain(&g, &held),
+            describe(&g, id),
+        );
+        for (from, to) in &path {
+            let w = &g.edges[from][to];
+            msg.push_str(&format!(
+                "\n    {} -> {}  (first seen on thread \"{}\" holding {})",
+                describe(&g, *from),
+                describe(&g, *to),
+                w.thread,
+                describe_chain(&g, &w.held),
+            ));
+        }
+        msg.push_str(
+            "\n  one of these acquisition orders must flip (or the coarser lock must subsume \
+             the finer) before the two chains can run concurrently",
+        );
+        drop(g);
+        panic!("{msg}");
+    }
+}
+
+/// Record a completed acquisition (blocking or try-lock).
+pub(crate) fn after_acquire(id: u64) {
+    let _ = HELD.try_with(|h| h.borrow_mut().push(id));
+}
+
+/// Record a release (guard drop, or a condvar wait handing the lock back).
+pub(crate) fn on_release(id: u64) {
+    let _ = HELD.try_with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&x| x == id) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// BFS from `start` to any id in `targets`; returns the edge list of the
+/// witness path.
+fn find_path(g: &Graph, start: u64, targets: &[u64]) -> Option<Vec<(u64, u64)>> {
+    let mut prev: HashMap<u64, u64> = HashMap::new();
+    let mut queue = VecDeque::from([start]);
+    while let Some(node) = queue.pop_front() {
+        let Some(nexts) = g.edges.get(&node) else { continue };
+        // Deterministic exploration order keeps cycle reports stable.
+        let mut sorted: Vec<u64> = nexts.keys().copied().collect();
+        sorted.sort_unstable();
+        for to in sorted {
+            if prev.contains_key(&to) || to == start {
+                continue;
+            }
+            prev.insert(to, node);
+            if targets.contains(&to) {
+                let mut path = vec![(node, to)];
+                let mut cur = node;
+                while cur != start {
+                    let p = prev[&cur];
+                    path.push((p, cur));
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(to);
+        }
+    }
+    None
+}
+
+fn thread_name() -> String {
+    std::thread::current().name().unwrap_or("<unnamed>").to_string()
+}
+
+/// Testing hook: the current thread's held-lock stack.
+pub fn held_locks() -> Vec<u64> {
+    HELD.try_with(|h| h.borrow().clone()).unwrap_or_default()
+}

@@ -9,6 +9,8 @@
 //! case panics with the standard assertion message, and determinism makes it
 //! reproducible.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Per-block configuration, mirroring `proptest::test_runner::Config`.

@@ -9,6 +9,8 @@
 //! `StdRng` (ChaCha12); everything in this workspace that consumes it is
 //! calibrated against this shim.
 
+#![forbid(unsafe_code)]
+
 /// Low-level source of random 64-bit words.
 pub trait RngCore {
     /// The next 64 random bits.

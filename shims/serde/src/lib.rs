@@ -14,6 +14,8 @@
 //! `serde_json::to_string`, `toml::from_str`, ...) so that swapping the real
 //! crates back in later is a manifest-only change.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::BTreeMap;

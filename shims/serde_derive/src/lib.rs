@@ -16,6 +16,8 @@
 //! `Deserialize::deserialize` call in a position (struct literal field,
 //! variant constructor argument) where the compiler infers the target type.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]

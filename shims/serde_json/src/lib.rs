@@ -5,6 +5,8 @@
 //! (`{:?}`), so `f64` survives `to_string` → `from_str` bit-exactly — the
 //! NetLogger event log round-trip test depends on that.
 
+#![forbid(unsafe_code)]
+
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 

@@ -11,6 +11,8 @@
 //! so emitted documents parse back into the same tree (round-trip tested in
 //! `visapult-core`'s scenario module).
 
+#![forbid(unsafe_code)]
+
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 

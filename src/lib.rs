@@ -45,6 +45,8 @@
 //! `crates/visapult-bench` for the binaries that regenerate every figure and
 //! table in the paper's evaluation (documented in `EXPERIMENTS.md`).
 
+#![forbid(unsafe_code)]
+
 pub use dpss;
 pub use netlogger;
 pub use netsim;
